@@ -1,0 +1,67 @@
+"""SVII-2: cross-environment generalisation (office <-> meeting room).
+
+Paper: training on one environment and testing on the other keeps GRA
+over 90% but drops UIA to about 75% — recognition transfers better than
+identification.
+
+Shapes: (a) same-environment accuracy beats cross-environment accuracy;
+(b) the relative UIA drop is at least as large as the GRA drop.
+"""
+
+import pytest
+
+from benchmarks.common import SCALE, bench_config, emit, format_row
+from repro.core import GesturePrint, IdentificationMode
+from repro.datasets import build_selfcollected
+
+
+def _experiment():
+    dataset = build_selfcollected(
+        num_users=SCALE["num_users"],
+        num_gestures=SCALE["num_gestures"],
+        reps=SCALE["reps"],
+        environments=("office", "meeting_room"),
+        num_points=SCALE["num_points"],
+        seed=11,
+    )
+    office = dataset.in_environment("office")
+    meeting = dataset.in_environment("meeting_room")
+    results = {}
+    for train_name, train_set in (("office", office), ("meeting", meeting)):
+        system = GesturePrint(bench_config(IdentificationMode.PARALLEL)).fit(
+            train_set.inputs, train_set.gesture_labels, train_set.user_labels
+        )
+        for test_name, test_set in (("office", office), ("meeting", meeting)):
+            metrics = system.evaluate(
+                test_set.inputs, test_set.gesture_labels, test_set.user_labels
+            )
+            results[(train_name, test_name)] = (metrics["GRA"], metrics["UIA"])
+    return results
+
+
+@pytest.mark.benchmark(group="cross_env")
+def test_cross_environment(benchmark):
+    results = benchmark.pedantic(_experiment, rounds=1, iterations=1)
+    widths = (10, 10, 8, 8)
+    lines = [
+        "SVII-2 — cross-environment (paper: >90% GRA, ~75% UIA when crossing)",
+        format_row(("train", "test", "GRA", "UIA"), widths),
+    ]
+    for (train_name, test_name), (gra, uia) in results.items():
+        lines.append(format_row((train_name, test_name, f"{gra:.3f}", f"{uia:.3f}"), widths))
+    same_gra = (results[("office", "office")][0] + results[("meeting", "meeting")][0]) / 2
+    cross_gra = (results[("office", "meeting")][0] + results[("meeting", "office")][0]) / 2
+    same_uia = (results[("office", "office")][1] + results[("meeting", "meeting")][1]) / 2
+    cross_uia = (results[("office", "meeting")][1] + results[("meeting", "office")][1]) / 2
+    lines.append(
+        f"same-env avg GRA {same_gra:.3f} / UIA {same_uia:.3f}; "
+        f"cross-env avg GRA {cross_gra:.3f} / UIA {cross_uia:.3f}"
+    )
+    emit("cross_env", lines)
+
+    # Note: same-env numbers include training samples (as does SVII-2's
+    # fine-tuned upper bound); the shape we need is the cross-env drop.
+    assert cross_gra <= same_gra + 0.02
+    assert cross_uia <= same_uia + 0.02
+    # Identification transfers no better than recognition (paper shape).
+    assert (same_uia - cross_uia) >= (same_gra - cross_gra) - 0.1

@@ -1,0 +1,74 @@
+"""Fig. 11: impact of the radar-user distance (mTransSee anchors).
+
+Paper (full scale, 13 anchors 1.2-4.8 m): GRA >= 94.4% and UIA >= 92.7%
+within 3.6 m, degrading to 86.9% GRA / 81.2% UIA at 4.8 m because the
+point count captured by the radar drops with distance.
+
+Scaled: 4 anchors.  Shapes to reproduce: (a) per-cloud point counts
+decrease with distance; (b) accuracy at the far anchor is below accuracy
+at the near anchor; (c) near-anchor performance stays well above chance.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.common import SCALE, emit, emit_figure, fit_and_evaluate, format_row
+from repro.core import IdentificationMode
+from repro.datasets import build_mtranssee
+from repro.viz import line_chart
+
+ANCHORS = (1.2, 2.4, 3.6, 4.8)
+
+
+def _experiment():
+    dataset = build_mtranssee(
+        num_users=SCALE["num_users"],
+        num_gestures=SCALE["num_gestures"],
+        reps=SCALE["reps"],
+        distances_m=ANCHORS,
+        num_points=SCALE["num_points"],
+        seed=41,
+        keep_clouds=True,
+    )
+    rows = []
+    for anchor in ANCHORS:
+        subset = dataset.at_distance(anchor, tolerance=0.05)
+        counts = [c.num_points for c in subset.clouds]
+        _, metrics, _ = fit_and_evaluate(subset, mode=IdentificationMode.PARALLEL)
+        rows.append((anchor, float(np.mean(counts)), metrics["GRA"], metrics["UIA"]))
+    return rows
+
+
+@pytest.mark.benchmark(group="fig11")
+def test_fig11_distance_sweep(benchmark):
+    rows = benchmark.pedantic(_experiment, rounds=1, iterations=1)
+    widths = (10, 12, 8, 8)
+    lines = [
+        "Fig. 11 — impact of distance (paper: GRA 99.9->86.9, UIA 97.6->81.2 over 1.2->4.8 m)",
+        format_row(("dist (m)", "cloud pts", "GRA", "UIA"), widths),
+    ]
+    for anchor, count, gra, uia in rows:
+        lines.append(format_row((anchor, f"{count:.0f}", f"{gra:.3f}", f"{uia:.3f}"), widths))
+    emit("fig11_distance", lines)
+    anchors = np.array([r[0] for r in rows])
+    emit_figure(
+        "fig11_distance",
+        line_chart(
+            {
+                "gesture recognition": (anchors, np.array([r[2] for r in rows])),
+                "user identification": (anchors, np.array([r[3] for r in rows])),
+            },
+            title="Fig. 11 — accuracy vs radar-user distance",
+            x_label="distance (m)",
+            y_label="accuracy",
+            y_range=(0.0, 1.05),
+        ),
+    )
+
+    counts = [r[1] for r in rows]
+    assert counts[-1] < counts[0], "point count must drop with distance"
+    near_gra, far_gra = rows[0][2], rows[-1][2]
+    near_uia, far_uia = rows[0][3], rows[-1][3]
+    assert near_gra > 2.0 / SCALE["num_gestures"]  # well above chance near
+    assert far_gra <= near_gra + 0.05, "GRA should not improve with distance"
+    assert far_uia <= near_uia + 0.05, "UIA should not improve with distance"

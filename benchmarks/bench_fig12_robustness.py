@@ -1,0 +1,88 @@
+"""Fig. 12: distance robustness across unseen anchor positions (+/- DA).
+
+Paper: train at one of {1.35, 1.5, 1.65} m, test at the others
+(mHomeGes subset).  GesturePrint stays reliable at unseen distances
+(>93% GRA / >87% UIA); removing data augmentation degrades performance
+at distances unseen during training.
+
+Scaled shapes: (a) cross-distance accuracy stays above chance;
+(b) on average, augmentation does not hurt and typically helps
+cross-distance generalisation.
+"""
+
+import pytest
+
+from benchmarks.common import SCALE, bench_config, emit, format_row
+from repro.core import GesturePrint, IdentificationMode
+from repro.datasets import build_mhomeges
+
+ANCHORS = (1.35, 1.5, 1.65)
+
+
+def _run(dataset, train_anchor, augment):
+    train_set = dataset.at_distance(train_anchor, tolerance=0.05)
+    system = GesturePrint(
+        bench_config(IdentificationMode.PARALLEL, augment=augment)
+    ).fit(train_set.inputs, train_set.gesture_labels, train_set.user_labels)
+    results = {}
+    for test_anchor in ANCHORS:
+        test_set = dataset.at_distance(test_anchor, tolerance=0.05)
+        metrics = system.evaluate(
+            test_set.inputs, test_set.gesture_labels, test_set.user_labels
+        )
+        results[test_anchor] = (metrics["GRA"], metrics["UIA"])
+    return results
+
+
+def _experiment():
+    dataset = build_mhomeges(
+        num_users=SCALE["num_users"],
+        num_gestures=SCALE["num_gestures"],
+        reps=SCALE["reps"],
+        distances_m=ANCHORS,
+        num_points=SCALE["num_points"],
+        seed=31,
+    )
+    table = {}
+    for augment in (True, False):
+        for train_anchor in (1.35, 1.65):
+            table[(train_anchor, augment)] = _run(dataset, train_anchor, augment)
+    return table
+
+
+@pytest.mark.benchmark(group="fig12")
+def test_fig12_distance_robustness(benchmark):
+    table = benchmark.pedantic(_experiment, rounds=1, iterations=1)
+    widths = (12, 6, 14, 14, 14)
+    lines = [
+        "Fig. 12 — robustness to unseen anchor distances (GRA/UIA per test anchor)",
+        "(paper: reliable at unseen anchors; without DA, unseen-distance accuracy drops)",
+        format_row(("train (m)", "DA", "test 1.35", "test 1.50", "test 1.65"), widths),
+    ]
+    for (train_anchor, augment), results in table.items():
+        cells = [f"{results[a][0]:.2f}/{results[a][1]:.2f}" for a in ANCHORS]
+        lines.append(
+            format_row((train_anchor, "yes" if augment else "no", *cells), widths)
+        )
+    # Aggregate the cross-distance (unseen anchor) cells.
+    def unseen_mean(augment):
+        total, count = 0.0, 0
+        for (train_anchor, aug), results in table.items():
+            if aug is not augment:
+                continue
+            for anchor in ANCHORS:
+                if abs(anchor - train_anchor) > 0.01:
+                    total += results[anchor][0] + results[anchor][1]
+                    count += 2
+        return total / count
+
+    with_da = unseen_mean(True)
+    without_da = unseen_mean(False)
+    lines.append(f"mean unseen-distance accuracy: with DA {with_da:.3f}, without {without_da:.3f}")
+    emit("fig12_robustness", lines)
+
+    chance = 1.0 / SCALE["num_gestures"]
+    for results in table.values():
+        for gra, _uia in results.values():
+            assert gra > 1.5 * chance
+    assert with_da >= without_da - 0.08, "augmentation should not hurt generalisation"

@@ -1,0 +1,71 @@
+"""Fig. 13: gesture lasting-time variation per gesture and user.
+
+Paper: the same user's repetitions of the same gesture vary in lasting
+time (frames), and different gestures have different typical durations —
+evidence that motion speed is a behavioural trait the network must (and
+can) absorb.
+
+Shapes: (a) per-gesture duration distributions have nonzero spread;
+(b) gestures differ in median duration; (c) a slow user's gestures last
+longer than a fast user's.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.common import emit, format_row
+from repro import ASL_GESTURES, ENVIRONMENTS, FastRadar, IWR6843_CONFIG, generate_users
+from repro.gestures import perform_gesture
+
+GESTURES = ("ahead", "away", "every Sunday", "push", "zigzag")
+REPS = 8
+
+
+def _experiment():
+    users = generate_users(6, seed=11)
+    fastest = min(users, key=lambda u: 1.0 / u.speed_factor)
+    slowest = max(users, key=lambda u: 1.0 / u.speed_factor)
+    radar = FastRadar(IWR6843_CONFIG, seed=2)
+    rng = np.random.default_rng(9)
+
+    durations = {}
+    for name in GESTURES:
+        for user, tag in ((fastest, "fast"), (slowest, "slow")):
+            frames = [
+                perform_gesture(
+                    user, ASL_GESTURES[name], radar, ENVIRONMENTS["meeting_room"], rng=rng
+                ).duration_frames
+                for _ in range(REPS)
+            ]
+            durations[(name, tag)] = frames
+    return durations, fastest.speed_factor, slowest.speed_factor
+
+
+@pytest.mark.benchmark(group="fig13")
+def test_fig13_lasting_time(benchmark):
+    durations, fast_speed, slow_speed = benchmark.pedantic(
+        _experiment, rounds=1, iterations=1
+    )
+    widths = (14, 6, 10, 10, 10)
+    lines = [
+        "Fig. 13 — gesture lasting time (frames) across repetitions",
+        f"(fast user speed={fast_speed:.2f}, slow user speed={slow_speed:.2f})",
+        format_row(("gesture", "user", "median", "min", "max"), widths),
+    ]
+    for (name, tag), frames in durations.items():
+        lines.append(
+            format_row(
+                (name, tag, f"{np.median(frames):.0f}", min(frames), max(frames)), widths
+            )
+        )
+    emit("fig13_duration", lines)
+
+    # (a) repetitions vary for at least most gesture/user cells.
+    varying = sum(1 for frames in durations.values() if max(frames) > min(frames))
+    assert varying >= 0.6 * len(durations)
+    # (b) different gestures have different typical durations.
+    medians = {name: np.median(durations[(name, "fast")]) for name in GESTURES}
+    assert len({round(m) for m in medians.values()}) >= 3
+    # (c) the slow user is slower on every gesture.
+    for name in GESTURES:
+        assert np.median(durations[(name, "slow")]) > np.median(durations[(name, "fast")])

@@ -1,0 +1,79 @@
+"""Fig. 14: ablation of data augmentation and attention-based feature fusion.
+
+Paper: both components improve GRA/GRF1 and UIA/UIF1; the fusion module
+contributes most, especially at larger user scales.
+
+* "no-augment": training-time jitter augmentation disabled.
+* "no-fusion": the attention weights are pinned to 0.5/0.5 for the whole
+  training run (``GesIDNetConfig.adaptive_fusion = False``) — the levels
+  are averaged instead of adaptively weighted, which is exactly what the
+  paper's "w/o feature fusion" variant removes.
+
+Shape to reproduce: the full system matches or beats both ablations on
+the combined GRA+UIA score.
+"""
+
+import dataclasses
+
+import pytest
+
+from benchmarks.common import bench_config, cached_selfcollected, emit, format_row
+from repro.core import GesturePrint, IdentificationMode
+from repro.core.trainer import train_test_split
+
+
+def _fit_eval(dataset, split, config):
+    train, test = split
+    system = GesturePrint(config).fit(
+        dataset.inputs[train], dataset.gesture_labels[train], dataset.user_labels[train]
+    )
+    return system.evaluate(
+        dataset.inputs[test], dataset.gesture_labels[test], dataset.user_labels[test]
+    )
+
+
+def _experiment():
+    dataset = cached_selfcollected(environments=("office",))
+    split = train_test_split(dataset.num_samples, 0.2, seed=3)
+
+    full_cfg = bench_config(IdentificationMode.SERIALIZED, augment=True)
+    noaug_cfg = bench_config(IdentificationMode.SERIALIZED, augment=False)
+    nofusion_cfg = dataclasses.replace(
+        full_cfg, network=dataclasses.replace(full_cfg.network, adaptive_fusion=False)
+    )
+    return {
+        "full": _fit_eval(dataset, split, full_cfg),
+        "no-augment": _fit_eval(dataset, split, noaug_cfg),
+        "no-fusion": _fit_eval(dataset, split, nofusion_cfg),
+    }
+
+
+@pytest.mark.benchmark(group="fig14")
+def test_fig14_ablation(benchmark):
+    rows = benchmark.pedantic(_experiment, rounds=1, iterations=1)
+    widths = (12, 8, 8, 8, 8)
+    lines = [
+        "Fig. 14 — ablation (paper: both components help; fusion helps most)",
+        format_row(("variant", "GRA", "GRF1", "UIA", "UIF1"), widths),
+    ]
+    for variant, metrics in rows.items():
+        lines.append(
+            format_row(
+                (
+                    variant,
+                    f"{metrics['GRA']:.3f}",
+                    f"{metrics['GRF1']:.3f}",
+                    f"{metrics['UIA']:.3f}",
+                    f"{metrics['UIF1']:.3f}",
+                ),
+                widths,
+            )
+        )
+    emit("fig14_ablation", lines)
+
+    def combined(metrics):
+        return metrics["GRA"] + metrics["UIA"]
+
+    # The full system wins on the combined score (small slack for noise).
+    assert combined(rows["full"]) >= combined(rows["no-augment"]) - 0.08
+    assert combined(rows["full"]) >= combined(rows["no-fusion"]) - 0.08

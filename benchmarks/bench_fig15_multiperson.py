@@ -1,0 +1,100 @@
+"""Fig. 15: multi-person scenes — main-cluster separation.
+
+Paper: with someone else walking past behind the user, or gesturing a
+couple of metres away, the preprocessing stage's DBSCAN separates the
+user's main point cluster from the other person's cluster.
+
+Shapes: (a) the retained main cluster stays centred on the user;
+(b) most bystander points are discarded; (c) a bystander walking at
+>= the DBSCAN D_max separation forms a distinct cluster.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.common import emit, format_row
+from repro import ASL_GESTURES, ENVIRONMENTS, FastRadar, IWR6843_CONFIG, generate_users
+from repro.gestures import Bystander, perform_gesture
+from repro.preprocessing import keep_main_cluster
+from repro.preprocessing.noise import cluster_cloud
+from repro.preprocessing.pipeline import PreprocessorParams, preprocess_recording
+from repro.preprocessing.segmentation import Segment
+from repro.preprocessing.pipeline import aggregate_segment
+
+
+def _scene(mode):
+    user = generate_users(1, seed=4)[0]
+    radar = FastRadar(IWR6843_CONFIG, seed=3)
+    rng = np.random.default_rng(8)
+    if mode == "walking":
+        bystander = Bystander(mode="walking", walk_start=(-2.5, 3.0), walk_end=(2.5, 3.0))
+    else:
+        bystander = Bystander(mode="gesturing", position=(2.0, 2.8, 0.0))
+    recording = perform_gesture(
+        user,
+        ASL_GESTURES["push"],
+        radar,
+        ENVIRONMENTS["meeting_room"],
+        rng=rng,
+        bystanders=[bystander],
+    )
+    truth = Segment(recording.motion_start_frame, recording.motion_end_frame)
+    raw = aggregate_segment(recording.frames, truth)
+    cleaned = keep_main_cluster(raw)
+    labels = cluster_cloud(raw)
+    num_clusters = len(set(labels[labels >= 0]))
+    return raw, cleaned, num_clusters
+
+
+def _experiment():
+    rows = []
+    for mode in ("walking", "gesturing"):
+        raw, cleaned, num_clusters = _scene(mode)
+        user_mask = np.abs(cleaned.xyz[:, 0]) < 1.0  # user stands at x ~ 0
+        bystander_in_raw = (raw.xyz[:, 0] > 1.2).sum()
+        bystander_in_clean = (cleaned.xyz[:, 0] > 1.2).sum()
+        rows.append(
+            {
+                "mode": mode,
+                "raw_points": raw.num_points,
+                "clean_points": cleaned.num_points,
+                "clusters": num_clusters,
+                "user_fraction": float(user_mask.mean()),
+                "bystander_removed": int(bystander_in_raw - bystander_in_clean),
+                "bystander_in_raw": int(bystander_in_raw),
+            }
+        )
+    return rows
+
+
+@pytest.mark.benchmark(group="fig15")
+def test_fig15_multiperson(benchmark):
+    rows = benchmark.pedantic(_experiment, rounds=1, iterations=1)
+    widths = (11, 10, 10, 9, 12, 14)
+    lines = [
+        "Fig. 15 — multi-person scenes: DBSCAN main-cluster separation",
+        format_row(
+            ("case", "raw pts", "kept pts", "clusters", "user frac", "bystander cut"),
+            widths,
+        ),
+    ]
+    for row in rows:
+        lines.append(
+            format_row(
+                (
+                    row["mode"],
+                    row["raw_points"],
+                    row["clean_points"],
+                    row["clusters"],
+                    f"{row['user_fraction']:.2f}",
+                    f"{row['bystander_removed']}/{row['bystander_in_raw']}",
+                ),
+                widths,
+            )
+        )
+    emit("fig15_multiperson", lines)
+
+    for row in rows:
+        assert row["user_fraction"] > 0.9, row["mode"]
+        if row["bystander_in_raw"] > 5:
+            assert row["bystander_removed"] >= 0.7 * row["bystander_in_raw"], row["mode"]

@@ -1,0 +1,89 @@
+"""SIV-C extension: open-set handling of unauthorized users.
+
+The paper chooses the serialized mode partly for "the capability of
+handling random gestures and unauthorized people".  This bench enrols
+N users, calibrates the open-set verifier, and then presents gestures
+from *non-enrolled* users.
+
+Shapes: (a) enrolled samples are mostly accepted and correctly
+identified; (b) outsiders are accepted far less often than enrolled
+genuine users.
+"""
+
+import pytest
+
+from benchmarks.common import SCALE, bench_config, emit, format_row
+from repro.core import GesturePrint, IdentificationMode, OpenSetVerifier, UNKNOWN_USER
+from repro.core.trainer import train_test_split
+from repro.datasets.base import DatasetSpec, build_dataset
+from repro.gestures.templates import ASL_GESTURES
+from repro.gestures.user import generate_users
+
+
+def _experiment():
+    templates = tuple(ASL_GESTURES.values())[: SCALE["num_gestures"]]
+    enrolled_users = generate_users(SCALE["num_users"], seed=11)
+    outsider_users = generate_users(3, seed=77, id_offset=100)
+
+    enrolled = build_dataset(
+        DatasetSpec(
+            users=tuple(enrolled_users),
+            templates=templates,
+            environments=("office",),
+            reps=SCALE["reps"],
+            num_points=SCALE["num_points"],
+            seed=11,
+        )
+    )
+    outsiders = build_dataset(
+        DatasetSpec(
+            users=tuple(outsider_users),
+            templates=templates,
+            environments=("office",),
+            reps=4,
+            num_points=SCALE["num_points"],
+            seed=78,
+        )
+    )
+
+    train, calib = train_test_split(enrolled.num_samples, 0.3, seed=2)
+    system = GesturePrint(bench_config(IdentificationMode.SERIALIZED)).fit(
+        enrolled.inputs[train], enrolled.gesture_labels[train], enrolled.user_labels[train]
+    )
+    verifier = OpenSetVerifier(system)
+    verifier.calibrate(
+        enrolled.inputs[calib],
+        enrolled.gesture_labels[calib],
+        enrolled.user_labels[calib],
+        target_far=0.05,
+    )
+    _, users = verifier.identify(enrolled.inputs[calib])
+    accepted = users != UNKNOWN_USER
+    genuine_accept = float(accepted.mean())
+    correct_given_accept = (
+        float((users[accepted] == enrolled.user_labels[calib][accepted]).mean())
+        if accepted.any()
+        else 0.0
+    )
+    outsider_accept = verifier.false_accept_rate(outsiders.inputs)
+    return genuine_accept, correct_given_accept, outsider_accept, verifier.calibration
+
+
+@pytest.mark.benchmark(group="openset")
+def test_openset_unauthorized_users(benchmark):
+    genuine_accept, correct, outsider_accept, calibration = benchmark.pedantic(
+        _experiment, rounds=1, iterations=1
+    )
+    widths = (34, 10)
+    lines = [
+        "SIV-C ext. — open-set rejection of non-enrolled users",
+        format_row(("quantity", "value"), widths),
+        format_row(("genuine accept rate", f"{genuine_accept:.3f}"), widths),
+        format_row(("identification acc (accepted)", f"{correct:.3f}"), widths),
+        format_row(("outsider accept rate (FAR)", f"{outsider_accept:.3f}"), widths),
+        format_row(("calibrated EER", f"{calibration.eer:.3f}"), widths),
+    ]
+    emit("openset", lines)
+
+    assert genuine_accept > 0.5
+    assert outsider_accept < genuine_accept - 0.15

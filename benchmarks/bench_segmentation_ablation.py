@@ -1,0 +1,108 @@
+"""Segmentation ablation: point-count sliding window vs DRAI dynamic window.
+
+SIV-B of the paper chooses a parameter-adaptive sliding window over
+per-frame *point counts* and explicitly contrasts it with DI-Gesture's
+dynamic-window mechanism over DRAIs.  This bench runs both segmenters
+on identical simulated recordings with known ground-truth motion spans
+and reports detection rate and span IoU.
+
+Shape asserted: the paper's point-count segmenter is competitive with
+(not dominated by) the DRAI alternative on point-cloud streams — the
+data format it was designed for.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.common import emit, format_row
+from repro import ASL_GESTURES, ENVIRONMENTS, FastRadar, IWR6843_CONFIG, generate_users
+from repro.gestures import perform_gesture
+from repro.preprocessing import (
+    DRAIGestureSegmenter,
+    GestureSegmenter,
+    best_segment_iou,
+)
+
+GESTURES = ("ahead", "away", "push", "zigzag")
+REPS = 6
+
+
+def _recordings():
+    users = generate_users(3, seed=21)
+    radar = FastRadar(IWR6843_CONFIG, seed=5)
+    rng = np.random.default_rng(17)
+    recordings = []
+    for name in GESTURES:
+        for user in users:
+            for _ in range(REPS):
+                rec = perform_gesture(
+                    user,
+                    ASL_GESTURES[name],
+                    radar,
+                    ENVIRONMENTS["office"],
+                    rng=rng,
+                    idle_before_frames=(18, 26),
+                    idle_after_frames=(18, 26),
+                )
+                recordings.append(rec)
+    return recordings
+
+
+def _score(segmenter_factory, recordings):
+    ious = []
+    detected = 0
+    for rec in recordings:
+        segments = segmenter_factory().segment(rec.frames)
+        iou = best_segment_iou(segments, rec.motion_start_frame, rec.motion_end_frame)
+        ious.append(iou)
+        if iou > 0.3:
+            detected += 1
+    return detected / len(recordings), float(np.mean(ious))
+
+
+def _experiment():
+    recordings = _recordings()
+    point_rate, point_iou = _score(GestureSegmenter, recordings)
+    drai_rate, drai_iou = _score(DRAIGestureSegmenter, recordings)
+    return {
+        "n": len(recordings),
+        "point": (point_rate, point_iou),
+        "drai": (drai_rate, drai_iou),
+    }
+
+
+@pytest.mark.benchmark(group="segmentation")
+def test_segmentation_ablation(benchmark):
+    results = benchmark.pedantic(_experiment, rounds=1, iterations=1)
+    widths = (26, 14, 10)
+    lines = [
+        f"Segmentation ablation — {results['n']} recordings "
+        f"({len(GESTURES)} gestures x 3 users x {REPS} reps)",
+        format_row(("segmenter", "detect-rate", "mean-IoU"), widths),
+        format_row(
+            (
+                "point-count (paper SIV-B)",
+                f"{results['point'][0]:.2f}",
+                f"{results['point'][1]:.3f}",
+            ),
+            widths,
+        ),
+        format_row(
+            (
+                "DRAI window (DI-Gesture)",
+                f"{results['drai'][0]:.2f}",
+                f"{results['drai'][1]:.3f}",
+            ),
+            widths,
+        ),
+    ]
+    emit("segmentation_ablation", lines)
+
+    point_rate, point_iou = results["point"]
+    drai_rate, drai_iou = results["drai"]
+    # Both segmenters must find the overwhelming majority of gestures.
+    assert point_rate >= 0.9
+    assert drai_rate >= 0.6
+    # The paper's choice is competitive on its native data format.
+    assert point_rate >= drai_rate - 0.05
+    assert point_iou >= drai_iou - 0.1

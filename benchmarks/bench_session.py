@@ -1,0 +1,66 @@
+"""Extension: session-level identification accuracy vs gestures fused.
+
+The paper identifies users from a single gesture (Tab. II UIA).  In the
+motivating scenarios (Fig. 1) a user performs several gestures per
+interaction session; fusing the per-gesture posteriors (naive-Bayes log
+fusion, ``repro.core.session``) should push identification accuracy up
+monotonically with session length.
+
+Shape asserted: session UIA is non-decreasing (within tolerance) in the
+number of fused gestures, and K=5 beats K=1.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.common import cached_selfcollected, emit, fit_and_evaluate, format_row
+from repro.core import identify_session
+
+SESSION_LENGTHS = (1, 2, 3, 5)
+SESSIONS_PER_USER = 12
+
+
+def _experiment():
+    dataset = cached_selfcollected()
+    system, metrics, (train, test) = fit_and_evaluate(dataset, seed=3)
+    test_inputs = dataset.inputs[test]
+    test_users = dataset.user_labels[test]
+
+    rng = np.random.default_rng(7)
+    accuracy_by_k = {}
+    for k in SESSION_LENGTHS:
+        correct = trials = 0
+        for user in np.unique(test_users):
+            idx = np.flatnonzero(test_users == user)
+            if idx.size < k:
+                continue
+            for _ in range(SESSIONS_PER_USER):
+                chosen = rng.choice(idx, size=k, replace=False)
+                estimate = identify_session(system, test_inputs[chosen])
+                correct += estimate.user == user
+                trials += 1
+        accuracy_by_k[k] = correct / max(trials, 1)
+    return {"single_uia": metrics["UIA"], "by_k": accuracy_by_k}
+
+
+@pytest.mark.benchmark(group="session")
+def test_session_fusion(benchmark):
+    results = benchmark.pedantic(_experiment, rounds=1, iterations=1)
+    widths = (20, 10)
+    lines = [
+        "Session fusion — identification accuracy vs gestures fused",
+        f"(single-gesture UIA from the standard evaluation: "
+        f"{results['single_uia']:.3f})",
+        format_row(("gestures fused", "session UIA"), widths),
+    ]
+    for k, acc in results["by_k"].items():
+        lines.append(format_row((k, f"{acc:.3f}"), widths))
+    emit("session", lines)
+
+    by_k = results["by_k"]
+    ks = sorted(by_k)
+    # Fusing more gestures never costs much...
+    for prev, curr in zip(ks, ks[1:]):
+        assert by_k[curr] >= by_k[prev] - 0.05
+    # ...and a five-gesture session beats a single gesture.
+    assert by_k[ks[-1]] >= by_k[ks[0]]

@@ -1,0 +1,131 @@
+"""Shared scaffolding for the experiment benchmark harness.
+
+Every ``bench_*.py`` file regenerates one table or figure of the paper at
+a *scaled-down* workload (sizes below, recorded in EXPERIMENTS.md): the
+shapes — who wins, degradation trends, crossovers — are what we
+reproduce, not the absolute fourth digit.
+
+The harness prints each experiment's table to stdout and appends it to
+``benchmarks/results/<name>.txt`` so the final ``--benchmark-only`` run
+leaves a complete record.
+"""
+
+from __future__ import annotations
+
+import functools
+import pathlib
+
+import numpy as np
+
+from repro.core import GesturePrint, GesturePrintConfig, IdentificationMode, TrainConfig
+from repro.core.gesidnet import GesIDNetConfig
+from repro.core.trainer import train_test_split
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Scaled workload shared by the accuracy benches.  Chosen so the full
+#: ``pytest benchmarks/ --benchmark-only`` suite finishes in tens of
+#: minutes on a laptop CPU; EXPERIMENTS.md records the scaling.
+SCALE = {
+    "num_users": 4,
+    "num_gestures": 4,
+    "reps": 14,
+    "num_points": 64,
+    "epochs": 16,
+    "augment_copies": 1,
+    # The serialized mode slices training data per gesture; heavier
+    # augmentation of the per-gesture ID sets compensates at this scale.
+    "id_augment_copies": 4,
+}
+
+
+def bench_config(
+    mode: IdentificationMode = IdentificationMode.SERIALIZED,
+    *,
+    augment: bool = True,
+    epochs: int | None = None,
+) -> GesturePrintConfig:
+    return GesturePrintConfig(
+        network=GesIDNetConfig.small(),
+        training=TrainConfig(
+            epochs=epochs or SCALE["epochs"], batch_size=32, learning_rate=3e-3
+        ),
+        id_training=TrainConfig(
+            epochs=2 * (epochs or SCALE["epochs"]),
+            batch_size=24,
+            learning_rate=2e-3,
+            lr_step=14,
+        ),
+        mode=mode,
+        augment=augment,
+        augment_copies=SCALE["augment_copies"],
+        id_augment_copies=SCALE["id_augment_copies"],
+    )
+
+
+def fit_and_evaluate(dataset, *, mode=IdentificationMode.SERIALIZED, seed=0,
+                     augment=True, test_fraction=0.2, epochs=None):
+    """8:2 split, train GesturePrint, return the paper's metric dict."""
+    train, test = train_test_split(dataset.num_samples, test_fraction, seed=seed)
+    system = GesturePrint(bench_config(mode, augment=augment, epochs=epochs)).fit(
+        dataset.inputs[train], dataset.gesture_labels[train], dataset.user_labels[train]
+    )
+    metrics = system.evaluate(
+        dataset.inputs[test], dataset.gesture_labels[test], dataset.user_labels[test]
+    )
+    return system, metrics, (train, test)
+
+
+def emit(name: str, lines: list[str]) -> None:
+    """Print a result table and persist it under benchmarks/results/."""
+    text = "\n".join(lines)
+    print("\n" + text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def emit_figure(name: str, canvas) -> None:
+    """Persist a rendered SVG figure next to the result tables."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    canvas.save(RESULTS_DIR / f"{name}.svg")
+
+
+def format_row(cells, widths) -> str:
+    return "  ".join(str(c).ljust(w) for c, w in zip(cells, widths))
+
+
+@functools.lru_cache(maxsize=None)
+def cached_selfcollected(environments=("office",), reps=None, seed=11):
+    from repro.datasets import build_selfcollected
+
+    return build_selfcollected(
+        num_users=SCALE["num_users"],
+        num_gestures=SCALE["num_gestures"],
+        reps=reps or SCALE["reps"],
+        environments=environments,
+        num_points=SCALE["num_points"],
+        seed=seed,
+    )
+
+
+@functools.lru_cache(maxsize=None)
+def cached_mtranssee(distances=(1.2,), reps=None, num_users=None, seed=41):
+    from repro.datasets import build_mtranssee
+
+    return build_mtranssee(
+        num_users=num_users or SCALE["num_users"] + 2,
+        num_gestures=SCALE["num_gestures"],
+        reps=reps or SCALE["reps"],
+        distances_m=distances,
+        num_points=SCALE["num_points"],
+        seed=seed,
+    )
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+
+def rng(seed: int) -> np.random.Generator:
+    return np.random.default_rng(seed)

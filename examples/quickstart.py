@@ -1,0 +1,71 @@
+"""Quickstart: train GesturePrint on a small simulated ASL dataset.
+
+Renders a scaled-down version of the paper's self-collected dataset
+(simulated participants + simulated IWR6843 radar), trains the gesture
+recognition model and the per-gesture user-identification models, and
+prints the seven evaluation metrics the paper reports.
+
+Run:  python examples/quickstart.py
+"""
+
+import time
+
+from repro import (
+    GesturePrint,
+    GesturePrintConfig,
+    TrainConfig,
+    build_selfcollected,
+    train_test_split,
+)
+
+
+def main() -> None:
+    print("Rendering simulated dataset (4 users x 4 ASL gestures x 12 reps)...")
+    t0 = time.time()
+    dataset = build_selfcollected(
+        num_users=4,
+        num_gestures=4,
+        reps=12,
+        environments=("office",),
+        num_points=64,
+        seed=42,
+    )
+    print(f"  {dataset.num_samples} samples in {time.time() - t0:.1f}s")
+    print(f"  gestures: {dataset.gesture_names}")
+
+    train_idx, test_idx = train_test_split(dataset.num_samples, 0.2, seed=0)
+    config = GesturePrintConfig.small(
+        training=TrainConfig(epochs=25, batch_size=32, learning_rate=3e-3),
+        augment_copies=3,
+    )
+    print("Training GesturePrint (1 gesture model + 4 user-ID models)...")
+    t0 = time.time()
+    system = GesturePrint(config).fit(
+        dataset.inputs[train_idx],
+        dataset.gesture_labels[train_idx],
+        dataset.user_labels[train_idx],
+    )
+    print(f"  trained in {time.time() - t0:.0f}s")
+
+    metrics = system.evaluate(
+        dataset.inputs[test_idx],
+        dataset.gesture_labels[test_idx],
+        dataset.user_labels[test_idx],
+    )
+    print("\nHeld-out metrics (paper, full scale: GRA 98.2%, UIA 99.3% in the office):")
+    for key in ("GRA", "GRF1", "GRAUC", "UIA", "UIF1", "UIAUC", "EER"):
+        print(f"  {key:6s} = {metrics[key]:.4f}")
+
+    result = system.predict(dataset.inputs[test_idx][:5])
+    print("\nFirst five test samples:")
+    for i in range(5):
+        true_g = dataset.gesture_names[dataset.gesture_labels[test_idx][i]]
+        pred_g = dataset.gesture_names[result.gesture_pred[i]]
+        print(
+            f"  sample {i}: gesture {pred_g!r} (true {true_g!r}), "
+            f"user #{result.user_pred[i]} (true #{dataset.user_labels[test_idx][i]})"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,100 @@
+"""Smart-home control: per-user personalised gesture meanings (paper Fig. 1).
+
+The motivating application of the paper: the same physical gesture can
+mean different things for different users.  This example trains a
+GesturePrint system, then simulates a live smart-home session in which
+two residents perform gestures in front of the radar; the controller
+recognises each gesture, identifies who performed it, and dispatches
+that user's personalised action.
+
+Run:  python examples/smart_home_control.py
+"""
+
+import numpy as np
+
+from repro import (
+    ASL_GESTURES,
+    ENVIRONMENTS,
+    FastRadar,
+    GesturePrint,
+    GesturePrintConfig,
+    IWR6843_CONFIG,
+    TrainConfig,
+    build_selfcollected,
+    generate_users,
+    perform_gesture,
+    preprocess_recording,
+)
+from repro.core import ActionMapper
+from repro.preprocessing.pipeline import normalize_cloud
+
+GESTURES = ["ahead", "away", "front"]
+
+
+def build_action_mapper() -> ActionMapper:
+    """Personalised meaning of each gesture, per user (Fig. 1b)."""
+    mapper = ActionMapper(guest_action="ignore (unknown person)")
+    # Household defaults (gesture indices follow GESTURES order).
+    mapper.bind_default(0, "play the shared playlist")
+    mapper.bind_default(1, "open the curtain")
+    mapper.bind_default(2, "lights 50%")
+    # Resident 0 and 1 personalise the same gestures differently.
+    mapper.bind_user(0, 0, "play my jazz playlist")
+    mapper.bind_user(1, 0, "play my rock playlist")
+    mapper.bind_user(1, 1, "AC +1 degree")
+    mapper.bind_user(1, 2, "lights off")
+    return mapper
+
+
+def main() -> None:
+    print("Training the controller on enrolment data from 2 residents...")
+    dataset = build_selfcollected(
+        num_users=2,
+        gestures=tuple(GESTURES),
+        reps=14,
+        environments=("home",),
+        num_points=64,
+        seed=7,
+    )
+    config = GesturePrintConfig.small(
+        training=TrainConfig(epochs=25, batch_size=24, learning_rate=3e-3),
+        augment_copies=3,
+    )
+    system = GesturePrint(config).fit(
+        dataset.inputs, dataset.gesture_labels, dataset.user_labels
+    )
+
+    print("Controller online. Simulating a live evening at home...\n")
+    mapper = build_action_mapper()
+    users = generate_users(2, seed=7)  # same seed => same residents as enrolment
+    radar = FastRadar(IWR6843_CONFIG, seed=99)
+    rng = np.random.default_rng(123)
+    session = [(0, "ahead"), (1, "ahead"), (0, "away"), (1, "front"), (1, "away"), (0, "front")]
+
+    correct = 0
+    for who, gesture_name in session:
+        recording = perform_gesture(
+            users[who], ASL_GESTURES[gesture_name], radar, ENVIRONMENTS["home"], rng=rng
+        )
+        cloud = preprocess_recording(recording)
+        if cloud is None:
+            print(f"  [missed] no usable cloud for {gesture_name!r}")
+            continue
+        sample = normalize_cloud(cloud, 64, rng)[None, ...]
+        result = system.predict(sample)
+        pred_gesture = dataset.gesture_names[result.gesture_pred[0]]
+        pred_user = int(result.user_pred[0])
+        dispatch = mapper.dispatch(pred_user, int(result.gesture_pred[0]))
+        ok = pred_gesture == gesture_name and pred_user == who
+        correct += ok
+        tag = "ok " if ok else "MIS"
+        print(
+            f"  [{tag}] resident {who} performed {gesture_name!r:8s} -> "
+            f"recognised {pred_gesture!r:8s} by user #{pred_user} -> "
+            f"{dispatch.action} [{dispatch.source}]"
+        )
+    print(f"\n{correct}/{len(session)} events dispatched to the right personalised action.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Setup shim: this offline environment lacks the `wheel` package, so the
+PEP 660 editable-install path is unavailable; the legacy setup.py path
+used by `pip install -e .` works without it."""
+
+from setuptools import setup
+
+setup()

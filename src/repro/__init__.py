@@ -1,0 +1,102 @@
+"""GesturePrint reproduction: mmWave gesture recognition + user identification.
+
+Reproduction of *GesturePrint: Enabling User Identification for
+mmWave-Based Gesture Recognition Systems* (Xu et al., ICDCS 2024) as a
+self-contained Python library.  The radar, the participants, and the
+public datasets are simulated (see DESIGN.md for the substitution map);
+everything downstream of the antenna — signal processing, segmentation,
+noise canceling, GesIDNet, and the evaluation harness — is implemented
+in full.
+
+Quickstart
+----------
+>>> from repro import (build_selfcollected, GesturePrint,
+...                    GesturePrintConfig, train_test_split)
+>>> ds = build_selfcollected(num_users=5, num_gestures=5, reps=10,
+...                          environments=("office",), num_points=64)
+>>> train, test = train_test_split(ds.num_samples, 0.2, seed=0)
+>>> system = GesturePrint(GesturePrintConfig.small()).fit(
+...     ds.inputs[train], ds.gesture_labels[train], ds.user_labels[train])
+>>> metrics = system.evaluate(
+...     ds.inputs[test], ds.gesture_labels[test], ds.user_labels[test])
+>>> sorted(metrics)
+['EER', 'GRA', 'GRAUC', 'GRF1', 'UIA', 'UIAUC', 'UIF1']
+"""
+
+from repro.core import (
+    GesIDNet,
+    GesIDNetConfig,
+    GesturePrint,
+    GesturePrintConfig,
+    GesturePrintRuntime,
+    IdentificationMode,
+    MultiUserRuntime,
+    SessionIdentifier,
+    TrainConfig,
+    cross_validate,
+    enroll_user,
+    identify_session,
+    train_classifier,
+)
+from repro.core.trainer import kfold_indices, predict_proba, train_test_split
+from repro.datasets import (
+    GestureDataset,
+    build_mhomeges,
+    build_mtranssee,
+    build_pantomime,
+    build_selfcollected,
+    load_dataset,
+    save_dataset,
+)
+from repro.gestures import (
+    ASL_GESTURES,
+    ENVIRONMENTS,
+    GestureTemplate,
+    UserProfile,
+    generate_users,
+    perform_gesture,
+)
+from repro.preprocessing import GestureSegmenter, keep_main_cluster, preprocess_recording
+from repro.radar import FastRadar, IWR6843_CONFIG, RadarConfig, SignalLevelRadar
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "GesIDNet",
+    "GesIDNetConfig",
+    "GesturePrint",
+    "GesturePrintConfig",
+    "IdentificationMode",
+    "TrainConfig",
+    "train_classifier",
+    "GesturePrintRuntime",
+    "MultiUserRuntime",
+    "SessionIdentifier",
+    "cross_validate",
+    "enroll_user",
+    "identify_session",
+    "kfold_indices",
+    "predict_proba",
+    "train_test_split",
+    "GestureDataset",
+    "build_mhomeges",
+    "build_mtranssee",
+    "build_pantomime",
+    "build_selfcollected",
+    "load_dataset",
+    "save_dataset",
+    "ASL_GESTURES",
+    "ENVIRONMENTS",
+    "GestureTemplate",
+    "UserProfile",
+    "generate_users",
+    "perform_gesture",
+    "GestureSegmenter",
+    "keep_main_cluster",
+    "preprocess_recording",
+    "FastRadar",
+    "IWR6843_CONFIG",
+    "RadarConfig",
+    "SignalLevelRadar",
+    "__version__",
+]

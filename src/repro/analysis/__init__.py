@@ -1,0 +1,6 @@
+"""Analysis utilities: t-SNE embedding (Fig. 6) and stage timing (SVI-B5)."""
+
+from repro.analysis.tsne import tsne
+from repro.analysis.timing import StageTimer, TimingReport, profile_pipeline
+
+__all__ = ["tsne", "StageTimer", "TimingReport", "profile_pipeline"]

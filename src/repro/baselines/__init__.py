@@ -1,0 +1,40 @@
+"""State-of-the-art comparator reimplementations (Tab. II baselines).
+
+The paper compares gesture-recognition accuracy against four published
+systems.  Each is reimplemented here at laptop scale on the same numpy
+substrate, faithful to its published architecture family:
+
+* :class:`PanArch` (Pantomime) — PointNet++ set abstraction over
+  temporal slices of the cloud followed by a recurrent aggregator
+  (:class:`PanArchLSTM` swaps the Elman recurrence for the paper's
+  LSTM; the pair doubles as a recurrence ablation).
+* :class:`Tesla` (Tesla-Rapture) — temporal k-NN graph convolution
+  (EdgeConv over a space-time neighbourhood) with global max pooling.
+* :class:`MGesNet` (mHomeGes) — a compact CNN over the concentrated
+  position-Doppler profile (CPDP).
+* :class:`MSeeNet` (mTransSee) — a deeper CNN over the same profile
+  with two convolution stages.
+
+These methods are *not* designed for user identification (SVI-A2), so
+the harness compares them on gesture recognition only.
+
+All baselines expose the same dual-head ``forward`` contract as
+GesIDNet (auxiliary head disabled via ``config.aux_weight == 0``), so
+:func:`repro.core.trainer.train_classifier` trains them unchanged.
+"""
+
+from repro.baselines.common import BaselineConfig, SingleHeadModel
+from repro.baselines.panarch import PanArch, PanArchLSTM
+from repro.baselines.tesla import Tesla
+from repro.baselines.profile_cnn import MGesNet, MSeeNet, position_doppler_profile
+
+__all__ = [
+    "BaselineConfig",
+    "SingleHeadModel",
+    "PanArch",
+    "PanArchLSTM",
+    "Tesla",
+    "MGesNet",
+    "MSeeNet",
+    "position_doppler_profile",
+]

@@ -1,0 +1,46 @@
+"""Shared scaffolding for single-head baseline models."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nn.module import Module
+
+
+@dataclass(frozen=True)
+class BaselineConfig:
+    """Minimal config contract consumed by the shared trainer.
+
+    ``aux_weight = 0`` disables the auxiliary loss path for models
+    without a second head.
+    """
+
+    aux_weight: float = 0.0
+
+
+class SingleHeadModel(Module):
+    """Adapter giving single-head models GesIDNet's dual-head contract.
+
+    ``forward`` returns ``(logits, logits)``; the trainer's auxiliary
+    gradient arrives scaled by ``aux_weight == 0`` and is ignored.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.config = BaselineConfig()
+
+    def forward_single(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward_single(self, grad_logits: np.ndarray) -> None:
+        raise NotImplementedError
+
+    def forward(self, x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        logits = self.forward_single(x)
+        return logits, logits
+
+    def backward(self, grad_primary: np.ndarray, grad_auxiliary: np.ndarray) -> None:
+        del grad_auxiliary  # aux_weight is 0; the trainer pre-scales it
+        self.backward_single(grad_primary)

@@ -1,0 +1,173 @@
+"""PanArch: the Pantomime network (PointNet++ + LSTM), laptop-scale.
+
+Pantomime encodes each temporal slice of the gesture with a PointNet
+encoder and aggregates slice features with a recurrent network.  This
+reimplementation splits the aggregated cloud into ``num_slices`` phase
+bins (the per-point phase channel recovers the frame ordering), encodes
+every bin with one shared PointNet (shared MLP + max pool), and
+aggregates with an Elman RNN trained by backpropagation through time —
+the same architecture family at a size that trains on a laptop CPU.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.common import SingleHeadModel
+from repro.nn.conv import MaxPoolPoints, SharedMLP
+from repro.nn.layers import Linear, ReLU
+from repro.nn.module import Parameter, Sequential
+from repro.nn.recurrent import LSTM
+
+PHASE_CHANNEL = 5
+
+
+class PanArch(SingleHeadModel):
+    """PointNet-per-slice + RNN gesture classifier."""
+
+    def __init__(
+        self,
+        num_classes: int,
+        *,
+        num_slices: int = 4,
+        points_per_slice: int = 24,
+        encoder_channels: tuple[int, ...] = (32, 48),
+        hidden_dim: int = 48,
+        in_channels: int = 8,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.num_slices = num_slices
+        self.points_per_slice = points_per_slice
+        self.in_channels = in_channels
+        self.encoder = SharedMLP([in_channels, *encoder_channels], rng=rng)
+        self.pool = MaxPoolPoints()
+        feat_dim = encoder_channels[-1]
+        self.hidden_dim = hidden_dim
+        bound_w = np.sqrt(6.0 / feat_dim)
+        bound_u = np.sqrt(6.0 / hidden_dim)
+        self.w_in = Parameter(rng.uniform(-bound_w, bound_w, size=(hidden_dim, feat_dim)))
+        self.w_rec = Parameter(rng.uniform(-bound_u, bound_u, size=(hidden_dim, hidden_dim)))
+        self.b_rec = Parameter(np.zeros(hidden_dim))
+        self.head = Sequential(Linear(hidden_dim, hidden_dim, rng=rng), ReLU(), Linear(hidden_dim, num_classes, rng=rng))
+        self._cache: dict | None = None
+
+    def _slice_points(self, x: np.ndarray) -> np.ndarray:
+        """Resample each phase bin to a fixed size: (batch, T, C, K)."""
+        batch = x.shape[0]
+        sliced = np.zeros((batch, self.num_slices, self.in_channels, self.points_per_slice))
+        phases = x[:, :, PHASE_CHANNEL]
+        for b in range(batch):
+            for t in range(self.num_slices):
+                low = t / self.num_slices
+                high = (t + 1) / self.num_slices
+                mask = (phases[b] >= low) & (
+                    phases[b] < high if t < self.num_slices - 1 else phases[b] <= high
+                )
+                idx = np.flatnonzero(mask)
+                if idx.size == 0:
+                    # Empty slice: borrow the nearest points in phase.
+                    idx = np.argsort(np.abs(phases[b] - (low + high) / 2))[:4]
+                take = np.resize(idx, self.points_per_slice)
+                sliced[b, t] = x[b, take, : self.in_channels].T
+        return sliced
+
+    def forward_single(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        sliced = self._slice_points(x)  # (B, T, C, K)
+        batch = x.shape[0]
+        stacked = sliced.reshape(batch * self.num_slices, self.in_channels, self.points_per_slice)
+        encoded = self.pool(self.encoder(stacked))  # (B*T, D)
+        features = encoded.reshape(batch, self.num_slices, -1)
+
+        hidden = np.zeros((batch, self.hidden_dim))
+        states = [hidden]
+        preacts = []
+        for t in range(self.num_slices):
+            pre = features[:, t] @ self.w_in.data.T + hidden @ self.w_rec.data.T + self.b_rec.data
+            hidden = np.tanh(pre)
+            preacts.append(pre)
+            states.append(hidden)
+        self._cache = {"features": features, "states": states, "batch": batch}
+        return self.head(states[-1])
+
+    def backward_single(self, grad_logits: np.ndarray) -> None:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        features = self._cache["features"]
+        states = self._cache["states"]
+        batch = self._cache["batch"]
+        grad_hidden = self.head.backward(grad_logits)
+        grad_features = np.zeros_like(features)
+        for t in reversed(range(self.num_slices)):
+            grad_pre = grad_hidden * (1.0 - states[t + 1] ** 2)
+            self.w_in.grad += grad_pre.T @ features[:, t]
+            self.w_rec.grad += grad_pre.T @ states[t]
+            self.b_rec.grad += grad_pre.sum(axis=0)
+            grad_features[:, t] = grad_pre @ self.w_in.data
+            grad_hidden = grad_pre @ self.w_rec.data
+        grad_encoded = grad_features.reshape(batch * self.num_slices, -1)
+        self.encoder.backward(self.pool.backward(grad_encoded))
+
+
+class PanArchLSTM(PanArch):
+    """PointNet-per-slice + LSTM: the literal Pantomime aggregator.
+
+    Pantomime's published architecture aggregates slice features with an
+    LSTM rather than an Elman RNN.  This variant swaps the recurrence;
+    everything else (slicing, shared PointNet encoder, FC head) is
+    inherited from :class:`PanArch`, so the two make a clean recurrence
+    ablation pair.
+    """
+
+    def __init__(
+        self,
+        num_classes: int,
+        *,
+        num_slices: int = 4,
+        points_per_slice: int = 24,
+        encoder_channels: tuple[int, ...] = (32, 48),
+        hidden_dim: int = 48,
+        in_channels: int = 8,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        rng = rng or np.random.default_rng()
+        super().__init__(
+            num_classes,
+            num_slices=num_slices,
+            points_per_slice=points_per_slice,
+            encoder_channels=encoder_channels,
+            hidden_dim=hidden_dim,
+            in_channels=in_channels,
+            rng=rng,
+        )
+        # Replace the Elman recurrence with an LSTM.  The Elman
+        # parameters stay zero-gradient and unused; dropping them keeps
+        # named_parameters stable for serialization.
+        del self.w_in, self.w_rec, self.b_rec
+        self.lstm = LSTM(encoder_channels[-1], hidden_dim, rng=rng)
+
+    def forward_single(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        sliced = self._slice_points(x)  # (B, T, C, K)
+        batch = x.shape[0]
+        stacked = sliced.reshape(
+            batch * self.num_slices, self.in_channels, self.points_per_slice
+        )
+        encoded = self.pool(self.encoder(stacked))  # (B*T, D)
+        features = encoded.reshape(batch, self.num_slices, -1)
+        hiddens = self.lstm(features)
+        self._cache = {"batch": batch, "hidden_shape": hiddens.shape}
+        return self.head(hiddens[:, -1])
+
+    def backward_single(self, grad_logits: np.ndarray) -> None:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        batch = self._cache["batch"]
+        grad_last = self.head.backward(grad_logits)
+        grad_hiddens = np.zeros(self._cache["hidden_shape"])
+        grad_hiddens[:, -1] = grad_last
+        grad_features = self.lstm.backward(grad_hiddens)
+        grad_encoded = grad_features.reshape(batch * self.num_slices, -1)
+        self.encoder.backward(self.pool.backward(grad_encoded))

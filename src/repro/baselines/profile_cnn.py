@@ -1,0 +1,111 @@
+"""CNN baselines over concentrated position-Doppler profiles.
+
+mHomeGes and mTransSee convert point clouds into a concentrated
+position-Doppler profile (CPDP) "to emphasize the positional
+relationship and speed differences among points" and classify it with
+compact CNNs.  :func:`position_doppler_profile` builds a two-channel
+image — a (doppler x range) histogram and an (elevation x lateral)
+histogram — and :class:`MGesNet` / :class:`MSeeNet` are the compact and
+deeper CNN variants.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.common import SingleHeadModel
+from repro.nn.conv2d import Conv2d, Flatten, MaxPool2d
+from repro.nn.layers import Linear, ReLU
+from repro.nn.module import Sequential
+
+PROFILE_BINS = 16
+_DOPPLER_RANGE = (-2.7, 2.7)
+_Y_RANGE = (0.2, 5.0)
+_X_RANGE = (-1.0, 1.0)
+_Z_RANGE = (-1.2, 0.8)
+
+
+def _hist2d(a: np.ndarray, b: np.ndarray, a_range, b_range, bins: int) -> np.ndarray:
+    a_idx = np.clip(
+        ((a - a_range[0]) / (a_range[1] - a_range[0]) * bins).astype(np.int64), 0, bins - 1
+    )
+    b_idx = np.clip(
+        ((b - b_range[0]) / (b_range[1] - b_range[0]) * bins).astype(np.int64), 0, bins - 1
+    )
+    grid = np.zeros((bins, bins))
+    np.add.at(grid, (a_idx, b_idx), 1.0)
+    return grid
+
+
+def position_doppler_profile(points: np.ndarray, bins: int = PROFILE_BINS) -> np.ndarray:
+    """Convert ``(batch, n, >=5)`` point arrays into CPDP images.
+
+    Returns ``(batch, 2, bins, bins)``: channel 0 is the
+    doppler-vs-range histogram, channel 1 the height-vs-lateral
+    histogram; both are normalised by the point count.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    batch = points.shape[0]
+    out = np.zeros((batch, 2, bins, bins))
+    for b in range(batch):
+        sample = points[b]
+        out[b, 0] = _hist2d(sample[:, 3], sample[:, 1], _DOPPLER_RANGE, _Y_RANGE, bins)
+        out[b, 1] = _hist2d(sample[:, 2], sample[:, 0], _Z_RANGE, _X_RANGE, bins)
+    return out / points.shape[1]
+
+
+class _ProfileCNN(SingleHeadModel):
+    """Shared scaffolding: CPDP transform + a CNN stack + FC head."""
+
+    def __init__(self, stack: Sequential) -> None:
+        super().__init__()
+        self.stack = stack
+
+    def forward_single(self, x: np.ndarray) -> np.ndarray:
+        profile = position_doppler_profile(np.asarray(x, dtype=np.float64))
+        return self.stack(profile)
+
+    def backward_single(self, grad_logits: np.ndarray) -> None:
+        self.stack.backward(grad_logits)
+
+
+class MGesNet(_ProfileCNN):
+    """Compact CPDP CNN (mHomeGes)."""
+
+    def __init__(self, num_classes: int, *, rng: np.random.Generator | None = None) -> None:
+        rng = rng or np.random.default_rng()
+        # 16x16 -> conv3 -> 14x14 -> pool -> 7x7 -> conv3 -> 5x5
+        stack = Sequential(
+            Conv2d(2, 8, 3, rng=rng),
+            ReLU(),
+            MaxPool2d(2),
+            Conv2d(8, 16, 3, rng=rng),
+            ReLU(),
+            Flatten(),
+            Linear(16 * 5 * 5, 64, rng=rng),
+            ReLU(),
+            Linear(64, num_classes, rng=rng),
+        )
+        super().__init__(stack)
+
+
+class MSeeNet(_ProfileCNN):
+    """Deeper CPDP CNN (mTransSee)."""
+
+    def __init__(self, num_classes: int, *, rng: np.random.Generator | None = None) -> None:
+        rng = rng or np.random.default_rng()
+        # 16x16 -> conv3 -> 14 -> conv3 -> 12 -> pool -> 6 -> conv3 -> 4
+        stack = Sequential(
+            Conv2d(2, 8, 3, rng=rng),
+            ReLU(),
+            Conv2d(8, 16, 3, rng=rng),
+            ReLU(),
+            MaxPool2d(2),
+            Conv2d(16, 24, 3, rng=rng),
+            ReLU(),
+            Flatten(),
+            Linear(24 * 4 * 4, 96, rng=rng),
+            ReLU(),
+            Linear(96, num_classes, rng=rng),
+        )
+        super().__init__(stack)

@@ -1,0 +1,250 @@
+"""Command-line interface for the GesturePrint reproduction.
+
+Subcommands::
+
+    python -m repro.cli info                         # radar + library info
+    python -m repro.cli render  --out data.npz ...   # render a dataset
+    python -m repro.cli train   --data data.npz --model-dir model/
+    python -m repro.cli evaluate --data data.npz --model-dir model/
+    python -m repro.cli demo    --model-dir model/   # stream a live gesture
+    python -m repro.cli session --data data.npz --model-dir model/
+                                                     # multi-gesture identification
+
+Datasets are exchanged as ``.npz`` archives with the arrays of
+:class:`repro.datasets.GestureDataset`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+import numpy as np
+
+from repro.core import (
+    GesturePrint,
+    GesturePrintConfig,
+    GesturePrintRuntime,
+    IdentificationMode,
+    TrainConfig,
+    WorkZone,
+    ZoneAdvisory,
+    identify_session,
+    load_system,
+    save_system,
+)
+from repro.core.gesidnet import GesIDNetConfig
+from repro.core.trainer import train_test_split
+from repro.datasets import load_dataset, save_dataset
+from repro.radar.config import IWR6843_CONFIG
+
+DATASET_BUILDERS = {
+    "selfcollected": "build_selfcollected",
+    "pantomime": "build_pantomime",
+    "mhomeges": "build_mhomeges",
+    "mtranssee": "build_mtranssee",
+}
+
+
+def _cmd_info(_args: argparse.Namespace) -> int:
+    import repro
+
+    config = IWR6843_CONFIG
+    print(f"repro {repro.__version__} — GesturePrint reproduction (ICDCS 2024)")
+    print(f"radar: {config.start_frequency_hz/1e9:.0f} GHz band, "
+          f"{config.num_tx}x{config.num_rx} antennas, {config.frame_rate_hz:.0f} fps")
+    print(f"range: {config.range_resolution_m:.3f} m resolution, "
+          f"{config.max_range_m:.1f} m max")
+    print(f"velocity: +/-{config.max_velocity_ms:.2f} m/s, "
+          f"{config.velocity_resolution_ms:.2f} m/s resolution")
+    print(f"datasets: {', '.join(DATASET_BUILDERS)}")
+    return 0
+
+
+def _cmd_render(args: argparse.Namespace) -> int:
+    import repro.datasets as datasets_module
+
+    builder = getattr(datasets_module, DATASET_BUILDERS[args.dataset])
+    dataset = builder(
+        num_users=args.users,
+        num_gestures=args.gestures,
+        reps=args.reps,
+        num_points=args.points,
+        seed=args.seed,
+    )
+    save_dataset(dataset, args.out)
+    print(f"rendered {dataset.num_samples} samples "
+          f"({args.users} users x {args.gestures} gestures) -> {args.out}")
+    return 0
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    dataset = load_dataset(args.data)
+    train_idx, test_idx = train_test_split(dataset.num_samples, args.test_fraction,
+                                           seed=args.seed)
+    config = GesturePrintConfig(
+        network=GesIDNetConfig.small() if args.small else GesIDNetConfig(),
+        training=TrainConfig(epochs=args.epochs, batch_size=args.batch_size,
+                             learning_rate=args.learning_rate, seed=args.seed),
+        mode=IdentificationMode(args.mode),
+        augment_copies=args.augment_copies,
+    )
+    system = GesturePrint(config).fit(
+        dataset.inputs[train_idx],
+        dataset.gesture_labels[train_idx],
+        dataset.user_labels[train_idx],
+    )
+    save_system(system, args.model_dir)
+    metrics = system.evaluate(
+        dataset.inputs[test_idx],
+        dataset.gesture_labels[test_idx],
+        dataset.user_labels[test_idx],
+    )
+    print(json.dumps({k: round(v, 4) for k, v in metrics.items()}, indent=2))
+    print(f"saved model to {args.model_dir}")
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    dataset = load_dataset(args.data)
+    system = load_system(args.model_dir)
+    metrics = system.evaluate(
+        dataset.inputs, dataset.gesture_labels, dataset.user_labels
+    )
+    print(json.dumps({k: round(v, 4) for k, v in metrics.items()}, indent=2))
+    return 0
+
+
+def _cmd_session(args: argparse.Namespace) -> int:
+    dataset = load_dataset(args.data)
+    system = load_system(args.model_dir)
+    rng = np.random.default_rng(args.seed)
+    user = args.user
+    idx = np.flatnonzero(dataset.user_labels == user)
+    if idx.size < args.gestures:
+        print(f"user {user} has only {idx.size} samples; need {args.gestures}")
+        return 1
+    chosen = rng.choice(idx, size=args.gestures, replace=False)
+    estimate = identify_session(system, dataset.inputs[chosen])
+    print(json.dumps(
+        {
+            "true_user": int(user),
+            "identified_user": estimate.user,
+            "confidence": round(estimate.confidence, 4),
+            "gestures_fused": estimate.num_gestures,
+        },
+        indent=2,
+    ))
+    return 0 if estimate.user == user else 1
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from repro.gestures import ASL_GESTURES, ENVIRONMENTS, generate_users, perform_gesture
+    from repro.radar import FastRadar
+
+    system = load_system(args.model_dir)
+    zone = WorkZone() if args.work_zone else None
+    runtime = GesturePrintRuntime(system, seed=args.seed, work_zone=zone)
+    users = generate_users(max(args.user + 1, 1), seed=args.user_seed)
+    radar = FastRadar(IWR6843_CONFIG, seed=args.seed)
+    template = ASL_GESTURES[args.gesture]
+    recording = perform_gesture(
+        users[args.user], template, radar, ENVIRONMENTS[args.environment],
+        distance_m=args.distance,
+        rng=np.random.default_rng(args.seed),
+    )
+    events = []
+    for frame in recording.frames:
+        event = runtime.push_frame(frame)
+        if event:
+            events.append(event)
+        if args.work_zone and runtime.zone_advisory is not ZoneAdvisory.IN_ZONE:
+            advisory = runtime.zone_advisory
+            if advisory is not ZoneAdvisory.NO_PRESENCE:
+                print(f"advisory: {advisory.value}")
+    tail = runtime.flush()
+    if tail:
+        events.append(tail)
+    if not events:
+        print("no gesture detected in the stream")
+        return 1
+    for event in events:
+        print(
+            f"frames [{event.start_frame}, {event.end_frame}): "
+            f"gesture #{event.gesture} (p={event.gesture_confidence:.2f}), "
+            f"user #{event.user} (p={event.user_confidence:.2f}), "
+            f"{event.num_points} points"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="print radar/library configuration")
+
+    render = sub.add_parser("render", help="render a synthetic dataset to .npz")
+    render.add_argument("--dataset", choices=sorted(DATASET_BUILDERS), default="selfcollected")
+    render.add_argument("--out", required=True)
+    render.add_argument("--users", type=int, default=4)
+    render.add_argument("--gestures", type=int, default=4)
+    render.add_argument("--reps", type=int, default=10)
+    render.add_argument("--points", type=int, default=64)
+    render.add_argument("--seed", type=int, default=0)
+
+    train = sub.add_parser("train", help="train GesturePrint on a rendered dataset")
+    train.add_argument("--data", required=True)
+    train.add_argument("--model-dir", required=True)
+    train.add_argument("--mode", choices=["serialized", "parallel"], default="serialized")
+    train.add_argument("--epochs", type=int, default=20)
+    train.add_argument("--batch-size", type=int, default=32)
+    train.add_argument("--learning-rate", type=float, default=3e-3)
+    train.add_argument("--augment-copies", type=int, default=2)
+    train.add_argument("--test-fraction", type=float, default=0.2)
+    train.add_argument("--small", action="store_true", default=True,
+                       help="use the laptop-scale network (default)")
+    train.add_argument("--seed", type=int, default=0)
+
+    evaluate = sub.add_parser("evaluate", help="evaluate a saved model on a dataset")
+    evaluate.add_argument("--data", required=True)
+    evaluate.add_argument("--model-dir", required=True)
+
+    demo = sub.add_parser("demo", help="stream one simulated gesture through a saved model")
+    demo.add_argument("--model-dir", required=True)
+    demo.add_argument("--gesture", default="push")
+    demo.add_argument("--environment", default="office")
+    demo.add_argument("--user", type=int, default=0)
+    demo.add_argument("--user-seed", type=int, default=11)
+    demo.add_argument("--distance", type=float, default=1.2)
+    demo.add_argument("--work-zone", action="store_true",
+                      help="print step-closer advisories (SVI-B2)")
+    demo.add_argument("--seed", type=int, default=0)
+
+    session = sub.add_parser(
+        "session", help="identify one user from several fused gestures"
+    )
+    session.add_argument("--data", required=True)
+    session.add_argument("--model-dir", required=True)
+    session.add_argument("--user", type=int, default=0)
+    session.add_argument("--gestures", type=int, default=3)
+    session.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "info": _cmd_info,
+        "render": _cmd_render,
+        "train": _cmd_train,
+        "evaluate": _cmd_evaluate,
+        "demo": _cmd_demo,
+        "session": _cmd_session,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,81 @@
+"""The paper's primary contribution: GesIDNet and the GesturePrint system.
+
+* :class:`GesIDNet` — the point-cloud network with PointNet++-style
+  multi-scale set abstraction and the attention-based multilevel feature
+  fusion of SIV-C, trained with a primary + auxiliary loss.
+* :class:`GesturePrint` — the end-to-end system: preprocessing, a
+  gesture-recognition model, and user-identification models in either
+  serialized (default; per-gesture ID models selected by the recognised
+  gesture) or parallel (one ID model over all gestures) mode.
+"""
+
+from repro.core.gesidnet import AttentionFusion, GesIDNet, GesIDNetConfig
+from repro.core.trainer import TrainConfig, TrainReport, kfold_indices, train_classifier
+from repro.core.pipeline import (
+    GesturePrint,
+    GesturePrintConfig,
+    IdentificationMode,
+    PipelineResult,
+)
+from repro.core.actions import ActionMapper, Dispatch
+from repro.core.adaptation import CoralAligner, CoralConfig, coral_distance
+from repro.core.crossval import CrossValidationReport, MetricSummary, cross_validate
+from repro.core.enrollment import EnrollmentResult, enroll_user
+from repro.core.finetune import FineTuneConfig, fine_tune_model, fine_tune_system
+from repro.core.openset import UNKNOWN_GESTURE, UNKNOWN_USER, Calibration, OpenSetVerifier
+from repro.core.persistence import load_system, save_system
+from repro.core.realtime import GestureEvent, GesturePrintRuntime, classify_frame_span
+from repro.core.session import (
+    SessionEstimate,
+    SessionIdentifier,
+    SessionRuntime,
+    identify_session,
+)
+from repro.core.workzone import DEFAULT_WORK_ZONE, WorkZone, WorkZoneMonitor, ZoneAdvisory
+from repro.core.multiuser import MultiUserRuntime, TrackedGestureEvent
+
+__all__ = [
+    "AttentionFusion",
+    "GesIDNet",
+    "GesIDNetConfig",
+    "TrainConfig",
+    "TrainReport",
+    "kfold_indices",
+    "train_classifier",
+    "GesturePrint",
+    "GesturePrintConfig",
+    "IdentificationMode",
+    "PipelineResult",
+    "ActionMapper",
+    "Dispatch",
+    "CoralAligner",
+    "CoralConfig",
+    "coral_distance",
+    "CrossValidationReport",
+    "MetricSummary",
+    "cross_validate",
+    "EnrollmentResult",
+    "enroll_user",
+    "FineTuneConfig",
+    "fine_tune_model",
+    "fine_tune_system",
+    "UNKNOWN_GESTURE",
+    "UNKNOWN_USER",
+    "Calibration",
+    "OpenSetVerifier",
+    "load_system",
+    "save_system",
+    "GestureEvent",
+    "GesturePrintRuntime",
+    "classify_frame_span",
+    "MultiUserRuntime",
+    "TrackedGestureEvent",
+    "SessionEstimate",
+    "SessionIdentifier",
+    "SessionRuntime",
+    "identify_session",
+    "DEFAULT_WORK_ZONE",
+    "WorkZone",
+    "WorkZoneMonitor",
+    "ZoneAdvisory",
+]

@@ -1,0 +1,100 @@
+"""Per-user gesture semantics: the Fig. 1 personalization layer.
+
+The paper motivates user identification with personalised gesture
+meanings: "the user can personalize the meaning of gestures, e.g.,
+waving one hand from left to right to open/close the curtain or
+decrease/increase the air conditioning temperature" (Fig. 1b).  This
+module supplies that final application layer: a registry mapping
+``(user, gesture)`` to an action, with per-user bindings overriding
+household-wide defaults and explicit handling of unknown users (the
+open-set verifier's rejections).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.openset import UNKNOWN_USER
+
+
+@dataclass(frozen=True)
+class Dispatch:
+    """The outcome of routing one recognised gesture."""
+
+    user: int
+    gesture: int
+    action: str | None
+    #: Where the binding came from: "user", "default", or "unbound".
+    source: str
+
+    @property
+    def handled(self) -> bool:
+        return self.action is not None
+
+
+@dataclass
+class ActionMapper:
+    """Route (user, gesture) pairs to actions with per-user overrides.
+
+    ``guest_action`` is returned for :data:`UNKNOWN_USER` (e.g. a visitor
+    the open-set verifier declined to identify): it lets deployments map
+    every gesture from unknown people to a safe default such as
+    ``"ignore"`` or ``"ring owner"``.
+    """
+
+    defaults: dict[int, str] = field(default_factory=dict)
+    user_bindings: dict[tuple[int, int], str] = field(default_factory=dict)
+    guest_action: str | None = None
+
+    def bind_default(self, gesture: int, action: str) -> "ActionMapper":
+        """Set the household-wide meaning of a gesture."""
+        self._check(gesture)
+        self.defaults[gesture] = action
+        return self
+
+    def bind_user(self, user: int, gesture: int, action: str) -> "ActionMapper":
+        """Give a gesture a personalised meaning for one user."""
+        self._check(gesture)
+        if user < 0:
+            raise ValueError("user must be a non-negative enrolled id")
+        self.user_bindings[(user, gesture)] = action
+        return self
+
+    def unbind_user(self, user: int, gesture: int) -> None:
+        """Remove a personal binding (the default becomes visible again)."""
+        self.user_bindings.pop((user, gesture), None)
+
+    @staticmethod
+    def _check(gesture: int) -> None:
+        if gesture < 0:
+            raise ValueError("gesture must be a non-negative label")
+
+    def dispatch(self, user: int, gesture: int) -> Dispatch:
+        """Resolve the action for one recognised (user, gesture) pair."""
+        if user == UNKNOWN_USER:
+            return Dispatch(
+                user=user,
+                gesture=gesture,
+                action=self.guest_action,
+                source="unbound" if self.guest_action is None else "default",
+            )
+        if (user, gesture) in self.user_bindings:
+            return Dispatch(
+                user=user,
+                gesture=gesture,
+                action=self.user_bindings[(user, gesture)],
+                source="user",
+            )
+        if gesture in self.defaults:
+            return Dispatch(
+                user=user, gesture=gesture, action=self.defaults[gesture], source="default"
+            )
+        return Dispatch(user=user, gesture=gesture, action=None, source="unbound")
+
+    def bindings_for(self, user: int) -> dict[int, str]:
+        """The effective gesture->action table one user sees."""
+        table = dict(self.defaults)
+        for (bound_user, gesture), action in self.user_bindings.items():
+            if bound_user == user:
+                table[gesture] = action
+        return table

@@ -1,0 +1,141 @@
+"""Unsupervised cross-domain alignment (CORAL) for gesture clouds.
+
+SVII-2 of the paper measures a cross-environment accuracy drop and
+proposes fine-tuning with labelled target-domain data as mitigation.
+Fine-tuning needs labels; this module adds the *unsupervised*
+alternative: CORrelation ALignment (CORAL) matches the second-order
+statistics of target-domain point features to the source domain, so a
+model trained in one room can consume clouds captured in another
+without any target labels.
+
+Alignment operates in input space: every point's feature vector is a
+sample, the source statistics are estimated from the training inputs,
+and at inference the target features are whitened with the target
+covariance and re-coloured with the source covariance:
+
+    f' = (f - mu_t) . Sigma_t^{-1/2} . Sigma_s^{1/2} + mu_s
+
+Only the physical channels (xyz, doppler, intensity) are aligned by
+default; the normalised metadata channels (phase, duration, count) are
+domain-invariant by construction and pass through untouched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class CoralConfig:
+    """Which channels to align and how strongly to regularise."""
+
+    channels: tuple[int, ...] = (0, 1, 2, 3, 4)
+    #: Ridge added to both covariances before the matrix square roots;
+    #: keeps the whitening stable when a channel is nearly degenerate.
+    epsilon: float = 1e-4
+
+    def __post_init__(self) -> None:
+        if not self.channels:
+            raise ValueError("channels must not be empty")
+        if len(set(self.channels)) != len(self.channels):
+            raise ValueError("channels must be unique")
+        if self.epsilon <= 0:
+            raise ValueError("epsilon must be positive")
+
+
+def _pooled_features(inputs: np.ndarray, channels: tuple[int, ...]) -> np.ndarray:
+    """Flatten ``(samples, points, channels)`` into one point-feature pool."""
+    inputs = np.asarray(inputs, dtype=np.float64)
+    if inputs.ndim != 3:
+        raise ValueError(f"expected (samples, points, channels), got {inputs.shape}")
+    if max(channels) >= inputs.shape[2]:
+        raise ValueError(
+            f"channel {max(channels)} out of range for {inputs.shape[2]}-channel inputs"
+        )
+    return inputs[:, :, channels].reshape(-1, len(channels))
+
+
+def _matrix_sqrt(matrix: np.ndarray, *, inverse: bool = False) -> np.ndarray:
+    """Symmetric PSD square root (or inverse square root) via eigh."""
+    eigenvalues, eigenvectors = np.linalg.eigh(matrix)
+    eigenvalues = np.maximum(eigenvalues, 0.0)
+    if inverse:
+        roots = 1.0 / np.sqrt(eigenvalues)
+    else:
+        roots = np.sqrt(eigenvalues)
+    return (eigenvectors * roots) @ eigenvectors.T
+
+
+class CoralAligner:
+    """Fit on unlabeled source + target inputs, then transform target data.
+
+    The aligner is direction-specific: it maps *target*-domain inputs
+    into the source domain the classifier was trained on.
+    """
+
+    def __init__(self, config: CoralConfig | None = None) -> None:
+        self.config = config or CoralConfig()
+        self._source_mean: np.ndarray | None = None
+        self._target_mean: np.ndarray | None = None
+        self._alignment: np.ndarray | None = None
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._alignment is not None
+
+    def fit(self, source_inputs: np.ndarray, target_inputs: np.ndarray) -> "CoralAligner":
+        """Estimate both domains' first/second moments and the map between them."""
+        channels = self.config.channels
+        source = _pooled_features(source_inputs, channels)
+        target = _pooled_features(target_inputs, channels)
+        if source.shape[0] < 2 or target.shape[0] < 2:
+            raise ValueError("need at least two points per domain to estimate covariance")
+
+        self._source_mean = source.mean(axis=0)
+        self._target_mean = target.mean(axis=0)
+        ridge = self.config.epsilon * np.eye(len(channels))
+        source_cov = np.cov(source, rowvar=False) + ridge
+        target_cov = np.cov(target, rowvar=False) + ridge
+        self._alignment = _matrix_sqrt(target_cov, inverse=True) @ _matrix_sqrt(source_cov)
+        return self
+
+    def transform(self, inputs: np.ndarray) -> np.ndarray:
+        """Map target-domain inputs into the source domain.
+
+        Non-aligned channels are returned unchanged.
+        """
+        if not self.is_fitted:
+            raise RuntimeError("call fit() before transform()")
+        inputs = np.asarray(inputs, dtype=np.float64)
+        if inputs.ndim != 3:
+            raise ValueError(f"expected (samples, points, channels), got {inputs.shape}")
+        channels = list(self.config.channels)
+        aligned = inputs.copy()
+        features = inputs[:, :, channels] - self._target_mean
+        aligned[:, :, channels] = features @ self._alignment + self._source_mean
+        return aligned
+
+    def fit_transform(
+        self, source_inputs: np.ndarray, target_inputs: np.ndarray
+    ) -> np.ndarray:
+        """Fit on both domains and return the aligned target inputs."""
+        return self.fit(source_inputs, target_inputs).transform(target_inputs)
+
+
+def coral_distance(
+    source_inputs: np.ndarray,
+    target_inputs: np.ndarray,
+    channels: tuple[int, ...] = CoralConfig.channels,
+) -> float:
+    """Squared Frobenius distance between domain covariances.
+
+    The quantity CORAL minimises; useful for diagnosing how far apart
+    two capture conditions are before deciding whether alignment (or
+    full fine-tuning) is warranted.
+    """
+    source = _pooled_features(source_inputs, channels)
+    target = _pooled_features(target_inputs, channels)
+    diff = np.cov(source, rowvar=False) - np.cov(target, rowvar=False)
+    return float(np.sum(diff**2))

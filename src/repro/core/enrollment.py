@@ -1,0 +1,80 @@
+"""Incremental user enrolment: add a person without retraining recognition.
+
+The gesture-recognition model is user-agnostic — it learns gesture
+shapes, not identities — so enrolling a new household member must not
+cost a full retrain.  :func:`enroll_user` keeps the fitted gesture
+model and retrains only the (much smaller) identification models on the
+previous enrolment data plus the newcomer's samples, assigning the next
+free user id.  This is the deployment flow behind Fig. 1: a guest
+becomes a resident by performing each predefined gesture a few times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.pipeline import GesturePrint
+
+
+@dataclass(frozen=True)
+class EnrollmentResult:
+    """What :func:`enroll_user` produced."""
+
+    new_user_id: int
+    num_users: int
+    samples_added: int
+
+
+def enroll_user(
+    system: GesturePrint,
+    enrolled_inputs: np.ndarray,
+    enrolled_gesture_labels: np.ndarray,
+    enrolled_user_labels: np.ndarray,
+    new_inputs: np.ndarray,
+    new_gesture_labels: np.ndarray,
+    *,
+    seed: int | None = None,
+) -> EnrollmentResult:
+    """Add one new user to a fitted system.
+
+    ``enrolled_*`` is the existing enrolment corpus (the data the ID
+    models were trained on); ``new_*`` are the newcomer's gesture
+    samples with gesture labels only — their user id is assigned here.
+    Only the user-identification models retrain; recognition is
+    untouched, so its accuracy for existing users is bit-identical
+    afterwards.
+    """
+    if system.gesture_model is None:
+        raise RuntimeError("the system must be fitted before enrolment")
+    enrolled_inputs = np.asarray(enrolled_inputs, dtype=np.float64)
+    new_inputs = np.asarray(new_inputs, dtype=np.float64)
+    enrolled_gesture_labels = np.asarray(enrolled_gesture_labels, dtype=np.int64).ravel()
+    enrolled_user_labels = np.asarray(enrolled_user_labels, dtype=np.int64).ravel()
+    new_gesture_labels = np.asarray(new_gesture_labels, dtype=np.int64).ravel()
+    if new_inputs.shape[0] == 0:
+        raise ValueError("the new user must provide at least one sample")
+    if new_inputs.shape[0] != new_gesture_labels.size:
+        raise ValueError("new inputs and gesture labels must align")
+    if new_inputs.shape[1:] != enrolled_inputs.shape[1:]:
+        raise ValueError("new samples must match the enrolled feature layout")
+    if new_gesture_labels.max() >= system.num_gestures or new_gesture_labels.min() < 0:
+        raise ValueError("new gesture labels outside the trained vocabulary")
+
+    new_user_id = int(enrolled_user_labels.max()) + 1
+    combined_inputs = np.vstack([enrolled_inputs, new_inputs])
+    combined_gestures = np.concatenate([enrolled_gesture_labels, new_gesture_labels])
+    combined_users = np.concatenate(
+        [enrolled_user_labels, np.full(new_inputs.shape[0], new_user_id, dtype=np.int64)]
+    )
+
+    rng = np.random.default_rng(
+        system.config.seed + 7919 if seed is None else seed
+    )
+    system.fit_user_models(combined_inputs, combined_gestures, combined_users, rng=rng)
+    return EnrollmentResult(
+        new_user_id=new_user_id,
+        num_users=system.num_users,
+        samples_added=int(new_inputs.shape[0]),
+    )

@@ -1,0 +1,139 @@
+"""Cross-domain fine-tuning (SVII-2).
+
+The paper: "The performance decline resulting from cross-environment
+challenges can be mitigated by fine-tuning the models with data
+collected from the target environment."  This module implements that:
+given a trained GesIDNet, re-train only the task heads (and optionally
+the fusion/scoring layers) on a small amount of target-domain data,
+keeping the set-abstraction backbone frozen.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.gesidnet import GesIDNet
+from repro.core.pipeline import GesturePrint, IdentificationMode
+from repro.core.trainer import TrainConfig
+from repro.nn.losses import CrossEntropyLoss
+from repro.nn.optim import Adam
+
+
+@dataclass(frozen=True)
+class FineTuneConfig:
+    """Fine-tuning hyper-parameters (head-only by default)."""
+
+    epochs: int = 10
+    batch_size: int = 16
+    learning_rate: float = 1e-3
+    include_fusion: bool = True
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.epochs <= 0 or self.batch_size <= 0:
+            raise ValueError("epochs and batch_size must be positive")
+        if self.learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+
+
+def head_parameters(model: GesIDNet, *, include_fusion: bool = True):
+    """The parameters re-trained during fine-tuning.
+
+    Heads always; fusion scorers and resizing blocks optionally.  The
+    set-abstraction backbone and level extractors stay frozen.
+    """
+    modules = [model.head1, model.head2]
+    if include_fusion:
+        modules.extend([model.fusion1, model.fusion2, model.resize_2to1, model.resize_1to2])
+    params = []
+    seen: set[int] = set()
+    for module in modules:
+        for param in module.parameters():
+            if id(param) not in seen:
+                seen.add(id(param))
+                params.append(param)
+    return params
+
+
+def fine_tune_model(
+    model: GesIDNet,
+    inputs: np.ndarray,
+    labels: np.ndarray,
+    config: FineTuneConfig | None = None,
+) -> list[float]:
+    """Fine-tune ``model`` heads on target-domain data; returns epoch losses.
+
+    Backpropagation still flows through the whole network (gradients are
+    needed at the heads), but only the selected head parameters are
+    updated.
+    """
+    config = config or FineTuneConfig()
+    inputs = np.asarray(inputs, dtype=np.float64)
+    labels = np.asarray(labels, dtype=np.int64).ravel()
+    if inputs.shape[0] != labels.size:
+        raise ValueError("inputs and labels must align")
+    if inputs.shape[0] < 2:
+        raise ValueError("need at least two fine-tuning samples")
+
+    params = head_parameters(model, include_fusion=config.include_fusion)
+    optimizer = Adam(params, lr=config.learning_rate)
+    loss_primary = CrossEntropyLoss()
+    loss_aux = CrossEntropyLoss()
+    aux_weight = model.config.aux_weight
+    rng = np.random.default_rng(config.seed)
+
+    losses = []
+    model.train()
+    num_samples = inputs.shape[0]
+    for _epoch in range(config.epochs):
+        order = rng.permutation(num_samples)
+        epoch_loss = 0.0
+        for start in range(0, num_samples, config.batch_size):
+            batch = order[start : start + config.batch_size]
+            if batch.size < 2:
+                continue
+            model.zero_grad()
+            primary, auxiliary = model(inputs[batch])
+            value = loss_primary(primary, labels[batch]) + aux_weight * loss_aux(
+                auxiliary, labels[batch]
+            )
+            model.backward(loss_primary.backward(), aux_weight * loss_aux.backward())
+            optimizer.step()
+            epoch_loss += value * batch.size / num_samples
+        losses.append(epoch_loss)
+    model.eval()
+    return losses
+
+
+def fine_tune_system(
+    system: GesturePrint,
+    inputs: np.ndarray,
+    gesture_labels: np.ndarray,
+    user_labels: np.ndarray,
+    config: FineTuneConfig | None = None,
+) -> dict[str, list[float]]:
+    """Fine-tune every model of a fitted system on target-domain data."""
+    if system.gesture_model is None:
+        raise ValueError("fit the system before fine-tuning")
+    config = config or FineTuneConfig()
+    gesture_labels = np.asarray(gesture_labels, dtype=np.int64).ravel()
+    user_labels = np.asarray(user_labels, dtype=np.int64).ravel()
+
+    histories = {
+        "gesture": fine_tune_model(system.gesture_model, inputs, gesture_labels, config)
+    }
+    if system.config.mode is IdentificationMode.SERIALIZED:
+        for gesture, model in system.user_models.items():
+            mask = gesture_labels == gesture
+            if np.unique(user_labels[mask]).size < 2 or mask.sum() < 2:
+                continue
+            histories[f"user_g{gesture}"] = fine_tune_model(
+                model, inputs[mask], user_labels[mask], config
+            )
+    elif system.parallel_user_model is not None:
+        histories["user_parallel"] = fine_tune_model(
+            system.parallel_user_model, inputs, user_labels, config
+        )
+    return histories

@@ -1,0 +1,162 @@
+"""Multi-user runtime: simultaneous per-person recognition + identification.
+
+SVII-1 of the paper sketches the extension path for scenes where several
+people gesture at once: m3Track-style multi-user detection feeding the
+per-person pipeline.  This runtime implements that path end to end:
+
+1. :class:`~repro.preprocessing.multiuser.MultiUserSeparator` clusters
+   every frame and tracks clusters across frames, producing one aligned
+   frame stream per person;
+2. each track runs its own parameter-adaptive gesture segmenter
+   (SIV-B), so one person's pause does not truncate another's motion;
+3. completed per-track segments are aggregated, denoised, normalised,
+   and classified by the shared fitted :class:`GesturePrint` —
+   recognising the gesture and identifying the person on every track
+   independently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.pipeline import GesturePrint
+from repro.core.realtime import GestureEvent, classify_frame_span
+from repro.preprocessing.multiuser import MultiUserSeparator, SeparatorParams
+from repro.preprocessing.noise import NoiseCancelerParams
+from repro.preprocessing.segmentation import GestureSegmenter, SegmenterParams
+from repro.radar.pointcloud import Frame
+
+
+@dataclass(frozen=True)
+class TrackedGestureEvent:
+    """One completed gesture on one tracked person."""
+
+    track_id: int
+    event: GestureEvent
+
+    @property
+    def gesture(self) -> int:
+        return self.event.gesture
+
+    @property
+    def user(self) -> int:
+        return self.event.user
+
+
+class MultiUserRuntime:
+    """Online multi-person wrapper around a fitted :class:`GesturePrint`.
+
+    Push radar frames with :meth:`push_frame`; each call may emit zero
+    or more :class:`TrackedGestureEvent` (several people can close a
+    gesture on the same frame).  :meth:`flush` closes any gestures still
+    open at end-of-stream.
+    """
+
+    def __init__(
+        self,
+        system: GesturePrint,
+        *,
+        num_points: int | None = None,
+        separator_params: SeparatorParams | None = None,
+        segmenter_params: SegmenterParams | None = None,
+        noise_params: NoiseCancelerParams | None = None,
+        min_cloud_points: int = 8,
+        seed: int = 0,
+    ) -> None:
+        if system.gesture_model is None:
+            raise ValueError("the system must be fitted first")
+        self.system = system
+        self.num_points = num_points or system.config.network.num_points
+        if separator_params is None:
+            # Users pause 2-4 s between gestures (SVI-A1); at 10 fps that
+            # is 20-40 frames, so tracks must survive longer gaps than the
+            # separator's generic default before a person loses identity.
+            separator_params = SeparatorParams(max_missed_frames=45)
+        self.separator = MultiUserSeparator(separator_params)
+        self.segmenter_params = segmenter_params
+        self.noise_params = noise_params or NoiseCancelerParams()
+        self.min_cloud_points = min_cloud_points
+        self._rng = np.random.default_rng(seed)
+        self._segmenters: dict[int, GestureSegmenter] = {}
+        self._consumed: dict[int, int] = {}
+        self._events: list[TrackedGestureEvent] = []
+
+    @property
+    def num_tracks(self) -> int:
+        return len(self.separator.tracks)
+
+    @property
+    def events(self) -> list[TrackedGestureEvent]:
+        """All events emitted so far, in emission order."""
+        return list(self._events)
+
+    def _segmenter_for(self, track_id: int) -> GestureSegmenter:
+        if track_id not in self._segmenters:
+            self._segmenters[track_id] = GestureSegmenter(self.segmenter_params)
+        return self._segmenters[track_id]
+
+    def push_frame(self, frame: Frame) -> list[TrackedGestureEvent]:
+        """Feed one radar frame; returns events for every track that
+        closed a gesture on this frame."""
+        self.separator.push_frame(frame)
+        emitted: list[TrackedGestureEvent] = []
+        for track in self.separator.tracks:
+            segmenter = self._segmenter_for(track.track_id)
+            # A freshly spawned track arrives with backfilled empty
+            # frames; catch its segmenter up so frame indices align.
+            consumed = self._consumed.get(track.track_id, 0)
+            while consumed < len(track.frames):
+                segment = segmenter.push(track.frames[consumed])
+                consumed += 1
+                if segment is None:
+                    continue
+                event = self._classify(
+                    track.track_id, track.frames, segment.start, segment.end
+                )
+                if event is not None:
+                    emitted.append(event)
+            self._consumed[track.track_id] = consumed
+        return emitted
+
+    def flush(self) -> list[TrackedGestureEvent]:
+        """Close any in-progress gestures at end of stream."""
+        emitted: list[TrackedGestureEvent] = []
+        for track in self.separator.tracks:
+            segmenter = self._segmenters.get(track.track_id)
+            if segmenter is None:
+                continue
+            segment = segmenter.flush()
+            if segment is None:
+                continue
+            event = self._classify(track.track_id, track.frames, segment.start, segment.end)
+            if event is not None:
+                emitted.append(event)
+        return emitted
+
+    def _classify(
+        self, track_id: int, frames: list[Frame], start: int, end: int
+    ) -> TrackedGestureEvent | None:
+        event = classify_frame_span(
+            self.system,
+            frames,
+            start,
+            end,
+            noise_params=self.noise_params,
+            num_points=self.num_points,
+            min_cloud_points=self.min_cloud_points,
+            rng=self._rng,
+        )
+        if event is None:
+            return None
+        tracked = TrackedGestureEvent(track_id=track_id, event=event)
+        self._events.append(tracked)
+        return tracked
+
+    def reset(self) -> None:
+        """Forget all stream state (tracks, segmenters, events)."""
+        self.separator.reset()
+        self._segmenters.clear()
+        self._consumed.clear()
+        self._events.clear()

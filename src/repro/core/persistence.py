@@ -1,0 +1,133 @@
+"""Save and load a fitted GesturePrint system.
+
+The paper's deployment splits training (back-end server) from inference
+(laptop / Jetson Nano): models are trained once and shipped to the edge
+device.  This module persists a fitted :class:`GesturePrint` — the
+gesture model, every per-gesture (or the parallel) user model, and the
+configuration — into a directory of ``.npz`` weight archives plus a
+JSON manifest, and restores it into a ready-to-infer system.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import pathlib
+
+import numpy as np
+
+from repro.core.gesidnet import GesIDNet, GesIDNetConfig
+from repro.core.pipeline import GesturePrint, GesturePrintConfig, IdentificationMode
+from repro.core.trainer import TrainConfig
+from repro.nn.serialization import load_state, save_state
+from repro.nn.setabstraction import ScaleSpec
+
+MANIFEST_NAME = "manifest.json"
+FORMAT_VERSION = 1
+
+
+def _scale_to_dict(spec: ScaleSpec) -> dict:
+    return {
+        "radius": spec.radius,
+        "max_neighbors": spec.max_neighbors,
+        "mlp_channels": list(spec.mlp_channels),
+    }
+
+
+def _scale_from_dict(data: dict) -> ScaleSpec:
+    return ScaleSpec(
+        radius=data["radius"],
+        max_neighbors=data["max_neighbors"],
+        mlp_channels=tuple(data["mlp_channels"]),
+    )
+
+
+def _network_to_dict(config: GesIDNetConfig) -> dict:
+    data = dataclasses.asdict(config)
+    data["sa1_scales"] = [_scale_to_dict(s) for s in config.sa1_scales]
+    data["sa2_scales"] = [_scale_to_dict(s) for s in config.sa2_scales]
+    return data
+
+
+def _network_from_dict(data: dict) -> GesIDNetConfig:
+    data = dict(data)
+    data["sa1_scales"] = tuple(_scale_from_dict(s) for s in data["sa1_scales"])
+    data["sa2_scales"] = tuple(_scale_from_dict(s) for s in data["sa2_scales"])
+    data["level1_mlp"] = tuple(data["level1_mlp"])
+    data["level2_mlp"] = tuple(data["level2_mlp"])
+    data["head1_hidden"] = tuple(data["head1_hidden"])
+    return GesIDNetConfig(**data)
+
+
+def save_system(system: GesturePrint, directory: str | os.PathLike) -> None:
+    """Persist a fitted system to ``directory`` (created if missing)."""
+    if system.gesture_model is None:
+        raise ValueError("cannot save an unfitted system; call fit() first")
+    path = pathlib.Path(directory)
+    path.mkdir(parents=True, exist_ok=True)
+
+    manifest = {
+        "format_version": FORMAT_VERSION,
+        "mode": system.config.mode.value,
+        "num_gestures": system.num_gestures,
+        "num_users": system.num_users,
+        "network": _network_to_dict(system.config.network),
+        "training": dataclasses.asdict(system.config.training),
+        "augment": system.config.augment,
+        "augment_copies": system.config.augment_copies,
+        "augment_sigma": system.config.augment_sigma,
+        "seed": system.config.seed,
+        "user_model_gestures": sorted(system.user_models),
+        "has_parallel_model": system.parallel_user_model is not None,
+    }
+    (path / MANIFEST_NAME).write_text(json.dumps(manifest, indent=2))
+
+    save_state(system.gesture_model, path / "gesture_model.npz")
+    for gesture, model in system.user_models.items():
+        save_state(model, path / f"user_model_g{gesture}.npz")
+    if system.parallel_user_model is not None:
+        save_state(system.parallel_user_model, path / "user_model_parallel.npz")
+
+
+def load_system(directory: str | os.PathLike) -> GesturePrint:
+    """Restore a system saved by :func:`save_system`, ready for predict()."""
+    path = pathlib.Path(directory)
+    manifest_path = path / MANIFEST_NAME
+    if not manifest_path.exists():
+        raise FileNotFoundError(f"no manifest at {manifest_path}")
+    manifest = json.loads(manifest_path.read_text())
+    if manifest.get("format_version") != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported checkpoint format {manifest.get('format_version')!r}"
+        )
+
+    network = _network_from_dict(manifest["network"])
+    config = GesturePrintConfig(
+        network=network,
+        training=TrainConfig(**manifest["training"]),
+        mode=IdentificationMode(manifest["mode"]),
+        augment=manifest["augment"],
+        augment_copies=manifest["augment_copies"],
+        augment_sigma=manifest["augment_sigma"],
+        seed=manifest["seed"],
+    )
+    system = GesturePrint(config)
+    system.num_gestures = manifest["num_gestures"]
+    system.num_users = manifest["num_users"]
+
+    rng = np.random.default_rng(0)
+    system.gesture_model = GesIDNet(system.num_gestures, network, rng=rng)
+    load_state(system.gesture_model, path / "gesture_model.npz")
+    system.gesture_model.eval()
+
+    for gesture in manifest["user_model_gestures"]:
+        model = GesIDNet(system.num_users, network, rng=rng)
+        load_state(model, path / f"user_model_g{gesture}.npz")
+        model.eval()
+        system.user_models[int(gesture)] = model
+    if manifest["has_parallel_model"]:
+        system.parallel_user_model = GesIDNet(system.num_users, network, rng=rng)
+        load_state(system.parallel_user_model, path / "user_model_parallel.npz")
+        system.parallel_user_model.eval()
+    return system

@@ -1,0 +1,164 @@
+"""Streaming runtime: frame-by-frame online recognition + identification.
+
+The deployed system (Fig. 7) consumes a live radar frame stream.  This
+runtime wires the online gesture segmenter to a fitted GesturePrint:
+push one frame at a time; when the segmenter closes a gesture, the
+buffered frames are aggregated, denoised, normalised, and classified,
+and a :class:`GestureEvent` is emitted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.pipeline import GesturePrint
+from repro.core.workzone import WorkZone, WorkZoneMonitor, ZoneAdvisory
+from repro.preprocessing.noise import NoiseCancelerParams, keep_main_cluster
+from repro.preprocessing.pipeline import normalize_cloud
+from repro.preprocessing.segmentation import GestureSegmenter, SegmenterParams
+from repro.radar.pointcloud import Frame, PointCloud
+
+
+@dataclass(frozen=True)
+class GestureEvent:
+    """One completed gesture detected in the stream.
+
+    ``user_probs`` carries the full identification posterior so that
+    downstream consumers (e.g. session-level fusion) can reuse it
+    without re-running the ID model.
+    """
+
+    start_frame: int
+    end_frame: int
+    gesture: int
+    gesture_confidence: float
+    user: int
+    user_confidence: float
+    num_points: int
+    user_probs: np.ndarray | None = None
+
+
+def classify_frame_span(
+    system: GesturePrint,
+    frames: list[Frame],
+    start: int,
+    end: int,
+    *,
+    noise_params: NoiseCancelerParams,
+    num_points: int,
+    min_cloud_points: int,
+    rng: np.random.Generator,
+) -> GestureEvent | None:
+    """Aggregate, denoise, normalise, and classify one frame span.
+
+    ``frames`` is the full stream; the span ``[start, end)`` indexes into
+    it.  Returns None when the span holds too few usable points to
+    classify (mirrors the preprocessing stage dropping degenerate takes).
+    """
+    window = frames[start:end]
+    cloud = PointCloud.from_frames(window, start_index=start)
+    if cloud.num_points == 0:
+        return None
+    cloud = keep_main_cluster(cloud, noise_params)
+    if cloud.num_points < min_cloud_points:
+        return None
+    sample = normalize_cloud(cloud, num_points, rng)[None, ...]
+    result = system.predict(sample)
+    return GestureEvent(
+        start_frame=start,
+        end_frame=end,
+        gesture=int(result.gesture_pred[0]),
+        gesture_confidence=float(result.gesture_probs[0].max()),
+        user=int(result.user_pred[0]),
+        user_confidence=float(result.user_probs[0].max()),
+        num_points=cloud.num_points,
+        user_probs=result.user_probs[0].copy(),
+    )
+
+
+class GesturePrintRuntime:
+    """Online wrapper around a fitted :class:`GesturePrint`."""
+
+    def __init__(
+        self,
+        system: GesturePrint,
+        *,
+        num_points: int | None = None,
+        segmenter_params: SegmenterParams | None = None,
+        noise_params: NoiseCancelerParams | None = None,
+        min_cloud_points: int = 8,
+        work_zone: WorkZone | None = None,
+        seed: int = 0,
+    ) -> None:
+        if system.gesture_model is None:
+            raise ValueError("the system must be fitted first")
+        self.system = system
+        self.num_points = num_points or system.config.network.num_points
+        self.segmenter = GestureSegmenter(segmenter_params)
+        self.noise_params = noise_params or NoiseCancelerParams()
+        self.min_cloud_points = min_cloud_points
+        self.zone_monitor = WorkZoneMonitor(work_zone) if work_zone is not None else None
+        self._zone_advisory = ZoneAdvisory.NO_PRESENCE
+        self._rng = np.random.default_rng(seed)
+        self._frames: list[Frame] = []
+        self._events: list[GestureEvent] = []
+
+    @property
+    def frames_seen(self) -> int:
+        return len(self._frames)
+
+    @property
+    def events(self) -> list[GestureEvent]:
+        """All events emitted so far."""
+        return list(self._events)
+
+    @property
+    def zone_advisory(self) -> ZoneAdvisory:
+        """The latest work-zone advisory (SVI-B2's "step closer" reminder).
+
+        Always ``IN_ZONE`` when the runtime was built without a zone.
+        """
+        if self.zone_monitor is None:
+            return ZoneAdvisory.IN_ZONE
+        return self._zone_advisory
+
+    def push_frame(self, frame: Frame) -> GestureEvent | None:
+        """Feed one radar frame; returns an event when a gesture closes."""
+        self._frames.append(frame)
+        if self.zone_monitor is not None and frame.num_points >= self.zone_monitor.min_points:
+            self._zone_advisory = self.zone_monitor.advise_frame(frame)
+        segment = self.segmenter.push(frame)
+        if segment is None:
+            return None
+        return self._classify_span(segment.start, segment.end)
+
+    def flush(self) -> GestureEvent | None:
+        """Close any in-progress gesture at end of stream."""
+        segment = self.segmenter.flush()
+        if segment is None:
+            return None
+        return self._classify_span(segment.start, segment.end)
+
+    def _classify_span(self, start: int, end: int) -> GestureEvent | None:
+        event = classify_frame_span(
+            self.system,
+            self._frames,
+            start,
+            end,
+            noise_params=self.noise_params,
+            num_points=self.num_points,
+            min_cloud_points=self.min_cloud_points,
+            rng=self._rng,
+        )
+        if event is not None:
+            self._events.append(event)
+        return event
+
+    def reset(self) -> None:
+        """Forget all stream state (frames, segmenter, events)."""
+        self._frames.clear()
+        self._events.clear()
+        self._zone_advisory = ZoneAdvisory.NO_PRESENCE
+        self.segmenter.reset()

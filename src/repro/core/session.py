@@ -1,0 +1,202 @@
+"""Session-level identification: fuse evidence across several gestures.
+
+The paper identifies the user from a *single* gesture.  In an
+interaction session a user typically performs several gestures in a row
+(Fig. 1's scenarios), and each one carries independent evidence about
+who is gesturing.  This module accumulates per-gesture user posteriors
+into a session-level identity estimate by summing log-probabilities —
+the naive-Bayes fusion of repeated observations — so confidence grows
+with every gesture the user performs.
+
+Works with both identification modes: in serialized mode each gesture's
+posterior comes from the per-gesture ID model selected by the
+recognised gesture; in parallel mode from the single shared model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.pipeline import GesturePrint
+
+
+@dataclass(frozen=True)
+class SessionEstimate:
+    """The running identity belief of one interaction session."""
+
+    user: int
+    confidence: float
+    num_gestures: int
+    posterior: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.posterior.ndim != 1:
+            raise ValueError("posterior must be a vector")
+
+
+class SessionIdentifier:
+    """Accumulate per-gesture user evidence into one identity estimate.
+
+    Push gesture samples with :meth:`update`; read the fused belief with
+    :meth:`estimate`.  ``reset()`` starts a new session (e.g. after a
+    timeout or an explicit user switch).
+    """
+
+    def __init__(
+        self,
+        system: GesturePrint,
+        *,
+        prior: np.ndarray | None = None,
+        floor: float = 1e-4,
+    ) -> None:
+        if system.gesture_model is None:
+            raise ValueError("the system must be fitted first")
+        if not 0.0 < floor < 1.0:
+            raise ValueError("floor must be in (0, 1)")
+        self.system = system
+        self.floor = floor
+        num_users = system.num_users
+        if prior is None:
+            prior = np.full(num_users, 1.0 / num_users)
+        else:
+            prior = np.asarray(prior, dtype=np.float64).ravel()
+            if prior.shape != (num_users,):
+                raise ValueError(f"prior must have {num_users} entries")
+            if np.any(prior < 0) or prior.sum() <= 0:
+                raise ValueError("prior must be a non-negative distribution")
+            prior = prior / prior.sum()
+        self._log_prior = np.log(np.maximum(prior, floor))
+        self._log_evidence = np.zeros(num_users)
+        self._count = 0
+
+    @property
+    def num_gestures(self) -> int:
+        return self._count
+
+    def update(self, sample: np.ndarray) -> SessionEstimate:
+        """Fold one gesture sample ``(num_points, channels)`` into the belief."""
+        sample = np.asarray(sample, dtype=np.float64)
+        if sample.ndim != 2:
+            raise ValueError("update takes a single (num_points, channels) sample")
+        result = self.system.predict(sample[None, ...])
+        return self.update_posterior(result.user_probs[0])
+
+    def update_posterior(self, user_probs: np.ndarray) -> SessionEstimate:
+        """Fold an already-computed per-gesture user posterior.
+
+        This is the path for consumers that already ran identification —
+        e.g. the streaming runtime's :class:`GestureEvent.user_probs` —
+        avoiding a second forward pass.
+        """
+        user_probs = np.asarray(user_probs, dtype=np.float64).ravel()
+        if user_probs.shape != self._log_evidence.shape:
+            raise ValueError(
+                f"posterior must have {self._log_evidence.size} entries, "
+                f"got {user_probs.size}"
+            )
+        self._log_evidence += np.log(np.maximum(user_probs, self.floor))
+        self._count += 1
+        return self.estimate()
+
+    def estimate(self) -> SessionEstimate:
+        """The current fused identity belief (prior-only before any update)."""
+        log_post = self._log_prior + self._log_evidence
+        log_post = log_post - log_post.max()
+        posterior = np.exp(log_post)
+        posterior /= posterior.sum()
+        user = int(posterior.argmax())
+        return SessionEstimate(
+            user=user,
+            confidence=float(posterior[user]),
+            num_gestures=self._count,
+            posterior=posterior,
+        )
+
+    def reset(self) -> None:
+        """Start a new session: drop all accumulated evidence."""
+        self._log_evidence = np.zeros_like(self._log_evidence)
+        self._count = 0
+
+
+def identify_session(
+    system: GesturePrint,
+    inputs: np.ndarray,
+    *,
+    prior: np.ndarray | None = None,
+    floor: float = 1e-4,
+) -> SessionEstimate:
+    """Identify the single user behind a batch of session gestures."""
+    inputs = np.asarray(inputs, dtype=np.float64)
+    if inputs.ndim != 3:
+        raise ValueError(f"expected (gestures, points, channels), got {inputs.shape}")
+    identifier = SessionIdentifier(system, prior=prior, floor=floor)
+    for sample in inputs:
+        identifier.update(sample)
+    return identifier.estimate()
+
+
+class SessionRuntime:
+    """Streaming wrapper: radar frames in, running identity belief out.
+
+    Wraps a :class:`~repro.core.realtime.GesturePrintRuntime`; every
+    gesture event it emits is folded into a :class:`SessionIdentifier`
+    via the per-gesture user posterior, so the session's identity belief
+    sharpens as the user keeps gesturing.  A gap longer than
+    ``session_timeout_frames`` between gestures starts a new session
+    (someone else may have stepped up to the device).
+    """
+
+    def __init__(
+        self,
+        runtime,
+        *,
+        session_timeout_frames: int = 300,
+        prior: np.ndarray | None = None,
+        floor: float = 1e-4,
+    ) -> None:
+        if session_timeout_frames <= 0:
+            raise ValueError("session_timeout_frames must be positive")
+        self.runtime = runtime
+        self.session_timeout_frames = session_timeout_frames
+        self._prior = prior
+        self._floor = floor
+        self.identifier = SessionIdentifier(runtime.system, prior=prior, floor=floor)
+        self._last_event_end: int | None = None
+
+    def push_frame(self, frame) -> SessionEstimate | None:
+        """Feed one frame; returns the updated belief when a gesture closes."""
+        event = self.runtime.push_frame(frame)
+        if event is None:
+            return None
+        return self._fold(event)
+
+    def flush(self) -> SessionEstimate | None:
+        """Close any open gesture and fold it into the belief."""
+        event = self.runtime.flush()
+        if event is None:
+            return None
+        return self._fold(event)
+
+    def _fold(self, event) -> SessionEstimate:
+        if (
+            self._last_event_end is not None
+            and event.start_frame - self._last_event_end > self.session_timeout_frames
+        ):
+            self.identifier.reset()
+        self._last_event_end = event.end_frame
+        return self.identifier.update_posterior(event.user_probs)
+
+    @property
+    def estimate(self) -> SessionEstimate:
+        """The current identity belief."""
+        return self.identifier.estimate()
+
+    def reset(self) -> None:
+        """Drop both stream state and the identity belief."""
+        self.runtime.reset()
+        self.identifier = SessionIdentifier(
+            self.runtime.system, prior=self._prior, floor=self._floor
+        )
+        self._last_event_end = None

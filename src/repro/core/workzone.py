@@ -1,0 +1,113 @@
+"""Work-zone enforcement: remind users to gesture where the radar is reliable.
+
+SVI-B2 measures how accuracy degrades with distance (reliable within
+3.6 m on the mTransSee sweep) and concludes that "when users try to
+interact with GesturePrint from a distant position, GesturePrint can
+remind the user to step closer and enter the area where it can work
+reliably"; SVII-1 adds that a predefined work zone also bounds the
+influence of other people.  This module implements that zone: an
+annular sector in front of the radar plus advisories telling an
+out-of-zone user how to get back in.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.radar.pointcloud import Frame, PointCloud
+
+
+class ZoneAdvisory(enum.Enum):
+    """What the system should tell the user (empty string: nothing)."""
+
+    IN_ZONE = ""
+    STEP_CLOSER = "step closer to the device"
+    STEP_BACK = "step back from the device"
+    MOVE_TO_CENTER = "move toward the centre of the sensing area"
+    NO_PRESENCE = "no user detected"
+
+
+@dataclass(frozen=True)
+class WorkZone:
+    """An annular sector in front of the radar (top-down view).
+
+    Defaults follow the paper's distance study: identification stays
+    reliable out to ~3.6 m (Fig. 11), and the radar needs ~0.4 m of
+    standoff before the arm fills its field of view.
+    """
+
+    min_range_m: float = 0.4
+    max_range_m: float = 3.6
+    max_azimuth_rad: float = np.pi / 3
+
+    def __post_init__(self) -> None:
+        if self.min_range_m < 0:
+            raise ValueError("min_range_m must be non-negative")
+        if self.max_range_m <= self.min_range_m:
+            raise ValueError("max_range_m must exceed min_range_m")
+        if not 0 < self.max_azimuth_rad <= np.pi:
+            raise ValueError("max_azimuth_rad must be in (0, pi]")
+
+    def contains(self, x: float, y: float) -> bool:
+        """Is the top-down position ``(x, y)`` inside the zone?"""
+        rng = float(np.hypot(x, y))
+        azimuth = float(np.arctan2(x, max(y, 1e-9)))
+        return (
+            self.min_range_m <= rng <= self.max_range_m
+            and abs(azimuth) <= self.max_azimuth_rad
+        )
+
+    def advise_position(self, x: float, y: float) -> ZoneAdvisory:
+        """The advisory for a user standing at top-down ``(x, y)``."""
+        rng = float(np.hypot(x, y))
+        azimuth = float(np.arctan2(x, max(y, 1e-9)))
+        if rng > self.max_range_m:
+            return ZoneAdvisory.STEP_CLOSER
+        if rng < self.min_range_m:
+            return ZoneAdvisory.STEP_BACK
+        if abs(azimuth) > self.max_azimuth_rad:
+            return ZoneAdvisory.MOVE_TO_CENTER
+        return ZoneAdvisory.IN_ZONE
+
+
+#: Zone matching the paper's reliability study (Fig. 11 / SVI-B2).
+DEFAULT_WORK_ZONE = WorkZone()
+
+
+class WorkZoneMonitor:
+    """Advise on user position from frames or aggregated clouds.
+
+    The user's position is taken as the intensity-weighted centroid of
+    the detections — robust to the arm sweeping around the torso.
+    """
+
+    def __init__(self, zone: WorkZone | None = None, *, min_points: int = 3) -> None:
+        if min_points <= 0:
+            raise ValueError("min_points must be positive")
+        self.zone = zone or DEFAULT_WORK_ZONE
+        self.min_points = min_points
+
+    def _centroid(self, points: np.ndarray) -> tuple[float, float] | None:
+        if points.shape[0] < self.min_points:
+            return None
+        weights = np.maximum(points[:, 4], 1e-9)
+        x = float(np.average(points[:, 0], weights=weights))
+        y = float(np.average(points[:, 1], weights=weights))
+        return x, y
+
+    def advise_frame(self, frame: Frame) -> ZoneAdvisory:
+        """Advisory for a single radar frame."""
+        centroid = self._centroid(frame.points)
+        if centroid is None:
+            return ZoneAdvisory.NO_PRESENCE
+        return self.zone.advise_position(*centroid)
+
+    def advise_cloud(self, cloud: PointCloud) -> ZoneAdvisory:
+        """Advisory for an aggregated gesture cloud."""
+        centroid = self._centroid(cloud.points)
+        if centroid is None:
+            return ZoneAdvisory.NO_PRESENCE
+        return self.zone.advise_position(*centroid)

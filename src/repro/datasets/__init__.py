@@ -1,0 +1,43 @@
+"""Dataset builders: synthetic clones of the paper's four gesture datasets.
+
+Each builder renders (user, gesture, repetition) combinations through the
+gesture synthesizer, a radar device, and the preprocessing stage, and
+packs the results into a :class:`GestureDataset` of fixed-size point
+arrays ready for GesIDNet.
+
+The four clones mirror Tab. I of the paper:
+
+* :func:`build_selfcollected` — 17 users x 15 ASL gestures, office and
+  meeting-room environments (the GesturePrint dataset);
+* :func:`build_pantomime` — 21 self-defined gestures, office and open
+  environments, multiple articulation speeds;
+* :func:`build_mhomeges` — 10 self-defined gestures, home, anchor
+  distances 1.2-3.0 m;
+* :func:`build_mtranssee` — 5 self-defined gestures, 32 users, home,
+  anchor distances 1.2-4.8 m.
+
+All builders take ``num_users`` / ``num_gestures`` / ``reps`` overrides
+so that tests and benches can run scaled-down versions; paper-scale
+defaults are what Tab. I lists.
+"""
+
+from repro.datasets.base import DatasetSpec, GestureDataset, build_dataset
+from repro.datasets.io import load_dataset, save_dataset
+from repro.datasets.clones import (
+    build_mhomeges,
+    build_mtranssee,
+    build_pantomime,
+    build_selfcollected,
+)
+
+__all__ = [
+    "DatasetSpec",
+    "GestureDataset",
+    "build_dataset",
+    "load_dataset",
+    "save_dataset",
+    "build_mhomeges",
+    "build_mtranssee",
+    "build_pantomime",
+    "build_selfcollected",
+]

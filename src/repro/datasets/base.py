@@ -1,0 +1,198 @@
+"""Dataset container and the generic sample-rendering loop."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.gestures.scene import ENVIRONMENTS, Environment
+from repro.gestures.synthesis import perform_gesture
+from repro.gestures.templates import GestureTemplate
+from repro.gestures.user import UserProfile
+from repro.preprocessing.pipeline import (
+    PreprocessorParams,
+    normalize_cloud,
+    preprocess_recording,
+)
+from repro.radar.config import IWR6843_CONFIG, RadarConfig
+from repro.radar.device import FastRadar
+from repro.radar.pointcloud import PointCloud
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """What to render: users x gestures x reps x distances x environments."""
+
+    users: tuple[UserProfile, ...]
+    templates: tuple[GestureTemplate, ...]
+    environments: tuple[str, ...] = ("office",)
+    distances_m: tuple[float, ...] = (1.2,)
+    reps: int = 10
+    num_points: int = 96
+    seed: int = 0
+    speed_override: float | None = None
+
+    def __post_init__(self) -> None:
+        if not self.users or not self.templates:
+            raise ValueError("need at least one user and one gesture")
+        if self.reps <= 0:
+            raise ValueError("reps must be positive")
+        unknown = [e for e in self.environments if e not in ENVIRONMENTS]
+        if unknown:
+            raise ValueError(f"unknown environments: {unknown}")
+
+
+@dataclass
+class GestureDataset:
+    """Rendered samples as fixed-size arrays plus per-sample metadata."""
+
+    inputs: np.ndarray  # (n, num_points, 5)
+    gesture_labels: np.ndarray
+    user_labels: np.ndarray
+    distances_m: np.ndarray
+    environment_labels: np.ndarray
+    duration_frames: np.ndarray
+    gesture_names: list[str]
+    environment_names: list[str]
+    clouds: list[PointCloud] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        n = self.inputs.shape[0]
+        for name in ("gesture_labels", "user_labels", "distances_m", "environment_labels", "duration_frames"):
+            arr = getattr(self, name)
+            if arr.shape[0] != n:
+                raise ValueError(f"{name} does not align with inputs")
+
+    @property
+    def num_samples(self) -> int:
+        return self.inputs.shape[0]
+
+    @property
+    def num_gestures(self) -> int:
+        return len(self.gesture_names)
+
+    @property
+    def num_users(self) -> int:
+        return int(self.user_labels.max()) + 1 if self.num_samples else 0
+
+    def subset(self, mask: np.ndarray) -> "GestureDataset":
+        """A new dataset view with the samples where ``mask`` holds."""
+        mask = np.asarray(mask, dtype=bool).ravel()
+        if mask.size != self.num_samples:
+            raise ValueError("mask must align with samples")
+        clouds = [c for c, keep in zip(self.clouds, mask) if keep] if self.clouds else []
+        return GestureDataset(
+            inputs=self.inputs[mask],
+            gesture_labels=self.gesture_labels[mask],
+            user_labels=self.user_labels[mask],
+            distances_m=self.distances_m[mask],
+            environment_labels=self.environment_labels[mask],
+            duration_frames=self.duration_frames[mask],
+            gesture_names=list(self.gesture_names),
+            environment_names=list(self.environment_names),
+            clouds=clouds,
+        )
+
+    def at_distance(self, distance_m: float, tolerance: float = 1e-6) -> "GestureDataset":
+        return self.subset(np.abs(self.distances_m - distance_m) < tolerance)
+
+    def in_environment(self, name: str) -> "GestureDataset":
+        if name not in self.environment_names:
+            raise ValueError(f"environment {name!r} not in dataset")
+        idx = self.environment_names.index(name)
+        return self.subset(self.environment_labels == idx)
+
+    def merged_with(self, other: "GestureDataset") -> "GestureDataset":
+        """Concatenate two datasets with identical label vocabularies."""
+        if self.gesture_names != other.gesture_names:
+            raise ValueError("gesture vocabularies differ")
+        if self.environment_names != other.environment_names:
+            raise ValueError("environment vocabularies differ")
+        return GestureDataset(
+            inputs=np.vstack([self.inputs, other.inputs]),
+            gesture_labels=np.concatenate([self.gesture_labels, other.gesture_labels]),
+            user_labels=np.concatenate([self.user_labels, other.user_labels]),
+            distances_m=np.concatenate([self.distances_m, other.distances_m]),
+            environment_labels=np.concatenate(
+                [self.environment_labels, other.environment_labels]
+            ),
+            duration_frames=np.concatenate([self.duration_frames, other.duration_frames]),
+            gesture_names=list(self.gesture_names),
+            environment_names=list(self.environment_names),
+            clouds=(self.clouds + other.clouds) if self.clouds and other.clouds else [],
+        )
+
+
+def build_dataset(
+    spec: DatasetSpec,
+    *,
+    radar_config: RadarConfig = IWR6843_CONFIG,
+    preprocessor: PreprocessorParams | None = None,
+    keep_clouds: bool = False,
+) -> GestureDataset:
+    """Render every (user, gesture, rep, distance, environment) combination.
+
+    Users keep their ``user_id`` as label; gestures are labelled by their
+    index in ``spec.templates``.  Samples whose preprocessing yields no
+    usable cloud are dropped (rare; mirrors discarded collection takes).
+    """
+    preprocessor = preprocessor or PreprocessorParams()
+    rng = np.random.default_rng(spec.seed)
+
+    rows = []
+    gesture_names = [t.name for t in spec.templates]
+    environment_names = list(spec.environments)
+    user_ids = sorted({u.user_id for u in spec.users})
+    user_index = {uid: i for i, uid in enumerate(user_ids)}
+
+    for env_idx, env_name in enumerate(spec.environments):
+        environment: Environment = ENVIRONMENTS[env_name]
+        radar = FastRadar(
+            radar_config,
+            false_alarms_per_frame=environment.false_alarms_per_frame,
+            seed=int(rng.integers(0, 2**31)),
+        )
+        for user in spec.users:
+            for gesture_idx, template in enumerate(spec.templates):
+                for distance in spec.distances_m:
+                    for _rep in range(spec.reps):
+                        recording = perform_gesture(
+                            user,
+                            template,
+                            radar,
+                            environment,
+                            distance_m=distance,
+                            rng=rng,
+                            speed_override=spec.speed_override,
+                        )
+                        cloud = preprocess_recording(recording, preprocessor)
+                        if cloud is None:
+                            continue
+                        sample = normalize_cloud(cloud, spec.num_points, rng)
+                        rows.append(
+                            (
+                                sample,
+                                gesture_idx,
+                                user_index[user.user_id],
+                                distance,
+                                env_idx,
+                                recording.duration_frames,
+                                cloud if keep_clouds else None,
+                            )
+                        )
+    if not rows:
+        raise RuntimeError("no usable samples were rendered")
+    inputs = np.stack([r[0] for r in rows])
+    dataset = GestureDataset(
+        inputs=inputs,
+        gesture_labels=np.array([r[1] for r in rows], dtype=np.int64),
+        user_labels=np.array([r[2] for r in rows], dtype=np.int64),
+        distances_m=np.array([r[3] for r in rows], dtype=np.float64),
+        environment_labels=np.array([r[4] for r in rows], dtype=np.int64),
+        duration_frames=np.array([r[5] for r in rows], dtype=np.int64),
+        gesture_names=gesture_names,
+        environment_names=environment_names,
+        clouds=[r[6] for r in rows] if keep_clouds else [],
+    )
+    return dataset

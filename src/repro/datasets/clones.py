@@ -1,0 +1,176 @@
+"""Builders for the four evaluation datasets (Tab. I).
+
+Every builder exposes paper-scale defaults but takes scale overrides so
+that tests and the benchmark harness can run reduced versions; the
+reduction factors are printed by the benches and recorded in
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.base import DatasetSpec, GestureDataset, build_dataset
+from repro.gestures.templates import ASL_GESTURES, self_defined_family
+from repro.gestures.user import generate_users
+
+
+def build_selfcollected(
+    *,
+    num_users: int = 17,
+    num_gestures: int = 15,
+    reps: int = 12,
+    environments: tuple[str, ...] = ("office", "meeting_room"),
+    distance_m: float = 1.2,
+    num_points: int = 96,
+    seed: int = 11,
+    keep_clouds: bool = False,
+    gestures: tuple[str, ...] | None = None,
+) -> GestureDataset:
+    """The GesturePrint self-collected dataset: ASL signs, two rooms.
+
+    Paper scale: 17 participants x 15 ASL gestures x 12-25 reps x 2
+    environments = 9,332 samples at 1.2 m.  ``gestures`` selects specific
+    ASL signs by name; by default the first ``num_gestures`` are used.
+    """
+    if gestures is not None:
+        templates = tuple(ASL_GESTURES[name] for name in gestures)
+    else:
+        templates = tuple(ASL_GESTURES.values())[:num_gestures]
+    users = generate_users(num_users, seed=seed)
+    spec = DatasetSpec(
+        users=tuple(users),
+        templates=templates,
+        environments=environments,
+        distances_m=(distance_m,),
+        reps=reps,
+        num_points=num_points,
+        seed=seed,
+    )
+    return build_dataset(spec, keep_clouds=keep_clouds)
+
+
+def build_pantomime(
+    *,
+    num_users: int = 26,
+    num_gestures: int = 21,
+    reps: int = 10,
+    environments: tuple[str, ...] = ("office", "open"),
+    distance_m: float = 1.0,
+    num_points: int = 96,
+    seed: int = 23,
+    speed_override: float | None = None,
+    keep_clouds: bool = False,
+) -> GestureDataset:
+    """Pantomime clone: 21 self-defined gestures, office + open space.
+
+    The paper evaluates Pantomime at 1 m (its closest anchor to 1.2 m);
+    participants differ between the Office and Open subsets, which we
+    mirror by drawing disjoint user pools per environment.
+    ``speed_override`` renders all gestures at a fixed articulation speed
+    (the dataset's slow/normal/fast subsets).
+    """
+    templates = tuple(self_defined_family(num_gestures, seed=5))
+    per_env = []
+    for env_idx, env in enumerate(environments):
+        users = generate_users(
+            num_users, seed=seed + 37 * env_idx, id_offset=env_idx * num_users
+        )
+        spec = DatasetSpec(
+            users=tuple(users),
+            templates=templates,
+            environments=(env,),
+            distances_m=(distance_m,),
+            reps=reps,
+            num_points=num_points,
+            seed=seed + env_idx,
+            speed_override=speed_override,
+        )
+        per_env.append(build_dataset(spec, keep_clouds=keep_clouds))
+    merged = per_env[0]
+    for extra in per_env[1:]:
+        # Environments differ per sub-dataset; merge by re-labelling.
+        merged = _merge_disjoint_environments(merged, extra)
+    return merged
+
+
+def _merge_disjoint_environments(a: GestureDataset, b: GestureDataset) -> GestureDataset:
+    env_names = a.environment_names + [
+        n for n in b.environment_names if n not in a.environment_names
+    ]
+    remap_b = np.array([env_names.index(n) for n in b.environment_names], dtype=np.int64)
+    num_users_a = int(a.user_labels.max()) + 1
+    return GestureDataset(
+        inputs=np.vstack([a.inputs, b.inputs]),
+        gesture_labels=np.concatenate([a.gesture_labels, b.gesture_labels]),
+        user_labels=np.concatenate([a.user_labels, b.user_labels + num_users_a]),
+        distances_m=np.concatenate([a.distances_m, b.distances_m]),
+        environment_labels=np.concatenate(
+            [a.environment_labels, remap_b[b.environment_labels]]
+        ),
+        duration_frames=np.concatenate([a.duration_frames, b.duration_frames]),
+        gesture_names=list(a.gesture_names),
+        environment_names=env_names,
+        clouds=(a.clouds + b.clouds) if a.clouds and b.clouds else [],
+    )
+
+
+def build_mhomeges(
+    *,
+    num_users: int = 14,
+    num_gestures: int = 10,
+    reps: int = 10,
+    distances_m: tuple[float, ...] = (1.2,),
+    num_points: int = 96,
+    seed: int = 31,
+    keep_clouds: bool = False,
+) -> GestureDataset:
+    """mHomeGes clone: 10 large arm gestures at anchors 1.2-3.0 m (home).
+
+    Paper scale: 22,000 samples from 8-14 participants at anchor points
+    1.2-3.0 m spaced 0.15 m apart.
+    """
+    templates = tuple(self_defined_family(num_gestures, seed=13))
+    users = generate_users(num_users, seed=seed)
+    spec = DatasetSpec(
+        users=tuple(users),
+        templates=templates,
+        environments=("home",),
+        distances_m=distances_m,
+        reps=reps,
+        num_points=num_points,
+        seed=seed,
+    )
+    return build_dataset(spec, keep_clouds=keep_clouds)
+
+
+MTRANSSEE_ANCHORS = tuple(np.round(np.arange(1.2, 4.81, 0.3), 2))
+
+
+def build_mtranssee(
+    *,
+    num_users: int = 32,
+    num_gestures: int = 5,
+    reps: int = 10,
+    distances_m: tuple[float, ...] = (1.2,),
+    num_points: int = 96,
+    seed: int = 41,
+    keep_clouds: bool = False,
+) -> GestureDataset:
+    """mTransSee clone: 5 arm gestures, 32 users, anchors 1.2-4.8 m (home).
+
+    Pass ``distances_m=MTRANSSEE_ANCHORS`` for the full 13-anchor sweep
+    used by the Fig. 11 distance experiment.
+    """
+    templates = tuple(self_defined_family(num_gestures, seed=29))
+    users = generate_users(num_users, seed=seed)
+    spec = DatasetSpec(
+        users=tuple(users),
+        templates=templates,
+        environments=("home",),
+        distances_m=distances_m,
+        reps=reps,
+        num_points=num_points,
+        seed=seed,
+    )
+    return build_dataset(spec, keep_clouds=keep_clouds)

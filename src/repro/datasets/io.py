@@ -1,0 +1,55 @@
+"""Dataset persistence: ``.npz`` archives of rendered datasets.
+
+Rendering a dataset takes minutes (it simulates every gesture through
+the radar); saving the rendered arrays lets the train/evaluate steps —
+and anything downstream, like the CLI — reload them instantly.  The
+archive holds exactly the arrays of :class:`GestureDataset` (clouds,
+which are ragged, are not persisted).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.base import GestureDataset
+
+_ARRAY_FIELDS = (
+    "inputs",
+    "gesture_labels",
+    "user_labels",
+    "distances_m",
+    "environment_labels",
+    "duration_frames",
+)
+
+
+def save_dataset(dataset: GestureDataset, path) -> None:
+    """Write a rendered dataset to an ``.npz`` archive.
+
+    Per-sample clouds (if kept during rendering) are dropped: they are
+    ragged, derivable by re-rendering, and only needed by the handful of
+    analyses that request ``keep_clouds=True``.
+    """
+    np.savez(
+        path,
+        **{name: getattr(dataset, name) for name in _ARRAY_FIELDS},
+        gesture_names=np.array(dataset.gesture_names),
+        environment_names=np.array(dataset.environment_names),
+    )
+
+
+def load_dataset(path) -> GestureDataset:
+    """Load a dataset previously written by :func:`save_dataset`."""
+    with np.load(path, allow_pickle=False) as data:
+        missing = [
+            name
+            for name in (*_ARRAY_FIELDS, "gesture_names", "environment_names")
+            if name not in data
+        ]
+        if missing:
+            raise ValueError(f"not a dataset archive; missing arrays: {missing}")
+        return GestureDataset(
+            **{name: data[name] for name in _ARRAY_FIELDS},
+            gesture_names=[str(n) for n in data["gesture_names"]],
+            environment_names=[str(n) for n in data["environment_names"]],
+        )

@@ -1,0 +1,48 @@
+"""Parametric human gesture synthesizer.
+
+Replaces the paper's 17 recruited participants: each simulated
+:class:`UserProfile` carries biometric parameters (arm length, motion
+speed, range of motion, handedness, tremor, idiosyncratic habit offsets)
+that shape how that user performs any gesture — exactly the cues the
+paper attributes user-identifiability to (SIII: "individual variations in
+arm length, motion speed, range of motion, and even implicit motion
+habits").
+
+A :class:`GestureTemplate` describes the canonical hand trajectory of a
+gesture; :func:`perform_gesture` renders a (user, template) pair into
+per-frame scatterer sets, and a radar device turns those into point
+clouds.
+"""
+
+from repro.gestures.user import UserProfile, generate_users
+from repro.gestures.templates import (
+    ASL_GESTURES,
+    GestureTemplate,
+    make_circle_gesture,
+    make_pushpull_gesture,
+    make_swipe_gesture,
+    make_zigzag_gesture,
+    self_defined_family,
+)
+from repro.gestures.kinematics import ArmModel, body_scatterers
+from repro.gestures.scene import Bystander, Environment, ENVIRONMENTS
+from repro.gestures.synthesis import GestureRecording, perform_gesture
+
+__all__ = [
+    "UserProfile",
+    "generate_users",
+    "ASL_GESTURES",
+    "GestureTemplate",
+    "make_circle_gesture",
+    "make_pushpull_gesture",
+    "make_swipe_gesture",
+    "make_zigzag_gesture",
+    "self_defined_family",
+    "ArmModel",
+    "body_scatterers",
+    "Bystander",
+    "Environment",
+    "ENVIRONMENTS",
+    "GestureRecording",
+    "perform_gesture",
+]

@@ -1,0 +1,181 @@
+"""Arm and torso kinematics: joint trajectories -> body scatterers.
+
+The body is modelled as point scatterers: a torso grid (large, slow —
+mostly suppressed by static clutter removal), and per active arm an
+upper-arm / forearm / hand chain whose elbow position is solved with a
+two-link inverse-kinematics model.  Hands carry most of the radar
+cross-section variation seen in real gesture clouds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.radar.scatterer import ScattererSet
+
+
+@dataclass(frozen=True)
+class ArmModel:
+    """Two-link arm with scatterers along each segment."""
+
+    arm_length_m: float
+    upper_fraction: float = 0.52
+    num_upper_scatterers: int = 3
+    num_forearm_scatterers: int = 5
+    num_hand_scatterers: int = 6
+    #: Habitual elbow flare (rotation of the elbow-circle solution around
+    #: the shoulder-hand axis); a per-user shape trait.
+    swivel_angle_rad: float = 0.0
+
+    @property
+    def upper_length_m(self) -> float:
+        return self.arm_length_m * self.upper_fraction
+
+    @property
+    def forearm_length_m(self) -> float:
+        return self.arm_length_m * (1.0 - self.upper_fraction)
+
+    def solve_elbow(self, shoulder: np.ndarray, hand: np.ndarray) -> np.ndarray:
+        """Elbow position from shoulder and hand via 2-link IK.
+
+        The elbow swivel is resolved with a natural "elbow down and out"
+        convention.  When the hand is out of reach the arm is fully
+        extended toward it.
+        """
+        shoulder = np.asarray(shoulder, dtype=np.float64)
+        hand = np.asarray(hand, dtype=np.float64)
+        l1, l2 = self.upper_length_m, self.forearm_length_m
+        axis = hand - shoulder
+        dist = np.linalg.norm(axis)
+        if dist < 1e-9:
+            return shoulder + np.array([0.0, 0.0, -l1])
+        direction = axis / dist
+        if dist >= l1 + l2:
+            return shoulder + direction * l1
+        # Distance from shoulder to the elbow-circle centre along the axis.
+        a = (l1 * l1 - l2 * l2 + dist * dist) / (2.0 * dist)
+        a = np.clip(a, -l1, l1)
+        radius = np.sqrt(max(l1 * l1 - a * a, 0.0))
+        center = shoulder + direction * a
+        # Swivel: prefer downward, fall back to lateral when axis is vertical.
+        down = np.array([0.0, 0.0, -1.0])
+        swivel = down - direction * np.dot(down, direction)
+        norm = np.linalg.norm(swivel)
+        if norm < 1e-6:
+            swivel = np.array([1.0, 0.0, 0.0]) - direction * direction[0]
+            norm = np.linalg.norm(swivel)
+        swivel /= norm
+        if self.swivel_angle_rad != 0.0:
+            # Rodrigues rotation of the swivel vector around the
+            # shoulder-hand axis: the user's habitual elbow flare.
+            angle = self.swivel_angle_rad
+            swivel = (
+                swivel * np.cos(angle)
+                + np.cross(direction, swivel) * np.sin(angle)
+                + direction * np.dot(direction, swivel) * (1.0 - np.cos(angle))
+            )
+        return center + swivel * radius
+
+    def scatterer_positions(self, shoulder: np.ndarray, hand: np.ndarray) -> np.ndarray:
+        """Scatterer positions along the arm chain, shape ``(n, 3)``."""
+        elbow = self.solve_elbow(shoulder, hand)
+        rows = []
+        for i in range(1, self.num_upper_scatterers + 1):
+            t = i / (self.num_upper_scatterers + 1)
+            rows.append(shoulder + t * (elbow - shoulder))
+        for i in range(self.num_forearm_scatterers):
+            t = (i + 1) / self.num_forearm_scatterers
+            rows.append(elbow + t * (hand - elbow))
+        # Hand cluster: a small blob around the hand point.
+        hand_offsets = np.array(
+            [
+                [0.0, 0.0, 0.0],
+                [0.04, 0.02, 0.0],
+                [-0.03, 0.0, 0.03],
+                [0.0, 0.04, -0.03],
+                [0.03, -0.02, 0.04],
+                [-0.04, 0.03, -0.02],
+                [0.02, -0.03, -0.04],
+                [-0.02, 0.02, 0.05],
+            ]
+        )[: self.num_hand_scatterers]
+        for offset in hand_offsets:
+            rows.append(hand + offset)
+        return np.array(rows)
+
+    def scatterer_rcs(self) -> np.ndarray:
+        """RCS per scatterer: arms are weaker reflectors than hands-with-palm."""
+        return np.concatenate(
+            [
+                np.full(self.num_upper_scatterers, 0.35),
+                np.full(self.num_forearm_scatterers, 0.3),
+                np.full(self.num_hand_scatterers, 0.22),
+            ]
+        )
+
+
+def torso_positions(
+    center: np.ndarray, width_m: float, height_m: float, num_rows: int = 3, num_cols: int = 3
+) -> np.ndarray:
+    """A torso scatterer grid centred at ``center`` facing the radar."""
+    xs = np.linspace(-width_m / 2, width_m / 2, num_cols)
+    zs = np.linspace(-height_m * 0.18, height_m * 0.12, num_rows)
+    grid = np.array([[x, 0.0, z] for z in zs for x in xs])
+    return center[None, :] + grid
+
+
+def body_scatterers(
+    torso_center: np.ndarray,
+    hands: dict[str, np.ndarray],
+    arm: ArmModel,
+    *,
+    torso_width_m: float = 0.38,
+    height_m: float = 1.7,
+    torso_velocity: np.ndarray | None = None,
+    hand_velocities: dict[str, np.ndarray] | None = None,
+    rng: np.random.Generator | None = None,
+    velocity_jitter_ms: float = 0.12,
+) -> ScattererSet:
+    """Assemble the full-body scatterer set for one instant.
+
+    ``hands`` maps hand name ('right'/'left') to its world position; the
+    matching shoulders are placed at the torso edges.  Velocities, when
+    given, are assigned to the arm chain proportionally to the distance
+    from the shoulder (the hand moves fastest, the shoulder barely);
+    ``velocity_jitter_ms`` adds per-scatterer micro-Doppler spread (limb
+    rotation, skin/clothing flutter) when an ``rng`` is supplied.
+    """
+    torso_center = np.asarray(torso_center, dtype=np.float64)
+    positions = [torso_positions(torso_center, torso_width_m, height_m)]
+    velocities = [np.zeros((positions[0].shape[0], 3))]
+    if torso_velocity is not None:
+        velocities[0] = np.broadcast_to(torso_velocity, velocities[0].shape).copy()
+    rcs = [np.full(positions[0].shape[0], 1.2)]
+
+    shoulder_dx = {"right": torso_width_m / 2, "left": -torso_width_m / 2}
+    for hand_name, hand_pos in hands.items():
+        shoulder = torso_center + np.array([shoulder_dx[hand_name], 0.0, 0.08])
+        chain = arm.scatterer_positions(shoulder, np.asarray(hand_pos, dtype=np.float64))
+        positions.append(chain)
+        chain_rcs = arm.scatterer_rcs()
+        rcs.append(chain_rcs)
+        chain_vel = np.zeros_like(chain)
+        if hand_velocities is not None and hand_name in hand_velocities:
+            hand_vel = np.asarray(hand_velocities[hand_name], dtype=np.float64)
+            # Velocity ramps from ~0 at the shoulder to full at the hand.
+            dists = np.linalg.norm(chain - shoulder, axis=1)
+            span = max(np.linalg.norm(hand_pos - shoulder), 1e-6)
+            chain_vel = np.clip(dists / span, 0.0, 1.2)[:, None] * hand_vel[None, :]
+            if rng is not None and velocity_jitter_ms > 0:
+                moving = np.linalg.norm(chain_vel, axis=1) > 1e-3
+                jitter = rng.normal(scale=velocity_jitter_ms, size=chain_vel.shape)
+                chain_vel[moving] += jitter[moving]
+        velocities.append(chain_vel)
+
+    return ScattererSet(
+        positions=np.vstack(positions),
+        velocities=np.vstack(velocities),
+        rcs=np.concatenate(rcs),
+    )

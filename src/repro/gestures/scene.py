@@ -1,0 +1,145 @@
+"""Environments and bystanders.
+
+An :class:`Environment` contributes clutter scatterers: fixed reflectors
+(walls, furniture, screens) whose returns are mostly suppressed by static
+clutter removal, plus "flickering" reflectors (fans, swaying objects,
+multipath) whose subtle movement occasionally survives it — the residual
+noise the paper's noise-canceling module targets (SIV-B).
+
+A :class:`Bystander` is a second person either walking through the scene
+or performing gestures nearby (the two multi-person cases of Fig. 15).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.gestures.kinematics import ArmModel, body_scatterers
+from repro.radar.scatterer import ScattererSet
+
+
+@dataclass(frozen=True)
+class Environment:
+    """Static scene description.
+
+    ``reflector_positions`` hold fixed clutter; ``flicker_rate`` is the
+    per-frame probability that a given reflector jitters fast enough to
+    survive static clutter removal; ``multipath_rate`` adds ghost points
+    near the user (handled by the radar's false-alarm machinery).
+    """
+
+    name: str
+    reflector_positions: tuple[tuple[float, float, float], ...]
+    flicker_rate: float = 0.06
+    flicker_speed_ms: float = 0.45
+    false_alarms_per_frame: float = 0.8
+
+    def clutter_scatterers(self, rng: np.random.Generator) -> ScattererSet:
+        """Instantaneous clutter: every reflector, some currently flickering."""
+        if not self.reflector_positions:
+            return ScattererSet(np.zeros((0, 3)))
+        positions = np.asarray(self.reflector_positions, dtype=np.float64)
+        velocities = np.zeros_like(positions)
+        flicker = rng.random(positions.shape[0]) < self.flicker_rate
+        if flicker.any():
+            direction = rng.normal(size=(int(flicker.sum()), 3))
+            direction /= np.linalg.norm(direction, axis=1, keepdims=True)
+            velocities[flicker] = direction * self.flicker_speed_ms
+        rcs = np.full(positions.shape[0], 0.6)
+        return ScattererSet(positions=positions, velocities=velocities, rcs=rcs)
+
+
+def _grid(xs, ys, zs) -> tuple[tuple[float, float, float], ...]:
+    return tuple((float(x), float(y), float(z)) for x in xs for y in ys for z in zs)
+
+
+#: The four evaluation scenarios (Tab. I): office, meeting room, home, open.
+ENVIRONMENTS: dict[str, Environment] = {
+    "office": Environment(
+        name="office",
+        reflector_positions=_grid([-1.2, 1.2], [1.8, 3.2], [-0.6, 0.4])
+        + ((0.0, 3.9, 0.0), (-1.15, 2.5, 0.1)),
+        flicker_rate=0.08,
+        false_alarms_per_frame=1.0,
+    ),
+    "meeting_room": Environment(
+        name="meeting_room",
+        reflector_positions=_grid([-2.5, 2.5], [3.0, 6.5], [-0.5, 0.3]) + ((0.0, 7.2, 0.0),),
+        flicker_rate=0.05,
+        false_alarms_per_frame=0.7,
+    ),
+    "home": Environment(
+        name="home",
+        reflector_positions=_grid([-1.8, 1.8], [2.2, 4.5], [-0.6, 0.3]),
+        flicker_rate=0.07,
+        false_alarms_per_frame=0.9,
+    ),
+    "open": Environment(
+        name="open",
+        reflector_positions=((0.0, 7.9, 0.2),),
+        flicker_rate=0.03,
+        false_alarms_per_frame=0.4,
+    ),
+}
+
+
+@dataclass
+class Bystander:
+    """A second person in the scene.
+
+    ``mode`` is "walking" (crosses the scene on a straight path) or
+    "gesturing" (stands at ``position`` waving an arm).
+    """
+
+    mode: str
+    position: tuple[float, float, float] = (1.5, 2.5, 0.0)
+    walk_start: tuple[float, float] = (-2.5, 2.5)
+    walk_end: tuple[float, float] = (2.5, 2.5)
+    walk_speed_ms: float = 1.0
+    height_m: float = 1.7
+    arm: ArmModel = field(default_factory=lambda: ArmModel(arm_length_m=0.62))
+
+    def scatterers_at(self, time_s: float, rng: np.random.Generator) -> ScattererSet:
+        """Scatterers contributed by the bystander at ``time_s``."""
+        if self.mode == "walking":
+            start = np.array([self.walk_start[0], self.walk_start[1], 0.0])
+            end = np.array([self.walk_end[0], self.walk_end[1], 0.0])
+            span = np.linalg.norm(end - start)
+            direction = (end - start) / max(span, 1e-9)
+            travel = (time_s * self.walk_speed_ms) % (2.0 * span)
+            if travel > span:  # walk back
+                travel = 2.0 * span - travel
+                direction = -direction
+            center = start + (end - start) * (travel / max(span, 1e-9))
+            velocity = direction * self.walk_speed_ms
+            hands = {
+                "right": center + np.array([0.25, 0.0, -0.45]),
+                "left": center + np.array([-0.25, 0.0, -0.45]),
+            }
+            return body_scatterers(
+                center,
+                hands,
+                self.arm,
+                torso_velocity=velocity,
+                hand_velocities={"right": velocity, "left": velocity},
+                height_m=self.height_m,
+            )
+        if self.mode == "gesturing":
+            center = np.asarray(self.position, dtype=np.float64)
+            phase = 2.0 * np.pi * 0.5 * time_s
+            hand = center + np.array(
+                [0.25 + 0.25 * np.sin(phase), -0.35, 0.1 + 0.2 * np.cos(phase)]
+            )
+            hand_vel = np.array(
+                [0.25 * 2.0 * np.pi * 0.5 * np.cos(phase), 0.0, -0.2 * 2.0 * np.pi * 0.5 * np.sin(phase)]
+            )
+            return body_scatterers(
+                center,
+                {"right": hand},
+                self.arm,
+                hand_velocities={"right": hand_vel},
+                height_m=self.height_m,
+            )
+        raise ValueError(f"unknown bystander mode {self.mode!r}")

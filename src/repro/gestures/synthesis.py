@@ -1,0 +1,295 @@
+"""Render a (user, gesture) pair into radar frames.
+
+:func:`perform_gesture` builds the per-frame scatterer scene — idle
+lead-in, personalised gesture motion, idle tail — and runs it through a
+radar device, producing the frame stream the preprocessing stage
+consumes.  All the per-user effects live here:
+
+* waypoints are scaled by arm length and per-axis range of motion;
+* the whole motion plane is tilted by the user's habit rotation and
+  shifted by their habit offset;
+* duration is scaled by the user's speed factor (plus per-repetition
+  jitter — the Fig. 13 effect);
+* a minimum-jerk-like velocity profile is blended with a linear one
+  according to the user's smoothness;
+* physiological tremor adds personal micro-texture.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.gestures.kinematics import ArmModel, torso_positions
+from repro.gestures.scene import Bystander, Environment
+from repro.gestures.templates import GestureTemplate
+from repro.gestures.user import UserProfile
+from repro.radar.pointcloud import Frame
+from repro.radar.scatterer import ScattererSet  # noqa: F401  (used in render loop)
+
+
+@dataclass
+class GestureRecording:
+    """Frames of one recorded gesture performance plus ground truth."""
+
+    frames: list[Frame]
+    user_id: int
+    gesture_name: str
+    distance_m: float
+    environment: str
+    motion_start_frame: int
+    motion_end_frame: int  # exclusive
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def num_frames(self) -> int:
+        return len(self.frames)
+
+    @property
+    def duration_frames(self) -> int:
+        return self.motion_end_frame - self.motion_start_frame
+
+
+def _smoothstep(t: np.ndarray) -> np.ndarray:
+    return t * t * (3.0 - 2.0 * t)
+
+
+def _interpolate_waypoints(
+    waypoints: np.ndarray, phases: np.ndarray, smoothness: float
+) -> np.ndarray:
+    """Arc-length interpolation along the waypoint path with global easing.
+
+    ``phases`` in [0, 1] maps to distance travelled along the path, with
+    a single ease-in/ease-out warp over the whole gesture — so the hand
+    accelerates once at the start and decelerates once at the end rather
+    than stopping at every waypoint.  ``smoothness`` in [0, 1] blends a
+    linear (abrupt) and a smoothstep (fluid) velocity profile.
+    """
+    phases = np.clip(phases, 0.0, 1.0)
+    warped = (1.0 - smoothness) * phases + smoothness * _smoothstep(phases)
+    seg_lengths = np.linalg.norm(np.diff(waypoints, axis=0), axis=1)
+    total = seg_lengths.sum()
+    if total < 1e-9:
+        return np.repeat(waypoints[:1], phases.size, axis=0)
+    cumulative = np.concatenate([[0.0], np.cumsum(seg_lengths)])
+    targets = warped * total
+    seg = np.clip(np.searchsorted(cumulative, targets, side="right") - 1, 0, len(seg_lengths) - 1)
+    local = (targets - cumulative[seg]) / np.maximum(seg_lengths[seg], 1e-12)
+    start = waypoints[seg]
+    end = waypoints[seg + 1]
+    return start + local[:, None] * (end - start)
+
+
+def _gesture_habit_rng(user: UserProfile, template: GestureTemplate) -> np.random.Generator:
+    """Deterministic RNG keyed on (user, gesture).
+
+    People execute *specific* gestures in personal ways — a habit that is
+    stable across repetitions but different across gestures.  This is the
+    signal the paper's serialized mode (one ID model per gesture)
+    specialises on.
+    """
+    key = (user.user_id * 1_000_003 + zlib.crc32(template.name.encode())) & 0xFFFFFFFF
+    return np.random.default_rng(key)
+
+
+def _personalized_waypoints(
+    template: GestureTemplate,
+    user: UserProfile,
+    hand: str,
+    rng: np.random.Generator,
+    rep_jitter_scale: float,
+) -> np.ndarray:
+    """Apply the user's biometric transform (plus per-rep jitter) to waypoints."""
+    waypoints = template.waypoint_array(hand).copy()
+    # Stable per-(user, gesture) habit: how THIS user performs THIS
+    # gesture.  Larger than the per-repetition jitter so it is learnable.
+    habit_rng = _gesture_habit_rng(user, template)
+    if waypoints.shape[0] > 2:
+        waypoints[1:-1] += habit_rng.normal(scale=0.07, size=(waypoints.shape[0] - 2, 3))
+    # Mirror single-arm gestures for left-handed users.
+    if not template.bimanual and user.handedness < 0:
+        waypoints[:, 0] *= -1.0
+    # Scale: arm length (units are arm lengths) and per-axis range of motion.
+    scale = user.arm_length_m * np.asarray(user.rom_scale)
+    waypoints *= scale[None, :]
+    # Habit rotation: tilt the motion in the lateral-vertical plane.
+    angle = user.habit_rotation_rad
+    cos_a, sin_a = np.cos(angle), np.sin(angle)
+    x = waypoints[:, 0] * cos_a - waypoints[:, 2] * sin_a
+    z = waypoints[:, 0] * sin_a + waypoints[:, 2] * cos_a
+    waypoints[:, 0] = x
+    waypoints[:, 2] = z
+    # Habit offset: where this user tends to hold their hands.
+    waypoints += np.asarray(user.habit_offset_m)[None, :]
+    # Per-repetition execution noise on interior waypoints.
+    if waypoints.shape[0] > 2:
+        jitter = rng.normal(scale=0.015 * rep_jitter_scale, size=(waypoints.shape[0] - 2, 3))
+        waypoints[1:-1] += jitter
+    return waypoints
+
+
+def _body_to_radar(offsets: np.ndarray, shoulder_radar: np.ndarray) -> np.ndarray:
+    """Map body-frame offsets (x lateral, y forward, z up) to radar frame.
+
+    The user faces the radar: body-forward is radar ``-y``; body-lateral
+    (their right) is radar ``-x``; up is up.
+    """
+    radar = np.empty_like(offsets)
+    radar[:, 0] = -offsets[:, 0]
+    radar[:, 1] = -offsets[:, 1]
+    radar[:, 2] = offsets[:, 2]
+    return shoulder_radar[None, :] + radar
+
+
+def perform_gesture(
+    user: UserProfile,
+    template: GestureTemplate,
+    radar,
+    environment: Environment,
+    *,
+    distance_m: float = 1.2,
+    rng: np.random.Generator | None = None,
+    bystanders: list[Bystander] | None = None,
+    idle_before_frames: tuple[int, int] = (5, 9),
+    idle_after_frames: tuple[int, int] = (8, 12),
+    speed_override: float | None = None,
+    rep_jitter_scale: float = 1.0,
+) -> GestureRecording:
+    """Record one gesture performance through the given radar device.
+
+    ``speed_override`` replaces the user's speed factor (used by the
+    motion-speed experiments); ``rep_jitter_scale`` scales within-user
+    execution noise.
+    """
+    rng = rng or np.random.default_rng()
+    bystanders = bystanders or []
+    frame_rate = radar.config.frame_rate_hz
+    radar_height = radar.config.mounting_height_m
+
+    # --- timeline ------------------------------------------------------
+    nominal_speed = speed_override if speed_override is not None else user.speed_factor
+    # Per-(user, gesture) pacing habit (stable across repetitions).
+    speed = nominal_speed * float(_gesture_habit_rng(user, template).uniform(0.9, 1.1))
+    duration_s = template.base_duration_s / speed
+    duration_s *= float(rng.uniform(0.95, 1.05))  # per-repetition variation
+    num_motion = max(int(round(duration_s * frame_rate)), 4)
+    num_before = int(rng.integers(idle_before_frames[0], idle_before_frames[1] + 1))
+    num_after = int(rng.integers(idle_after_frames[0], idle_after_frames[1] + 1))
+    total = num_before + num_motion + num_after
+
+    # --- geometry ------------------------------------------------------
+    torso_z = user.shoulder_height_m - 0.10 - radar_height
+    lateral = float(rng.normal(0.0, 0.04))
+    torso_center = np.array([lateral, distance_m, torso_z])
+    arm = ArmModel(arm_length_m=user.arm_length_m, swivel_angle_rad=user.elbow_swivel_rad)
+    shoulder_dx = user.torso_width_m / 2
+
+    hands = ["right"] if not template.bimanual else ["right", "left"]
+    waypoints = {
+        hand: _personalized_waypoints(template, user, hand, rng, rep_jitter_scale)
+        for hand in hands
+    }
+    # For left-handed single-arm users the physical arm is the left one.
+    physical_hand = {h: h for h in hands}
+    if not template.bimanual and user.handedness < 0:
+        physical_hand = {"right": "left"}
+
+    rest_offset = np.asarray(template.waypoint_array("right")[0]) * user.arm_length_m
+    tremor_phase = rng.uniform(0.0, 2.0 * np.pi, size=3)
+
+    # Precompute per-frame hand positions in radar coordinates.
+    frame_hand_positions: list[dict[str, np.ndarray]] = []
+    for frame_idx in range(total):
+        time_s = frame_idx / frame_rate
+        sway = 0.004 * np.sin(2.0 * np.pi * 0.25 * time_s + tremor_phase[0])
+        positions: dict[str, np.ndarray] = {}
+        for hand in hands:
+            side = 1.0 if physical_hand[hand] == "right" else -1.0
+            shoulder_radar = torso_center + np.array([-side * shoulder_dx, 0.0, 0.08])
+            if num_before <= frame_idx < num_before + num_motion:
+                phase = (frame_idx - num_before) / max(num_motion - 1, 1)
+                offsets = _interpolate_waypoints(
+                    waypoints[hand], np.array([phase]), user.smoothness
+                )
+            else:
+                base = rest_offset.copy()
+                base[0] *= side
+                offsets = base[None, :]
+            tremor = user.tremor_amplitude_m * np.sin(
+                2.0 * np.pi * user.tremor_frequency_hz * time_s + tremor_phase
+            )
+            pos = _body_to_radar(offsets, shoulder_radar)[0] + tremor
+            pos[2] += sway
+            positions[physical_hand[hand]] = pos
+        frame_hand_positions.append(positions)
+
+    # --- render frames ---------------------------------------------------
+    # Per-frame arm chains; per-scatterer velocities come from central
+    # finite differences of the chains, so elbow rotation and forearm
+    # swing contribute realistic micro-Doppler even for lateral motion.
+    physical_names = sorted({name for positions in frame_hand_positions for name in positions})
+    shoulders = {
+        name: torso_center
+        + np.array([(1.0 if name == "right" else -1.0) * -shoulder_dx, 0.0, 0.08])
+        for name in physical_names
+    }
+    chain_rcs = arm.scatterer_rcs() * user.rcs_scale
+    frame_chains: list[dict[str, np.ndarray]] = [
+        {
+            name: arm.scatterer_positions(shoulders[name], positions[name])
+            for name in positions
+        }
+        for positions in frame_hand_positions
+    ]
+    torso_pts = torso_positions(torso_center, user.torso_width_m, user.height_m)
+    torso_rcs = np.full(torso_pts.shape[0], 1.2 * user.rcs_scale)
+
+    frames: list[Frame] = []
+    dt = 1.0 / frame_rate
+    velocity_jitter = 0.12
+    for frame_idx in range(total):
+        time_s = frame_idx / frame_rate
+        current = frame_chains[frame_idx]
+        nxt = frame_chains[min(frame_idx + 1, total - 1)]
+        prev = frame_chains[max(frame_idx - 1, 0)]
+        denom = 2.0 * dt if 0 < frame_idx < total - 1 else dt
+        breathing = np.array([0.0, 0.006 * np.sin(2.0 * np.pi * 0.25 * time_s), 0.0])
+        positions = [torso_pts]
+        velocities = [np.broadcast_to(breathing, torso_pts.shape).copy()]
+        rcs = [torso_rcs]
+        for name in current:
+            chain = current[name]
+            chain_vel = (nxt[name] - prev[name]) / denom
+            moving = np.linalg.norm(chain_vel, axis=1) > 0.05
+            if moving.any():
+                jitter = rng.normal(scale=velocity_jitter, size=chain_vel.shape)
+                chain_vel[moving] += jitter[moving]
+            positions.append(chain)
+            velocities.append(chain_vel)
+            rcs.append(chain_rcs)
+        scene = ScattererSet(
+            positions=np.vstack(positions),
+            velocities=np.vstack(velocities),
+            rcs=np.concatenate(rcs),
+        )
+        scene = scene.merged_with(environment.clutter_scatterers(rng))
+        for bystander in bystanders:
+            scene = scene.merged_with(bystander.scatterers_at(time_s, rng))
+        frames.append(radar.capture_frame(scene))
+
+    return GestureRecording(
+        frames=frames,
+        user_id=user.user_id,
+        gesture_name=template.name,
+        distance_m=distance_m,
+        environment=environment.name,
+        motion_start_frame=num_before,
+        motion_end_frame=num_before + num_motion,
+        metadata={
+            "speed": nominal_speed,
+            "effective_speed": speed,
+            "duration_s": duration_s,
+        },
+    )

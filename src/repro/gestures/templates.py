@@ -1,0 +1,336 @@
+"""Gesture templates: canonical hand trajectories.
+
+A template specifies, for each hand, a sequence of waypoints in a
+body-centric frame (x lateral toward the dominant side, y forward toward
+the radar, z up), in units of the performer's arm length.  Waypoints are
+interpolated with a smooth minimum-jerk-like profile at render time.
+
+Two template collections are provided:
+
+* :data:`ASL_GESTURES` — the 15 ASL signs of the paper's self-collected
+  dataset (Fig. 9): 9 single-arm and 6 bimanual motions.
+* :func:`self_defined_family` — procedurally generated families of
+  self-defined gestures (swipes, circles, pushes, zigzags, raises) used
+  to clone the Pantomime / mHomeGes / mTransSee datasets, which contain
+  only self-defined gestures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class GestureTemplate:
+    """Canonical description of one gesture.
+
+    ``right_waypoints`` (and ``left_waypoints`` for bimanual gestures)
+    are ``(k, 3)`` arrays of hand positions relative to the shoulder, in
+    arm lengths.  ``base_duration_s`` is the nominal duration for a
+    speed-factor-1.0 performer.
+    """
+
+    name: str
+    right_waypoints: tuple[tuple[float, float, float], ...]
+    left_waypoints: tuple[tuple[float, float, float], ...] | None = None
+    base_duration_s: float = 2.4
+
+    def __post_init__(self) -> None:
+        if len(self.right_waypoints) < 2:
+            raise ValueError("a gesture needs at least two waypoints")
+        if self.base_duration_s <= 0:
+            raise ValueError("duration must be positive")
+
+    @property
+    def bimanual(self) -> bool:
+        return self.left_waypoints is not None
+
+    def waypoint_array(self, hand: str) -> np.ndarray:
+        if hand == "right":
+            return np.asarray(self.right_waypoints, dtype=np.float64)
+        if hand == "left":
+            if self.left_waypoints is None:
+                raise ValueError(f"gesture {self.name!r} is single-handed")
+            return np.asarray(self.left_waypoints, dtype=np.float64)
+        raise ValueError("hand must be 'right' or 'left'")
+
+
+def _mirror(waypoints: tuple[tuple[float, float, float], ...]) -> tuple:
+    return tuple((-x, y, z) for x, y, z in waypoints)
+
+
+# Rest position: hand slightly below shoulder, near the body.
+_REST = (0.1, 0.25, -0.55)
+
+#: The 15 ASL signs of the self-collected dataset (Fig. 9).  Waypoints are
+#: stylised but strongly distinct paths capturing each sign's gross arm
+#: motion: the signs differ in quadrant, depth, plane, path shape, and
+#: duration so that — as in the paper's Fig. 3 — cross-gesture cloud
+#: differences dominate cross-user differences of the same gesture.
+ASL_GESTURES: dict[str, GestureTemplate] = {
+    # Deep forward thrust at chest height, straight line.
+    "ahead": GestureTemplate(
+        "ahead", (_REST, (0.1, 0.5, 0.0), (0.1, 1.1, 0.05), _REST), base_duration_s=1.8
+    ),
+    # Wide horizontal sweep right-to-left at chest height with a pinch.
+    "and": GestureTemplate(
+        "and", (_REST, (0.7, 0.55, 0.0), (-0.3, 0.6, -0.05), _REST), base_duration_s=2.2
+    ),
+    # Rising arc to the far right, ends high and wide.
+    "another": GestureTemplate(
+        "another",
+        (_REST, (0.2, 0.55, -0.35), (0.6, 0.6, 0.1), (0.85, 0.55, 0.45), _REST),
+        base_duration_s=2.4,
+    ),
+    # Sharp downward chop in front of the torso, from head height to waist.
+    "appoint": GestureTemplate(
+        "appoint", (_REST, (0.15, 0.6, 0.5), (0.15, 0.65, -0.45), _REST), base_duration_s=1.9
+    ),
+    # Flick far to the right and slightly up, shallow depth.
+    "away": GestureTemplate(
+        "away", (_REST, (0.25, 0.45, 0.0), (0.95, 0.5, 0.25), _REST), base_duration_s=1.7
+    ),
+    # Both hands meet at the centre, hold, and part slightly (shallow).
+    "connect": GestureTemplate(
+        "connect",
+        (_REST, (0.45, 0.55, 0.0), (0.08, 0.6, 0.05), (0.2, 0.55, 0.0), _REST),
+        left_waypoints=_mirror(
+            (_REST, (0.45, 0.55, 0.0), (0.08, 0.6, 0.05), (0.2, 0.55, 0.0), _REST)
+        ),
+        base_duration_s=2.6,
+    ),
+    # Forearms cross: each hand sweeps to the opposite side at chest height.
+    "cross": GestureTemplate(
+        "cross",
+        (_REST, (0.5, 0.6, 0.1), (-0.45, 0.65, 0.15), _REST),
+        left_waypoints=_mirror((_REST, (0.5, 0.6, 0.1), (-0.45, 0.65, 0.15), _REST)),
+        base_duration_s=2.3,
+    ),
+    # Both hands trace a wide high box: out, across, and down (long).
+    "every Sunday": GestureTemplate(
+        "every Sunday",
+        (_REST, (0.2, 0.55, 0.5), (0.75, 0.6, 0.5), (0.75, 0.6, -0.2), _REST),
+        left_waypoints=_mirror(
+            (_REST, (0.2, 0.55, 0.5), (0.75, 0.6, 0.5), (0.75, 0.6, -0.2), _REST)
+        ),
+        base_duration_s=3.4,
+    ),
+    # Small circle drawn right in front of the face (high, shallow).
+    "face": GestureTemplate(
+        "face",
+        (
+            _REST,
+            (0.1, 0.5, 0.55),
+            (0.3, 0.5, 0.7),
+            (0.1, 0.5, 0.85),
+            (-0.1, 0.5, 0.7),
+            (0.1, 0.5, 0.55),
+            _REST,
+        ),
+        base_duration_s=2.8,
+    ),
+    # Both hands flip outward and down at waist height (low, quick).
+    "finish": GestureTemplate(
+        "finish",
+        (_REST, (0.25, 0.55, -0.3), (0.65, 0.5, -0.5), _REST),
+        left_waypoints=_mirror((_REST, (0.25, 0.55, -0.3), (0.65, 0.5, -0.5), _REST)),
+        base_duration_s=1.8,
+    ),
+    # Drag across the forehead left-to-right, very high plane.
+    "forget": GestureTemplate(
+        "forget",
+        (_REST, (-0.25, 0.45, 0.75), (0.55, 0.45, 0.7), _REST),
+        base_duration_s=2.1,
+    ),
+    # Vertical drop close to the body: head height straight down to waist,
+    # held near (shallow y) unlike 'appoint' (which is at arm's reach).
+    "front": GestureTemplate(
+        "front", (_REST, (0.12, 0.35, 0.6), (0.12, 0.3, -0.5), _REST), base_duration_s=2.0
+    ),
+    # Both palms push deep toward the radar and return (bimanual 'ahead').
+    "push": GestureTemplate(
+        "push",
+        (_REST, (0.2, 0.45, 0.1), (0.2, 1.05, 0.15), (0.2, 0.5, 0.1), _REST),
+        left_waypoints=_mirror(
+            (_REST, (0.2, 0.45, 0.1), (0.2, 1.05, 0.15), (0.2, 0.5, 0.1), _REST)
+        ),
+        base_duration_s=2.4,
+    ),
+    # Both forearms tap a flat surface twice at waist height (low, repeated).
+    "table": GestureTemplate(
+        "table",
+        (
+            _REST,
+            (0.35, 0.55, -0.35),
+            (0.35, 0.55, -0.6),
+            (0.35, 0.55, -0.35),
+            (0.35, 0.55, -0.6),
+            _REST,
+        ),
+        left_waypoints=_mirror(
+            (
+                _REST,
+                (0.35, 0.55, -0.35),
+                (0.35, 0.55, -0.6),
+                (0.35, 0.55, -0.35),
+                (0.35, 0.55, -0.6),
+                _REST,
+            )
+        ),
+        base_duration_s=2.9,
+    ),
+    # Large lateral zigzag descending across the whole torso (long).
+    "zigzag": GestureTemplate(
+        "zigzag",
+        (
+            _REST,
+            (0.6, 0.6, 0.55),
+            (-0.2, 0.6, 0.3),
+            (0.6, 0.6, 0.05),
+            (-0.2, 0.6, -0.2),
+            (0.6, 0.6, -0.45),
+            _REST,
+        ),
+        base_duration_s=3.2,
+    ),
+}
+
+
+def make_swipe_gesture(name: str, direction: tuple[float, float, float]) -> GestureTemplate:
+    """A swipe: reach out, sweep along ``direction``, retract."""
+    dx, dy, dz = direction
+    mid = (0.15, 0.6, 0.0)
+    end = (mid[0] + 0.5 * dx, mid[1] + 0.5 * dy, mid[2] + 0.5 * dz)
+    start = (mid[0] - 0.35 * dx, mid[1] - 0.35 * dy, mid[2] - 0.35 * dz)
+    return GestureTemplate(name, (_REST, start, end, _REST))
+
+
+def make_pushpull_gesture(name: str, depth: float = 0.5, repeats: int = 1) -> GestureTemplate:
+    """Push toward the radar and pull back, ``repeats`` times."""
+    near = (0.18, 0.45, 0.0)
+    far = (0.18, 0.45 + depth, 0.03)
+    path: list[tuple[float, float, float]] = [_REST]
+    for _ in range(repeats):
+        path.extend([near, far])
+    path.extend([near, _REST])
+    return GestureTemplate(name, tuple(path), base_duration_s=1.8 + 0.8 * repeats)
+
+
+def make_circle_gesture(
+    name: str, radius: float = 0.3, clockwise: bool = True, plane: str = "xz"
+) -> GestureTemplate:
+    """Draw a circle with the hand in the given body plane."""
+    center = np.array([0.2, 0.6, 0.0])
+    angles = np.linspace(0.0, 2.0 * np.pi, 9)
+    if clockwise:
+        angles = -angles
+    path: list[tuple[float, float, float]] = [_REST]
+    for theta in angles:
+        offset = np.zeros(3)
+        if plane == "xz":
+            offset[0] = radius * np.cos(theta)
+            offset[2] = radius * np.sin(theta)
+        elif plane == "xy":
+            offset[0] = radius * np.cos(theta)
+            offset[1] = radius * np.sin(theta)
+        else:
+            raise ValueError("plane must be 'xz' or 'xy'")
+        path.append(tuple(center + offset))
+    path.append(_REST)
+    return GestureTemplate(name, tuple(path), base_duration_s=2.8)
+
+
+def make_zigzag_gesture(name: str, amplitude: float = 0.3, cycles: int = 2) -> GestureTemplate:
+    """Lateral zigzag descending from head height."""
+    path: list[tuple[float, float, float]] = [_REST]
+    z_levels = np.linspace(0.35, -0.2, 2 * cycles + 1)
+    for i, z in enumerate(z_levels):
+        x = 0.4 if i % 2 == 0 else 0.4 - amplitude
+        path.append((x, 0.6, float(z)))
+    path.append(_REST)
+    return GestureTemplate(name, tuple(path), base_duration_s=2.6)
+
+
+def make_raise_gesture(name: str, height: float = 0.5, lateral: float = 0.15) -> GestureTemplate:
+    """Raise the arm from rest to ``height`` and lower it."""
+    return GestureTemplate(
+        name,
+        (_REST, (lateral, 0.5, -0.2), (lateral, 0.55, height), (lateral, 0.5, -0.2), _REST),
+    )
+
+
+def _bimanualize(template: GestureTemplate) -> GestureTemplate:
+    return GestureTemplate(
+        name=template.name,
+        right_waypoints=template.right_waypoints,
+        left_waypoints=_mirror(template.right_waypoints),
+        base_duration_s=template.base_duration_s,
+    )
+
+
+def self_defined_family(num_gestures: int, *, seed: int = 7) -> list[GestureTemplate]:
+    """Procedurally build ``num_gestures`` distinct self-defined gestures.
+
+    Used to clone the public datasets (Pantomime: 21, mHomeGes: 10,
+    mTransSee: 5), whose gestures are "self-defined" arm motions.  The
+    family cycles through swipes in 8 directions, push/pull variants,
+    circles, zigzags, and raises, randomising parameters so every
+    template is geometrically distinct; gestures beyond the 9th are made
+    bimanual, mirroring Pantomime's 12 "bimanual complex gestures".
+    """
+    if num_gestures <= 0:
+        raise ValueError("num_gestures must be positive")
+    rng = np.random.default_rng(seed)
+    directions = [
+        (1.0, 0.0, 0.0),
+        (-1.0, 0.0, 0.0),
+        (0.0, 0.0, 1.0),
+        (0.0, 0.0, -1.0),
+        (0.7, 0.0, 0.7),
+        (-0.7, 0.0, 0.7),
+        (0.7, 0.0, -0.7),
+        (-0.7, 0.0, -0.7),
+    ]
+    builders = []
+    for idx in range(num_gestures):
+        kind = idx % 5
+        if kind == 0:
+            direction = directions[(idx // 5) % len(directions)]
+            builders.append(make_swipe_gesture(f"swipe_{idx}", direction))
+        elif kind == 1:
+            builders.append(
+                make_pushpull_gesture(
+                    f"push_{idx}", depth=float(rng.uniform(0.35, 0.6)), repeats=1 + idx % 2
+                )
+            )
+        elif kind == 2:
+            builders.append(
+                make_circle_gesture(
+                    f"circle_{idx}",
+                    radius=float(rng.uniform(0.22, 0.38)),
+                    clockwise=bool(idx % 2),
+                    plane="xz" if idx % 4 < 2 else "xy",
+                )
+            )
+        elif kind == 3:
+            builders.append(
+                make_zigzag_gesture(
+                    f"zigzag_{idx}", amplitude=float(rng.uniform(0.25, 0.4)), cycles=2 + idx % 2
+                )
+            )
+        else:
+            builders.append(
+                make_raise_gesture(
+                    f"raise_{idx}",
+                    height=float(rng.uniform(0.4, 0.6)),
+                    lateral=float(rng.uniform(0.05, 0.3)),
+                )
+            )
+    templates = []
+    for idx, template in enumerate(builders):
+        if idx >= 9:
+            template = _bimanualize(template)
+        templates.append(template)
+    return templates

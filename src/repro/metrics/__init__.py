@@ -1,0 +1,49 @@
+"""Evaluation metrics used throughout the GesturePrint reproduction.
+
+The paper evaluates with six classification metrics (GRA/GRF1/GRAUC for
+gesture recognition and UIA/UIF1/UIAUC for user identification), the Equal
+Error Rate (EER) for identification, and three point-cloud distances
+(Hausdorff, Chamfer, Jensen-Shannon) for the feasibility study in Fig. 3.
+Confidence-calibration tools (ECE, reliability curves, temperature
+scaling) support the open-set layer's probability gates.
+"""
+
+from repro.metrics.calibration import (
+    apply_temperature,
+    expected_calibration_error,
+    fit_temperature,
+    reliability_curve,
+)
+from repro.metrics.classification import (
+    accuracy,
+    confusion_matrix,
+    macro_f1,
+    one_vs_rest_auc,
+    per_class_accuracy,
+)
+from repro.metrics.eer import DetCurve, equal_error_rate, roc_curve
+from repro.metrics.pointcloud import (
+    chamfer_distance,
+    hausdorff_distance,
+    jensen_shannon_divergence,
+    pairwise_set_distance,
+)
+
+__all__ = [
+    "apply_temperature",
+    "expected_calibration_error",
+    "fit_temperature",
+    "reliability_curve",
+    "accuracy",
+    "confusion_matrix",
+    "macro_f1",
+    "one_vs_rest_auc",
+    "per_class_accuracy",
+    "DetCurve",
+    "equal_error_rate",
+    "roc_curve",
+    "chamfer_distance",
+    "hausdorff_distance",
+    "jensen_shannon_divergence",
+    "pairwise_set_distance",
+]

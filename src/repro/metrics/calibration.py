@@ -1,0 +1,128 @@
+"""Confidence calibration: reliability measurement and temperature scaling.
+
+The serialized mode's open-set layer (SIV-C) gates on softmax
+confidence; those gates are only meaningful if confidence tracks
+correctness.  This module provides the standard tools: expected
+calibration error (ECE) over confidence bins, and temperature scaling —
+a single scalar fitted on held-out logits that reshapes confidence
+without changing any argmax decision.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _validate(probabilities: np.ndarray, labels: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    probabilities = np.asarray(probabilities, dtype=np.float64)
+    labels = np.asarray(labels, dtype=np.int64).ravel()
+    if probabilities.ndim != 2:
+        raise ValueError(f"expected (samples, classes) probabilities, got {probabilities.shape}")
+    if probabilities.shape[0] != labels.size:
+        raise ValueError("probabilities and labels must align")
+    if labels.size == 0:
+        raise ValueError("need at least one sample")
+    if (labels < 0).any() or (labels >= probabilities.shape[1]).any():
+        raise ValueError("labels out of range")
+    return probabilities, labels
+
+
+def expected_calibration_error(
+    probabilities: np.ndarray, labels: np.ndarray, *, num_bins: int = 10
+) -> float:
+    """ECE: mean |confidence − accuracy| over equal-width confidence bins,
+    weighted by bin occupancy.  0 = perfectly calibrated."""
+    if num_bins <= 0:
+        raise ValueError("num_bins must be positive")
+    probabilities, labels = _validate(probabilities, labels)
+    confidence = probabilities.max(axis=1)
+    correct = probabilities.argmax(axis=1) == labels
+    edges = np.linspace(0.0, 1.0, num_bins + 1)
+    total = labels.size
+    ece = 0.0
+    for low, high in zip(edges[:-1], edges[1:]):
+        mask = (confidence > low) & (confidence <= high)
+        if not mask.any():
+            continue
+        gap = abs(correct[mask].mean() - confidence[mask].mean())
+        ece += (mask.sum() / total) * gap
+    return float(ece)
+
+
+def reliability_curve(
+    probabilities: np.ndarray, labels: np.ndarray, *, num_bins: int = 10
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-bin (mean confidence, accuracy, count) for reliability plots.
+
+    Empty bins hold NaN confidence/accuracy and zero count.
+    """
+    if num_bins <= 0:
+        raise ValueError("num_bins must be positive")
+    probabilities, labels = _validate(probabilities, labels)
+    confidence = probabilities.max(axis=1)
+    correct = probabilities.argmax(axis=1) == labels
+    edges = np.linspace(0.0, 1.0, num_bins + 1)
+    mean_conf = np.full(num_bins, np.nan)
+    accuracy = np.full(num_bins, np.nan)
+    counts = np.zeros(num_bins, dtype=np.int64)
+    for i, (low, high) in enumerate(zip(edges[:-1], edges[1:])):
+        mask = (confidence > low) & (confidence <= high)
+        counts[i] = int(mask.sum())
+        if counts[i]:
+            mean_conf[i] = confidence[mask].mean()
+            accuracy[i] = correct[mask].mean()
+    return mean_conf, accuracy, counts
+
+
+def _nll(logits: np.ndarray, labels: np.ndarray, temperature: float) -> float:
+    scaled = logits / temperature
+    scaled = scaled - scaled.max(axis=1, keepdims=True)
+    log_probs = scaled - np.log(np.exp(scaled).sum(axis=1, keepdims=True))
+    return float(-log_probs[np.arange(labels.size), labels].mean())
+
+
+def fit_temperature(
+    logits: np.ndarray,
+    labels: np.ndarray,
+    *,
+    grid: tuple[float, float] = (0.05, 20.0),
+    iterations: int = 60,
+) -> float:
+    """Fit the temperature minimising NLL on held-out logits.
+
+    Golden-section search over ``log T`` — the NLL is unimodal in the
+    temperature, so no gradient machinery is needed.
+    """
+    logits = np.asarray(logits, dtype=np.float64)
+    labels = np.asarray(labels, dtype=np.int64).ravel()
+    if logits.ndim != 2 or logits.shape[0] != labels.size:
+        raise ValueError("logits and labels must align")
+    if grid[0] <= 0 or grid[1] <= grid[0]:
+        raise ValueError("grid must be an increasing positive interval")
+
+    ratio = (np.sqrt(5.0) - 1.0) / 2.0
+    low, high = np.log(grid[0]), np.log(grid[1])
+    mid_low = high - ratio * (high - low)
+    mid_high = low + ratio * (high - low)
+    f_low = _nll(logits, labels, float(np.exp(mid_low)))
+    f_high = _nll(logits, labels, float(np.exp(mid_high)))
+    for _ in range(iterations):
+        if f_low <= f_high:
+            high, mid_high, f_high = mid_high, mid_low, f_low
+            mid_low = high - ratio * (high - low)
+            f_low = _nll(logits, labels, float(np.exp(mid_low)))
+        else:
+            low, mid_low, f_low = mid_low, mid_high, f_high
+            mid_high = low + ratio * (high - low)
+            f_high = _nll(logits, labels, float(np.exp(mid_high)))
+    return float(np.exp((low + high) / 2.0))
+
+
+def apply_temperature(logits: np.ndarray, temperature: float) -> np.ndarray:
+    """Softmax of temperature-scaled logits (argmax is unchanged)."""
+    if temperature <= 0:
+        raise ValueError("temperature must be positive")
+    logits = np.asarray(logits, dtype=np.float64) / temperature
+    logits = logits - logits.max(axis=1, keepdims=True)
+    exp = np.exp(logits)
+    return exp / exp.sum(axis=1, keepdims=True)

@@ -1,0 +1,124 @@
+"""Classification metrics: accuracy, macro-F1, one-vs-rest AUC.
+
+These implement GRA/UIA (accuracy), GRF1/UIF1 (macro-averaged F1, which
+"considers both false positives and false negatives for each class" per
+SVI-A3 of the paper) and GRAUC/UIAUC (area under the one-vs-rest ROC
+curve, macro-averaged over classes).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _validate_labels(y_true: np.ndarray, y_pred: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    y_true = np.asarray(y_true, dtype=np.int64).ravel()
+    y_pred = np.asarray(y_pred, dtype=np.int64).ravel()
+    if y_true.shape != y_pred.shape:
+        raise ValueError(
+            f"label arrays must have the same shape, got {y_true.shape} and {y_pred.shape}"
+        )
+    if y_true.size == 0:
+        raise ValueError("label arrays must be non-empty")
+    return y_true, y_pred
+
+
+def accuracy(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Fraction of samples whose predicted label matches the true label."""
+    y_true, y_pred = _validate_labels(y_true, y_pred)
+    return float(np.mean(y_true == y_pred))
+
+
+def confusion_matrix(
+    y_true: np.ndarray, y_pred: np.ndarray, num_classes: int | None = None
+) -> np.ndarray:
+    """Confusion matrix ``C`` with ``C[i, j]`` = #samples of class i predicted j."""
+    y_true, y_pred = _validate_labels(y_true, y_pred)
+    if num_classes is None:
+        num_classes = int(max(y_true.max(), y_pred.max())) + 1
+    if (y_true < 0).any() or (y_pred < 0).any():
+        raise ValueError("labels must be non-negative")
+    if (y_true >= num_classes).any() or (y_pred >= num_classes).any():
+        raise ValueError("labels exceed num_classes")
+    matrix = np.zeros((num_classes, num_classes), dtype=np.int64)
+    np.add.at(matrix, (y_true, y_pred), 1)
+    return matrix
+
+
+def per_class_accuracy(y_true: np.ndarray, y_pred: np.ndarray) -> np.ndarray:
+    """Recall per class; classes absent from ``y_true`` get NaN."""
+    matrix = confusion_matrix(y_true, y_pred)
+    support = matrix.sum(axis=1)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        recall = np.diag(matrix) / support
+    return np.where(support > 0, recall, np.nan)
+
+
+def macro_f1(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Macro-averaged F1 score over the classes present in ``y_true``.
+
+    For each class the F1 score is the harmonic mean of precision and
+    recall; classes with no true samples are excluded from the average
+    (they have undefined recall).
+    """
+    matrix = confusion_matrix(y_true, y_pred)
+    true_pos = np.diag(matrix).astype(np.float64)
+    support = matrix.sum(axis=1).astype(np.float64)
+    predicted = matrix.sum(axis=0).astype(np.float64)
+    present = support > 0
+    with np.errstate(invalid="ignore", divide="ignore"):
+        precision = np.where(predicted > 0, true_pos / predicted, 0.0)
+        recall = np.where(support > 0, true_pos / support, 0.0)
+        denom = precision + recall
+        f1 = np.where(denom > 0, 2.0 * precision * recall / denom, 0.0)
+    if not present.any():
+        raise ValueError("no class has support")
+    return float(f1[present].mean())
+
+
+def _binary_auc(labels: np.ndarray, scores: np.ndarray) -> float:
+    """AUC via the Mann-Whitney U statistic with tie correction."""
+    pos = scores[labels == 1]
+    neg = scores[labels == 0]
+    if pos.size == 0 or neg.size == 0:
+        return float("nan")
+    combined = np.concatenate([pos, neg])
+    order = np.argsort(combined, kind="mergesort")
+    ranks = np.empty_like(order, dtype=np.float64)
+    ranks[order] = np.arange(1, combined.size + 1)
+    # Average ranks across ties so the statistic is exact.
+    sorted_vals = combined[order]
+    boundaries = np.flatnonzero(np.diff(sorted_vals) != 0)
+    starts = np.concatenate([[0], boundaries + 1])
+    ends = np.concatenate([boundaries + 1, [combined.size]])
+    for start, end in zip(starts, ends):
+        if end - start > 1:
+            ranks[order[start:end]] = 0.5 * (start + 1 + end)
+    rank_sum = ranks[: pos.size].sum()
+    u_stat = rank_sum - pos.size * (pos.size + 1) / 2.0
+    return float(u_stat / (pos.size * neg.size))
+
+
+def one_vs_rest_auc(y_true: np.ndarray, scores: np.ndarray) -> float:
+    """Macro-averaged one-vs-rest ROC AUC.
+
+    Parameters
+    ----------
+    y_true:
+        Integer labels of shape ``(n,)``.
+    scores:
+        Class scores (probabilities or logits) of shape ``(n, num_classes)``.
+    """
+    y_true = np.asarray(y_true, dtype=np.int64).ravel()
+    scores = np.asarray(scores, dtype=np.float64)
+    if scores.ndim != 2 or scores.shape[0] != y_true.shape[0]:
+        raise ValueError("scores must be (n_samples, n_classes) matching y_true")
+    aucs = []
+    for klass in np.unique(y_true):
+        binary = (y_true == klass).astype(np.int64)
+        value = _binary_auc(binary, scores[:, klass])
+        if not np.isnan(value):
+            aucs.append(value)
+    if not aucs:
+        raise ValueError("AUC undefined: need at least two classes with samples")
+    return float(np.mean(aucs))

@@ -1,0 +1,88 @@
+"""ROC curves and Equal Error Rate for the user-identification task.
+
+The paper reports EER as the operating point where the false positive rate
+(others accepted as the target user) equals the false negative rate (the
+target user rejected).  For a multi-class identification model we follow
+the standard verification protocol: every (sample, claimed-identity) pair
+produces a score; pairs where the claim matches the true identity are
+genuine trials, all others are impostor trials.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class DetCurve:
+    """A detection-error tradeoff curve sampled at score thresholds."""
+
+    thresholds: np.ndarray
+    false_positive_rate: np.ndarray
+    false_negative_rate: np.ndarray
+
+    def eer(self) -> float:
+        """Interpolated rate where FPR crosses FNR."""
+        fpr = self.false_positive_rate
+        fnr = self.false_negative_rate
+        diff = fpr - fnr
+        crossing = np.flatnonzero(np.diff(np.sign(diff)) != 0)
+        if crossing.size == 0:
+            idx = int(np.argmin(np.abs(diff)))
+            return float(0.5 * (fpr[idx] + fnr[idx]))
+        i = int(crossing[0])
+        # Linear interpolation between threshold i and i+1.
+        d0, d1 = diff[i], diff[i + 1]
+        if d1 == d0:
+            frac = 0.0
+        else:
+            frac = -d0 / (d1 - d0)
+        eer_val = fpr[i] + frac * (fpr[i + 1] - fpr[i])
+        return float(eer_val)
+
+
+def roc_curve(genuine_scores: np.ndarray, impostor_scores: np.ndarray) -> DetCurve:
+    """Build a DET/ROC curve from genuine and impostor trial scores.
+
+    Higher scores must indicate stronger evidence for the genuine class.
+    """
+    genuine = np.asarray(genuine_scores, dtype=np.float64).ravel()
+    impostor = np.asarray(impostor_scores, dtype=np.float64).ravel()
+    if genuine.size == 0 or impostor.size == 0:
+        raise ValueError("need at least one genuine and one impostor trial")
+    thresholds = np.unique(np.concatenate([genuine, impostor]))
+    # Sweep from accept-everything to reject-everything.
+    thresholds = np.concatenate([[-np.inf], thresholds, [np.inf]])
+    fpr = np.empty(thresholds.size)
+    fnr = np.empty(thresholds.size)
+    sorted_gen = np.sort(genuine)
+    sorted_imp = np.sort(impostor)
+    for idx, thr in enumerate(thresholds):
+        # Accept when score >= thr.
+        fnr[idx] = np.searchsorted(sorted_gen, thr, side="left") / genuine.size
+        fpr[idx] = 1.0 - np.searchsorted(sorted_imp, thr, side="left") / impostor.size
+    return DetCurve(thresholds=thresholds, false_positive_rate=fpr, false_negative_rate=fnr)
+
+
+def equal_error_rate(genuine_scores: np.ndarray, impostor_scores: np.ndarray) -> float:
+    """EER for a verification score distribution (lower is better)."""
+    return roc_curve(genuine_scores, impostor_scores).eer()
+
+
+def verification_trials(
+    probabilities: np.ndarray, y_true: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Expand classifier probabilities into genuine/impostor trial scores.
+
+    Every entry ``probabilities[i, u]`` is one verification trial of sample
+    ``i`` against claimed identity ``u``; it is genuine iff ``y_true[i] == u``.
+    """
+    probabilities = np.asarray(probabilities, dtype=np.float64)
+    y_true = np.asarray(y_true, dtype=np.int64).ravel()
+    if probabilities.ndim != 2 or probabilities.shape[0] != y_true.size:
+        raise ValueError("probabilities must be (n_samples, n_users) matching y_true")
+    mask = np.zeros_like(probabilities, dtype=bool)
+    mask[np.arange(y_true.size), y_true] = True
+    return probabilities[mask], probabilities[~mask]

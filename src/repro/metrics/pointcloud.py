@@ -1,0 +1,119 @@
+"""Point-cloud distance metrics used in the paper's feasibility study (SIII).
+
+The paper compares same-user and cross-user repetitions of the same ASL
+gesture with three measures:
+
+* Hausdorff distance (HD) — the extent to which each point of one cloud
+  lies near some point of the other.
+* Chamfer distance (CD) — the average bidirectional closest-point distance.
+* Jensen-Shannon divergence (JSD) — how similarly the two clouds occupy
+  space, computed over a shared occupancy histogram.
+
+``pairwise_set_distance`` implements Eq. (1): the mean pairwise distance
+between two collections of clouds.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+import numpy as np
+
+
+def _as_cloud(points: np.ndarray) -> np.ndarray:
+    cloud = np.asarray(points, dtype=np.float64)
+    if cloud.ndim != 2 or cloud.shape[0] == 0:
+        raise ValueError("a point cloud must be a non-empty (n, d) array")
+    return cloud
+
+
+def _cross_distances(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    diff = a[:, None, :] - b[None, :, :]
+    return np.sqrt(np.sum(diff * diff, axis=-1))
+
+
+def hausdorff_distance(cloud_a: np.ndarray, cloud_b: np.ndarray) -> float:
+    """Symmetric Hausdorff distance between two point clouds."""
+    a = _as_cloud(cloud_a)
+    b = _as_cloud(cloud_b)
+    if a.shape[1] != b.shape[1]:
+        raise ValueError("point clouds must share dimensionality")
+    dists = _cross_distances(a, b)
+    forward = dists.min(axis=1).max()
+    backward = dists.min(axis=0).max()
+    return float(max(forward, backward))
+
+
+def chamfer_distance(cloud_a: np.ndarray, cloud_b: np.ndarray) -> float:
+    """Average bidirectional closest-point distance."""
+    a = _as_cloud(cloud_a)
+    b = _as_cloud(cloud_b)
+    if a.shape[1] != b.shape[1]:
+        raise ValueError("point clouds must share dimensionality")
+    dists = _cross_distances(a, b)
+    return float(0.5 * (dists.min(axis=1).mean() + dists.min(axis=0).mean()))
+
+
+def _occupancy_histogram(
+    cloud: np.ndarray, bounds: tuple[np.ndarray, np.ndarray], bins: int
+) -> np.ndarray:
+    low, high = bounds
+    span = np.where(high > low, high - low, 1.0)
+    normalized = (cloud - low) / span
+    indices = np.clip((normalized * bins).astype(np.int64), 0, bins - 1)
+    dims = cloud.shape[1]
+    flat = np.zeros(bins**dims, dtype=np.float64)
+    multipliers = bins ** np.arange(dims)
+    np.add.at(flat, indices @ multipliers, 1.0)
+    total = flat.sum()
+    return flat / total if total > 0 else flat
+
+
+def jensen_shannon_divergence(
+    cloud_a: np.ndarray, cloud_b: np.ndarray, bins: int = 8
+) -> float:
+    """JSD between spatial occupancy distributions of two clouds.
+
+    Both clouds are discretised on a shared grid covering their joint
+    bounding box; the result is in ``[0, ln 2]``.
+    """
+    a = _as_cloud(cloud_a)
+    b = _as_cloud(cloud_b)
+    if a.shape[1] != b.shape[1]:
+        raise ValueError("point clouds must share dimensionality")
+    stacked = np.vstack([a, b])
+    bounds = (stacked.min(axis=0), stacked.max(axis=0))
+    p = _occupancy_histogram(a, bounds, bins)
+    q = _occupancy_histogram(b, bounds, bins)
+    mixture = 0.5 * (p + q)
+
+    def _kl(dist: np.ndarray) -> float:
+        mask = dist > 0
+        return float(np.sum(dist[mask] * np.log(dist[mask] / mixture[mask])))
+
+    return 0.5 * _kl(p) + 0.5 * _kl(q)
+
+
+def pairwise_set_distance(
+    clouds_a: Sequence[np.ndarray],
+    clouds_b: Sequence[np.ndarray],
+    metric: Callable[[np.ndarray, np.ndarray], float],
+) -> float:
+    """Mean pairwise distance between two collections of clouds (Eq. 1).
+
+    Identical objects are excluded, which makes
+    ``pairwise_set_distance(c, c, m)`` the within-set mean.
+    """
+    if not clouds_a or not clouds_b:
+        raise ValueError("both collections must be non-empty")
+    total = 0.0
+    count = 0
+    for i, cloud_a in enumerate(clouds_a):
+        for j, cloud_b in enumerate(clouds_b):
+            if clouds_a is clouds_b and i == j:
+                continue
+            total += metric(cloud_a, cloud_b)
+            count += 1
+    if count == 0:
+        raise ValueError("no valid pairs to average over")
+    return total / count

@@ -1,0 +1,155 @@
+"""2-D convolution, pooling, and flattening (im2col based).
+
+Used by the CNN baselines (mGesNet / mSeeNet) that consume concentrated
+position-Doppler profiles rather than raw point clouds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module, Parameter
+
+
+def _im2col(x: np.ndarray, kernel: int, stride: int) -> tuple[np.ndarray, int, int]:
+    """Unfold ``(batch, ch, h, w)`` into ``(batch, out_h*out_w, ch*k*k)``."""
+    batch, channels, height, width = x.shape
+    out_h = (height - kernel) // stride + 1
+    out_w = (width - kernel) // stride + 1
+    strides = x.strides
+    windows = np.lib.stride_tricks.as_strided(
+        x,
+        shape=(batch, channels, out_h, out_w, kernel, kernel),
+        strides=(
+            strides[0],
+            strides[1],
+            strides[2] * stride,
+            strides[3] * stride,
+            strides[2],
+            strides[3],
+        ),
+        writeable=False,
+    )
+    cols = windows.transpose(0, 2, 3, 1, 4, 5).reshape(batch, out_h * out_w, -1)
+    return cols, out_h, out_w
+
+
+class Conv2d(Module):
+    """Valid-mode 2-D convolution over ``(batch, in_ch, h, w)``."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int = 3,
+        stride: int = 1,
+        *,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        if kernel_size <= 0 or stride <= 0:
+            raise ValueError("kernel_size and stride must be positive")
+        rng = rng or np.random.default_rng()
+        fan_in = in_channels * kernel_size * kernel_size
+        bound = np.sqrt(6.0 / fan_in)
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.weight = Parameter(rng.uniform(-bound, bound, size=(out_channels, fan_in)))
+        # Random bias (torch-style): keeps pre-activations off the exact
+        # ReLU kink even on the mostly-zero CPDP histogram inputs.
+        bias_bound = 1.0 / np.sqrt(fan_in)
+        self.bias = Parameter(rng.uniform(-bias_bound, bias_bound, size=out_channels))
+        self._cache: dict | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 4 or x.shape[1] != self.in_channels:
+            raise ValueError(f"Conv2d expected (batch, {self.in_channels}, h, w), got {x.shape}")
+        cols, out_h, out_w = _im2col(x, self.kernel_size, self.stride)
+        out = cols @ self.weight.data.T + self.bias.data
+        self._cache = {"cols": cols, "x_shape": x.shape, "out_hw": (out_h, out_w)}
+        return out.transpose(0, 2, 1).reshape(x.shape[0], self.out_channels, out_h, out_w)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        cols = self._cache["cols"]
+        batch, channels, height, width = self._cache["x_shape"]
+        out_h, out_w = self._cache["out_hw"]
+        grad_output = np.asarray(grad_output, dtype=np.float64)
+        grad_flat = grad_output.reshape(batch, self.out_channels, -1).transpose(0, 2, 1)
+        self.weight.grad += np.einsum("bpo,bpk->ok", grad_flat, cols)
+        self.bias.grad += grad_flat.sum(axis=(0, 1))
+        grad_cols = grad_flat @ self.weight.data  # (batch, positions, ch*k*k)
+        # Fold columns back (col2im with overlap accumulation).
+        grad_input = np.zeros((batch, channels, height, width))
+        k = self.kernel_size
+        grad_windows = grad_cols.reshape(batch, out_h, out_w, channels, k, k)
+        for i in range(out_h):
+            hi = i * self.stride
+            for j in range(out_w):
+                wj = j * self.stride
+                grad_input[:, :, hi : hi + k, wj : wj + k] += grad_windows[:, i, j]
+        return grad_input
+
+
+class MaxPool2d(Module):
+    """Non-overlapping 2-D max pooling."""
+
+    def __init__(self, pool: int = 2) -> None:
+        super().__init__()
+        if pool <= 0:
+            raise ValueError("pool must be positive")
+        self.pool = pool
+        self._cache: dict | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        batch, channels, height, width = x.shape
+        p = self.pool
+        out_h, out_w = height // p, width // p
+        trimmed = x[:, :, : out_h * p, : out_w * p]
+        windows = trimmed.reshape(batch, channels, out_h, p, out_w, p)
+        flat = windows.transpose(0, 1, 2, 4, 3, 5).reshape(batch, channels, out_h, out_w, p * p)
+        argmax = flat.argmax(axis=-1)
+        out = np.take_along_axis(flat, argmax[..., None], axis=-1)[..., 0]
+        self._cache = {"argmax": argmax, "x_shape": x.shape, "out_hw": (out_h, out_w)}
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        argmax = self._cache["argmax"]
+        batch, channels, height, width = self._cache["x_shape"]
+        out_h, out_w = self._cache["out_hw"]
+        p = self.pool
+        grad_flat = np.zeros((batch, channels, out_h, out_w, p * p))
+        np.put_along_axis(grad_flat, argmax[..., None], grad_output[..., None], axis=-1)
+        grad_windows = grad_flat.reshape(batch, channels, out_h, out_w, p, p).transpose(
+            0, 1, 2, 4, 3, 5
+        )
+        grad_input = np.zeros((batch, channels, height, width))
+        grad_input[:, :, : out_h * p, : out_w * p] = grad_windows.reshape(
+            batch, channels, out_h * p, out_w * p
+        )
+        return grad_input
+
+
+class Flatten(Module):
+    """Flatten all but the batch dimension."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._shape: tuple[int, ...] | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        self._shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._shape is None:
+            raise RuntimeError("backward called before forward")
+        return np.asarray(grad_output).reshape(self._shape)

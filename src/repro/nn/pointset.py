@@ -1,0 +1,115 @@
+"""Point-set operators for PointNet++-style set abstraction.
+
+The GesIDNet encoder samples representative points (farthest-point
+sampling), groups neighbours within a radius (ball query), and applies a
+shared MLP per group.  These operators work on batched coordinate arrays
+``(batch, num_points, 3)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def farthest_point_sampling(
+    points: np.ndarray, num_samples: int, *, start_index: int = 0
+) -> np.ndarray:
+    """Select ``num_samples`` indices per batch that are mutually far apart.
+
+    Deterministic given ``start_index``.  If a cloud has fewer points than
+    requested, indices wrap around (sampling with repetition), matching the
+    common PointNet++ practice for sparse mmWave clouds.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 3:
+        raise ValueError(f"points must be (batch, n, d), got {points.shape}")
+    batch, num_points, _ = points.shape
+    if num_samples <= 0:
+        raise ValueError("num_samples must be positive")
+    indices = np.zeros((batch, num_samples), dtype=np.int64)
+    if num_points == 0:
+        raise ValueError("cannot sample from an empty point cloud")
+    effective = min(num_samples, num_points)
+    for b in range(batch):
+        chosen = np.empty(effective, dtype=np.int64)
+        chosen[0] = start_index % num_points
+        dist = np.sum((points[b] - points[b, chosen[0]]) ** 2, axis=1)
+        for i in range(1, effective):
+            chosen[i] = int(np.argmax(dist))
+            new_dist = np.sum((points[b] - points[b, chosen[i]]) ** 2, axis=1)
+            dist = np.minimum(dist, new_dist)
+        if effective < num_samples:
+            pad = np.resize(chosen, num_samples)
+            indices[b] = pad
+        else:
+            indices[b] = chosen
+    return indices
+
+
+def gather_points(points: np.ndarray, indices: np.ndarray) -> np.ndarray:
+    """Gather ``points[b, indices[b]]`` for every batch element."""
+    points = np.asarray(points)
+    indices = np.asarray(indices, dtype=np.int64)
+    batch_idx = np.arange(points.shape[0])[:, None]
+    return points[batch_idx, indices]
+
+
+def ball_query(
+    points: np.ndarray,
+    centers: np.ndarray,
+    radius: float,
+    max_neighbors: int,
+) -> np.ndarray:
+    """Indices of up to ``max_neighbors`` points within ``radius`` of each center.
+
+    Groups with fewer neighbours repeat the first (closest) neighbour, so
+    the output is a dense ``(batch, num_centers, max_neighbors)`` index
+    array.  A center with no in-radius point falls back to its nearest
+    neighbour, guaranteeing non-empty groups for sparse clouds.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    centers = np.asarray(centers, dtype=np.float64)
+    if radius <= 0:
+        raise ValueError("radius must be positive")
+    if max_neighbors <= 0:
+        raise ValueError("max_neighbors must be positive")
+    batch, num_centers, _ = centers.shape
+    num_points = points.shape[1]
+    k = min(max_neighbors, num_points)
+    radius_sq = radius * radius
+
+    diff = centers[:, :, None, :] - points[:, None, :, :]
+    dist_sq = np.einsum("bcnd,bcnd->bcn", diff, diff)
+    if k < num_points:
+        nearest = np.argpartition(dist_sq, kth=k - 1, axis=2)[:, :, :k]
+    else:
+        nearest = np.broadcast_to(
+            np.arange(num_points), (batch, num_centers, num_points)
+        ).copy()
+    sub = np.take_along_axis(dist_sq, nearest, axis=2)
+    order = np.argsort(sub, axis=2, kind="stable")
+    nearest = np.take_along_axis(nearest, order, axis=2)
+    sub = np.take_along_axis(sub, order, axis=2)
+    within = sub <= radius_sq
+    within[:, :, 0] = True  # nearest-neighbour fallback for empty balls
+    selected = np.where(within, nearest, nearest[:, :, :1])
+    if k < max_neighbors:
+        # Fewer points than neighbours requested: repeat the closest.
+        pad = np.broadcast_to(
+            selected[:, :, :1], (batch, num_centers, max_neighbors - k)
+        )
+        selected = np.concatenate([selected, pad], axis=2)
+    return selected
+
+
+def group_points(points: np.ndarray, group_indices: np.ndarray) -> np.ndarray:
+    """Gather grouped coordinates/features.
+
+    ``points`` is ``(batch, num_points, channels)``; ``group_indices`` is
+    ``(batch, num_centers, neighbors)``; the result is
+    ``(batch, num_centers, neighbors, channels)``.
+    """
+    points = np.asarray(points)
+    group_indices = np.asarray(group_indices, dtype=np.int64)
+    batch_idx = np.arange(points.shape[0])[:, None, None]
+    return points[batch_idx, group_indices]

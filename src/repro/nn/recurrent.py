@@ -1,0 +1,154 @@
+"""Recurrent layers (LSTM) with analytic backpropagation through time.
+
+Pantomime aggregates per-slice PointNet features with an LSTM; this
+module provides the LSTM on the same :class:`~repro.nn.module.Module`
+contract as the rest of the substrate so it can sit inside the shared
+trainer.  The implementation keeps the four gates stacked in one weight
+matrix (order: input, forget, cell candidate, output) and caches every
+per-step activation needed for the exact reverse pass.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module, Parameter
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    out = np.empty_like(x)
+    positive = x >= 0
+    out[positive] = 1.0 / (1.0 + np.exp(-x[positive]))
+    exp_x = np.exp(x[~positive])
+    out[~positive] = exp_x / (1.0 + exp_x)
+    return out
+
+
+class LSTM(Module):
+    """Single-layer LSTM over ``(batch, time, input_dim)`` sequences.
+
+    ``forward`` returns the full hidden sequence ``(batch, time,
+    hidden_dim)``; take ``[:, -1]`` for a sequence summary.  ``backward``
+    accepts the gradient of that sequence (zero-filled except at the
+    positions actually used) and returns the gradient w.r.t. the input
+    sequence.
+
+    The forget-gate bias starts at 1.0 — the standard trick that keeps
+    early training from forgetting everything.
+    """
+
+    def __init__(
+        self,
+        input_dim: int,
+        hidden_dim: int,
+        *,
+        rng: np.random.Generator | None = None,
+        forget_bias: float = 1.0,
+    ) -> None:
+        super().__init__()
+        if input_dim <= 0 or hidden_dim <= 0:
+            raise ValueError("input_dim and hidden_dim must be positive")
+        rng = rng or np.random.default_rng()
+        self.input_dim = input_dim
+        self.hidden_dim = hidden_dim
+        bound_w = np.sqrt(6.0 / (input_dim + hidden_dim))
+        self.w_in = Parameter(
+            rng.uniform(-bound_w, bound_w, size=(4 * hidden_dim, input_dim))
+        )
+        self.w_rec = Parameter(
+            rng.uniform(-bound_w, bound_w, size=(4 * hidden_dim, hidden_dim))
+        )
+        bias = np.zeros(4 * hidden_dim)
+        bias[hidden_dim : 2 * hidden_dim] = forget_bias
+        self.bias = Parameter(bias)
+        self._cache: dict | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 3 or x.shape[2] != self.input_dim:
+            raise ValueError(
+                f"LSTM expected (batch, time, {self.input_dim}), got {x.shape}"
+            )
+        batch, steps, _ = x.shape
+        hid = self.hidden_dim
+        h = np.zeros((batch, hid))
+        c = np.zeros((batch, hid))
+        hiddens = np.zeros((batch, steps, hid))
+        gates = np.zeros((batch, steps, 4 * hid))
+        cells = np.zeros((batch, steps, hid))
+        tanh_cells = np.zeros((batch, steps, hid))
+        prev_h = np.zeros((batch, steps, hid))
+        prev_c = np.zeros((batch, steps, hid))
+        for t in range(steps):
+            prev_h[:, t] = h
+            prev_c[:, t] = c
+            pre = x[:, t] @ self.w_in.data.T + h @ self.w_rec.data.T + self.bias.data
+            gate_i = _sigmoid(pre[:, :hid])
+            gate_f = _sigmoid(pre[:, hid : 2 * hid])
+            gate_g = np.tanh(pre[:, 2 * hid : 3 * hid])
+            gate_o = _sigmoid(pre[:, 3 * hid :])
+            c = gate_f * c + gate_i * gate_g
+            tanh_c = np.tanh(c)
+            h = gate_o * tanh_c
+            gates[:, t] = np.concatenate([gate_i, gate_f, gate_g, gate_o], axis=1)
+            cells[:, t] = c
+            tanh_cells[:, t] = tanh_c
+            hiddens[:, t] = h
+        self._cache = {
+            "x": x,
+            "gates": gates,
+            "tanh_cells": tanh_cells,
+            "prev_h": prev_h,
+            "prev_c": prev_c,
+        }
+        return hiddens
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        cache = self._cache
+        x = cache["x"]
+        gates = cache["gates"]
+        batch, steps, _ = x.shape
+        hid = self.hidden_dim
+        grad_output = np.asarray(grad_output, dtype=np.float64)
+        if grad_output.shape != (batch, steps, hid):
+            raise ValueError(
+                f"grad_output must be (batch, time, hidden)={batch, steps, hid}, "
+                f"got {grad_output.shape}"
+            )
+
+        grad_x = np.zeros_like(x)
+        grad_h = np.zeros((batch, hid))
+        grad_c = np.zeros((batch, hid))
+        for t in reversed(range(steps)):
+            grad_h = grad_h + grad_output[:, t]
+            gate_i = gates[:, t, :hid]
+            gate_f = gates[:, t, hid : 2 * hid]
+            gate_g = gates[:, t, 2 * hid : 3 * hid]
+            gate_o = gates[:, t, 3 * hid :]
+            tanh_c = cache["tanh_cells"][:, t]
+
+            grad_o = grad_h * tanh_c
+            grad_c = grad_c + grad_h * gate_o * (1.0 - tanh_c**2)
+            grad_i = grad_c * gate_g
+            grad_g = grad_c * gate_i
+            grad_f = grad_c * cache["prev_c"][:, t]
+
+            grad_pre = np.concatenate(
+                [
+                    grad_i * gate_i * (1.0 - gate_i),
+                    grad_f * gate_f * (1.0 - gate_f),
+                    grad_g * (1.0 - gate_g**2),
+                    grad_o * gate_o * (1.0 - gate_o),
+                ],
+                axis=1,
+            )
+            self.w_in.grad += grad_pre.T @ x[:, t]
+            self.w_rec.grad += grad_pre.T @ cache["prev_h"][:, t]
+            self.bias.grad += grad_pre.sum(axis=0)
+
+            grad_x[:, t] = grad_pre @ self.w_in.data
+            grad_h = grad_pre @ self.w_rec.data
+            grad_c = grad_c * gate_f
+        return grad_x

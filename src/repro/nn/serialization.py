@@ -1,0 +1,76 @@
+"""Save and load module weights as .npz archives."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.nn.module import Module
+
+
+def save_state(module: Module, path: str | os.PathLike) -> None:
+    """Persist all named parameters plus batch-norm running statistics."""
+    arrays: dict[str, np.ndarray] = {}
+    for name, param in module.named_parameters():
+        arrays[f"param:{name}"] = param.data
+    for name, buf in _named_buffers(module):
+        arrays[f"buffer:{name}"] = buf
+    np.savez(path, **arrays)
+
+
+def load_state(module: Module, path: str | os.PathLike) -> None:
+    """Restore parameters saved by :func:`save_state` into ``module``.
+
+    The module must have been constructed with identical architecture;
+    mismatched names or shapes raise ``ValueError``.
+    """
+    with np.load(path) as archive:
+        stored = {key: archive[key] for key in archive.files}
+    for name, param in module.named_parameters():
+        key = f"param:{name}"
+        if key not in stored:
+            raise ValueError(f"missing parameter {name!r} in checkpoint")
+        data = stored.pop(key)
+        if data.shape != param.data.shape:
+            raise ValueError(
+                f"shape mismatch for {name!r}: checkpoint {data.shape}, model {param.shape}"
+            )
+        param.data = data.astype(np.float64)
+        param.grad = np.zeros_like(param.data)
+    for name, _ in _named_buffers(module):
+        key = f"buffer:{name}"
+        if key in stored:
+            _set_buffer(module, name, stored.pop(key))
+    leftover_params = [k for k in stored if k.startswith("param:")]
+    if leftover_params:
+        raise ValueError(f"checkpoint has unused parameters: {leftover_params}")
+
+
+_BUFFER_NAMES = ("running_mean", "running_var")
+
+
+def _named_buffers(module: Module, prefix: str = "") -> list[tuple[str, np.ndarray]]:
+    buffers: list[tuple[str, np.ndarray]] = []
+    for name, value in sorted(vars(module).items()):
+        path = f"{prefix}{name}"
+        if name in _BUFFER_NAMES and isinstance(value, np.ndarray):
+            buffers.append((path, value))
+        elif isinstance(value, Module):
+            buffers.extend(_named_buffers(value, prefix=f"{path}."))
+        elif isinstance(value, (list, tuple)):
+            for idx, item in enumerate(value):
+                if isinstance(item, Module):
+                    buffers.extend(_named_buffers(item, prefix=f"{path}.{idx}."))
+    return buffers
+
+
+def _set_buffer(module: Module, dotted: str, value: np.ndarray) -> None:
+    parts = dotted.split(".")
+    target = module
+    for part in parts[:-1]:
+        if part.isdigit():
+            target = target[int(part)]
+        else:
+            target = getattr(target, part)
+    setattr(target, parts[-1], value.astype(np.float64))

@@ -1,0 +1,39 @@
+"""Data preprocessing stage (SIV-B of the paper).
+
+Modules: gesture segmentation (parameter-adaptive sliding window over
+per-frame point counts), noise canceling (from-scratch DBSCAN + main
+cluster retention), and training-time data augmentation (Gaussian point
+jitter).
+"""
+
+from repro.preprocessing.segmentation import GestureSegmenter, SegmenterParams
+from repro.preprocessing.drai_segmentation import (
+    DRAIGestureSegmenter,
+    DRAISegmenterParams,
+    best_segment_iou,
+    segmentation_iou,
+)
+from repro.preprocessing.dbscan import dbscan
+from repro.preprocessing.noise import NoiseCancelerParams, keep_main_cluster
+from repro.preprocessing.augmentation import augment_cloud, jitter_points
+from repro.preprocessing.pipeline import PreprocessorParams, preprocess_recording
+from repro.preprocessing.multiuser import MultiUserSeparator, PersonTrack, SeparatorParams
+
+__all__ = [
+    "MultiUserSeparator",
+    "PersonTrack",
+    "SeparatorParams",
+    "GestureSegmenter",
+    "SegmenterParams",
+    "DRAIGestureSegmenter",
+    "DRAISegmenterParams",
+    "best_segment_iou",
+    "segmentation_iou",
+    "dbscan",
+    "NoiseCancelerParams",
+    "keep_main_cluster",
+    "augment_cloud",
+    "jitter_points",
+    "PreprocessorParams",
+    "preprocess_recording",
+]

@@ -1,0 +1,48 @@
+"""Training-time data augmentation (SIV-B).
+
+"We introduce a random subtle displacement j to each point p in the
+gesture point cloud P.  This process is repeated to augment the data
+three times.  Displacements ... are generated using a Gaussian
+distribution with mean 0 and standard deviation 0.02."
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.radar.pointcloud import PointCloud
+
+DEFAULT_SIGMA = 0.02
+DEFAULT_COPIES = 3
+
+
+def jitter_points(
+    points: np.ndarray, rng: np.random.Generator, sigma: float = DEFAULT_SIGMA
+) -> np.ndarray:
+    """One jittered copy of an ``(n, >=3)`` point array (xyz perturbed)."""
+    points = np.array(points, dtype=np.float64, copy=True)
+    if points.ndim != 2 or points.shape[1] < 3:
+        raise ValueError("points must be (n, >=3)")
+    points[:, :3] += rng.normal(scale=sigma, size=(points.shape[0], 3))
+    return points
+
+
+def augment_cloud(
+    cloud: PointCloud,
+    rng: np.random.Generator,
+    *,
+    num_copies: int = DEFAULT_COPIES,
+    sigma: float = DEFAULT_SIGMA,
+) -> list[PointCloud]:
+    """The original cloud plus ``num_copies`` jittered copies."""
+    if num_copies < 0:
+        raise ValueError("num_copies must be non-negative")
+    augmented = [cloud]
+    for _ in range(num_copies):
+        augmented.append(
+            PointCloud(
+                points=jitter_points(cloud.points, rng, sigma=sigma),
+                frame_indices=cloud.frame_indices.copy(),
+            )
+        )
+    return augmented

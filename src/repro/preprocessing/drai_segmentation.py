@@ -1,0 +1,159 @@
+"""DI-Gesture-style dynamic-window segmentation over DRAI energy.
+
+The paper's segmenter (SIV-B) thresholds per-frame *point counts*; it
+explicitly contrasts this with DI-Gesture, which applies "a dynamic
+window mechanism to DRAI".  This module implements that alternative so
+the two can be compared on identical recordings: per-frame DRAI energy
+is tracked against an adaptive noise floor, and a dynamic window opens
+when the energy rises above the floor and closes after a trailing run
+of quiet frames.
+
+The comparison lives in ``benchmarks/bench_segmentation_ablation.py``;
+both segmenters emit :class:`~repro.preprocessing.segmentation.Segment`
+spans so the scoring is shared.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.preprocessing.segmentation import Segment
+from repro.radar.config import IWR6843_CONFIG, RadarConfig
+from repro.radar.drai import DRAIParams, DRAIStream
+from repro.radar.pointcloud import Frame
+
+
+@dataclass(frozen=True)
+class DRAISegmenterParams:
+    """Dynamic-window tuning knobs."""
+
+    drai: DRAIParams = DRAIParams()
+    #: Motion is declared when energy exceeds ``floor + margin * spread``.
+    margin: float = 3.0
+    #: EMA factor of the noise-floor estimate (only updated on quiet frames).
+    floor_alpha: float = 0.1
+    #: Consecutive motion frames needed to open a window.
+    min_motion_frames: int = 3
+    #: Consecutive quiet frames needed to close a window.
+    quiet_frames_to_close: int = 6
+    #: Fixed floor used until enough quiet frames have been observed.
+    initial_floor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.margin <= 0:
+            raise ValueError("margin must be positive")
+        if not 0.0 < self.floor_alpha <= 1.0:
+            raise ValueError("floor_alpha must be in (0, 1]")
+        if self.min_motion_frames <= 0 or self.quiet_frames_to_close <= 0:
+            raise ValueError("frame thresholds must be positive")
+
+
+class DRAIGestureSegmenter:
+    """Online dynamic-window segmenter over streaming DRAI energy."""
+
+    def __init__(
+        self,
+        params: DRAISegmenterParams | None = None,
+        *,
+        config: RadarConfig = IWR6843_CONFIG,
+    ) -> None:
+        self.params = params or DRAISegmenterParams()
+        self._stream = DRAIStream(self.params.drai, config=config)
+        self._floor = self.params.initial_floor
+        self._spread = self.params.initial_floor
+        self._motion_run = 0
+        self._quiet_run = 0
+        self._frame_index = 0
+        self._active_start: int | None = None
+        self._energies: deque[float] = deque(maxlen=256)
+
+    @property
+    def in_gesture(self) -> bool:
+        return self._active_start is not None
+
+    def current_threshold(self) -> float:
+        """The energy level above which a frame counts as motion."""
+        return self._floor + self.params.margin * max(self._spread, 1e-9)
+
+    def push(self, frame: Frame) -> Segment | None:
+        """Feed one frame; returns a completed segment when one closes."""
+        energy = float(self._stream.push(frame).sum())
+        self._energies.append(energy)
+        threshold = self.current_threshold()
+        is_motion = energy > threshold
+        index = self._frame_index
+        self._frame_index += 1
+
+        if is_motion:
+            self._motion_run += 1
+            self._quiet_run = 0
+        else:
+            self._motion_run = 0
+            self._quiet_run += 1
+            # The noise floor tracks quiet frames only, so gesture energy
+            # does not inflate it mid-motion.
+            alpha = self.params.floor_alpha
+            self._floor = (1.0 - alpha) * self._floor + alpha * energy
+            self._spread = (1.0 - alpha) * self._spread + alpha * abs(
+                energy - self._floor
+            )
+
+        completed: Segment | None = None
+        if self._active_start is None:
+            if self._motion_run >= self.params.min_motion_frames:
+                self._active_start = index - self._motion_run + 1
+        elif self._quiet_run >= self.params.quiet_frames_to_close:
+            end = max(index - self._quiet_run + 1, self._active_start + 1)
+            completed = Segment(start=self._active_start, end=end)
+            self._active_start = None
+        return completed
+
+    def flush(self) -> Segment | None:
+        """Close an open window at end-of-stream."""
+        if self._active_start is None:
+            return None
+        segment = Segment(start=self._active_start, end=self._frame_index)
+        self._active_start = None
+        return segment
+
+    def segment(self, frames: list[Frame]) -> list[Segment]:
+        """Segment a full recording; resets the segmenter state first."""
+        self.reset()
+        segments = [seg for frame in frames if (seg := self.push(frame)) is not None]
+        tail = self.flush()
+        if tail is not None:
+            segments.append(tail)
+        return segments
+
+    def reset(self) -> None:
+        self._stream.reset()
+        self._floor = self.params.initial_floor
+        self._spread = self.params.initial_floor
+        self._motion_run = 0
+        self._quiet_run = 0
+        self._frame_index = 0
+        self._active_start = None
+        self._energies.clear()
+
+
+def segmentation_iou(predicted: Segment, truth_start: int, truth_end: int) -> float:
+    """Intersection-over-union of a predicted span vs the ground truth."""
+    inter = max(
+        0, min(predicted.end, truth_end) - max(predicted.start, truth_start)
+    )
+    union = max(predicted.end, truth_end) - min(predicted.start, truth_start)
+    if union <= 0:
+        return 0.0
+    return inter / union
+
+
+def best_segment_iou(
+    segments: list[Segment], truth_start: int, truth_end: int
+) -> float:
+    """IoU of the best-matching predicted segment (0.0 if none)."""
+    if not segments:
+        return 0.0
+    return max(segmentation_iou(s, truth_start, truth_end) for s in segments)

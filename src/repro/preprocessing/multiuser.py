@@ -1,0 +1,144 @@
+"""Multi-person separation: per-frame clustering + cross-frame tracking.
+
+SVII-1 of the paper discusses multi-person scenes and points to
+m3Track-style multi-user detection as the extension path.  This module
+implements that extension: instead of keeping only the single main
+cluster, it clusters every frame, associates clusters across frames by
+centroid proximity (a nearest-neighbour tracker with a gating radius),
+and emits one frame stream per tracked person — each of which can then
+be segmented and classified independently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.preprocessing.dbscan import NOISE, dbscan
+from repro.radar.pointcloud import Frame
+
+
+@dataclass
+class PersonTrack:
+    """One tracked person: a frame-aligned stream of their points."""
+
+    track_id: int
+    frames: list[Frame] = field(default_factory=list)
+    centroids: list[np.ndarray | None] = field(default_factory=list)
+    last_seen: int = -1
+
+    @property
+    def num_points(self) -> int:
+        return sum(f.num_points for f in self.frames)
+
+    @property
+    def active_frames(self) -> int:
+        return sum(1 for f in self.frames if f.num_points > 0)
+
+    def current_centroid(self) -> np.ndarray | None:
+        for centroid in reversed(self.centroids):
+            if centroid is not None:
+                return centroid
+        return None
+
+
+@dataclass(frozen=True)
+class SeparatorParams:
+    """Clustering and tracking knobs."""
+
+    cluster_eps_m: float = 0.6
+    cluster_min_points: int = 3
+    gate_radius_m: float = 0.8
+    max_missed_frames: int = 8
+    min_track_points: int = 20
+
+    def __post_init__(self) -> None:
+        if self.cluster_eps_m <= 0 or self.gate_radius_m <= 0:
+            raise ValueError("radii must be positive")
+        if self.cluster_min_points <= 0:
+            raise ValueError("cluster_min_points must be positive")
+
+
+class MultiUserSeparator:
+    """Track multiple people through a frame stream."""
+
+    def __init__(self, params: SeparatorParams | None = None) -> None:
+        self.params = params or SeparatorParams()
+        self._tracks: list[PersonTrack] = []
+        self._frame_index = 0
+
+    @property
+    def tracks(self) -> list[PersonTrack]:
+        return list(self._tracks)
+
+    def push_frame(self, frame: Frame) -> None:
+        """Assign this frame's clusters to tracks (spawning as needed)."""
+        params = self.params
+        clusters: list[np.ndarray] = []
+        if frame.num_points >= params.cluster_min_points:
+            labels = dbscan(frame.xyz, params.cluster_eps_m, params.cluster_min_points)
+            for label in sorted(set(labels) - {NOISE}):
+                clusters.append(np.flatnonzero(labels == label))
+
+        centroids = [frame.xyz[idx].mean(axis=0) for idx in clusters]
+        assigned: dict[int, int] = {}  # cluster index -> track index
+        used_tracks: set[int] = set()
+        # Greedy nearest-centroid association within the gate.
+        order = sorted(
+            (
+                (np.linalg.norm(centroids[c] - track.current_centroid()), c, t)
+                for c in range(len(clusters))
+                for t, track in enumerate(self._tracks)
+                if track.current_centroid() is not None
+                and self._frame_index - track.last_seen <= params.max_missed_frames
+            ),
+            key=lambda item: item[0],
+        )
+        for distance, cluster_idx, track_idx in order:
+            if distance > params.gate_radius_m:
+                break
+            if cluster_idx in assigned or track_idx in used_tracks:
+                continue
+            assigned[cluster_idx] = track_idx
+            used_tracks.add(track_idx)
+
+        # Spawn tracks for unassigned clusters.
+        for cluster_idx in range(len(clusters)):
+            if cluster_idx not in assigned:
+                track = PersonTrack(track_id=len(self._tracks))
+                # Backfill empty frames so streams stay frame-aligned.
+                track.frames = [Frame.empty(timestamp_s=0.0)] * self._frame_index
+                track.centroids = [None] * self._frame_index
+                self._tracks.append(track)
+                assigned[cluster_idx] = len(self._tracks) - 1
+
+        # Emit this frame for every track.
+        cluster_of_track = {t: c for c, t in assigned.items()}
+        for track_idx, track in enumerate(self._tracks):
+            if track_idx in cluster_of_track:
+                idx = clusters[cluster_of_track[track_idx]]
+                track.frames.append(
+                    Frame(points=frame.points[idx], timestamp_s=frame.timestamp_s)
+                )
+                track.centroids.append(centroids[cluster_of_track[track_idx]])
+                track.last_seen = self._frame_index
+            else:
+                track.frames.append(Frame.empty(timestamp_s=frame.timestamp_s))
+                track.centroids.append(None)
+        self._frame_index += 1
+
+    def separate(self, frames: list[Frame]) -> list[PersonTrack]:
+        """Process a full recording; returns substantial tracks only."""
+        self.reset()
+        for frame in frames:
+            self.push_frame(frame)
+        return [
+            track
+            for track in self._tracks
+            if track.num_points >= self.params.min_track_points
+        ]
+
+    def reset(self) -> None:
+        self._tracks = []
+        self._frame_index = 0

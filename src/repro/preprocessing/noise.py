@@ -1,0 +1,59 @@
+"""Noise canceling: cluster the aggregated cloud, keep the main cluster.
+
+SIV-B: "Among all the clusters obtained through DBScan, the cluster
+containing most of the points is retained as the main cluster, while
+others are discarded."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.preprocessing.dbscan import NOISE, dbscan
+from repro.radar.pointcloud import PointCloud
+
+
+@dataclass(frozen=True)
+class NoiseCancelerParams:
+    """Paper defaults: D_max = 1 m, N_min = 4."""
+
+    max_pair_distance_m: float = 1.0
+    min_cluster_points: int = 4
+
+    def __post_init__(self) -> None:
+        if self.max_pair_distance_m <= 0:
+            raise ValueError("max_pair_distance_m must be positive")
+        if self.min_cluster_points <= 0:
+            raise ValueError("min_cluster_points must be positive")
+
+
+def cluster_cloud(
+    cloud: PointCloud, params: NoiseCancelerParams | None = None
+) -> np.ndarray:
+    """DBSCAN labels over the cloud's xyz coordinates."""
+    params = params or NoiseCancelerParams()
+    if cloud.num_points == 0:
+        return np.zeros(0, dtype=np.int64)
+    return dbscan(cloud.xyz, params.max_pair_distance_m, params.min_cluster_points)
+
+
+def keep_main_cluster(
+    cloud: PointCloud, params: NoiseCancelerParams | None = None
+) -> PointCloud:
+    """Return the cloud restricted to its largest DBSCAN cluster.
+
+    If no cluster forms (everything is noise), the input is returned
+    unchanged — dropping all points would break downstream processing,
+    and such clouds are rejected later by minimum-size checks.
+    """
+    labels = cluster_cloud(cloud, params)
+    if labels.size == 0:
+        return cloud
+    valid = labels[labels != NOISE]
+    if valid.size == 0:
+        return cloud
+    counts = np.bincount(valid)
+    main = int(np.argmax(counts))
+    return cloud.select(labels == main)

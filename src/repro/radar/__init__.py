@@ -1,0 +1,67 @@
+"""FMCW mmWave radar simulator.
+
+This substrate replaces the TI IWR6843AOPEVM used by the paper.  Two
+fidelity levels share one :class:`RadarConfig`:
+
+* :class:`SignalLevelRadar` synthesises FMCW chirp returns from point
+  scatterers and runs the full on-chip chain — Range FFT, Doppler FFT,
+  static clutter removal, CA-CFAR detection, and angle estimation over
+  the TX x RX virtual array — to produce point clouds exactly the way
+  the evaluation module does.
+* :class:`FastRadar` is a calibrated geometric model that produces
+  statistically equivalent point clouds directly from scatterer states;
+  it is what the dataset builders use so that full experiments run in
+  minutes rather than hours.
+"""
+
+from repro.radar.config import IWR6843_CONFIG, RadarConfig
+from repro.radar.pointcloud import Frame, PointCloud
+from repro.radar.scatterer import Scatterer, ScattererSet
+from repro.radar.fmcw import synthesize_frame
+from repro.radar.processing import (
+    angle_fft,
+    doppler_fft,
+    range_azimuth_map,
+    range_doppler_map,
+    range_fft,
+    remove_static_clutter,
+)
+from repro.radar.cfar import ca_cfar_1d, ca_cfar_2d
+from repro.radar.device import FastRadar, SignalLevelRadar
+from repro.radar.drai import DRAIParams, DRAIStream, drai_sequence, range_angle_image
+from repro.radar.beamforming import (
+    capon_spectrum,
+    estimate_directions,
+    fft_spectrum,
+    music_spectrum,
+    steering_vector,
+)
+
+__all__ = [
+    "capon_spectrum",
+    "estimate_directions",
+    "fft_spectrum",
+    "music_spectrum",
+    "steering_vector",
+    "DRAIParams",
+    "DRAIStream",
+    "drai_sequence",
+    "range_angle_image",
+    "IWR6843_CONFIG",
+    "RadarConfig",
+    "Frame",
+    "PointCloud",
+    "Scatterer",
+    "ScattererSet",
+    "synthesize_frame",
+    "range_fft",
+    "doppler_fft",
+    "range_doppler_map",
+    "range_azimuth_map",
+    "angle_fft",
+    "remove_static_clutter",
+    "ca_cfar_1d",
+    "ca_cfar_2d",
+    "FastRadar",
+    "SignalLevelRadar",
+]

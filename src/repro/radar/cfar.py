@@ -1,0 +1,89 @@
+"""Cell-averaging CFAR detectors (1-D and 2-D).
+
+CFAR estimates the local noise level from training cells around each cell
+under test (excluding guard cells) and declares a detection when the cell
+power exceeds the noise estimate by a threshold factor chosen for a given
+false-alarm probability.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _threshold_factor(num_training: int, prob_false_alarm: float) -> float:
+    """CA-CFAR scaling factor alpha = N (Pfa^(-1/N) - 1)."""
+    if num_training <= 0:
+        raise ValueError("need at least one training cell")
+    if not 0.0 < prob_false_alarm < 1.0:
+        raise ValueError("prob_false_alarm must be in (0, 1)")
+    return num_training * (prob_false_alarm ** (-1.0 / num_training) - 1.0)
+
+
+def ca_cfar_1d(
+    power: np.ndarray,
+    *,
+    num_training: int = 8,
+    num_guard: int = 2,
+    prob_false_alarm: float = 1e-3,
+) -> np.ndarray:
+    """1-D cell-averaging CFAR; returns a boolean detection mask."""
+    power = np.asarray(power, dtype=np.float64).ravel()
+    n = power.size
+    half_window = num_training // 2 + num_guard
+    detections = np.zeros(n, dtype=bool)
+    for i in range(n):
+        lead = power[max(0, i - half_window) : max(0, i - num_guard)]
+        lag = power[i + num_guard + 1 : i + half_window + 1]
+        training = np.concatenate([lead, lag])
+        if training.size == 0:
+            continue
+        alpha = _threshold_factor(training.size, prob_false_alarm)
+        detections[i] = power[i] > alpha * training.mean()
+    return detections
+
+
+def ca_cfar_2d(
+    power: np.ndarray,
+    *,
+    num_training: tuple[int, int] = (4, 6),
+    num_guard: tuple[int, int] = (1, 2),
+    prob_false_alarm: float = 1e-4,
+) -> np.ndarray:
+    """2-D cell-averaging CFAR over a (doppler, range) power map.
+
+    Implemented with summed-area tables so it is O(cells).
+    Returns a boolean detection mask of the same shape.
+    """
+    power = np.asarray(power, dtype=np.float64)
+    if power.ndim != 2:
+        raise ValueError("expected a 2-D power map")
+    train_d, train_r = num_training
+    guard_d, guard_r = num_guard
+    outer = (train_d + guard_d, train_r + guard_r)
+    inner = (guard_d, guard_r)
+
+    padded = np.pad(power, ((outer[0], outer[0]), (outer[1], outer[1])), mode="reflect")
+    integral = padded.cumsum(axis=0).cumsum(axis=1)
+    integral = np.pad(integral, ((1, 0), (1, 0)))
+
+    def _box_sum(half_d: int, half_r: int) -> np.ndarray:
+        rows, cols = power.shape
+        r0 = outer[0] - half_d
+        c0 = outer[1] - half_r
+        height = 2 * half_d + 1
+        width = 2 * half_r + 1
+        top = integral[r0 : r0 + rows, c0 : c0 + cols]
+        bottom = integral[r0 + height : r0 + height + rows, c0 + width : c0 + width + cols]
+        right = integral[r0 : r0 + rows, c0 + width : c0 + width + cols]
+        down = integral[r0 + height : r0 + height + rows, c0 : c0 + cols]
+        return bottom - right - down + top
+
+    outer_sum = _box_sum(*outer)
+    inner_sum = _box_sum(*inner)
+    num_outer = (2 * outer[0] + 1) * (2 * outer[1] + 1)
+    num_inner = (2 * inner[0] + 1) * (2 * inner[1] + 1)
+    num_train_cells = num_outer - num_inner
+    noise = (outer_sum - inner_sum) / num_train_cells
+    alpha = _threshold_factor(num_train_cells, prob_false_alarm)
+    return power > alpha * noise

@@ -1,0 +1,74 @@
+"""Radar configuration mirroring the paper's IWR6843AOPEVM settings.
+
+SV of the paper: 60-64 GHz RF band, 3 TX / 4 RX antennas, 10 fps,
+0.04 m range resolution, 8.2 m maximum unambiguous range, 2.7 m/s maximum
+radial Doppler velocity, and 0.34 m/s radial velocity resolution.  The
+derived FMCW waveform parameters below reproduce those figures exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+SPEED_OF_LIGHT = 299_792_458.0
+
+
+@dataclass(frozen=True)
+class RadarConfig:
+    """FMCW waveform and array geometry for the simulated radar."""
+
+    start_frequency_hz: float = 60.0e9
+    bandwidth_hz: float = 3.747e9  # c / (2 * 0.04 m)
+    num_range_bins: int = 205  # 8.2 m / 0.04 m
+    num_chirps_per_frame: int = 16  # 2 * v_max / v_res = 2*2.7/0.34 ~ 16
+    num_tx: int = 3
+    num_rx: int = 4
+    frame_rate_hz: float = 10.0
+    # lambda / (4 * T * num_tx) = 2.7 m/s for the paper's v_max.
+    chirp_duration_s: float = 154.2e-6
+    noise_floor_db: float = -95.0
+    transmit_power_db: float = 12.0
+    mounting_height_m: float = 1.25
+
+    @property
+    def wavelength_m(self) -> float:
+        return SPEED_OF_LIGHT / self.start_frequency_hz
+
+    @property
+    def range_resolution_m(self) -> float:
+        return SPEED_OF_LIGHT / (2.0 * self.bandwidth_hz)
+
+    @property
+    def max_range_m(self) -> float:
+        return self.num_range_bins * self.range_resolution_m
+
+    @property
+    def max_velocity_ms(self) -> float:
+        # v_max = lambda / (4 * T_chirp_total); T spans all TX in TDM-MIMO.
+        return self.wavelength_m / (4.0 * self.chirp_duration_s * self.num_tx)
+
+    @property
+    def velocity_resolution_ms(self) -> float:
+        return 2.0 * self.max_velocity_ms / self.num_chirps_per_frame
+
+    @property
+    def num_virtual_antennas(self) -> int:
+        return self.num_tx * self.num_rx
+
+    @property
+    def frame_interval_s(self) -> float:
+        return 1.0 / self.frame_rate_hz
+
+    def __post_init__(self) -> None:
+        if self.start_frequency_hz <= 0 or self.bandwidth_hz <= 0:
+            raise ValueError("frequency parameters must be positive")
+        if self.num_range_bins <= 0 or self.num_chirps_per_frame <= 0:
+            raise ValueError("bin counts must be positive")
+        if self.num_tx <= 0 or self.num_rx <= 0:
+            raise ValueError("antenna counts must be positive")
+        if self.frame_rate_hz <= 0:
+            raise ValueError("frame rate must be positive")
+
+
+#: Default configuration matching the paper's deployment (SV, Fig. 7).
+IWR6843_CONFIG = RadarConfig()

@@ -1,0 +1,225 @@
+"""Radar devices: the full signal-level chain and the fast calibrated model.
+
+Both devices share the same interface: ``capture_frame(scatterers) ->
+Frame`` in radar coordinates (x right, y boresight, z up).  They are
+interchangeable for every downstream stage.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.radar.cfar import ca_cfar_2d
+from repro.radar.config import RadarConfig
+from repro.radar.fmcw import synthesize_frame
+from repro.radar.pointcloud import Frame
+from repro.radar.processing import (
+    angle_fft,
+    doppler_bin_to_velocity,
+    doppler_fft,
+    range_bin_to_meters,
+    range_fft,
+    remove_static_clutter,
+)
+from repro.radar.scatterer import ScattererSet
+
+
+class SignalLevelRadar:
+    """End-to-end FMCW simulation: chirps -> FFTs -> CFAR -> angle -> points.
+
+    This is the reference implementation of the paper's point-cloud
+    generation chain (SIII).  It is accurate but slow — use it for
+    validation, not for bulk dataset generation.
+    """
+
+    def __init__(
+        self,
+        config: RadarConfig,
+        *,
+        clutter_removal: bool = True,
+        prob_false_alarm: float = 1e-4,
+        seed: int | None = None,
+    ) -> None:
+        self.config = config
+        self.clutter_removal = clutter_removal
+        self.prob_false_alarm = prob_false_alarm
+        self._rng = np.random.default_rng(seed)
+        self._time_s = 0.0
+
+    def capture_frame(self, scatterers: ScattererSet) -> Frame:
+        """Run the full chain on one frame's scene."""
+        config = self.config
+        cube = synthesize_frame(scatterers, config, rng=self._rng)
+        profile = range_fft(cube, config)
+        if self.clutter_removal:
+            profile = remove_static_clutter(profile)
+        spectrum = doppler_fft(profile)
+        power = (np.abs(spectrum) ** 2).sum(axis=0)  # (doppler, range)
+        mask = ca_cfar_2d(power, prob_false_alarm=self.prob_false_alarm)
+        # Suppress sidelobe clusters: keep only local maxima among detections.
+        detections = np.argwhere(mask)
+        points = []
+        num_doppler = power.shape[0]
+        for dop_bin, rng_bin in detections:
+            neighborhood = power[
+                max(0, dop_bin - 1) : dop_bin + 2, max(0, rng_bin - 1) : rng_bin + 2
+            ]
+            if power[dop_bin, rng_bin] < neighborhood.max():
+                continue
+            snapshot = spectrum[:, dop_bin, rng_bin]
+            u, w = angle_fft(snapshot, config)
+            radial = range_bin_to_meters(int(rng_bin), config)
+            norm_sq = u * u + w * w
+            if norm_sq >= 1.0:
+                continue
+            velocity = doppler_bin_to_velocity(int(dop_bin), num_doppler, config)
+            x = radial * u
+            z = radial * w
+            y = radial * np.sqrt(1.0 - norm_sq)
+            intensity = float(10.0 * np.log10(power[dop_bin, rng_bin] + 1e-30))
+            points.append((x, y, z, velocity, intensity))
+        frame = Frame(
+            points=np.array(points).reshape(-1, 5), timestamp_s=self._time_s
+        )
+        self._time_s += config.frame_interval_s
+        return frame
+
+
+class FastRadar:
+    """Calibrated geometric detection model (statistically equivalent output).
+
+    Per scatterer the model computes a signal-to-noise ratio from the radar
+    equation, draws a Bernoulli detection, quantises range and Doppler to
+    the configured resolutions, perturbs angles with SNR-dependent noise
+    (finite-aperture effect), and suppresses near-zero-Doppler returns
+    (static clutter removal).  A small Poisson number of false-alarm
+    points is added per frame.
+    """
+
+    #: SNR (dB) at which the detection probability is 50%.
+    snr_midpoint_db = 10.0
+    #: Logistic slope of the detection probability in dB.
+    snr_slope_db = 3.0
+    #: Radial speed below which a return is treated as static clutter.
+    #: MTI-style clutter removal cancels truly static returns only;
+    #: slowly moving targets survive (their Doppler simply quantises to
+    #: the zero bin), which is how lateral gesture motion stays visible.
+    static_threshold_ms = 0.08
+
+    def __init__(
+        self,
+        config: RadarConfig,
+        *,
+        clutter_removal: bool = True,
+        false_alarms_per_frame: float = 0.8,
+        seed: int | None = None,
+    ) -> None:
+        self.config = config
+        self.clutter_removal = clutter_removal
+        self.false_alarms_per_frame = false_alarms_per_frame
+        self._rng = np.random.default_rng(seed)
+        self._time_s = 0.0
+
+    def _snr_db(self, ranges: np.ndarray, rcs: np.ndarray) -> np.ndarray:
+        config = self.config
+        # Two-way propagation: 40 log10(r); processing gain from the two
+        # FFTs is folded into the transmit power constant.
+        processing_gain_db = 30.0
+        return (
+            config.transmit_power_db
+            + processing_gain_db
+            + 10.0 * np.log10(rcs)
+            - 40.0 * np.log10(np.maximum(ranges, 0.3))
+            - config.noise_floor_db
+            - 100.0
+        )
+
+    def capture_frame(self, scatterers: ScattererSet) -> Frame:
+        config = self.config
+        rng = self._rng
+        rows: list[np.ndarray] = []
+        if len(scatterers) > 0:
+            ranges = scatterers.ranges()
+            radial_v = scatterers.radial_velocities()
+            valid = (ranges > 0.05) & (ranges < config.max_range_m)
+            if self.clutter_removal:
+                valid &= np.abs(radial_v) > self.static_threshold_ms
+            positions = scatterers.positions[valid]
+            ranges = ranges[valid]
+            radial_v = radial_v[valid]
+            rcs = scatterers.rcs[valid]
+            if ranges.size:
+                snr_db = self._snr_db(ranges, rcs)
+                prob = 1.0 / (1.0 + np.exp(-(snr_db - self.snr_midpoint_db) / self.snr_slope_db))
+                detected = rng.random(ranges.size) < prob
+                positions = positions[detected]
+                ranges = ranges[detected]
+                radial_v = radial_v[detected]
+                snr_db = snr_db[detected]
+                if ranges.size:
+                    snr_lin = np.maximum(10.0 ** (snr_db / 10.0), 2.0)
+                    # Range and Doppler quantisation with sub-bin noise.
+                    range_noise = config.range_resolution_m / np.sqrt(12.0)
+                    meas_range = ranges + rng.normal(scale=range_noise, size=ranges.size)
+                    meas_range = (
+                        np.round(meas_range / config.range_resolution_m)
+                        * config.range_resolution_m
+                    )
+                    vel_noise = 0.25 * config.velocity_resolution_ms
+                    meas_v = radial_v + rng.normal(scale=vel_noise, size=ranges.size)
+                    meas_v = np.clip(meas_v, -config.max_velocity_ms, config.max_velocity_ms)
+                    meas_v = (
+                        np.round(meas_v / config.velocity_resolution_ms)
+                        * config.velocity_resolution_ms
+                    )
+                    # Angle noise shrinks with sqrt(SNR) (finite aperture).
+                    u = positions[:, 0] / ranges
+                    w = positions[:, 2] / ranges
+                    aperture_az = 0.5 * (config.num_rx - 1)
+                    aperture_el = 0.5 * (config.num_tx - 1)
+                    sigma_u = 1.0 / (np.pi * max(aperture_az, 0.5) * np.sqrt(2.0 * snr_lin))
+                    sigma_w = 1.0 / (np.pi * max(aperture_el, 0.5) * np.sqrt(2.0 * snr_lin))
+                    meas_u = u + rng.normal(size=u.size) * sigma_u
+                    meas_w = w + rng.normal(size=w.size) * sigma_w
+                    norm_sq = meas_u**2 + meas_w**2
+                    keep = norm_sq < 0.99
+                    meas_range = meas_range[keep]
+                    meas_v = meas_v[keep]
+                    meas_u = meas_u[keep]
+                    meas_w = meas_w[keep]
+                    snr_db = snr_db[keep]
+                    norm_sq = norm_sq[keep]
+                    x = meas_range * meas_u
+                    z = meas_range * meas_w
+                    y = meas_range * np.sqrt(1.0 - norm_sq)
+                    rows.append(np.stack([x, y, z, meas_v, snr_db], axis=1))
+
+        num_false = rng.poisson(self.false_alarms_per_frame)
+        if num_false > 0:
+            fa_range = rng.uniform(0.3, config.max_range_m, size=num_false)
+            fa_u = rng.uniform(-0.7, 0.7, size=num_false)
+            fa_w = rng.uniform(-0.5, 0.5, size=num_false)
+            norm_sq = np.minimum(fa_u**2 + fa_w**2, 0.98)
+            fa_v = rng.uniform(
+                -config.max_velocity_ms, config.max_velocity_ms, size=num_false
+            )
+            if self.clutter_removal:
+                # False alarms at zero radial speed are removed too.
+                small = np.abs(fa_v) < self.static_threshold_ms
+                fa_v[small] = np.sign(fa_v[small] + 1e-9) * config.velocity_resolution_ms
+            fa_points = np.stack(
+                [
+                    fa_range * fa_u,
+                    fa_range * np.sqrt(1.0 - norm_sq),
+                    fa_range * fa_w,
+                    fa_v,
+                    rng.uniform(8.0, 14.0, size=num_false),
+                ],
+                axis=1,
+            )
+            rows.append(fa_points)
+
+        points = np.vstack(rows) if rows else np.zeros((0, 5))
+        frame = Frame(points=points, timestamp_s=self._time_s)
+        self._time_s += config.frame_interval_s
+        return frame

@@ -1,0 +1,133 @@
+"""Dynamic Range-Angle Images (DRAI).
+
+DI-Gesture — the segmentation approach the paper contrasts with its own
+(SIV-B) — works on DRAIs: per-frame range-azimuth energy maps with the
+static background removed, so only *moving* reflectors light up.  This
+module rasterises radar frames into range-angle images and applies
+temporal background subtraction to make them dynamic.
+
+The signal-level chain produces range-angle maps before CFAR; point
+clouds are what survives after.  Rasterising detected points (weighted
+by intensity) back onto the range-angle grid yields the same spatial
+energy distribution the DRAI pipeline consumes, which is what the
+DRAI-based segmentation baseline (``repro.preprocessing
+.drai_segmentation``) needs to make a like-for-like comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.radar.config import IWR6843_CONFIG, RadarConfig
+from repro.radar.pointcloud import Frame
+
+
+@dataclass(frozen=True)
+class DRAIParams:
+    """Rasterisation grid and background-subtraction settings."""
+
+    num_range_bins: int = 32
+    num_angle_bins: int = 32
+    max_range_m: float = 5.0
+    #: Azimuth span of the grid, symmetric around boresight.
+    max_angle_rad: float = np.pi / 3
+    #: Exponential moving-average factor of the static background.
+    background_alpha: float = 0.2
+
+    def __post_init__(self) -> None:
+        if self.num_range_bins <= 0 or self.num_angle_bins <= 0:
+            raise ValueError("bin counts must be positive")
+        if self.max_range_m <= 0 or self.max_angle_rad <= 0:
+            raise ValueError("grid extents must be positive")
+        if not 0.0 < self.background_alpha <= 1.0:
+            raise ValueError("background_alpha must be in (0, 1]")
+
+
+def range_angle_image(
+    frame: Frame,
+    params: DRAIParams | None = None,
+    *,
+    config: RadarConfig = IWR6843_CONFIG,
+) -> np.ndarray:
+    """Rasterise one frame into a ``(range, angle)`` intensity image.
+
+    Each detection contributes its intensity to the (range, azimuth)
+    cell it falls into; points outside the grid are clipped onto the
+    border cells, matching how a bounded heatmap display behaves.
+    """
+    del config  # grid extents come from params; config kept for symmetry
+    params = params or DRAIParams()
+    image = np.zeros((params.num_range_bins, params.num_angle_bins))
+    if frame.num_points == 0:
+        return image
+    x, y = frame.points[:, 0], frame.points[:, 1]
+    ranges = np.hypot(x, y)
+    azimuths = np.arctan2(x, np.maximum(y, 1e-9))
+    range_idx = np.clip(
+        (ranges / params.max_range_m * params.num_range_bins).astype(np.int64),
+        0,
+        params.num_range_bins - 1,
+    )
+    angle_idx = np.clip(
+        (
+            (azimuths + params.max_angle_rad)
+            / (2 * params.max_angle_rad)
+            * params.num_angle_bins
+        ).astype(np.int64),
+        0,
+        params.num_angle_bins - 1,
+    )
+    np.add.at(image, (range_idx, angle_idx), frame.intensity)
+    return image
+
+
+class DRAIStream:
+    """Streaming DRAI builder with EMA background subtraction.
+
+    Push frames in order; each call returns the dynamic image
+    ``max(RA_t - background_t, 0)`` and then folds the raw image into
+    the running background.  Static reflectors converge into the
+    background and vanish from the output; movers persist.
+    """
+
+    def __init__(
+        self,
+        params: DRAIParams | None = None,
+        *,
+        config: RadarConfig = IWR6843_CONFIG,
+    ) -> None:
+        self.params = params or DRAIParams()
+        self.config = config
+        self._background: np.ndarray | None = None
+
+    @property
+    def background(self) -> np.ndarray | None:
+        """The current static-background estimate (None before any frame)."""
+        return None if self._background is None else self._background.copy()
+
+    def push(self, frame: Frame) -> np.ndarray:
+        """Dynamic range-angle image of this frame."""
+        raw = range_angle_image(frame, self.params, config=self.config)
+        if self._background is None:
+            self._background = raw.copy()
+            return np.zeros_like(raw)
+        dynamic = np.maximum(raw - self._background, 0.0)
+        alpha = self.params.background_alpha
+        self._background = (1.0 - alpha) * self._background + alpha * raw
+        return dynamic
+
+    def reset(self) -> None:
+        self._background = None
+
+
+def drai_sequence(
+    frames: list[Frame],
+    params: DRAIParams | None = None,
+    *,
+    config: RadarConfig = IWR6843_CONFIG,
+) -> np.ndarray:
+    """DRAIs for a whole recording: ``(frames, range_bins, angle_bins)``."""
+    stream = DRAIStream(params, config=config)
+    return np.stack([stream.push(frame) for frame in frames])

@@ -1,0 +1,103 @@
+"""FMCW chirp synthesis: scatterer sets -> raw radar data cubes.
+
+The simulated front end produces, per frame, a complex data cube of shape
+``(num_virtual_antennas, num_chirps, num_samples)`` — the same raw layout
+the TI device DSP consumes.  The beat signal of each scatterer encodes:
+
+* its range, as the beat frequency within one chirp;
+* its radial velocity, as the phase progression across chirps;
+* its azimuth/elevation, as the phase progression across the virtual
+  antenna array (modelled as a planar array of ``num_rx`` azimuth by
+  ``num_tx`` elevation elements at half-wavelength spacing, matching the
+  2-D AoP antenna layout that lets the IWR6843AOP estimate elevation).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.radar.config import RadarConfig
+from repro.radar.scatterer import ScattererSet
+
+#: Number of ADC samples per chirp used by the simulator (FFT-friendly).
+NUM_SAMPLES = 256
+
+
+def virtual_array_layout(config: RadarConfig) -> np.ndarray:
+    """Positions of virtual antenna elements, in wavelengths.
+
+    Returns ``(num_virtual, 2)`` with columns (horizontal, vertical),
+    laid out as a ``num_tx`` (elevation) x ``num_rx`` (azimuth) grid at
+    half-wavelength pitch.
+    """
+    horizontal = np.tile(np.arange(config.num_rx), config.num_tx) * 0.5
+    vertical = np.repeat(np.arange(config.num_tx), config.num_rx) * 0.5
+    return np.stack([horizontal, vertical], axis=1)
+
+
+def synthesize_frame(
+    scatterers: ScattererSet,
+    config: RadarConfig,
+    *,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """Generate one raw frame data cube for the given scene.
+
+    Thermal noise at ``config.noise_floor_db`` is added per sample.  The
+    returned array has shape ``(num_virtual, num_chirps, NUM_SAMPLES)``.
+    """
+    rng = rng or np.random.default_rng()
+    layout = virtual_array_layout(config)
+    num_virtual = config.num_virtual_antennas
+    num_chirps = config.num_chirps_per_frame
+    cube = np.zeros((num_virtual, num_chirps, NUM_SAMPLES), dtype=np.complex128)
+
+    if len(scatterers) > 0:
+        ranges = scatterers.ranges()
+        radial_v = scatterers.radial_velocities()
+        valid = (ranges > 0.05) & (ranges < config.max_range_m)
+        positions = scatterers.positions[valid]
+        ranges = ranges[valid]
+        radial_v = radial_v[valid]
+        rcs = scatterers.rcs[valid]
+        if ranges.size:
+            # Received amplitude ~ sqrt(rcs) / r^2 (two-way radar equation).
+            power_scale = 10.0 ** (config.transmit_power_db / 20.0)
+            amplitude = power_scale * np.sqrt(rcs) / np.maximum(ranges, 0.3) ** 2
+
+            # Direction cosines for the array phase terms.
+            u = positions[:, 0] / ranges  # azimuth axis
+            w = positions[:, 2] / ranges  # elevation axis
+
+            sample_idx = np.arange(NUM_SAMPLES)
+            chirp_idx = np.arange(num_chirps)
+            # Beat (range) phase: a target at range r lands on FFT bin
+            # r / range_resolution of the NUM_SAMPLES-point range FFT.
+            range_bin = ranges / config.range_resolution_m
+            range_phase = np.exp(
+                2j * np.pi * range_bin[:, None] * sample_idx[None, :] / NUM_SAMPLES
+            )
+            # Doppler phase across chirps (TDM-MIMO chirp period spans all TX).
+            chirp_period = config.chirp_duration_s * config.num_tx
+            doppler_cycles = 2.0 * radial_v * chirp_period / config.wavelength_m
+            doppler_phase = np.exp(2j * np.pi * doppler_cycles[:, None] * chirp_idx[None, :])
+            # Array phase per virtual element.
+            array_cycles = layout[:, 0][None, :] * u[:, None] + layout[:, 1][None, :] * w[:, None]
+            array_phase = np.exp(2j * np.pi * array_cycles)
+            # Random bulk phase per scatterer (unknown absolute range phase).
+            bulk = np.exp(2j * np.pi * rng.random(ranges.size))
+
+            cube += np.einsum(
+                "s,sa,sm,sn->amn",
+                amplitude * bulk,
+                array_phase,
+                doppler_phase,
+                range_phase,
+                optimize=True,
+            )
+
+    noise_sigma = 10.0 ** (config.noise_floor_db / 20.0)
+    noise = rng.normal(scale=noise_sigma / np.sqrt(2), size=cube.shape) + 1j * rng.normal(
+        scale=noise_sigma / np.sqrt(2), size=cube.shape
+    )
+    return cube + noise

@@ -1,0 +1,107 @@
+"""Point-cloud containers shared across the pipeline.
+
+A :class:`Frame` is what the radar emits every 100 ms: an ``(n, 5)``
+array of detections with columns ``(x, y, z, doppler, intensity)``, in the
+radar coordinate system (x right, y boresight/away from the radar,
+z up, origin at the antenna).  A :class:`PointCloud` aggregates frames
+over a whole gesture with a per-point frame index, as GesIDNet consumes
+the points of the entire gesture at once (SIV-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+POINT_FIELDS = ("x", "y", "z", "doppler", "intensity")
+
+
+@dataclass
+class Frame:
+    """Detections of a single radar frame."""
+
+    points: np.ndarray  # (n, 5): x, y, z, doppler, intensity
+    timestamp_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        self.points = np.asarray(self.points, dtype=np.float64).reshape(-1, 5)
+
+    @property
+    def num_points(self) -> int:
+        return self.points.shape[0]
+
+    @property
+    def xyz(self) -> np.ndarray:
+        return self.points[:, :3]
+
+    @property
+    def doppler(self) -> np.ndarray:
+        return self.points[:, 3]
+
+    @property
+    def intensity(self) -> np.ndarray:
+        return self.points[:, 4]
+
+    @classmethod
+    def empty(cls, timestamp_s: float = 0.0) -> "Frame":
+        return cls(points=np.zeros((0, 5)), timestamp_s=timestamp_s)
+
+
+@dataclass
+class PointCloud:
+    """Aggregated gesture point cloud with per-point frame indices."""
+
+    points: np.ndarray  # (n, 5)
+    frame_indices: np.ndarray = field(default_factory=lambda: np.zeros(0, dtype=np.int64))
+
+    def __post_init__(self) -> None:
+        self.points = np.asarray(self.points, dtype=np.float64).reshape(-1, 5)
+        self.frame_indices = np.asarray(self.frame_indices, dtype=np.int64).ravel()
+        if self.frame_indices.size == 0 and self.points.shape[0] > 0:
+            self.frame_indices = np.zeros(self.points.shape[0], dtype=np.int64)
+        if self.frame_indices.size != self.points.shape[0]:
+            raise ValueError("frame_indices must align with points")
+
+    @property
+    def num_points(self) -> int:
+        return self.points.shape[0]
+
+    @property
+    def num_frames(self) -> int:
+        if self.frame_indices.size == 0:
+            return 0
+        return int(self.frame_indices.max() - self.frame_indices.min()) + 1
+
+    @property
+    def xyz(self) -> np.ndarray:
+        return self.points[:, :3]
+
+    @property
+    def doppler(self) -> np.ndarray:
+        return self.points[:, 3]
+
+    @property
+    def intensity(self) -> np.ndarray:
+        return self.points[:, 4]
+
+    def select(self, mask: np.ndarray) -> "PointCloud":
+        """A new cloud containing only the points where ``mask`` is True."""
+        mask = np.asarray(mask, dtype=bool).ravel()
+        if mask.size != self.num_points:
+            raise ValueError("mask must align with points")
+        return PointCloud(points=self.points[mask], frame_indices=self.frame_indices[mask])
+
+    @classmethod
+    def from_frames(cls, frames: list[Frame], start_index: int = 0) -> "PointCloud":
+        """Aggregate a list of frames into one cloud (SIV-C aggregation)."""
+        chunks = []
+        indices = []
+        for offset, frame in enumerate(frames):
+            if frame.num_points == 0:
+                continue
+            chunks.append(frame.points)
+            indices.append(np.full(frame.num_points, start_index + offset, dtype=np.int64))
+        if not chunks:
+            return cls(points=np.zeros((0, 5)), frame_indices=np.zeros(0, dtype=np.int64))
+        return cls(points=np.vstack(chunks), frame_indices=np.concatenate(indices))

@@ -1,0 +1,125 @@
+"""Radar signal processing chain: Range FFT, Doppler FFT, clutter removal, angle FFT.
+
+These operate on the raw data cubes produced by
+:func:`repro.radar.fmcw.synthesize_frame` and mirror the steps SIII of
+the paper lists: "Range Fast-Fourier Transform (FFT), Doppler FFT,
+Constant False Alarm Rate (CFAR), and Angle FFT".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.radar.config import RadarConfig
+from repro.radar.fmcw import NUM_SAMPLES
+
+
+def range_fft(cube: np.ndarray, config: RadarConfig) -> np.ndarray:
+    """Windowed FFT over ADC samples; keeps the first ``num_range_bins`` bins.
+
+    Input ``(ant, chirps, samples)`` -> output ``(ant, chirps, range_bins)``.
+    """
+    cube = np.asarray(cube)
+    if cube.ndim != 3:
+        raise ValueError(f"expected a 3-D data cube, got shape {cube.shape}")
+    window = np.hanning(cube.shape[-1])
+    spectrum = np.fft.fft(cube * window, axis=-1)
+    bins = min(config.num_range_bins, cube.shape[-1])
+    return spectrum[..., :bins]
+
+
+def doppler_fft(range_profile: np.ndarray) -> np.ndarray:
+    """FFT over chirps with fftshift so velocity bin 0 is centred.
+
+    Input ``(ant, chirps, range_bins)`` -> output ``(ant, doppler_bins, range_bins)``.
+    """
+    profile = np.asarray(range_profile)
+    window = np.hanning(profile.shape[1])[None, :, None]
+    spectrum = np.fft.fft(profile * window, axis=1)
+    return np.fft.fftshift(spectrum, axes=1)
+
+
+def remove_static_clutter(range_profile: np.ndarray) -> np.ndarray:
+    """MTI static clutter removal: subtract the mean over chirps.
+
+    The paper enables the device's static clutter removal so that
+    "objects detected at the zero Doppler velocity bins ... can be
+    discarded".  Subtracting the per-(antenna, range-bin) mean across
+    chirps cancels truly static returns exactly — including their
+    window-leakage into neighbouring Doppler bins, which naive
+    zero-bin blanking would miss.  Apply *before* the Doppler FFT.
+    """
+    profile = np.asarray(range_profile)
+    return profile - profile.mean(axis=1, keepdims=True)
+
+
+def range_doppler_map(cube: np.ndarray, config: RadarConfig, *, clutter_removal: bool = True) -> np.ndarray:
+    """Non-coherently integrated range-Doppler power map ``(doppler, range)``."""
+    profile = range_fft(cube, config)
+    if clutter_removal:
+        profile = remove_static_clutter(profile)
+    power = np.abs(doppler_fft(profile)) ** 2
+    return power.sum(axis=0)
+
+
+def angle_fft(
+    snapshot: np.ndarray, config: RadarConfig, *, zero_pad: int = 32
+) -> tuple[float, float]:
+    """Estimate (azimuth-u, elevation-w) direction cosines from one snapshot.
+
+    ``snapshot`` holds the complex values of all virtual antennas at one
+    (doppler, range) cell, ordered as the ``num_tx x num_rx`` planar grid
+    of :func:`repro.radar.fmcw.virtual_array_layout`.  A zero-padded 2-D
+    FFT locates the phase gradient; the returned direction cosines follow
+    ``u = x/r`` and ``w = z/r``.
+    """
+    snapshot = np.asarray(snapshot).reshape(config.num_tx, config.num_rx)
+    padded = np.fft.fft2(snapshot, s=(zero_pad, zero_pad))
+    padded = np.fft.fftshift(padded)
+    peak = np.unravel_index(np.argmax(np.abs(padded)), padded.shape)
+    # Bin -> cycles per element; element pitch is half a wavelength so the
+    # direction cosine is 2 * cycles-per-element.
+    cycles_el = (peak[0] - zero_pad // 2) / zero_pad
+    cycles_az = (peak[1] - zero_pad // 2) / zero_pad
+    return float(2.0 * cycles_az), float(2.0 * cycles_el)
+
+
+def range_azimuth_map(
+    cube: np.ndarray,
+    config: RadarConfig,
+    *,
+    num_angle_bins: int = 32,
+    clutter_removal: bool = True,
+) -> np.ndarray:
+    """Signal-level range-azimuth power map ``(range_bins, angle_bins)``.
+
+    This is the pre-CFAR heatmap that DRAI pipelines (DI-Gesture) are
+    built on: a range FFT per antenna, optional MTI clutter removal, then
+    a zero-padded FFT across the azimuth row of the virtual array,
+    non-coherently integrated over chirps and elevation rows.  The angle
+    axis is fftshifted so boresight sits in the centre column.
+    """
+    if num_angle_bins < config.num_rx:
+        raise ValueError("num_angle_bins must be >= the azimuth element count")
+    profile = range_fft(cube, config)
+    if clutter_removal:
+        profile = remove_static_clutter(profile)
+    # (virtual, chirps, range) -> (tx rows, rx azimuth elements, chirps, range)
+    rows = profile.reshape(
+        config.num_tx, config.num_rx, profile.shape[1], profile.shape[2]
+    )
+    spectrum = np.fft.fft(rows, n=num_angle_bins, axis=1)
+    spectrum = np.fft.fftshift(spectrum, axes=1)
+    power = (np.abs(spectrum) ** 2).sum(axis=(0, 2))  # over tx rows and chirps
+    return power.T  # (range_bins, angle_bins)
+
+
+def doppler_bin_to_velocity(bin_index: int, num_bins: int, config: RadarConfig) -> float:
+    """Convert a (fftshifted) Doppler bin index to a radial velocity in m/s."""
+    centered = bin_index - num_bins // 2
+    return centered * 2.0 * config.max_velocity_ms / num_bins
+
+
+def range_bin_to_meters(bin_index: int, config: RadarConfig) -> float:
+    """Convert a range bin index to meters."""
+    return bin_index * config.range_resolution_m

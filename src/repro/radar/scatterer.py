@@ -1,0 +1,79 @@
+"""Point-scatterer representation of reflecting objects.
+
+The human body (and clutter objects) are modelled as sets of point
+scatterers, each with a position, velocity, and radar cross-section
+(RCS).  Both radar fidelity levels consume scatterer sets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Scatterer:
+    """A single point reflector."""
+
+    position: tuple[float, float, float]
+    velocity: tuple[float, float, float] = (0.0, 0.0, 0.0)
+    rcs: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.rcs <= 0:
+            raise ValueError("rcs must be positive")
+
+
+class ScattererSet:
+    """A batch of scatterers stored as dense arrays for vectorised maths."""
+
+    def __init__(
+        self,
+        positions: np.ndarray,
+        velocities: np.ndarray | None = None,
+        rcs: np.ndarray | None = None,
+    ) -> None:
+        self.positions = np.asarray(positions, dtype=np.float64).reshape(-1, 3)
+        count = self.positions.shape[0]
+        if velocities is None:
+            velocities = np.zeros((count, 3))
+        self.velocities = np.asarray(velocities, dtype=np.float64).reshape(-1, 3)
+        if rcs is None:
+            rcs = np.ones(count)
+        self.rcs = np.asarray(rcs, dtype=np.float64).ravel()
+        if self.velocities.shape[0] != count or self.rcs.shape[0] != count:
+            raise ValueError("positions, velocities and rcs must align")
+        if (self.rcs <= 0).any():
+            raise ValueError("all rcs values must be positive")
+
+    def __len__(self) -> int:
+        return self.positions.shape[0]
+
+    @classmethod
+    def from_scatterers(cls, scatterers: list[Scatterer]) -> "ScattererSet":
+        if not scatterers:
+            return cls(np.zeros((0, 3)))
+        return cls(
+            positions=np.array([s.position for s in scatterers]),
+            velocities=np.array([s.velocity for s in scatterers]),
+            rcs=np.array([s.rcs for s in scatterers]),
+        )
+
+    def merged_with(self, other: "ScattererSet") -> "ScattererSet":
+        return ScattererSet(
+            positions=np.vstack([self.positions, other.positions]),
+            velocities=np.vstack([self.velocities, other.velocities]),
+            rcs=np.concatenate([self.rcs, other.rcs]),
+        )
+
+    def ranges(self) -> np.ndarray:
+        """Distance of each scatterer from the radar origin."""
+        return np.linalg.norm(self.positions, axis=1)
+
+    def radial_velocities(self) -> np.ndarray:
+        """Signed range-rate of each scatterer (positive = receding)."""
+        ranges = self.ranges()
+        safe = np.where(ranges > 1e-9, ranges, 1.0)
+        radial = np.einsum("ij,ij->i", self.positions, self.velocities) / safe
+        return np.where(ranges > 1e-9, radial, 0.0)

@@ -1,0 +1,21 @@
+"""Dependency-free SVG figure generation.
+
+Regenerates the paper's figure styles (ROC curves, distance sweeps,
+t-SNE scatters, confusion matrices, motion trails) as standalone SVG
+files; no matplotlib required.
+"""
+
+from repro.viz.svg import Canvas, Element, PALETTE, color_for
+from repro.viz.charts import ChartLayout, heatmap, line_chart, nice_ticks, scatter_chart
+
+__all__ = [
+    "Canvas",
+    "Element",
+    "PALETTE",
+    "color_for",
+    "ChartLayout",
+    "heatmap",
+    "line_chart",
+    "nice_ticks",
+    "scatter_chart",
+]

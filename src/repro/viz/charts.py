@@ -1,0 +1,284 @@
+"""Chart builders on the SVG canvas: line charts, scatters, heatmaps.
+
+These regenerate the paper's figure styles — ROC curves (Fig. 10),
+accuracy-vs-distance sweeps (Fig. 11), t-SNE feature scatters (Fig. 6),
+and confusion matrices — as standalone SVG files written next to the
+benchmark tables.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.viz.svg import Canvas, color_for
+
+
+@dataclass(frozen=True)
+class ChartLayout:
+    """Pixel geometry shared by the axis-based charts."""
+
+    width: float = 460.0
+    height: float = 340.0
+    margin_left: float = 58.0
+    margin_right: float = 16.0
+    margin_top: float = 34.0
+    margin_bottom: float = 48.0
+
+    def __post_init__(self) -> None:
+        if self.plot_width <= 0 or self.plot_height <= 0:
+            raise ValueError("margins leave no plot area")
+
+    @property
+    def plot_width(self) -> float:
+        return self.width - self.margin_left - self.margin_right
+
+    @property
+    def plot_height(self) -> float:
+        return self.height - self.margin_top - self.margin_bottom
+
+
+def nice_ticks(low: float, high: float, max_ticks: int = 6) -> list[float]:
+    """Round tick positions covering ``[low, high]`` (1-2-5 progression)."""
+    if not math.isfinite(low) or not math.isfinite(high):
+        raise ValueError("tick bounds must be finite")
+    if high <= low:
+        high = low + 1.0
+    raw_step = (high - low) / max(max_ticks - 1, 1)
+    magnitude = 10.0 ** math.floor(math.log10(raw_step))
+    for factor in (1.0, 2.0, 5.0, 10.0):
+        step = factor * magnitude
+        if step >= raw_step:
+            break
+    first = math.ceil(low / step) * step
+    ticks = []
+    value = first
+    while value <= high + 1e-9 * step:
+        ticks.append(round(value, 10))
+        value += step
+    return ticks
+
+
+class _Axes:
+    """Axis frame, scales, ticks, and labels for x/y charts."""
+
+    def __init__(
+        self,
+        canvas: Canvas,
+        layout: ChartLayout,
+        x_range: tuple[float, float],
+        y_range: tuple[float, float],
+        *,
+        title: str = "",
+        x_label: str = "",
+        y_label: str = "",
+    ) -> None:
+        self.canvas = canvas
+        self.layout = layout
+        self.x_low, self.x_high = x_range
+        self.y_low, self.y_high = y_range
+        if self.x_high <= self.x_low or self.y_high <= self.y_low:
+            raise ValueError("axis ranges must be non-degenerate")
+        self._draw_frame(title, x_label, y_label)
+
+    def x_to_px(self, x: float) -> float:
+        fraction = (x - self.x_low) / (self.x_high - self.x_low)
+        return self.layout.margin_left + fraction * self.layout.plot_width
+
+    def y_to_px(self, y: float) -> float:
+        fraction = (y - self.y_low) / (self.y_high - self.y_low)
+        return self.layout.margin_top + (1.0 - fraction) * self.layout.plot_height
+
+    def _draw_frame(self, title: str, x_label: str, y_label: str) -> None:
+        canvas, layout = self.canvas, self.layout
+        left, top = layout.margin_left, layout.margin_top
+        right = layout.margin_left + layout.plot_width
+        bottom = layout.margin_top + layout.plot_height
+        canvas.line(left, bottom, right, bottom, stroke="#444")
+        canvas.line(left, top, left, bottom, stroke="#444")
+        for tick in nice_ticks(self.x_low, self.x_high):
+            if not self.x_low <= tick <= self.x_high:
+                continue
+            x = self.x_to_px(tick)
+            canvas.line(x, bottom, x, bottom + 4, stroke="#444")
+            canvas.text(x, bottom + 17, f"{tick:g}", anchor="middle", size=10)
+        for tick in nice_ticks(self.y_low, self.y_high):
+            if not self.y_low <= tick <= self.y_high:
+                continue
+            y = self.y_to_px(tick)
+            canvas.line(left - 4, y, left, y, stroke="#444")
+            canvas.text(left - 7, y + 3.5, f"{tick:g}", anchor="end", size=10)
+            canvas.line(left, y, right, y, stroke="#eee")
+        if title:
+            canvas.text(layout.width / 2, 20, title, anchor="middle", size=13)
+        if x_label:
+            canvas.text(
+                (left + right) / 2, layout.height - 10, x_label, anchor="middle", size=11
+            )
+        if y_label:
+            canvas.text(16, (top + bottom) / 2, y_label, anchor="middle", size=11,
+                        rotate=-90.0)
+
+
+def _legend(canvas: Canvas, layout: ChartLayout, names: list[str]) -> None:
+    x = layout.margin_left + 10
+    y = layout.margin_top + 12
+    for index, name in enumerate(names):
+        canvas.rect(x, y - 7 + 15 * index, 10, 3, fill=color_for(index))
+        canvas.text(x + 15, y + 15 * index - 1, name, size=10)
+
+
+def line_chart(
+    series: dict[str, tuple[np.ndarray, np.ndarray]],
+    *,
+    title: str = "",
+    x_label: str = "",
+    y_label: str = "",
+    y_range: tuple[float, float] | None = None,
+    diagonal: bool = False,
+    layout: ChartLayout | None = None,
+) -> Canvas:
+    """Multi-series line chart.
+
+    ``series`` maps a legend name to ``(x_values, y_values)`` arrays.
+    ``diagonal`` draws the chance line used in ROC plots.
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    layout = layout or ChartLayout()
+    xs = np.concatenate([np.asarray(x, dtype=np.float64) for x, _ in series.values()])
+    ys = np.concatenate([np.asarray(y, dtype=np.float64) for _, y in series.values()])
+    if xs.size == 0:
+        raise ValueError("series must hold data")
+    x_range = (float(xs.min()), float(xs.max()) or 1.0)
+    if x_range[0] == x_range[1]:
+        x_range = (x_range[0] - 0.5, x_range[1] + 0.5)
+    if y_range is None:
+        pad = 0.05 * max(float(ys.max() - ys.min()), 1e-9)
+        y_range = (float(ys.min()) - pad, float(ys.max()) + pad)
+
+    canvas = Canvas(layout.width, layout.height)
+    axes = _Axes(
+        canvas, layout, x_range, y_range, title=title, x_label=x_label, y_label=y_label
+    )
+    if diagonal:
+        canvas.line(
+            axes.x_to_px(max(x_range[0], y_range[0])),
+            axes.y_to_px(max(x_range[0], y_range[0])),
+            axes.x_to_px(min(x_range[1], y_range[1])),
+            axes.y_to_px(min(x_range[1], y_range[1])),
+            stroke="#999",
+            dash="4 3",
+        )
+    for index, (name, (x, y)) in enumerate(series.items()):
+        points = [
+            (axes.x_to_px(float(xv)), axes.y_to_px(float(yv)))
+            for xv, yv in zip(np.asarray(x), np.asarray(y))
+        ]
+        canvas.polyline(points, stroke=color_for(index))
+    _legend(canvas, layout, list(series))
+    return canvas
+
+
+def scatter_chart(
+    points: np.ndarray,
+    labels: np.ndarray,
+    *,
+    title: str = "",
+    label_names: list[str] | None = None,
+    layout: ChartLayout | None = None,
+    radius: float = 3.0,
+) -> Canvas:
+    """2-D scatter coloured by integer label (the t-SNE figure style)."""
+    points = np.asarray(points, dtype=np.float64)
+    labels = np.asarray(labels, dtype=np.int64).ravel()
+    if points.ndim != 2 or points.shape[1] != 2:
+        raise ValueError(f"expected (n, 2) points, got {points.shape}")
+    if labels.size != points.shape[0]:
+        raise ValueError("labels must align with points")
+    layout = layout or ChartLayout()
+    x_range = (float(points[:, 0].min()), float(points[:, 0].max()))
+    y_range = (float(points[:, 1].min()), float(points[:, 1].max()))
+    if x_range[0] == x_range[1]:
+        x_range = (x_range[0] - 1.0, x_range[1] + 1.0)
+    if y_range[0] == y_range[1]:
+        y_range = (y_range[0] - 1.0, y_range[1] + 1.0)
+
+    canvas = Canvas(layout.width, layout.height)
+    axes = _Axes(canvas, layout, x_range, y_range, title=title)
+    for xy, label in zip(points, labels):
+        canvas.circle(
+            axes.x_to_px(float(xy[0])),
+            axes.y_to_px(float(xy[1])),
+            radius,
+            fill=color_for(int(label)),
+            opacity=0.75,
+        )
+    names = label_names or [str(v) for v in sorted(set(labels.tolist()))]
+    _legend(canvas, layout, names)
+    return canvas
+
+
+def heatmap(
+    matrix: np.ndarray,
+    *,
+    title: str = "",
+    x_label: str = "",
+    y_label: str = "",
+    cell_labels: bool = True,
+    layout: ChartLayout | None = None,
+) -> Canvas:
+    """Matrix heatmap (confusion matrices, DRAIs).
+
+    Rows are drawn top-down; values are min-max normalised into a
+    white-to-blue ramp.
+    """
+    matrix = np.asarray(matrix, dtype=np.float64)
+    if matrix.ndim != 2 or matrix.size == 0:
+        raise ValueError(f"expected a non-empty 2-D matrix, got {matrix.shape}")
+    layout = layout or ChartLayout()
+    rows, cols = matrix.shape
+    low, high = float(matrix.min()), float(matrix.max())
+    span = max(high - low, 1e-12)
+
+    canvas = Canvas(layout.width, layout.height)
+    cell_w = layout.plot_width / cols
+    cell_h = layout.plot_height / rows
+    for r in range(rows):
+        for c in range(cols):
+            fraction = (matrix[r, c] - low) / span
+            shade = int(255 - 155 * fraction)
+            fill = f"rgb({shade},{shade + int(20 * fraction)},255)"
+            x = layout.margin_left + c * cell_w
+            y = layout.margin_top + r * cell_h
+            canvas.rect(x, y, cell_w, cell_h, fill=fill, stroke="#ccc")
+            if cell_labels and rows * cols <= 400:
+                canvas.text(
+                    x + cell_w / 2,
+                    y + cell_h / 2 + 3.5,
+                    f"{matrix[r, c]:g}",
+                    anchor="middle",
+                    size=9,
+                )
+    if title:
+        canvas.text(layout.width / 2, 20, title, anchor="middle", size=13)
+    if x_label:
+        canvas.text(
+            layout.margin_left + layout.plot_width / 2,
+            layout.height - 10,
+            x_label,
+            anchor="middle",
+            size=11,
+        )
+    if y_label:
+        canvas.text(
+            16,
+            layout.margin_top + layout.plot_height / 2,
+            y_label,
+            anchor="middle",
+            size=11,
+            rotate=-90.0,
+        )
+    return canvas

@@ -1,0 +1,162 @@
+"""A minimal SVG document builder (no third-party dependencies).
+
+The paper's figures (ROC curves, accuracy-vs-distance sweeps, t-SNE
+scatters, confusion matrices) need real plots, and this offline
+environment has no matplotlib.  This module provides just enough SVG:
+an element tree with the handful of primitives the chart layer uses,
+serialised with proper XML escaping.
+"""
+
+from __future__ import annotations
+
+from xml.sax.saxutils import escape, quoteattr
+
+
+def _format_number(value: float) -> str:
+    """Compact numeric formatting for attribute values."""
+    text = f"{value:.2f}"
+    return text.rstrip("0").rstrip(".") if "." in text else text
+
+
+class Element:
+    """One SVG element with attributes, children, and optional text."""
+
+    def __init__(self, tag: str, text: str | None = None, **attributes) -> None:
+        self.tag = tag
+        self.text = text
+        self.attributes: dict[str, str] = {}
+        self.children: list[Element] = []
+        for key, value in attributes.items():
+            self.set(key, value)
+
+    def set(self, key: str, value) -> "Element":
+        """Set one attribute; ``snake_case`` keys become ``kebab-case``."""
+        name = key.rstrip("_").replace("_", "-")
+        if isinstance(value, float):
+            value = _format_number(value)
+        self.attributes[name] = str(value)
+        return self
+
+    def add(self, child: "Element") -> "Element":
+        """Append a child element; returns the child for chaining."""
+        self.children.append(child)
+        return child
+
+    def to_string(self, indent: int = 0) -> str:
+        pad = "  " * indent
+        parts = [pad, "<", self.tag]
+        for key, value in self.attributes.items():
+            parts.append(f" {key}={quoteattr(value)}")
+        if not self.children and self.text is None:
+            parts.append("/>")
+            return "".join(parts)
+        parts.append(">")
+        if self.text is not None:
+            parts.append(escape(self.text))
+        if self.children:
+            for child in self.children:
+                parts.append("\n" + child.to_string(indent + 1))
+            parts.append("\n" + pad)
+        parts.append(f"</{self.tag}>")
+        return "".join(parts)
+
+
+class Canvas:
+    """An SVG drawing surface in user coordinates (y grows downward)."""
+
+    def __init__(self, width: float, height: float, *, background: str = "white") -> None:
+        if width <= 0 or height <= 0:
+            raise ValueError("canvas dimensions must be positive")
+        self.width = width
+        self.height = height
+        self.root = Element(
+            "svg",
+            xmlns="http://www.w3.org/2000/svg",
+            width=width,
+            height=height,
+            viewBox=f"0 0 {_format_number(width)} {_format_number(height)}",
+        )
+        if background:
+            self.root.add(
+                Element("rect", x=0, y=0, width=width, height=height, fill=background)
+            )
+
+    def line(self, x1: float, y1: float, x2: float, y2: float, *, stroke="black",
+             stroke_width: float = 1.0, dash: str | None = None) -> Element:
+        element = Element(
+            "line", x1=x1, y1=y1, x2=x2, y2=y2, stroke=stroke, stroke_width=stroke_width
+        )
+        if dash:
+            element.set("stroke_dasharray", dash)
+        return self.root.add(element)
+
+    def polyline(self, points: list[tuple[float, float]], *, stroke="black",
+                 stroke_width: float = 1.5) -> Element:
+        path = " ".join(f"{_format_number(x)},{_format_number(y)}" for x, y in points)
+        return self.root.add(
+            Element(
+                "polyline",
+                points=path,
+                fill="none",
+                stroke=stroke,
+                stroke_width=stroke_width,
+            )
+        )
+
+    def circle(self, cx: float, cy: float, r: float, *, fill="black",
+               opacity: float = 1.0) -> Element:
+        return self.root.add(
+            Element("circle", cx=cx, cy=cy, r=r, fill=fill, opacity=opacity)
+        )
+
+    def rect(self, x: float, y: float, width: float, height: float, *, fill="black",
+             stroke: str | None = None) -> Element:
+        element = Element("rect", x=x, y=y, width=width, height=height, fill=fill)
+        if stroke:
+            element.set("stroke", stroke)
+        return self.root.add(element)
+
+    def text(self, x: float, y: float, content: str, *, size: float = 11.0,
+             anchor: str = "start", fill: str = "#333", rotate: float | None = None) -> Element:
+        element = Element(
+            "text",
+            text=content,
+            x=x,
+            y=y,
+            font_size=size,
+            text_anchor=anchor,
+            fill=fill,
+            font_family="sans-serif",
+        )
+        if rotate is not None:
+            element.set(
+                "transform",
+                f"rotate({_format_number(rotate)} {_format_number(x)} {_format_number(y)})",
+            )
+        return self.root.add(element)
+
+    def to_string(self) -> str:
+        return '<?xml version="1.0" encoding="UTF-8"?>\n' + self.root.to_string() + "\n"
+
+    def save(self, path) -> None:
+        """Write the document to ``path`` (str or Path)."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_string())
+
+
+#: Categorical palette (colour-blind-safe Okabe-Ito).
+PALETTE = (
+    "#0072B2",
+    "#D55E00",
+    "#009E73",
+    "#CC79A7",
+    "#E69F00",
+    "#56B4E9",
+    "#F0E442",
+    "#000000",
+)
+
+
+def color_for(index: int) -> str:
+    """A stable categorical colour for any non-negative index."""
+    return PALETTE[index % len(PALETTE)]

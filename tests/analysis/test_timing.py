@@ -1,0 +1,67 @@
+"""Tests for the stage timing profiler."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.analysis import StageTimer
+
+
+class TestStageTimer:
+    def test_records_and_averages(self):
+        timer = StageTimer()
+        timer.record("stage", 0.010)
+        timer.record("stage", 0.020)
+        assert timer.mean_ms("stage") == pytest.approx(15.0)
+
+    def test_context_manager_measures(self):
+        timer = StageTimer()
+        with timer.time("sleepy"):
+            time.sleep(0.01)
+        assert timer.mean_ms("sleepy") >= 8.0
+
+    def test_unknown_stage_raises(self):
+        with pytest.raises(KeyError):
+            StageTimer().mean_ms("nothing")
+
+    def test_stages_listed(self):
+        timer = StageTimer()
+        timer.record("a", 0.001)
+        timer.record("b", 0.001)
+        assert set(timer.stages()) == {"a", "b"}
+
+
+class TestEdgeProjection:
+    def _report(self):
+        from repro.analysis.timing import TimingReport
+
+        return TimingReport(
+            preprocessing_ms=40.0, recognition_ms=10.0, identification_ms=6.0, runs=5
+        )
+
+    def test_scales_every_stage(self):
+        from repro.analysis.timing import project_edge_latency
+
+        edge = project_edge_latency(self._report(), slowdown=2.0)
+        assert edge.preprocessing_ms == 80.0
+        assert edge.recognition_ms == 20.0
+        assert edge.identification_ms == 12.0
+        assert edge.total_ms == 112.0
+
+    def test_default_factor_matches_paper_ratio(self):
+        from repro.analysis.timing import JETSON_NANO_SLOWDOWN
+
+        assert JETSON_NANO_SLOWDOWN == pytest.approx(1580.0 / 677.14)
+
+    def test_rejects_nonpositive_slowdown(self):
+        from repro.analysis.timing import project_edge_latency
+
+        with pytest.raises(ValueError):
+            project_edge_latency(self._report(), slowdown=0.0)
+
+    def test_records_slowdown_in_extra(self):
+        from repro.analysis.timing import project_edge_latency
+
+        edge = project_edge_latency(self._report(), slowdown=3.0)
+        assert edge.extra["slowdown"] == 3.0

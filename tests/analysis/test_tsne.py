@@ -1,0 +1,64 @@
+"""Tests for the numpy t-SNE implementation."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import tsne
+from repro.analysis.tsne import cluster_quality
+
+
+def _three_blobs(n_per=15, separation=10.0, dim=8, seed=0):
+    rng = np.random.default_rng(seed)
+    blobs = []
+    labels = []
+    for k in range(3):
+        center = np.zeros(dim)
+        center[k] = separation
+        blobs.append(center + rng.normal(size=(n_per, dim)))
+        labels.extend([k] * n_per)
+    return np.vstack(blobs), np.array(labels)
+
+
+class TestTsne:
+    def test_output_shape(self):
+        features, _ = _three_blobs()
+        embedding = tsne(features, iterations=60, seed=0)
+        assert embedding.shape == (45, 2)
+
+    def test_separated_blobs_stay_separated(self):
+        features, labels = _three_blobs(separation=20.0)
+        embedding = tsne(features, iterations=250, seed=1)
+        quality = cluster_quality(embedding, labels)
+        assert quality > 0.5
+
+    def test_preserves_neighbourhoods_better_than_random(self):
+        features, labels = _three_blobs()
+        embedding = tsne(features, iterations=200, seed=2)
+        rng = np.random.default_rng(3)
+        random_embedding = rng.normal(size=embedding.shape)
+        assert cluster_quality(embedding, labels) > cluster_quality(
+            random_embedding, labels
+        )
+
+    def test_too_few_samples_raises(self):
+        with pytest.raises(ValueError):
+            tsne(np.zeros((3, 4)))
+
+    def test_deterministic_given_seed(self):
+        features, _ = _three_blobs(n_per=6)
+        a = tsne(features, iterations=50, seed=5)
+        b = tsne(features, iterations=50, seed=5)
+        np.testing.assert_allclose(a, b)
+
+
+class TestClusterQuality:
+    def test_perfect_clusters_score_high(self):
+        embedding = np.vstack([np.zeros((10, 2)), 100.0 + np.zeros((10, 2))])
+        labels = np.array([0] * 10 + [1] * 10)
+        assert cluster_quality(embedding, labels) > 0.95
+
+    def test_mixed_clusters_score_low(self):
+        rng = np.random.default_rng(0)
+        embedding = rng.normal(size=(40, 2))
+        labels = rng.integers(0, 2, 40)
+        assert cluster_quality(embedding, labels) < 0.3

@@ -1,0 +1,125 @@
+"""Tests for the four SOTA baseline reimplementations."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    MGesNet,
+    MSeeNet,
+    PanArch,
+    PanArchLSTM,
+    Tesla,
+    position_doppler_profile,
+)
+from repro.core.trainer import TrainConfig, predict_proba, train_classifier
+
+ALL_BASELINES = [PanArch, PanArchLSTM, Tesla, MGesNet, MSeeNet]
+
+
+def _separable_data(n=32, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(scale=0.3, size=(n, 24, 8))
+    x[:, :, 5] = rng.random((n, 24))  # phase channel in [0, 1]
+    y = np.arange(n) % 2
+    x[y == 1, :, 2] += 1.0  # classes separated in height
+    x[y == 1, :, 3] += 1.5  # and doppler
+    return x, y
+
+
+class TestContract:
+    @pytest.mark.parametrize("baseline_cls", ALL_BASELINES)
+    def test_dual_head_contract(self, baseline_cls):
+        model = baseline_cls(3, rng=np.random.default_rng(0))
+        x, _ = _separable_data(8)
+        primary, auxiliary = model(x)
+        assert primary.shape == (8, 3)
+        np.testing.assert_array_equal(primary, auxiliary)
+        assert model.config.aux_weight == 0.0
+
+    @pytest.mark.parametrize("baseline_cls", ALL_BASELINES)
+    def test_trains_with_shared_trainer(self, baseline_cls):
+        x, y = _separable_data(24, seed=1)
+        model = baseline_cls(2, rng=np.random.default_rng(1))
+        report = train_classifier(
+            model, x, y, TrainConfig(epochs=3, batch_size=8, learning_rate=1e-3)
+        )
+        assert len(report.losses) == 3
+        assert np.isfinite(report.losses).all()
+
+    @pytest.mark.parametrize("baseline_cls", ALL_BASELINES)
+    def test_learns_separable_data(self, baseline_cls):
+        x, y = _separable_data(48, seed=2)
+        model = baseline_cls(2, rng=np.random.default_rng(2))
+        train_classifier(
+            model, x, y, TrainConfig(epochs=15, batch_size=12, learning_rate=2e-3, seed=3)
+        )
+        accuracy = (predict_proba(model, x).argmax(axis=1) == y).mean()
+        assert accuracy > 0.85, f"{baseline_cls.__name__} failed to learn: {accuracy}"
+
+
+class TestPositionDopplerProfile:
+    def test_shape(self):
+        x, _ = _separable_data(4)
+        profile = position_doppler_profile(x)
+        assert profile.shape == (4, 2, 16, 16)
+
+    def test_normalised_by_point_count(self):
+        x, _ = _separable_data(2)
+        profile = position_doppler_profile(x)
+        np.testing.assert_allclose(profile.sum(axis=(2, 3)), 1.0)
+
+    def test_doppler_shift_moves_mass(self):
+        x = np.zeros((1, 10, 8))
+        x[0, :, 1] = 1.2
+        x[0, :, 3] = -2.0
+        low = position_doppler_profile(x)
+        x[0, :, 3] = 2.0
+        high = position_doppler_profile(x)
+        low_row = np.argmax(low[0, 0].sum(axis=1))
+        high_row = np.argmax(high[0, 0].sum(axis=1))
+        assert high_row > low_row
+
+
+class TestPanArchSpecifics:
+    def test_slicing_covers_all_phases(self):
+        model = PanArch(2, num_slices=4, rng=np.random.default_rng(0))
+        x = np.zeros((1, 16, 8))
+        x[0, :, 5] = np.linspace(0, 1, 16)
+        sliced = model._slice_points(x)
+        assert sliced.shape == (1, 4, 8, model.points_per_slice)
+
+    def test_empty_slice_borrows_neighbours(self):
+        model = PanArch(2, num_slices=4, rng=np.random.default_rng(0))
+        x = np.random.default_rng(1).normal(size=(1, 16, 8))
+        x[0, :, 5] = 0.0  # everything in the first slice
+        sliced = model._slice_points(x)
+        assert np.isfinite(sliced).all()
+
+
+class TestTeslaSpecifics:
+    def test_phase_scale_changes_neighbourhoods(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(2, 16, 8))
+        x[:, :, 5] = rng.random((2, 16))
+        near = Tesla(2, phase_scale=0.0, rng=np.random.default_rng(1))
+        far = Tesla(2, phase_scale=50.0, rng=np.random.default_rng(1))
+        out_near, _ = near(x)
+        out_far, _ = far(x)
+        assert not np.allclose(out_near, out_far)
+
+
+class TestPanArchLSTMSpecifics:
+    def test_elman_parameters_replaced_by_lstm(self):
+        model = PanArchLSTM(2, rng=np.random.default_rng(0))
+        names = [name for name, _ in model.named_parameters()]
+        assert not any(name.startswith(("w_in", "w_rec", "b_rec")) for name in names)
+        assert any(name.startswith("lstm.") for name in names)
+
+    def test_differs_from_elman_variant(self):
+        x, _ = _separable_data(6, seed=4)
+        elman = PanArch(3, rng=np.random.default_rng(5))
+        lstm = PanArchLSTM(3, rng=np.random.default_rng(5))
+        out_elman, _ = elman(x)
+        out_lstm, _ = lstm(x)
+        assert out_elman.shape == out_lstm.shape
+        assert not np.allclose(out_elman, out_lstm)

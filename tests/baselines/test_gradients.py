@@ -1,0 +1,86 @@
+"""Numerical gradient checks for the baseline architectures.
+
+The shared trainer relies on each baseline's hand-written backward pass;
+these tests compare a sample of analytic parameter gradients against
+central differences.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import MGesNet, PanArch, PanArchLSTM, Tesla
+from repro.nn.losses import CrossEntropyLoss
+
+
+def _check_gradients(model, x, y, stride=11, tol=1e-4):
+    model.train()
+    loss_fn = CrossEntropyLoss()
+
+    def compute_loss():
+        logits, _ = model(x)
+        return loss_fn(logits, y)
+
+    model.zero_grad()
+    logits, _ = model(x)
+    loss_fn(logits, y)
+    model.backward(loss_fn.backward(), np.zeros_like(logits))
+    named = model.named_parameters()
+    analytic = {name: p.grad.copy() for name, p in named}
+
+    eps = 1e-6
+    checked = 0
+    for name, param in named[::2]:
+        flat = param.data.ravel()
+        for idx in range(0, flat.size, max(flat.size // 4, stride)):
+            orig = flat[idx]
+            flat[idx] = orig + eps
+            up = compute_loss()
+            flat[idx] = orig - eps
+            down = compute_loss()
+            flat[idx] = orig
+            numeric = (up - down) / (2 * eps)
+            ana = analytic[name].ravel()[idx]
+            assert abs(numeric - ana) <= tol * max(1.0, abs(numeric), abs(ana)), (
+                f"{type(model).__name__} {name}[{idx}]: numeric {numeric}, analytic {ana}"
+            )
+            checked += 1
+    assert checked >= 5
+
+
+@pytest.fixture()
+def point_batch():
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=(4, 20, 8))
+    x[:, :, 5] = rng.random((4, 20))
+    y = np.array([0, 1, 2, 1])
+    return x, y
+
+
+class TestBaselineGradients:
+    def test_panarch(self, point_batch):
+        x, y = point_batch
+        model = PanArch(
+            3, num_slices=3, points_per_slice=8, encoder_channels=(8,),
+            hidden_dim=10, rng=np.random.default_rng(1),
+        )
+        _check_gradients(model, x, y)
+
+    def test_tesla(self, point_batch):
+        x, y = point_batch
+        model = Tesla(
+            3, num_neighbors=4, edge_channels=(10,), rng=np.random.default_rng(2)
+        )
+        _check_gradients(model, x, y)
+
+    def test_mgesnet(self, point_batch):
+        x, y = point_batch
+        model = MGesNet(3, rng=np.random.default_rng(3))
+        _check_gradients(model, x, y, stride=41)
+
+    def test_panarch_lstm(self, point_batch):
+        x, y = point_batch
+        model = PanArchLSTM(
+            3, num_slices=3, points_per_slice=8, encoder_channels=(8,),
+            hidden_dim=10, rng=np.random.default_rng(4),
+        )
+        _check_gradients(model, x, y)

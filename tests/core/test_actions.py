@@ -1,0 +1,84 @@
+"""Per-user gesture-action routing (Fig. 1b personalization layer)."""
+
+import pytest
+
+from repro.core.actions import ActionMapper, Dispatch
+from repro.core.openset import UNKNOWN_USER
+
+
+@pytest.fixture()
+def mapper():
+    mapper = ActionMapper(guest_action="ignore")
+    mapper.bind_default(0, "toggle lights")
+    mapper.bind_default(1, "open curtain")
+    mapper.bind_user(2, 1, "raise AC temperature")  # Fig. 1b personalization
+    return mapper
+
+
+class TestBinding:
+    def test_rejects_negative_gesture(self, mapper):
+        with pytest.raises(ValueError):
+            mapper.bind_default(-1, "x")
+        with pytest.raises(ValueError):
+            mapper.bind_user(0, -2, "x")
+
+    def test_rejects_negative_user(self, mapper):
+        with pytest.raises(ValueError):
+            mapper.bind_user(-3, 0, "x")
+
+    def test_bind_returns_self_for_chaining(self):
+        mapper = ActionMapper()
+        assert mapper.bind_default(0, "a").bind_user(1, 0, "b") is mapper
+
+
+class TestDispatch:
+    def test_default_binding_applies_to_everyone(self, mapper):
+        for user in (0, 1, 2):
+            dispatch = mapper.dispatch(user, 0)
+            assert dispatch.action == "toggle lights"
+        assert mapper.dispatch(0, 0).source == "default"
+
+    def test_personal_binding_overrides_default(self, mapper):
+        assert mapper.dispatch(2, 1).action == "raise AC temperature"
+        assert mapper.dispatch(2, 1).source == "user"
+        # Other users keep the household default.
+        assert mapper.dispatch(0, 1).action == "open curtain"
+
+    def test_unknown_user_gets_guest_action(self, mapper):
+        dispatch = mapper.dispatch(UNKNOWN_USER, 1)
+        assert dispatch.action == "ignore"
+        assert dispatch.handled
+
+    def test_unknown_user_without_guest_action_is_unhandled(self):
+        mapper = ActionMapper()
+        mapper.bind_default(0, "x")
+        dispatch = mapper.dispatch(UNKNOWN_USER, 0)
+        assert dispatch.action is None
+        assert not dispatch.handled
+        assert dispatch.source == "unbound"
+
+    def test_unbound_gesture_is_unhandled(self, mapper):
+        dispatch = mapper.dispatch(0, 99)
+        assert not dispatch.handled
+        assert dispatch.source == "unbound"
+
+    def test_unbind_restores_default(self, mapper):
+        mapper.unbind_user(2, 1)
+        assert mapper.dispatch(2, 1).action == "open curtain"
+
+    def test_unbind_missing_binding_is_noop(self, mapper):
+        mapper.unbind_user(0, 99)  # must not raise
+
+    def test_dispatch_is_frozen(self, mapper):
+        dispatch = mapper.dispatch(0, 0)
+        with pytest.raises(AttributeError):
+            dispatch.action = "hacked"
+
+
+class TestEffectiveTable:
+    def test_bindings_for_merges_default_and_personal(self, mapper):
+        table = mapper.bindings_for(2)
+        assert table == {0: "toggle lights", 1: "raise AC temperature"}
+
+    def test_bindings_for_plain_user_is_defaults(self, mapper):
+        assert mapper.bindings_for(0) == {0: "toggle lights", 1: "open curtain"}

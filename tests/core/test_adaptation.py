@@ -1,0 +1,131 @@
+"""CORAL alignment: moment matching, invariants, and recovery."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.adaptation import CoralAligner, CoralConfig, coral_distance
+
+
+def _domain(rng, n=40, points=16, shift=0.0, scale=1.0):
+    x = rng.normal(size=(n, points, 8))
+    x[:, :, :5] = x[:, :, :5] * scale + shift
+    x[:, :, 5] = rng.random((n, points))
+    return x
+
+
+class TestConfig:
+    def test_rejects_empty_channels(self):
+        with pytest.raises(ValueError):
+            CoralConfig(channels=())
+
+    def test_rejects_duplicate_channels(self):
+        with pytest.raises(ValueError):
+            CoralConfig(channels=(0, 0, 1))
+
+    def test_rejects_nonpositive_epsilon(self):
+        with pytest.raises(ValueError):
+            CoralConfig(epsilon=0.0)
+
+
+class TestFitValidation:
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            CoralAligner().transform(np.zeros((2, 4, 8)))
+
+    def test_rejects_wrong_rank(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            CoralAligner().fit(rng.normal(size=(8, 8)), rng.normal(size=(8, 8)))
+
+    def test_rejects_out_of_range_channel(self):
+        rng = np.random.default_rng(0)
+        aligner = CoralAligner(CoralConfig(channels=(0, 9)))
+        with pytest.raises(ValueError):
+            aligner.fit(rng.normal(size=(4, 4, 8)), rng.normal(size=(4, 4, 8)))
+
+
+class TestAlignment:
+    def test_identical_domains_give_near_identity(self):
+        rng = np.random.default_rng(1)
+        x = _domain(rng, n=60)
+        aligned = CoralAligner().fit_transform(x, x)
+        np.testing.assert_allclose(aligned, x, atol=0.05)
+
+    def test_mean_shift_removed(self):
+        rng = np.random.default_rng(2)
+        source = _domain(rng, shift=0.0)
+        target = _domain(rng, shift=2.0)
+        aligned = CoralAligner().fit_transform(source, target)
+        np.testing.assert_allclose(
+            aligned[:, :, :5].mean(), source[:, :, :5].mean(), atol=0.05
+        )
+
+    def test_scale_mismatch_removed(self):
+        rng = np.random.default_rng(3)
+        source = _domain(rng, scale=1.0)
+        target = _domain(rng, scale=3.0)
+        aligned = CoralAligner().fit_transform(source, target)
+        assert np.std(aligned[:, :, :5]) == pytest.approx(
+            np.std(source[:, :, :5]), rel=0.1
+        )
+
+    def test_covariance_matches_source_after_alignment(self):
+        rng = np.random.default_rng(4)
+        source = _domain(rng, n=80)
+        # Correlated distortion: mix channels.
+        target = _domain(rng, n=80)
+        mix = np.eye(8)
+        mix[0, 1] = 0.8
+        target = target @ mix.T
+        aligned = CoralAligner().fit_transform(source, target)
+        assert coral_distance(source, aligned) < coral_distance(source, target)
+
+    def test_non_aligned_channels_untouched(self):
+        rng = np.random.default_rng(5)
+        source = _domain(rng)
+        target = _domain(rng, shift=1.0)
+        aligned = CoralAligner().fit_transform(source, target)
+        np.testing.assert_array_equal(aligned[:, :, 5:], target[:, :, 5:])
+
+    def test_transform_is_affine(self):
+        """Midpoints map to midpoints: the map must be affine per point."""
+        rng = np.random.default_rng(6)
+        source = _domain(rng)
+        target = _domain(rng, shift=1.0, scale=2.0)
+        aligner = CoralAligner().fit(source, target)
+        a, b = target[:1], target[1:2]
+        mid = 0.5 * (a + b)
+        np.testing.assert_allclose(
+            aligner.transform(mid),
+            0.5 * (aligner.transform(a) + aligner.transform(b)),
+            atol=1e-10,
+        )
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        shift=st.floats(-3.0, 3.0, allow_nan=False),
+        scale=st.floats(0.3, 3.0, allow_nan=False),
+        seed=st.integers(0, 2**31 - 1),
+    )
+    def test_property_alignment_reduces_domain_distance(self, shift, scale, seed):
+        rng = np.random.default_rng(seed)
+        source = _domain(rng, n=50)
+        target = _domain(rng, n=50, shift=shift, scale=scale)
+        before = coral_distance(source, target)
+        aligned = CoralAligner().fit_transform(source, target)
+        after = coral_distance(source, aligned)
+        assert after <= before + 1e-6
+
+
+class TestCoralDistance:
+    def test_zero_for_identical_data(self):
+        rng = np.random.default_rng(7)
+        x = _domain(rng)
+        assert coral_distance(x, x) == pytest.approx(0.0)
+
+    def test_positive_for_scaled_data(self):
+        rng = np.random.default_rng(8)
+        x = _domain(rng)
+        assert coral_distance(x, 2.0 * x) > 0.0

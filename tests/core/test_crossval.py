@@ -1,0 +1,87 @@
+"""k-fold cross-validation: protocol mechanics and aggregation."""
+
+import numpy as np
+import pytest
+
+from repro.core import GesturePrintConfig, TrainConfig, cross_validate
+from repro.core.crossval import METRIC_NAMES, MetricSummary
+from repro.core.gesidnet import GesIDNetConfig
+from repro.nn.setabstraction import ScaleSpec
+
+
+def _tiny_config():
+    return GesturePrintConfig(
+        network=GesIDNetConfig(
+            num_points=10,
+            in_feature_channels=8,
+            sa1_centers=4,
+            sa1_scales=(ScaleSpec(0.5, 3, (6,)),),
+            sa2_centers=2,
+            sa2_scales=(ScaleSpec(1.0, 2, (8,)),),
+            level1_mlp=(6,),
+            level2_mlp=(8,),
+            head1_hidden=(6,),
+            dropout=0.0,
+        ),
+        training=TrainConfig(epochs=3, batch_size=8, learning_rate=2e-3),
+        augment=False,
+    )
+
+
+def _data(per_cell=8, seed=0):
+    rng = np.random.default_rng(seed)
+    rows, gestures, users = [], [], []
+    for g in range(2):
+        for u in range(2):
+            for _ in range(per_cell):
+                x = rng.normal(size=(10, 8))
+                x[:, 2] += 2.0 * g
+                x[:, 0] *= 1.0 + 1.5 * u
+                rows.append(x)
+                gestures.append(g)
+                users.append(u)
+    return np.stack(rows), np.array(gestures), np.array(users)
+
+
+class TestMetricSummary:
+    def test_from_values(self):
+        summary = MetricSummary.from_values([0.5, 0.7, 0.9])
+        assert summary.mean == pytest.approx(0.7)
+        assert summary.minimum == 0.5
+        assert summary.maximum == 0.9
+        assert summary.std == pytest.approx(np.std([0.5, 0.7, 0.9]))
+
+
+class TestCrossValidate:
+    def test_fold_count_and_metric_keys(self):
+        x, g, u = _data()
+        report = cross_validate(_tiny_config(), x, g, u, num_folds=3, seed=1)
+        assert report.num_folds == 3
+        for metrics in report.fold_metrics:
+            assert set(metrics) == set(METRIC_NAMES)
+        assert set(report.summaries) == set(METRIC_NAMES)
+
+    def test_summary_consistent_with_folds(self):
+        x, g, u = _data(seed=2)
+        report = cross_validate(_tiny_config(), x, g, u, num_folds=3, seed=2)
+        gras = [m["GRA"] for m in report.fold_metrics]
+        assert report.summaries["GRA"].mean == pytest.approx(np.mean(gras))
+        assert report.summaries["GRA"].minimum == min(gras)
+
+    def test_misaligned_labels_rejected(self):
+        x, g, u = _data()
+        with pytest.raises(ValueError):
+            cross_validate(_tiny_config(), x, g[:-1], u, num_folds=3)
+
+    def test_format_table_lists_all_metrics(self):
+        x, g, u = _data(seed=3)
+        report = cross_validate(_tiny_config(), x, g, u, num_folds=2, seed=3)
+        table = report.format_table()
+        for name in METRIC_NAMES:
+            assert name in table
+
+    def test_deterministic_given_seed(self):
+        x, g, u = _data(seed=4)
+        first = cross_validate(_tiny_config(), x, g, u, num_folds=2, seed=5)
+        second = cross_validate(_tiny_config(), x, g, u, num_folds=2, seed=5)
+        assert first.fold_metrics == second.fold_metrics

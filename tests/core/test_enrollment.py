@@ -1,0 +1,148 @@
+"""Incremental enrolment: ID models extend, recognition stays frozen."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    GesturePrint,
+    GesturePrintConfig,
+    IdentificationMode,
+    TrainConfig,
+    enroll_user,
+)
+from repro.core.gesidnet import GesIDNetConfig
+from repro.nn.setabstraction import ScaleSpec
+
+
+def _tiny_config(mode=IdentificationMode.SERIALIZED):
+    return GesturePrintConfig(
+        network=GesIDNetConfig(
+            num_points=10,
+            in_feature_channels=8,
+            sa1_centers=4,
+            sa1_scales=(ScaleSpec(0.5, 3, (6,)),),
+            sa2_centers=2,
+            sa2_scales=(ScaleSpec(1.0, 2, (8,)),),
+            level1_mlp=(6,),
+            level2_mlp=(8,),
+            head1_hidden=(6,),
+            dropout=0.0,
+        ),
+        training=TrainConfig(epochs=12, batch_size=8, learning_rate=3e-3),
+        mode=mode,
+        augment=False,
+    )
+
+
+def _user_samples(user, num_gestures=2, per_gesture=8, seed=0):
+    rng = np.random.default_rng(seed + 17 * user)
+    rows, gestures = [], []
+    for g in range(num_gestures):
+        for _ in range(per_gesture):
+            x = rng.normal(size=(10, 8))
+            x[:, 2] += 2.0 * g
+            x[:, 0] *= 1.0 + 1.5 * user
+            x[:, 6] = 0.3 + 0.35 * user
+            x[:, 7] = 0.2 + 0.3 * user
+            rows.append(x)
+            gestures.append(g)
+    return np.stack(rows), np.array(gestures)
+
+
+def _corpus(num_users=2):
+    inputs, gestures, users = [], [], []
+    for user in range(num_users):
+        x, g = _user_samples(user)
+        inputs.append(x)
+        gestures.append(g)
+        users.append(np.full(g.size, user))
+    return np.vstack(inputs), np.concatenate(gestures), np.concatenate(users)
+
+
+@pytest.fixture()
+def fitted_with_corpus():
+    x, g, u = _corpus()
+    system = GesturePrint(_tiny_config()).fit(x, g, u)
+    return system, (x, g, u)
+
+
+class TestValidation:
+    def test_unfitted_system_rejected(self):
+        x, g, u = _corpus()
+        new_x, new_g = _user_samples(2)
+        with pytest.raises(RuntimeError):
+            enroll_user(GesturePrint(_tiny_config()), x, g, u, new_x, new_g)
+
+    def test_empty_new_samples_rejected(self, fitted_with_corpus):
+        system, (x, g, u) = fitted_with_corpus
+        with pytest.raises(ValueError):
+            enroll_user(system, x, g, u, np.zeros((0, 10, 8)), np.zeros(0, dtype=int))
+
+    def test_misaligned_new_labels_rejected(self, fitted_with_corpus):
+        system, (x, g, u) = fitted_with_corpus
+        new_x, new_g = _user_samples(2)
+        with pytest.raises(ValueError):
+            enroll_user(system, x, g, u, new_x, new_g[:-1])
+
+    def test_wrong_feature_layout_rejected(self, fitted_with_corpus):
+        system, (x, g, u) = fitted_with_corpus
+        with pytest.raises(ValueError):
+            enroll_user(system, x, g, u, np.zeros((4, 10, 7)), np.zeros(4, dtype=int))
+
+    def test_out_of_vocabulary_gesture_rejected(self, fitted_with_corpus):
+        system, (x, g, u) = fitted_with_corpus
+        new_x, new_g = _user_samples(2)
+        with pytest.raises(ValueError):
+            enroll_user(system, x, g, u, new_x, new_g + 5)
+
+
+class TestEnrollment:
+    def test_new_user_gets_next_id(self, fitted_with_corpus):
+        system, (x, g, u) = fitted_with_corpus
+        new_x, new_g = _user_samples(2)
+        result = enroll_user(system, x, g, u, new_x, new_g)
+        assert result.new_user_id == 2
+        assert result.num_users == 3
+        assert result.samples_added == new_x.shape[0]
+        assert system.num_users == 3
+
+    def test_gesture_model_untouched(self, fitted_with_corpus):
+        system, (x, g, u) = fitted_with_corpus
+        before = [p.data.copy() for p in system.gesture_model.parameters()]
+        new_x, new_g = _user_samples(2)
+        enroll_user(system, x, g, u, new_x, new_g)
+        after = [p.data for p in system.gesture_model.parameters()]
+        for old, new in zip(before, after):
+            np.testing.assert_array_equal(old, new)
+
+    def test_new_user_is_identifiable(self, fitted_with_corpus):
+        system, (x, g, u) = fitted_with_corpus
+        new_x, new_g = _user_samples(2, per_gesture=10)
+        result = enroll_user(system, x, g, u, new_x, new_g)
+        predictions = system.predict(new_x)
+        hit_rate = float(np.mean(predictions.user_pred == result.new_user_id))
+        assert hit_rate > 0.5
+
+    def test_existing_users_still_identified(self, fitted_with_corpus):
+        system, (x, g, u) = fitted_with_corpus
+        new_x, new_g = _user_samples(2)
+        enroll_user(system, x, g, u, new_x, new_g)
+        predictions = system.predict(x)
+        accuracy = float(np.mean(predictions.user_pred == u))
+        assert accuracy > 0.6
+
+    def test_user_probs_cover_new_population(self, fitted_with_corpus):
+        system, (x, g, u) = fitted_with_corpus
+        new_x, new_g = _user_samples(2)
+        enroll_user(system, x, g, u, new_x, new_g)
+        result = system.predict(x[:3])
+        assert result.user_probs.shape == (3, 3)
+
+    def test_parallel_mode_enrollment(self):
+        x, g, u = _corpus()
+        system = GesturePrint(_tiny_config(IdentificationMode.PARALLEL)).fit(x, g, u)
+        new_x, new_g = _user_samples(2)
+        result = enroll_user(system, x, g, u, new_x, new_g)
+        assert result.num_users == 3
+        assert system.parallel_user_model is not None
+        assert system.predict(new_x).user_probs.shape[1] == 3

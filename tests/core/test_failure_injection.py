@@ -1,0 +1,136 @@
+"""Failure injection: degenerate data and misuse of the pipeline API."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    GesturePrint,
+    GesturePrintConfig,
+    IdentificationMode,
+    TrainConfig,
+)
+from repro.core.gesidnet import GesIDNetConfig
+from repro.nn.setabstraction import ScaleSpec
+
+
+def _tiny_config(mode=IdentificationMode.SERIALIZED, epochs=2):
+    return GesturePrintConfig(
+        network=GesIDNetConfig(
+            num_points=10,
+            in_feature_channels=8,
+            sa1_centers=4,
+            sa1_scales=(ScaleSpec(0.5, 3, (6,)),),
+            sa2_centers=2,
+            sa2_scales=(ScaleSpec(1.0, 2, (8,)),),
+            level1_mlp=(6,),
+            level2_mlp=(8,),
+            head1_hidden=(6,),
+            dropout=0.0,
+        ),
+        training=TrainConfig(epochs=epochs, batch_size=8, learning_rate=1e-3),
+        mode=mode,
+        augment=False,
+    )
+
+
+def _data(num_gestures=2, num_users=2, per_cell=5, seed=0):
+    rng = np.random.default_rng(seed)
+    n = num_gestures * num_users * per_cell
+    x = rng.normal(size=(n, 10, 8))
+    g = np.arange(n) % num_gestures
+    u = (np.arange(n) // num_gestures) % num_users
+    return x, g, u
+
+
+class TestFitValidation:
+    def test_misaligned_gesture_labels_rejected(self):
+        x, g, u = _data()
+        with pytest.raises(ValueError):
+            GesturePrint(_tiny_config()).fit(x, g[:-1], u)
+
+    def test_misaligned_user_labels_rejected(self):
+        x, g, u = _data()
+        with pytest.raises(ValueError):
+            GesturePrint(_tiny_config()).fit(x, g, u[:-1])
+
+    def test_predict_before_fit_raises(self):
+        x, _, _ = _data()
+        with pytest.raises(RuntimeError):
+            GesturePrint(_tiny_config()).predict(x)
+
+    def test_evaluate_before_fit_raises(self):
+        x, g, u = _data()
+        with pytest.raises(RuntimeError):
+            GesturePrint(_tiny_config()).evaluate(x, g, u)
+
+
+class TestDegenerateTrainingSets:
+    def test_single_user_serialized_mode_survives(self):
+        """With one user no ID model can be trained; prediction falls back
+        to the uniform distribution instead of crashing."""
+        x, g, _ = _data(num_users=1)
+        u = np.zeros(x.shape[0], dtype=np.int64)
+        system = GesturePrint(_tiny_config()).fit(x, g, u)
+        assert system.user_models == {}
+        result = system.predict(x[:4])
+        assert result.user_pred.shape == (4,)
+        np.testing.assert_allclose(result.user_probs, 1.0)
+
+    def test_single_gesture_fit_rejected(self):
+        """GesIDNet is a classifier; one gesture class is a config error."""
+        x, _, u = _data(num_gestures=1)
+        g = np.zeros(x.shape[0], dtype=np.int64)
+        with pytest.raises(ValueError, match="two classes"):
+            GesturePrint(_tiny_config()).fit(x, g, u)
+
+    def test_gesture_with_single_user_skipped_in_serialized_mode(self):
+        """A gesture whose samples all come from one user gets no ID model."""
+        x, g, u = _data(num_gestures=2, num_users=2, per_cell=6)
+        # Make gesture 1 exclusively user 0.
+        u = u.copy()
+        u[g == 1] = 0
+        system = GesturePrint(_tiny_config()).fit(x, g, u)
+        assert 1 not in system.user_models
+        assert 0 in system.user_models
+        # Prediction still returns a full result for every sample.
+        result = system.predict(x[:6])
+        assert np.isfinite(result.user_probs).all()
+
+    def test_mode_enum_round_trip(self):
+        assert IdentificationMode("serialized") is IdentificationMode.SERIALIZED
+        assert IdentificationMode("parallel") is IdentificationMode.PARALLEL
+
+
+class TestHostileInputs:
+    @pytest.fixture(scope="class")
+    def fitted(self):
+        x, g, u = _data(per_cell=6, seed=3)
+        return GesturePrint(_tiny_config(epochs=3)).fit(x, g, u), x
+
+    def test_predict_handles_constant_sample(self, fitted):
+        """An all-zero cloud (degenerate geometry) must not crash or NaN."""
+        system, x = fitted
+        sample = np.zeros((1, 10, 8))
+        result = system.predict(sample)
+        assert np.isfinite(result.gesture_probs).all()
+        assert np.isfinite(result.user_probs).all()
+
+    def test_predict_handles_extreme_magnitudes(self, fitted):
+        system, x = fitted
+        result = system.predict(1e3 * x[:2])
+        assert np.isfinite(result.gesture_probs).all()
+
+    def test_probabilities_are_distributions(self, fitted):
+        system, x = fitted
+        result = system.predict(x[:8])
+        np.testing.assert_allclose(result.gesture_probs.sum(axis=1), 1.0, atol=1e-9)
+        np.testing.assert_allclose(result.user_probs.sum(axis=1), 1.0, atol=1e-9)
+        assert (result.gesture_probs >= 0).all()
+        assert (result.user_probs >= 0).all()
+
+    def test_duplicate_samples_get_identical_predictions(self, fitted):
+        system, x = fitted
+        doubled = np.vstack([x[:1], x[:1]])
+        result = system.predict(doubled)
+        np.testing.assert_array_equal(result.gesture_probs[0], result.gesture_probs[1])
+        np.testing.assert_array_equal(result.user_probs[0], result.user_probs[1])

@@ -1,0 +1,163 @@
+"""Multi-user runtime: per-track segmentation and classification."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    GesturePrint,
+    GesturePrintConfig,
+    MultiUserRuntime,
+    TrainConfig,
+)
+from repro.core.gesidnet import GesIDNetConfig
+from repro.nn.setabstraction import ScaleSpec
+from repro.preprocessing.multiuser import SeparatorParams
+from repro.radar import Frame
+
+
+def _tiny_network():
+    return GesIDNetConfig(
+        num_points=12,
+        in_feature_channels=8,
+        sa1_centers=4,
+        sa1_scales=(ScaleSpec(0.5, 3, (8,)),),
+        sa2_centers=2,
+        sa2_scales=(ScaleSpec(1.0, 2, (10,)),),
+        level1_mlp=(8,),
+        level2_mlp=(10,),
+        head1_hidden=(6,),
+        dropout=0.0,
+    )
+
+
+def _toy_dataset(n_per_cell=8, num_gestures=2, num_users=2, seed=0):
+    rng = np.random.default_rng(seed)
+    rows, gestures, users = [], [], []
+    for g in range(num_gestures):
+        for u in range(num_users):
+            for _ in range(n_per_cell):
+                x = rng.normal(size=(12, 8))
+                x[:, 2] += 2.0 * g
+                x[:, 0] *= 1.0 + 1.5 * u
+                x[:, 6] = 0.4 + 0.3 * u
+                rows.append(x)
+                gestures.append(g)
+                users.append(u)
+    return np.stack(rows), np.array(gestures), np.array(users)
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    x, g, u = _toy_dataset(n_per_cell=10)
+    config = GesturePrintConfig(
+        network=_tiny_network(),
+        training=TrainConfig(epochs=10, batch_size=8, learning_rate=3e-3),
+        augment=False,
+    )
+    return GesturePrint(config).fit(x, g, u)
+
+
+def _person_frame(rng, center_x, count, spread=0.15):
+    """A dense blob of points around one person's position."""
+    points = np.zeros((count, 5))
+    points[:, 0] = rng.normal(center_x, spread, count)
+    points[:, 1] = rng.normal(1.5, spread, count)
+    points[:, 2] = rng.normal(0.2, spread, count)
+    points[:, 3] = rng.normal(0.8, 0.3, count)
+    points[:, 4] = rng.uniform(0.5, 2.0, count)
+    return points
+
+
+def _scene_frame(rng, actors):
+    """Combine several (center_x, count) actors into one radar frame."""
+    chunks = [_person_frame(rng, cx, n) for cx, n in actors if n > 0]
+    if not chunks:
+        return Frame.empty()
+    return Frame(points=np.vstack(chunks))
+
+
+class TestMultiUserRuntime:
+    def test_unfitted_system_rejected(self):
+        with pytest.raises(ValueError):
+            MultiUserRuntime(GesturePrint())
+
+    def test_single_person_emits_one_event(self, fitted):
+        runtime = MultiUserRuntime(fitted, num_points=12, seed=0)
+        rng = np.random.default_rng(0)
+        counts = [0] * 12 + [15] * 20 + [0] * 25
+        events = []
+        for count in counts:
+            events.extend(runtime.push_frame(_scene_frame(rng, [(-1.0, count)])))
+        events.extend(runtime.flush())
+        assert len(events) == 1
+        assert events[0].track_id == 0
+        assert 0 <= events[0].gesture < fitted.num_gestures
+        assert 0 <= events[0].user < fitted.num_users
+
+    def test_two_simultaneous_gestures_get_separate_events(self, fitted):
+        runtime = MultiUserRuntime(
+            fitted,
+            num_points=12,
+            seed=0,
+            separator_params=SeparatorParams(
+                cluster_eps_m=0.5, gate_radius_m=0.7, max_missed_frames=45
+            ),
+        )
+        rng = np.random.default_rng(1)
+        # Two people 3 m apart, both present (sparse idle residue) before
+        # gesturing at overlapping times.
+        schedule = (
+            [((-1.5, 2), (1.5, 2))] * 12
+            + [((-1.5, 12), (1.5, 2))] * 6
+            + [((-1.5, 12), (1.5, 12))] * 20
+            + [((-1.5, 2), (1.5, 12))] * 6
+            + [((-1.5, 2), (1.5, 2))] * 25
+        )
+        events = []
+        for left, right in schedule:
+            events.extend(runtime.push_frame(_scene_frame(rng, [left, right])))
+        events.extend(runtime.flush())
+        track_ids = {e.track_id for e in events}
+        assert len(track_ids) == 2
+        assert runtime.num_tracks >= 2
+
+    def test_sequential_gestures_on_same_track(self, fitted):
+        runtime = MultiUserRuntime(fitted, num_points=12, seed=0)
+        rng = np.random.default_rng(2)
+        counts = (
+            [0] * 12 + [15] * 16 + [0] * 20 + [15] * 16 + [0] * 20
+        )
+        events = []
+        for count in counts:
+            events.extend(runtime.push_frame(_scene_frame(rng, [(0.0, count)])))
+        events.extend(runtime.flush())
+        assert len(events) == 2
+        assert {e.track_id for e in events} == {0}
+
+    def test_idle_scene_emits_nothing(self, fitted):
+        runtime = MultiUserRuntime(fitted, num_points=12)
+        for _ in range(40):
+            assert runtime.push_frame(Frame.empty()) == []
+        assert runtime.flush() == []
+        assert runtime.events == []
+
+    def test_reset_clears_state(self, fitted):
+        runtime = MultiUserRuntime(fitted, num_points=12)
+        rng = np.random.default_rng(3)
+        for count in [0] * 12 + [15] * 20 + [0] * 25:
+            runtime.push_frame(_scene_frame(rng, [(0.0, count)]))
+        runtime.flush()
+        runtime.reset()
+        assert runtime.num_tracks == 0
+        assert runtime.events == []
+
+    def test_event_properties_mirror_inner_event(self, fitted):
+        runtime = MultiUserRuntime(fitted, num_points=12, seed=0)
+        rng = np.random.default_rng(4)
+        events = []
+        for count in [0] * 12 + [15] * 20 + [0] * 25:
+            events.extend(runtime.push_frame(_scene_frame(rng, [(0.0, count)])))
+        events.extend(runtime.flush())
+        event = events[0]
+        assert event.gesture == event.event.gesture
+        assert event.user == event.event.user

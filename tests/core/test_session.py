@@ -1,0 +1,265 @@
+"""Session-level identification: fusion math and accumulation behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    GesturePrint,
+    GesturePrintConfig,
+    SessionIdentifier,
+    TrainConfig,
+    identify_session,
+)
+from repro.core.gesidnet import GesIDNetConfig
+from repro.nn.setabstraction import ScaleSpec
+
+
+def _tiny_network():
+    return GesIDNetConfig(
+        num_points=12,
+        in_feature_channels=8,
+        sa1_centers=4,
+        sa1_scales=(ScaleSpec(0.5, 3, (8,)),),
+        sa2_centers=2,
+        sa2_scales=(ScaleSpec(1.0, 2, (10,)),),
+        level1_mlp=(8,),
+        level2_mlp=(10,),
+        head1_hidden=(6,),
+        dropout=0.0,
+    )
+
+
+def _toy_dataset(n_per_cell=10, num_gestures=2, num_users=3, seed=0):
+    rng = np.random.default_rng(seed)
+    rows, gestures, users = [], [], []
+    for g in range(num_gestures):
+        for u in range(num_users):
+            for _ in range(n_per_cell):
+                x = rng.normal(size=(12, 8))
+                x[:, 2] += 2.0 * g
+                x[:, 0] *= 1.0 + 1.2 * u
+                x[:, 6] = 0.4 + 0.25 * u
+                rows.append(x)
+                gestures.append(g)
+                users.append(u)
+    return np.stack(rows), np.array(gestures), np.array(users)
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    x, g, u = _toy_dataset()
+    config = GesturePrintConfig(
+        network=_tiny_network(),
+        training=TrainConfig(epochs=12, batch_size=8, learning_rate=3e-3),
+        augment=False,
+    )
+    return GesturePrint(config).fit(x, g, u), (x, g, u)
+
+
+class TestValidation:
+    def test_unfitted_system_rejected(self):
+        with pytest.raises(ValueError):
+            SessionIdentifier(GesturePrint())
+
+    def test_bad_floor_rejected(self, fitted):
+        system, _ = fitted
+        with pytest.raises(ValueError):
+            SessionIdentifier(system, floor=0.0)
+        with pytest.raises(ValueError):
+            SessionIdentifier(system, floor=1.0)
+
+    def test_bad_prior_rejected(self, fitted):
+        system, _ = fitted
+        with pytest.raises(ValueError):
+            SessionIdentifier(system, prior=np.ones(99))
+        with pytest.raises(ValueError):
+            SessionIdentifier(system, prior=np.array([-1.0, 1.0, 1.0]))
+
+    def test_update_rejects_batch(self, fitted):
+        system, (x, _, _) = fitted
+        identifier = SessionIdentifier(system)
+        with pytest.raises(ValueError):
+            identifier.update(x[:2])
+
+    def test_identify_session_rejects_single_sample(self, fitted):
+        system, (x, _, _) = fitted
+        with pytest.raises(ValueError):
+            identify_session(system, x[0])
+
+
+class TestFusion:
+    def test_prior_only_before_updates(self, fitted):
+        system, _ = fitted
+        estimate = SessionIdentifier(system).estimate()
+        assert estimate.num_gestures == 0
+        np.testing.assert_allclose(
+            estimate.posterior, np.full(system.num_users, 1 / system.num_users)
+        )
+
+    def test_posterior_normalised_after_updates(self, fitted):
+        system, (x, _, _) = fitted
+        identifier = SessionIdentifier(system)
+        estimate = identifier.update(x[0])
+        assert estimate.posterior.sum() == pytest.approx(1.0)
+        assert 0.0 < estimate.confidence <= 1.0
+
+    def test_count_tracks_updates(self, fitted):
+        system, (x, _, _) = fitted
+        identifier = SessionIdentifier(system)
+        for i in range(3):
+            identifier.update(x[i])
+        assert identifier.num_gestures == 3
+
+    def test_reset_restores_prior(self, fitted):
+        system, (x, _, _) = fitted
+        identifier = SessionIdentifier(system)
+        identifier.update(x[0])
+        identifier.reset()
+        estimate = identifier.estimate()
+        assert estimate.num_gestures == 0
+        np.testing.assert_allclose(
+            estimate.posterior, np.full(system.num_users, 1 / system.num_users)
+        )
+
+    def test_fusion_beats_or_matches_single_gesture(self, fitted):
+        """Session accuracy with 3 gestures >= single-gesture accuracy."""
+        system, (x, _, u) = fitted
+        rng = np.random.default_rng(42)
+        single_correct = session_correct = trials = 0
+        for user in range(system.num_users):
+            idx = np.flatnonzero(u == user)
+            for _ in range(6):
+                chosen = rng.choice(idx, size=3, replace=False)
+                single = identify_session(system, x[chosen[:1]])
+                fused = identify_session(system, x[chosen])
+                single_correct += single.user == user
+                session_correct += fused.user == user
+                trials += 1
+        assert session_correct >= single_correct - 1
+
+    def test_strong_prior_dominates_weak_evidence(self, fitted):
+        """A near-delta prior on one user wins against a single update."""
+        system, (x, _, u) = fitted
+        target = 2
+        prior = np.full(system.num_users, 1e-6)
+        prior[target] = 1.0
+        sample = x[np.flatnonzero(u == 0)[0]]
+        identifier = SessionIdentifier(system, prior=prior, floor=1e-2)
+        estimate = identifier.update(sample)
+        assert estimate.posterior[target] > 1e-3
+
+    def test_identify_session_matches_manual_loop(self, fitted):
+        system, (x, _, _) = fitted
+        batch = x[:3]
+        via_function = identify_session(system, batch)
+        identifier = SessionIdentifier(system)
+        for sample in batch:
+            manual = identifier.update(sample)
+        np.testing.assert_allclose(via_function.posterior, manual.posterior)
+
+    def test_fusion_is_order_invariant(self, fitted):
+        """Naive-Bayes log fusion is commutative: gesture order must not
+        change the session posterior."""
+        system, (x, _, _) = fitted
+        batch = x[:4]
+        forward = identify_session(system, batch)
+        reversed_order = identify_session(system, batch[::-1])
+        np.testing.assert_allclose(
+            forward.posterior, reversed_order.posterior, atol=1e-12
+        )
+
+    def test_repeated_evidence_sharpens_posterior(self, fitted):
+        """Seeing the same discriminative sample twice cannot reduce the
+        winning user's posterior."""
+        system, (x, _, _) = fitted
+        sample = x[0]
+        once = identify_session(system, sample[None])
+        twice = identify_session(system, np.stack([sample, sample]))
+        assert twice.posterior[once.user] >= once.posterior[once.user] - 1e-12
+
+
+class TestUpdatePosterior:
+    def test_matches_update_on_same_sample(self, fitted):
+        system, (x, _, _) = fitted
+        via_sample = SessionIdentifier(system)
+        via_sample.update(x[0])
+        probs = system.predict(x[:1]).user_probs[0]
+        via_posterior = SessionIdentifier(system)
+        via_posterior.update_posterior(probs)
+        np.testing.assert_allclose(
+            via_sample.estimate().posterior, via_posterior.estimate().posterior
+        )
+
+    def test_rejects_wrong_size(self, fitted):
+        system, _ = fitted
+        with pytest.raises(ValueError):
+            SessionIdentifier(system).update_posterior(np.ones(99))
+
+
+class TestSessionRuntime:
+    def _frame(self, count, rng, spread=0.2):
+        from repro.radar import Frame
+
+        points = np.zeros((count, 5))
+        points[:, :3] = rng.normal(scale=spread, size=(count, 3))
+        points[:, 1] += 1.2
+        return Frame(points=points)
+
+    def _runtime(self, fitted, timeout=300):
+        from repro.core import GesturePrintRuntime, SessionRuntime
+
+        system, _ = fitted
+        return SessionRuntime(
+            GesturePrintRuntime(system, num_points=12),
+            session_timeout_frames=timeout,
+        )
+
+    def test_rejects_bad_timeout(self, fitted):
+        from repro.core import GesturePrintRuntime, SessionRuntime
+
+        system, _ = fitted
+        with pytest.raises(ValueError):
+            SessionRuntime(
+                GesturePrintRuntime(system, num_points=12), session_timeout_frames=0
+            )
+
+    def test_belief_updates_on_each_gesture(self, fitted):
+        runtime = self._runtime(fitted)
+        rng = np.random.default_rng(0)
+        counts = [1] * 12 + [15] * 18 + [1] * 20 + [15] * 18 + [1] * 20
+        estimates = []
+        for count in counts:
+            estimate = runtime.push_frame(self._frame(count, rng))
+            if estimate is not None:
+                estimates.append(estimate)
+        tail = runtime.flush()
+        if tail is not None:
+            estimates.append(tail)
+        assert len(estimates) == 2
+        assert estimates[1].num_gestures == 2
+
+    def test_timeout_starts_new_session(self, fitted):
+        runtime = self._runtime(fitted, timeout=10)
+        rng = np.random.default_rng(1)
+        counts = [1] * 12 + [15] * 18 + [1] * 40 + [15] * 18 + [1] * 20
+        estimates = []
+        for count in counts:
+            estimate = runtime.push_frame(self._frame(count, rng))
+            if estimate is not None:
+                estimates.append(estimate)
+        tail = runtime.flush()
+        if tail is not None:
+            estimates.append(tail)
+        # The 40-frame gap exceeds the 10-frame timeout: the second
+        # gesture starts a fresh session with one gesture of evidence.
+        assert estimates[-1].num_gestures == 1
+
+    def test_reset_clears_belief_and_stream(self, fitted):
+        runtime = self._runtime(fitted)
+        rng = np.random.default_rng(2)
+        for count in [1] * 12 + [15] * 18 + [1] * 20:
+            runtime.push_frame(self._frame(count, rng))
+        runtime.flush()
+        runtime.reset()
+        assert runtime.estimate.num_gestures == 0
+        assert runtime.runtime.frames_seen == 0

@@ -1,0 +1,152 @@
+"""Work-zone geometry, advisories, and runtime integration."""
+
+import numpy as np
+import pytest
+
+from repro.core.workzone import (
+    DEFAULT_WORK_ZONE,
+    WorkZone,
+    WorkZoneMonitor,
+    ZoneAdvisory,
+)
+from repro.radar.pointcloud import Frame, PointCloud
+
+
+def _frame_at(x, y, count=5, intensity=1.0):
+    points = np.zeros((count, 5))
+    points[:, 0] = x
+    points[:, 1] = y
+    points[:, 4] = intensity
+    return Frame(points=points)
+
+
+class TestWorkZoneGeometry:
+    def test_rejects_negative_min_range(self):
+        with pytest.raises(ValueError):
+            WorkZone(min_range_m=-0.1)
+
+    def test_rejects_inverted_ranges(self):
+        with pytest.raises(ValueError):
+            WorkZone(min_range_m=2.0, max_range_m=1.0)
+
+    def test_rejects_bad_azimuth(self):
+        with pytest.raises(ValueError):
+            WorkZone(max_azimuth_rad=0.0)
+        with pytest.raises(ValueError):
+            WorkZone(max_azimuth_rad=4.0)
+
+    def test_contains_boresight_point(self):
+        assert DEFAULT_WORK_ZONE.contains(0.0, 1.2)
+
+    def test_excludes_far_point(self):
+        assert not DEFAULT_WORK_ZONE.contains(0.0, 5.0)
+
+    def test_excludes_too_close_point(self):
+        assert not DEFAULT_WORK_ZONE.contains(0.0, 0.1)
+
+    def test_excludes_wide_azimuth(self):
+        # 80 degrees off boresight at a valid range.
+        x = 2.0 * np.sin(np.deg2rad(80))
+        y = 2.0 * np.cos(np.deg2rad(80))
+        assert not DEFAULT_WORK_ZONE.contains(x, y)
+
+    def test_boundary_is_inclusive(self):
+        zone = WorkZone(min_range_m=1.0, max_range_m=2.0)
+        assert zone.contains(0.0, 1.0)
+        assert zone.contains(0.0, 2.0)
+
+
+class TestAdvisories:
+    def test_in_zone(self):
+        assert DEFAULT_WORK_ZONE.advise_position(0.0, 1.5) is ZoneAdvisory.IN_ZONE
+
+    def test_step_closer_when_far(self):
+        assert DEFAULT_WORK_ZONE.advise_position(0.0, 4.5) is ZoneAdvisory.STEP_CLOSER
+
+    def test_step_back_when_close(self):
+        assert DEFAULT_WORK_ZONE.advise_position(0.0, 0.2) is ZoneAdvisory.STEP_BACK
+
+    def test_move_to_center_when_off_axis(self):
+        x = 2.0 * np.sin(np.deg2rad(75))
+        y = 2.0 * np.cos(np.deg2rad(75))
+        assert DEFAULT_WORK_ZONE.advise_position(x, y) is ZoneAdvisory.MOVE_TO_CENTER
+
+    def test_in_zone_advisory_message_is_empty(self):
+        assert ZoneAdvisory.IN_ZONE.value == ""
+        assert "closer" in ZoneAdvisory.STEP_CLOSER.value
+
+
+class TestWorkZoneMonitor:
+    def test_rejects_bad_min_points(self):
+        with pytest.raises(ValueError):
+            WorkZoneMonitor(min_points=0)
+
+    def test_empty_frame_reports_no_presence(self):
+        assert WorkZoneMonitor().advise_frame(Frame.empty()) is ZoneAdvisory.NO_PRESENCE
+
+    def test_too_few_points_reports_no_presence(self):
+        monitor = WorkZoneMonitor(min_points=5)
+        assert monitor.advise_frame(_frame_at(0.0, 1.5, count=2)) is ZoneAdvisory.NO_PRESENCE
+
+    def test_frame_in_zone(self):
+        assert WorkZoneMonitor().advise_frame(_frame_at(0.0, 1.5)) is ZoneAdvisory.IN_ZONE
+
+    def test_frame_too_far(self):
+        assert (
+            WorkZoneMonitor().advise_frame(_frame_at(0.0, 4.6)) is ZoneAdvisory.STEP_CLOSER
+        )
+
+    def test_centroid_is_intensity_weighted(self):
+        """A few bright points at 4.5 m dominate dim points at 1 m."""
+        dim = np.zeros((5, 5))
+        dim[:, 1] = 1.0
+        dim[:, 4] = 1e-6
+        bright = np.zeros((3, 5))
+        bright[:, 1] = 4.5
+        bright[:, 4] = 10.0
+        frame = Frame(points=np.vstack([dim, bright]))
+        assert WorkZoneMonitor().advise_frame(frame) is ZoneAdvisory.STEP_CLOSER
+
+    def test_advise_cloud(self):
+        cloud = PointCloud.from_frames([_frame_at(0.0, 2.0), _frame_at(0.1, 2.1)])
+        assert WorkZoneMonitor().advise_cloud(cloud) is ZoneAdvisory.IN_ZONE
+
+
+class TestRuntimeIntegration:
+    @pytest.fixture()
+    def runtime(self):
+        # Reuse the toy fitted system from the multiuser tests.
+        from tests.core.test_multiuser_runtime import (
+            _tiny_network,
+            _toy_dataset,
+        )
+        from repro.core import (
+            GesturePrint,
+            GesturePrintConfig,
+            GesturePrintRuntime,
+            TrainConfig,
+        )
+
+        x, g, u = _toy_dataset(n_per_cell=6)
+        config = GesturePrintConfig(
+            network=_tiny_network(),
+            training=TrainConfig(epochs=4, batch_size=8, learning_rate=3e-3),
+            augment=False,
+        )
+        system = GesturePrint(config).fit(x, g, u)
+        return GesturePrintRuntime(system, num_points=12, work_zone=WorkZone())
+
+    def test_advisory_tracks_user_position(self, runtime):
+        runtime.push_frame(_frame_at(0.0, 1.5, count=8))
+        assert runtime.zone_advisory is ZoneAdvisory.IN_ZONE
+        runtime.push_frame(_frame_at(0.0, 4.5, count=8))
+        assert runtime.zone_advisory is ZoneAdvisory.STEP_CLOSER
+
+    def test_advisory_without_zone_is_in_zone(self, runtime):
+        runtime.zone_monitor = None
+        assert runtime.zone_advisory is ZoneAdvisory.IN_ZONE
+
+    def test_reset_clears_advisory(self, runtime):
+        runtime.push_frame(_frame_at(0.0, 1.5, count=8))
+        runtime.reset()
+        assert runtime.zone_advisory is ZoneAdvisory.NO_PRESENCE

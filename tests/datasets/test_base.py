@@ -1,0 +1,102 @@
+"""Tests for the dataset container and rendering loop."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import DatasetSpec, build_dataset
+from repro.gestures import ASL_GESTURES, generate_users
+
+
+@pytest.fixture(scope="module")
+def small_dataset():
+    users = generate_users(2, seed=0)
+    templates = tuple(list(ASL_GESTURES.values())[:2])
+    spec = DatasetSpec(
+        users=tuple(users),
+        templates=templates,
+        environments=("office",),
+        reps=3,
+        num_points=32,
+        seed=5,
+    )
+    return build_dataset(spec, keep_clouds=True)
+
+
+class TestDatasetSpec:
+    def test_validation(self):
+        users = tuple(generate_users(1, seed=0))
+        templates = (ASL_GESTURES["push"],)
+        with pytest.raises(ValueError):
+            DatasetSpec(users=(), templates=templates)
+        with pytest.raises(ValueError):
+            DatasetSpec(users=users, templates=templates, reps=0)
+        with pytest.raises(ValueError):
+            DatasetSpec(users=users, templates=templates, environments=("moon",))
+
+
+class TestBuildDataset:
+    def test_sample_count(self, small_dataset):
+        # 2 users x 2 gestures x 3 reps (some may drop, most survive).
+        assert 8 <= small_dataset.num_samples <= 12
+
+    def test_input_shape(self, small_dataset):
+        assert small_dataset.inputs.shape[1:] == (32, 8)
+
+    def test_labels_aligned(self, small_dataset):
+        n = small_dataset.num_samples
+        assert small_dataset.gesture_labels.shape == (n,)
+        assert small_dataset.user_labels.shape == (n,)
+        assert small_dataset.distances_m.shape == (n,)
+
+    def test_label_ranges(self, small_dataset):
+        assert set(small_dataset.gesture_labels) <= {0, 1}
+        assert set(small_dataset.user_labels) <= {0, 1}
+
+    def test_clouds_kept_when_requested(self, small_dataset):
+        assert len(small_dataset.clouds) == small_dataset.num_samples
+        assert all(c.num_points > 0 for c in small_dataset.clouds)
+
+    def test_deterministic(self):
+        users = generate_users(1, seed=1)
+        spec = DatasetSpec(
+            users=tuple(users),
+            templates=(ASL_GESTURES["push"],),
+            reps=2,
+            num_points=16,
+            seed=9,
+        )
+        a = build_dataset(spec)
+        b = build_dataset(spec)
+        np.testing.assert_array_equal(a.inputs, b.inputs)
+
+
+class TestDatasetOps:
+    def test_subset(self, small_dataset):
+        mask = small_dataset.gesture_labels == 0
+        sub = small_dataset.subset(mask)
+        assert sub.num_samples == int(mask.sum())
+        assert (sub.gesture_labels == 0).all()
+
+    def test_subset_bad_mask(self, small_dataset):
+        with pytest.raises(ValueError):
+            small_dataset.subset(np.ones(3, dtype=bool))
+
+    def test_at_distance(self, small_dataset):
+        sub = small_dataset.at_distance(1.2)
+        assert sub.num_samples == small_dataset.num_samples
+
+    def test_in_environment(self, small_dataset):
+        sub = small_dataset.in_environment("office")
+        assert sub.num_samples == small_dataset.num_samples
+        with pytest.raises(ValueError):
+            small_dataset.in_environment("moon")
+
+    def test_merged_with(self, small_dataset):
+        merged = small_dataset.merged_with(small_dataset)
+        assert merged.num_samples == 2 * small_dataset.num_samples
+
+    def test_merge_requires_same_vocabulary(self, small_dataset):
+        other = small_dataset.subset(np.ones(small_dataset.num_samples, dtype=bool))
+        other.gesture_names = ["different"]
+        with pytest.raises(ValueError):
+            small_dataset.merged_with(other)

@@ -1,0 +1,77 @@
+"""Tests for the four dataset clones (scaled-down builds)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    build_mhomeges,
+    build_mtranssee,
+    build_pantomime,
+    build_selfcollected,
+)
+from repro.datasets.clones import MTRANSSEE_ANCHORS
+
+
+@pytest.mark.slow
+class TestSelfCollected:
+    def test_two_environments(self):
+        ds = build_selfcollected(
+            num_users=2, num_gestures=2, reps=2, num_points=24, seed=1
+        )
+        assert set(ds.environment_names) == {"office", "meeting_room"}
+        assert set(np.unique(ds.environment_labels)) == {0, 1}
+
+    def test_gesture_names_are_asl(self):
+        ds = build_selfcollected(
+            num_users=1, num_gestures=3, reps=1, environments=("office",),
+            num_points=24, seed=2,
+        )
+        assert ds.gesture_names == ["ahead", "and", "another"]
+
+
+@pytest.mark.slow
+class TestPantomime:
+    def test_disjoint_users_per_environment(self):
+        ds = build_pantomime(
+            num_users=2, num_gestures=2, reps=2, num_points=24, seed=3
+        )
+        office = ds.in_environment("office")
+        open_env = ds.in_environment("open")
+        assert set(np.unique(office.user_labels)).isdisjoint(
+            np.unique(open_env.user_labels)
+        )
+
+    def test_distance_is_one_meter(self):
+        ds = build_pantomime(
+            num_users=1, num_gestures=1, reps=1, environments=("office",),
+            num_points=24, seed=4,
+        )
+        assert (ds.distances_m == 1.0).all()
+
+
+@pytest.mark.slow
+class TestHomeDatasets:
+    def test_mhomeges_home_environment(self):
+        ds = build_mhomeges(num_users=1, num_gestures=2, reps=1, num_points=24, seed=5)
+        assert ds.environment_names == ["home"]
+
+    def test_mtranssee_anchor_grid(self):
+        assert len(MTRANSSEE_ANCHORS) == 13
+        assert MTRANSSEE_ANCHORS[0] == 1.2
+        assert MTRANSSEE_ANCHORS[-1] == 4.8
+
+    def test_mtranssee_multiple_distances(self):
+        ds = build_mtranssee(
+            num_users=1, num_gestures=1, reps=2,
+            distances_m=(1.2, 2.4), num_points=24, seed=6,
+        )
+        assert set(np.round(np.unique(ds.distances_m), 1)) == {1.2, 2.4}
+
+    def test_far_anchor_yields_fewer_points(self):
+        ds = build_mtranssee(
+            num_users=2, num_gestures=1, reps=3,
+            distances_m=(1.2, 4.5), num_points=24, seed=7, keep_clouds=True,
+        )
+        near = [c.num_points for c, d in zip(ds.clouds, ds.distances_m) if d < 2]
+        far = [c.num_points for c, d in zip(ds.clouds, ds.distances_m) if d > 4]
+        assert np.mean(far) < np.mean(near)

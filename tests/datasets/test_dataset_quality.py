@@ -1,0 +1,87 @@
+"""Statistical quality checks on rendered datasets.
+
+These assert the dataset-level properties the paper's analysis depends
+on: gesture separability exceeding user separability (Fig. 3), duration
+correlating with user speed (Fig. 13), and basic numeric hygiene.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets import build_selfcollected
+from repro.metrics import chamfer_distance
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return build_selfcollected(
+        num_users=4,
+        num_gestures=4,
+        reps=8,
+        environments=("office",),
+        num_points=48,
+        seed=29,
+    )
+
+
+class TestNumericHygiene:
+    def test_no_nans(self, dataset):
+        assert np.isfinite(dataset.inputs).all()
+
+    def test_doppler_within_radar_limits(self, dataset):
+        assert np.abs(dataset.inputs[:, :, 3]).max() <= 2.71
+
+    def test_phase_in_unit_interval(self, dataset):
+        phases = dataset.inputs[:, :, 5]
+        assert phases.min() >= 0.0
+        assert phases.max() <= 1.0
+
+    def test_y_near_configured_distance(self, dataset):
+        assert np.median(dataset.inputs[:, :, 1]) == pytest.approx(1.2, abs=0.4)
+
+    def test_every_cell_represented(self, dataset):
+        cells = set(zip(dataset.gesture_labels.tolist(), dataset.user_labels.tolist()))
+        assert len(cells) == 16  # 4 gestures x 4 users
+
+
+class TestClassStructure:
+    def _mean_chamfer(self, dataset, pairs):
+        return float(
+            np.mean(
+                [
+                    chamfer_distance(
+                        dataset.inputs[i][:, :3], dataset.inputs[j][:, :3]
+                    )
+                    for i, j in pairs
+                ]
+            )
+        )
+
+    def test_gesture_separation_exceeds_repetition_noise(self, dataset):
+        rng = np.random.default_rng(0)
+        same, cross = [], []
+        n = dataset.num_samples
+        while len(same) < 60 or len(cross) < 60:
+            i, j = rng.integers(0, n, 2)
+            if i == j:
+                continue
+            if (
+                dataset.gesture_labels[i] == dataset.gesture_labels[j]
+                and dataset.user_labels[i] == dataset.user_labels[j]
+                and len(same) < 60
+            ):
+                same.append((i, j))
+            elif dataset.gesture_labels[i] != dataset.gesture_labels[j] and len(cross) < 60:
+                cross.append((i, j))
+        assert self._mean_chamfer(dataset, cross) > 1.15 * self._mean_chamfer(dataset, same)
+
+    def test_duration_tracks_user_speed(self, dataset):
+        # Same gesture: per-user mean durations must spread (speed trait).
+        durations = dataset.duration_frames
+        gesture0 = dataset.gesture_labels == 0
+        per_user = [
+            durations[gesture0 & (dataset.user_labels == u)].mean()
+            for u in range(4)
+            if (gesture0 & (dataset.user_labels == u)).any()
+        ]
+        assert max(per_user) - min(per_user) >= 2.0  # frames

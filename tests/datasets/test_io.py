@@ -1,0 +1,68 @@
+"""Dataset .npz persistence: round trips and validation."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import GestureDataset, load_dataset, save_dataset
+
+
+def _dataset(n=12, seed=0):
+    rng = np.random.default_rng(seed)
+    return GestureDataset(
+        inputs=rng.normal(size=(n, 16, 8)),
+        gesture_labels=rng.integers(0, 3, size=n),
+        user_labels=rng.integers(0, 2, size=n),
+        distances_m=np.full(n, 1.2),
+        environment_labels=np.zeros(n, dtype=np.int64),
+        duration_frames=rng.integers(10, 30, size=n),
+        gesture_names=["ahead", "away", "push"],
+        environment_names=["office"],
+    )
+
+
+class TestRoundTrip:
+    def test_arrays_survive(self, tmp_path):
+        dataset = _dataset()
+        path = tmp_path / "data.npz"
+        save_dataset(dataset, path)
+        loaded = load_dataset(path)
+        np.testing.assert_array_equal(loaded.inputs, dataset.inputs)
+        np.testing.assert_array_equal(loaded.gesture_labels, dataset.gesture_labels)
+        np.testing.assert_array_equal(loaded.user_labels, dataset.user_labels)
+        np.testing.assert_array_equal(loaded.distances_m, dataset.distances_m)
+        np.testing.assert_array_equal(loaded.duration_frames, dataset.duration_frames)
+
+    def test_names_survive(self, tmp_path):
+        dataset = _dataset()
+        path = tmp_path / "data.npz"
+        save_dataset(dataset, path)
+        loaded = load_dataset(path)
+        assert loaded.gesture_names == dataset.gesture_names
+        assert loaded.environment_names == dataset.environment_names
+
+    def test_clouds_are_dropped(self, tmp_path):
+        dataset = _dataset()
+        dataset.clouds = [object()] * dataset.num_samples  # ragged payload
+        path = tmp_path / "data.npz"
+        save_dataset(dataset, path)
+        assert load_dataset(path).clouds == []
+
+    def test_loaded_dataset_supports_subsetting(self, tmp_path):
+        dataset = _dataset(seed=1)
+        path = tmp_path / "data.npz"
+        save_dataset(dataset, path)
+        loaded = load_dataset(path)
+        subset = loaded.in_environment("office")
+        assert subset.num_samples == loaded.num_samples
+
+
+class TestValidation:
+    def test_missing_arrays_rejected(self, tmp_path):
+        path = tmp_path / "bogus.npz"
+        np.savez(path, inputs=np.zeros((2, 4, 8)))
+        with pytest.raises(ValueError, match="missing arrays"):
+            load_dataset(path)
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_dataset(tmp_path / "absent.npz")

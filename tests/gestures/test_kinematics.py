@@ -1,0 +1,103 @@
+"""Tests for the two-link arm model and body scatterer assembly."""
+
+import numpy as np
+import pytest
+
+from repro.gestures import ArmModel, body_scatterers
+from repro.gestures.kinematics import torso_positions
+
+
+class TestSolveElbow:
+    def test_link_lengths_preserved_when_reachable(self):
+        arm = ArmModel(arm_length_m=0.6)
+        shoulder = np.array([0.0, 0.0, 0.0])
+        hand = np.array([0.3, 0.2, -0.1])
+        elbow = arm.solve_elbow(shoulder, hand)
+        assert np.linalg.norm(elbow - shoulder) == pytest.approx(arm.upper_length_m, abs=1e-9)
+        assert np.linalg.norm(hand - elbow) == pytest.approx(arm.forearm_length_m, abs=1e-9)
+
+    def test_out_of_reach_extends_fully(self):
+        arm = ArmModel(arm_length_m=0.6)
+        shoulder = np.zeros(3)
+        hand = np.array([2.0, 0.0, 0.0])
+        elbow = arm.solve_elbow(shoulder, hand)
+        np.testing.assert_allclose(elbow, [arm.upper_length_m, 0.0, 0.0])
+
+    def test_elbow_hangs_down(self):
+        arm = ArmModel(arm_length_m=0.6)
+        elbow = arm.solve_elbow(np.zeros(3), np.array([0.5, 0.0, 0.0]))
+        assert elbow[2] < 0  # natural "elbow down" resolution
+
+    def test_swivel_moves_elbow(self):
+        straight = ArmModel(arm_length_m=0.6, swivel_angle_rad=0.0)
+        flared = ArmModel(arm_length_m=0.6, swivel_angle_rad=0.6)
+        shoulder = np.zeros(3)
+        hand = np.array([0.4, 0.2, 0.0])
+        e0 = straight.solve_elbow(shoulder, hand)
+        e1 = flared.solve_elbow(shoulder, hand)
+        assert np.linalg.norm(e0 - e1) > 0.02
+        # Link lengths still hold under swivel.
+        assert np.linalg.norm(e1 - shoulder) == pytest.approx(straight.upper_length_m, abs=1e-9)
+
+    def test_degenerate_hand_at_shoulder(self):
+        arm = ArmModel(arm_length_m=0.6)
+        elbow = arm.solve_elbow(np.zeros(3), np.zeros(3))
+        assert np.isfinite(elbow).all()
+
+
+class TestScattererPositions:
+    def test_count(self):
+        arm = ArmModel(arm_length_m=0.6)
+        chain = arm.scatterer_positions(np.zeros(3), np.array([0.4, 0.2, 0.0]))
+        expected = arm.num_upper_scatterers + arm.num_forearm_scatterers + arm.num_hand_scatterers
+        assert chain.shape == (expected, 3)
+
+    def test_rcs_matches_count(self):
+        arm = ArmModel(arm_length_m=0.6)
+        chain = arm.scatterer_positions(np.zeros(3), np.array([0.4, 0.2, 0.0]))
+        assert arm.scatterer_rcs().shape[0] == chain.shape[0]
+
+    def test_hand_cluster_near_hand(self):
+        arm = ArmModel(arm_length_m=0.6)
+        hand = np.array([0.4, 0.2, 0.0])
+        chain = arm.scatterer_positions(np.zeros(3), hand)
+        hand_pts = chain[-arm.num_hand_scatterers :]
+        assert np.linalg.norm(hand_pts - hand, axis=1).max() < 0.1
+
+
+class TestBodyScatterers:
+    def test_assembles_torso_and_arms(self):
+        arm = ArmModel(arm_length_m=0.6)
+        scene = body_scatterers(
+            np.array([0.0, 1.2, 0.0]),
+            {"right": np.array([0.3, 0.8, 0.1])},
+            arm,
+        )
+        assert len(scene) == 9 + 14  # 3x3 torso grid + arm chain
+
+    def test_hand_velocity_ramps_along_chain(self):
+        arm = ArmModel(arm_length_m=0.6)
+        hand_vel = np.array([0.0, -1.5, 0.0])
+        scene = body_scatterers(
+            np.array([0.0, 1.2, 0.0]),
+            {"right": np.array([0.2, 0.7, 0.0])},
+            arm,
+            hand_velocities={"right": hand_vel},
+        )
+        speeds = np.linalg.norm(scene.velocities[9:], axis=1)
+        # Closest-to-shoulder scatterer moves slower than the hand blob.
+        assert speeds[0] < speeds[-1]
+
+    def test_torso_breathing_velocity(self):
+        arm = ArmModel(arm_length_m=0.6)
+        scene = body_scatterers(
+            np.array([0.0, 1.2, 0.0]),
+            {},
+            arm,
+            torso_velocity=np.array([0.0, 0.01, 0.0]),
+        )
+        np.testing.assert_allclose(scene.velocities[:, 1], 0.01)
+
+    def test_torso_grid_spans_width(self):
+        grid = torso_positions(np.zeros(3), width_m=0.4, height_m=1.7)
+        assert grid[:, 0].max() - grid[:, 0].min() == pytest.approx(0.4)

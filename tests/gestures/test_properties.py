@@ -1,0 +1,97 @@
+"""Property-based tests on the gesture synthesis invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gestures import ASL_GESTURES, ENVIRONMENTS, generate_users, perform_gesture
+from repro.gestures.synthesis import _interpolate_waypoints, _personalized_waypoints
+from repro.radar import FastRadar, IWR6843_CONFIG
+
+
+class TestInterpolationProperties:
+    @settings(max_examples=25)
+    @given(st.integers(2, 8), st.floats(0.0, 1.0))
+    def test_outputs_on_path_bounding_box(self, num_waypoints, smoothness):
+        rng = np.random.default_rng(num_waypoints)
+        waypoints = rng.normal(size=(num_waypoints, 3))
+        phases = np.linspace(0, 1, 17)
+        out = _interpolate_waypoints(waypoints, phases, smoothness)
+        # Linear interpolation between waypoints cannot leave their hull;
+        # the bounding box is a cheap outer approximation of the hull.
+        assert (out >= waypoints.min(axis=0) - 1e-9).all()
+        assert (out <= waypoints.max(axis=0) + 1e-9).all()
+
+    @settings(max_examples=25)
+    @given(st.floats(0.0, 1.0))
+    def test_total_path_length_preserved(self, smoothness):
+        waypoints = np.array([[0.0, 0, 0], [1.0, 0, 0], [1.0, 2.0, 0]])
+        phases = np.linspace(0, 1, 200)
+        out = _interpolate_waypoints(waypoints, phases, smoothness)
+        length = np.linalg.norm(np.diff(out, axis=0), axis=1).sum()
+        assert length == pytest.approx(3.0, abs=0.01)
+
+
+class TestPersonalization:
+    def test_taller_user_reaches_further(self):
+        users = sorted(generate_users(30, seed=0), key=lambda u: u.arm_length_m)
+        short, tall = users[0], users[-1]
+        rng_a, rng_b = np.random.default_rng(1), np.random.default_rng(1)
+        wp_short = _personalized_waypoints(ASL_GESTURES["ahead"], short, "right", rng_a, 0.0)
+        wp_tall = _personalized_waypoints(ASL_GESTURES["ahead"], tall, "right", rng_b, 0.0)
+        reach_short = np.linalg.norm(wp_short, axis=1).max()
+        reach_tall = np.linalg.norm(wp_tall, axis=1).max()
+        assert reach_tall > reach_short
+
+    def test_same_user_same_seed_is_deterministic(self):
+        user = generate_users(1, seed=2)[0]
+        a = _personalized_waypoints(
+            ASL_GESTURES["push"], user, "right", np.random.default_rng(3), 1.0
+        )
+        b = _personalized_waypoints(
+            ASL_GESTURES["push"], user, "right", np.random.default_rng(3), 1.0
+        )
+        np.testing.assert_array_equal(a, b)
+
+    def test_rep_jitter_changes_interior_waypoints(self):
+        user = generate_users(1, seed=2)[0]
+        a = _personalized_waypoints(
+            ASL_GESTURES["push"], user, "right", np.random.default_rng(3), 1.0
+        )
+        b = _personalized_waypoints(
+            ASL_GESTURES["push"], user, "right", np.random.default_rng(4), 1.0
+        )
+        assert not np.allclose(a[1:-1], b[1:-1])
+        np.testing.assert_allclose(a[0], b[0])  # rest pose is stable
+
+    def test_left_handed_user_mirrors_single_arm(self):
+        users = generate_users(60, seed=5)
+        lefty = next(u for u in users if u.handedness < 0)
+        righty = next(u for u in users if u.handedness > 0)
+        wp_left = _personalized_waypoints(
+            ASL_GESTURES["away"], lefty, "right", np.random.default_rng(0), 0.0
+        )
+        wp_right = _personalized_waypoints(
+            ASL_GESTURES["away"], righty, "right", np.random.default_rng(0), 0.0
+        )
+        # 'away' sweeps to the dominant side: opposite x signs at the apex.
+        assert np.sign(wp_left[1:-1, 0].mean()) != np.sign(wp_right[1:-1, 0].mean())
+
+
+class TestRecordingInvariants:
+    @settings(max_examples=6)
+    @given(st.sampled_from(["ahead", "push", "zigzag"]), st.integers(0, 2))
+    def test_motion_span_inside_recording(self, gesture, user_idx):
+        users = generate_users(3, seed=7)
+        radar = FastRadar(IWR6843_CONFIG, seed=8)
+        recording = perform_gesture(
+            users[user_idx],
+            ASL_GESTURES[gesture],
+            radar,
+            ENVIRONMENTS["office"],
+            rng=np.random.default_rng(user_idx + 10),
+        )
+        assert 0 < recording.motion_start_frame < recording.motion_end_frame
+        assert recording.motion_end_frame < recording.num_frames
+        assert recording.duration_frames >= 4

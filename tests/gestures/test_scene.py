@@ -1,0 +1,73 @@
+"""Tests for environments and bystanders."""
+
+import numpy as np
+import pytest
+
+from repro.gestures import Bystander, ENVIRONMENTS
+
+
+class TestEnvironments:
+    def test_four_scenarios_defined(self):
+        assert set(ENVIRONMENTS) == {"office", "meeting_room", "home", "open"}
+
+    def test_clutter_scatterers_static_by_default(self):
+        env = ENVIRONMENTS["office"]
+        rng = np.random.default_rng(0)
+        # With many draws some flicker; but most stay static overall.
+        static_fraction = []
+        for _ in range(50):
+            clutter = env.clutter_scatterers(rng)
+            speeds = np.linalg.norm(clutter.velocities, axis=1)
+            static_fraction.append((speeds < 1e-9).mean())
+        assert np.mean(static_fraction) > 0.8
+
+    def test_flicker_occurs(self):
+        env = ENVIRONMENTS["office"]
+        rng = np.random.default_rng(1)
+        flickered = 0
+        for _ in range(100):
+            clutter = env.clutter_scatterers(rng)
+            flickered += (np.linalg.norm(clutter.velocities, axis=1) > 0).any()
+        assert flickered > 10
+
+    def test_open_space_has_least_clutter(self):
+        assert len(ENVIRONMENTS["open"].reflector_positions) < len(
+            ENVIRONMENTS["office"].reflector_positions
+        )
+
+
+class TestBystander:
+    def test_walker_moves_between_frames(self):
+        walker = Bystander(mode="walking", walk_speed_ms=1.0)
+        rng = np.random.default_rng(0)
+        early = walker.scatterers_at(0.0, rng).positions.mean(axis=0)
+        later = walker.scatterers_at(1.0, rng).positions.mean(axis=0)
+        assert np.linalg.norm(later - early) > 0.5
+
+    def test_walker_turns_around(self):
+        walker = Bystander(
+            mode="walking", walk_start=(-1.0, 2.0), walk_end=(1.0, 2.0), walk_speed_ms=1.0
+        )
+        rng = np.random.default_rng(0)
+        # Path is 2 m; at t=3 s the walker is on the way back.
+        onward = walker.scatterers_at(0.5, rng).velocities[0]
+        backward = walker.scatterers_at(3.0, rng).velocities[0]
+        assert np.sign(onward[0]) != np.sign(backward[0])
+
+    def test_gesturer_stays_in_place(self):
+        gesturer = Bystander(mode="gesturing", position=(1.5, 2.5, 0.0))
+        rng = np.random.default_rng(0)
+        a = gesturer.scatterers_at(0.0, rng).positions.mean(axis=0)
+        b = gesturer.scatterers_at(2.0, rng).positions.mean(axis=0)
+        assert np.linalg.norm(b - a) < 0.3
+
+    def test_gesturer_hand_moves(self):
+        gesturer = Bystander(mode="gesturing")
+        rng = np.random.default_rng(0)
+        scene = gesturer.scatterers_at(0.25, rng)
+        speeds = np.linalg.norm(scene.velocities, axis=1)
+        assert speeds.max() > 0.2
+
+    def test_unknown_mode_raises(self):
+        with pytest.raises(ValueError):
+            Bystander(mode="flying").scatterers_at(0.0, np.random.default_rng(0))

@@ -1,0 +1,116 @@
+"""Tests for gesture performance rendering."""
+
+import numpy as np
+import pytest
+
+from repro.gestures import ASL_GESTURES, ENVIRONMENTS, generate_users, perform_gesture
+from repro.gestures.synthesis import _interpolate_waypoints
+from repro.radar import FastRadar, IWR6843_CONFIG
+
+
+@pytest.fixture(scope="module")
+def setup():
+    users = generate_users(3, seed=1)
+    radar = FastRadar(IWR6843_CONFIG, seed=0)
+    return users, radar, ENVIRONMENTS["office"]
+
+
+class TestInterpolation:
+    def test_endpoints(self):
+        waypoints = np.array([[0.0, 0, 0], [1.0, 0, 0], [1.0, 1.0, 0]])
+        out = _interpolate_waypoints(waypoints, np.array([0.0, 1.0]), smoothness=0.8)
+        np.testing.assert_allclose(out[0], waypoints[0])
+        np.testing.assert_allclose(out[-1], waypoints[-1])
+
+    def test_monotone_arc_length(self):
+        waypoints = np.array([[0.0, 0, 0], [1.0, 0, 0], [2.0, 0, 0]])
+        phases = np.linspace(0, 1, 20)
+        out = _interpolate_waypoints(waypoints, phases, smoothness=1.0)
+        assert (np.diff(out[:, 0]) >= -1e-12).all()
+
+    def test_no_mid_path_stalls(self):
+        # Arc-length parametrisation: interior speed never drops to zero.
+        waypoints = np.array([[0.0, 0, 0], [1.0, 0, 0], [1.0, 1.0, 0], [2.0, 1.0, 0.0]])
+        phases = np.linspace(0.2, 0.8, 30)
+        out = _interpolate_waypoints(waypoints, phases, smoothness=1.0)
+        step = np.linalg.norm(np.diff(out, axis=0), axis=1)
+        assert step.min() > 1e-3
+
+    def test_degenerate_path(self):
+        waypoints = np.zeros((3, 3))
+        out = _interpolate_waypoints(waypoints, np.array([0.5]), smoothness=0.5)
+        np.testing.assert_allclose(out, 0.0)
+
+
+class TestPerformGesture:
+    def test_recording_structure(self, setup):
+        users, radar, env = setup
+        rec = perform_gesture(
+            users[0], ASL_GESTURES["push"], radar, env, rng=np.random.default_rng(0)
+        )
+        assert rec.motion_start_frame > 0
+        assert rec.motion_end_frame <= rec.num_frames
+        assert rec.gesture_name == "push"
+        assert rec.user_id == users[0].user_id
+
+    def test_motion_frames_have_more_points(self, setup):
+        users, radar, env = setup
+        rec = perform_gesture(
+            users[0], ASL_GESTURES["push"], radar, env, rng=np.random.default_rng(1)
+        )
+        counts = np.array([f.num_points for f in rec.frames])
+        motion = counts[rec.motion_start_frame : rec.motion_end_frame]
+        idle = np.concatenate([counts[: rec.motion_start_frame], counts[rec.motion_end_frame :]])
+        assert motion.mean() > 2.0 * max(idle.mean(), 0.5)
+
+    def test_speed_override_shortens_motion(self, setup):
+        users, radar, env = setup
+        slow = perform_gesture(
+            users[0], ASL_GESTURES["push"], radar, env,
+            rng=np.random.default_rng(2), speed_override=0.7,
+        )
+        fast = perform_gesture(
+            users[0], ASL_GESTURES["push"], radar, env,
+            rng=np.random.default_rng(2), speed_override=1.4,
+        )
+        assert fast.duration_frames < slow.duration_frames
+
+    def test_faster_users_produce_shorter_gestures(self, setup):
+        users, radar, env = setup
+        durations = {}
+        for user in users:
+            recs = [
+                perform_gesture(
+                    user, ASL_GESTURES["zigzag"], radar, env, rng=np.random.default_rng(s)
+                )
+                for s in range(3)
+            ]
+            durations[user.speed_factor] = np.mean([r.duration_frames for r in recs])
+        speeds = sorted(durations)
+        assert durations[speeds[0]] > durations[speeds[-1]]
+
+    def test_distance_controls_cloud_position(self, setup):
+        users, radar, env = setup
+        rec = perform_gesture(
+            users[0], ASL_GESTURES["push"], radar, env,
+            distance_m=2.5, rng=np.random.default_rng(3),
+        )
+        points = np.vstack([f.points for f in rec.frames if f.num_points])
+        assert np.median(points[:, 1]) == pytest.approx(2.5, abs=0.6)
+
+    def test_bimanual_gesture_covers_both_sides(self, setup):
+        users, radar, env = setup
+        rec = perform_gesture(
+            users[0], ASL_GESTURES["push"], radar, env, rng=np.random.default_rng(4)
+        )
+        motion_frames = rec.frames[rec.motion_start_frame : rec.motion_end_frame]
+        xs = np.concatenate([f.xyz[:, 0] for f in motion_frames if f.num_points])
+        assert xs.min() < -0.05 and xs.max() > 0.05
+
+    def test_metadata_records_speed(self, setup):
+        users, radar, env = setup
+        rec = perform_gesture(
+            users[0], ASL_GESTURES["ahead"], radar, env,
+            rng=np.random.default_rng(5), speed_override=1.1,
+        )
+        assert rec.metadata["speed"] == 1.1

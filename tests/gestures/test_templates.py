@@ -1,0 +1,126 @@
+"""Tests for gesture templates (ASL set and procedural families)."""
+
+import numpy as np
+import pytest
+
+from repro.gestures import (
+    ASL_GESTURES,
+    GestureTemplate,
+    make_circle_gesture,
+    make_pushpull_gesture,
+    make_swipe_gesture,
+    make_zigzag_gesture,
+    self_defined_family,
+)
+
+
+class TestAslSet:
+    def test_fifteen_gestures(self):
+        assert len(ASL_GESTURES) == 15
+
+    def test_paper_gesture_names_present(self):
+        expected = {
+            "ahead", "and", "another", "appoint", "away", "connect", "cross",
+            "every Sunday", "face", "finish", "forget", "front", "push",
+            "table", "zigzag",
+        }
+        assert set(ASL_GESTURES) == expected
+
+    def test_six_bimanual(self):
+        bimanual = [t for t in ASL_GESTURES.values() if t.bimanual]
+        assert len(bimanual) == 6  # paper: 9 single-arm + 6 bimanual
+
+    def test_waypoints_start_and_end_at_rest(self):
+        for template in ASL_GESTURES.values():
+            waypoints = template.waypoint_array("right")
+            np.testing.assert_allclose(waypoints[0], waypoints[-1])
+
+    def test_templates_are_spatially_distinct(self):
+        # Pairwise mean waypoint-path distance must be clearly nonzero.
+        names = list(ASL_GESTURES)
+        for i, a in enumerate(names):
+            for b in names[i + 1 :]:
+                wa = ASL_GESTURES[a].waypoint_array("right")
+                wb = ASL_GESTURES[b].waypoint_array("right")
+                # Compare via bounding boxes and midpoints.
+                diff = np.abs(wa.mean(axis=0) - wb.mean(axis=0)).sum() + np.abs(
+                    wa.max(axis=0) - wb.max(axis=0)
+                ).sum()
+                assert diff > 0.05, f"{a!r} and {b!r} are nearly identical"
+
+    def test_left_waypoints_mirror_right(self):
+        push = ASL_GESTURES["push"]
+        right = push.waypoint_array("right")
+        left = push.waypoint_array("left")
+        np.testing.assert_allclose(left[:, 0], -right[:, 0])
+        np.testing.assert_allclose(left[:, 1:], right[:, 1:])
+
+
+class TestTemplateValidation:
+    def test_needs_two_waypoints(self):
+        with pytest.raises(ValueError):
+            GestureTemplate("bad", ((0, 0, 0),))
+
+    def test_positive_duration(self):
+        with pytest.raises(ValueError):
+            GestureTemplate("bad", ((0, 0, 0), (1, 1, 1)), base_duration_s=0.0)
+
+    def test_left_hand_of_single_arm_raises(self):
+        template = ASL_GESTURES["ahead"]
+        with pytest.raises(ValueError):
+            template.waypoint_array("left")
+
+    def test_unknown_hand_raises(self):
+        with pytest.raises(ValueError):
+            ASL_GESTURES["ahead"].waypoint_array("middle")
+
+
+class TestProceduralFamilies:
+    def test_family_size(self):
+        assert len(self_defined_family(21)) == 21
+        assert len(self_defined_family(5)) == 5
+
+    def test_names_unique(self):
+        names = [t.name for t in self_defined_family(21)]
+        assert len(set(names)) == 21
+
+    def test_later_gestures_bimanual(self):
+        family = self_defined_family(21)
+        assert not any(t.bimanual for t in family[:9])
+        assert all(t.bimanual for t in family[9:])
+
+    def test_deterministic(self):
+        a = self_defined_family(10, seed=3)
+        b = self_defined_family(10, seed=3)
+        assert [t.name for t in a] == [t.name for t in b]
+        np.testing.assert_allclose(a[0].waypoint_array("right"), b[0].waypoint_array("right"))
+
+    def test_invalid_count_raises(self):
+        with pytest.raises(ValueError):
+            self_defined_family(0)
+
+
+class TestGestureBuilders:
+    def test_swipe_sweeps_direction(self):
+        swipe = make_swipe_gesture("s", (1.0, 0.0, 0.0))
+        waypoints = swipe.waypoint_array("right")
+        assert waypoints[2, 0] > waypoints[1, 0]
+
+    def test_pushpull_repeats(self):
+        once = make_pushpull_gesture("p1", repeats=1)
+        twice = make_pushpull_gesture("p2", repeats=2)
+        assert len(twice.right_waypoints) > len(once.right_waypoints)
+
+    def test_circle_returns_to_start(self):
+        circle = make_circle_gesture("c", radius=0.3)
+        waypoints = circle.waypoint_array("right")
+        np.testing.assert_allclose(waypoints[1], waypoints[-2], atol=1e-9)
+
+    def test_circle_invalid_plane(self):
+        with pytest.raises(ValueError):
+            make_circle_gesture("c", plane="yz")
+
+    def test_zigzag_alternates(self):
+        zigzag = make_zigzag_gesture("z", amplitude=0.3, cycles=2)
+        xs = zigzag.waypoint_array("right")[1:-1, 0]
+        assert (np.diff(xs) != 0).all()

@@ -1,0 +1,70 @@
+"""Tests for simulated participant generation."""
+
+import numpy as np
+import pytest
+
+from repro.gestures import UserProfile, generate_users
+
+
+class TestGenerateUsers:
+    def test_count_and_ids(self):
+        users = generate_users(5, seed=0)
+        assert [u.user_id for u in users] == [0, 1, 2, 3, 4]
+
+    def test_id_offset(self):
+        users = generate_users(3, seed=0, id_offset=10)
+        assert [u.user_id for u in users] == [10, 11, 12]
+
+    def test_deterministic_given_seed(self):
+        a = generate_users(4, seed=7)
+        b = generate_users(4, seed=7)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = generate_users(4, seed=1)
+        b = generate_users(4, seed=2)
+        assert a != b
+
+    def test_heights_match_paper_recruitment(self):
+        users = generate_users(100, seed=3)
+        heights = [u.height_m for u in users]
+        assert min(heights) >= 1.55
+        assert max(heights) <= 1.80
+
+    def test_arm_length_correlates_with_height(self):
+        users = generate_users(200, seed=4)
+        heights = np.array([u.height_m for u in users])
+        arms = np.array([u.arm_length_m for u in users])
+        assert np.corrcoef(heights, arms)[0, 1] > 0.7
+
+    def test_users_are_biometrically_distinct(self):
+        users = generate_users(10, seed=5)
+        speeds = {round(u.speed_factor, 6) for u in users}
+        assert len(speeds) == 10
+
+    def test_invalid_count_raises(self):
+        with pytest.raises(ValueError):
+            generate_users(0)
+
+
+class TestUserProfileValidation:
+    def test_rejects_nonpositive_dimensions(self):
+        base = generate_users(1, seed=0)[0]
+        with pytest.raises(ValueError):
+            UserProfile(
+                user_id=0,
+                arm_length_m=-0.5,
+                height_m=base.height_m,
+                speed_factor=1.0,
+                rom_scale=(1, 1, 1),
+                habit_rotation_rad=0.0,
+                habit_offset_m=(0, 0, 0),
+                tremor_amplitude_m=0.001,
+                tremor_frequency_hz=4.0,
+                smoothness=0.8,
+                handedness=1.0,
+            )
+
+    def test_shoulder_height_fraction(self):
+        user = generate_users(1, seed=1)[0]
+        assert user.shoulder_height_m == pytest.approx(0.82 * user.height_m)

@@ -1,0 +1,100 @@
+"""End-to-end integration: raw radar frames -> trained system -> predictions.
+
+This is the full paper pipeline at miniature scale: simulate recordings,
+preprocess them, train GesturePrint, and check that it beats chance by a
+wide margin on held-out repetitions.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import profile_pipeline
+from repro.core import GesturePrint, GesturePrintConfig, IdentificationMode, TrainConfig
+from repro.core.gesidnet import GesIDNetConfig
+from repro.core.trainer import train_test_split
+from repro.datasets import build_selfcollected
+from repro.gestures import ASL_GESTURES, ENVIRONMENTS, generate_users, perform_gesture
+from repro.radar import FastRadar, IWR6843_CONFIG
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return build_selfcollected(
+        num_users=3,
+        num_gestures=3,
+        reps=14,
+        environments=("office",),
+        num_points=64,
+        seed=17,
+    )
+
+
+@pytest.fixture(scope="module")
+def fitted_system(dataset):
+    train, _ = train_test_split(dataset.num_samples, 0.25, seed=1)
+    config = GesturePrintConfig(
+        network=GesIDNetConfig.small(),
+        training=TrainConfig(epochs=25, batch_size=24, learning_rate=3e-3),
+        augment=True,
+        augment_copies=2,
+    )
+    return GesturePrint(config).fit(
+        dataset.inputs[train], dataset.gesture_labels[train], dataset.user_labels[train]
+    )
+
+
+@pytest.mark.slow
+class TestEndToEnd:
+    def test_beats_chance_on_held_out_data(self, dataset, fitted_system):
+        _, test = train_test_split(dataset.num_samples, 0.25, seed=1)
+        metrics = fitted_system.evaluate(
+            dataset.inputs[test], dataset.gesture_labels[test], dataset.user_labels[test]
+        )
+        assert metrics["GRA"] > 0.7  # chance = 1/3
+        assert metrics["UIA"] > 0.5  # chance = 1/3
+        assert metrics["EER"] < 0.45
+
+    def test_serialized_beats_parallel_or_close(self, dataset):
+        # The paper reports serialized >= parallel (within a few percent).
+        train, test = train_test_split(dataset.num_samples, 0.25, seed=2)
+        results = {}
+        for mode in (IdentificationMode.SERIALIZED, IdentificationMode.PARALLEL):
+            config = GesturePrintConfig(
+                network=GesIDNetConfig.small(),
+                training=TrainConfig(epochs=22, batch_size=24, learning_rate=3e-3),
+                mode=mode,
+                augment=True,
+                augment_copies=2,
+            )
+            system = GesturePrint(config).fit(
+                dataset.inputs[train],
+                dataset.gesture_labels[train],
+                dataset.user_labels[train],
+            )
+            results[mode] = system.evaluate(
+                dataset.inputs[test], dataset.gesture_labels[test], dataset.user_labels[test]
+            )
+        assert results[IdentificationMode.SERIALIZED]["UIA"] > 0.45
+        assert results[IdentificationMode.PARALLEL]["UIA"] > 0.33
+
+    def test_latency_profile(self, fitted_system):
+        users = generate_users(1, seed=3)
+        radar = FastRadar(IWR6843_CONFIG, seed=4)
+        recordings = [
+            perform_gesture(
+                users[0],
+                list(ASL_GESTURES.values())[i % 3],
+                radar,
+                ENVIRONMENTS["office"],
+                rng=np.random.default_rng(i),
+            )
+            for i in range(3)
+        ]
+        report = profile_pipeline(
+            fitted_system, recordings, num_points=48, runs=5, seed=0
+        )
+        assert report.preprocessing_ms > 0
+        assert report.recognition_ms > 0
+        assert report.total_ms == pytest.approx(
+            report.preprocessing_ms + report.inference_ms
+        )

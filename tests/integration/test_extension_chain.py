@@ -1,0 +1,120 @@
+"""Integration: the discussion-section extensions chained on real renders.
+
+Simulated recordings flow through the streaming runtime (with a work
+zone), session fusion accumulates identity evidence over consecutive
+gestures, and CORAL alignment is a near-no-op within a single domain —
+all against one trained system, mirroring how a deployment would stack
+these pieces.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CoralAligner,
+    GesturePrint,
+    GesturePrintConfig,
+    GesturePrintRuntime,
+    SessionIdentifier,
+    TrainConfig,
+    WorkZone,
+    ZoneAdvisory,
+)
+from repro.core.gesidnet import GesIDNetConfig
+from repro.core.trainer import train_test_split
+from repro.datasets import build_selfcollected
+from repro.gestures import ASL_GESTURES, ENVIRONMENTS, generate_users, perform_gesture
+from repro.radar import FastRadar, IWR6843_CONFIG
+
+NUM_POINTS = 64
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return build_selfcollected(
+        num_users=3,
+        num_gestures=3,
+        reps=12,
+        environments=("office",),
+        num_points=NUM_POINTS,
+        seed=29,
+    )
+
+
+@pytest.fixture(scope="module")
+def fitted(dataset):
+    train, _ = train_test_split(dataset.num_samples, 0.25, seed=1)
+    config = GesturePrintConfig(
+        network=GesIDNetConfig.small(),
+        training=TrainConfig(epochs=20, batch_size=24, learning_rate=3e-3),
+        augment=True,
+        augment_copies=2,
+    )
+    return GesturePrint(config).fit(
+        dataset.inputs[train], dataset.gesture_labels[train], dataset.user_labels[train]
+    )
+
+
+@pytest.mark.slow
+class TestExtensionChain:
+    def test_streaming_runtime_with_work_zone(self, fitted):
+        """A rendered recording streams through the runtime: one event,
+        and the work-zone advisory reports the user in range."""
+        users = generate_users(3, seed=29)
+        radar = FastRadar(IWR6843_CONFIG, seed=6)
+        recording = perform_gesture(
+            users[0],
+            list(ASL_GESTURES.values())[0],
+            radar,
+            ENVIRONMENTS["office"],
+            rng=np.random.default_rng(3),
+        )
+        runtime = GesturePrintRuntime(
+            fitted, num_points=NUM_POINTS, work_zone=WorkZone(), seed=0
+        )
+        events = []
+        for frame in recording.frames:
+            event = runtime.push_frame(frame)
+            if event:
+                events.append(event)
+        tail = runtime.flush()
+        if tail:
+            events.append(tail)
+        assert len(events) >= 1
+        assert runtime.zone_advisory in (ZoneAdvisory.IN_ZONE, ZoneAdvisory.NO_PRESENCE)
+        assert 0 <= events[0].gesture < fitted.num_gestures
+
+    def test_session_fusion_on_held_out_gestures(self, dataset, fitted):
+        """Fused identification over 4 held-out gestures per user does at
+        least as well as the average single-gesture decision."""
+        _, test = train_test_split(dataset.num_samples, 0.25, seed=1)
+        inputs = dataset.inputs[test]
+        users = dataset.user_labels[test]
+        rng = np.random.default_rng(11)
+        fused_correct = single_correct = trials = 0
+        for user in np.unique(users):
+            idx = np.flatnonzero(users == user)
+            if idx.size < 4:
+                continue
+            for _ in range(4):
+                chosen = rng.choice(idx, size=4, replace=False)
+                identifier = SessionIdentifier(fitted)
+                for sample in inputs[chosen]:
+                    estimate = identifier.update(sample)
+                single = fitted.predict(inputs[chosen[:1]])
+                fused_correct += estimate.user == user
+                single_correct += int(single.user_pred[0]) == user
+                trials += 1
+        assert trials > 0
+        assert fused_correct >= single_correct - 1
+
+    def test_coral_within_domain_is_nearly_identity(self, dataset, fitted):
+        """Aligning a domain to itself must not change predictions much."""
+        _, test = train_test_split(dataset.num_samples, 0.25, seed=1)
+        inputs = dataset.inputs[test]
+        aligner = CoralAligner().fit(dataset.inputs, dataset.inputs)
+        aligned = aligner.transform(inputs)
+        before = fitted.predict(inputs).gesture_pred
+        after = fitted.predict(aligned).gesture_pred
+        agreement = float(np.mean(before == after))
+        assert agreement >= 0.9

@@ -1,0 +1,163 @@
+"""Calibration metrics: ECE, reliability curves, and temperature scaling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics.calibration import (
+    apply_temperature,
+    expected_calibration_error,
+    fit_temperature,
+    reliability_curve,
+)
+
+
+def _softmax(logits):
+    logits = logits - logits.max(axis=1, keepdims=True)
+    exp = np.exp(logits)
+    return exp / exp.sum(axis=1, keepdims=True)
+
+
+def _synthetic(n=400, classes=4, scale=1.0, seed=0):
+    """Scaled logits with labels drawn from the *unscaled* softmax.
+
+    By construction temperature 1 is optimal for the unscaled logits,
+    so the scaled ones are exactly ``scale``-miscalibrated: ``scale > 1``
+    simulates an overconfident model, ``< 1`` an underconfident one.
+    """
+    rng = np.random.default_rng(seed)
+    logits = rng.normal(scale=1.5, size=(n, classes))
+    probs = _softmax(logits)
+    labels = np.array([rng.choice(classes, p=row) for row in probs])
+    return logits * scale, labels
+
+
+class TestValidation:
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            expected_calibration_error(np.ones(5), np.zeros(5, dtype=int))
+        with pytest.raises(ValueError):
+            expected_calibration_error(np.ones((5, 2)) / 2, np.zeros(4, dtype=int))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            expected_calibration_error(np.ones((0, 2)), np.zeros(0, dtype=int))
+
+    def test_rejects_out_of_range_labels(self):
+        with pytest.raises(ValueError):
+            expected_calibration_error(np.ones((3, 2)) / 2, np.array([0, 1, 2]))
+
+    def test_rejects_bad_bins(self):
+        with pytest.raises(ValueError):
+            expected_calibration_error(np.ones((3, 2)) / 2, np.zeros(3, dtype=int), num_bins=0)
+        with pytest.raises(ValueError):
+            reliability_curve(np.ones((3, 2)) / 2, np.zeros(3, dtype=int), num_bins=-1)
+
+
+class TestECE:
+    def test_perfectly_calibrated_uniform_probs(self):
+        """Uniform probabilities on balanced classes: confidence = 1/C =
+        accuracy, so ECE ~ 0."""
+        n, classes = 4000, 4
+        probs = np.full((n, classes), 1.0 / classes)
+        probs[:, 0] += 1e-9  # break argmax ties deterministically
+        labels = np.arange(n) % classes
+        assert expected_calibration_error(probs, labels) < 0.02
+
+    def test_overconfident_wrong_predictions_give_high_ece(self):
+        n = 200
+        probs = np.zeros((n, 2))
+        probs[:, 0] = 0.99
+        probs[:, 1] = 0.01
+        labels = np.ones(n, dtype=int)  # always the other class
+        assert expected_calibration_error(probs, labels) > 0.9
+
+    def test_confident_correct_predictions_give_low_ece(self):
+        n = 200
+        probs = np.zeros((n, 2))
+        probs[:, 0] = 0.99
+        probs[:, 1] = 0.01
+        labels = np.zeros(n, dtype=int)
+        assert expected_calibration_error(probs, labels) < 0.05
+
+    def test_bounded_in_unit_interval(self):
+        logits, labels = _synthetic(seed=3)
+        ece = expected_calibration_error(_softmax(logits), labels)
+        assert 0.0 <= ece <= 1.0
+
+
+class TestReliabilityCurve:
+    def test_counts_sum_to_samples(self):
+        logits, labels = _synthetic(seed=1)
+        _, _, counts = reliability_curve(_softmax(logits), labels)
+        assert counts.sum() == labels.size
+
+    def test_empty_bins_are_nan(self):
+        probs = np.zeros((10, 2))
+        probs[:, 0] = 0.95
+        probs[:, 1] = 0.05
+        conf, acc, counts = reliability_curve(probs, np.zeros(10, dtype=int))
+        assert counts[0] == 0
+        assert np.isnan(conf[0]) and np.isnan(acc[0])
+        assert counts[-1] == 10
+
+    def test_bin_confidence_within_bin_edges(self):
+        logits, labels = _synthetic(seed=2)
+        conf, _, counts = reliability_curve(_softmax(logits), labels, num_bins=5)
+        edges = np.linspace(0, 1, 6)
+        for i in range(5):
+            if counts[i]:
+                assert edges[i] < conf[i] <= edges[i + 1]
+
+
+class TestTemperatureScaling:
+    def test_rejects_misaligned_inputs(self):
+        with pytest.raises(ValueError):
+            fit_temperature(np.ones((4, 2)), np.zeros(3, dtype=int))
+
+    def test_rejects_bad_grid(self):
+        logits, labels = _synthetic(n=50)
+        with pytest.raises(ValueError):
+            fit_temperature(logits, labels, grid=(0.0, 2.0))
+        with pytest.raises(ValueError):
+            fit_temperature(logits, labels, grid=(3.0, 2.0))
+
+    def test_apply_preserves_argmax(self):
+        logits, _ = _synthetic(seed=4)
+        for temperature in (0.3, 1.0, 5.0):
+            scaled = apply_temperature(logits, temperature)
+            np.testing.assert_array_equal(
+                scaled.argmax(axis=1), logits.argmax(axis=1)
+            )
+
+    def test_apply_rejects_nonpositive_temperature(self):
+        with pytest.raises(ValueError):
+            apply_temperature(np.ones((2, 2)), 0.0)
+
+    def test_high_temperature_flattens(self):
+        logits, _ = _synthetic(seed=5)
+        flat = apply_temperature(logits, 1e3)
+        np.testing.assert_allclose(flat, 1.0 / logits.shape[1], atol=1e-2)
+
+    def test_recovers_known_miscalibration(self):
+        """Logits deliberately scaled by 3x should fit T ~ 3."""
+        logits, labels = _synthetic(n=2000, scale=3.0, seed=6)
+        fitted = fit_temperature(logits, labels)
+        assert fitted == pytest.approx(3.0, rel=0.4)
+
+    def test_scaling_reduces_ece_of_overconfident_model(self):
+        logits, labels = _synthetic(n=2000, scale=4.0, seed=7)
+        before = expected_calibration_error(_softmax(logits), labels)
+        fitted = fit_temperature(logits, labels)
+        after = expected_calibration_error(apply_temperature(logits, fitted), labels)
+        assert after <= before + 1e-9
+
+    @settings(max_examples=15, deadline=None)
+    @given(scale=st.floats(0.3, 6.0), seed=st.integers(0, 10_000))
+    def test_property_fitted_nll_not_worse_than_identity(self, scale, seed):
+        logits, labels = _synthetic(n=300, scale=scale, seed=seed)
+        from repro.metrics.calibration import _nll
+
+        fitted = fit_temperature(logits, labels)
+        assert _nll(logits, labels, fitted) <= _nll(logits, labels, 1.0) + 1e-9

@@ -1,0 +1,135 @@
+"""Tests for accuracy, confusion matrix, macro-F1, and one-vs-rest AUC."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import (
+    accuracy,
+    confusion_matrix,
+    macro_f1,
+    one_vs_rest_auc,
+    per_class_accuracy,
+)
+
+
+class TestAccuracy:
+    def test_perfect(self):
+        assert accuracy([0, 1, 2], [0, 1, 2]) == 1.0
+
+    def test_none_correct(self):
+        assert accuracy([0, 0, 0], [1, 1, 1]) == 0.0
+
+    def test_partial(self):
+        assert accuracy([0, 1, 1, 0], [0, 1, 0, 1]) == 0.5
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            accuracy([0, 1], [0])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            accuracy([], [])
+
+    @given(st.lists(st.integers(0, 5), min_size=1, max_size=50))
+    def test_self_prediction_is_perfect(self, labels):
+        assert accuracy(labels, labels) == 1.0
+
+
+class TestConfusionMatrix:
+    def test_diagonal_for_perfect_predictions(self):
+        matrix = confusion_matrix([0, 1, 2, 2], [0, 1, 2, 2])
+        assert np.array_equal(matrix, np.diag([1, 1, 2]))
+
+    def test_off_diagonal_counts(self):
+        matrix = confusion_matrix([0, 0, 1], [1, 1, 0])
+        assert matrix[0, 1] == 2
+        assert matrix[1, 0] == 1
+        assert matrix.trace() == 0
+
+    def test_explicit_num_classes(self):
+        matrix = confusion_matrix([0], [0], num_classes=4)
+        assert matrix.shape == (4, 4)
+
+    def test_label_exceeding_num_classes_raises(self):
+        with pytest.raises(ValueError):
+            confusion_matrix([5], [0], num_classes=3)
+
+    def test_negative_label_raises(self):
+        with pytest.raises(ValueError):
+            confusion_matrix([-1], [0])
+
+    @given(
+        st.lists(st.tuples(st.integers(0, 4), st.integers(0, 4)), min_size=1, max_size=60)
+    )
+    def test_total_count_preserved(self, pairs):
+        y_true = [p[0] for p in pairs]
+        y_pred = [p[1] for p in pairs]
+        assert confusion_matrix(y_true, y_pred).sum() == len(pairs)
+
+
+class TestPerClassAccuracy:
+    def test_basic(self):
+        recall = per_class_accuracy([0, 0, 1, 1], [0, 1, 1, 1])
+        assert recall[0] == 0.5
+        assert recall[1] == 1.0
+
+    def test_absent_class_is_nan(self):
+        recall = per_class_accuracy([0, 2], [0, 2])
+        assert np.isnan(recall[1])
+
+
+class TestMacroF1:
+    def test_perfect(self):
+        assert macro_f1([0, 1, 0, 1], [0, 1, 0, 1]) == 1.0
+
+    def test_all_wrong(self):
+        assert macro_f1([0, 1], [1, 0]) == 0.0
+
+    def test_imbalanced_weights_classes_equally(self):
+        # Class 1 has 1 sample predicted right; class 0 has 9/10 right.
+        y_true = [0] * 10 + [1]
+        y_pred = [0] * 9 + [1] + [1]
+        f1_0 = 2 * (9 / 10) * (9 / 9) / (9 / 10 + 1)
+        f1_1 = 2 * (1 / 2) * (1 / 1) / (1 / 2 + 1)
+        assert macro_f1(y_true, y_pred) == pytest.approx((f1_0 + f1_1) / 2)
+
+    @given(st.lists(st.integers(0, 3), min_size=2, max_size=40))
+    def test_bounded(self, labels):
+        rng = np.random.default_rng(0)
+        preds = rng.integers(0, 4, len(labels))
+        value = macro_f1(labels, preds)
+        assert 0.0 <= value <= 1.0
+
+
+class TestOneVsRestAuc:
+    def test_perfectly_separable(self):
+        scores = np.array([[0.9, 0.1], [0.8, 0.2], [0.1, 0.9], [0.2, 0.8]])
+        assert one_vs_rest_auc([0, 0, 1, 1], scores) == 1.0
+
+    def test_inverted_scores(self):
+        scores = np.array([[0.1, 0.9], [0.9, 0.1]])
+        assert one_vs_rest_auc([0, 1], scores) == 0.0
+
+    def test_random_scores_near_half(self):
+        rng = np.random.default_rng(3)
+        labels = rng.integers(0, 3, 600)
+        scores = rng.random((600, 3))
+        assert abs(one_vs_rest_auc(labels, scores) - 0.5) < 0.06
+
+    def test_ties_give_half_credit(self):
+        scores = np.ones((4, 2)) * 0.5
+        assert one_vs_rest_auc([0, 0, 1, 1], scores) == pytest.approx(0.5)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            one_vs_rest_auc([0, 1], np.zeros(2))
+
+    @settings(max_examples=25)
+    @given(st.integers(10, 60), st.integers(2, 4))
+    def test_bounded(self, n, k):
+        rng = np.random.default_rng(n)
+        labels = np.arange(n) % k
+        scores = rng.random((n, k))
+        assert 0.0 <= one_vs_rest_auc(labels, scores) <= 1.0

@@ -1,0 +1,76 @@
+"""Tests for ROC/DET curves and the Equal Error Rate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import equal_error_rate, roc_curve
+from repro.metrics.eer import verification_trials
+
+
+class TestRocCurve:
+    def test_endpoints(self):
+        curve = roc_curve([0.9, 0.8], [0.1, 0.2])
+        # Accept-everything end: FPR 1, FNR 0; reject-everything end: FPR 0, FNR 1.
+        assert curve.false_positive_rate[0] == 1.0
+        assert curve.false_negative_rate[0] == 0.0
+        assert curve.false_positive_rate[-1] == 0.0
+        assert curve.false_negative_rate[-1] == 1.0
+
+    def test_monotonicity(self):
+        rng = np.random.default_rng(0)
+        curve = roc_curve(rng.normal(1, 1, 100), rng.normal(0, 1, 100))
+        assert (np.diff(curve.false_positive_rate) <= 1e-12).all()
+        assert (np.diff(curve.false_negative_rate) >= -1e-12).all()
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            roc_curve([], [0.5])
+
+
+class TestEqualErrorRate:
+    def test_perfect_separation_gives_zero(self):
+        assert equal_error_rate([0.9, 0.95, 0.99], [0.01, 0.05, 0.1]) == pytest.approx(
+            0.0, abs=1e-9
+        )
+
+    def test_fully_overlapping_gives_half(self):
+        scores = np.linspace(0, 1, 50)
+        assert equal_error_rate(scores, scores) == pytest.approx(0.5, abs=0.03)
+
+    def test_inverted_scores_give_one(self):
+        assert equal_error_rate([0.1, 0.2], [0.8, 0.9]) == pytest.approx(1.0, abs=0.01)
+
+    def test_known_gaussian_overlap(self):
+        # Two unit-variance Gaussians 2 sigma apart: EER = Phi(-1) ~ 15.9%.
+        rng = np.random.default_rng(7)
+        genuine = rng.normal(2.0, 1.0, 4000)
+        impostor = rng.normal(0.0, 1.0, 4000)
+        assert equal_error_rate(genuine, impostor) == pytest.approx(0.159, abs=0.02)
+
+    @settings(max_examples=20)
+    @given(st.integers(5, 200), st.integers(5, 200))
+    def test_bounded(self, n_gen, n_imp):
+        rng = np.random.default_rng(n_gen * 1000 + n_imp)
+        value = equal_error_rate(rng.random(n_gen), rng.random(n_imp))
+        assert 0.0 <= value <= 1.0
+
+
+class TestVerificationTrials:
+    def test_splits_genuine_and_impostor(self):
+        probs = np.array([[0.7, 0.3], [0.2, 0.8]])
+        genuine, impostor = verification_trials(probs, [0, 1])
+        assert sorted(genuine.tolist()) == [0.7, 0.8]
+        assert sorted(impostor.tolist()) == [0.2, 0.3]
+
+    def test_counts(self):
+        rng = np.random.default_rng(0)
+        probs = rng.random((10, 4))
+        genuine, impostor = verification_trials(probs, rng.integers(0, 4, 10))
+        assert genuine.size == 10
+        assert impostor.size == 30
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            verification_trials(np.zeros((3, 2)), [0, 1])

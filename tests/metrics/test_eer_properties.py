@@ -1,0 +1,43 @@
+"""Property-based tests for the DET curve machinery."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import equal_error_rate, roc_curve
+
+scores = st.lists(
+    st.floats(0.0, 1.0, allow_nan=False), min_size=3, max_size=80
+)
+
+
+class TestDetCurveProperties:
+    @settings(max_examples=40)
+    @given(scores, scores)
+    def test_eer_bounded(self, genuine, impostor):
+        value = equal_error_rate(genuine, impostor)
+        assert 0.0 <= value <= 1.0
+
+    @settings(max_examples=30)
+    @given(scores, scores)
+    def test_rates_are_probabilities(self, genuine, impostor):
+        curve = roc_curve(genuine, impostor)
+        assert (curve.false_positive_rate >= 0).all()
+        assert (curve.false_positive_rate <= 1).all()
+        assert (curve.false_negative_rate >= 0).all()
+        assert (curve.false_negative_rate <= 1).all()
+
+    @settings(max_examples=30)
+    @given(scores)
+    def test_identical_distributions_give_high_eer(self, values):
+        # Same scores for genuine and impostor: EER must be >= ~0.3
+        # (cannot be separated; exact value depends on tie handling).
+        value = equal_error_rate(values, values)
+        assert value >= 0.3
+
+    @settings(max_examples=30)
+    @given(scores, st.floats(0.5, 5.0))
+    def test_shifting_genuine_up_never_hurts(self, values, shift):
+        base = equal_error_rate(values, values)
+        shifted = equal_error_rate(np.asarray(values) + shift, values)
+        assert shifted <= base + 1e-9

@@ -1,0 +1,123 @@
+"""Tests for Hausdorff / Chamfer / JSD point-cloud distances (Fig. 3 metrics)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as npst
+
+from repro.metrics import (
+    chamfer_distance,
+    hausdorff_distance,
+    jensen_shannon_divergence,
+    pairwise_set_distance,
+)
+
+clouds = npst.arrays(
+    np.float64,
+    st.tuples(st.integers(2, 20), st.just(3)),
+    elements=st.floats(-5, 5, allow_nan=False),
+)
+
+
+class TestHausdorff:
+    def test_identical_clouds_zero(self):
+        cloud = np.array([[0.0, 0, 0], [1, 1, 1]])
+        assert hausdorff_distance(cloud, cloud) == 0.0
+
+    def test_known_value(self):
+        a = np.array([[0.0, 0, 0]])
+        b = np.array([[3.0, 4.0, 0.0]])
+        assert hausdorff_distance(a, b) == pytest.approx(5.0)
+
+    def test_outlier_dominates(self):
+        a = np.array([[0.0, 0, 0], [10.0, 0, 0]])
+        b = np.array([[0.0, 0, 0]])
+        assert hausdorff_distance(a, b) == pytest.approx(10.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            hausdorff_distance(np.zeros((0, 3)), np.zeros((1, 3)))
+
+    def test_dim_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            hausdorff_distance(np.zeros((1, 3)), np.zeros((1, 2)))
+
+    @settings(max_examples=30)
+    @given(clouds, clouds)
+    def test_symmetric_and_nonnegative(self, a, b):
+        d_ab = hausdorff_distance(a, b)
+        assert d_ab >= 0.0
+        assert d_ab == pytest.approx(hausdorff_distance(b, a))
+
+
+class TestChamfer:
+    def test_identical_clouds_zero(self):
+        cloud = np.array([[0.0, 0, 0], [1, 1, 1]])
+        assert chamfer_distance(cloud, cloud) == 0.0
+
+    def test_known_value(self):
+        a = np.array([[0.0, 0, 0], [1.0, 0, 0]])
+        b = np.array([[0.0, 0, 0]])
+        # a->b mean: (0 + 1)/2; b->a mean: 0; chamfer = 0.5*(0.5 + 0).
+        assert chamfer_distance(a, b) == pytest.approx(0.25)
+
+    def test_translation_grows_distance(self):
+        rng = np.random.default_rng(0)
+        cloud = rng.random((15, 3))
+        near = chamfer_distance(cloud, cloud + 0.1)
+        far = chamfer_distance(cloud, cloud + 1.0)
+        assert far > near
+
+    @settings(max_examples=30)
+    @given(clouds, clouds)
+    def test_symmetric_and_at_most_hausdorff(self, a, b):
+        cd = chamfer_distance(a, b)
+        assert cd == pytest.approx(chamfer_distance(b, a))
+        assert cd <= hausdorff_distance(a, b) + 1e-9
+
+
+class TestJsd:
+    def test_identical_clouds_zero(self):
+        rng = np.random.default_rng(1)
+        cloud = rng.random((30, 3))
+        assert jensen_shannon_divergence(cloud, cloud) == pytest.approx(0.0, abs=1e-12)
+
+    def test_disjoint_clouds_ln2(self):
+        a = np.zeros((10, 3))
+        b = np.ones((10, 3)) * 10.0
+        assert jensen_shannon_divergence(a, b) == pytest.approx(np.log(2.0))
+
+    def test_bounded(self):
+        rng = np.random.default_rng(2)
+        value = jensen_shannon_divergence(rng.random((40, 3)), rng.random((40, 3)) + 0.5)
+        assert 0.0 <= value <= np.log(2.0) + 1e-12
+
+    def test_symmetric(self):
+        rng = np.random.default_rng(3)
+        a, b = rng.random((25, 3)), rng.random((25, 3)) + 0.2
+        assert jensen_shannon_divergence(a, b) == pytest.approx(
+            jensen_shannon_divergence(b, a)
+        )
+
+
+class TestPairwiseSetDistance:
+    def test_excludes_self_pairs(self):
+        cloud = np.array([[0.0, 0, 0]])
+        clouds_list = [cloud, cloud + 1.0]
+        value = pairwise_set_distance(clouds_list, clouds_list, hausdorff_distance)
+        assert value == pytest.approx(np.sqrt(3.0))
+
+    def test_cross_sets_average(self):
+        a = [np.array([[0.0, 0, 0]])]
+        b = [np.array([[1.0, 0, 0]]), np.array([[2.0, 0, 0]])]
+        assert pairwise_set_distance(a, b, hausdorff_distance) == pytest.approx(1.5)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            pairwise_set_distance([], [np.zeros((1, 3))], hausdorff_distance)
+
+    def test_single_cloud_self_comparison_raises(self):
+        single = [np.zeros((1, 3))]
+        with pytest.raises(ValueError):
+            pairwise_set_distance(single, single, hausdorff_distance)

@@ -1,0 +1,45 @@
+"""Shared numerical gradient-checking helper."""
+
+import numpy as np
+
+
+def numeric_param_grads(loss_fn, params, eps: float = 1e-6, stride: int = 1):
+    """Central-difference gradients for a sample of parameter entries.
+
+    Returns a list of (name, index, numeric_grad) tuples covering every
+    ``stride``-th entry of every parameter.
+    """
+    results = []
+    for name, param in params:
+        flat = param.data.ravel()
+        for idx in range(0, flat.size, stride):
+            original = flat[idx]
+            flat[idx] = original + eps
+            loss_plus = loss_fn()
+            flat[idx] = original - eps
+            loss_minus = loss_fn()
+            flat[idx] = original
+            results.append((name, idx, (loss_plus - loss_minus) / (2.0 * eps)))
+    return results
+
+
+def assert_grads_match(model, loss_and_backward, stride: int = 7, tol: float = 1e-5):
+    """Check analytic vs numeric gradients on a subsample of parameters.
+
+    ``loss_and_backward()`` must zero grads, run forward+backward and
+    return the scalar loss; it is re-invoked (gradient side effects are
+    harmless) for the numeric probes.
+    """
+    loss_and_backward()
+    named = model.named_parameters()
+    analytic = {name: param.grad.copy() for name, param in named}
+
+    def pure_loss():
+        return loss_and_backward()
+
+    for name, idx, numeric in numeric_param_grads(pure_loss, named, stride=stride):
+        ana = analytic[name].ravel()[idx]
+        scale = max(1.0, abs(numeric), abs(ana))
+        assert abs(numeric - ana) <= tol * scale, (
+            f"gradient mismatch at {name}[{idx}]: numeric {numeric}, analytic {ana}"
+        )

@@ -1,0 +1,109 @@
+"""Tests for pointwise convolutions, shared MLPs, and point max pooling."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Conv1x1, SharedMLP
+from repro.nn.conv import MaxPoolPoints
+
+
+class TestConv1x1:
+    def test_shape(self):
+        conv = Conv1x1(4, 6, rng=np.random.default_rng(0))
+        assert conv(np.zeros((2, 4, 10))).shape == (2, 6, 10)
+
+    def test_equivalent_to_per_point_linear(self):
+        rng = np.random.default_rng(1)
+        conv = Conv1x1(3, 2, rng=rng)
+        x = rng.normal(size=(2, 3, 5))
+        out = conv(x)
+        for point in range(5):
+            expected = conv.weight.data @ x[0, :, point] + conv.bias.data
+            np.testing.assert_allclose(out[0, :, point], expected)
+
+    def test_wrong_channels_raises(self):
+        conv = Conv1x1(3, 2, rng=np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            conv(np.zeros((2, 4, 10)))
+
+    def test_input_gradient_matches_numeric(self):
+        rng = np.random.default_rng(2)
+        conv = Conv1x1(3, 2, rng=rng)
+        x = rng.normal(size=(2, 3, 4))
+        grad_out = rng.normal(size=(2, 2, 4))
+        conv(x)
+        analytic = conv.backward(grad_out)
+        eps = 1e-6
+        numeric = np.zeros_like(x)
+        flat, nflat = x.ravel(), numeric.ravel()
+        for i in range(flat.size):
+            orig = flat[i]
+            flat[i] = orig + eps
+            up = (conv(x) * grad_out).sum()
+            flat[i] = orig - eps
+            down = (conv(x) * grad_out).sum()
+            flat[i] = orig
+            nflat[i] = (up - down) / (2 * eps)
+        np.testing.assert_allclose(analytic, numeric, atol=1e-6)
+
+    def test_weight_gradient_matches_numeric(self):
+        rng = np.random.default_rng(3)
+        conv = Conv1x1(2, 2, rng=rng)
+        x = rng.normal(size=(3, 2, 4))
+        grad_out = rng.normal(size=(3, 2, 4))
+        conv.zero_grad()
+        conv(x)
+        conv.backward(grad_out)
+        analytic = conv.weight.grad.copy()
+        eps = 1e-6
+        for i in range(conv.weight.data.size):
+            flat = conv.weight.data.ravel()
+            orig = flat[i]
+            flat[i] = orig + eps
+            up = (conv(x) * grad_out).sum()
+            flat[i] = orig - eps
+            down = (conv(x) * grad_out).sum()
+            flat[i] = orig
+            assert analytic.ravel()[i] == pytest.approx((up - down) / (2 * eps), abs=1e-6)
+
+
+class TestSharedMLP:
+    def test_stacking(self):
+        mlp = SharedMLP([3, 8, 16], rng=np.random.default_rng(0))
+        out = mlp(np.random.default_rng(1).normal(size=(2, 3, 7)))
+        assert out.shape == (2, 16, 7)
+        assert (out >= 0).all()  # final ReLU
+
+    def test_needs_two_channels(self):
+        with pytest.raises(ValueError):
+            SharedMLP([4])
+
+    def test_without_batchnorm(self):
+        mlp = SharedMLP([3, 4], batch_norm=False, rng=np.random.default_rng(0))
+        assert mlp(np.zeros((1, 3, 2))).shape == (1, 4, 2)
+
+    def test_backward_shape(self):
+        mlp = SharedMLP([3, 4], rng=np.random.default_rng(0))
+        x = np.random.default_rng(1).normal(size=(2, 3, 5))
+        out = mlp(x)
+        grad = mlp.backward(np.ones_like(out))
+        assert grad.shape == x.shape
+
+
+class TestMaxPoolPoints:
+    def test_takes_max(self):
+        pool = MaxPoolPoints()
+        x = np.array([[[1.0, 5.0, 3.0], [2.0, 0.0, -1.0]]])
+        out = pool(x)
+        np.testing.assert_array_equal(out, [[5.0, 2.0]])
+
+    def test_backward_routes_to_argmax(self):
+        pool = MaxPoolPoints()
+        x = np.array([[[1.0, 5.0, 3.0]]])
+        pool(x)
+        grad = pool.backward(np.array([[2.0]]))
+        np.testing.assert_array_equal(grad, [[[0.0, 2.0, 0.0]]])
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            MaxPoolPoints()(np.zeros((2, 3)))

@@ -1,0 +1,101 @@
+"""Tests for the 2-D convolution stack used by CNN baselines."""
+
+import numpy as np
+import pytest
+
+from repro.nn.conv2d import Conv2d, Flatten, MaxPool2d
+
+
+class TestConv2d:
+    def test_output_shape(self):
+        conv = Conv2d(2, 5, kernel_size=3, rng=np.random.default_rng(0))
+        assert conv(np.zeros((4, 2, 16, 16))).shape == (4, 5, 14, 14)
+
+    def test_stride(self):
+        conv = Conv2d(1, 1, kernel_size=3, stride=2, rng=np.random.default_rng(0))
+        assert conv(np.zeros((1, 1, 9, 9))).shape == (1, 1, 4, 4)
+
+    def test_identity_kernel(self):
+        conv = Conv2d(1, 1, kernel_size=1, rng=np.random.default_rng(0))
+        conv.weight.data = np.array([[1.0]])
+        conv.bias.data = np.array([0.0])
+        x = np.random.default_rng(1).normal(size=(2, 1, 4, 4))
+        np.testing.assert_allclose(conv(x), x)
+
+    def test_known_3x3_sum_kernel(self):
+        conv = Conv2d(1, 1, kernel_size=3, rng=np.random.default_rng(0))
+        conv.weight.data = np.ones((1, 9))
+        conv.bias.data = np.array([0.0])
+        x = np.ones((1, 1, 3, 3))
+        assert conv(x)[0, 0, 0, 0] == pytest.approx(9.0)
+
+    def test_input_gradient_matches_numeric(self):
+        rng = np.random.default_rng(2)
+        conv = Conv2d(2, 3, kernel_size=3, rng=rng)
+        x = rng.normal(size=(2, 2, 6, 6))
+        grad_out = rng.normal(size=(2, 3, 4, 4))
+        conv(x)
+        analytic = conv.backward(grad_out)
+        eps = 1e-6
+        numeric = np.zeros_like(x)
+        flat, nflat = x.ravel(), numeric.ravel()
+        for i in range(0, flat.size, 5):
+            orig = flat[i]
+            flat[i] = orig + eps
+            up = (conv(x) * grad_out).sum()
+            flat[i] = orig - eps
+            down = (conv(x) * grad_out).sum()
+            flat[i] = orig
+            nflat[i] = (up - down) / (2 * eps)
+        mask = numeric != 0
+        np.testing.assert_allclose(analytic[mask], numeric[mask], atol=1e-5)
+
+    def test_weight_gradient_matches_numeric(self):
+        rng = np.random.default_rng(3)
+        conv = Conv2d(1, 2, kernel_size=2, rng=rng)
+        x = rng.normal(size=(2, 1, 4, 4))
+        grad_out = rng.normal(size=(2, 2, 3, 3))
+        conv.zero_grad()
+        conv(x)
+        conv.backward(grad_out)
+        analytic = conv.weight.grad.copy()
+        eps = 1e-6
+        flat = conv.weight.data.ravel()
+        for i in range(flat.size):
+            orig = flat[i]
+            flat[i] = orig + eps
+            up = (conv(x) * grad_out).sum()
+            flat[i] = orig - eps
+            down = (conv(x) * grad_out).sum()
+            flat[i] = orig
+            assert analytic.ravel()[i] == pytest.approx((up - down) / (2 * eps), abs=1e-5)
+
+
+class TestMaxPool2d:
+    def test_pooling(self):
+        pool = MaxPool2d(2)
+        x = np.arange(16.0).reshape(1, 1, 4, 4)
+        out = pool(x)
+        np.testing.assert_array_equal(out[0, 0], [[5.0, 7.0], [13.0, 15.0]])
+
+    def test_backward_routes_gradient(self):
+        pool = MaxPool2d(2)
+        x = np.arange(4.0).reshape(1, 1, 2, 2)
+        pool(x)
+        grad = pool.backward(np.array([[[[7.0]]]]))
+        assert grad[0, 0, 1, 1] == 7.0
+        assert grad.sum() == 7.0
+
+    def test_odd_size_trims(self):
+        pool = MaxPool2d(2)
+        assert pool(np.zeros((1, 1, 5, 5))).shape == (1, 1, 2, 2)
+
+
+class TestFlatten:
+    def test_round_trip(self):
+        flat = Flatten()
+        x = np.random.default_rng(0).normal(size=(3, 2, 4))
+        out = flat(x)
+        assert out.shape == (3, 8)
+        back = flat.backward(out)
+        np.testing.assert_array_equal(back, x)

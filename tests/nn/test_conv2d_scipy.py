@@ -1,0 +1,112 @@
+"""Conv2d / MaxPool2d cross-checked against scipy and naive loops."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy.signal import correlate2d
+
+from repro.nn.conv2d import Conv2d, MaxPool2d
+
+
+def _reference_conv(x, weight, bias, kernel, stride):
+    """Direct correlate2d implementation of valid-mode convolution."""
+    batch, in_ch, h, w = x.shape
+    out_ch = weight.shape[0]
+    kernels = weight.reshape(out_ch, in_ch, kernel, kernel)
+    out_h = (h - kernel) // stride + 1
+    out_w = (w - kernel) // stride + 1
+    out = np.zeros((batch, out_ch, out_h, out_w))
+    for b in range(batch):
+        for o in range(out_ch):
+            acc = np.zeros((h - kernel + 1, w - kernel + 1))
+            for c in range(in_ch):
+                acc += correlate2d(x[b, c], kernels[o, c], mode="valid")
+            out[b, o] = acc[::stride, ::stride] + bias[o]
+    return out
+
+
+class TestConvAgainstScipy:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        in_ch=st.integers(1, 3),
+        out_ch=st.integers(1, 4),
+        size=st.integers(5, 12),
+        kernel=st.integers(1, 4),
+        stride=st.integers(1, 3),
+    )
+    def test_forward_matches_correlate2d(self, seed, in_ch, out_ch, size, kernel, stride):
+        if kernel > size:
+            kernel = size
+        rng = np.random.default_rng(seed)
+        layer = Conv2d(in_ch, out_ch, kernel, stride, rng=rng)
+        x = rng.normal(size=(2, in_ch, size, size))
+        expected = _reference_conv(
+            x, layer.weight.data, layer.bias.data, kernel, stride
+        )
+        np.testing.assert_allclose(layer(x), expected, atol=1e-10)
+
+    def test_conv_is_linear_in_input(self):
+        rng = np.random.default_rng(1)
+        layer = Conv2d(2, 3, 3, rng=rng)
+        layer.bias.data[:] = 0.0
+        a = rng.normal(size=(1, 2, 8, 8))
+        b = rng.normal(size=(1, 2, 8, 8))
+        np.testing.assert_allclose(
+            layer(a + 2.0 * b), layer(a) + 2.0 * layer(b), atol=1e-10
+        )
+
+    def test_translation_equivariance(self):
+        """Shifting the input by the stride shifts the output by one."""
+        rng = np.random.default_rng(2)
+        layer = Conv2d(1, 2, 3, stride=1, rng=rng)
+        x = rng.normal(size=(1, 1, 10, 10))
+        shifted = np.roll(x, 1, axis=3)
+        out = layer(x)
+        out_shifted = layer(shifted)
+        np.testing.assert_allclose(out[..., :-2], out_shifted[..., 1:-1], atol=1e-10)
+
+
+class TestMaxPoolAgainstNaive:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        channels=st.integers(1, 4),
+        height=st.integers(2, 11),
+        width=st.integers(2, 11),
+        pool=st.integers(1, 3),
+    )
+    def test_forward_matches_naive_loop(self, seed, channels, height, width, pool):
+        if pool > min(height, width):
+            pool = min(height, width)
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(2, channels, height, width))
+        out = MaxPool2d(pool)(x)
+        out_h, out_w = height // pool, width // pool
+        assert out.shape == (2, channels, out_h, out_w)
+        for b in range(2):
+            for c in range(channels):
+                for i in range(out_h):
+                    for j in range(out_w):
+                        window = x[
+                            b, c, i * pool : (i + 1) * pool, j * pool : (j + 1) * pool
+                        ]
+                        assert out[b, c, i, j] == window.max()
+
+    def test_pool_gradient_sums_to_upstream(self):
+        """Max routing conserves total gradient mass."""
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(2, 2, 6, 6))
+        pool = MaxPool2d(2)
+        out = pool(x)
+        grad_out = rng.normal(size=out.shape)
+        grad_in = pool.backward(grad_out)
+        assert grad_in.sum() == pytest.approx(grad_out.sum())
+
+    def test_pool_of_negative_values(self):
+        x = -np.ones((1, 1, 4, 4))
+        x[0, 0, 1, 1] = -0.5
+        out = MaxPool2d(2)(x)
+        assert out[0, 0, 0, 0] == -0.5
+        assert out[0, 0, 1, 1] == -1.0

@@ -1,0 +1,75 @@
+"""Tests for cross-entropy loss and softmax probabilities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import CrossEntropyLoss, softmax_probabilities
+
+
+class TestSoftmaxProbabilities:
+    def test_sums_to_one(self):
+        probs = softmax_probabilities(np.random.default_rng(0).normal(size=(6, 4)))
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0)
+
+    def test_large_logits_stable(self):
+        probs = softmax_probabilities(np.array([[1000.0, 0.0]]))
+        assert np.isfinite(probs).all()
+        assert probs[0, 0] == pytest.approx(1.0)
+
+
+class TestCrossEntropyLoss:
+    def test_uniform_logits_give_log_k(self):
+        loss = CrossEntropyLoss()
+        value = loss(np.zeros((5, 4)), np.arange(5) % 4)
+        assert value == pytest.approx(np.log(4.0))
+
+    def test_confident_correct_is_small(self):
+        loss = CrossEntropyLoss()
+        logits = np.array([[20.0, 0.0], [0.0, 20.0]])
+        assert loss(logits, [0, 1]) < 1e-6
+
+    def test_gradient_matches_numeric(self):
+        rng = np.random.default_rng(0)
+        loss = CrossEntropyLoss()
+        logits = rng.normal(size=(4, 3))
+        targets = np.array([0, 1, 2, 1])
+        loss(logits, targets)
+        analytic = loss.backward()
+        eps = 1e-6
+        for i in range(logits.size):
+            flat = logits.ravel()
+            orig = flat[i]
+            flat[i] = orig + eps
+            up = loss(logits, targets)
+            flat[i] = orig - eps
+            down = loss(logits, targets)
+            flat[i] = orig
+            assert analytic.ravel()[i] == pytest.approx((up - down) / (2 * eps), abs=1e-6)
+
+    def test_label_smoothing_raises_floor(self):
+        plain = CrossEntropyLoss()
+        smooth = CrossEntropyLoss(label_smoothing=0.2)
+        logits = np.array([[50.0, 0.0]])
+        assert smooth(logits, [0]) > plain(logits, [0])
+
+    def test_out_of_range_target_raises(self):
+        with pytest.raises(ValueError):
+            CrossEntropyLoss()(np.zeros((1, 2)), [5])
+
+    def test_backward_before_forward_raises(self):
+        with pytest.raises(RuntimeError):
+            CrossEntropyLoss().backward()
+
+    def test_invalid_smoothing_raises(self):
+        with pytest.raises(ValueError):
+            CrossEntropyLoss(label_smoothing=1.0)
+
+    @settings(max_examples=25)
+    @given(st.integers(2, 6), st.integers(1, 12))
+    def test_loss_nonnegative(self, num_classes, batch):
+        rng = np.random.default_rng(batch)
+        logits = rng.normal(size=(batch, num_classes))
+        targets = rng.integers(0, num_classes, batch)
+        assert CrossEntropyLoss()(logits, targets) >= 0.0

@@ -1,0 +1,82 @@
+"""Tests for the Module/Parameter base machinery."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Linear, ReLU, Sequential
+from repro.nn.module import Module, Parameter
+
+
+class _Nested(Module):
+    def __init__(self):
+        super().__init__()
+        self.inner = Linear(2, 2, rng=np.random.default_rng(0))
+        self.weight = Parameter(np.ones(3))
+        self.blocks = [Linear(2, 2, rng=np.random.default_rng(1)), ReLU()]
+
+    def forward(self, x):
+        return self.inner(x)
+
+    def backward(self, grad):
+        return self.inner.backward(grad)
+
+
+class TestParameter:
+    def test_grad_starts_zero(self):
+        param = Parameter(np.ones((2, 3)))
+        np.testing.assert_array_equal(param.grad, 0.0)
+        assert param.shape == (2, 3)
+
+    def test_zero_grad(self):
+        param = Parameter(np.ones(4))
+        param.grad += 3.0
+        param.zero_grad()
+        np.testing.assert_array_equal(param.grad, 0.0)
+
+
+class TestModuleTree:
+    def test_parameters_collects_nested_and_lists(self):
+        model = _Nested()
+        # inner (W, b) + own weight + blocks[0] (W, b) = 5 parameters.
+        assert len(model.parameters()) == 5
+
+    def test_named_parameters_paths(self):
+        model = _Nested()
+        names = {name for name, _ in model.named_parameters()}
+        assert "weight" in names
+        assert "inner.bias" in names
+        assert "blocks.0.weight" in names
+
+    def test_no_duplicate_parameters(self):
+        model = _Nested()
+        shared = model.inner
+        model.alias = shared  # same module twice
+        params = model.parameters()
+        assert len(params) == len({id(p) for p in params})
+
+    def test_train_eval_recursion(self):
+        model = _Nested()
+        model.eval()
+        assert not model.inner.training
+        assert not model.blocks[0].training
+        model.train()
+        assert model.blocks[0].training
+
+    def test_zero_grad_recursive(self):
+        model = _Nested()
+        for param in model.parameters():
+            param.grad += 1.0
+        model.zero_grad()
+        for param in model.parameters():
+            np.testing.assert_array_equal(param.grad, 0.0)
+
+    def test_base_forward_raises(self):
+        with pytest.raises(NotImplementedError):
+            Module().forward()
+
+
+class TestNamedParameterStability:
+    def test_identical_builds_share_names(self):
+        a = Sequential(Linear(2, 3, rng=np.random.default_rng(0)), ReLU())
+        b = Sequential(Linear(2, 3, rng=np.random.default_rng(9)), ReLU())
+        assert [n for n, _ in a.named_parameters()] == [n for n, _ in b.named_parameters()]

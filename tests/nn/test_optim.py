@@ -1,0 +1,114 @@
+"""Tests for SGD, Adam, and the step LR schedule."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Adam, SGD, StepLR
+from repro.nn.module import Parameter
+
+
+def _quadratic_problem(seed=0):
+    """A convex quadratic: loss = 0.5 * ||p - target||^2."""
+    rng = np.random.default_rng(seed)
+    param = Parameter(rng.normal(size=5))
+    target = rng.normal(size=5)
+
+    def step_loss():
+        param.zero_grad()
+        param.grad += param.data - target
+        return 0.5 * float(np.sum((param.data - target) ** 2))
+
+    return param, target, step_loss
+
+
+class TestSGD:
+    def test_plain_step(self):
+        param = Parameter(np.array([1.0]))
+        opt = SGD([param], lr=0.1)
+        param.grad += np.array([2.0])
+        opt.step()
+        assert param.data[0] == pytest.approx(0.8)
+
+    def test_converges_on_quadratic(self):
+        param, target, step_loss = _quadratic_problem()
+        opt = SGD([param], lr=0.3)
+        for _ in range(100):
+            step_loss()
+            opt.step()
+        np.testing.assert_allclose(param.data, target, atol=1e-6)
+
+    def test_momentum_accelerates(self):
+        param_a, target, loss_a = _quadratic_problem(1)
+        param_b = Parameter(param_a.data.copy())
+
+        def loss_b():
+            param_b.zero_grad()
+            param_b.grad += param_b.data - target
+            return 0.5 * float(np.sum((param_b.data - target) ** 2))
+
+        plain = SGD([param_a], lr=0.05)
+        momentum = SGD([param_b], lr=0.05, momentum=0.9)
+        for _ in range(30):
+            loss_a()
+            plain.step()
+            loss_b()
+            momentum.step()
+        assert np.sum((param_b.data - target) ** 2) < np.sum((param_a.data - target) ** 2)
+
+    def test_weight_decay_shrinks(self):
+        param = Parameter(np.array([10.0]))
+        opt = SGD([param], lr=0.1, weight_decay=0.5)
+        opt.step()  # zero gradient, only decay
+        assert param.data[0] < 10.0
+
+    def test_invalid_lr_raises(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.zeros(1))], lr=0.0)
+
+    def test_empty_params_raises(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        param, target, step_loss = _quadratic_problem(2)
+        opt = Adam([param], lr=0.1)
+        for _ in range(300):
+            step_loss()
+            opt.step()
+        np.testing.assert_allclose(param.data, target, atol=1e-4)
+
+    def test_first_step_magnitude_is_lr(self):
+        # With bias correction, the first Adam step has magnitude ~lr.
+        param = Parameter(np.array([0.0]))
+        opt = Adam([param], lr=0.01)
+        param.grad += np.array([123.0])
+        opt.step()
+        assert abs(param.data[0]) == pytest.approx(0.01, rel=1e-5)
+
+    def test_zero_grad_clears(self):
+        param = Parameter(np.zeros(3))
+        opt = Adam([param], lr=0.1)
+        param.grad += 5.0
+        opt.zero_grad()
+        np.testing.assert_array_equal(param.grad, 0.0)
+
+
+class TestStepLR:
+    def test_decays_on_schedule(self):
+        param = Parameter(np.zeros(1))
+        opt = SGD([param], lr=1.0)
+        sched = StepLR(opt, step_size=2, gamma=0.5)
+        sched.step()
+        assert opt.lr == 1.0
+        sched.step()
+        assert opt.lr == 0.5
+        sched.step()
+        sched.step()
+        assert opt.lr == 0.25
+
+    def test_invalid_step_size_raises(self):
+        opt = SGD([Parameter(np.zeros(1))], lr=1.0)
+        with pytest.raises(ValueError):
+            StepLR(opt, step_size=0)

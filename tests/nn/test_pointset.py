@@ -1,0 +1,106 @@
+"""Tests for farthest-point sampling, ball query, and gathering."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import ball_query, farthest_point_sampling, gather_points, group_points
+
+
+class TestFarthestPointSampling:
+    def test_selects_extremes(self):
+        points = np.array([[[0.0, 0, 0], [0.1, 0, 0], [5.0, 0, 0], [5.1, 0, 0]]])
+        idx = farthest_point_sampling(points, 2)
+        chosen = points[0, idx[0]]
+        # One point from each end of the line.
+        assert abs(chosen[0, 0] - chosen[1, 0]) > 4.0
+
+    def test_deterministic(self):
+        rng = np.random.default_rng(0)
+        points = rng.normal(size=(2, 30, 3))
+        a = farthest_point_sampling(points, 8)
+        b = farthest_point_sampling(points, 8)
+        np.testing.assert_array_equal(a, b)
+
+    def test_unique_when_enough_points(self):
+        rng = np.random.default_rng(1)
+        points = rng.normal(size=(1, 50, 3))
+        idx = farthest_point_sampling(points, 10)[0]
+        assert len(set(idx.tolist())) == 10
+
+    def test_wraps_when_too_few_points(self):
+        points = np.zeros((1, 3, 3))
+        idx = farthest_point_sampling(points, 7)
+        assert idx.shape == (1, 7)
+        assert (idx < 3).all()
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            farthest_point_sampling(np.zeros((1, 0, 3)), 2)
+
+    def test_invalid_count_raises(self):
+        with pytest.raises(ValueError):
+            farthest_point_sampling(np.zeros((1, 5, 3)), 0)
+
+    @settings(max_examples=20)
+    @given(st.integers(4, 40), st.integers(1, 10))
+    def test_indices_in_range(self, n, k):
+        rng = np.random.default_rng(n)
+        points = rng.normal(size=(2, n, 3))
+        idx = farthest_point_sampling(points, k)
+        assert idx.shape == (2, k)
+        assert (idx >= 0).all() and (idx < n).all()
+
+
+class TestBallQuery:
+    def test_finds_neighbors_within_radius(self):
+        points = np.array([[[0.0, 0, 0], [0.1, 0, 0], [9.0, 0, 0]]])
+        centers = np.array([[[0.0, 0, 0]]])
+        idx = ball_query(points, centers, radius=0.5, max_neighbors=2)
+        assert set(idx[0, 0].tolist()) == {0, 1}
+
+    def test_pads_with_closest(self):
+        points = np.array([[[0.0, 0, 0], [9.0, 0, 0]]])
+        centers = np.array([[[0.0, 0, 0]]])
+        idx = ball_query(points, centers, radius=0.5, max_neighbors=4)
+        np.testing.assert_array_equal(idx[0, 0], [0, 0, 0, 0])
+
+    def test_empty_ball_falls_back_to_nearest(self):
+        points = np.array([[[5.0, 0, 0], [9.0, 0, 0]]])
+        centers = np.array([[[0.0, 0, 0]]])
+        idx = ball_query(points, centers, radius=0.1, max_neighbors=2)
+        assert (idx[0, 0] == 0).all()
+
+    def test_huge_radius_is_knn(self):
+        rng = np.random.default_rng(2)
+        points = rng.normal(size=(1, 20, 3))
+        centers = points[:, :1]
+        idx = ball_query(points, centers, radius=1e9, max_neighbors=5)[0, 0]
+        dists = np.linalg.norm(points[0] - points[0, 0], axis=1)
+        expected = set(np.argsort(dists)[:5].tolist())
+        assert set(idx.tolist()) == expected
+
+    def test_invalid_radius_raises(self):
+        with pytest.raises(ValueError):
+            ball_query(np.zeros((1, 2, 3)), np.zeros((1, 1, 3)), radius=0.0, max_neighbors=1)
+
+    def test_neighbors_sorted_by_distance(self):
+        points = np.array([[[3.0, 0, 0], [1.0, 0, 0], [2.0, 0, 0]]])
+        centers = np.array([[[0.0, 0, 0]]])
+        idx = ball_query(points, centers, radius=10.0, max_neighbors=3)
+        np.testing.assert_array_equal(idx[0, 0], [1, 2, 0])
+
+
+class TestGathering:
+    def test_gather_points(self):
+        points = np.arange(12.0).reshape(1, 4, 3)
+        out = gather_points(points, np.array([[2, 0]]))
+        np.testing.assert_array_equal(out[0, 0], points[0, 2])
+        np.testing.assert_array_equal(out[0, 1], points[0, 0])
+
+    def test_group_points_shape(self):
+        points = np.random.default_rng(0).normal(size=(2, 10, 3))
+        groups = np.zeros((2, 4, 5), dtype=np.int64)
+        out = group_points(points, groups)
+        assert out.shape == (2, 4, 5, 3)

@@ -1,0 +1,138 @@
+"""LSTM: shape contract, state propagation, and exact BPTT gradients."""
+
+import numpy as np
+import pytest
+
+from repro.nn.recurrent import LSTM, _sigmoid
+
+
+@pytest.fixture()
+def sequence_batch():
+    rng = np.random.default_rng(0)
+    return rng.normal(size=(3, 5, 6))
+
+
+class TestSigmoid:
+    def test_matches_reference(self):
+        x = np.linspace(-30, 30, 101)
+        expected = 1.0 / (1.0 + np.exp(-x))
+        np.testing.assert_allclose(_sigmoid(x), expected, rtol=1e-12)
+
+    def test_extreme_values_do_not_overflow(self):
+        out = _sigmoid(np.array([-1e4, 1e4]))
+        assert out[0] == pytest.approx(0.0)
+        assert out[1] == pytest.approx(1.0)
+
+
+class TestLSTMForward:
+    def test_output_shape(self, sequence_batch):
+        lstm = LSTM(6, 4, rng=np.random.default_rng(1))
+        out = lstm(sequence_batch)
+        assert out.shape == (3, 5, 4)
+
+    def test_hidden_values_bounded(self, sequence_batch):
+        lstm = LSTM(6, 4, rng=np.random.default_rng(1))
+        out = lstm(10.0 * sequence_batch)
+        assert np.all(np.abs(out) <= 1.0)  # h = o * tanh(c), both in [-1, 1]
+
+    def test_deterministic(self, sequence_batch):
+        lstm = LSTM(6, 4, rng=np.random.default_rng(1))
+        np.testing.assert_array_equal(lstm(sequence_batch), lstm(sequence_batch))
+
+    def test_prefix_consistency(self, sequence_batch):
+        """The hidden state at step t only depends on inputs up to t."""
+        lstm = LSTM(6, 4, rng=np.random.default_rng(1))
+        full = lstm(sequence_batch)
+        prefix = lstm(sequence_batch[:, :3])
+        np.testing.assert_allclose(full[:, :3], prefix, atol=1e-12)
+
+    def test_forget_bias_initialised(self):
+        lstm = LSTM(6, 4, forget_bias=1.0, rng=np.random.default_rng(1))
+        np.testing.assert_array_equal(lstm.bias.data[4:8], np.ones(4))
+        assert np.all(lstm.bias.data[:4] == 0.0)
+        assert np.all(lstm.bias.data[8:] == 0.0)
+
+    def test_rejects_wrong_rank(self):
+        lstm = LSTM(6, 4)
+        with pytest.raises(ValueError):
+            lstm(np.zeros((3, 6)))
+
+    def test_rejects_wrong_feature_dim(self):
+        lstm = LSTM(6, 4)
+        with pytest.raises(ValueError):
+            lstm(np.zeros((3, 5, 7)))
+
+    def test_rejects_nonpositive_dims(self):
+        with pytest.raises(ValueError):
+            LSTM(0, 4)
+        with pytest.raises(ValueError):
+            LSTM(6, -1)
+
+
+class TestLSTMBackward:
+    def test_backward_before_forward_raises(self):
+        lstm = LSTM(6, 4)
+        with pytest.raises(RuntimeError):
+            lstm.backward(np.zeros((3, 5, 4)))
+
+    def test_backward_rejects_wrong_shape(self, sequence_batch):
+        lstm = LSTM(6, 4, rng=np.random.default_rng(1))
+        lstm(sequence_batch)
+        with pytest.raises(ValueError):
+            lstm.backward(np.zeros((3, 5, 3)))
+
+    def test_parameter_gradients_match_central_differences(self, sequence_batch):
+        lstm = LSTM(6, 4, rng=np.random.default_rng(2))
+        rng = np.random.default_rng(3)
+        grad_out = rng.normal(size=(3, 5, 4))
+
+        def loss():
+            return float(np.sum(lstm(sequence_batch) * grad_out))
+
+        lstm.zero_grad()
+        lstm(sequence_batch)
+        lstm.backward(grad_out)
+        analytic = {name: p.grad.copy() for name, p in lstm.named_parameters()}
+
+        eps = 1e-6
+        for name, param in lstm.named_parameters():
+            flat = param.data.ravel()
+            for idx in range(0, flat.size, max(flat.size // 6, 1)):
+                orig = flat[idx]
+                flat[idx] = orig + eps
+                up = loss()
+                flat[idx] = orig - eps
+                down = loss()
+                flat[idx] = orig
+                numeric = (up - down) / (2 * eps)
+                assert analytic[name].ravel()[idx] == pytest.approx(
+                    numeric, abs=1e-6, rel=1e-5
+                ), f"{name}[{idx}]"
+
+    def test_input_gradient_matches_central_differences(self, sequence_batch):
+        lstm = LSTM(6, 4, rng=np.random.default_rng(2))
+        rng = np.random.default_rng(3)
+        grad_out = rng.normal(size=(3, 5, 4))
+        lstm(sequence_batch)
+        grad_x = lstm.backward(grad_out)
+
+        eps = 1e-6
+        x = sequence_batch.copy()
+        for b, t, c in [(0, 0, 0), (1, 2, 3), (2, 4, 5), (0, 3, 1)]:
+            orig = x[b, t, c]
+            x[b, t, c] = orig + eps
+            up = float(np.sum(lstm(x) * grad_out))
+            x[b, t, c] = orig - eps
+            down = float(np.sum(lstm(x) * grad_out))
+            x[b, t, c] = orig
+            numeric = (up - down) / (2 * eps)
+            assert grad_x[b, t, c] == pytest.approx(numeric, abs=1e-6, rel=1e-5)
+
+    def test_last_step_gradient_flows_to_all_inputs(self, sequence_batch):
+        """Gradient through the recurrence reaches the first time step."""
+        lstm = LSTM(6, 4, rng=np.random.default_rng(2))
+        out = lstm(sequence_batch)
+        grad_out = np.zeros_like(out)
+        grad_out[:, -1] = 1.0
+        grad_x = lstm.backward(grad_out)
+        assert np.any(grad_x[:, 0] != 0.0)

@@ -1,0 +1,66 @@
+"""Tests for weight save/load round trips."""
+
+import numpy as np
+import pytest
+
+from repro.core.gesidnet import GesIDNet, GesIDNetConfig
+from repro.nn import Linear, ReLU, Sequential, load_state, save_state
+from repro.nn.layers import BatchNorm
+
+
+def test_round_trip_simple(tmp_path):
+    rng = np.random.default_rng(0)
+    model = Sequential(Linear(4, 8, rng=rng), ReLU(), Linear(8, 2, rng=rng))
+    path = tmp_path / "weights.npz"
+    save_state(model, path)
+    clone = Sequential(
+        Linear(4, 8, rng=np.random.default_rng(99)), ReLU(), Linear(8, 2, rng=np.random.default_rng(98))
+    )
+    load_state(clone, path)
+    x = rng.normal(size=(3, 4))
+    np.testing.assert_allclose(model(x), clone(x))
+
+
+def test_round_trip_includes_batchnorm_buffers(tmp_path):
+    model = Sequential(Linear(3, 3, rng=np.random.default_rng(0)), BatchNorm(3))
+    model(np.random.default_rng(1).normal(2.0, 1.0, size=(32, 3)))  # update stats
+    path = tmp_path / "bn.npz"
+    save_state(model, path)
+    clone = Sequential(Linear(3, 3, rng=np.random.default_rng(5)), BatchNorm(3))
+    load_state(clone, path)
+    np.testing.assert_allclose(clone[1].running_mean, model[1].running_mean)
+    np.testing.assert_allclose(clone[1].running_var, model[1].running_var)
+
+
+def test_round_trip_gesidnet(tmp_path):
+    cfg = GesIDNetConfig.small()
+    model = GesIDNet(4, cfg, rng=np.random.default_rng(0))
+    x = np.random.default_rng(1).normal(size=(3, cfg.num_points, 8))
+    model(x)  # populate batch-norm stats
+    model.eval()
+    reference, _ = model(x)
+    path = tmp_path / "gesid.npz"
+    save_state(model, path)
+    clone = GesIDNet(4, cfg, rng=np.random.default_rng(77))
+    load_state(clone, path)
+    clone.eval()
+    restored, _ = clone(x)
+    np.testing.assert_allclose(restored, reference)
+
+
+def test_shape_mismatch_raises(tmp_path):
+    model = Sequential(Linear(4, 2, rng=np.random.default_rng(0)))
+    path = tmp_path / "w.npz"
+    save_state(model, path)
+    wrong = Sequential(Linear(4, 3, rng=np.random.default_rng(0)))
+    with pytest.raises(ValueError):
+        load_state(wrong, path)
+
+
+def test_missing_parameter_raises(tmp_path):
+    small = Sequential(Linear(2, 2, rng=np.random.default_rng(0)))
+    path = tmp_path / "w.npz"
+    save_state(small, path)
+    bigger = Sequential(Linear(2, 2, rng=np.random.default_rng(0)), Linear(2, 2, rng=np.random.default_rng(1)))
+    with pytest.raises(ValueError):
+        load_state(bigger, path)

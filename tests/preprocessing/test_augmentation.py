@@ -1,0 +1,59 @@
+"""Tests for training-time jitter augmentation."""
+
+import numpy as np
+import pytest
+
+from repro.preprocessing import augment_cloud, jitter_points
+from repro.radar import PointCloud
+
+
+class TestJitterPoints:
+    def test_only_xyz_perturbed(self):
+        rng = np.random.default_rng(0)
+        points = np.ones((10, 5))
+        jittered = jitter_points(points, rng)
+        assert not np.allclose(jittered[:, :3], 1.0)
+        np.testing.assert_array_equal(jittered[:, 3:], 1.0)
+
+    def test_jitter_scale(self):
+        rng = np.random.default_rng(1)
+        points = np.zeros((5000, 5))
+        jittered = jitter_points(points, rng, sigma=0.02)
+        assert jittered[:, :3].std() == pytest.approx(0.02, rel=0.05)
+
+    def test_input_not_mutated(self):
+        rng = np.random.default_rng(2)
+        points = np.zeros((5, 5))
+        jitter_points(points, rng)
+        np.testing.assert_array_equal(points, 0.0)
+
+    def test_bad_shape_raises(self):
+        with pytest.raises(ValueError):
+            jitter_points(np.zeros((5, 2)), np.random.default_rng(0))
+
+
+class TestAugmentCloud:
+    def test_paper_default_three_copies(self):
+        cloud = PointCloud(points=np.zeros((10, 5)))
+        augmented = augment_cloud(cloud, np.random.default_rng(0))
+        assert len(augmented) == 4  # original + 3 copies
+        assert augmented[0] is cloud
+
+    def test_copies_differ(self):
+        cloud = PointCloud(points=np.zeros((10, 5)))
+        augmented = augment_cloud(cloud, np.random.default_rng(1))
+        assert not np.allclose(augmented[1].points, augmented[2].points)
+
+    def test_frame_indices_copied(self):
+        cloud = PointCloud(points=np.zeros((4, 5)), frame_indices=np.array([0, 0, 1, 2]))
+        augmented = augment_cloud(cloud, np.random.default_rng(2), num_copies=1)
+        np.testing.assert_array_equal(augmented[1].frame_indices, cloud.frame_indices)
+
+    def test_zero_copies(self):
+        cloud = PointCloud(points=np.zeros((3, 5)))
+        assert len(augment_cloud(cloud, np.random.default_rng(0), num_copies=0)) == 1
+
+    def test_negative_copies_raise(self):
+        cloud = PointCloud(points=np.zeros((3, 5)))
+        with pytest.raises(ValueError):
+            augment_cloud(cloud, np.random.default_rng(0), num_copies=-1)

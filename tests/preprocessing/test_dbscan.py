@@ -1,0 +1,91 @@
+"""Tests for the from-scratch DBSCAN implementation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.preprocessing import dbscan
+from repro.preprocessing.dbscan import NOISE
+
+
+def _blob(center, n, scale=0.05, seed=0):
+    rng = np.random.default_rng(seed)
+    return np.asarray(center) + rng.normal(scale=scale, size=(n, 3))
+
+
+class TestDbscan:
+    def test_two_blobs_two_clusters(self):
+        points = np.vstack([_blob([0, 0, 0], 20, seed=1), _blob([5, 5, 5], 20, seed=2)])
+        labels = dbscan(points, eps=0.5, min_points=4)
+        clusters = set(labels) - {NOISE}
+        assert len(clusters) == 2
+        # Points of the same blob share a label.
+        assert len(set(labels[:20])) == 1
+        assert len(set(labels[20:])) == 1
+
+    def test_isolated_points_are_noise(self):
+        points = np.vstack([_blob([0, 0, 0], 20, seed=3), [[50.0, 50, 50]]])
+        labels = dbscan(points, eps=0.5, min_points=4)
+        assert labels[-1] == NOISE
+
+    def test_min_points_enforced(self):
+        # Three mutual neighbours cannot form a cluster with min_points=4.
+        points = _blob([0, 0, 0], 3, seed=4)
+        labels = dbscan(points, eps=1.0, min_points=4)
+        assert (labels == NOISE).all()
+
+    def test_chain_connectivity(self):
+        # A line of points spaced 0.4 apart with eps 0.5 is one cluster.
+        points = np.array([[0.4 * i, 0.0, 0.0] for i in range(20)])
+        labels = dbscan(points, eps=0.5, min_points=3)
+        assert len(set(labels)) == 1
+        assert labels[0] != NOISE
+
+    def test_border_point_adoption(self):
+        # A point within eps of a core point joins even if not core itself.
+        core = _blob([0, 0, 0], 10, scale=0.01, seed=5)
+        border = np.array([[0.4, 0.0, 0.0]])
+        labels = dbscan(np.vstack([core, border]), eps=0.5, min_points=5)
+        assert labels[-1] == labels[0]
+
+    def test_empty_input(self):
+        labels = dbscan(np.zeros((0, 3)), eps=1.0, min_points=2)
+        assert labels.shape == (0,)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            dbscan(np.zeros((3, 3)), eps=0.0, min_points=2)
+        with pytest.raises(ValueError):
+            dbscan(np.zeros((3, 3)), eps=1.0, min_points=0)
+        with pytest.raises(ValueError):
+            dbscan(np.zeros(3), eps=1.0, min_points=2)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(5, 40), st.integers(2, 6))
+    def test_labels_are_contiguous_or_noise(self, n, min_points):
+        rng = np.random.default_rng(n)
+        points = rng.normal(size=(n, 3))
+        labels = dbscan(points, eps=0.8, min_points=min_points)
+        clusters = sorted(set(labels) - {NOISE})
+        assert clusters == list(range(len(clusters)))
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(10, 30))
+    def test_permutation_invariant_partition(self, n):
+        """Cluster *partitions* match under point reordering."""
+        rng = np.random.default_rng(n)
+        points = np.vstack([_blob([0, 0, 0], n, seed=n), _blob([4, 0, 0], n, seed=n + 1)])
+        labels_a = dbscan(points, eps=0.6, min_points=4)
+        perm = rng.permutation(points.shape[0])
+        labels_b = dbscan(points[perm], eps=0.6, min_points=4)
+        # Compare as partitions over original indices.
+        def partition(labels):
+            groups = {}
+            for idx, lab in enumerate(labels):
+                groups.setdefault(lab, set()).add(idx)
+            return {frozenset(v) for k, v in groups.items() if k != NOISE}
+
+        restored = np.empty_like(labels_b)
+        restored[perm] = labels_b
+        assert partition(labels_a) == partition(restored)

@@ -1,0 +1,85 @@
+"""DBSCAN definitional invariants, checked on random point sets.
+
+These pin the algorithm to its textbook definition: every cluster is
+grown from core points, and a point left as noise provably has fewer
+than ``min_points`` neighbours within ``eps``.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.preprocessing.dbscan import NOISE, dbscan
+
+
+def _random_points(seed: int, n: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    # A mix of tight blobs and scattered outliers.
+    blobs = rng.normal(scale=0.15, size=(n // 2, 3)) + rng.choice(
+        [-1.5, 0.0, 1.5], size=(n // 2, 1)
+    )
+    outliers = rng.uniform(-4, 4, size=(n - n // 2, 3))
+    return np.vstack([blobs, outliers])
+
+
+def _neighbor_counts(points: np.ndarray, eps: float) -> np.ndarray:
+    diff = points[:, None, :] - points[None, :, :]
+    distances = np.sqrt((diff**2).sum(axis=2))
+    return (distances <= eps).sum(axis=1)  # includes the point itself
+
+
+class TestDefinitionalInvariants:
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 10_000), n=st.integers(8, 60), min_points=st.integers(2, 6))
+    def test_noise_points_are_not_core(self, seed, n, min_points):
+        eps = 0.5
+        points = _random_points(seed, n)
+        labels = dbscan(points, eps, min_points)
+        counts = _neighbor_counts(points, eps)
+        for i in np.flatnonzero(labels == NOISE):
+            assert counts[i] < min_points
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 10_000), n=st.integers(8, 60), min_points=st.integers(2, 6))
+    def test_every_cluster_contains_a_core_point(self, seed, n, min_points):
+        eps = 0.5
+        points = _random_points(seed, n)
+        labels = dbscan(points, eps, min_points)
+        counts = _neighbor_counts(points, eps)
+        for label in set(labels.tolist()) - {NOISE}:
+            members = np.flatnonzero(labels == label)
+            assert any(counts[i] >= min_points for i in members)
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 10_000), n=st.integers(8, 60))
+    def test_core_point_neighbors_share_its_cluster(self, seed, n):
+        eps, min_points = 0.5, 3
+        points = _random_points(seed, n)
+        labels = dbscan(points, eps, min_points)
+        counts = _neighbor_counts(points, eps)
+        diff = points[:, None, :] - points[None, :, :]
+        distances = np.sqrt((diff**2).sum(axis=2))
+        for i in range(n):
+            if counts[i] < min_points:
+                continue  # not core
+            # Every point within eps of a core point is density-reachable:
+            # it must belong to the same cluster (never noise).
+            for j in np.flatnonzero(distances[i] <= eps):
+                assert labels[j] != NOISE
+                assert labels[j] == labels[i]
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 10_000), n=st.integers(5, 40))
+    def test_scaling_points_and_eps_together_is_invariant(self, seed, n):
+        points = _random_points(seed, n)
+        labels = dbscan(points, 0.5, 3)
+        scaled = dbscan(10.0 * points, 5.0, 3)
+        np.testing.assert_array_equal(labels, scaled)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_larger_eps_never_increases_noise(self, seed):
+        points = _random_points(seed, 40)
+        noise_small = (dbscan(points, 0.3, 3) == NOISE).sum()
+        noise_large = (dbscan(points, 1.0, 3) == NOISE).sum()
+        assert noise_large <= noise_small

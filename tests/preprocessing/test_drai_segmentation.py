@@ -1,0 +1,147 @@
+"""DI-Gesture-style DRAI segmentation: window dynamics and IoU scoring."""
+
+import numpy as np
+import pytest
+
+from repro.preprocessing.drai_segmentation import (
+    DRAIGestureSegmenter,
+    DRAISegmenterParams,
+    best_segment_iou,
+    segmentation_iou,
+)
+from repro.preprocessing.segmentation import Segment
+from repro.radar.pointcloud import Frame
+
+
+def _quiet_frame(rng) -> Frame:
+    """Sparse low-energy residue, the idle-room signature."""
+    n = int(rng.integers(0, 3))
+    if n == 0:
+        return Frame.empty()
+    pts = np.column_stack(
+        [
+            rng.normal(0.0, 1.0, n),
+            rng.uniform(2.5, 4.0, n),
+            rng.normal(0.0, 0.3, n),
+            rng.normal(0.0, 0.1, n),
+            rng.uniform(0.2, 0.6, n),
+        ]
+    )
+    return Frame(points=pts)
+
+
+def _motion_frame(rng, t: float) -> Frame:
+    """A dense moving blob sweeping laterally, the gesture signature."""
+    n = int(rng.integers(12, 20))
+    cx = -0.4 + 0.8 * t
+    pts = np.column_stack(
+        [
+            rng.normal(cx, 0.1, n),
+            rng.normal(1.2, 0.1, n),
+            rng.normal(0.2, 0.1, n),
+            rng.normal(1.0, 0.3, n),
+            rng.uniform(1.5, 3.0, n),
+        ]
+    )
+    return Frame(points=pts)
+
+
+def _recording(rng, quiet_before=20, motion=12, quiet_after=20):
+    frames = [_quiet_frame(rng) for _ in range(quiet_before)]
+    frames += [_motion_frame(rng, i / max(motion - 1, 1)) for i in range(motion)]
+    frames += [_quiet_frame(rng) for _ in range(quiet_after)]
+    return frames, quiet_before, quiet_before + motion
+
+
+class TestParams:
+    def test_rejects_bad_margin(self):
+        with pytest.raises(ValueError):
+            DRAISegmenterParams(margin=0.0)
+
+    def test_rejects_bad_alpha(self):
+        with pytest.raises(ValueError):
+            DRAISegmenterParams(floor_alpha=0.0)
+
+    def test_rejects_bad_frame_thresholds(self):
+        with pytest.raises(ValueError):
+            DRAISegmenterParams(min_motion_frames=0)
+        with pytest.raises(ValueError):
+            DRAISegmenterParams(quiet_frames_to_close=0)
+
+
+class TestSegmentation:
+    def test_detects_single_gesture(self):
+        rng = np.random.default_rng(0)
+        frames, start, end = _recording(rng)
+        segments = DRAIGestureSegmenter().segment(frames)
+        assert len(segments) >= 1
+        assert best_segment_iou(segments, start, end) > 0.5
+
+    def test_quiet_stream_emits_nothing(self):
+        rng = np.random.default_rng(1)
+        frames = [_quiet_frame(rng) for _ in range(60)]
+        assert DRAIGestureSegmenter().segment(frames) == []
+
+    def test_two_gestures_yield_two_segments(self):
+        rng = np.random.default_rng(2)
+        first, start1, end1 = _recording(rng, quiet_before=20, motion=10, quiet_after=15)
+        second, start2, end2 = _recording(rng, quiet_before=0, motion=10, quiet_after=15)
+        frames = first + second
+        offset = len(first)
+        segments = DRAIGestureSegmenter().segment(frames)
+        assert len(segments) == 2
+        assert best_segment_iou(segments, start1, end1) > 0.4
+        assert best_segment_iou(segments, offset + start2, offset + end2) > 0.4
+
+    def test_flush_closes_open_window(self):
+        rng = np.random.default_rng(3)
+        segmenter = DRAIGestureSegmenter()
+        frames, start, _ = _recording(rng, quiet_before=20, motion=10, quiet_after=0)
+        for frame in frames:
+            segmenter.push(frame)
+        assert segmenter.in_gesture
+        tail = segmenter.flush()
+        assert tail is not None
+        assert tail.end == len(frames)
+        assert not segmenter.in_gesture
+
+    def test_reset_restores_initial_state(self):
+        rng = np.random.default_rng(4)
+        segmenter = DRAIGestureSegmenter()
+        frames, _, _ = _recording(rng)
+        segmenter.segment(frames)
+        segmenter.reset()
+        assert not segmenter.in_gesture
+        assert segmenter.current_threshold() > 0.0
+
+    def test_threshold_adapts_to_noise_level(self):
+        """A noisier room should yield a higher motion threshold."""
+        rng = np.random.default_rng(5)
+        quiet = DRAIGestureSegmenter()
+        for _ in range(40):
+            quiet.push(_quiet_frame(rng))
+        noisy = DRAIGestureSegmenter()
+        for _ in range(40):
+            frame = _quiet_frame(rng)
+            if frame.num_points:
+                frame.points[:, 4] *= 10.0
+            noisy.push(frame)
+        assert noisy.current_threshold() >= quiet.current_threshold()
+
+
+class TestIoU:
+    def test_perfect_overlap(self):
+        assert segmentation_iou(Segment(10, 20), 10, 20) == pytest.approx(1.0)
+
+    def test_disjoint_spans(self):
+        assert segmentation_iou(Segment(0, 5), 10, 20) == 0.0
+
+    def test_partial_overlap(self):
+        assert segmentation_iou(Segment(10, 20), 15, 25) == pytest.approx(5 / 15)
+
+    def test_best_of_empty_list_is_zero(self):
+        assert best_segment_iou([], 0, 10) == 0.0
+
+    def test_best_picks_maximum(self):
+        segments = [Segment(0, 5), Segment(9, 21), Segment(30, 40)]
+        assert best_segment_iou(segments, 10, 20) == pytest.approx(10 / 12)

@@ -1,0 +1,96 @@
+"""Tests for multi-person separation and tracking."""
+
+import numpy as np
+import pytest
+
+from repro.gestures import ASL_GESTURES, Bystander, ENVIRONMENTS, generate_users, perform_gesture
+from repro.preprocessing import MultiUserSeparator, SeparatorParams
+from repro.radar import FastRadar, Frame, IWR6843_CONFIG
+
+
+def _frame_with_people(positions, points_each=8, rng=None, spread=0.15):
+    rng = rng or np.random.default_rng(0)
+    rows = []
+    for center in positions:
+        pts = np.zeros((points_each, 5))
+        pts[:, :3] = np.asarray(center) + rng.normal(scale=spread, size=(points_each, 3))
+        rows.append(pts)
+    if not rows:
+        return Frame.empty()
+    return Frame(points=np.vstack(rows))
+
+
+class TestSeparatorSynthetic:
+    def test_two_static_people_two_tracks(self):
+        rng = np.random.default_rng(1)
+        separator = MultiUserSeparator()
+        frames = [
+            _frame_with_people([(0.0, 1.2, 0.0), (2.0, 2.5, 0.0)], rng=rng)
+            for _ in range(15)
+        ]
+        tracks = separator.separate(frames)
+        assert len(tracks) == 2
+        centroids = sorted(float(t.current_centroid()[0]) for t in tracks)
+        assert centroids[0] == pytest.approx(0.0, abs=0.3)
+        assert centroids[1] == pytest.approx(2.0, abs=0.3)
+
+    def test_tracks_follow_moving_person(self):
+        rng = np.random.default_rng(2)
+        separator = MultiUserSeparator()
+        frames = [
+            _frame_with_people([(-1.0 + 0.15 * i, 2.0, 0.0)], rng=rng) for i in range(16)
+        ]
+        tracks = separator.separate(frames)
+        assert len(tracks) == 1
+        assert tracks[0].current_centroid()[0] == pytest.approx(-1.0 + 0.15 * 15, abs=0.3)
+
+    def test_person_leaving_keeps_track_alignment(self):
+        rng = np.random.default_rng(3)
+        separator = MultiUserSeparator()
+        frames = [
+            _frame_with_people([(0.0, 1.2, 0.0), (2.0, 2.5, 0.0)], rng=rng)
+            for _ in range(8)
+        ]
+        frames += [_frame_with_people([(0.0, 1.2, 0.0)], rng=rng) for _ in range(8)]
+        tracks = separator.separate(frames)
+        for track in tracks:
+            assert len(track.frames) == 16  # frame-aligned streams
+
+    def test_empty_stream(self):
+        separator = MultiUserSeparator()
+        assert separator.separate([Frame.empty() for _ in range(10)]) == []
+
+    def test_min_track_points_filters_flicker(self):
+        rng = np.random.default_rng(4)
+        separator = MultiUserSeparator(SeparatorParams(min_track_points=50))
+        frames = [_frame_with_people([(0.0, 1.2, 0.0)], points_each=3, rng=rng)
+                  for _ in range(5)]
+        assert separator.separate(frames) == []
+
+    def test_params_validation(self):
+        with pytest.raises(ValueError):
+            SeparatorParams(cluster_eps_m=0.0)
+        with pytest.raises(ValueError):
+            SeparatorParams(cluster_min_points=0)
+
+
+class TestSeparatorOnSimulatedScene:
+    def test_user_and_walker_separate(self):
+        user = generate_users(1, seed=5)[0]
+        radar = FastRadar(IWR6843_CONFIG, seed=6)
+        walker = Bystander(mode="walking", walk_start=(-2.5, 3.2), walk_end=(2.5, 3.2))
+        recording = perform_gesture(
+            user,
+            ASL_GESTURES["push"],
+            radar,
+            ENVIRONMENTS["meeting_room"],
+            rng=np.random.default_rng(7),
+            bystanders=[walker],
+        )
+        tracks = MultiUserSeparator().separate(recording.frames)
+        assert len(tracks) >= 2
+        # The user's track sits near y=1.2; the walker's near y=3.2.
+        user_track = min(tracks, key=lambda t: abs(t.current_centroid()[1] - 1.2))
+        walker_track = max(tracks, key=lambda t: t.current_centroid()[1])
+        assert user_track.current_centroid()[1] == pytest.approx(1.2, abs=0.5)
+        assert walker_track.current_centroid()[1] > 2.4

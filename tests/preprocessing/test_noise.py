@@ -1,0 +1,63 @@
+"""Tests for noise canceling (main cluster retention)."""
+
+import numpy as np
+import pytest
+
+from repro.preprocessing import NoiseCancelerParams, keep_main_cluster
+from repro.radar import PointCloud
+
+
+def _cloud_from_xyz(xyz):
+    points = np.zeros((len(xyz), 5))
+    points[:, :3] = xyz
+    return PointCloud(points=points)
+
+
+class TestKeepMainCluster:
+    def test_keeps_largest_cluster(self):
+        rng = np.random.default_rng(0)
+        body = rng.normal(scale=0.2, size=(40, 3)) + [0, 1.2, 0]
+        clutter = rng.normal(scale=0.1, size=(8, 3)) + [3.0, 4.0, 0]
+        cloud = _cloud_from_xyz(np.vstack([body, clutter]))
+        cleaned = keep_main_cluster(cloud)
+        assert cleaned.num_points == 40
+        assert np.abs(cleaned.xyz[:, 0]).max() < 1.5
+
+    def test_discards_isolated_noise(self):
+        rng = np.random.default_rng(1)
+        body = rng.normal(scale=0.2, size=(30, 3))
+        outliers = np.array([[7.0, 7, 7], [-6, 5, 2]])
+        cloud = _cloud_from_xyz(np.vstack([body, outliers]))
+        cleaned = keep_main_cluster(cloud)
+        assert cleaned.num_points == 30
+
+    def test_all_noise_returns_input(self):
+        # Points too far apart to form any cluster: degrade gracefully.
+        xyz = np.array([[0.0, 0, 0], [10, 0, 0], [0, 10, 0]])
+        cloud = _cloud_from_xyz(xyz)
+        cleaned = keep_main_cluster(cloud)
+        assert cleaned.num_points == 3
+
+    def test_empty_cloud_passthrough(self):
+        cloud = PointCloud(points=np.zeros((0, 5)))
+        assert keep_main_cluster(cloud).num_points == 0
+
+    def test_paper_parameters_default(self):
+        params = NoiseCancelerParams()
+        assert params.max_pair_distance_m == 1.0  # D_max
+        assert params.min_cluster_points == 4  # N_min
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            NoiseCancelerParams(max_pair_distance_m=0.0)
+        with pytest.raises(ValueError):
+            NoiseCancelerParams(min_cluster_points=0)
+
+    def test_frame_indices_preserved(self):
+        rng = np.random.default_rng(2)
+        xyz = rng.normal(scale=0.1, size=(20, 3))
+        points = np.zeros((20, 5))
+        points[:, :3] = xyz
+        cloud = PointCloud(points=points, frame_indices=np.arange(20))
+        cleaned = keep_main_cluster(cloud)
+        assert cleaned.frame_indices.size == cleaned.num_points

@@ -1,0 +1,107 @@
+"""Tests for the end-to-end preprocessing pipeline and cloud normalisation."""
+
+import numpy as np
+import pytest
+
+from repro.gestures import ASL_GESTURES, ENVIRONMENTS, generate_users, perform_gesture
+from repro.preprocessing import PreprocessorParams, preprocess_recording
+from repro.preprocessing.pipeline import NORMALIZED_CHANNELS, normalize_cloud
+from repro.radar import FastRadar, IWR6843_CONFIG, PointCloud
+
+
+@pytest.fixture(scope="module")
+def recording():
+    user = generate_users(1, seed=2)[0]
+    radar = FastRadar(IWR6843_CONFIG, seed=0)
+    return perform_gesture(
+        user, ASL_GESTURES["push"], radar, ENVIRONMENTS["office"],
+        rng=np.random.default_rng(0),
+    )
+
+
+class TestPreprocessRecording:
+    def test_produces_cloud(self, recording):
+        cloud = preprocess_recording(recording)
+        assert cloud is not None
+        assert cloud.num_points >= PreprocessorParams().min_cloud_points
+
+    def test_cloud_is_near_user(self, recording):
+        cloud = preprocess_recording(recording)
+        assert np.median(cloud.xyz[:, 1]) == pytest.approx(recording.distance_m, abs=0.5)
+
+    def test_cloud_spans_motion_frames(self, recording):
+        cloud = preprocess_recording(recording)
+        # Most points should come from within the true motion window.
+        inside = (
+            (cloud.frame_indices >= recording.motion_start_frame - 3)
+            & (cloud.frame_indices <= recording.motion_end_frame + 3)
+        ).mean()
+        assert inside > 0.8
+
+    def test_no_fallback_returns_none_for_empty(self):
+        from repro.gestures.synthesis import GestureRecording
+        from repro.radar import Frame
+
+        empty = GestureRecording(
+            frames=[Frame.empty() for _ in range(30)],
+            user_id=0,
+            gesture_name="x",
+            distance_m=1.2,
+            environment="office",
+            motion_start_frame=5,
+            motion_end_frame=20,
+        )
+        assert preprocess_recording(empty) is None
+
+
+class TestNormalizeCloud:
+    def _cloud(self, n=50, seed=0):
+        rng = np.random.default_rng(seed)
+        points = rng.normal(size=(n, 5))
+        points[:, 1] += 1.2
+        return PointCloud(points=points, frame_indices=rng.integers(0, 20, n))
+
+    def test_output_shape(self):
+        cloud = self._cloud()
+        out = normalize_cloud(cloud, 64, np.random.default_rng(0))
+        assert out.shape == (64, NORMALIZED_CHANNELS)
+
+    def test_x_centered(self):
+        cloud = self._cloud()
+        out = normalize_cloud(cloud, 256, np.random.default_rng(0))
+        assert abs(out[:, 0].mean()) < 0.3  # subsampling jitter allowed
+
+    def test_z_not_centered(self):
+        rng = np.random.default_rng(1)
+        points = rng.normal(scale=0.1, size=(60, 5))
+        points[:, 2] += 0.5  # user's height offset must survive
+        cloud = PointCloud(points=points)
+        out = normalize_cloud(cloud, 60, np.random.default_rng(0))
+        assert out[:, 2].mean() == pytest.approx(0.5, abs=0.1)
+
+    def test_phase_channel_in_unit_range(self):
+        cloud = self._cloud()
+        out = normalize_cloud(cloud, 32, np.random.default_rng(0))
+        assert out[:, 5].min() >= 0.0
+        assert out[:, 5].max() <= 1.0
+
+    def test_scalar_channels_constant(self):
+        cloud = self._cloud()
+        out = normalize_cloud(cloud, 32, np.random.default_rng(0))
+        assert np.unique(out[:, 6]).size == 1  # duration
+        assert np.unique(out[:, 7]).size == 1  # log point count
+
+    def test_small_cloud_padded(self):
+        cloud = self._cloud(n=5)
+        out = normalize_cloud(cloud, 32, np.random.default_rng(0))
+        assert out.shape[0] == 32
+
+    def test_empty_cloud_raises(self):
+        with pytest.raises(ValueError):
+            normalize_cloud(PointCloud(points=np.zeros((0, 5))), 16, np.random.default_rng(0))
+
+    def test_duration_channel_tracks_frames(self):
+        points = np.zeros((10, 5))
+        cloud = PointCloud(points=points, frame_indices=np.arange(10))
+        out = normalize_cloud(cloud, 10, np.random.default_rng(0))
+        assert out[0, 6] == pytest.approx(10 / 50.0)

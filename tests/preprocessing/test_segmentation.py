@@ -1,0 +1,121 @@
+"""Tests for the parameter-adaptive sliding-window segmenter."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.preprocessing import GestureSegmenter, SegmenterParams
+from repro.radar import Frame
+
+
+def _frames_from_counts(counts, rng=None):
+    rng = rng or np.random.default_rng(0)
+    frames = []
+    for count in counts:
+        points = np.zeros((count, 5))
+        points[:, :3] = rng.normal(size=(count, 3))
+        frames.append(Frame(points=points))
+    return frames
+
+
+def _synthetic_stream(idle, motion, idle_after, low=1, high=14, rng=None):
+    counts = [low] * idle + [high] * motion + [low] * idle_after
+    return _frames_from_counts(counts, rng)
+
+
+class TestSegmenterParams:
+    def test_paper_defaults(self):
+        params = SegmenterParams()
+        assert params.threshold_window == 50  # N
+        assert params.detection_window == 10  # n
+        assert params.min_motion_frames == 8  # F_thr
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SegmenterParams(threshold_window=0)
+        with pytest.raises(ValueError):
+            SegmenterParams(min_motion_frames=11, detection_window=10)
+        with pytest.raises(ValueError):
+            SegmenterParams(min_threshold=0.0)
+
+
+class TestThreshold:
+    def test_initial_threshold_is_minimum(self):
+        segmenter = GestureSegmenter()
+        assert segmenter.current_threshold() == SegmenterParams().min_threshold
+
+    def test_bimodal_counts_split_between_modes(self):
+        segmenter = GestureSegmenter()
+        for frame in _synthetic_stream(10, 10, 0, low=1, high=20):
+            segmenter.push(frame)
+        threshold = segmenter.current_threshold()
+        assert 1.0 < threshold < 20.0
+
+    def test_threshold_adapts_to_noise_level(self):
+        quiet = GestureSegmenter()
+        noisy = GestureSegmenter()
+        rng = np.random.default_rng(0)
+        for frame in _frames_from_counts([1] * 20 + [20] * 10, rng):
+            quiet.push(frame)
+        for frame in _frames_from_counts([8] * 20 + [40] * 10, rng):
+            noisy.push(frame)
+        assert noisy.current_threshold() > quiet.current_threshold()
+
+
+class TestSegmentation:
+    def test_detects_single_gesture(self):
+        frames = _synthetic_stream(12, 25, 15)
+        segments = GestureSegmenter().segment(frames)
+        assert len(segments) == 1
+        seg = segments[0]
+        # Starts near frame 12, ends near frame 37.
+        assert abs(seg.start - 12) <= 3
+        assert abs(seg.end - 37) <= 11
+
+    def test_detects_two_gestures(self):
+        counts = [1] * 12 + [14] * 20 + [1] * 25 + [14] * 20 + [1] * 15
+        segments = GestureSegmenter().segment(_frames_from_counts(counts))
+        assert len(segments) == 2
+
+    def test_ignores_short_blips(self):
+        # A 3-frame spike cannot satisfy F_thr = 8 motion frames.
+        counts = [1] * 20 + [15] * 3 + [1] * 30
+        segments = GestureSegmenter().segment(_frames_from_counts(counts))
+        assert segments == []
+
+    def test_all_idle_yields_nothing(self):
+        segments = GestureSegmenter().segment(_frames_from_counts([1] * 60))
+        assert segments == []
+
+    def test_open_gesture_flushed_at_end(self):
+        counts = [1] * 15 + [14] * 20  # stream ends mid-gesture
+        segments = GestureSegmenter().segment(_frames_from_counts(counts))
+        assert len(segments) == 1
+        assert segments[0].end == 35
+
+    def test_segment_resets_state(self):
+        segmenter = GestureSegmenter()
+        first = segmenter.segment(_synthetic_stream(10, 20, 15))
+        second = segmenter.segment(_synthetic_stream(10, 20, 15))
+        assert [(s.start, s.end) for s in first] == [(s.start, s.end) for s in second]
+
+    def test_online_push_matches_batch(self):
+        frames = _synthetic_stream(12, 22, 14)
+        batch = GestureSegmenter().segment(frames)
+        online = GestureSegmenter()
+        collected = [seg for f in frames if (seg := online.push(f))]
+        tail = online.flush()
+        if tail:
+            collected.append(tail)
+        assert [(s.start, s.end) for s in collected] == [(s.start, s.end) for s in batch]
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(10, 25), st.integers(12, 40), st.integers(11, 25))
+    def test_property_single_burst_found(self, idle, motion, after):
+        frames = _synthetic_stream(idle, motion, after, low=1, high=16)
+        segments = GestureSegmenter().segment(frames)
+        assert len(segments) == 1
+        seg = segments[0]
+        inter = max(0, min(seg.end, idle + motion) - max(seg.start, idle))
+        assert inter >= 0.6 * motion  # covers most of the true burst

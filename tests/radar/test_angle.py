@@ -1,0 +1,43 @@
+"""Tests for virtual-array angle estimation."""
+
+import numpy as np
+import pytest
+
+from repro.radar import IWR6843_CONFIG
+from repro.radar.fmcw import virtual_array_layout
+from repro.radar.processing import angle_fft
+
+
+def _snapshot_for_direction(u, w, config=IWR6843_CONFIG):
+    """Ideal antenna snapshot for direction cosines (u, w)."""
+    layout = virtual_array_layout(config)
+    phases = 2.0 * np.pi * (layout[:, 0] * u + layout[:, 1] * w)
+    return np.exp(1j * phases)
+
+
+class TestAngleFft:
+    @pytest.mark.parametrize("u,w", [(0.0, 0.0), (0.3, 0.0), (0.0, 0.25), (-0.4, 0.2)])
+    def test_recovers_direction(self, u, w):
+        snapshot = _snapshot_for_direction(u, w)
+        est_u, est_w = angle_fft(snapshot, IWR6843_CONFIG, zero_pad=64)
+        # Aperture is small (4 x 3 elements): allow a beamwidth of error.
+        assert est_u == pytest.approx(u, abs=0.12)
+        assert est_w == pytest.approx(w, abs=0.2)
+
+    def test_boresight_target(self):
+        snapshot = _snapshot_for_direction(0.0, 0.0)
+        est_u, est_w = angle_fft(snapshot, IWR6843_CONFIG, zero_pad=64)
+        assert abs(est_u) < 0.05
+        assert abs(est_w) < 0.05
+
+    def test_noisy_snapshot_still_close(self):
+        rng = np.random.default_rng(0)
+        snapshot = _snapshot_for_direction(0.3, -0.1)
+        noisy = snapshot + 0.1 * (rng.normal(size=12) + 1j * rng.normal(size=12))
+        est_u, est_w = angle_fft(noisy, IWR6843_CONFIG, zero_pad=64)
+        assert est_u == pytest.approx(0.3, abs=0.15)
+
+    def test_left_right_distinguished(self):
+        left = angle_fft(_snapshot_for_direction(-0.4, 0.0), IWR6843_CONFIG, zero_pad=64)
+        right = angle_fft(_snapshot_for_direction(0.4, 0.0), IWR6843_CONFIG, zero_pad=64)
+        assert left[0] < 0 < right[0]

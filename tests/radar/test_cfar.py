@@ -1,0 +1,66 @@
+"""Tests for the CA-CFAR detectors."""
+
+import numpy as np
+import pytest
+
+from repro.radar import ca_cfar_1d, ca_cfar_2d
+
+
+class TestCfar1d:
+    def test_detects_strong_peak(self):
+        rng = np.random.default_rng(0)
+        power = rng.exponential(1.0, 64)
+        power[30] = 500.0
+        mask = ca_cfar_1d(power)
+        assert mask[30]
+
+    def test_false_alarm_rate_controlled(self):
+        rng = np.random.default_rng(1)
+        rates = []
+        for _ in range(20):
+            power = rng.exponential(1.0, 512)
+            rates.append(ca_cfar_1d(power, prob_false_alarm=1e-2).mean())
+        assert np.mean(rates) < 0.05
+
+    def test_no_detection_on_flat_noise_floor(self):
+        mask = ca_cfar_1d(np.ones(64))
+        assert not mask.any()
+
+    def test_invalid_pfa_raises(self):
+        with pytest.raises(ValueError):
+            ca_cfar_1d(np.ones(10), prob_false_alarm=2.0)
+
+
+class TestCfar2d:
+    def test_detects_peak(self):
+        rng = np.random.default_rng(2)
+        power = rng.exponential(1.0, (32, 64))
+        power[10, 20] = 1000.0
+        mask = ca_cfar_2d(power)
+        assert mask[10, 20]
+
+    def test_masked_cells_are_rare_on_noise(self):
+        rng = np.random.default_rng(3)
+        power = rng.exponential(1.0, (64, 128))
+        mask = ca_cfar_2d(power, prob_false_alarm=1e-4)
+        assert mask.mean() < 0.01
+
+    def test_adapts_to_noise_level_step(self):
+        # A peak 10x above its LOCAL noise must be found in both halves.
+        rng = np.random.default_rng(4)
+        power = np.concatenate(
+            [rng.exponential(1.0, (32, 32)), rng.exponential(100.0, (32, 32))], axis=1
+        )
+        power[16, 8] = 400.0  # 400x local
+        power[16, 48] = 40000.0  # 400x local
+        mask = ca_cfar_2d(power)
+        assert mask[16, 8]
+        assert mask[16, 48]
+
+    def test_rejects_1d_input(self):
+        with pytest.raises(ValueError):
+            ca_cfar_2d(np.ones(16))
+
+    def test_output_shape(self):
+        power = np.random.default_rng(5).exponential(1.0, (16, 24))
+        assert ca_cfar_2d(power).shape == (16, 24)

@@ -1,0 +1,53 @@
+"""Tests that the radar configuration reproduces the paper's figures (SV)."""
+
+import pytest
+
+from repro.radar import IWR6843_CONFIG, RadarConfig
+
+
+class TestIWR6843Defaults:
+    def test_range_resolution(self):
+        assert IWR6843_CONFIG.range_resolution_m == pytest.approx(0.04, abs=0.001)
+
+    def test_max_range(self):
+        assert IWR6843_CONFIG.max_range_m == pytest.approx(8.2, abs=0.05)
+
+    def test_max_velocity(self):
+        assert IWR6843_CONFIG.max_velocity_ms == pytest.approx(2.7, abs=0.2)
+
+    def test_velocity_resolution(self):
+        assert IWR6843_CONFIG.velocity_resolution_ms == pytest.approx(0.34, abs=0.03)
+
+    def test_antennas(self):
+        assert IWR6843_CONFIG.num_tx == 3
+        assert IWR6843_CONFIG.num_rx == 4
+        assert IWR6843_CONFIG.num_virtual_antennas == 12
+
+    def test_frame_rate(self):
+        assert IWR6843_CONFIG.frame_rate_hz == 10.0
+        assert IWR6843_CONFIG.frame_interval_s == pytest.approx(0.1)
+
+    def test_rf_band(self):
+        assert 60e9 <= IWR6843_CONFIG.start_frequency_hz
+        assert IWR6843_CONFIG.start_frequency_hz + IWR6843_CONFIG.bandwidth_hz <= 64.1e9
+
+    def test_mounting_height(self):
+        assert IWR6843_CONFIG.mounting_height_m == pytest.approx(1.25)
+
+
+class TestValidation:
+    def test_rejects_bad_frequency(self):
+        with pytest.raises(ValueError):
+            RadarConfig(start_frequency_hz=0.0)
+
+    def test_rejects_bad_bins(self):
+        with pytest.raises(ValueError):
+            RadarConfig(num_range_bins=0)
+
+    def test_rejects_bad_antennas(self):
+        with pytest.raises(ValueError):
+            RadarConfig(num_tx=0)
+
+    def test_rejects_bad_frame_rate(self):
+        with pytest.raises(ValueError):
+            RadarConfig(frame_rate_hz=-1.0)

@@ -1,0 +1,113 @@
+"""Tests for the two radar devices (signal-level and fast)."""
+
+import numpy as np
+import pytest
+
+from repro.radar import FastRadar, IWR6843_CONFIG, ScattererSet, SignalLevelRadar
+from repro.radar.scatterer import Scatterer
+
+
+def _moving_target(range_m=2.0, velocity=1.0, rcs=5.0):
+    return ScattererSet(
+        positions=np.array([[0.3, range_m, 0.1]]),
+        velocities=np.array([[0.0, velocity, 0.0]]),
+        rcs=np.array([rcs]),
+    )
+
+
+class TestSignalLevelRadar:
+    def test_detects_moving_target(self):
+        radar = SignalLevelRadar(IWR6843_CONFIG, seed=0)
+        frame = radar.capture_frame(_moving_target())
+        assert frame.num_points >= 1
+        best = frame.points[np.argmax(frame.intensity)]
+        measured_range = np.linalg.norm(best[:3])
+        assert measured_range == pytest.approx(np.linalg.norm([0.3, 2.0, 0.1]), abs=0.2)
+
+    def test_static_target_suppressed(self):
+        radar = SignalLevelRadar(IWR6843_CONFIG, seed=1)
+        static = ScattererSet(positions=np.array([[0.0, 2.0, 0.0]]), rcs=np.array([20.0]))
+        frame = radar.capture_frame(static)
+        assert frame.num_points <= 1  # nothing but the odd false alarm
+
+    def test_timestamps_advance(self):
+        radar = SignalLevelRadar(IWR6843_CONFIG, seed=2)
+        empty = ScattererSet(np.zeros((0, 3)))
+        t0 = radar.capture_frame(empty).timestamp_s
+        t1 = radar.capture_frame(empty).timestamp_s
+        assert t1 - t0 == pytest.approx(IWR6843_CONFIG.frame_interval_s)
+
+
+class TestFastRadar:
+    def test_detects_moving_target(self):
+        radar = FastRadar(IWR6843_CONFIG, false_alarms_per_frame=0.0, seed=0)
+        frame = radar.capture_frame(_moving_target())
+        assert frame.num_points == 1
+        measured_range = np.linalg.norm(frame.xyz[0])
+        assert measured_range == pytest.approx(np.linalg.norm([0.3, 2.0, 0.1]), abs=0.1)
+        assert frame.doppler[0] == pytest.approx(1.0, abs=0.4)
+
+    def test_static_scatterer_removed(self):
+        radar = FastRadar(IWR6843_CONFIG, false_alarms_per_frame=0.0, seed=1)
+        static = ScattererSet(positions=np.array([[0.0, 2.0, 0.0]]), rcs=np.array([20.0]))
+        assert radar.capture_frame(static).num_points == 0
+
+    def test_clutter_removal_disabled_keeps_static(self):
+        radar = FastRadar(
+            IWR6843_CONFIG, clutter_removal=False, false_alarms_per_frame=0.0, seed=2
+        )
+        static = ScattererSet(positions=np.array([[0.0, 1.5, 0.0]]), rcs=np.array([20.0]))
+        assert radar.capture_frame(static).num_points == 1
+
+    def test_detection_probability_decays_with_range(self):
+        radar = FastRadar(IWR6843_CONFIG, false_alarms_per_frame=0.0, seed=3)
+        counts = {}
+        for distance in (1.2, 4.8):
+            detected = 0
+            for _ in range(150):
+                frame = radar.capture_frame(_moving_target(range_m=distance, rcs=0.3))
+                detected += frame.num_points
+            counts[distance] = detected
+        assert counts[4.8] < counts[1.2]
+
+    def test_false_alarms_appear(self):
+        radar = FastRadar(IWR6843_CONFIG, false_alarms_per_frame=3.0, seed=4)
+        empty = ScattererSet(np.zeros((0, 3)))
+        total = sum(radar.capture_frame(empty).num_points for _ in range(30))
+        assert total > 30  # ~90 expected
+
+    def test_range_quantisation(self):
+        radar = FastRadar(IWR6843_CONFIG, false_alarms_per_frame=0.0, seed=5)
+        frame = radar.capture_frame(_moving_target())
+        measured_range = np.linalg.norm(frame.xyz[0])
+        # Ranges land on multiples of the range resolution.
+        ratio = measured_range / IWR6843_CONFIG.range_resolution_m
+        assert abs(ratio - round(ratio)) < 0.35  # angle noise perturbs slightly
+
+    def test_out_of_range_dropped(self):
+        radar = FastRadar(IWR6843_CONFIG, false_alarms_per_frame=0.0, seed=6)
+        far = _moving_target(range_m=20.0)
+        assert radar.capture_frame(far).num_points == 0
+
+
+class TestScattererValidation:
+    def test_negative_rcs_rejected(self):
+        with pytest.raises(ValueError):
+            Scatterer(position=(0, 1, 0), rcs=-1.0)
+        with pytest.raises(ValueError):
+            ScattererSet(np.zeros((1, 3)), rcs=np.array([0.0]))
+
+    def test_radial_velocity_sign(self):
+        receding = ScattererSet(
+            positions=np.array([[0.0, 2.0, 0.0]]), velocities=np.array([[0.0, 1.0, 0.0]])
+        )
+        approaching = ScattererSet(
+            positions=np.array([[0.0, 2.0, 0.0]]), velocities=np.array([[0.0, -1.0, 0.0]])
+        )
+        assert receding.radial_velocities()[0] > 0
+        assert approaching.radial_velocities()[0] < 0
+
+    def test_merge(self):
+        a = ScattererSet(np.zeros((2, 3)))
+        b = ScattererSet(np.ones((3, 3)))
+        assert len(a.merged_with(b)) == 5

@@ -1,0 +1,114 @@
+"""Dynamic range-angle image construction and background subtraction."""
+
+import numpy as np
+import pytest
+
+from repro.radar.drai import DRAIParams, DRAIStream, drai_sequence, range_angle_image
+from repro.radar.pointcloud import Frame
+
+
+def _frame_at(x: float, y: float, intensity: float = 2.0) -> Frame:
+    return Frame(points=np.array([[x, y, 0.0, 0.5, intensity]]))
+
+
+class TestParams:
+    def test_rejects_bad_bins(self):
+        with pytest.raises(ValueError):
+            DRAIParams(num_range_bins=0)
+        with pytest.raises(ValueError):
+            DRAIParams(num_angle_bins=-1)
+
+    def test_rejects_bad_extents(self):
+        with pytest.raises(ValueError):
+            DRAIParams(max_range_m=0.0)
+        with pytest.raises(ValueError):
+            DRAIParams(max_angle_rad=-0.1)
+
+    def test_rejects_bad_alpha(self):
+        with pytest.raises(ValueError):
+            DRAIParams(background_alpha=0.0)
+        with pytest.raises(ValueError):
+            DRAIParams(background_alpha=1.5)
+
+
+class TestRangeAngleImage:
+    def test_empty_frame_gives_zero_image(self):
+        image = range_angle_image(Frame.empty())
+        assert image.shape == (32, 32)
+        assert np.all(image == 0.0)
+
+    def test_intensity_lands_in_one_cell(self):
+        image = range_angle_image(_frame_at(0.0, 1.2, intensity=3.0))
+        assert image.sum() == pytest.approx(3.0)
+        assert (image > 0).sum() == 1
+
+    def test_boresight_point_maps_to_center_angle(self):
+        params = DRAIParams(num_angle_bins=33)
+        image = range_angle_image(_frame_at(0.0, 2.0), params)
+        _, angle_idx = np.unravel_index(image.argmax(), image.shape)
+        assert angle_idx == 16  # middle bin of 33
+
+    def test_farther_point_maps_to_larger_range_bin(self):
+        near = range_angle_image(_frame_at(0.0, 1.0))
+        far = range_angle_image(_frame_at(0.0, 4.0))
+        near_bin = np.unravel_index(near.argmax(), near.shape)[0]
+        far_bin = np.unravel_index(far.argmax(), far.shape)[0]
+        assert far_bin > near_bin
+
+    def test_lateral_offset_moves_angle_bin(self):
+        left = range_angle_image(_frame_at(-1.0, 2.0))
+        right = range_angle_image(_frame_at(1.0, 2.0))
+        left_bin = np.unravel_index(left.argmax(), left.shape)[1]
+        right_bin = np.unravel_index(right.argmax(), right.shape)[1]
+        assert right_bin > left_bin
+
+    def test_out_of_grid_points_clip_to_border(self):
+        image = range_angle_image(_frame_at(0.0, 50.0))
+        assert image[-1].sum() > 0.0
+
+
+class TestDRAIStream:
+    def test_first_frame_returns_zeros(self):
+        stream = DRAIStream()
+        out = stream.push(_frame_at(0.0, 1.5))
+        assert np.all(out == 0.0)
+        assert stream.background is not None
+
+    def test_static_reflector_vanishes(self):
+        """A reflector that never moves converges into the background."""
+        stream = DRAIStream(DRAIParams(background_alpha=0.5))
+        energies = [stream.push(_frame_at(0.3, 2.0)).sum() for _ in range(20)]
+        assert energies[-1] < 1e-3
+
+    def test_mover_stays_visible(self):
+        stream = DRAIStream(DRAIParams(background_alpha=0.2))
+        stream.push(_frame_at(0.0, 1.0))
+        energies = []
+        for i in range(1, 15):
+            energies.append(stream.push(_frame_at(0.0, 1.0 + 0.25 * i)).sum())
+        assert np.mean(energies) > 0.5
+
+    def test_reset_clears_background(self):
+        stream = DRAIStream()
+        stream.push(_frame_at(0.0, 1.0))
+        stream.reset()
+        assert stream.background is None
+
+    def test_background_property_returns_copy(self):
+        stream = DRAIStream()
+        stream.push(_frame_at(0.0, 1.0))
+        snapshot = stream.background
+        snapshot.fill(99.0)
+        assert stream.background.max() < 99.0
+
+
+class TestDRAISequence:
+    def test_shape(self):
+        frames = [_frame_at(0.0, 1.0 + 0.1 * i) for i in range(6)]
+        out = drai_sequence(frames, DRAIParams(num_range_bins=8, num_angle_bins=8))
+        assert out.shape == (6, 8, 8)
+
+    def test_all_nonnegative(self):
+        frames = [_frame_at(0.0, 1.0 + 0.1 * i) for i in range(6)]
+        out = drai_sequence(frames)
+        assert np.all(out >= 0.0)

@@ -1,0 +1,66 @@
+"""Cross-fidelity test: FastRadar must statistically match SignalLevelRadar.
+
+DESIGN.md promises that the two radar backends agree on detection
+statistics for identical scenes; dataset builders rely on FastRadar
+being a faithful stand-in for the full FMCW chain.
+"""
+
+import numpy as np
+import pytest
+
+from repro.radar import FastRadar, IWR6843_CONFIG, ScattererSet, SignalLevelRadar
+
+
+def _hand_like_scene(rng, num=8, speed=1.0):
+    """A blob of hand/arm-like scatterers moving radially."""
+    center = np.array([0.2, 1.2, 0.0])
+    positions = center + rng.normal(scale=0.08, size=(num, 3))
+    velocities = np.tile([0.0, speed, 0.1], (num, 1)) + rng.normal(scale=0.05, size=(num, 3))
+    return ScattererSet(positions=positions, velocities=velocities, rcs=np.full(num, 0.4))
+
+
+@pytest.mark.slow
+class TestFidelity:
+    def test_detection_counts_comparable(self):
+        rng = np.random.default_rng(0)
+        signal = SignalLevelRadar(IWR6843_CONFIG, seed=1)
+        fast = FastRadar(IWR6843_CONFIG, false_alarms_per_frame=0.0, seed=2)
+        signal_counts = []
+        fast_counts = []
+        for _ in range(6):
+            scene = _hand_like_scene(rng)
+            signal_counts.append(signal.capture_frame(scene).num_points)
+            fast_counts.append(fast.capture_frame(scene).num_points)
+        # Same order of magnitude: within a factor of ~2.5 on average.
+        s_mean = max(np.mean(signal_counts), 1e-9)
+        f_mean = max(np.mean(fast_counts), 1e-9)
+        assert 0.4 < f_mean / s_mean < 2.5
+
+    def test_spatial_centroids_agree(self):
+        rng = np.random.default_rng(3)
+        signal = SignalLevelRadar(IWR6843_CONFIG, seed=4)
+        fast = FastRadar(IWR6843_CONFIG, false_alarms_per_frame=0.0, seed=5)
+        signal_points, fast_points = [], []
+        for _ in range(6):
+            scene = _hand_like_scene(rng)
+            s_frame = signal.capture_frame(scene)
+            f_frame = fast.capture_frame(scene)
+            if s_frame.num_points:
+                signal_points.append(s_frame.xyz)
+            if f_frame.num_points:
+                fast_points.append(f_frame.xyz)
+        s_centroid = np.vstack(signal_points).mean(axis=0)
+        f_centroid = np.vstack(fast_points).mean(axis=0)
+        np.testing.assert_allclose(s_centroid, f_centroid, atol=0.3)
+
+    def test_doppler_sign_agrees(self):
+        rng = np.random.default_rng(6)
+        signal = SignalLevelRadar(IWR6843_CONFIG, seed=7)
+        fast = FastRadar(IWR6843_CONFIG, false_alarms_per_frame=0.0, seed=8)
+        scene = _hand_like_scene(rng, speed=1.5)
+        s_frame = signal.capture_frame(scene)
+        f_frame = fast.capture_frame(scene)
+        assert s_frame.num_points and f_frame.num_points
+        # Strongest detection (weak CFAR hits can be sidelobes).
+        assert s_frame.doppler[np.argmax(s_frame.intensity)] > 0
+        assert np.median(f_frame.doppler) > 0

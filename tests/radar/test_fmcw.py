@@ -1,0 +1,54 @@
+"""Tests for raw FMCW frame synthesis."""
+
+import numpy as np
+
+from repro.radar import IWR6843_CONFIG, ScattererSet, synthesize_frame
+from repro.radar.fmcw import NUM_SAMPLES, virtual_array_layout
+
+
+class TestVirtualArray:
+    def test_layout_shape(self):
+        layout = virtual_array_layout(IWR6843_CONFIG)
+        assert layout.shape == (12, 2)
+
+    def test_half_wavelength_pitch(self):
+        layout = virtual_array_layout(IWR6843_CONFIG)
+        horizontal = np.unique(layout[:, 0])
+        assert np.allclose(np.diff(horizontal), 0.5)
+
+
+class TestSynthesizeFrame:
+    def test_cube_shape(self):
+        cube = synthesize_frame(
+            ScattererSet(np.zeros((0, 3))), IWR6843_CONFIG, rng=np.random.default_rng(0)
+        )
+        assert cube.shape == (12, IWR6843_CONFIG.num_chirps_per_frame, NUM_SAMPLES)
+        assert cube.dtype == np.complex128
+
+    def test_empty_scene_is_noise_only(self):
+        config = IWR6843_CONFIG
+        cube = synthesize_frame(ScattererSet(np.zeros((0, 3))), config,
+                                rng=np.random.default_rng(1))
+        noise_power = np.mean(np.abs(cube) ** 2)
+        expected = 10.0 ** (config.noise_floor_db / 10.0)
+        assert 0.5 * expected < noise_power < 2.0 * expected
+
+    def test_target_raises_signal_power(self):
+        config = IWR6843_CONFIG
+        target = ScattererSet(
+            positions=np.array([[0.0, 1.5, 0.0]]),
+            velocities=np.array([[0.0, 1.0, 0.0]]),
+            rcs=np.array([5.0]),
+        )
+        with_target = synthesize_frame(target, config, rng=np.random.default_rng(2))
+        empty = synthesize_frame(ScattererSet(np.zeros((0, 3))), config,
+                                 rng=np.random.default_rng(2))
+        assert np.mean(np.abs(with_target) ** 2) > 10.0 * np.mean(np.abs(empty) ** 2)
+
+    def test_out_of_range_target_ignored(self):
+        config = IWR6843_CONFIG
+        target = ScattererSet(positions=np.array([[0.0, 100.0, 0.0]]), rcs=np.array([5.0]))
+        cube = synthesize_frame(target, config, rng=np.random.default_rng(3))
+        noise_power = np.mean(np.abs(cube) ** 2)
+        expected = 10.0 ** (config.noise_floor_db / 10.0)
+        assert noise_power < 2.0 * expected

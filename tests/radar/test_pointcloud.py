@@ -1,0 +1,97 @@
+"""Tests for Frame and PointCloud containers."""
+
+import numpy as np
+import pytest
+
+from repro.radar import Frame, PointCloud
+
+
+class TestFrame:
+    def test_accessors(self):
+        frame = Frame(points=np.array([[1.0, 2, 3, 4, 5]]))
+        np.testing.assert_array_equal(frame.xyz, [[1.0, 2, 3]])
+        assert frame.doppler[0] == 4.0
+        assert frame.intensity[0] == 5.0
+        assert frame.num_points == 1
+
+    def test_empty(self):
+        frame = Frame.empty(timestamp_s=1.5)
+        assert frame.num_points == 0
+        assert frame.timestamp_s == 1.5
+
+    def test_reshapes_flat_input(self):
+        frame = Frame(points=np.zeros(5))
+        assert frame.points.shape == (1, 5)
+
+
+class TestPointCloud:
+    def test_from_frames_aggregates(self):
+        frames = [
+            Frame(points=np.ones((2, 5))),
+            Frame.empty(),
+            Frame(points=2 * np.ones((3, 5))),
+        ]
+        cloud = PointCloud.from_frames(frames, start_index=10)
+        assert cloud.num_points == 5
+        np.testing.assert_array_equal(np.unique(cloud.frame_indices), [10, 12])
+
+    def test_num_frames_spans_range(self):
+        cloud = PointCloud(points=np.zeros((2, 5)), frame_indices=np.array([3, 7]))
+        assert cloud.num_frames == 5
+
+    def test_empty_from_frames(self):
+        cloud = PointCloud.from_frames([Frame.empty(), Frame.empty()])
+        assert cloud.num_points == 0
+        assert cloud.num_frames == 0
+
+    def test_select(self):
+        cloud = PointCloud(points=np.arange(10.0).reshape(2, 5))
+        picked = cloud.select(np.array([True, False]))
+        assert picked.num_points == 1
+        np.testing.assert_array_equal(picked.points[0], np.arange(5.0))
+
+    def test_select_bad_mask_raises(self):
+        cloud = PointCloud(points=np.zeros((2, 5)))
+        with pytest.raises(ValueError):
+            cloud.select(np.array([True]))
+
+    def test_misaligned_indices_raise(self):
+        with pytest.raises(ValueError):
+            PointCloud(points=np.zeros((2, 5)), frame_indices=np.array([1]))
+
+
+class TestPointCloudProperties:
+    def test_from_frames_conserves_points(self):
+        rng = np.random.default_rng(0)
+        frames = [
+            Frame(points=rng.normal(size=(int(rng.integers(0, 6)), 5)))
+            for _ in range(12)
+        ]
+        cloud = PointCloud.from_frames(frames)
+        assert cloud.num_points == sum(f.num_points for f in frames)
+
+    def test_from_frames_indices_match_source_frame(self):
+        frames = [
+            Frame(points=np.full((2, 5), 0.0)),
+            Frame.empty(),
+            Frame(points=np.full((3, 5), 2.0)),
+        ]
+        cloud = PointCloud.from_frames(frames, start_index=10)
+        np.testing.assert_array_equal(cloud.frame_indices, [10, 10, 12, 12, 12])
+        np.testing.assert_array_equal(cloud.points[cloud.frame_indices == 12, 0], 2.0)
+
+    def test_select_composition_equals_combined_mask(self):
+        rng = np.random.default_rng(1)
+        cloud = PointCloud(points=rng.normal(size=(20, 5)))
+        mask_a = rng.random(20) < 0.7
+        mask_b = rng.random(int(mask_a.sum())) < 0.5
+        step_wise = cloud.select(mask_a).select(mask_b)
+        combined = np.zeros(20, dtype=bool)
+        combined[np.flatnonzero(mask_a)[mask_b]] = True
+        np.testing.assert_array_equal(step_wise.points, cloud.select(combined).points)
+
+    def test_select_all_false_gives_empty_cloud(self):
+        cloud = PointCloud(points=np.ones((5, 5)))
+        empty = cloud.select(np.zeros(5, dtype=bool))
+        assert empty.num_points == 0
+        assert empty.num_frames == 0

@@ -1,0 +1,81 @@
+"""Tests for the FFT processing chain on synthetic chirp returns."""
+
+import numpy as np
+import pytest
+
+from repro.radar import (
+    IWR6843_CONFIG,
+    ScattererSet,
+    range_doppler_map,
+    synthesize_frame,
+)
+from repro.radar.processing import (
+    doppler_bin_to_velocity,
+    doppler_fft,
+    range_bin_to_meters,
+    range_fft,
+    remove_static_clutter,
+)
+
+
+def _single_target(range_m=2.0, velocity=1.0):
+    return ScattererSet(
+        positions=np.array([[0.0, range_m, 0.0]]),
+        velocities=np.array([[0.0, velocity, 0.0]]),
+        rcs=np.array([5.0]),
+    )
+
+
+class TestRangeFft:
+    def test_peak_at_target_range(self):
+        config = IWR6843_CONFIG
+        cube = synthesize_frame(_single_target(range_m=3.0, velocity=0.5), config,
+                                rng=np.random.default_rng(0))
+        profile = np.abs(range_fft(cube, config)).sum(axis=(0, 1))
+        peak_bin = int(np.argmax(profile))
+        assert range_bin_to_meters(peak_bin, config) == pytest.approx(3.0, abs=0.15)
+
+    def test_rejects_wrong_rank(self):
+        with pytest.raises(ValueError):
+            range_fft(np.zeros((4, 8)), IWR6843_CONFIG)
+
+
+class TestDopplerChain:
+    def test_peak_at_target_velocity(self):
+        config = IWR6843_CONFIG
+        cube = synthesize_frame(_single_target(range_m=2.0, velocity=1.2), config,
+                                rng=np.random.default_rng(1))
+        spectrum = doppler_fft(range_fft(cube, config))
+        power = (np.abs(spectrum) ** 2).sum(axis=0)
+        dop_bin, _rng_bin = np.unravel_index(np.argmax(power), power.shape)
+        velocity = doppler_bin_to_velocity(int(dop_bin), power.shape[0], config)
+        # Receding target (positive radial velocity) at ~1.2 m/s.
+        assert velocity == pytest.approx(1.2, abs=config.velocity_resolution_ms)
+
+    def test_static_clutter_removed(self):
+        config = IWR6843_CONFIG
+        static = ScattererSet(positions=np.array([[0.0, 2.0, 0.0]]), rcs=np.array([50.0]))
+        cube = synthesize_frame(static, config, rng=np.random.default_rng(2))
+        with_clutter = range_doppler_map(cube, config, clutter_removal=False)
+        without = range_doppler_map(cube, config, clutter_removal=True)
+        assert without.max() < 0.01 * with_clutter.max()
+
+    def test_mean_subtraction_cancels_constant_returns(self):
+        profile = np.ones((2, 8, 16), dtype=complex)
+        cleaned = remove_static_clutter(profile)
+        assert np.abs(cleaned).max() == 0.0
+
+    def test_mean_subtraction_preserves_oscillation(self):
+        chirps = np.arange(8)
+        oscillation = np.exp(2j * np.pi * 0.25 * chirps)[None, :, None]
+        profile = np.broadcast_to(oscillation, (2, 8, 16))
+        cleaned = remove_static_clutter(profile)
+        np.testing.assert_allclose(np.abs(cleaned), np.abs(profile), atol=1e-9)
+
+
+class TestBinConversions:
+    def test_doppler_bin_zero_velocity_at_center(self):
+        assert doppler_bin_to_velocity(8, 16, IWR6843_CONFIG) == 0.0
+
+    def test_range_bin_linear(self):
+        assert range_bin_to_meters(10, IWR6843_CONFIG) == pytest.approx(0.4, abs=0.01)

@@ -1,0 +1,81 @@
+"""Signal-level range-azimuth maps: peak geometry and clutter behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.radar.config import RadarConfig
+from repro.radar.fmcw import synthesize_frame
+from repro.radar.processing import range_azimuth_map
+from repro.radar.scatterer import ScattererSet
+
+CONFIG = RadarConfig(num_range_bins=64, noise_floor_db=-110.0)
+ANGLE_BINS = 64
+
+
+def _frame_for(position, velocity=(0.0, -0.8, 0.0), seed=0):
+    scatterers = ScattererSet(
+        positions=np.array([position]),
+        velocities=np.array([velocity]),
+        rcs=np.array([1.0]),
+    )
+    return synthesize_frame(scatterers, CONFIG, rng=np.random.default_rng(seed))
+
+
+def _peak(ra_map):
+    return np.unravel_index(np.argmax(ra_map), ra_map.shape)
+
+
+class TestRangeAzimuthMap:
+    def test_shape(self):
+        cube = _frame_for((0.0, 1.5, 0.0))
+        ra = range_azimuth_map(cube, CONFIG, num_angle_bins=ANGLE_BINS)
+        assert ra.shape == (CONFIG.num_range_bins, ANGLE_BINS)
+
+    def test_rejects_too_few_angle_bins(self):
+        cube = _frame_for((0.0, 1.5, 0.0))
+        with pytest.raises(ValueError):
+            range_azimuth_map(cube, CONFIG, num_angle_bins=2)
+
+    def test_peak_range_bin_matches_target_range(self):
+        distance = 1.6
+        cube = _frame_for((0.0, distance, 0.0))
+        ra = range_azimuth_map(cube, CONFIG, num_angle_bins=ANGLE_BINS)
+        range_bin, _ = _peak(ra)
+        expected = distance / CONFIG.range_resolution_m
+        assert range_bin == pytest.approx(expected, abs=2.0)
+
+    def test_boresight_target_peaks_at_center_angle(self):
+        cube = _frame_for((0.0, 1.5, 0.0))
+        ra = range_azimuth_map(cube, CONFIG, num_angle_bins=ANGLE_BINS)
+        _, angle_bin = _peak(ra)
+        assert abs(angle_bin - ANGLE_BINS // 2) <= 2
+
+    def test_off_axis_target_shifts_angle_peak(self):
+        left = _frame_for((-1.0, 1.5, 0.0), seed=1)
+        right = _frame_for((1.0, 1.5, 0.0), seed=2)
+        _, left_bin = _peak(range_azimuth_map(left, CONFIG, num_angle_bins=ANGLE_BINS))
+        _, right_bin = _peak(range_azimuth_map(right, CONFIG, num_angle_bins=ANGLE_BINS))
+        assert left_bin != right_bin
+        center = ANGLE_BINS // 2
+        assert (left_bin - center) * (right_bin - center) < 0  # opposite sides
+
+    def test_static_target_suppressed_by_clutter_removal(self):
+        static = _frame_for((0.0, 1.5, 0.0), velocity=(0.0, 0.0, 0.0), seed=3)
+        with_removal = range_azimuth_map(static, CONFIG, num_angle_bins=ANGLE_BINS)
+        without = range_azimuth_map(
+            static, CONFIG, num_angle_bins=ANGLE_BINS, clutter_removal=False
+        )
+        assert with_removal.max() < 1e-3 * without.max()
+
+    def test_moving_target_survives_clutter_removal(self):
+        cube = _frame_for((0.0, 1.5, 0.0), velocity=(0.0, -1.0, 0.0), seed=4)
+        with_removal = range_azimuth_map(cube, CONFIG, num_angle_bins=ANGLE_BINS)
+        without = range_azimuth_map(
+            cube, CONFIG, num_angle_bins=ANGLE_BINS, clutter_removal=False
+        )
+        assert with_removal.max() > 0.05 * without.max()
+
+    def test_power_is_nonnegative(self):
+        cube = _frame_for((0.5, 2.0, 0.1), seed=5)
+        ra = range_azimuth_map(cube, CONFIG, num_angle_bins=ANGLE_BINS)
+        assert np.all(ra >= 0.0)

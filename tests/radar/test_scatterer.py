@@ -1,0 +1,60 @@
+"""Property-based tests for scatterer geometry."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as npst
+
+from repro.radar import Scatterer, ScattererSet
+
+positions = npst.arrays(
+    np.float64,
+    st.tuples(st.integers(1, 20), st.just(3)),
+    elements=st.floats(-10, 10, allow_nan=False),
+)
+
+
+class TestScattererSetProperties:
+    @settings(max_examples=30)
+    @given(positions)
+    def test_ranges_nonnegative(self, pos):
+        assert (ScattererSet(pos).ranges() >= 0).all()
+
+    @settings(max_examples=30)
+    @given(positions)
+    def test_static_set_has_zero_radial_velocity(self, pos):
+        np.testing.assert_allclose(ScattererSet(pos).radial_velocities(), 0.0)
+
+    @settings(max_examples=20)
+    @given(positions, st.floats(0.1, 3.0))
+    def test_radial_velocity_bounded_by_speed(self, pos, speed):
+        rng = np.random.default_rng(0)
+        vel = rng.normal(size=pos.shape)
+        norms = np.linalg.norm(vel, axis=1, keepdims=True)
+        vel = vel / np.maximum(norms, 1e-12) * speed
+        radial = ScattererSet(pos, velocities=vel).radial_velocities()
+        assert (np.abs(radial) <= speed + 1e-9).all()
+
+    def test_from_scatterers_round_trip(self):
+        scatterers = [
+            Scatterer(position=(1.0, 2.0, 0.5), velocity=(0.1, 0.0, 0.0), rcs=2.0),
+            Scatterer(position=(0.0, 3.0, -0.5), rcs=0.5),
+        ]
+        bundle = ScattererSet.from_scatterers(scatterers)
+        assert len(bundle) == 2
+        np.testing.assert_allclose(bundle.positions[0], [1.0, 2.0, 0.5])
+        np.testing.assert_allclose(bundle.rcs, [2.0, 0.5])
+
+    def test_empty_from_scatterers(self):
+        assert len(ScattererSet.from_scatterers([])) == 0
+
+    def test_misaligned_velocities_raise(self):
+        with pytest.raises(ValueError):
+            ScattererSet(np.zeros((2, 3)), velocities=np.zeros((3, 3)))
+
+    def test_scatterer_at_origin_zero_radial(self):
+        bundle = ScattererSet(
+            np.zeros((1, 3)), velocities=np.array([[1.0, 1.0, 1.0]])
+        )
+        assert bundle.radial_velocities()[0] == 0.0

@@ -1,0 +1,89 @@
+"""Tests for the command-line interface (render -> train -> evaluate -> demo)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.mark.slow
+class TestCliWorkflow:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "GesturePrint" in out
+        assert "60 GHz" in out
+
+    def test_render_train_evaluate_demo(self, tmp_path, capsys):
+        data_path = str(tmp_path / "data.npz")
+        model_dir = str(tmp_path / "model")
+
+        assert main([
+            "render", "--out", data_path, "--users", "2", "--gestures", "2",
+            "--reps", "6", "--points", "32", "--seed", "3",
+        ]) == 0
+        assert "rendered" in capsys.readouterr().out
+
+        assert main([
+            "train", "--data", data_path, "--model-dir", model_dir,
+            "--epochs", "6", "--batch-size", "16",
+        ]) == 0
+        out = capsys.readouterr().out
+        metrics = json.loads(out[: out.rindex("}") + 1])
+        assert set(metrics) == {"GRA", "GRF1", "GRAUC", "UIA", "UIF1", "UIAUC", "EER"}
+
+        assert main(["evaluate", "--data", data_path, "--model-dir", model_dir]) == 0
+        json.loads(capsys.readouterr().out)
+
+        code = main([
+            "demo", "--model-dir", model_dir, "--gesture", "ahead",
+            "--environment", "office", "--seed", "5",
+        ])
+        out = capsys.readouterr().out
+        # Either a detection is printed or the stream had no usable gesture.
+        assert code in (0, 1)
+        if code == 0:
+            assert "gesture #" in out
+
+        # Work-zone advisories: a user far outside the zone triggers the
+        # step-closer reminder of SVI-B2.
+        code = main([
+            "demo", "--model-dir", model_dir, "--gesture", "ahead",
+            "--environment", "office", "--seed", "5",
+            "--distance", "4.5", "--work-zone",
+        ])
+        out = capsys.readouterr().out
+        assert code in (0, 1)
+        assert "advisory: step closer" in out
+
+        # Session identification: fuse several gestures of user 0.
+        code = main([
+            "session", "--data", data_path, "--model-dir", model_dir,
+            "--user", "0", "--gestures", "3",
+        ])
+        result = json.loads(capsys.readouterr().out)
+        assert result["gestures_fused"] == 3
+        assert code in (0, 1)
+
+    def test_session_rejects_too_few_samples(self, tmp_path, capsys):
+        data_path = str(tmp_path / "data.npz")
+        model_dir = str(tmp_path / "model")
+        assert main([
+            "render", "--out", data_path, "--users", "2", "--gestures", "2",
+            "--reps", "4", "--points", "32", "--seed", "3",
+        ]) == 0
+        assert main([
+            "train", "--data", data_path, "--model-dir", model_dir,
+            "--epochs", "2", "--batch-size", "16",
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "session", "--data", data_path, "--model-dir", model_dir,
+            "--user", "0", "--gestures", "99",
+        ]) == 1
+        assert "need 99" in capsys.readouterr().out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

@@ -1,0 +1,146 @@
+"""Chart builders: scales, ticks, and rendered structure."""
+
+import xml.etree.ElementTree as ET
+
+import numpy as np
+import pytest
+
+from repro.viz.charts import ChartLayout, heatmap, line_chart, nice_ticks, scatter_chart
+
+NS = "{http://www.w3.org/2000/svg}"
+
+
+def _parse(canvas) -> ET.Element:
+    return ET.fromstring(canvas.to_string())
+
+
+class TestNiceTicks:
+    def test_unit_interval(self):
+        ticks = nice_ticks(0.0, 1.0)
+        assert ticks[0] == 0.0
+        assert ticks[-1] == 1.0
+        assert all(b > a for a, b in zip(ticks, ticks[1:]))
+
+    def test_covers_range(self):
+        ticks = nice_ticks(1.2, 4.8)
+        assert min(ticks) >= 1.2
+        assert max(ticks) <= 4.8 + 1e-9
+
+    def test_degenerate_range_widened(self):
+        ticks = nice_ticks(2.0, 2.0)
+        assert len(ticks) >= 2
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            nice_ticks(float("nan"), 1.0)
+
+    def test_step_is_1_2_5(self):
+        for low, high in [(0, 1), (0, 7), (0, 23), (0, 480), (0.0, 0.03)]:
+            ticks = nice_ticks(low, high)
+            step = ticks[1] - ticks[0]
+            mantissa = step / (10 ** np.floor(np.log10(step)))
+            assert round(mantissa, 6) in (1.0, 2.0, 5.0)
+
+
+class TestLayout:
+    def test_rejects_margins_exceeding_size(self):
+        with pytest.raises(ValueError):
+            ChartLayout(width=50, margin_left=40, margin_right=40)
+
+
+class TestLineChart:
+    def test_rejects_empty_series(self):
+        with pytest.raises(ValueError):
+            line_chart({})
+
+    def test_renders_one_polyline_per_series(self):
+        x = np.linspace(0, 1, 10)
+        canvas = line_chart({"a": (x, x), "b": (x, x**2)})
+        polylines = _parse(canvas).findall(f"{NS}polyline")
+        assert len(polylines) == 2
+
+    def test_diagonal_adds_dashed_line(self):
+        x = np.linspace(0, 1, 5)
+        canvas = line_chart({"roc": (x, x)}, diagonal=True)
+        dashed = [
+            e
+            for e in _parse(canvas).findall(f"{NS}line")
+            if e.get("stroke-dasharray")
+        ]
+        assert len(dashed) == 1
+
+    def test_constant_x_range_widened(self):
+        canvas = line_chart({"a": (np.zeros(3), np.arange(3.0))})
+        ET.fromstring(canvas.to_string())
+
+    def test_y_range_override(self):
+        x = np.linspace(0, 1, 5)
+        canvas = line_chart({"a": (x, 0.5 * x)}, y_range=(0.0, 1.0))
+        texts = [t.text for t in _parse(canvas).findall(f"{NS}text")]
+        assert "1" in texts  # the top tick label exists
+
+    def test_title_and_labels_rendered(self):
+        x = np.linspace(0, 1, 5)
+        canvas = line_chart(
+            {"a": (x, x)}, title="T", x_label="distance", y_label="accuracy"
+        )
+        texts = [t.text for t in _parse(canvas).findall(f"{NS}text")]
+        for expected in ("T", "distance", "accuracy", "a"):
+            assert expected in texts
+
+
+class TestScatterChart:
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            scatter_chart(np.zeros((4, 3)), np.zeros(4))
+        with pytest.raises(ValueError):
+            scatter_chart(np.zeros((4, 2)), np.zeros(5))
+
+    def test_renders_one_circle_per_point(self):
+        rng = np.random.default_rng(0)
+        points = rng.normal(size=(25, 2))
+        labels = rng.integers(0, 3, size=25)
+        canvas = scatter_chart(points, labels)
+        assert len(_parse(canvas).findall(f"{NS}circle")) == 25
+
+    def test_same_label_same_color(self):
+        points = np.array([[0.0, 0.0], [1.0, 1.0], [2.0, 0.5]])
+        labels = np.array([1, 1, 0])
+        circles = _parse(scatter_chart(points, labels)).findall(f"{NS}circle")
+        fills = [c.get("fill") for c in circles]
+        assert fills[0] == fills[1]
+        assert fills[0] != fills[2]
+
+    def test_degenerate_extent_handled(self):
+        points = np.zeros((3, 2))
+        canvas = scatter_chart(points, np.zeros(3))
+        ET.fromstring(canvas.to_string())
+
+
+class TestHeatmap:
+    def test_rejects_empty_or_wrong_rank(self):
+        with pytest.raises(ValueError):
+            heatmap(np.zeros((0, 3)))
+        with pytest.raises(ValueError):
+            heatmap(np.zeros(5))
+
+    def test_renders_one_cell_per_entry(self):
+        matrix = np.arange(12.0).reshape(3, 4)
+        root = _parse(heatmap(matrix, cell_labels=False))
+        # +1 for the background rect.
+        assert len(root.findall(f"{NS}rect")) == 12 + 1
+
+    def test_cell_labels_rendered(self):
+        matrix = np.array([[1.0, 2.0], [3.0, 4.0]])
+        texts = [t.text for t in _parse(heatmap(matrix)).findall(f"{NS}text")]
+        for expected in ("1", "2", "3", "4"):
+            assert expected in texts
+
+    def test_constant_matrix_handled(self):
+        canvas = heatmap(np.ones((3, 3)))
+        ET.fromstring(canvas.to_string())
+
+    def test_large_matrix_skips_labels(self):
+        matrix = np.zeros((25, 25))
+        texts = _parse(heatmap(matrix, title="")).findall(f"{NS}text")
+        assert texts == []

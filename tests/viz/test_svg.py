@@ -1,0 +1,97 @@
+"""SVG builder: well-formedness, escaping, and primitive geometry."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.viz.svg import Canvas, Element, PALETTE, color_for
+
+
+def _parse(canvas: Canvas) -> ET.Element:
+    return ET.fromstring(canvas.to_string())
+
+
+NS = "{http://www.w3.org/2000/svg}"
+
+
+class TestElement:
+    def test_snake_case_becomes_kebab_case(self):
+        element = Element("rect", stroke_width=2)
+        assert element.attributes["stroke-width"] == "2"
+
+    def test_trailing_underscore_stripped(self):
+        element = Element("text", class_="label")
+        assert element.attributes["class"] == "label"
+
+    def test_float_formatting_compact(self):
+        element = Element("circle", cx=1.5, cy=2.0)
+        assert element.attributes["cx"] == "1.5"
+        assert element.attributes["cy"] == "2"
+
+    def test_text_is_escaped(self):
+        element = Element("text", text="a < b & c")
+        assert "a &lt; b &amp; c" in element.to_string()
+
+    def test_attribute_quoting(self):
+        element = Element("text", text="x", font_family='say "hi"')
+        ET.fromstring(element.to_string())  # must stay parseable
+
+
+class TestCanvas:
+    def test_rejects_nonpositive_dimensions(self):
+        with pytest.raises(ValueError):
+            Canvas(0, 100)
+        with pytest.raises(ValueError):
+            Canvas(100, -1)
+
+    def test_document_is_valid_xml(self):
+        canvas = Canvas(200, 100)
+        canvas.line(0, 0, 10, 10)
+        canvas.circle(5, 5, 2)
+        canvas.rect(1, 1, 3, 3)
+        canvas.text(10, 10, "hello")
+        canvas.polyline([(0, 0), (1, 2), (3, 4)])
+        root = _parse(canvas)
+        assert root.tag == f"{NS}svg"
+
+    def test_background_rect_present(self):
+        root = _parse(Canvas(50, 50))
+        rects = root.findall(f"{NS}rect")
+        assert len(rects) == 1
+        assert rects[0].get("fill") == "white"
+
+    def test_no_background_when_disabled(self):
+        root = _parse(Canvas(50, 50, background=""))
+        assert root.findall(f"{NS}rect") == []
+
+    def test_dash_applied(self):
+        canvas = Canvas(50, 50)
+        canvas.line(0, 0, 10, 10, dash="4 3")
+        line = _parse(canvas).find(f"{NS}line")
+        assert line.get("stroke-dasharray") == "4 3"
+
+    def test_polyline_point_encoding(self):
+        canvas = Canvas(50, 50)
+        canvas.polyline([(0.0, 1.25), (2.5, 3.0)])
+        polyline = _parse(canvas).find(f"{NS}polyline")
+        assert polyline.get("points") == "0,1.25 2.5,3"
+
+    def test_text_rotation_transform(self):
+        canvas = Canvas(50, 50)
+        canvas.text(10, 20, "y", rotate=-90.0)
+        text = _parse(canvas).find(f"{NS}text")
+        assert text.get("transform") == "rotate(-90 10 20)"
+
+    def test_save_round_trip(self, tmp_path):
+        canvas = Canvas(60, 40)
+        canvas.circle(10, 10, 3)
+        path = tmp_path / "figure.svg"
+        canvas.save(path)
+        ET.parse(path)
+
+
+class TestPalette:
+    def test_colors_cycle(self):
+        assert color_for(0) == PALETTE[0]
+        assert color_for(len(PALETTE)) == PALETTE[0]
+        assert color_for(1) != color_for(2)
