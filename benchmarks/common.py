@@ -20,8 +20,13 @@ import numpy as np
 from repro.core import GesturePrint, GesturePrintConfig, IdentificationMode, TrainConfig
 from repro.core.gesidnet import GesIDNetConfig
 from repro.core.trainer import train_test_split
+from repro.serving import ModelRegistry
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Process-wide registry so benches share fitted systems instead of
+#: re-fitting one per experiment that only needs *a* trained model.
+BENCH_REGISTRY = ModelRegistry(capacity=4)
 
 #: Scaled workload shared by the accuracy benches.  Chosen so the full
 #: ``pytest benchmarks/ --benchmark-only`` suite finishes in tens of
@@ -120,6 +125,29 @@ def cached_mtranssee(distances=(1.2,), reps=None, num_users=None, seed=41):
         num_points=SCALE["num_points"],
         seed=seed,
     )
+
+
+def cached_fitted_system(
+    mode: IdentificationMode = IdentificationMode.SERIALIZED,
+    *,
+    epochs: int | None = None,
+    seed: int = 11,
+) -> GesturePrint:
+    """One fitted system per (mode, epochs, seed), memoised in-process.
+
+    For benches that measure *inference* (serving throughput, latency):
+    training quality is irrelevant, so they share one model per config
+    through :data:`BENCH_REGISTRY` instead of re-fitting per experiment.
+    """
+    key = f"selfcollected-{mode.value}-e{epochs or SCALE['epochs']}-s{seed}"
+
+    def factory() -> GesturePrint:
+        dataset = cached_selfcollected(seed=seed)
+        return GesturePrint(bench_config(mode, epochs=epochs)).fit(
+            dataset.inputs, dataset.gesture_labels, dataset.user_labels
+        )
+
+    return BENCH_REGISTRY.get_or_fit(key, factory)
 
 
 def run_once(benchmark, fn):

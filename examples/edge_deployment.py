@@ -26,8 +26,8 @@ from repro import (
     train_test_split,
 )
 from repro.analysis.timing import profile_pipeline
-from repro.core import load_system, save_system
 from repro.datasets.base import DatasetSpec
+from repro.serving import ModelRegistry
 from repro.gestures import ASL_GESTURES, ENVIRONMENTS, generate_users, perform_gesture
 from repro.radar import FastRadar, IWR6843_CONFIG
 
@@ -53,12 +53,14 @@ def main() -> None:
     )
     print(f"[server] trained in {time.time() - t0:.1f}s")
 
+    registry = ModelRegistry()
     with tempfile.TemporaryDirectory() as model_dir:
-        save_system(system, model_dir)
+        registry.save(system, model_dir)
         print(f"[server] serialised model to {model_dir}")
 
-        print("[edge] loading model (no training machinery needed)...")
-        edge_system = load_system(model_dir)
+        print("[edge] loading model through the registry (cached for later calls)...")
+        registry.evict(registry.keys()[0])  # simulate a cold edge process
+        edge_system = registry.load(model_dir)
 
         print("[edge] capturing live recordings and profiling per-stage latency...")
         users = generate_users(4, seed=42)

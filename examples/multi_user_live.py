@@ -20,6 +20,7 @@ from repro import (
 from repro.core import MultiUserRuntime
 from repro.gestures import ASL_GESTURES, ENVIRONMENTS, generate_users, perform_gesture
 from repro.radar import FastRadar, Frame, IWR6843_CONFIG
+from repro.serving import ModelRegistry
 
 GESTURES = ("ahead", "away", "push")
 OFFSET_M = 1.8
@@ -41,19 +42,34 @@ def merge_streams(rec_a, rec_b):
     return merged
 
 
-def main() -> None:
-    print("Enrolling two users on three ASL gestures...")
-    users = generate_users(2, seed=7)
+def fit_system() -> GesturePrint:
     dataset = build_selfcollected(
         num_users=2, gestures=GESTURES, reps=14,
         environments=("office",), num_points=NUM_POINTS, seed=7,
     )
-    system = GesturePrint(
+    return GesturePrint(
         GesturePrintConfig.small(
             training=TrainConfig(epochs=20, batch_size=32, learning_rate=3e-3),
             id_augment_copies=4,
         )
     ).fit(dataset.inputs, dataset.gesture_labels, dataset.user_labels)
+
+
+def main() -> None:
+    import pathlib
+    import tempfile
+
+    print("Enrolling two users on three ASL gestures...")
+    users = generate_users(2, seed=7)
+    # The registry checkpoints the first fit; re-runs load it instead.
+    # The directory is keyed by the headline settings only — after other
+    # edits to fit_system(), delete the printed checkpoint to re-fit.
+    tag = f"{len(GESTURES)}g-{NUM_POINTS}p-e20"
+    checkpoint = pathlib.Path(tempfile.gettempdir()) / f"repro-multi-user-live-{tag}"
+    system = ModelRegistry().get_or_fit(
+        "multi-user-live", fit_system, directory=checkpoint
+    )
+    print(f"  (checkpoint: {checkpoint} — delete it to force a re-fit)")
 
     print("Both users gesture at the same time, 1.8 m apart...")
     radar = FastRadar(IWR6843_CONFIG, seed=9)

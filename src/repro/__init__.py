@@ -58,8 +58,9 @@ from repro.gestures import (
 )
 from repro.preprocessing import GestureSegmenter, keep_main_cluster, preprocess_recording
 from repro.radar import FastRadar, IWR6843_CONFIG, RadarConfig, SignalLevelRadar
+from repro.serving import InferenceEngine, ModelRegistry, StreamHub
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "GesIDNet",
@@ -98,5 +99,8 @@ __all__ = [
     "IWR6843_CONFIG",
     "RadarConfig",
     "SignalLevelRadar",
+    "InferenceEngine",
+    "ModelRegistry",
+    "StreamHub",
     "__version__",
 ]

@@ -9,9 +9,14 @@ Subcommands::
     python -m repro.cli demo    --model-dir model/   # stream a live gesture
     python -m repro.cli session --data data.npz --model-dir model/
                                                      # multi-gesture identification
+    python -m repro.cli serve   --model-dir model/ --streams 8
+                                                     # micro-batched multi-stream serving
 
 Datasets are exchanged as ``.npz`` archives with the arrays of
-:class:`repro.datasets.GestureDataset`.
+:class:`repro.datasets.GestureDataset`.  Model checkpoints are loaded
+through a process-wide :class:`repro.serving.ModelRegistry`, so repeated
+in-process invocations (tests, notebooks) share fitted systems instead
+of re-reading weights from disk.
 """
 
 from __future__ import annotations
@@ -31,13 +36,15 @@ from repro.core import (
     WorkZone,
     ZoneAdvisory,
     identify_session,
-    load_system,
-    save_system,
 )
 from repro.core.gesidnet import GesIDNetConfig
 from repro.core.trainer import train_test_split
 from repro.datasets import load_dataset, save_dataset
 from repro.radar.config import IWR6843_CONFIG
+from repro.serving import ModelRegistry, StreamHub
+
+#: Process-wide checkpoint cache shared by every subcommand.
+REGISTRY = ModelRegistry(capacity=4)
 
 DATASET_BUILDERS = {
     "selfcollected": "build_selfcollected",
@@ -95,7 +102,7 @@ def _cmd_train(args: argparse.Namespace) -> int:
         dataset.gesture_labels[train_idx],
         dataset.user_labels[train_idx],
     )
-    save_system(system, args.model_dir)
+    REGISTRY.save(system, args.model_dir)
     metrics = system.evaluate(
         dataset.inputs[test_idx],
         dataset.gesture_labels[test_idx],
@@ -108,7 +115,7 @@ def _cmd_train(args: argparse.Namespace) -> int:
 
 def _cmd_evaluate(args: argparse.Namespace) -> int:
     dataset = load_dataset(args.data)
-    system = load_system(args.model_dir)
+    system = REGISTRY.load(args.model_dir)
     metrics = system.evaluate(
         dataset.inputs, dataset.gesture_labels, dataset.user_labels
     )
@@ -118,7 +125,7 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
 
 def _cmd_session(args: argparse.Namespace) -> int:
     dataset = load_dataset(args.data)
-    system = load_system(args.model_dir)
+    system = REGISTRY.load(args.model_dir)
     rng = np.random.default_rng(args.seed)
     user = args.user
     idx = np.flatnonzero(dataset.user_labels == user)
@@ -143,7 +150,7 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     from repro.gestures import ASL_GESTURES, ENVIRONMENTS, generate_users, perform_gesture
     from repro.radar import FastRadar
 
-    system = load_system(args.model_dir)
+    system = REGISTRY.load(args.model_dir)
     zone = WorkZone() if args.work_zone else None
     runtime = GesturePrintRuntime(system, seed=args.seed, work_zone=zone)
     users = generate_users(max(args.user + 1, 1), seed=args.user_seed)
@@ -177,6 +184,72 @@ def _cmd_demo(args: argparse.Namespace) -> int:
             f"{event.num_points} points"
         )
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Serve N simulated concurrent streams through the shared engine."""
+    import time
+
+    from repro.gestures import ASL_GESTURES, ENVIRONMENTS, generate_users, perform_gesture
+    from repro.radar import FastRadar
+
+    if args.streams < 1:
+        print("error: --streams must be >= 1", file=sys.stderr)
+        return 2
+    system = REGISTRY.load(args.model_dir)
+    users = generate_users(args.streams, seed=args.user_seed)
+    radar = FastRadar(IWR6843_CONFIG, seed=args.seed)
+    gesture_names = sorted(ASL_GESTURES)
+
+    # One recorded gesture stream per simulated device/user.
+    streams: dict[str, list] = {}
+    for i in range(args.streams):
+        template = ASL_GESTURES[gesture_names[i % len(gesture_names)]]
+        recording = perform_gesture(
+            users[i % len(users)], template, radar, ENVIRONMENTS[args.environment],
+            distance_m=args.distance,
+            rng=np.random.default_rng(args.seed + i),
+        )
+        streams[f"device-{i}"] = list(recording.frames)
+    num_rounds = max(len(frames) for frames in streams.values())
+
+    hub = StreamHub(system, max_batch_size=args.max_batch, base_seed=args.seed)
+    for stream_id in streams:
+        hub.open_stream(stream_id)
+
+    start = time.perf_counter()
+    events = []
+    for round_idx in range(num_rounds):
+        frames = {
+            stream_id: frames[round_idx]
+            for stream_id, frames in streams.items()
+            if round_idx < len(frames)
+        }
+        events.extend(hub.push_round(frames))
+    events.extend(hub.flush_streams())
+    elapsed = time.perf_counter() - start
+
+    stats = hub.engine.stats
+    print(json.dumps(
+        {
+            "streams": args.streams,
+            "rounds": num_rounds,
+            "events": len(events),
+            "events_per_sec": round(len(events) / elapsed, 2) if elapsed > 0 else None,
+            "engine_batches": stats.batches,
+            "mean_batch": round(stats.mean_batch, 2),
+        },
+        indent=2,
+    ))
+    for stream_event in events:
+        event = stream_event.event
+        inner = event.event if hasattr(event, "event") else event
+        print(
+            f"{stream_event.stream_id}: frames [{inner.start_frame}, {inner.end_frame}): "
+            f"gesture #{inner.gesture} (p={inner.gesture_confidence:.2f}), "
+            f"user #{inner.user} (p={inner.user_confidence:.2f})"
+        )
+    return 0 if events else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -230,6 +303,17 @@ def build_parser() -> argparse.ArgumentParser:
     session.add_argument("--user", type=int, default=0)
     session.add_argument("--gestures", type=int, default=3)
     session.add_argument("--seed", type=int, default=0)
+
+    serve = sub.add_parser(
+        "serve", help="micro-batch N simulated concurrent streams over one engine"
+    )
+    serve.add_argument("--model-dir", required=True)
+    serve.add_argument("--streams", type=int, default=8)
+    serve.add_argument("--environment", default="office")
+    serve.add_argument("--distance", type=float, default=1.2)
+    serve.add_argument("--max-batch", type=int, default=32)
+    serve.add_argument("--user-seed", type=int, default=11)
+    serve.add_argument("--seed", type=int, default=0)
     return parser
 
 
@@ -242,6 +326,7 @@ def main(argv: list[str] | None = None) -> int:
         "evaluate": _cmd_evaluate,
         "demo": _cmd_demo,
         "session": _cmd_session,
+        "serve": _cmd_serve,
     }
     return handlers[args.command](args)
 

@@ -24,7 +24,15 @@ from repro.core.enrollment import EnrollmentResult, enroll_user
 from repro.core.finetune import FineTuneConfig, fine_tune_model, fine_tune_system
 from repro.core.openset import UNKNOWN_GESTURE, UNKNOWN_USER, Calibration, OpenSetVerifier
 from repro.core.persistence import load_system, save_system
-from repro.core.realtime import GestureEvent, GesturePrintRuntime, classify_frame_span
+from repro.core.realtime import (
+    DirectSpanClassifier,
+    GestureEvent,
+    GesturePrintRuntime,
+    PreparedSpan,
+    build_event,
+    classify_frame_span,
+    prepare_frame_span,
+)
 from repro.core.session import (
     SessionEstimate,
     SessionIdentifier,
@@ -65,9 +73,13 @@ __all__ = [
     "OpenSetVerifier",
     "load_system",
     "save_system",
+    "DirectSpanClassifier",
     "GestureEvent",
     "GesturePrintRuntime",
+    "PreparedSpan",
+    "build_event",
     "classify_frame_span",
+    "prepare_frame_span",
     "MultiUserRuntime",
     "TrackedGestureEvent",
     "SessionEstimate",

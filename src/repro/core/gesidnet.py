@@ -135,8 +135,12 @@ class AttentionFusion(Module):
             fused = 0.5 * resized + 0.5 * native
             self._cache = {"resized": resized, "native": native, "weights": weights}
             return fused
-        score_r = resized @ self.score_weight.data + self.score_bias.data
-        score_n = native @ self.score_weight.data + self.score_bias.data
+        # einsum keeps each row's reduction order fixed regardless of batch
+        # size (BLAS GEMV picks different kernels for different row counts),
+        # so scores — and therefore fused features — are bitwise identical
+        # whether a sample is scored alone or inside a micro-batch.
+        score_r = np.einsum("bd,d->b", resized, self.score_weight.data) + self.score_bias.data
+        score_n = np.einsum("bd,d->b", native, self.score_weight.data) + self.score_bias.data
         logits = np.stack([score_r, score_n], axis=1)
         shifted = logits - logits.max(axis=1, keepdims=True)
         exp = np.exp(shifted)

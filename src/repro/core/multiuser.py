@@ -22,7 +22,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.pipeline import GesturePrint
-from repro.core.realtime import GestureEvent, classify_frame_span
+from repro.core.realtime import DirectSpanClassifier, GestureEvent, prepare_frame_span
 from repro.preprocessing.multiuser import MultiUserSeparator, SeparatorParams
 from repro.preprocessing.noise import NoiseCancelerParams
 from repro.preprocessing.segmentation import GestureSegmenter, SegmenterParams
@@ -64,10 +64,14 @@ class MultiUserRuntime:
         noise_params: NoiseCancelerParams | None = None,
         min_cloud_points: int = 8,
         seed: int = 0,
+        classifier=None,
     ) -> None:
         if system.gesture_model is None:
             raise ValueError("the system must be fitted first")
         self.system = system
+        #: Pluggable span classifier shared with
+        #: :class:`~repro.core.realtime.GesturePrintRuntime`.
+        self.classifier = classifier or DirectSpanClassifier(system)
         self.num_points = num_points or system.config.network.num_points
         if separator_params is None:
             # Users pause 2-4 s between gestures (SVI-A1); at 10 fps that
@@ -138,8 +142,7 @@ class MultiUserRuntime:
     def _classify(
         self, track_id: int, frames: list[Frame], start: int, end: int
     ) -> TrackedGestureEvent | None:
-        event = classify_frame_span(
-            self.system,
+        span = prepare_frame_span(
             frames,
             start,
             end,
@@ -148,8 +151,15 @@ class MultiUserRuntime:
             min_cloud_points=self.min_cloud_points,
             rng=self._rng,
         )
-        if event is None:
+        if span is None:
             return None
+        # Deferred classifiers return None here and deliver through
+        # ``_record_event`` (with the captured track id) at flush time.
+        return self.classifier.classify_span(
+            span, lambda event: self._record_event(track_id, event), track_id=track_id
+        )
+
+    def _record_event(self, track_id: int, event: GestureEvent) -> TrackedGestureEvent:
         tracked = TrackedGestureEvent(track_id=track_id, event=event)
         self._events.append(tracked)
         return tracked

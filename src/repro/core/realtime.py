@@ -40,6 +40,90 @@ class GestureEvent:
     user_probs: np.ndarray | None = None
 
 
+@dataclass(frozen=True)
+class PreparedSpan:
+    """One frame span preprocessed into a classifier-ready sample.
+
+    The aggregation / denoising / normalisation half of
+    :func:`classify_frame_span`, decoupled from the model forward pass so
+    the serving layer can micro-batch many spans (from many streams) into
+    one vectorised ``GesturePrint.predict`` call.
+    """
+
+    start: int
+    end: int
+    #: ``(num_points, channels)`` normalised sample, ready for the model.
+    sample: np.ndarray
+    #: Points surviving noise cancelling (reported on the event).
+    cloud_points: int
+
+
+def prepare_frame_span(
+    frames: list[Frame],
+    start: int,
+    end: int,
+    *,
+    noise_params: NoiseCancelerParams,
+    num_points: int,
+    min_cloud_points: int,
+    rng: np.random.Generator,
+) -> PreparedSpan | None:
+    """Aggregate, denoise, and normalise one frame span (no inference).
+
+    ``frames`` is the full stream; the span ``[start, end)`` indexes into
+    it.  Returns None when the span holds too few usable points to
+    classify (mirrors the preprocessing stage dropping degenerate takes).
+    """
+    window = frames[start:end]
+    cloud = PointCloud.from_frames(window, start_index=start)
+    if cloud.num_points == 0:
+        return None
+    cloud = keep_main_cluster(cloud, noise_params)
+    if cloud.num_points < min_cloud_points:
+        return None
+    sample = normalize_cloud(cloud, num_points, rng)
+    return PreparedSpan(
+        start=start, end=end, sample=sample, cloud_points=cloud.num_points
+    )
+
+
+def build_event(
+    span: PreparedSpan, gesture_probs: np.ndarray, user_probs: np.ndarray
+) -> GestureEvent:
+    """Assemble a :class:`GestureEvent` from one sample's posteriors."""
+    gesture_probs = np.asarray(gesture_probs, dtype=np.float64).ravel()
+    user_probs = np.asarray(user_probs, dtype=np.float64).ravel()
+    return GestureEvent(
+        start_frame=span.start,
+        end_frame=span.end,
+        gesture=int(gesture_probs.argmax()),
+        gesture_confidence=float(gesture_probs.max()),
+        user=int(user_probs.argmax()),
+        user_confidence=float(user_probs.max()),
+        num_points=span.cloud_points,
+        user_probs=user_probs.copy(),
+    )
+
+
+class DirectSpanClassifier:
+    """Synchronous span classifier: one batch-of-1 ``predict`` per span.
+
+    The default (lowest-latency) classification path of the runtimes.
+    The serving layer swaps in an engine-backed classifier with the same
+    ``classify_span(span, on_event, track_id=None)`` contract to defer
+    spans into a shared micro-batch; deferred implementations return None
+    and deliver through ``on_event`` at flush time instead.
+    """
+
+    def __init__(self, system: GesturePrint) -> None:
+        self.system = system
+
+    def classify_span(self, span, on_event, track_id=None):
+        result = self.system.predict(span.sample[None, ...])
+        event = build_event(span, result.gesture_probs[0], result.user_probs[0])
+        return on_event(event)
+
+
 def classify_frame_span(
     system: GesturePrint,
     frames: list[Frame],
@@ -53,29 +137,23 @@ def classify_frame_span(
 ) -> GestureEvent | None:
     """Aggregate, denoise, normalise, and classify one frame span.
 
-    ``frames`` is the full stream; the span ``[start, end)`` indexes into
-    it.  Returns None when the span holds too few usable points to
-    classify (mirrors the preprocessing stage dropping degenerate takes).
+    The legacy per-event path: :func:`prepare_frame_span` followed by a
+    batch-of-1 ``predict``.  Kept for latency-critical callers and as the
+    reference the micro-batched serving path is byte-identical to.
     """
-    window = frames[start:end]
-    cloud = PointCloud.from_frames(window, start_index=start)
-    if cloud.num_points == 0:
-        return None
-    cloud = keep_main_cluster(cloud, noise_params)
-    if cloud.num_points < min_cloud_points:
-        return None
-    sample = normalize_cloud(cloud, num_points, rng)[None, ...]
-    result = system.predict(sample)
-    return GestureEvent(
-        start_frame=start,
-        end_frame=end,
-        gesture=int(result.gesture_pred[0]),
-        gesture_confidence=float(result.gesture_probs[0].max()),
-        user=int(result.user_pred[0]),
-        user_confidence=float(result.user_probs[0].max()),
-        num_points=cloud.num_points,
-        user_probs=result.user_probs[0].copy(),
+    span = prepare_frame_span(
+        frames,
+        start,
+        end,
+        noise_params=noise_params,
+        num_points=num_points,
+        min_cloud_points=min_cloud_points,
+        rng=rng,
     )
+    if span is None:
+        return None
+    result = system.predict(span.sample[None, ...])
+    return build_event(span, result.gesture_probs[0], result.user_probs[0])
 
 
 class GesturePrintRuntime:
@@ -91,6 +169,7 @@ class GesturePrintRuntime:
         min_cloud_points: int = 8,
         work_zone: WorkZone | None = None,
         seed: int = 0,
+        classifier=None,
     ) -> None:
         if system.gesture_model is None:
             raise ValueError("the system must be fitted first")
@@ -99,6 +178,10 @@ class GesturePrintRuntime:
         self.segmenter = GestureSegmenter(segmenter_params)
         self.noise_params = noise_params or NoiseCancelerParams()
         self.min_cloud_points = min_cloud_points
+        #: Pluggable span classifier (see :class:`DirectSpanClassifier`);
+        #: the serving layer injects an engine-backed one to micro-batch
+        #: spans across streams.
+        self.classifier = classifier or DirectSpanClassifier(system)
         self.zone_monitor = WorkZoneMonitor(work_zone) if work_zone is not None else None
         self._zone_advisory = ZoneAdvisory.NO_PRESENCE
         self._rng = np.random.default_rng(seed)
@@ -142,8 +225,7 @@ class GesturePrintRuntime:
         return self._classify_span(segment.start, segment.end)
 
     def _classify_span(self, start: int, end: int) -> GestureEvent | None:
-        event = classify_frame_span(
-            self.system,
+        span = prepare_frame_span(
             self._frames,
             start,
             end,
@@ -152,8 +234,14 @@ class GesturePrintRuntime:
             min_cloud_points=self.min_cloud_points,
             rng=self._rng,
         )
-        if event is not None:
-            self._events.append(event)
+        if span is None:
+            return None
+        # A deferred (engine-backed) classifier returns None here and
+        # calls ``_record_event`` when its micro-batch flushes.
+        return self.classifier.classify_span(span, self._record_event)
+
+    def _record_event(self, event: GestureEvent) -> GestureEvent:
+        self._events.append(event)
         return event
 
     def reset(self) -> None:

@@ -46,16 +46,25 @@ class SessionIdentifier:
 
     def __init__(
         self,
-        system: GesturePrint,
+        system: GesturePrint | None = None,
         *,
+        engine=None,
         prior: np.ndarray | None = None,
         floor: float = 1e-4,
     ) -> None:
+        if system is None:
+            if engine is None:
+                raise ValueError("pass a fitted system or a serving engine")
+            system = engine.system
         if system.gesture_model is None:
             raise ValueError("the system must be fitted first")
         if not 0.0 < floor < 1.0:
             raise ValueError("floor must be in (0, 1)")
         self.system = system
+        #: Optional :class:`repro.serving.InferenceEngine` (duck-typed):
+        #: when set, :meth:`update` routes single-sample identification
+        #: through its shared, stats-tracked predict path.
+        self.engine = engine
         self.floor = floor
         num_users = system.num_users
         if prior is None:
@@ -80,6 +89,8 @@ class SessionIdentifier:
         sample = np.asarray(sample, dtype=np.float64)
         if sample.ndim != 2:
             raise ValueError("update takes a single (num_points, channels) sample")
+        if self.engine is not None:
+            return self.update_posterior(self.engine.predict_one(sample).user_probs)
         result = self.system.predict(sample[None, ...])
         return self.update_posterior(result.user_probs[0])
 
@@ -124,6 +135,7 @@ def identify_session(
     system: GesturePrint,
     inputs: np.ndarray,
     *,
+    engine=None,
     prior: np.ndarray | None = None,
     floor: float = 1e-4,
 ) -> SessionEstimate:
@@ -131,7 +143,7 @@ def identify_session(
     inputs = np.asarray(inputs, dtype=np.float64)
     if inputs.ndim != 3:
         raise ValueError(f"expected (gestures, points, channels), got {inputs.shape}")
-    identifier = SessionIdentifier(system, prior=prior, floor=floor)
+    identifier = SessionIdentifier(system, engine=engine, prior=prior, floor=floor)
     for sample in inputs:
         identifier.update(sample)
     return identifier.estimate()

@@ -43,10 +43,31 @@ class Linear(Module):
                 f"Linear expected (batch, {self.in_features}), got {x.shape}"
             )
         self._input = x
-        out = x @ self.weight.data.T
+        weight_t = self._transposed_weight()
+        if x.shape[0] == 1:
+            out = (np.concatenate([x, x], axis=0) @ weight_t)[:1]
+        else:
+            out = x @ weight_t
         if self.bias is not None:
             out = out + self.bias.data
         return out
+
+    def _transposed_weight(self) -> np.ndarray:
+        """Contiguous copy of ``W^T``, rebuilt every forward.
+
+        Row-stable matmul: BLAS GEMM against a transposed *view* picks
+        kernels whose accumulation order depends on the row count, so the
+        same sample would get ULP-different logits alone vs inside a
+        micro-batch.  A contiguous copy of ``W^T`` keeps every batch size
+        on the same row-wise-stable kernel (forward pads one-row inputs to
+        two rows to dodge the remaining GEMV outlier) — this is what lets
+        the serving layer guarantee byte-identical events for batched and
+        per-event inference.  The copy is deliberately *not* cached:
+        callers (optimizers, finite-difference gradient checks) mutate
+        ``weight.data`` in place between forwards, and the O(in*out) copy
+        is small next to the GEMM it feeds.
+        """
+        return np.ascontiguousarray(self.weight.data.T)
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._input is None:
@@ -167,20 +188,32 @@ class BatchNorm(Module):
             # Unbiased variance for the running estimate, as torch does.
             unbiased = var * count / max(count - 1, 1)
             self.running_var = (1 - self.momentum) * self.running_var + self.momentum * unbiased
-        else:
-            mean = self.running_mean
-            var = self.running_var
-        inv_std = 1.0 / np.sqrt(var + self.eps)
-        normalized = (x - self._reshape_stats(mean, x.ndim)) * self._reshape_stats(inv_std, x.ndim)
-        self._cache = (normalized, inv_std, x, axes)
-        return normalized * self._reshape_stats(self.gamma.data, x.ndim) + self._reshape_stats(
-            self.beta.data, x.ndim
-        )
+            inv_std = 1.0 / np.sqrt(var + self.eps)
+            normalized = (x - self._reshape_stats(mean, x.ndim)) * self._reshape_stats(
+                inv_std, x.ndim
+            )
+            self._cache = (normalized, inv_std, x, axes)
+            return normalized * self._reshape_stats(self.gamma.data, x.ndim) + self._reshape_stats(
+                self.beta.data, x.ndim
+            )
+        # Eval mode: fold the running stats into one scale + shift, halving
+        # the number of full-array passes on the inference hot path.  The
+        # normalised activations are reconstructed lazily in backward (only
+        # fine-tuning through a frozen norm needs them).
+        inv_std = 1.0 / np.sqrt(self.running_var + self.eps)
+        scale = self.gamma.data * inv_std
+        shift = self.beta.data - self.running_mean * scale
+        self._cache = (None, inv_std, x, axes)
+        return x * self._reshape_stats(scale, x.ndim) + self._reshape_stats(shift, x.ndim)
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._cache is None:
             raise RuntimeError("backward called before forward")
         normalized, inv_std, x, axes = self._cache
+        if normalized is None:  # eval-mode forward skipped materialising it
+            normalized = (x - self._reshape_stats(self.running_mean, x.ndim)) * (
+                self._reshape_stats(inv_std, x.ndim)
+            )
         grad_output = np.asarray(grad_output, dtype=np.float64)
         self.gamma.grad += (grad_output * normalized).sum(axis=axes)
         self.beta.grad += grad_output.sum(axis=axes)

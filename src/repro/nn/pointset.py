@@ -26,24 +26,30 @@ def farthest_point_sampling(
     batch, num_points, _ = points.shape
     if num_samples <= 0:
         raise ValueError("num_samples must be positive")
-    indices = np.zeros((batch, num_samples), dtype=np.int64)
     if num_points == 0:
         raise ValueError("cannot sample from an empty point cloud")
     effective = min(num_samples, num_points)
-    for b in range(batch):
-        chosen = np.empty(effective, dtype=np.int64)
-        chosen[0] = start_index % num_points
-        dist = np.sum((points[b] - points[b, chosen[0]]) ** 2, axis=1)
-        for i in range(1, effective):
-            chosen[i] = int(np.argmax(dist))
-            new_dist = np.sum((points[b] - points[b, chosen[i]]) ** 2, axis=1)
-            dist = np.minimum(dist, new_dist)
-        if effective < num_samples:
-            pad = np.resize(chosen, num_samples)
-            indices[b] = pad
-        else:
-            indices[b] = chosen
-    return indices
+    # Vectorised across the batch: every iteration advances all clouds at
+    # once, so a micro-batch of B streams costs ~1/B of the per-call Python
+    # overhead of sampling each cloud separately (the serving engine's main
+    # amortisation win).  The per-cloud selections are identical to the
+    # sequential algorithm: argmax rows and distance updates are
+    # independent per batch element.
+    batch_idx = np.arange(batch)
+    chosen = np.empty((batch, effective), dtype=np.int64)
+    chosen[:, 0] = start_index % num_points
+    diff = points - points[batch_idx, chosen[:, 0]][:, None, :]
+    dist = np.einsum("bnd,bnd->bn", diff, diff)
+    for i in range(1, effective):
+        nxt = np.argmax(dist, axis=1)
+        chosen[:, i] = nxt
+        diff = points - points[batch_idx, nxt][:, None, :]
+        new_dist = np.einsum("bnd,bnd->bn", diff, diff)
+        np.minimum(dist, new_dist, out=dist)
+    if effective < num_samples:
+        # Wrap-around padding (sampling with repetition) for sparse clouds.
+        chosen = chosen[:, np.resize(np.arange(effective), num_samples)]
+    return chosen
 
 
 def gather_points(points: np.ndarray, indices: np.ndarray) -> np.ndarray:

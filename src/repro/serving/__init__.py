@@ -1,0 +1,30 @@
+"""Shared serving layer: micro-batched inference for many streams.
+
+Three pieces, layered under the runtimes in :mod:`repro.core`:
+
+* :class:`InferenceEngine` — accepts classification requests (normalised
+  gesture clouds), micro-batches them, and runs one vectorised
+  ``GesturePrint.predict`` per flush; byte-identical to the per-event
+  path, with a synchronous ``predict_one`` for latency-critical callers.
+* :class:`ModelRegistry` — keyed, LRU-cached load/save of fitted systems
+  over :mod:`repro.core.persistence`, so CLIs, examples, and benchmarks
+  stop re-fitting or re-loading per invocation.
+* :class:`StreamHub` — multiplexes N concurrent single- or multi-person
+  runtimes over one shared engine with deterministic per-stream RNG.
+"""
+
+from repro.serving.engine import EngineStats, InferenceEngine, SampleResult, Ticket
+from repro.serving.hub import StreamEvent, StreamHub, derive_stream_seed
+from repro.serving.registry import ModelRegistry, RegistryStats
+
+__all__ = [
+    "EngineStats",
+    "InferenceEngine",
+    "SampleResult",
+    "Ticket",
+    "ModelRegistry",
+    "RegistryStats",
+    "StreamEvent",
+    "StreamHub",
+    "derive_stream_seed",
+]

@@ -1,0 +1,221 @@
+"""Multi-stream hub: N concurrent runtimes over one shared engine.
+
+The north-star deployment serves many users at once — every active radar
+device is one frame stream.  :class:`StreamHub` multiplexes any mix of
+single-person (:class:`~repro.core.realtime.GesturePrintRuntime`) and
+multi-person (:class:`~repro.core.multiuser.MultiUserRuntime`) streams
+over one :class:`~repro.serving.engine.InferenceEngine`:
+
+* each stream keeps its own segmenter / tracker / work-zone state and a
+  **deterministic per-stream RNG** (derived from the hub seed and the
+  stream id, independent of open order), so results are reproducible
+  stream by stream;
+* gesture spans closed by any stream are *deferred* into the shared
+  engine instead of classified inline; :meth:`push_round` flushes once
+  per frame round, so spans that close together across streams ride one
+  vectorised forward pass.
+
+Because engine batches are byte-identical to batch-of-1 predicts, a hub
+stream emits exactly the same events as a standalone runtime fed the
+same frames with the same seed.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from repro.core.multiuser import MultiUserRuntime, TrackedGestureEvent
+from repro.core.realtime import GestureEvent, GesturePrintRuntime, build_event
+from repro.core.pipeline import GesturePrint
+from repro.radar.pointcloud import Frame
+from repro.serving.engine import InferenceEngine
+
+
+@dataclass(frozen=True)
+class StreamEvent:
+    """One gesture event attributed to the stream that produced it."""
+
+    stream_id: str
+    event: GestureEvent | TrackedGestureEvent
+
+
+def derive_stream_seed(base_seed: int, stream_id: str) -> int:
+    """Deterministic per-stream seed, independent of open order."""
+    entropy = [int(base_seed), zlib.crc32(str(stream_id).encode("utf-8"))]
+    return int(np.random.SeedSequence(entropy).generate_state(1)[0])
+
+
+class _DeferredSpanClassifier:
+    """Runtime classifier that queues spans on the hub's shared engine.
+
+    Implements the ``classify_span(span, on_event, track_id=None)``
+    contract of :class:`~repro.core.realtime.DirectSpanClassifier` but
+    returns None immediately; the event is assembled and recorded (via
+    ``on_event``) when the engine flushes the micro-batch.
+    """
+
+    def __init__(self, hub: "StreamHub", stream_id: str) -> None:
+        self._hub = hub
+        self._stream_id = stream_id
+
+    def classify_span(self, span, on_event, track_id=None):
+        hub, stream_id = self._hub, self._stream_id
+
+        def _deliver(result) -> None:
+            event = on_event(build_event(span, result.gesture_probs, result.user_probs))
+            hub._delivered.append(StreamEvent(stream_id=stream_id, event=event))
+
+        hub.engine.submit(span.sample, meta=(stream_id, track_id), callback=_deliver)
+        return None
+
+
+class StreamHub:
+    """Serve many concurrent gesture streams from one fitted system.
+
+    Parameters
+    ----------
+    system:
+        A fitted :class:`~repro.core.pipeline.GesturePrint`; ignored when
+        an ``engine`` is passed directly.
+    engine:
+        Share an existing :class:`InferenceEngine` (e.g. one also serving
+        session identifiers) instead of building a private one.
+    max_batch_size:
+        Forwarded to the private engine.
+    base_seed:
+        Root of the per-stream RNG derivation.
+    """
+
+    def __init__(
+        self,
+        system: GesturePrint | None = None,
+        *,
+        engine: InferenceEngine | None = None,
+        max_batch_size: int = 32,
+        base_seed: int = 0,
+    ) -> None:
+        if engine is None:
+            if system is None:
+                raise ValueError("pass a fitted system or an engine")
+            engine = InferenceEngine(system, max_batch_size=max_batch_size)
+        self.engine = engine
+        self.base_seed = base_seed
+        self._streams: dict[str, GesturePrintRuntime | MultiUserRuntime] = {}
+        self._delivered: list[StreamEvent] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def system(self) -> GesturePrint:
+        return self.engine.system
+
+    @property
+    def stream_ids(self) -> list[str]:
+        return list(self._streams)
+
+    @property
+    def num_streams(self) -> int:
+        return len(self._streams)
+
+    def runtime(self, stream_id: str) -> GesturePrintRuntime | MultiUserRuntime:
+        """The underlying runtime of one stream (segmenter state, events)."""
+        return self._streams[str(stream_id)]
+
+    # ------------------------------------------------------------------
+    def open_stream(
+        self,
+        stream_id: str,
+        *,
+        multi_user: bool = False,
+        seed: int | None = None,
+        **runtime_kwargs,
+    ) -> str:
+        """Register one stream; returns its id.
+
+        ``seed`` overrides the derived per-stream seed (use it to mirror a
+        standalone runtime exactly); ``runtime_kwargs`` pass through to the
+        runtime constructor (segmenter/noise/separator params, work zone).
+        """
+        stream_id = str(stream_id)
+        if stream_id in self._streams:
+            raise ValueError(f"stream {stream_id!r} already open")
+        if seed is None:
+            seed = derive_stream_seed(self.base_seed, stream_id)
+        classifier = _DeferredSpanClassifier(self, stream_id)
+        runtime_cls = MultiUserRuntime if multi_user else GesturePrintRuntime
+        self._streams[stream_id] = runtime_cls(
+            self.engine.system, seed=seed, classifier=classifier, **runtime_kwargs
+        )
+        return stream_id
+
+    def close_stream(self, stream_id: str) -> GesturePrintRuntime | MultiUserRuntime:
+        """Deregister a stream; pending engine requests still deliver."""
+        return self._streams.pop(str(stream_id))
+
+    # ------------------------------------------------------------------
+    def _drain(self) -> list[StreamEvent]:
+        delivered, self._delivered = self._delivered, []
+        return delivered
+
+    def push(self, stream_id: str, frame: Frame) -> list[StreamEvent]:
+        """Feed one frame into one stream.
+
+        Spans that close are queued on the shared engine; events are only
+        returned here if the queue hit ``max_batch_size`` and auto-flushed.
+        Call :meth:`flush_pending` (or use :meth:`push_round`) to force
+        delivery.
+        """
+        self._streams[str(stream_id)].push_frame(frame)
+        return self._drain()
+
+    def push_round(
+        self, frames: Mapping[str, Frame] | Iterable[tuple[str, Frame]]
+    ) -> list[StreamEvent]:
+        """Feed one frame per stream, then flush the shared micro-batch.
+
+        This is the serving loop's steady state: all spans that closed on
+        this round — across every stream — ride one vectorised forward
+        pass.  Returns the delivered events in submission order within
+        each sample shape (streams normalising to different point counts
+        are grouped into separate forward passes).
+        """
+        items = frames.items() if isinstance(frames, Mapping) else frames
+        for stream_id, frame in items:
+            self._streams[str(stream_id)].push_frame(frame)
+        self.engine.flush()
+        return self._drain()
+
+    def flush_pending(self) -> list[StreamEvent]:
+        """Flush the engine queue and return the delivered events."""
+        self.engine.flush()
+        return self._drain()
+
+    def flush_streams(self) -> list[StreamEvent]:
+        """End-of-stream: close every open gesture, then flush the engine."""
+        for runtime in self._streams.values():
+            runtime.flush()
+        self.engine.flush()
+        return self._drain()
+
+    # ------------------------------------------------------------------
+    def events(self, stream_id: str) -> list[GestureEvent | TrackedGestureEvent]:
+        """All events one stream has emitted so far."""
+        return self._streams[str(stream_id)].events
+
+    def reset(self) -> None:
+        """Reset every stream's bookkeeping (models stay fitted/cached).
+
+        Spans this hub already submitted to the engine are cancelled, so
+        pre-reset gestures cannot deliver events into the new epoch.  On
+        a shared engine, other callers' pending requests are untouched.
+        """
+        stream_ids = set(self._streams)
+        self.engine.discard_pending(
+            lambda meta: isinstance(meta, tuple) and len(meta) == 2 and meta[0] in stream_ids
+        )
+        for runtime in self._streams.values():
+            runtime.reset()
+        self._delivered.clear()

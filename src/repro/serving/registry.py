@@ -1,0 +1,171 @@
+"""Keyed, LRU-cached store of fitted GesturePrint systems.
+
+The paper's deployment trains on a back-end server and ships fitted
+models to edge devices.  The seed repo's CLI, examples, and benchmarks
+each re-loaded (or worse, re-fitted) a system per invocation;
+:class:`ModelRegistry` wraps :mod:`repro.core.persistence` with an
+in-process cache so repeated lookups of the same checkpoint are free and
+hot systems stay resident under a bounded capacity.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.persistence import MANIFEST_NAME, load_system, save_system
+from repro.core.pipeline import GesturePrint
+
+
+@dataclass
+class RegistryStats:
+    """Cache-effectiveness counters."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    loads: int = 0
+    saves: int = 0
+    fits: int = 0
+
+
+class ModelRegistry:
+    """LRU cache of fitted systems, keyed by checkpoint path or name.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of resident systems; the least recently used entry
+        is evicted first.  Fitted systems are a handful of MB each, so a
+        small capacity covers realistic multi-tenant serving.
+    """
+
+    def __init__(self, *, capacity: int = 4) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self.stats = RegistryStats()
+        self._cache: OrderedDict[str, GesturePrint] = OrderedDict()
+        #: Manifest mtime (ns) per path-keyed entry, for staleness checks.
+        self._mtimes: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _path_key(directory: str | os.PathLike) -> str:
+        return str(pathlib.Path(directory).resolve())
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    def __contains__(self, key: str) -> bool:
+        return str(key) in self._cache
+
+    def keys(self) -> list[str]:
+        """Resident keys, least recently used first."""
+        return list(self._cache)
+
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> GesturePrint | None:
+        """The cached system under ``key`` (refreshes its LRU slot)."""
+        key = str(key)
+        system = self._cache.get(key)
+        if system is None:
+            self.stats.misses += 1
+            return None
+        self._cache.move_to_end(key)
+        self.stats.hits += 1
+        return system
+
+    def put(self, key: str, system: GesturePrint) -> GesturePrint:
+        """Insert (or refresh) a fitted system under ``key``."""
+        if system.gesture_model is None:
+            raise ValueError("refusing to cache an unfitted system")
+        key = str(key)
+        self._cache[key] = system
+        self._cache.move_to_end(key)
+        while len(self._cache) > self.capacity:
+            evicted, _ = self._cache.popitem(last=False)
+            self._mtimes.pop(evicted, None)
+            self.stats.evictions += 1
+        return system
+
+    def evict(self, key: str) -> bool:
+        """Drop ``key`` from the cache; True if it was resident."""
+        self._mtimes.pop(str(key), None)
+        return self._cache.pop(str(key), None) is not None
+
+    def clear(self) -> None:
+        self._cache.clear()
+        self._mtimes.clear()
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _manifest_mtime(directory: str | os.PathLike) -> int | None:
+        try:
+            return (pathlib.Path(directory) / MANIFEST_NAME).stat().st_mtime_ns
+        except OSError:
+            return None
+
+    def load(self, directory: str | os.PathLike) -> GesturePrint:
+        """Load a checkpoint directory, cached by its resolved path.
+
+        The checkpoint manifest's mtime is recorded at load time; if the
+        directory is overwritten on disk, the next ``load`` notices and
+        re-reads instead of serving the stale weights.
+        """
+        key = self._path_key(directory)
+        cached = self._cache.get(key)
+        if cached is not None and self._mtimes.get(key) == self._manifest_mtime(directory):
+            self._cache.move_to_end(key)
+            self.stats.hits += 1
+            return cached
+        self.stats.misses += 1
+        system = load_system(directory)
+        self.stats.loads += 1
+        self._mtimes[key] = self._manifest_mtime(directory)
+        return self.put(key, system)
+
+    def save(
+        self, system: GesturePrint, directory: str | os.PathLike
+    ) -> GesturePrint:
+        """Persist a fitted system and cache it under the checkpoint path."""
+        save_system(system, directory)
+        self.stats.saves += 1
+        key = self._path_key(directory)
+        self._mtimes[key] = self._manifest_mtime(directory)
+        return self.put(key, system)
+
+    def get_or_fit(
+        self,
+        key: str,
+        factory: Callable[[], GesturePrint],
+        *,
+        directory: str | os.PathLike | None = None,
+    ) -> GesturePrint:
+        """The memoised fit path: cache -> checkpoint -> ``factory()``.
+
+        Looks up ``key`` in the cache; otherwise loads ``directory`` if it
+        holds a checkpoint; otherwise calls ``factory`` to fit a fresh
+        system (persisting it to ``directory`` when given).  This is what
+        lets the CLI, examples, and benchmarks share one fitted system per
+        configuration instead of re-fitting per call.
+        """
+        key = str(key)
+        system = self.get(key)
+        if system is not None:
+            return system
+        if directory is not None and (pathlib.Path(directory) / MANIFEST_NAME).exists():
+            system = load_system(directory)
+            self.stats.loads += 1
+            return self.put(key, system)
+        system = factory()
+        self.stats.fits += 1
+        if system.gesture_model is None:
+            raise ValueError("factory returned an unfitted system")
+        if directory is not None:
+            save_system(system, directory)
+            self.stats.saves += 1
+        return self.put(key, system)

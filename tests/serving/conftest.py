@@ -1,0 +1,58 @@
+"""Shared fixtures for the serving-layer tests: one tiny fitted system."""
+
+import numpy as np
+import pytest
+
+from repro.core import GesturePrint, GesturePrintConfig, TrainConfig
+from repro.core.gesidnet import GesIDNetConfig
+from repro.nn.setabstraction import ScaleSpec
+
+NUM_POINTS = 12
+NUM_CHANNELS = 8
+
+
+def tiny_network() -> GesIDNetConfig:
+    return GesIDNetConfig(
+        num_points=NUM_POINTS,
+        in_feature_channels=NUM_CHANNELS,
+        sa1_centers=4,
+        sa1_scales=(ScaleSpec(0.5, 3, (8,)),),
+        sa2_centers=2,
+        sa2_scales=(ScaleSpec(1.0, 2, (10,)),),
+        level1_mlp=(8,),
+        level2_mlp=(10,),
+        head1_hidden=(6,),
+        dropout=0.0,
+    )
+
+
+def toy_dataset(n_per_cell=10, num_gestures=2, num_users=2, seed=0):
+    rng = np.random.default_rng(seed)
+    rows, gestures, users = [], [], []
+    for g in range(num_gestures):
+        for u in range(num_users):
+            for _ in range(n_per_cell):
+                x = rng.normal(size=(NUM_POINTS, NUM_CHANNELS))
+                x[:, 2] += 2.0 * g
+                x[:, 0] *= 1.0 + 1.5 * u
+                x[:, 6] = 0.4 + 0.3 * u
+                rows.append(x)
+                gestures.append(g)
+                users.append(u)
+    return np.stack(rows), np.array(gestures), np.array(users)
+
+
+@pytest.fixture(scope="session")
+def toy_data():
+    return toy_dataset()
+
+
+@pytest.fixture(scope="session")
+def fitted(toy_data):
+    x, g, u = toy_data
+    config = GesturePrintConfig(
+        network=tiny_network(),
+        training=TrainConfig(epochs=10, batch_size=8, learning_rate=3e-3),
+        augment=False,
+    )
+    return GesturePrint(config).fit(x, g, u)

@@ -1,0 +1,169 @@
+"""InferenceEngine: micro-batching semantics and byte-identical results."""
+
+import numpy as np
+import pytest
+
+from repro.core import GesturePrint, SessionIdentifier
+from repro.serving import InferenceEngine
+
+
+def _assert_same_result(a, b):
+    assert a.gesture == b.gesture
+    assert a.user == b.user
+    assert np.array_equal(a.gesture_probs, b.gesture_probs)
+    assert np.array_equal(a.user_probs, b.user_probs)
+
+
+class TestEngineBasics:
+    def test_unfitted_system_rejected(self):
+        with pytest.raises(ValueError):
+            InferenceEngine(GesturePrint())
+
+    def test_bad_batch_size_rejected(self, fitted):
+        with pytest.raises(ValueError):
+            InferenceEngine(fitted, max_batch_size=0)
+
+    def test_bad_sample_shape_rejected(self, fitted):
+        engine = InferenceEngine(fitted)
+        with pytest.raises(ValueError):
+            engine.predict_one(np.zeros((4, 12, 8)))
+
+    def test_predict_one_matches_system_predict(self, fitted, toy_data):
+        engine = InferenceEngine(fitted)
+        x, _, _ = toy_data
+        result = engine.predict_one(x[0])
+        reference = fitted.predict(x[0:1])
+        assert result.gesture == int(reference.gesture_pred[0])
+        assert result.user == int(reference.user_pred[0])
+        assert np.array_equal(result.gesture_probs, reference.gesture_probs[0])
+        assert np.array_equal(result.user_probs, reference.user_probs[0])
+
+    def test_ticket_result_raises_before_flush(self, fitted, toy_data):
+        engine = InferenceEngine(fitted, max_batch_size=16)
+        x, _, _ = toy_data
+        ticket = engine.submit(x[0])
+        assert not ticket.done
+        with pytest.raises(RuntimeError):
+            ticket.result()
+        engine.flush()
+        assert ticket.done
+        assert ticket.result().user_probs.shape == (fitted.num_users,)
+
+    def test_flush_empty_queue_is_noop(self, fitted):
+        engine = InferenceEngine(fitted)
+        assert engine.flush() == []
+        assert engine.stats.batches == 0
+
+
+class TestMicroBatching:
+    def test_auto_flush_at_max_batch_size(self, fitted, toy_data):
+        x, _, _ = toy_data
+        engine = InferenceEngine(fitted, max_batch_size=4)
+        tickets = [engine.submit(sample) for sample in x[:4]]
+        # The 4th submit crossed the threshold: everything delivered.
+        assert all(ticket.done for ticket in tickets)
+        assert engine.num_pending == 0
+        assert engine.stats.batches == 1
+        assert engine.stats.max_batch == 4
+
+    def test_callback_fires_at_delivery(self, fitted, toy_data):
+        x, _, _ = toy_data
+        engine = InferenceEngine(fitted, max_batch_size=16)
+        seen = []
+        engine.submit(x[0], meta="tag", callback=seen.append)
+        assert seen == []
+        engine.flush()
+        assert len(seen) == 1
+        assert seen[0].user_probs.shape == (fitted.num_users,)
+
+    def test_mixed_shapes_grouped_per_forward(self, fitted, toy_data):
+        x, _, _ = toy_data
+        engine = InferenceEngine(fitted, max_batch_size=16)
+        small = x[0][:8]  # fewer points than the other requests
+        tickets = [engine.submit(x[0]), engine.submit(small), engine.submit(x[1])]
+        engine.flush()
+        assert all(ticket.done for ticket in tickets)
+        assert engine.stats.batches == 2  # one per distinct shape
+        _assert_same_result(tickets[1].result(), engine.predict_one(small))
+
+    def test_poison_group_fails_alone(self, fitted, toy_data):
+        """One bad batch must not swallow the other groups' tickets."""
+        x, _, _ = toy_data
+        engine = InferenceEngine(fitted, max_batch_size=16)
+        good = engine.submit(x[0])
+        # Valid per _validate (2-D, enough channels) but rejected by the
+        # network: fewer points than the second set-abstraction level's
+        # neighbourhood machinery can handle is fine, so poison via NaN
+        # shape trickery instead: a (0, channels) sample breaks predict.
+        bad = engine.submit(np.zeros((0, x.shape[2])))
+        with pytest.raises(Exception):
+            engine.flush()
+        assert good.done
+        assert good.result().user_probs.shape == (fitted.num_users,)
+        assert bad.done
+        with pytest.raises(Exception):
+            bad.result()
+
+    def test_discard_pending_cancels_tickets(self, fitted, toy_data):
+        x, _, _ = toy_data
+        engine = InferenceEngine(fitted, max_batch_size=16)
+        keep = engine.submit(x[0], meta="keep")
+        drop = engine.submit(x[1], meta="drop")
+        assert engine.discard_pending(lambda meta: meta == "drop") == 1
+        assert drop.cancelled
+        with pytest.raises(RuntimeError):
+            drop.result()
+        engine.flush()
+        assert keep.done and not keep.cancelled
+
+    def test_stats_counters(self, fitted, toy_data):
+        x, _, _ = toy_data
+        engine = InferenceEngine(fitted, max_batch_size=8)
+        engine.predict_one(x[0])
+        for sample in x[:6]:
+            engine.submit(sample)
+        engine.flush()
+        assert engine.stats.requests == 7
+        assert engine.stats.sync_requests == 1
+        assert engine.stats.batched_samples == 6
+        assert engine.stats.mean_batch == 6.0
+
+
+class TestBatchedEquivalence:
+    """The serving guarantee: batching never changes a prediction bit."""
+
+    def test_batched_results_byte_identical_to_sync_path(self, fitted, toy_data):
+        x, _, _ = toy_data
+        engine = InferenceEngine(fitted, max_batch_size=64)
+        batched = engine.predict_many(x[:24])
+        for sample, result in zip(x[:24], batched):
+            _assert_same_result(result, engine.predict_one(sample))
+
+    def test_equivalence_across_batch_compositions(self, fitted, toy_data):
+        """The same sample gives identical posteriors whatever rides along."""
+        x, _, _ = toy_data
+        engine = InferenceEngine(fitted, max_batch_size=64)
+        alone = engine.predict_many(x[5:6])[0]
+        with_head = engine.predict_many(x[0:6])[5]
+        with_tail = engine.predict_many(x[5:20])[0]
+        _assert_same_result(alone, with_head)
+        _assert_same_result(alone, with_tail)
+
+
+class TestSessionThroughEngine:
+    def test_session_identifier_routes_through_engine(self, fitted, toy_data):
+        x, _, u = toy_data
+        engine = InferenceEngine(fitted)
+        direct = SessionIdentifier(fitted)
+        served = SessionIdentifier(engine=engine)
+        for sample in x[:5]:
+            direct.update(sample)
+            served.update(sample)
+        a, b = direct.estimate(), served.estimate()
+        assert a.user == b.user
+        assert np.array_equal(a.posterior, b.posterior)
+        assert engine.stats.sync_requests == 5
+
+    def test_session_identifier_requires_system_or_engine(self):
+        with pytest.raises(ValueError):
+            SessionIdentifier()

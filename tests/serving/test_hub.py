@@ -1,0 +1,184 @@
+"""StreamHub: multi-stream serving equivalence and determinism."""
+
+import numpy as np
+import pytest
+
+from repro.core import GesturePrintRuntime, MultiUserRuntime
+from repro.preprocessing.multiuser import SeparatorParams
+from repro.radar import Frame
+from repro.serving import StreamHub, derive_stream_seed
+
+
+def _person_frame(rng, center_x, count, spread=0.15):
+    points = np.zeros((count, 5))
+    points[:, 0] = rng.normal(center_x, spread, count)
+    points[:, 1] = rng.normal(1.5, spread, count)
+    points[:, 2] = rng.normal(0.2, spread, count)
+    points[:, 3] = rng.normal(0.8, 0.3, count)
+    points[:, 4] = rng.uniform(0.5, 2.0, count)
+    return Frame(points=points)
+
+
+def _gesture_stream(seed, gestures=2):
+    """A frame stream with ``gestures`` motion bursts separated by idle."""
+    rng = np.random.default_rng(seed)
+    frames = []
+    for _ in range(gestures):
+        counts = [0] * 12 + [15] * 18 + [0] * 22
+        frames.extend(
+            _person_frame(rng, 0.0, c) if c else Frame.empty() for c in counts
+        )
+    return frames
+
+
+def _assert_events_identical(hub_events, legacy_events):
+    assert len(hub_events) == len(legacy_events)
+    for a, b in zip(hub_events, legacy_events):
+        assert a.start_frame == b.start_frame
+        assert a.end_frame == b.end_frame
+        assert a.gesture == b.gesture
+        assert a.user == b.user
+        assert a.gesture_confidence == b.gesture_confidence
+        assert a.user_confidence == b.user_confidence
+        assert a.num_points == b.num_points
+        assert np.array_equal(a.user_probs, b.user_probs)
+
+
+class TestHubConstruction:
+    def test_requires_system_or_engine(self):
+        with pytest.raises(ValueError):
+            StreamHub()
+
+    def test_duplicate_stream_rejected(self, fitted):
+        hub = StreamHub(fitted)
+        hub.open_stream("a", num_points=12)
+        with pytest.raises(ValueError):
+            hub.open_stream("a", num_points=12)
+
+    def test_close_stream(self, fitted):
+        hub = StreamHub(fitted)
+        hub.open_stream("a", num_points=12)
+        hub.close_stream("a")
+        assert hub.num_streams == 0
+
+    def test_derived_seeds_are_stable_and_distinct(self):
+        assert derive_stream_seed(0, "a") == derive_stream_seed(0, "a")
+        assert derive_stream_seed(0, "a") != derive_stream_seed(0, "b")
+        assert derive_stream_seed(0, "a") != derive_stream_seed(1, "a")
+
+
+class TestBatchedEquivalence:
+    """Tentpole guarantee: hub streams emit byte-identical events to
+    standalone runtimes fed the same frames with the same seed."""
+
+    def test_hub_matches_legacy_per_event_path(self, fitted):
+        streams = {f"s{i}": _gesture_stream(100 + i) for i in range(6)}
+
+        legacy = {}
+        for stream_id, frames in streams.items():
+            runtime = GesturePrintRuntime(fitted, num_points=12, seed=7)
+            for frame in frames:
+                runtime.push_frame(frame)
+            runtime.flush()
+            legacy[stream_id] = runtime.events
+
+        hub = StreamHub(fitted, max_batch_size=32)
+        for stream_id in streams:
+            hub.open_stream(stream_id, num_points=12, seed=7)
+        rounds = max(len(frames) for frames in streams.values())
+        for i in range(rounds):
+            hub.push_round({
+                sid: frames[i] for sid, frames in streams.items() if i < len(frames)
+            })
+        hub.flush_streams()
+
+        for stream_id in streams:
+            _assert_events_identical(hub.events(stream_id), legacy[stream_id])
+        # And the events really were micro-batched, not served one by one.
+        assert hub.engine.stats.batches < hub.engine.stats.requests
+
+    def test_multi_user_stream_matches_standalone_runtime(self, fitted):
+        rng = np.random.default_rng(5)
+        schedule = (
+            [((-1.5, 2), (1.5, 2))] * 12
+            + [((-1.5, 12), (1.5, 12))] * 20
+            + [((-1.5, 2), (1.5, 2))] * 25
+        )
+        frames = []
+        for left, right in schedule:
+            chunks = [
+                _person_frame(rng, cx, n).points for cx, n in (left, right) if n > 0
+            ]
+            frames.append(Frame(points=np.vstack(chunks)) if chunks else Frame.empty())
+
+        params = SeparatorParams(
+            cluster_eps_m=0.5, gate_radius_m=0.7, max_missed_frames=45
+        )
+        legacy = MultiUserRuntime(
+            fitted, num_points=12, seed=3, separator_params=params
+        )
+        for frame in frames:
+            legacy.push_frame(frame)
+        legacy.flush()
+
+        hub = StreamHub(fitted)
+        hub.open_stream(
+            "scene", multi_user=True, num_points=12, seed=3, separator_params=params
+        )
+        for frame in frames:
+            hub.push_round({"scene": frame})
+        hub.flush_streams()
+
+        hub_events = hub.events("scene")
+        assert len(hub_events) == len(legacy.events) > 0
+        for a, b in zip(hub_events, legacy.events):
+            assert a.track_id == b.track_id
+            _assert_events_identical([a.event], [b.event])
+
+
+class TestDeterminism:
+    def test_events_independent_of_open_order(self, fitted):
+        streams = {f"s{i}": _gesture_stream(200 + i, gestures=1) for i in range(4)}
+
+        def run(order):
+            hub = StreamHub(fitted, base_seed=13)
+            for stream_id in order:
+                hub.open_stream(stream_id, num_points=12)
+            rounds = max(len(frames) for frames in streams.values())
+            for i in range(rounds):
+                hub.push_round({
+                    sid: frames[i]
+                    for sid, frames in streams.items()
+                    if i < len(frames)
+                })
+            hub.flush_streams()
+            return {sid: hub.events(sid) for sid in streams}
+
+        forward = run(list(streams))
+        backward = run(list(reversed(list(streams))))
+        for stream_id in streams:
+            _assert_events_identical(forward[stream_id], backward[stream_id])
+
+    def test_reset_cancels_pending_spans(self, fitted):
+        """Spans submitted before reset must not leak into the new epoch."""
+        hub = StreamHub(fitted, max_batch_size=64)
+        hub.open_stream("solo", num_points=12)
+        # Push a complete gesture but never flush: the span sits queued.
+        for frame in _gesture_stream(400, gestures=1):
+            hub.push("solo", frame)
+        hub.runtime("solo").flush()  # close the segment -> span submitted
+        assert hub.engine.num_pending > 0
+        hub.reset()
+        assert hub.engine.num_pending == 0
+        assert hub.flush_pending() == []
+        assert hub.events("solo") == []
+
+    def test_push_defers_until_flush(self, fitted):
+        hub = StreamHub(fitted, max_batch_size=64)
+        hub.open_stream("solo", num_points=12)
+        frames = _gesture_stream(300, gestures=1)
+        for frame in frames:
+            assert hub.push("solo", frame) == []  # queue stays below max_batch
+        events = hub.flush_streams()
+        assert [e.stream_id for e in events] == ["solo"] * len(events)
+        assert hub.events("solo") == [e.event for e in events]

@@ -1,0 +1,132 @@
+"""ModelRegistry: LRU caching, persistence round-trips, memoised fits."""
+
+import numpy as np
+import pytest
+
+from repro.core import GesturePrint, GesturePrintConfig, TrainConfig
+from repro.serving import ModelRegistry
+
+from tests.serving.conftest import tiny_network, toy_dataset
+
+
+class TestCacheSemantics:
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            ModelRegistry(capacity=0)
+
+    def test_put_rejects_unfitted(self):
+        registry = ModelRegistry()
+        with pytest.raises(ValueError):
+            registry.put("key", GesturePrint())
+
+    def test_get_miss_returns_none(self):
+        registry = ModelRegistry()
+        assert registry.get("nope") is None
+        assert registry.stats.misses == 1
+
+    def test_put_get_roundtrip_same_object(self, fitted):
+        registry = ModelRegistry()
+        registry.put("a", fitted)
+        assert registry.get("a") is fitted
+        assert "a" in registry
+        assert len(registry) == 1
+
+    def test_lru_eviction_order(self, fitted):
+        registry = ModelRegistry(capacity=2)
+        registry.put("a", fitted)
+        registry.put("b", fitted)
+        registry.get("a")  # refresh: b is now least recently used
+        registry.put("c", fitted)
+        assert "b" not in registry
+        assert registry.keys() == ["a", "c"]
+        assert registry.stats.evictions == 1
+
+    def test_evict(self, fitted):
+        registry = ModelRegistry()
+        registry.put("a", fitted)
+        assert registry.evict("a")
+        assert not registry.evict("a")
+
+
+class TestPersistence:
+    def test_save_load_roundtrip_identical_predictions(self, fitted, toy_data, tmp_path):
+        """A checkpointed system predicts byte-identically after reload."""
+        x, _, _ = toy_data
+        registry = ModelRegistry()
+        registry.save(fitted, tmp_path / "model")
+        registry.clear()  # force the disk path
+        restored = registry.load(tmp_path / "model")
+        assert restored is not fitted
+        a = fitted.predict(x[:16])
+        b = restored.predict(x[:16])
+        assert np.array_equal(a.gesture_probs, b.gesture_probs)
+        assert np.array_equal(a.user_probs, b.user_probs)
+        assert np.array_equal(a.gesture_pred, b.gesture_pred)
+        assert np.array_equal(a.user_pred, b.user_pred)
+
+    def test_load_caches_by_resolved_path(self, fitted, tmp_path):
+        registry = ModelRegistry()
+        registry.save(fitted, tmp_path / "model")
+        registry.clear()
+        first = registry.load(tmp_path / "model")
+        second = registry.load(tmp_path / "model")
+        assert first is second
+        assert registry.stats.loads == 1
+        assert registry.stats.hits == 1
+
+    def test_load_notices_overwritten_checkpoint(self, fitted, tmp_path):
+        """An on-disk overwrite must not be masked by the cache."""
+        import os
+
+        registry = ModelRegistry()
+        registry.save(fitted, tmp_path / "model")
+        first = registry.load(tmp_path / "model")
+        # Simulate an external retrain: bump the manifest mtime.
+        manifest = tmp_path / "model" / "manifest.json"
+        stat = manifest.stat()
+        os.utime(manifest, ns=(stat.st_atime_ns, stat.st_mtime_ns + 1_000_000))
+        second = registry.load(tmp_path / "model")
+        assert second is not first  # re-read from disk, not served stale
+
+
+class TestGetOrFit:
+    def _factory(self):
+        x, g, u = toy_dataset(n_per_cell=6)
+        config = GesturePrintConfig(
+            network=tiny_network(),
+            training=TrainConfig(epochs=2, batch_size=8),
+            augment=False,
+        )
+        return GesturePrint(config).fit(x, g, u)
+
+    def test_fits_once_then_hits_cache(self):
+        registry = ModelRegistry()
+        calls = []
+
+        def factory():
+            calls.append(1)
+            return self._factory()
+
+        first = registry.get_or_fit("k", factory)
+        second = registry.get_or_fit("k", factory)
+        assert first is second
+        assert len(calls) == 1
+        assert registry.stats.fits == 1
+
+    def test_persists_and_reloads_across_registries(self, tmp_path):
+        """The cross-invocation path: fit+save once, later processes load."""
+        directory = tmp_path / "ckpt"
+        first = ModelRegistry().get_or_fit("k", self._factory, directory=directory)
+        fresh = ModelRegistry()
+        second = fresh.get_or_fit("k", self._factory, directory=directory)
+        assert fresh.stats.fits == 0  # loaded, not re-fitted
+        assert fresh.stats.loads == 1
+        x, _, _ = toy_dataset(n_per_cell=2)
+        assert np.array_equal(
+            first.predict(x).user_probs, second.predict(x).user_probs
+        )
+
+    def test_factory_returning_unfitted_rejected(self):
+        registry = ModelRegistry()
+        with pytest.raises(ValueError):
+            registry.get_or_fit("k", GesturePrint)

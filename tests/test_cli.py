@@ -66,6 +66,18 @@ class TestCliWorkflow:
         assert result["gestures_fused"] == 3
         assert code in (0, 1)
 
+        # Multi-stream serving: events micro-batched across streams.
+        code = main([
+            "serve", "--model-dir", model_dir, "--streams", "4", "--seed", "2",
+        ])
+        out = capsys.readouterr().out
+        assert code in (0, 1)
+        stats = json.loads(out[: out.index("}") + 1])
+        assert stats["streams"] == 4
+        if code == 0:
+            assert stats["events"] >= 1
+            assert stats["engine_batches"] <= stats["events"]
+
     def test_session_rejects_too_few_samples(self, tmp_path, capsys):
         data_path = str(tmp_path / "data.npz")
         model_dir = str(tmp_path / "model")
