@@ -6,8 +6,14 @@ This example shows the serving layer that scales that picture out: a
 run fits and checkpoints it; later runs load in milliseconds), and a
 :class:`~repro.serving.StreamHub` multiplexes eight simulated
 single-person device streams over a shared micro-batched
-:class:`~repro.serving.InferenceEngine`.  (Multi-person scenes plug
-into the same hub via ``open_stream(..., multi_user=True)`` — see
+:class:`~repro.serving.InferenceEngine` governed by a deadline-aware
+:class:`~repro.serving.BatchScheduler`: spans accumulate across frame
+rounds into larger batches, but never longer than the latency SLO
+allows.  Mid-run the checkpoint is overwritten on disk and picked up by
+``registry.load(..., on_change=engine.swap_system)`` — a registry-backed
+hot reload that drops no pending span and tags results with the model
+version that produced them.  (Multi-person scenes plug into the same hub
+via ``open_stream(..., multi_user=True)`` — see
 ``tests/serving/test_hub.py``.)
 
 Run:  python examples/serving_hub.py
@@ -35,6 +41,7 @@ from repro.serving import ModelRegistry, StreamHub
 
 NUM_POINTS = 64
 NUM_STREAMS = 8
+SLO_MS = 50.0  # p95 span-close -> event-delivery budget
 
 
 def fit_small_system() -> GesturePrint:
@@ -72,27 +79,52 @@ def main() -> None:
         )
         streams[f"device-{i}"] = list(recording.frames)
 
-    hub = StreamHub(system, max_batch_size=32, base_seed=7)
+    hub = StreamHub(system, max_batch_size=32, slo_ms=SLO_MS, base_seed=7)
     for stream_id in streams:
         hub.open_stream(stream_id)
 
+    num_rounds = max(len(f) for f in streams.values())
     t0 = time.time()
     events = []
-    for round_idx in range(max(len(f) for f in streams.values())):
+    for round_idx in range(num_rounds):
         frames = {
             sid: frames[round_idx]
             for sid, frames in streams.items()
             if round_idx < len(frames)
         }
         events.extend(hub.push_round(frames))
+        if round_idx == num_rounds // 2:
+            # Simulate a back-end retrain landing mid-serve: the
+            # checkpoint is overwritten on disk (here by a throwaway
+            # registry, standing in for another process), and our
+            # registry's next staleness check hot-swaps it into the
+            # engine.  Pending spans finish on the old weights; results
+            # from here on carry model_version 1.  (Drain the queue
+            # first so no span's latency eats the synchronous disk I/O —
+            # a real deployment would checkpoint in another process.)
+            events.extend(hub.flush_pending())
+            ModelRegistry().save(system, checkpoint)
+            registry.load(checkpoint, on_change=hub.engine.swap_system)
     events.extend(hub.flush_streams())
     elapsed = time.time() - t0
 
     stats = hub.engine.stats
+    scheduler = hub.engine.scheduler
     print(f"\n{len(events)} events from {NUM_STREAMS} concurrent streams "
           f"in {elapsed:.2f}s ({len(events) / elapsed:.1f} events/s)")
     print(f"engine: {stats.requests} requests -> {stats.batches} batches "
-          f"(mean batch {stats.mean_batch:.1f})")
+          f"(mean batch {stats.mean_batch:.1f}); "
+          f"model swaps: {stats.swaps} (now v{hub.engine.model_version})")
+    p95 = scheduler.queue_p95_ms
+    p95_text = f"{p95:.1f} ms" if p95 is not None else "n/a"
+    # NB: in this single-threaded demo the queue wait includes *other*
+    # streams' span preparation (~35 ms each when gestures close in a
+    # burst), which the scheduler cannot control; see bench_slo.py for
+    # the SLO-adherence measurement on classifier-ready samples.
+    print(f"scheduler: SLO {SLO_MS:.0f} ms, batch limit {scheduler.batch_limit}, "
+          f"{scheduler.stats.deadline_flushes} deadline / "
+          f"{scheduler.stats.depth_flushes} depth flushes, "
+          f"queue p95 {p95_text} (incl. span-prep stalls)")
     for stream_event in events:
         event = stream_event.event
         print(f"  {stream_event.stream_id}: gesture #{event.gesture} "

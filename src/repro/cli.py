@@ -192,6 +192,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     from repro.gestures import ASL_GESTURES, ENVIRONMENTS, generate_users, perform_gesture
     from repro.radar import FastRadar
+    from repro.serving import BatchScheduler
 
     if args.streams < 1:
         print("error: --streams must be >= 1", file=sys.stderr)
@@ -213,7 +214,22 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         streams[f"device-{i}"] = list(recording.frames)
     num_rounds = max(len(frames) for frames in streams.values())
 
-    hub = StreamHub(system, max_batch_size=args.max_batch, base_seed=args.seed)
+    # --adaptive-batch without an explicit target gets the default 50 ms
+    # SLO: adaptation and deadline flushes are meaningless without a
+    # budget, and a budget-less scheduler would defer events unboundedly.
+    slo_ms = args.slo_ms
+    if args.adaptive_batch and slo_ms is None:
+        slo_ms = 50.0
+    scheduler = None
+    if slo_ms is not None:
+        scheduler = BatchScheduler(slo_ms=slo_ms, max_batch=args.max_batch)
+    hub = StreamHub(
+        system,
+        max_batch_size=args.max_batch,
+        scheduler=scheduler,
+        slo_ms=slo_ms,
+        base_seed=args.seed,
+    )
     for stream_id in streams:
         hub.open_stream(stream_id)
 
@@ -226,21 +242,35 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             if round_idx < len(frames)
         }
         events.extend(hub.push_round(frames))
+        if args.watch_model and (round_idx + 1) % args.watch_every == 0:
+            # Registry-backed hot reload: an overwritten checkpoint is
+            # picked up between rounds; pending spans finish on the old
+            # weights, later results carry the bumped model_version.
+            REGISTRY.load(args.model_dir, on_change=hub.engine.swap_system)
     events.extend(hub.flush_streams())
     elapsed = time.perf_counter() - start
 
     stats = hub.engine.stats
-    print(json.dumps(
-        {
-            "streams": args.streams,
-            "rounds": num_rounds,
-            "events": len(events),
-            "events_per_sec": round(len(events) / elapsed, 2) if elapsed > 0 else None,
-            "engine_batches": stats.batches,
-            "mean_batch": round(stats.mean_batch, 2),
-        },
-        indent=2,
-    ))
+    summary = {
+        "streams": args.streams,
+        "rounds": num_rounds,
+        "events": len(events),
+        "events_per_sec": round(len(events) / elapsed, 2) if elapsed > 0 else None,
+        "engine_batches": stats.batches,
+        "mean_batch": round(stats.mean_batch, 2),
+        "classification_errors": len(hub.pop_errors()),
+        "model_version": hub.engine.model_version,
+        "model_swaps": stats.swaps,
+    }
+    if scheduler is not None:
+        snap = scheduler.snapshot()
+        summary["slo_ms"] = slo_ms
+        summary["batch_limit"] = snap["batch_limit"]
+        summary["deadline_flushes"] = snap["deadline_flushes"]
+        summary["depth_flushes"] = snap["depth_flushes"]
+        p95 = snap["queue_p95_ms"]
+        summary["queue_p95_ms"] = round(p95, 3) if p95 is not None else None
+    print(json.dumps(summary, indent=2))
     for stream_event in events:
         event = stream_event.event
         inner = event.event if hasattr(event, "event") else event
@@ -312,6 +342,20 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--environment", default="office")
     serve.add_argument("--distance", type=float, default=1.2)
     serve.add_argument("--max-batch", type=int, default=32)
+    serve.add_argument("--slo-ms", type=float, default=None,
+                       help="p95 span-close -> event-delivery latency target; "
+                            "enables the deadline-aware scheduler")
+    serve.add_argument("--adaptive-batch", action="store_true",
+                       help="adapt the batch limit online from observed "
+                            "per-batch latency (EWMA) under the --slo-ms "
+                            "budget (defaults to 50 ms if not given)")
+    serve.add_argument("--watch-model", action="store_true",
+                       help="re-check the checkpoint between rounds and "
+                            "hot-swap an overwritten model without dropping "
+                            "pending spans")
+    serve.add_argument("--watch-every", type=int, default=10,
+                       help="rounds between checkpoint staleness checks "
+                            "(with --watch-model)")
     serve.add_argument("--user-seed", type=int, default=11)
     serve.add_argument("--seed", type=int, default=0)
     return parser

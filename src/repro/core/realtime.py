@@ -9,6 +9,7 @@ and a :class:`GestureEvent` is emitted.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -56,6 +57,11 @@ class PreparedSpan:
     sample: np.ndarray
     #: Points surviving noise cancelling (reported on the event).
     cloud_points: int
+    #: Monotonic timestamp of when the span closed (``time.monotonic``).
+    #: The serving layer uses it as the request's arrival time, so
+    #: latency SLOs are measured from the gesture's end, not from
+    #: whenever the span reached the engine queue.
+    closed_at: float | None = None
 
 
 def prepare_frame_span(
@@ -83,7 +89,11 @@ def prepare_frame_span(
         return None
     sample = normalize_cloud(cloud, num_points, rng)
     return PreparedSpan(
-        start=start, end=end, sample=sample, cloud_points=cloud.num_points
+        start=start,
+        end=end,
+        sample=sample,
+        cloud_points=cloud.num_points,
+        closed_at=time.monotonic(),
     )
 
 

@@ -1,29 +1,38 @@
 """Shared serving layer: micro-batched inference for many streams.
 
-Three pieces, layered under the runtimes in :mod:`repro.core`:
+Four pieces, layered under the runtimes in :mod:`repro.core`:
 
 * :class:`InferenceEngine` — accepts classification requests (normalised
-  gesture clouds), micro-batches them, and runs one vectorised
-  ``GesturePrint.predict`` per flush; byte-identical to the per-event
-  path, with a synchronous ``predict_one`` for latency-critical callers.
+  gesture clouds, each timestamped and optionally deadlined),
+  micro-batches them, and runs one vectorised ``GesturePrint.predict``
+  per flush; byte-identical to the per-event path, with a synchronous
+  ``predict_one`` for latency-critical callers, and hot model reload via
+  ``swap_system`` (version-tagged results, no dropped tickets).
+* :class:`BatchScheduler` — deadline-aware batching policy: flushes by
+  trading queue depth against the oldest request's remaining SLO budget
+  and adapts the batch limit online from observed per-batch latency.
 * :class:`ModelRegistry` — keyed, LRU-cached load/save of fitted systems
-  over :mod:`repro.core.persistence`, so CLIs, examples, and benchmarks
-  stop re-fitting or re-loading per invocation.
+  over :mod:`repro.core.persistence`; ``load(..., on_change=...)`` turns
+  an overwritten checkpoint into an engine hot-swap.
 * :class:`StreamHub` — multiplexes N concurrent single- or multi-person
   runtimes over one shared engine with deterministic per-stream RNG.
 """
 
 from repro.serving.engine import EngineStats, InferenceEngine, SampleResult, Ticket
-from repro.serving.hub import StreamEvent, StreamHub, derive_stream_seed
+from repro.serving.hub import StreamError, StreamEvent, StreamHub, derive_stream_seed
 from repro.serving.registry import ModelRegistry, RegistryStats
+from repro.serving.scheduler import BatchScheduler, SchedulerStats
 
 __all__ = [
+    "BatchScheduler",
     "EngineStats",
     "InferenceEngine",
     "SampleResult",
+    "SchedulerStats",
     "Ticket",
     "ModelRegistry",
     "RegistryStats",
+    "StreamError",
     "StreamEvent",
     "StreamHub",
     "derive_stream_seed",

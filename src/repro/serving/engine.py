@@ -9,42 +9,69 @@ dispatches) dominates the useful math.
 :class:`InferenceEngine` decouples *when a request arrives* from *when
 the model runs*: callers ``submit`` classifier-ready samples and receive
 :class:`Ticket` handles; the engine stacks everything pending into one
-vectorised ``GesturePrint.predict`` per :meth:`flush` (automatically
-when ``max_batch_size`` accumulates).  A synchronous :meth:`predict_one`
-path is kept for latency-critical callers.
+vectorised ``GesturePrint.predict`` per :meth:`flush`.  A synchronous
+:meth:`predict_one` path is kept for latency-critical callers.
 
-Both paths are **byte-identical**: the nn layers pin every BLAS call to
-row-stable kernels, so a sample classified alone produces bit-for-bit
-the same posteriors as the same sample inside a micro-batch (enforced by
-``tests/serving/test_engine.py``).
+Batches are released by one of three triggers:
+
+* **depth** — the queue reached the effective batch limit (a fixed
+  ``max_batch_size``, or the adaptive limit of an attached
+  :class:`~repro.serving.scheduler.BatchScheduler`);
+* **deadline** — with a scheduler, every request carries an arrival
+  timestamp and an optional per-request deadline; :meth:`submit` and
+  :meth:`poll` flush as soon as waiting any longer would be predicted to
+  miss the earliest pending deadline;
+* **explicit** — :meth:`flush` (the hub's end-of-round / end-of-stream
+  paths).
+
+Hot reload: :meth:`swap_system` replaces the fitted system *between*
+batches — everything pending is flushed on the old weights first, so no
+ticket is ever delivered against mixed weights — and stamps every
+:class:`SampleResult` with the ``model_version`` that produced it.
+
+Both classification paths are **byte-identical**: the nn layers pin
+every BLAS call to row-stable kernels, so a sample classified alone
+produces bit-for-bit the same posteriors as the same sample inside a
+micro-batch (enforced by ``tests/serving/test_engine.py``).
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Any, Callable
 
 import numpy as np
 
 from repro.core.pipeline import GesturePrint, PipelineResult
+from repro.serving.scheduler import BatchScheduler
 
 
 @dataclass(frozen=True)
 class SampleResult:
-    """Posteriors for one classified sample (one row of a batch)."""
+    """Posteriors for one classified sample (one row of a batch).
+
+    ``model_version`` identifies the weights that produced the row: it
+    starts at 0 and increments on every :meth:`InferenceEngine.swap_system`,
+    making hot reloads observable to downstream consumers.
+    """
 
     gesture: int
     gesture_probs: np.ndarray
     user: int
     user_probs: np.ndarray
+    model_version: int = 0
 
     @classmethod
-    def from_row(cls, result: PipelineResult, row: int) -> "SampleResult":
+    def from_row(
+        cls, result: PipelineResult, row: int, *, model_version: int = 0
+    ) -> "SampleResult":
         return cls(
             gesture=int(result.gesture_pred[row]),
             gesture_probs=result.gesture_probs[row].copy(),
             user=int(result.user_pred[row]),
             user_probs=result.user_probs[row].copy(),
+            model_version=model_version,
         )
 
 
@@ -53,14 +80,40 @@ class Ticket:
 
     ``result()`` raises until the owning engine flushes the batch the
     request rode in; an optional ``callback`` fires at delivery time with
-    the :class:`SampleResult`.
+    the :class:`SampleResult`, and ``on_error`` fires if the batch the
+    request rode in failed — so deferred callers (the hub's streams)
+    never lose a span silently.
+
+    ``arrival`` is the engine-clock submission timestamp; ``deadline``
+    (same clock, absolute) is the latest acceptable delivery time, or
+    None when the request has no SLO of its own.
     """
 
-    __slots__ = ("meta", "_callback", "_result", "_error", "_done", "_cancelled")
+    __slots__ = (
+        "meta",
+        "arrival",
+        "deadline",
+        "_callback",
+        "_on_error",
+        "_result",
+        "_error",
+        "_done",
+        "_cancelled",
+    )
 
-    def __init__(self, meta: Any = None, callback: Callable[[SampleResult], None] | None = None):
+    def __init__(
+        self,
+        meta: Any = None,
+        callback: Callable[[SampleResult], None] | None = None,
+        on_error: Callable[[Exception], None] | None = None,
+        arrival: float = 0.0,
+        deadline: float | None = None,
+    ):
         self.meta = meta
+        self.arrival = arrival
+        self.deadline = deadline
         self._callback = callback
+        self._on_error = on_error
         self._result: SampleResult | None = None
         self._error: Exception | None = None
         self._done = False
@@ -93,6 +146,8 @@ class Ticket:
     def _fail(self, error: Exception) -> None:
         self._error = error
         self._done = True
+        if self._on_error is not None:
+            self._on_error(error)
 
     def _cancel(self) -> None:
         self._cancelled = True
@@ -107,6 +162,8 @@ class EngineStats:
     batches: int = 0
     batched_samples: int = 0
     max_batch: int = 0
+    failed_batches: int = 0
+    swaps: int = 0
 
     @property
     def mean_batch(self) -> float:
@@ -121,25 +178,59 @@ class InferenceEngine:
     system:
         A fitted :class:`~repro.core.pipeline.GesturePrint`.
     max_batch_size:
-        Auto-flush threshold: ``submit`` triggers a flush as soon as this
-        many requests are pending, bounding both memory and the latency
-        of the oldest queued request.
+        Hard auto-flush threshold: ``submit`` triggers a flush as soon as
+        this many requests are pending, bounding both memory and the
+        latency of the oldest queued request.
+    scheduler:
+        Optional :class:`~repro.serving.scheduler.BatchScheduler`.  When
+        attached, the effective batch limit is the *minimum* of
+        ``max_batch_size`` and the scheduler's adaptive limit, and
+        ``submit``/``poll`` also flush when the earliest pending deadline
+        is about to run out of budget.  The engine adopts the scheduler's
+        clock so arrival timestamps and deadlines share one time base.
+    clock:
+        Monotonic time source (overridden by the scheduler's, if any).
     """
 
-    def __init__(self, system: GesturePrint, *, max_batch_size: int = 32) -> None:
+    def __init__(
+        self,
+        system: GesturePrint,
+        *,
+        max_batch_size: int = 32,
+        scheduler: BatchScheduler | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
         if system.gesture_model is None:
             raise ValueError("the system must be fitted first")
         if max_batch_size < 1:
             raise ValueError("max_batch_size must be >= 1")
         self.system = system
         self.max_batch_size = max_batch_size
+        self.scheduler = scheduler
+        self._clock = scheduler.clock if scheduler is not None else clock
         self.stats = EngineStats()
+        self.model_version = 0
         self._pending: list[tuple[np.ndarray, Ticket]] = []
+        self._in_flush = False
+        self._flush_requested = False
+        self._pending_swap: GesturePrint | None = None
 
     # ------------------------------------------------------------------
     @property
+    def clock(self) -> Callable[[], float]:
+        """The engine's time source; ``submit`` arrivals must use it."""
+        return self._clock
+
+    @property
     def num_pending(self) -> int:
         return len(self._pending)
+
+    @property
+    def batch_limit(self) -> int:
+        """Effective depth threshold (hard cap ∧ adaptive scheduler limit)."""
+        if self.scheduler is None:
+            return self.max_batch_size
+        return min(self.max_batch_size, self.scheduler.batch_limit)
 
     def _validate(self, sample: np.ndarray) -> np.ndarray:
         sample = np.asarray(sample, dtype=np.float64)
@@ -158,7 +249,7 @@ class InferenceEngine:
         self.stats.requests += 1
         self.stats.sync_requests += 1
         result = self.system.predict(sample[None, ...])
-        return SampleResult.from_row(result, 0)
+        return SampleResult.from_row(result, 0, model_version=self.model_version)
 
     def submit(
         self,
@@ -166,22 +257,79 @@ class InferenceEngine:
         *,
         meta: Any = None,
         callback: Callable[[SampleResult], None] | None = None,
+        on_error: Callable[[Exception], None] | None = None,
+        arrival: float | None = None,
+        deadline_ms: float | None = None,
     ) -> Ticket:
         """Queue one sample for the next micro-batch.
 
-        Auto-flushes when ``max_batch_size`` requests are pending, so a
-        steady request stream runs at full batch size without any caller
-        coordination.
+        ``arrival`` backdates the request (engine clock; e.g. to the
+        instant the gesture segment closed upstream) — it defaults to
+        now.  ``deadline_ms`` is this request's own latency budget,
+        measured from arrival; without one, a scheduler's global SLO (if
+        any) applies.
+
+        Auto-flushes on the depth and deadline triggers described in the
+        module docstring.  Auto-flush failures are routed to the failed
+        tickets (``result()`` / ``on_error``) instead of being raised
+        here, so one stream's poison sample cannot blow up another
+        stream's ``submit``.
         """
         sample = self._validate(sample)
-        ticket = Ticket(meta=meta, callback=callback)
+        now = self._clock()
+        arrival = now if arrival is None else arrival
+        deadline = None if deadline_ms is None else arrival + deadline_ms / 1e3
+        ticket = Ticket(
+            meta=meta,
+            callback=callback,
+            on_error=on_error,
+            arrival=arrival,
+            deadline=deadline,
+        )
         self._pending.append((sample, ticket))
         self.stats.requests += 1
-        if len(self._pending) >= self.max_batch_size:
-            self.flush()
+        if self._should_flush(now):
+            self.flush(raise_on_error=False)
         return ticket
 
-    def flush(self) -> list[Ticket]:
+    # ------------------------------------------------------------------
+    def _earliest_slack(self, now: float) -> float | None:
+        """Remaining budget (s) of the most urgent pending request."""
+        slo_s = self.scheduler.slo_s if self.scheduler is not None else None
+        earliest: float | None = None
+        for _, ticket in self._pending:
+            deadline = ticket.deadline
+            if deadline is None and slo_s is not None:
+                deadline = ticket.arrival + slo_s
+            if deadline is not None and (earliest is None or deadline < earliest):
+                earliest = deadline
+        return None if earliest is None else earliest - now
+
+    def _should_flush(self, now: float) -> bool:
+        depth = len(self._pending)
+        if depth == 0:
+            return False
+        if depth >= self.max_batch_size:  # hard cap, scheduler or not
+            return True
+        if self.scheduler is not None:
+            return self.scheduler.should_flush(depth, slack_s=self._earliest_slack(now))
+        # No scheduler: still honour explicit per-request deadlines.
+        slack = self._earliest_slack(now)
+        return slack is not None and slack <= 0.0
+
+    def poll(self) -> list[Ticket]:
+        """Deadline check: flush if the pending queue must run *now*.
+
+        The serving loop calls this once per frame round; it is a no-op
+        unless the depth or deadline trigger fires.  Errors are routed to
+        the failed tickets, never raised here.
+        """
+        if self._should_flush(self._clock()):
+            return self.flush(raise_on_error=False)
+        return []
+
+    # ------------------------------------------------------------------
+    def flush(self, *, raise_on_error: bool = True) -> list[Ticket]:
         """Run one vectorised predict over everything pending.
 
         Requests are grouped by sample shape (streams may normalise to
@@ -189,35 +337,104 @@ class InferenceEngine:
         Returns the tickets completed by this call, in submission order.
 
         A group whose forward pass raises fails only its own tickets
-        (``Ticket.result`` re-raises the error); the other groups still
-        deliver, and the first error is re-raised after all groups ran.
+        (``Ticket.result`` re-raises, ``on_error`` fires); the other
+        groups still deliver.  With ``raise_on_error`` (the default for
+        explicit calls) the first group error is re-raised *after* every
+        group ran and every ticket was resolved.
+
+        Reentrancy: a delivery callback that submits (e.g. a chained
+        second-stage classification) may trigger a nested flush; it is
+        deferred to the tail of the outer flush, so batches never
+        interleave and delivery order stays submission order.
         """
-        if not self._pending:
+        if self._in_flush:
+            # Nested call (from a delivery callback): run at the tail of
+            # the outer flush instead of interleaving batches.
+            self._flush_requested = True
             return []
-        pending, self._pending = self._pending, []
+        self._in_flush = True
+        completed: list[Ticket] = []
+        first_error: Exception | None = None
+        try:
+            while self._pending:
+                pending, self._pending = self._pending, []
+                self._flush_requested = False
+                error = self._run_batches(pending)
+                if first_error is None:
+                    first_error = error
+                completed.extend(ticket for _, ticket in pending)
+                if not self._flush_requested:
+                    break
+        finally:
+            self._in_flush = False
+        if self._pending_swap is not None:
+            swap, self._pending_swap = self._pending_swap, None
+            self.swap_system(swap)
+        if first_error is not None and raise_on_error:
+            raise first_error
+        return completed
+
+    def _run_batches(
+        self, pending: list[tuple[np.ndarray, Ticket]]
+    ) -> Exception | None:
+        """One flush pass: group by shape, predict, deliver.  Returns the
+        first group error (tickets of failed groups are already failed)."""
         groups: dict[tuple[int, ...], list[tuple[np.ndarray, Ticket]]] = {}
         for sample, ticket in pending:
             groups.setdefault(sample.shape, []).append((sample, ticket))
         first_error: Exception | None = None
+        version = self.model_version
         for entries in groups.values():
             batch = np.stack([sample for sample, _ in entries])
+            start = self._clock()
             try:
                 result = self.system.predict(batch)
             except Exception as error:  # poison batch: fail this group only
+                self.stats.failed_batches += 1
                 for _, ticket in entries:
                     ticket._fail(error)
                 if first_error is None:
                     first_error = error
                 continue
+            done = self._clock()
+            if self.scheduler is not None:
+                self.scheduler.observe_batch(len(entries), done - start)
             self.stats.batches += 1
             self.stats.batched_samples += len(entries)
             self.stats.max_batch = max(self.stats.max_batch, len(entries))
             for row, (_, ticket) in enumerate(entries):
-                ticket._deliver(SampleResult.from_row(result, row))
-        if first_error is not None:
-            raise first_error
-        return [ticket for _, ticket in pending]
+                if self.scheduler is not None:
+                    self.scheduler.record_queue_latency(done - ticket.arrival)
+                ticket._deliver(
+                    SampleResult.from_row(result, row, model_version=version)
+                )
+        return first_error
 
+    # ------------------------------------------------------------------
+    def swap_system(self, system: GesturePrint) -> int:
+        """Hot-swap the fitted system; returns the new ``model_version``.
+
+        Pending requests are flushed on the *old* weights first, so no
+        ticket is dropped and none is delivered against mixed weights;
+        results produced after the swap carry the incremented version.
+        Safe to call from a delivery callback: mid-flush swaps are
+        deferred until the current flush fully drains.
+        """
+        if system.gesture_model is None:
+            raise ValueError("the swapped-in system must be fitted first")
+        if system is self.system:
+            return self.model_version
+        if self._in_flush:
+            self._pending_swap = system
+            return self.model_version + 1
+        if self._pending:
+            self.flush(raise_on_error=False)
+        self.system = system
+        self.model_version += 1
+        self.stats.swaps += 1
+        return self.model_version
+
+    # ------------------------------------------------------------------
     def discard_pending(self, predicate: Callable[[Any], bool] | None = None) -> int:
         """Cancel queued requests instead of flushing them.
 

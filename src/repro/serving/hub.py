@@ -11,9 +11,14 @@ over one :class:`~repro.serving.engine.InferenceEngine`:
   stream id, independent of open order), so results are reproducible
   stream by stream;
 * gesture spans closed by any stream are *deferred* into the shared
-  engine instead of classified inline; :meth:`push_round` flushes once
-  per frame round, so spans that close together across streams ride one
-  vectorised forward pass.
+  engine instead of classified inline; :meth:`push_round` flushes (or,
+  with a latency SLO, lets the deadline-aware scheduler decide) once per
+  frame round, so spans that close together across streams ride one
+  vectorised forward pass;
+* a span whose batch fails is never lost silently: the failure is
+  recorded as a :class:`StreamError` (see :meth:`pop_errors`) while the
+  other streams' events still deliver — one poison sample cannot strand
+  everyone else's results.
 
 Because engine batches are byte-identical to batch-of-1 predicts, a hub
 stream emits exactly the same events as a standalone runtime fed the
@@ -22,6 +27,7 @@ same frames with the same seed.
 
 from __future__ import annotations
 
+import time
 import zlib
 from dataclasses import dataclass
 from typing import Iterable, Mapping
@@ -33,6 +39,7 @@ from repro.core.realtime import GestureEvent, GesturePrintRuntime, build_event
 from repro.core.pipeline import GesturePrint
 from repro.radar.pointcloud import Frame
 from repro.serving.engine import InferenceEngine
+from repro.serving.scheduler import BatchScheduler
 
 
 @dataclass(frozen=True)
@@ -41,6 +48,15 @@ class StreamEvent:
 
     stream_id: str
     event: GestureEvent | TrackedGestureEvent
+
+
+@dataclass(frozen=True)
+class StreamError:
+    """One span whose classification batch failed, with its origin."""
+
+    stream_id: str
+    track_id: int | None
+    error: Exception
 
 
 def derive_stream_seed(base_seed: int, stream_id: str) -> int:
@@ -55,7 +71,10 @@ class _DeferredSpanClassifier:
     Implements the ``classify_span(span, on_event, track_id=None)``
     contract of :class:`~repro.core.realtime.DirectSpanClassifier` but
     returns None immediately; the event is assembled and recorded (via
-    ``on_event``) when the engine flushes the micro-batch.
+    ``on_event``) when the engine flushes the micro-batch.  The span's
+    close timestamp rides along as the request's arrival time, so the
+    scheduler measures latency from the moment the gesture ended, not
+    from whenever the hub got around to submitting.
     """
 
     def __init__(self, hub: "StreamHub", stream_id: str) -> None:
@@ -69,7 +88,23 @@ class _DeferredSpanClassifier:
             event = on_event(build_event(span, result.gesture_probs, result.user_probs))
             hub._delivered.append(StreamEvent(stream_id=stream_id, event=event))
 
-        hub.engine.submit(span.sample, meta=(stream_id, track_id), callback=_deliver)
+        def _fail(error: Exception) -> None:
+            hub._errors.append(
+                StreamError(stream_id=stream_id, track_id=track_id, error=error)
+            )
+
+        # closed_at is stamped with time.monotonic; backdating the
+        # request to it is only meaningful when the engine shares that
+        # time base (an injected test clock does not).
+        arrival = span.closed_at if hub.engine.clock is time.monotonic else None
+        hub.engine.submit(
+            span.sample,
+            meta=(stream_id, track_id),
+            callback=_deliver,
+            on_error=_fail,
+            arrival=arrival,
+            deadline_ms=hub.slo_ms,
+        )
         return None
 
 
@@ -86,6 +121,15 @@ class StreamHub:
         session identifiers) instead of building a private one.
     max_batch_size:
         Forwarded to the private engine.
+    scheduler:
+        Optional :class:`~repro.serving.scheduler.BatchScheduler` for the
+        private engine.  With one attached, :meth:`push_round` *polls*
+        instead of force-flushing: batches accumulate across rounds until
+        the adaptive depth limit or a deadline releases them.
+    slo_ms:
+        Per-span latency budget (span close -> event delivery).  Implies
+        a default scheduler when none is given.  Also tagged onto every
+        submitted span as its request deadline.
     base_seed:
         Root of the per-stream RNG derivation.
     """
@@ -96,16 +140,24 @@ class StreamHub:
         *,
         engine: InferenceEngine | None = None,
         max_batch_size: int = 32,
+        scheduler: BatchScheduler | None = None,
+        slo_ms: float | None = None,
         base_seed: int = 0,
     ) -> None:
         if engine is None:
             if system is None:
                 raise ValueError("pass a fitted system or an engine")
-            engine = InferenceEngine(system, max_batch_size=max_batch_size)
+            if scheduler is None and slo_ms is not None:
+                scheduler = BatchScheduler(slo_ms=slo_ms, max_batch=max_batch_size)
+            engine = InferenceEngine(
+                system, max_batch_size=max_batch_size, scheduler=scheduler
+            )
         self.engine = engine
+        self.slo_ms = slo_ms
         self.base_seed = base_seed
         self._streams: dict[str, GesturePrintRuntime | MultiUserRuntime] = {}
         self._delivered: list[StreamEvent] = []
+        self._errors: list[StreamError] = []
 
     # ------------------------------------------------------------------
     @property
@@ -160,11 +212,21 @@ class StreamHub:
         delivered, self._delivered = self._delivered, []
         return delivered
 
+    @property
+    def errors(self) -> list[StreamError]:
+        """Classification failures recorded since the last :meth:`pop_errors`."""
+        return list(self._errors)
+
+    def pop_errors(self) -> list[StreamError]:
+        """Drain the recorded classification failures."""
+        errors, self._errors = self._errors, []
+        return errors
+
     def push(self, stream_id: str, frame: Frame) -> list[StreamEvent]:
         """Feed one frame into one stream.
 
         Spans that close are queued on the shared engine; events are only
-        returned here if the queue hit ``max_batch_size`` and auto-flushed.
+        returned here if the queue hit the batch limit and auto-flushed.
         Call :meth:`flush_pending` (or use :meth:`push_round`) to force
         delivery.
         """
@@ -174,30 +236,54 @@ class StreamHub:
     def push_round(
         self, frames: Mapping[str, Frame] | Iterable[tuple[str, Frame]]
     ) -> list[StreamEvent]:
-        """Feed one frame per stream, then flush the shared micro-batch.
+        """Feed one frame per stream, then release the shared micro-batch.
 
-        This is the serving loop's steady state: all spans that closed on
-        this round — across every stream — ride one vectorised forward
-        pass.  Returns the delivered events in submission order within
-        each sample shape (streams normalising to different point counts
-        are grouped into separate forward passes).
+        This is the serving loop's steady state.  Without a scheduler,
+        everything pending is flushed — all spans that closed on this
+        round, across every stream, ride one vectorised forward pass.
+        With a scheduler, the engine is *polled* instead: spans may
+        accumulate across rounds until the adaptive depth limit or the
+        oldest span's deadline releases them (deliveries then happen on a
+        later round, still within the SLO).
+
+        All stream ids are validated **before** any frame is pushed, so a
+        typo'd id cannot leave the round half-applied with the other
+        streams' segmenters out of step.  Batch failures are recorded as
+        :class:`StreamError` (see :meth:`pop_errors`) rather than raised,
+        so events delivered on this round are always returned.
         """
-        items = frames.items() if isinstance(frames, Mapping) else frames
-        for stream_id, frame in items:
-            self._streams[str(stream_id)].push_frame(frame)
-        self.engine.flush()
+        items = list(frames.items() if isinstance(frames, Mapping) else frames)
+        resolved = [(str(stream_id), frame) for stream_id, frame in items]
+        unknown = [sid for sid, _ in resolved if sid not in self._streams]
+        if unknown:
+            raise KeyError(
+                f"unknown stream id(s) {unknown!r}; round not applied "
+                f"(open streams: {sorted(self._streams)!r})"
+            )
+        for stream_id, frame in resolved:
+            self._streams[stream_id].push_frame(frame)
+        if self.engine.scheduler is not None:
+            self.engine.poll()
+        else:
+            self.engine.flush(raise_on_error=False)
         return self._drain()
 
     def flush_pending(self) -> list[StreamEvent]:
-        """Flush the engine queue and return the delivered events."""
-        self.engine.flush()
+        """Force-flush the engine queue and return the delivered events.
+
+        Exception-safe: groups that classified successfully always
+        deliver and are always returned; failures land in
+        :meth:`pop_errors` instead of stranding delivered events behind a
+        raised exception.
+        """
+        self.engine.flush(raise_on_error=False)
         return self._drain()
 
     def flush_streams(self) -> list[StreamEvent]:
         """End-of-stream: close every open gesture, then flush the engine."""
         for runtime in self._streams.values():
             runtime.flush()
-        self.engine.flush()
+        self.engine.flush(raise_on_error=False)
         return self._drain()
 
     # ------------------------------------------------------------------
@@ -219,3 +305,4 @@ class StreamHub:
         for runtime in self._streams.values():
             runtime.reset()
         self._delivered.clear()
+        self._errors.clear()

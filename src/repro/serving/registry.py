@@ -109,12 +109,25 @@ class ModelRegistry:
         except OSError:
             return None
 
-    def load(self, directory: str | os.PathLike) -> GesturePrint:
+    def load(
+        self,
+        directory: str | os.PathLike,
+        *,
+        on_change: Callable[[GesturePrint], None] | None = None,
+    ) -> GesturePrint:
         """Load a checkpoint directory, cached by its resolved path.
 
         The checkpoint manifest's mtime is recorded at load time; if the
         directory is overwritten on disk, the next ``load`` notices and
         re-reads instead of serving the stale weights.
+
+        ``on_change`` fires (with the freshly loaded system) only when a
+        *previously cached* entry was replaced by a newer on-disk
+        checkpoint — not on a first load.  Pointing it at
+        :meth:`InferenceEngine.swap_system` gives a serving loop
+        registry-backed hot reload: call ``load`` between rounds and an
+        overwritten checkpoint is picked up without dropping or
+        misdelivering any pending ticket.
         """
         key = self._path_key(directory)
         cached = self._cache.get(key)
@@ -126,7 +139,10 @@ class ModelRegistry:
         system = load_system(directory)
         self.stats.loads += 1
         self._mtimes[key] = self._manifest_mtime(directory)
-        return self.put(key, system)
+        self.put(key, system)
+        if cached is not None and on_change is not None:
+            on_change(system)
+        return system
 
     def save(
         self, system: GesturePrint, directory: str | os.PathLike
@@ -160,6 +176,13 @@ class ModelRegistry:
         if directory is not None and (pathlib.Path(directory) / MANIFEST_NAME).exists():
             system = load_system(directory)
             self.stats.loads += 1
+            # Record the manifest mtime and cache under the resolved path
+            # too, so a later ``load()`` of the same checkpoint warm-hits
+            # instead of always seeing a staleness mismatch.
+            path_key = self._path_key(directory)
+            self._mtimes[path_key] = self._manifest_mtime(directory)
+            if path_key != key:
+                self.put(path_key, system)
             return self.put(key, system)
         system = factory()
         self.stats.fits += 1
@@ -168,4 +191,8 @@ class ModelRegistry:
         if directory is not None:
             save_system(system, directory)
             self.stats.saves += 1
+            path_key = self._path_key(directory)
+            self._mtimes[path_key] = self._manifest_mtime(directory)
+            if path_key != key:
+                self.put(path_key, system)
         return self.put(key, system)

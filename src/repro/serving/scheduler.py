@@ -1,0 +1,225 @@
+"""Deadline-aware adaptive batching policy for the inference engine.
+
+The deployed pipeline classifies a gesture the moment its segment closes,
+so serving *latency* — not just throughput — is the product constraint.
+PR 1's engine flushed only on ``max_batch_size`` or an explicit call: a
+lone queued span could wait unboundedly for company.
+
+:class:`BatchScheduler` closes that gap.  It owns two decisions:
+
+* **when to flush** — trade queue depth against the oldest pending
+  request's remaining SLO budget: flush as soon as running the batch
+  *now* is predicted to just meet the earliest deadline, and otherwise
+  keep accumulating so spans closing near each other still ride one
+  vectorised forward pass;
+* **how large a batch to allow** — adapt the effective batch limit
+  online from observed per-batch latency (an exponentially-weighted
+  linear model ``latency ≈ overhead + per_sample · batch``), so the
+  engine runs the largest batch whose predicted execution time still
+  fits inside the latency budget.
+
+The scheduler is a pure policy object: it never touches the queue and
+has no threads.  The engine consults :meth:`should_flush` on every
+``submit``/``poll`` and reports measurements back through
+:meth:`observe_batch` / :meth:`record_queue_latency`.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque
+
+
+@dataclass
+class SchedulerStats:
+    """Why batches were released, plus the adaptation state."""
+
+    depth_flushes: int = 0
+    deadline_flushes: int = 0
+    observed_batches: int = 0
+    #: Delivered queue latencies (seconds), most recent last.
+    queue_window: Deque[float] = field(default_factory=deque, repr=False)
+
+
+class BatchScheduler:
+    """Latency-budgeted batching policy.
+
+    Parameters
+    ----------
+    slo_ms:
+        Target p95 queue latency (submit -> delivery) in milliseconds.
+        ``None`` disables deadline-forced flushes: the policy degrades to
+        a pure depth threshold (PR 1 behaviour) while still tracking
+        latency statistics.
+    min_batch / max_batch:
+        Clamp for the adaptive batch limit.
+    ewma_alpha:
+        Forgetting factor of the latency model; higher adapts faster.
+    safety:
+        Fraction of the SLO budget the *execution* of a full batch may
+        consume; the rest is queueing headroom (keeps p95, not the mean,
+        under the target).
+    margin_ms:
+        Scheduling slack: flush when the earliest deadline's remaining
+        budget falls within ``predicted batch latency + margin``.
+    window:
+        Number of delivered-latency samples kept for the p95 estimate.
+    clock:
+        Monotonic time source (injectable for deterministic tests).
+    """
+
+    def __init__(
+        self,
+        *,
+        slo_ms: float | None = 50.0,
+        min_batch: int = 1,
+        max_batch: int = 64,
+        ewma_alpha: float = 0.25,
+        safety: float = 0.8,
+        margin_ms: float = 2.0,
+        window: int = 512,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if slo_ms is not None and slo_ms < 0:
+            raise ValueError("slo_ms must be >= 0")
+        if not 1 <= min_batch <= max_batch:
+            raise ValueError("need 1 <= min_batch <= max_batch")
+        if not 0.0 < ewma_alpha <= 1.0:
+            raise ValueError("ewma_alpha must be in (0, 1]")
+        if not 0.0 < safety <= 1.0:
+            raise ValueError("safety must be in (0, 1]")
+        self.slo_ms = slo_ms
+        self.min_batch = min_batch
+        self.max_batch = max_batch
+        self.ewma_alpha = ewma_alpha
+        self.safety = safety
+        self.margin_s = margin_ms / 1e3
+        self.clock = clock
+        self.stats = SchedulerStats()
+        self._window = window
+        # EW moments of (batch_size, latency) for the linear model.
+        self._mx = self._my = self._mxx = self._mxy = 0.0
+        self._fitted = False
+
+    # ------------------------------------------------------------------
+    @property
+    def slo_s(self) -> float | None:
+        return None if self.slo_ms is None else self.slo_ms / 1e3
+
+    def _model(self) -> tuple[float, float]:
+        """``(overhead_s, per_sample_s)`` of the current latency fit.
+
+        The regression slope is clamped to the amortised per-sample cost
+        ``mean_latency / mean_batch``: a noisier slope (batch sizes that
+        barely vary make ``cov/var`` explode) would feed back into a
+        smaller batch limit, whose higher amortised cost shrinks the
+        limit further — a ratchet to ``min_batch``.  The amortised bound
+        turns that loop into a stable fixed point at the largest batch
+        whose execution fits the budget.
+        """
+        if not self._fitted or self._mx <= 0.0:
+            return 0.0, 0.0
+        amortised = self._my / self._mx
+        var = self._mxx - self._mx * self._mx
+        cov = self._mxy - self._mx * self._my
+        if var > 1.0 and cov > 0.0:
+            per_sample = min(cov / var, amortised)
+            overhead = max(self._my - per_sample * self._mx, 0.0)
+        else:
+            # Degenerate (constant batch sizes, or noise-dominated):
+            # attribute everything to the per-sample term.
+            per_sample = amortised
+            overhead = 0.0
+        return overhead, per_sample
+
+    def predicted_latency_s(self, batch_size: int) -> float:
+        """Predicted execution time of a batch of ``batch_size``."""
+        overhead, per_sample = self._model()
+        return overhead + per_sample * max(batch_size, 0)
+
+    @property
+    def batch_limit(self) -> int:
+        """Largest batch whose predicted execution fits the budget."""
+        if self.slo_s is None or not self._fitted:
+            return self.max_batch
+        overhead, per_sample = self._model()
+        budget = self.slo_s * self.safety
+        if per_sample <= 0.0:
+            return self.max_batch
+        limit = int((budget - overhead) / per_sample)
+        return max(self.min_batch, min(limit, self.max_batch))
+
+    # ------------------------------------------------------------------
+    def should_flush(
+        self,
+        depth: int,
+        *,
+        slack_s: float | None = None,
+    ) -> bool:
+        """Release the pending batch now?
+
+        ``depth`` is the queue depth; ``slack_s`` is the earliest pending
+        deadline's remaining budget (seconds), or None when nothing
+        pending carries a deadline and no SLO applies.
+        """
+        if depth <= 0:
+            return False
+        if depth >= self.batch_limit:
+            self.stats.depth_flushes += 1
+            return True
+        if slack_s is not None and slack_s <= self.predicted_latency_s(depth) + self.margin_s:
+            self.stats.deadline_flushes += 1
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    def observe_batch(self, batch_size: int, latency_s: float) -> None:
+        """Feed one executed batch's measured latency into the model."""
+        if batch_size < 1 or latency_s < 0.0:
+            return
+        a = self.ewma_alpha
+        if not self._fitted:
+            self._mx, self._my = float(batch_size), float(latency_s)
+            self._mxx = float(batch_size) ** 2
+            self._mxy = float(batch_size) * float(latency_s)
+            self._fitted = True
+        else:
+            self._mx = (1 - a) * self._mx + a * batch_size
+            self._my = (1 - a) * self._my + a * latency_s
+            self._mxx = (1 - a) * self._mxx + a * batch_size * batch_size
+            self._mxy = (1 - a) * self._mxy + a * batch_size * latency_s
+        self.stats.observed_batches += 1
+
+    def record_queue_latency(self, latency_s: float) -> None:
+        """Record one delivered request's submit -> delivery latency."""
+        window = self.stats.queue_window
+        window.append(latency_s)
+        while len(window) > self._window:
+            window.popleft()
+
+    @property
+    def queue_p95_ms(self) -> float | None:
+        """p95 of the recorded queue latencies (None before any delivery)."""
+        window = self.stats.queue_window
+        if not window:
+            return None
+        ordered = sorted(window)
+        rank = math.ceil(0.95 * len(ordered)) - 1  # nearest-rank p95
+        return ordered[max(rank, 0)] * 1e3
+
+    def snapshot(self) -> dict:
+        """Operational summary for benchmarks / the CLI."""
+        overhead, per_sample = self._model()
+        return {
+            "slo_ms": self.slo_ms,
+            "batch_limit": self.batch_limit,
+            "overhead_ms": overhead * 1e3,
+            "per_sample_ms": per_sample * 1e3,
+            "depth_flushes": self.stats.depth_flushes,
+            "deadline_flushes": self.stats.deadline_flushes,
+            "observed_batches": self.stats.observed_batches,
+            "queue_p95_ms": self.queue_p95_ms,
+        }

@@ -56,3 +56,15 @@ def fitted(toy_data):
         augment=False,
     )
     return GesturePrint(config).fit(x, g, u)
+
+
+@pytest.fixture(scope="session")
+def fitted_b(toy_data):
+    """A second system with different weights (hot-reload tests)."""
+    x, g, u = toy_data
+    config = GesturePrintConfig(
+        network=tiny_network(),
+        training=TrainConfig(epochs=4, batch_size=8, learning_rate=3e-3, seed=1),
+        augment=False,
+    )
+    return GesturePrint(config).fit(x, g, u)

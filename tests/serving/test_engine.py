@@ -104,6 +104,41 @@ class TestMicroBatching:
         with pytest.raises(Exception):
             bad.result()
 
+    def test_poison_group_error_callback_fires(self, fitted, toy_data):
+        """Deferred callers learn about failed spans instead of losing
+        them silently: Ticket._fail notifies on_error."""
+        x, _, _ = toy_data
+        engine = InferenceEngine(fitted, max_batch_size=16)
+        errors = []
+        bad = engine.submit(np.zeros((0, x.shape[2])), on_error=errors.append)
+        engine.flush(raise_on_error=False)  # exception-safe flush
+        assert bad.done
+        assert len(errors) == 1 and isinstance(errors[0], Exception)
+        with pytest.raises(Exception):
+            bad.result()
+
+    def test_reentrant_submit_defers_to_flush_tail(self, fitted, toy_data):
+        """A delivery callback that submits (chained classification) must
+        not interleave batches: the nested flush runs after the outer
+        one, and delivery order stays submission order."""
+        x, _, _ = toy_data
+        engine = InferenceEngine(fitted, max_batch_size=2)
+        order = []
+
+        def chain(_result):
+            order.append("a")
+            engine.submit(x[2], callback=lambda r: order.append("c"))
+            # Second nested submit crosses max_batch_size: without the
+            # _in_flush guard this would flush (c, d) mid-delivery of a.
+            engine.submit(x[3], callback=lambda r: order.append("d"))
+
+        a = engine.submit(x[0], callback=chain)
+        b = engine.submit(x[1], callback=lambda r: order.append("b"))
+        assert order == ["a", "b", "c", "d"]
+        assert a.done and b.done
+        assert engine.num_pending == 0
+        assert engine.stats.batches == 2
+
     def test_discard_pending_cancels_tickets(self, fitted, toy_data):
         x, _, _ = toy_data
         engine = InferenceEngine(fitted, max_batch_size=16)
@@ -148,6 +183,62 @@ class TestBatchedEquivalence:
         with_tail = engine.predict_many(x[5:20])[0]
         _assert_same_result(alone, with_head)
         _assert_same_result(alone, with_tail)
+
+
+class TestHotSwap:
+    """swap_system: no dropped tickets, no mixed weights, versions tagged."""
+
+    def test_swap_flushes_pending_on_old_weights(self, fitted, fitted_b, toy_data):
+        x, _, _ = toy_data
+        engine = InferenceEngine(fitted, max_batch_size=16)
+        pending = engine.submit(x[0])
+        version = engine.swap_system(fitted_b)
+        assert version == 1 and engine.model_version == 1
+        assert pending.done and not pending.cancelled
+        old = pending.result()
+        assert old.model_version == 0
+        reference = fitted.predict(x[0:1])  # the *old* weights
+        assert np.array_equal(old.gesture_probs, reference.gesture_probs[0])
+        new = engine.predict_one(x[0])
+        assert new.model_version == 1
+        assert np.array_equal(
+            new.user_probs, fitted_b.predict(x[0:1]).user_probs[0]
+        )
+        assert engine.stats.swaps == 1
+
+    def test_swap_same_system_is_noop(self, fitted):
+        engine = InferenceEngine(fitted)
+        assert engine.swap_system(fitted) == 0
+        assert engine.stats.swaps == 0
+
+    def test_swap_rejects_unfitted(self, fitted):
+        from repro.core import GesturePrint
+
+        engine = InferenceEngine(fitted)
+        with pytest.raises(ValueError):
+            engine.swap_system(GesturePrint())
+
+    def test_swap_from_delivery_callback_is_deferred(
+        self, fitted, fitted_b, toy_data
+    ):
+        """A swap requested mid-flush applies only after the current
+        flush drains: tickets of the same batch never mix weights."""
+        x, _, _ = toy_data
+        engine = InferenceEngine(fitted, max_batch_size=16)
+        seen = {}
+
+        def swap_now(_result):
+            engine.swap_system(fitted_b)
+            seen["version_during_flush"] = engine.model_version
+
+        first = engine.submit(x[0], callback=swap_now)
+        second = engine.submit(x[1])
+        engine.flush()
+        assert seen["version_during_flush"] == 0  # not applied mid-batch
+        assert first.result().model_version == 0
+        assert second.result().model_version == 0
+        assert engine.model_version == 1  # applied at the flush tail
+        assert engine.system is fitted_b
 
 
 class TestSessionThroughEngine:

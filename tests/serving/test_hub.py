@@ -136,6 +136,118 @@ class TestBatchedEquivalence:
             _assert_events_identical([a.event], [b.event])
 
 
+class _FailOnce:
+    """System wrapper whose next predict raises, then delegates."""
+
+    def __init__(self, system):
+        self._system = system
+        self.fails_left = 1
+
+    def __getattr__(self, name):
+        return getattr(self._system, name)
+
+    def predict(self, batch):
+        if self.fails_left:
+            self.fails_left -= 1
+            raise RuntimeError("transient backend failure")
+        return self._system.predict(batch)
+
+
+class TestFaultContainment:
+    """One poison span must not strand other streams' delivered events."""
+
+    def test_push_round_unknown_stream_is_atomic(self, fitted):
+        """All ids are validated before any frame is pushed: a typo'd id
+        cannot leave the round half-applied."""
+        hub = StreamHub(fitted)
+        hub.open_stream("a", num_points=12)
+        frame = _person_frame(np.random.default_rng(0), 0.0, 10)
+        with pytest.raises(KeyError):
+            hub.push_round({"a": frame, "ghost": frame})
+        assert hub.runtime("a").frames_seen == 0  # nothing consumed
+
+    def test_poison_rider_does_not_strand_delivered_events(self, fitted):
+        """A failing group on the shared engine must not make the hub's
+        flush raise past the drain — successfully classified events are
+        returned, not left invisible in hub._delivered."""
+        from repro.serving import InferenceEngine
+
+        engine = InferenceEngine(fitted, max_batch_size=64)
+        hub = StreamHub(engine=engine)
+        hub.open_stream("solo", num_points=12)
+        for frame in _gesture_stream(300, gestures=1):
+            hub.push("solo", frame)
+        hub.runtime("solo").flush()  # close the gesture -> span queued
+        assert engine.num_pending > 0
+        engine.submit(np.zeros((0, 8)))  # poison rider from another caller
+        events = hub.flush_pending()  # must not raise
+        assert len(events) >= 1
+        assert [e.stream_id for e in events] == ["solo"] * len(events)
+        assert hub.pop_errors() == []  # the hub's own span succeeded
+
+    def test_failed_span_recorded_as_stream_error(self, fitted):
+        """When the hub's own span fails, the loss is observable: a
+        StreamError names the stream instead of silence."""
+        hub = StreamHub(fitted, max_batch_size=64)
+        hub.open_stream("solo", num_points=12)
+        for frame in _gesture_stream(300, gestures=1):
+            hub.push("solo", frame)
+        hub.runtime("solo").flush()
+        assert hub.engine.num_pending > 0
+        hub.engine.system = _FailOnce(hub.engine.system)
+        assert hub.flush_pending() == []
+        errors = hub.pop_errors()
+        assert len(errors) == 1
+        assert errors[0].stream_id == "solo"
+        assert isinstance(errors[0].error, RuntimeError)
+        assert hub.pop_errors() == []  # drained
+        # The stream keeps serving after the transient failure.
+        for frame in _gesture_stream(301, gestures=1):
+            hub.push("solo", frame)
+        hub.runtime("solo").flush()
+        assert len(hub.flush_pending()) >= 1
+
+
+class TestSchedulerDrivenHub:
+    """With an SLO the hub polls instead of force-flushing per round."""
+
+    def test_huge_slo_defers_across_rounds_then_delivers_identical(self, fitted):
+        frames = _gesture_stream(500, gestures=2)
+        reference = StreamHub(fitted)
+        reference.open_stream("s", num_points=12, seed=7)
+        ref_events = []
+        for frame in frames:
+            ref_events.extend(reference.push_round({"s": frame}))
+        ref_events.extend(reference.flush_streams())
+
+        hub = StreamHub(fitted, slo_ms=600_000.0)  # budget never expires
+        hub.open_stream("s", num_points=12, seed=7)
+        deferred = []
+        for frame in frames:
+            deferred.extend(hub.push_round({"s": frame}))
+        assert deferred == []  # nothing forced a flush mid-stream
+        events = hub.flush_streams()
+        assert len(events) == len(ref_events) > 0
+        _assert_events_identical(
+            [e.event for e in events], [e.event for e in ref_events]
+        )
+
+    def test_zero_slo_behaves_like_flush_per_round(self, fitted):
+        frames = _gesture_stream(500, gestures=2)
+        reference = StreamHub(fitted)
+        reference.open_stream("s", num_points=12, seed=7)
+        hub = StreamHub(fitted, slo_ms=0.0)  # every poll releases the queue
+        hub.open_stream("s", num_points=12, seed=7)
+        for frame in frames:
+            ref_round = reference.push_round({"s": frame})
+            slo_round = hub.push_round({"s": frame})
+            assert len(ref_round) == len(slo_round)
+        _assert_events_identical(
+            [e.event for e in hub.flush_streams()],
+            [e.event for e in reference.flush_streams()],
+        )
+
+
 class TestDeterminism:
     def test_events_independent_of_open_order(self, fitted):
         streams = {f"s{i}": _gesture_stream(200 + i, gestures=1) for i in range(4)}

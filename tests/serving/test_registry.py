@@ -88,6 +88,27 @@ class TestPersistence:
         second = registry.load(tmp_path / "model")
         assert second is not first  # re-read from disk, not served stale
 
+    def test_load_on_change_fires_only_on_staleness(self, fitted, tmp_path):
+        """on_change is the hot-reload hook: silent on first load and on
+        warm hits, called with the fresh system when the checkpoint was
+        overwritten underneath a cached entry."""
+        import os
+
+        registry = ModelRegistry()
+        registry.save(fitted, tmp_path / "model")
+        registry.clear()
+        changes = []
+        first = registry.load(tmp_path / "model", on_change=changes.append)
+        assert changes == []  # a first load is not a change
+        registry.load(tmp_path / "model", on_change=changes.append)
+        assert changes == []  # warm hit
+        manifest = tmp_path / "model" / "manifest.json"
+        stat = manifest.stat()
+        os.utime(manifest, ns=(stat.st_atime_ns, stat.st_mtime_ns + 1_000_000))
+        second = registry.load(tmp_path / "model", on_change=changes.append)
+        assert changes == [second]
+        assert second is not first
+
 
 class TestGetOrFit:
     def _factory(self):
@@ -130,3 +151,24 @@ class TestGetOrFit:
         registry = ModelRegistry()
         with pytest.raises(ValueError):
             registry.get_or_fit("k", GesturePrint)
+
+    def test_checkpoint_load_records_mtime_for_later_load(self, tmp_path):
+        """get_or_fit's checkpoint branch must prime the path-keyed cache
+        and mtime, so a later load() of the same directory warm-hits
+        instead of always seeing a staleness mismatch and re-reading."""
+        directory = tmp_path / "ckpt"
+        ModelRegistry().get_or_fit("k", self._factory, directory=directory)
+
+        registry = ModelRegistry()
+        system = registry.get_or_fit("k", self._factory, directory=directory)
+        assert registry.stats.loads == 1
+        again = registry.load(directory)
+        assert again is system
+        assert registry.stats.loads == 1  # warm hit, weights not re-read
+
+    def test_fit_branch_primes_path_cache_for_later_load(self, tmp_path):
+        directory = tmp_path / "ckpt"
+        registry = ModelRegistry()
+        system = registry.get_or_fit("k", self._factory, directory=directory)
+        assert registry.load(directory) is system
+        assert registry.stats.loads == 0  # served from cache, never read

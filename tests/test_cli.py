@@ -74,9 +74,27 @@ class TestCliWorkflow:
         assert code in (0, 1)
         stats = json.loads(out[: out.index("}") + 1])
         assert stats["streams"] == 4
+        assert stats["model_version"] == 0  # no swap happened
         if code == 0:
             assert stats["events"] >= 1
             assert stats["engine_batches"] <= stats["events"]
+
+        # Deadline-aware serving: SLO scheduler + checkpoint watching.
+        code = main([
+            "serve", "--model-dir", model_dir, "--streams", "4", "--seed", "2",
+            "--slo-ms", "50", "--adaptive-batch",
+            "--watch-model", "--watch-every", "20",
+        ])
+        out = capsys.readouterr().out
+        assert code in (0, 1)
+        stats = json.loads(out[: out.index("}") + 1])
+        assert stats["classification_errors"] == 0
+        assert stats["model_swaps"] == 0  # checkpoint never overwritten
+        assert stats["slo_ms"] == 50.0
+        assert 1 <= stats["batch_limit"] <= 32
+        if code == 0:
+            # Any delivery under a scheduler records its queue latency.
+            assert stats["queue_p95_ms"] is not None
 
     def test_session_rejects_too_few_samples(self, tmp_path, capsys):
         data_path = str(tmp_path / "data.npz")
