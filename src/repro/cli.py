@@ -11,6 +11,9 @@ Subcommands::
                                                      # multi-gesture identification
     python -m repro.cli serve   --model-dir model/ --streams 8
                                                      # micro-batched multi-stream serving
+    python -m repro.cli serve   --model-dir model/ --listen 0.0.0.0:7433 \
+                                --tenants tenants.json
+                                                     # network gateway (TCP, SLO classes)
 
 Datasets are exchanged as ``.npz`` archives with the arrays of
 :class:`repro.datasets.GestureDataset`.  Model checkpoints are loaded
@@ -186,9 +189,93 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_gateway(args: argparse.Namespace) -> int:
+    """Expose the engine over TCP: the async gateway with SLO classes."""
+    import asyncio
+
+    from repro.serving import BatchScheduler, GatewayServer
+    from repro.serving.gateway import TenantDirectory
+
+    host, colon, port_text = args.listen.rpartition(":")
+    try:
+        port = int(port_text)
+    except ValueError:
+        colon = ""
+    if not colon:
+        print(f"error: --listen needs HOST:PORT, got {args.listen!r}",
+              file=sys.stderr)
+        return 2
+    host = host or "0.0.0.0"
+    tenants = TenantDirectory()
+    if args.tenants:
+        with open(args.tenants, encoding="utf-8") as handle:
+            tenants = TenantDirectory.from_config(json.load(handle))
+    system = REGISTRY.load(args.model_dir)
+    slo_ms = args.slo_ms if args.slo_ms is not None else 50.0
+    scheduler = BatchScheduler(
+        slo_ms=slo_ms, max_batch=args.max_batch, adapt_margin=True
+    )
+    server = GatewayServer(
+        system,
+        scheduler=scheduler,
+        tenants=tenants,
+        max_batch_size=args.max_batch,
+    )
+
+    def reload_hook() -> int:
+        # Registry-backed hot reload: a RELOAD frame (or the periodic
+        # watcher) re-checks the checkpoint; an overwritten manifest is
+        # swapped in without dropping pending requests.
+        REGISTRY.load(args.model_dir, on_change=server.engine.swap_system)
+        return server.engine.model_version
+
+    server.reload_hook = reload_hook
+
+    async def _serve() -> None:
+        bound_host, bound_port = await server.start(host, port)
+        print(json.dumps({
+            "listening": f"{bound_host}:{bound_port}",
+            "slo_ms": slo_ms,
+            "classes": sorted(server.tenants.classes),
+            "default_class": server.tenants.default_class,
+        }), flush=True)
+        watcher = None
+        if args.watch_model:
+            async def _watch() -> None:
+                while True:
+                    await asyncio.sleep(max(float(args.watch_every), 0.1))
+                    try:
+                        reload_hook()
+                    except Exception:
+                        pass  # checkpoint mid-write; retry next tick
+
+            watcher = asyncio.create_task(_watch())
+        try:
+            if args.serve_seconds is None:
+                await server.serve_forever()
+            else:
+                await asyncio.sleep(args.serve_seconds)
+        except asyncio.CancelledError:
+            pass
+        finally:
+            if watcher is not None:
+                watcher.cancel()
+            await server.aclose()
+            print(json.dumps(server.snapshot(), indent=2))
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     """Serve N simulated concurrent streams through the shared engine."""
     import time
+
+    if args.listen:
+        return _cmd_serve_gateway(args)
 
     from repro.gestures import ASL_GESTURES, ENVIRONMENTS, generate_users, perform_gesture
     from repro.radar import FastRadar
@@ -335,9 +422,19 @@ def build_parser() -> argparse.ArgumentParser:
     session.add_argument("--seed", type=int, default=0)
 
     serve = sub.add_parser(
-        "serve", help="micro-batch N simulated concurrent streams over one engine"
+        "serve", help="micro-batch N simulated concurrent streams over one engine, "
+                      "or expose it over TCP with --listen"
     )
     serve.add_argument("--model-dir", required=True)
+    serve.add_argument("--listen", metavar="HOST:PORT", default=None,
+                       help="start the network gateway instead of the "
+                            "simulated-stream loop (port 0 picks a free port)")
+    serve.add_argument("--tenants", metavar="CFG_JSON", default=None,
+                       help="tenant/SLO-class config for the gateway "
+                            "(classes, assignments, default_class)")
+    serve.add_argument("--serve-seconds", type=float, default=None,
+                       help="gateway mode: stop after this many seconds "
+                            "(default: serve until interrupted)")
     serve.add_argument("--streams", type=int, default=8)
     serve.add_argument("--environment", default="office")
     serve.add_argument("--distance", type=float, default=1.2)
@@ -355,7 +452,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "pending spans")
     serve.add_argument("--watch-every", type=int, default=10,
                        help="rounds between checkpoint staleness checks "
-                            "(with --watch-model)")
+                            "(with --watch-model); in gateway mode, seconds")
     serve.add_argument("--user-seed", type=int, default=11)
     serve.add_argument("--seed", type=int, default=0)
     return parser

@@ -16,19 +16,39 @@ Four pieces, layered under the runtimes in :mod:`repro.core`:
   an overwritten checkpoint into an engine hot-swap.
 * :class:`StreamHub` — multiplexes N concurrent single- or multi-person
   runtimes over one shared engine with deterministic per-stream RNG.
+* :mod:`repro.serving.gateway` — the network front-end: a pure-stdlib
+  asyncio TCP server speaking a versioned binary protocol, with
+  per-tenant SLO classes, weighted priority admission, and load
+  shedding (:class:`GatewayServer` / :class:`GatewayClient`).
 """
 
 from repro.serving.engine import EngineStats, InferenceEngine, SampleResult, Ticket
+from repro.serving.gateway import (
+    AsyncGatewayClient,
+    BackgroundGateway,
+    GatewayClient,
+    GatewayError,
+    GatewayServer,
+    SLOClass,
+    TenantDirectory,
+)
 from repro.serving.hub import StreamError, StreamEvent, StreamHub, derive_stream_seed
 from repro.serving.registry import ModelRegistry, RegistryStats
-from repro.serving.scheduler import BatchScheduler, SchedulerStats
+from repro.serving.scheduler import BatchScheduler, SchedulerStats, request_order
 
 __all__ = [
+    "AsyncGatewayClient",
+    "BackgroundGateway",
     "BatchScheduler",
     "EngineStats",
+    "GatewayClient",
+    "GatewayError",
+    "GatewayServer",
     "InferenceEngine",
+    "SLOClass",
     "SampleResult",
     "SchedulerStats",
+    "TenantDirectory",
     "Ticket",
     "ModelRegistry",
     "RegistryStats",
@@ -36,4 +56,5 @@ __all__ = [
     "StreamEvent",
     "StreamHub",
     "derive_stream_seed",
+    "request_order",
 ]

@@ -44,7 +44,7 @@ from typing import Any, Callable
 import numpy as np
 
 from repro.core.pipeline import GesturePrint, PipelineResult
-from repro.serving.scheduler import BatchScheduler
+from repro.serving.scheduler import BatchScheduler, request_order
 
 
 @dataclass(frozen=True)
@@ -86,13 +86,16 @@ class Ticket:
 
     ``arrival`` is the engine-clock submission timestamp; ``deadline``
     (same clock, absolute) is the latest acceptable delivery time, or
-    None when the request has no SLO of its own.
+    None when the request has no SLO of its own.  ``priority`` orders
+    the flush drain (lower value = more important; ties by deadline then
+    arrival) — the gateway maps tenant SLO classes onto it.
     """
 
     __slots__ = (
         "meta",
         "arrival",
         "deadline",
+        "priority",
         "_callback",
         "_on_error",
         "_result",
@@ -108,10 +111,12 @@ class Ticket:
         on_error: Callable[[Exception], None] | None = None,
         arrival: float = 0.0,
         deadline: float | None = None,
+        priority: int = 0,
     ):
         self.meta = meta
         self.arrival = arrival
         self.deadline = deadline
+        self.priority = priority
         self._callback = callback
         self._on_error = on_error
         self._result: SampleResult | None = None
@@ -260,6 +265,8 @@ class InferenceEngine:
         on_error: Callable[[Exception], None] | None = None,
         arrival: float | None = None,
         deadline_ms: float | None = None,
+        priority: int = 0,
+        defer_flush: bool = False,
     ) -> Ticket:
         """Queue one sample for the next micro-batch.
 
@@ -267,7 +274,16 @@ class InferenceEngine:
         instant the gesture segment closed upstream) — it defaults to
         now.  ``deadline_ms`` is this request's own latency budget,
         measured from arrival; without one, a scheduler's global SLO (if
-        any) applies.
+        any) applies.  ``priority`` (lower = more important) orders the
+        flush drain across requests; equal priorities keep submission
+        order, so plain callers are unaffected by the default.
+
+        ``defer_flush`` skips the auto-flush check: the caller promises
+        an imminent :meth:`poll`.  A feeder draining a backlog needs it —
+        once queued requests have *already overrun* their deadlines, the
+        auto-flush would otherwise fire on the first submit of every
+        refill and degrade the engine to batch-1 exactly when load is
+        highest.  Deferring lets the whole refill ride one batch.
 
         Auto-flushes on the depth and deadline triggers described in the
         module docstring.  Auto-flush failures are routed to the failed
@@ -285,10 +301,11 @@ class InferenceEngine:
             on_error=on_error,
             arrival=arrival,
             deadline=deadline,
+            priority=priority,
         )
         self._pending.append((sample, ticket))
         self.stats.requests += 1
-        if self._should_flush(now):
+        if not defer_flush and self._should_flush(now):
             self.flush(raise_on_error=False)
         return ticket
 
@@ -332,9 +349,12 @@ class InferenceEngine:
     def flush(self, *, raise_on_error: bool = True) -> list[Ticket]:
         """Run one vectorised predict over everything pending.
 
-        Requests are grouped by sample shape (streams may normalise to
+        Requests are drained in :func:`~repro.serving.scheduler.request_order`
+        — priority class first, then earliest deadline, then arrival; the
+        sort is stable, so plain same-priority traffic keeps submission
+        order — then grouped by sample shape (streams may normalise to
         different point counts); each group is one stacked forward pass.
-        Returns the tickets completed by this call, in submission order.
+        Returns the tickets completed by this call, in drain order.
 
         A group whose forward pass raises fails only its own tickets
         (``Ticket.result`` re-raises, ``on_error`` fires); the other
@@ -358,6 +378,11 @@ class InferenceEngine:
         try:
             while self._pending:
                 pending, self._pending = self._pending, []
+                pending.sort(
+                    key=lambda entry: request_order(
+                        entry[1].priority, entry[1].deadline, entry[1].arrival
+                    )
+                )
                 self._flush_requested = False
                 error = self._run_batches(pending)
                 if first_error is None:

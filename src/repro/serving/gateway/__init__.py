@@ -1,0 +1,66 @@
+"""Async network gateway: the serving layer across the host boundary.
+
+Pure-stdlib asyncio subsystem turning the in-process engine + scheduler
+into a TCP service with per-tenant SLO classes:
+
+* :mod:`~repro.serving.gateway.protocol` — versioned, length-prefixed
+  binary wire format (struct header + JSON meta + binary body) carrying
+  float32 gesture clouds and float64 posteriors;
+* :mod:`~repro.serving.gateway.tenants` — SLO classes
+  (premium/standard/batch), per-tenant in-flight caps, and the weighted
+  priority admission queue with batch-first load shedding;
+* :mod:`~repro.serving.gateway.server` — :class:`GatewayServer`, the
+  asyncio front-end bridging socket frames onto engine tickets via a
+  dedicated flush loop;
+* :mod:`~repro.serving.gateway.client` — blocking and asyncio clients.
+"""
+
+from repro.serving.gateway.client import AsyncGatewayClient, GatewayClient, GatewayError
+from repro.serving.gateway.protocol import (
+    PROTOCOL_VERSION,
+    Frame,
+    FrameDecoder,
+    FrameType,
+    ProtocolError,
+    VersionMismatch,
+    WireResult,
+    quantise_sample,
+)
+from repro.serving.gateway.server import (
+    BackgroundGateway,
+    GatewayRequest,
+    GatewayServer,
+    GatewayStats,
+)
+from repro.serving.gateway.tenants import (
+    AdmissionQueue,
+    SLOClass,
+    Tenant,
+    TenantDirectory,
+    TenantStats,
+    default_classes,
+)
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "AdmissionQueue",
+    "AsyncGatewayClient",
+    "BackgroundGateway",
+    "Frame",
+    "FrameDecoder",
+    "FrameType",
+    "GatewayClient",
+    "GatewayError",
+    "GatewayRequest",
+    "GatewayServer",
+    "GatewayStats",
+    "ProtocolError",
+    "SLOClass",
+    "Tenant",
+    "TenantDirectory",
+    "TenantStats",
+    "VersionMismatch",
+    "WireResult",
+    "default_classes",
+    "quantise_sample",
+]

@@ -1,0 +1,328 @@
+"""Gateway clients: a blocking socket client and an asyncio variant.
+
+:class:`GatewayClient` is what an edge device embeds — plain blocking
+sockets, no event loop, pure stdlib.  It supports both a synchronous
+``classify`` round trip and a pipelined ``submit``/``collect`` pattern
+(many requests in flight on one connection, which is what lets the
+server micro-batch across the wire).
+
+:class:`AsyncGatewayClient` is the same protocol on asyncio streams,
+bridging RESULT/ERROR frames onto per-request futures — used by the
+benchmark harness to run many concurrent clients in one process.
+
+Both clients surface server-side rejections as :class:`GatewayError`
+with the wire ``code`` (``shed``, ``over_capacity``, ``queue_full``,
+``classify_failed``, ...), so callers can tell backpressure apart from
+failure.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import socket
+from typing import Any
+
+import numpy as np
+
+from repro.serving.gateway import protocol
+from repro.serving.gateway.protocol import Frame, FrameType, ProtocolError, WireResult
+
+
+class GatewayError(RuntimeError):
+    """A server-side ERROR frame, as an exception."""
+
+    def __init__(
+        self, code: str, message: str, *, request_id: int | None = None
+    ) -> None:
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+        self.request_id = request_id
+
+    @classmethod
+    def from_frame(cls, frame: Frame) -> "GatewayError":
+        return cls(
+            str(frame.meta.get("code", "error")),
+            str(frame.meta.get("message", "")),
+            request_id=frame.meta.get("id"),
+        )
+
+
+class GatewayClient:
+    """Blocking TCP client for one tenant.
+
+    Parameters
+    ----------
+    host, port:
+        The gateway's bound address.
+    tenant:
+        Tenant id sent in the HELLO; the server's directory maps it to an
+        SLO class (echoed back as :attr:`slo_class` / :attr:`slo_ms`).
+    client:
+        Free-form client name for the server's logs/stats.
+    timeout_s:
+        Socket timeout for connect and every read.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        tenant: str = "default",
+        client: str = "repro-client",
+        timeout_s: float = 30.0,
+    ) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout_s)
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._ids = itertools.count(1)
+        #: Frames that arrived while waiting for something else.
+        self._results: dict[int, WireResult] = {}
+        self._errors: dict[int, GatewayError] = {}
+        self.tenant = tenant
+        try:
+            self._send(protocol.hello_frame(client=client, tenant=tenant))
+            reply = self._read()
+            if reply.kind is FrameType.ERROR:
+                raise GatewayError.from_frame(reply)
+            if reply.kind is not FrameType.HELLO:
+                raise ProtocolError(f"expected a HELLO reply, got {reply.kind.name}")
+        except BaseException:
+            self._sock.close()
+            raise
+        self.server = str(reply.meta.get("server", "?"))
+        self.slo_class = str(reply.meta.get("slo_class", "?"))
+        self.slo_ms = reply.meta.get("slo_ms")
+        self.model_version = int(reply.meta.get("model_version", 0))
+
+    # ------------------------------------------------------------------
+    def _send(self, frame: Frame) -> None:
+        self._sock.sendall(protocol.encode_frame(frame))
+
+    def _read(self) -> Frame:
+        frame = protocol.read_frame_sync(self._sock)
+        if frame is None:
+            raise ConnectionError("gateway closed the connection")
+        return frame
+
+    def _absorb(self, frame: Frame) -> None:
+        """File a RESULT/ERROR frame under its request id."""
+        if frame.kind is FrameType.RESULT:
+            result = protocol.decode_result(frame)
+            self._results[result.request_id] = result
+        elif frame.kind is FrameType.ERROR:
+            error = GatewayError.from_frame(frame)
+            if error.request_id is None:
+                raise error  # connection-level error: nothing to file it under
+            self._errors[error.request_id] = error
+        else:
+            raise ProtocolError(f"unexpected {frame.kind.name} frame mid-stream")
+
+    # ------------------------------------------------------------------
+    def submit(
+        self, sample: np.ndarray, *, deadline_ms: float | None = None
+    ) -> int:
+        """Fire one SUBMIT without waiting; returns its request id."""
+        request_id = next(self._ids)
+        self._send(protocol.submit_frame(request_id, sample, deadline_ms=deadline_ms))
+        return request_id
+
+    def collect(self, request_id: int) -> WireResult:
+        """Block until ``request_id`` resolves; raises its GatewayError."""
+        while True:
+            if request_id in self._results:
+                return self._results.pop(request_id)
+            if request_id in self._errors:
+                raise self._errors.pop(request_id)
+            self._absorb(self._read())
+
+    def collect_all(
+        self, request_ids: list[int]
+    ) -> dict[int, WireResult | GatewayError]:
+        """Resolve every id to its result *or* its error (no raising) —
+        the pipelined caller's bulk harvest."""
+        outcomes: dict[int, WireResult | GatewayError] = {}
+        for request_id in request_ids:
+            try:
+                outcomes[request_id] = self.collect(request_id)
+            except GatewayError as error:
+                outcomes[request_id] = error
+        return outcomes
+
+    def classify(
+        self, sample: np.ndarray, *, deadline_ms: float | None = None
+    ) -> WireResult:
+        """One synchronous round trip (the serial baseline path)."""
+        return self.collect(self.submit(sample, deadline_ms=deadline_ms))
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict[str, Any]:
+        """The server's operational snapshot."""
+        self._send(protocol.stats_frame())
+        while True:
+            frame = self._read()
+            if frame.kind is FrameType.STATS:
+                return frame.meta
+            self._absorb(frame)
+
+    def reload(self) -> dict[str, Any]:
+        """Ask the server to re-check its checkpoint; returns the reply
+        meta (``model_version``, ``swapped``)."""
+        self._send(protocol.reload_frame())
+        while True:
+            frame = self._read()
+            if frame.kind is FrameType.RELOAD:
+                return frame.meta
+            self._absorb(frame)
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "GatewayClient":
+        return self
+
+    def __exit__(self, *_exc_info) -> None:
+        self.close()
+
+
+class AsyncGatewayClient:
+    """Asyncio client: RESULT/ERROR frames resolve per-request futures.
+
+    Construct with :meth:`connect`; a background reader task dispatches
+    incoming frames, so any number of ``classify`` coroutines can be in
+    flight on one connection at once.
+    """
+
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        hello: Frame,
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._ids = itertools.count(1)
+        self._futures: dict[int, asyncio.Future] = {}
+        self._control: asyncio.Queue[Frame] = asyncio.Queue()
+        self._reader_task = asyncio.create_task(self._read_loop())
+        self.server = str(hello.meta.get("server", "?"))
+        self.slo_class = str(hello.meta.get("slo_class", "?"))
+        self.slo_ms = hello.meta.get("slo_ms")
+        self.model_version = int(hello.meta.get("model_version", 0))
+
+    @classmethod
+    async def connect(
+        cls,
+        host: str,
+        port: int,
+        *,
+        tenant: str = "default",
+        client: str = "repro-async-client",
+    ) -> "AsyncGatewayClient":
+        reader, writer = await asyncio.open_connection(host, port)
+        writer.write(
+            protocol.encode_frame(protocol.hello_frame(client=client, tenant=tenant))
+        )
+        await writer.drain()
+        reply = await protocol.read_frame(reader)
+        if reply is None:
+            raise ConnectionError("gateway closed the connection during HELLO")
+        if reply.kind is FrameType.ERROR:
+            raise GatewayError.from_frame(reply)
+        if reply.kind is not FrameType.HELLO:
+            raise ProtocolError(f"expected a HELLO reply, got {reply.kind.name}")
+        return cls(reader, writer, reply)
+
+    # ------------------------------------------------------------------
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                frame = await protocol.read_frame(self._reader)
+                if frame is None:
+                    break
+                if frame.kind is FrameType.RESULT:
+                    result = protocol.decode_result(frame)
+                    future = self._futures.pop(result.request_id, None)
+                    if future is not None and not future.done():
+                        future.set_result(result)
+                elif frame.kind is FrameType.ERROR and frame.meta.get("id") is not None:
+                    error = GatewayError.from_frame(frame)
+                    future = self._futures.pop(error.request_id, None)
+                    if future is not None and not future.done():
+                        future.set_exception(error)
+                else:
+                    self._control.put_nowait(frame)
+        except (ConnectionError, ProtocolError, asyncio.CancelledError):
+            pass
+        finally:
+            dead = ConnectionError("gateway connection lost")
+            for future in self._futures.values():
+                if not future.done():
+                    future.set_exception(dead)
+            self._futures.clear()
+
+    async def _request(self, frame: Frame) -> None:
+        self._writer.write(protocol.encode_frame(frame))
+        await self._writer.drain()
+
+    # ------------------------------------------------------------------
+    def submit_nowait(
+        self, sample: np.ndarray, *, deadline_ms: float | None = None
+    ) -> tuple[int, asyncio.Future]:
+        """Queue a SUBMIT on the socket buffer; returns (id, future).
+
+        The write is unawaited (fire-and-forget pacing for load tests);
+        await :meth:`drain` occasionally to respect TCP backpressure.
+        """
+        request_id = next(self._ids)
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._futures[request_id] = future
+        self._writer.write(
+            protocol.encode_frame(
+                protocol.submit_frame(request_id, sample, deadline_ms=deadline_ms)
+            )
+        )
+        return request_id, future
+
+    async def drain(self) -> None:
+        await self._writer.drain()
+
+    async def classify(
+        self, sample: np.ndarray, *, deadline_ms: float | None = None
+    ) -> WireResult:
+        _, future = self.submit_nowait(sample, deadline_ms=deadline_ms)
+        await self._writer.drain()
+        return await future
+
+    async def stats(self) -> dict[str, Any]:
+        await self._request(protocol.stats_frame())
+        frame = await self._expect(FrameType.STATS)
+        return frame.meta
+
+    async def reload(self) -> dict[str, Any]:
+        await self._request(protocol.reload_frame())
+        frame = await self._expect(FrameType.RELOAD)
+        return frame.meta
+
+    async def _expect(self, kind: FrameType) -> Frame:
+        while True:
+            frame = await self._control.get()
+            if frame.kind is kind:
+                return frame
+            if frame.kind is FrameType.ERROR:
+                raise GatewayError.from_frame(frame)
+
+    async def aclose(self) -> None:
+        self._reader_task.cancel()
+        try:
+            await self._reader_task
+        except asyncio.CancelledError:
+            pass
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass

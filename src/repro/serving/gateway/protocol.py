@@ -1,0 +1,385 @@
+"""Versioned length-prefixed wire format of the gateway.
+
+The gateway speaks a small binary protocol over TCP, built from nothing
+but :mod:`struct` and :mod:`json` so edge clients (a Jetson-class sensor
+host, cf. the paper's deployment split) need no third-party packages:
+
+``frame := header | payload``, where the 8-byte header is
+``magic(2s) version(u8) kind(u8) payload_len(u32)`` big-endian, and the
+payload is ``json_len(u32) | json meta | binary body``.  The JSON meta
+carries the small structured fields of each frame; bulk numeric data —
+the float32 gesture cloud of a SUBMIT, the float64 posteriors of a
+RESULT — rides in the binary body, shape-tagged through the meta, so no
+float ever takes the string round trip.
+
+Frame kinds (:class:`FrameType`):
+
+* ``HELLO``   — handshake, both directions: the client names itself and
+  its tenant; the server answers with the negotiated SLO class and the
+  current ``model_version``.
+* ``SUBMIT``  — one classification request: request id + float32 cloud.
+* ``RESULT``  — posteriors for one request (float64 body, so results are
+  byte-identical to an in-process ``predict_one`` of the same cloud).
+* ``ERROR``   — per-request or connection-level failure, with a stable
+  machine-readable ``code`` (``shed``, ``over_capacity``, ...).
+* ``STATS``   — operational snapshot request/reply.
+* ``RELOAD``  — ask the server to re-check its checkpoint and hot-swap.
+
+Robustness contract (enforced by ``tests/serving/test_gateway_protocol``):
+a decoder must reject wrong magic, unknown frame kinds, oversized
+frames, and malformed meta as :class:`ProtocolError`; a header carrying
+a different protocol version raises :class:`VersionMismatch` *before*
+the payload is trusted, so the server can answer a newer client with a
+clean ``version_mismatch`` ERROR instead of garbage.  Truncated input is
+not an error for the incremental :class:`FrameDecoder` (more bytes may
+arrive) but is one for the blocking/async stream readers (EOF mid-frame
+is a torn connection).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import enum
+import json
+import socket
+import struct
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+#: Bump on any incompatible change to the header or payload layout.
+PROTOCOL_VERSION = 1
+MAGIC = b"GP"
+HEADER = struct.Struct(">2sBBI")
+JSON_LEN = struct.Struct(">I")
+#: Hard per-frame ceiling: a gesture cloud is a few KB; anything near
+#: this size is a corrupt length field, not a legitimate request.
+MAX_PAYLOAD = 8 * 1024 * 1024
+
+#: float32 on the wire (SUBMIT clouds), float64 for posteriors (RESULT).
+SAMPLE_DTYPE = np.dtype("<f4")
+PROBS_DTYPE = np.dtype("<f8")
+
+
+class FrameType(enum.IntEnum):
+    HELLO = 1
+    SUBMIT = 2
+    RESULT = 3
+    ERROR = 4
+    STATS = 5
+    RELOAD = 6
+
+
+class ProtocolError(Exception):
+    """A frame that violates the wire format (never queued, never served)."""
+
+    def __init__(self, message: str, *, code: str = "bad_frame") -> None:
+        super().__init__(message)
+        self.code = code
+
+
+class VersionMismatch(ProtocolError):
+    """The peer speaks a different protocol version."""
+
+    def __init__(self, peer_version: int) -> None:
+        super().__init__(
+            f"peer speaks protocol v{peer_version}, this end speaks "
+            f"v{PROTOCOL_VERSION}",
+            code="version_mismatch",
+        )
+        self.peer_version = peer_version
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One decoded frame: kind, JSON meta, and the raw binary body."""
+
+    kind: FrameType
+    meta: dict[str, Any] = field(default_factory=dict)
+    body: bytes = b""
+
+
+# ----------------------------------------------------------------------
+# Encoding
+# ----------------------------------------------------------------------
+def encode_frame(frame: Frame, *, version: int = PROTOCOL_VERSION) -> bytes:
+    """Serialise one frame to wire bytes."""
+    meta_bytes = json.dumps(frame.meta, separators=(",", ":")).encode("utf-8")
+    payload_len = JSON_LEN.size + len(meta_bytes) + len(frame.body)
+    if payload_len > MAX_PAYLOAD:
+        raise ProtocolError(
+            f"frame payload of {payload_len} bytes exceeds the "
+            f"{MAX_PAYLOAD}-byte ceiling",
+            code="frame_too_large",
+        )
+    return b"".join(
+        (
+            HEADER.pack(MAGIC, version, int(frame.kind), payload_len),
+            JSON_LEN.pack(len(meta_bytes)),
+            meta_bytes,
+            frame.body,
+        )
+    )
+
+
+def _decode_payload(kind_code: int, payload: bytes) -> Frame:
+    try:
+        kind = FrameType(kind_code)
+    except ValueError:
+        raise ProtocolError(f"unknown frame kind {kind_code}") from None
+    if len(payload) < JSON_LEN.size:
+        raise ProtocolError("payload shorter than its meta length prefix")
+    (meta_len,) = JSON_LEN.unpack_from(payload)
+    if JSON_LEN.size + meta_len > len(payload):
+        raise ProtocolError("meta length prefix overruns the payload")
+    meta_bytes = payload[JSON_LEN.size : JSON_LEN.size + meta_len]
+    try:
+        meta = json.loads(meta_bytes.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ProtocolError(f"malformed frame meta: {error}") from None
+    if not isinstance(meta, dict):
+        raise ProtocolError("frame meta must be a JSON object")
+    return Frame(kind=kind, meta=meta, body=payload[JSON_LEN.size + meta_len :])
+
+
+def _check_header(header: bytes) -> tuple[int, int]:
+    """Validate one packed header; returns ``(kind_code, payload_len)``."""
+    magic, version, kind_code, payload_len = HEADER.unpack(header)
+    if magic != MAGIC:
+        raise ProtocolError(f"bad magic {magic!r} (not a gateway stream)")
+    if version != PROTOCOL_VERSION:
+        raise VersionMismatch(version)
+    if payload_len > MAX_PAYLOAD:
+        raise ProtocolError(
+            f"declared payload of {payload_len} bytes exceeds the "
+            f"{MAX_PAYLOAD}-byte ceiling",
+            code="frame_too_large",
+        )
+    return kind_code, payload_len
+
+
+class FrameDecoder:
+    """Incremental decoder: feed arbitrary chunks, get whole frames.
+
+    Truncation is not an error here — a partial frame simply waits for
+    more bytes.  Any structural violation raises :class:`ProtocolError`
+    and poisons the decoder (the stream offset is unrecoverable).
+    """
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    @property
+    def pending_bytes(self) -> int:
+        return len(self._buffer)
+
+    def feed(self, data: bytes) -> list[Frame]:
+        """Absorb ``data``; return every frame it completed."""
+        self._buffer.extend(data)
+        frames: list[Frame] = []
+        while len(self._buffer) >= HEADER.size:
+            kind_code, payload_len = _check_header(bytes(self._buffer[: HEADER.size]))
+            end = HEADER.size + payload_len
+            if len(self._buffer) < end:
+                break  # truncated: wait for the rest
+            payload = bytes(self._buffer[HEADER.size : end])
+            del self._buffer[:end]
+            frames.append(_decode_payload(kind_code, payload))
+        return frames
+
+
+# ----------------------------------------------------------------------
+# Stream helpers (blocking socket + asyncio)
+# ----------------------------------------------------------------------
+def _recv_exactly(sock: socket.socket, count: int) -> bytes | None:
+    """Read exactly ``count`` bytes; None on EOF at a frame boundary."""
+    chunks: list[bytes] = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            if chunks:
+                raise ProtocolError("connection closed mid-frame")
+            return None
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def read_frame_sync(sock: socket.socket) -> Frame | None:
+    """Read one frame from a blocking socket; None on clean EOF."""
+    header = _recv_exactly(sock, HEADER.size)
+    if header is None:
+        return None
+    kind_code, payload_len = _check_header(header)
+    payload = _recv_exactly(sock, payload_len) if payload_len else b""
+    if payload is None:
+        raise ProtocolError("connection closed mid-frame")
+    return _decode_payload(kind_code, payload)
+
+
+async def read_frame(reader: asyncio.StreamReader) -> Frame | None:
+    """Read one frame from an asyncio stream; None on clean EOF."""
+    try:
+        header = await reader.readexactly(HEADER.size)
+    except asyncio.IncompleteReadError as error:
+        if not error.partial:
+            return None
+        raise ProtocolError("connection closed mid-frame") from None
+    kind_code, payload_len = _check_header(header)
+    try:
+        payload = await reader.readexactly(payload_len) if payload_len else b""
+    except asyncio.IncompleteReadError:
+        raise ProtocolError("connection closed mid-frame") from None
+    return _decode_payload(kind_code, payload)
+
+
+# ----------------------------------------------------------------------
+# Typed frame constructors / parsers
+# ----------------------------------------------------------------------
+def hello_frame(*, client: str, tenant: str) -> Frame:
+    return Frame(FrameType.HELLO, {"client": str(client), "tenant": str(tenant)})
+
+
+def hello_reply(
+    *,
+    server: str,
+    tenant: str,
+    slo_class: str,
+    slo_ms: float | None,
+    model_version: int,
+) -> Frame:
+    return Frame(
+        FrameType.HELLO,
+        {
+            "server": server,
+            "tenant": tenant,
+            "slo_class": slo_class,
+            "slo_ms": slo_ms,
+            "model_version": model_version,
+        },
+    )
+
+
+def quantise_sample(sample: np.ndarray) -> np.ndarray:
+    """The float64 cloud a server reconstructs from this wire sample.
+
+    SUBMIT bodies are float32; ``predict_one(quantise_sample(x))`` is the
+    in-process reference a gateway RESULT must be byte-identical to.
+    """
+    return np.ascontiguousarray(sample, dtype=SAMPLE_DTYPE).astype(np.float64)
+
+
+def submit_frame(
+    request_id: int,
+    sample: np.ndarray,
+    *,
+    deadline_ms: float | None = None,
+) -> Frame:
+    sample = np.ascontiguousarray(sample, dtype=SAMPLE_DTYPE)
+    if sample.ndim != 2:
+        raise ValueError(f"expected a (num_points, channels) cloud, got {sample.shape}")
+    meta: dict[str, Any] = {"id": int(request_id), "shape": list(sample.shape)}
+    if deadline_ms is not None:
+        meta["deadline_ms"] = float(deadline_ms)
+    return Frame(FrameType.SUBMIT, meta, sample.tobytes())
+
+
+def decode_submit(frame: Frame) -> tuple[int, np.ndarray, float | None]:
+    """``(request_id, float64 sample, deadline_ms)`` of a SUBMIT frame."""
+    meta = frame.meta
+    try:
+        request_id = int(meta["id"])
+        rows, cols = (int(v) for v in meta["shape"])
+    except (KeyError, TypeError, ValueError):
+        raise ProtocolError("SUBMIT meta needs an int 'id' and a 2-item 'shape'")
+    if rows < 0 or cols < 1:
+        raise ProtocolError(f"nonsensical SUBMIT shape ({rows}, {cols})")
+    expected = rows * cols * SAMPLE_DTYPE.itemsize
+    if len(frame.body) != expected:
+        raise ProtocolError(
+            f"SUBMIT body carries {len(frame.body)} bytes; shape "
+            f"({rows}, {cols}) needs {expected}"
+        )
+    sample = np.frombuffer(frame.body, dtype=SAMPLE_DTYPE).reshape(rows, cols)
+    deadline_ms = meta.get("deadline_ms")
+    return request_id, sample.astype(np.float64), (
+        None if deadline_ms is None else float(deadline_ms)
+    )
+
+
+def result_frame(request_id: int, result) -> Frame:
+    """Encode one :class:`~repro.serving.engine.SampleResult`."""
+    gesture_probs = np.ascontiguousarray(result.gesture_probs, dtype=PROBS_DTYPE)
+    user_probs = np.ascontiguousarray(result.user_probs, dtype=PROBS_DTYPE)
+    meta = {
+        "id": int(request_id),
+        "gesture": int(result.gesture),
+        "user": int(result.user),
+        "model_version": int(result.model_version),
+        "gesture_classes": int(gesture_probs.shape[0]),
+        "user_classes": int(user_probs.shape[0]),
+    }
+    return Frame(FrameType.RESULT, meta, gesture_probs.tobytes() + user_probs.tobytes())
+
+
+@dataclass(frozen=True)
+class WireResult:
+    """A RESULT frame, parsed: mirrors ``SampleResult`` plus its id."""
+
+    request_id: int
+    gesture: int
+    gesture_probs: np.ndarray
+    user: int
+    user_probs: np.ndarray
+    model_version: int
+
+
+def decode_result(frame: Frame) -> WireResult:
+    meta = frame.meta
+    try:
+        num_gestures = int(meta["gesture_classes"])
+        num_users = int(meta["user_classes"])
+        request_id = int(meta["id"])
+    except (KeyError, TypeError, ValueError):
+        raise ProtocolError("RESULT meta needs id/gesture_classes/user_classes")
+    expected = (num_gestures + num_users) * PROBS_DTYPE.itemsize
+    if num_gestures < 0 or num_users < 0 or len(frame.body) != expected:
+        raise ProtocolError(
+            f"RESULT body carries {len(frame.body)} bytes; meta declares "
+            f"{num_gestures}+{num_users} float64 posteriors"
+        )
+    probs = np.frombuffer(frame.body, dtype=PROBS_DTYPE)
+    return WireResult(
+        request_id=request_id,
+        gesture=int(meta.get("gesture", -1)),
+        gesture_probs=probs[:num_gestures].copy(),
+        user=int(meta.get("user", -1)),
+        user_probs=probs[num_gestures:].copy(),
+        model_version=int(meta.get("model_version", 0)),
+    )
+
+
+def error_frame(
+    code: str, message: str, *, request_id: int | None = None
+) -> Frame:
+    meta: dict[str, Any] = {"code": str(code), "message": str(message)}
+    if request_id is not None:
+        meta["id"] = int(request_id)
+    return Frame(FrameType.ERROR, meta)
+
+
+def stats_frame(snapshot: dict | None = None) -> Frame:
+    """A STATS request (no meta) or reply (the snapshot dict)."""
+    return Frame(FrameType.STATS, snapshot or {})
+
+
+def reload_frame(
+    *, model_version: int | None = None, swapped: bool | None = None
+) -> Frame:
+    """A RELOAD request (no meta) or reply (version + whether it changed)."""
+    meta: dict[str, Any] = {}
+    if model_version is not None:
+        meta = {"model_version": int(model_version), "swapped": bool(swapped)}
+    return Frame(FrameType.RELOAD, meta)

@@ -1,0 +1,676 @@
+"""Asyncio TCP front-end over the shared inference engine.
+
+PR 1–2 built a serving layer any *in-process* caller can batch through;
+:class:`GatewayServer` pushes it across the host boundary.  Remote edge
+clients (the paper's sensor -> host split) open one TCP connection each,
+speak the :mod:`~repro.serving.gateway.protocol` wire format, and stream
+normalised gesture clouds at the server; the server multiplexes every
+connection into the one micro-batched
+:class:`~repro.serving.engine.InferenceEngine`.
+
+Concurrency model — single-threaded by construction:
+
+* every connection handler, the admission queue, the tenant counters,
+  and the engine live on the server's event loop; no locks anywhere;
+* a **dedicated flush loop** task owns the engine: it wakes on new
+  admissions (or a short poll tick for deadline checks), feeds queued
+  requests into the engine in weighted priority order up to the
+  scheduler's adaptive batch limit, and lets ``engine.poll`` release
+  batches on the depth/deadline triggers;
+* :class:`~repro.serving.engine.Ticket` callbacks fire inside the flush
+  loop and resolve each request by enqueueing its RESULT/ERROR frame
+  onto the owning connection's outbox, which a per-connection writer
+  task drains (with TCP backpressure via ``drain()``);
+* a disconnected client's queued work is *reclaimed*, not served: its
+  admission-queue entries are purged and its in-engine requests
+  cancelled through ``engine.discard_pending``, so a dead socket cannot
+  burn batch capacity on undeliverable results.
+
+Overload lands where the tenant config says it should: per-tenant
+in-flight caps reject with explicit backpressure, and a full admission
+queue sheds the oldest ``batch``-class requests first, keeping the
+``premium`` tier's p95 inside its SLO (measured by
+``benchmarks/bench_gateway.py``).
+
+For blocking callers (tests, examples, the benchmark harness),
+:class:`BackgroundGateway` runs a server on a daemon thread with its own
+event loop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.core.pipeline import GesturePrint
+from repro.serving.engine import InferenceEngine, SampleResult
+from repro.serving.scheduler import BatchScheduler
+from repro.serving.gateway import protocol
+from repro.serving.gateway.protocol import Frame, FrameType, ProtocolError, VersionMismatch
+from repro.serving.gateway.tenants import AdmissionQueue, Tenant, TenantDirectory
+
+
+@dataclass
+class GatewayRequest:
+    """One admitted SUBMIT on its way through admission -> engine."""
+
+    connection: "_Connection"
+    tenant: Tenant
+    request_id: int
+    sample: np.ndarray
+    deadline_ms: float | None
+    received: float  # engine-clock arrival (SUBMIT decode time)
+
+
+@dataclass
+class GatewayStats:
+    """Server-level operational counters."""
+
+    connections_total: int = 0
+    handshakes_rejected: int = 0
+    submits: int = 0
+    results: int = 0
+    shed: int = 0
+    rejected: int = 0
+    classify_errors: int = 0
+    protocol_errors: int = 0
+    reloads: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return dict(self.__dict__)
+
+
+class _Connection:
+    """Per-client state: identity after HELLO, plus the write side."""
+
+    __slots__ = (
+        "reader", "writer", "tenant", "client_name", "outbox", "closed",
+        "max_outbox",
+    )
+
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        *,
+        max_outbox: int = 1024,
+    ) -> None:
+        self.reader = reader
+        self.writer = writer
+        self.tenant: Tenant | None = None
+        self.client_name = "?"
+        self.outbox: asyncio.Queue[bytes | None] = asyncio.Queue()
+        self.closed = False
+        self.max_outbox = max_outbox
+
+    def send(self, frame: Frame) -> None:
+        """Queue one frame for the writer task (drops after close).
+
+        The outbox is bounded: a client that submits but never reads
+        stalls the writer on TCP backpressure while deliveries keep
+        arriving, and buffering those results without limit would trade
+        one misbehaving client for the whole server's memory.  At the
+        cap the connection is dropped — its reader sees the close and
+        the normal reclamation path cancels its remaining work.
+        """
+        if self.closed:
+            return
+        if self.outbox.qsize() >= self.max_outbox:
+            self.closed = True
+            self.outbox.put_nowait(None)
+            try:
+                self.writer.close()
+            except Exception:
+                pass
+            return
+        self.outbox.put_nowait(protocol.encode_frame(frame))
+
+    async def write_loop(self) -> None:
+        try:
+            while True:
+                data = await self.outbox.get()
+                if data is None:
+                    break
+                # Coalesce everything already queued (a flush delivers a
+                # whole batch of results at once) into one write.
+                chunks = [data]
+                stop = False
+                while not self.outbox.empty():
+                    data = self.outbox.get_nowait()
+                    if data is None:
+                        stop = True
+                        break
+                    chunks.append(data)
+                self.writer.write(b"".join(chunks))
+                await self.writer.drain()
+                if stop:
+                    break
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+
+
+class GatewayServer:
+    """Socket front-end: TCP connections -> tenant admission -> engine.
+
+    Parameters
+    ----------
+    system:
+        A fitted :class:`~repro.core.pipeline.GesturePrint` (ignored when
+        an ``engine`` is passed).
+    engine / scheduler:
+        Share an existing engine, or configure the private one.  The
+        default scheduler targets ``slo_ms`` with the adaptive batch
+        limit *and* the p95 safety-margin controller enabled — a network
+        front-end lives or dies by its tail latency.
+    tenants:
+        A :class:`~repro.serving.gateway.tenants.TenantDirectory`;
+        defaults to the stock premium/standard/batch tiers with unknown
+        tenants mapped to ``standard``.
+    queue_limit:
+        Admission-room bound; beyond it the shedding policy engages.
+    poll_interval_s:
+        Flush-loop tick when idle: the precision of deadline-forced
+        flushes (and a floor on added latency under sparse traffic).
+    max_linger_ms:
+        Deadline given to requests whose tenant class has no SLO (and
+        who sent none of their own).  Without one, a burst ending on a
+        partial batch of deadline-less ``batch``-class requests would
+        wait forever for company; with it, stragglers flush within a
+        bounded linger.
+    max_outbox_frames:
+        Per-connection cap on result frames queued for a client that is
+        not reading them; at the cap the connection is dropped and its
+        pending work reclaimed (a slow consumer must not grow server
+        memory without bound).
+    reload_hook:
+        Zero-arg callable returning the current ``model_version`` after
+        re-checking the checkpoint (the CLI wires this to
+        ``ModelRegistry.load(..., on_change=engine.swap_system)``); RELOAD
+        frames answer ``reload_unavailable`` without one.
+    """
+
+    def __init__(
+        self,
+        system: GesturePrint | None = None,
+        *,
+        engine: InferenceEngine | None = None,
+        scheduler: BatchScheduler | None = None,
+        tenants: TenantDirectory | None = None,
+        max_batch_size: int = 32,
+        slo_ms: float | None = 50.0,
+        queue_limit: int = 256,
+        poll_interval_s: float = 0.005,
+        max_linger_ms: float = 100.0,
+        max_outbox_frames: int = 1024,
+        handshake_timeout_s: float = 10.0,
+        reload_hook: Callable[[], int] | None = None,
+        name: str = "repro-gateway",
+    ) -> None:
+        if engine is None:
+            if system is None:
+                raise ValueError("pass a fitted system or an engine")
+            if scheduler is None and slo_ms is not None:
+                scheduler = BatchScheduler(
+                    slo_ms=slo_ms, max_batch=max_batch_size, adapt_margin=True
+                )
+            engine = InferenceEngine(
+                system, max_batch_size=max_batch_size, scheduler=scheduler
+            )
+        self.engine = engine
+        self.tenants = tenants if tenants is not None else TenantDirectory()
+        self.admission = AdmissionQueue(
+            self.tenants.classes.values(), queue_limit=queue_limit
+        )
+        self.poll_interval_s = poll_interval_s
+        self.max_linger_ms = max_linger_ms
+        self.max_outbox_frames = max_outbox_frames
+        self.handshake_timeout_s = handshake_timeout_s
+        self.reload_hook = reload_hook
+        self.name = name
+        self.stats = GatewayStats()
+        self.address: tuple[str, int] | None = None
+        #: The scheduler's configured SLO, restored when no SLO-carrying
+        #: tenant is connected (see :meth:`_refresh_slo`).
+        self._base_slo_ms = (
+            self.engine.scheduler.slo_ms if self.engine.scheduler is not None else None
+        )
+        self._connections: set[_Connection] = set()
+        self._server: asyncio.base_events.Server | None = None
+        self._flush_task: asyncio.Task | None = None
+        self._kick: asyncio.Event | None = None
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> tuple[str, int]:
+        """Bind and start serving; returns the bound ``(host, port)``."""
+        if self._running:
+            raise RuntimeError("server already started")
+        self._kick = asyncio.Event()
+        self._server = await asyncio.start_server(self._on_connection, host, port)
+        self._running = True
+        self._flush_task = asyncio.create_task(self._flush_loop())
+        self.address = self._server.sockets[0].getsockname()[:2]
+        return self.address
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        await self._server.serve_forever()
+
+    async def aclose(self) -> None:
+        """Stop accepting, drop connections, and drain the flush loop."""
+        self._running = False
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._flush_task is not None:
+            self._flush_task.cancel()
+            try:
+                await self._flush_task
+            except asyncio.CancelledError:
+                pass
+        for connection in list(self._connections):
+            self._drop_connection(connection)
+        # Anything still queued or in the engine is undeliverable now.
+        self.admission.purge(lambda _request: True)
+
+        def _release(meta) -> bool:
+            if isinstance(meta, GatewayRequest):
+                meta.tenant.stats.in_flight -= 1
+                return True
+            return False
+
+        self.engine.discard_pending(_release)
+
+    @property
+    def num_connections(self) -> int:
+        return len(self._connections)
+
+    # ------------------------------------------------------------------
+    # Flush loop: the only code that touches the engine
+    # ------------------------------------------------------------------
+    async def _flush_loop(self) -> None:
+        assert self._kick is not None
+        while self._running:
+            try:
+                await asyncio.wait_for(self._kick.wait(), self.poll_interval_s)
+            except asyncio.TimeoutError:
+                pass
+            self._kick.clear()
+            while self._running and self._pump_once():
+                # Yield between batches: new frames get *read* (and
+                # admitted, and prioritised) while a backlog drains, so
+                # a premium request arriving mid-flood waits at most a
+                # couple of batch executions, not the whole queue.
+                await asyncio.sleep(0)
+
+    def _pump_once(self) -> bool:
+        """One batch cycle: feed up to the batch limit, let it release.
+
+        Feeding stops at the adaptive batch limit so the *admission
+        queue* stays the place where overload pools (and sheds); the
+        engine queue holds at most one batch-in-progress.  Returns
+        whether any work happened (the flush loop keeps pumping, with
+        yields in between, until it reports idle).
+        """
+        engine = self.engine
+        budget = max(engine.batch_limit - engine.num_pending, 0)
+        # Class-pure composition: one cycle drains one class, so a
+        # premium batch never waits out batch-class rows sharing its
+        # vectorised call; lower classes get the very next cycle.
+        batch = self.admission.take_front_class(budget) if budget else []
+        for request in batch:
+            self._feed(request)
+        flushed = engine.poll()
+        return bool(batch) or bool(flushed)
+
+    def _feed(self, request: GatewayRequest) -> None:
+        try:
+            self.engine.submit(
+                request.sample,
+                meta=request,
+                callback=lambda result, request=request: self._deliver(request, result),
+                on_error=lambda error, request=request: self._classify_failed(
+                    request, error
+                ),
+                arrival=request.received,
+                deadline_ms=request.deadline_ms,
+                priority=request.tenant.slo_class.priority,
+                defer_flush=True,  # the pump polls right after feeding
+            )
+        except ValueError as error:
+            # Engine validation (wrong channel count, ...): fail this
+            # request, keep the flush loop and the connection alive.
+            self._classify_failed(request, error)
+
+    def _deliver(self, request: GatewayRequest, result: SampleResult) -> None:
+        tenant = request.tenant
+        tenant.stats.delivered += 1
+        tenant.stats.in_flight -= 1
+        tenant.stats.record_latency(self.engine.clock() - request.received)
+        self.stats.results += 1
+        request.connection.send(protocol.result_frame(request.request_id, result))
+
+    def _classify_failed(self, request: GatewayRequest, error: Exception) -> None:
+        tenant = request.tenant
+        tenant.stats.failed += 1
+        tenant.stats.in_flight -= 1
+        self.stats.classify_errors += 1
+        request.connection.send(
+            protocol.error_frame(
+                "classify_failed", str(error), request_id=request.request_id
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        connection = _Connection(reader, writer, max_outbox=self.max_outbox_frames)
+        self.stats.connections_total += 1
+        writer_task = asyncio.create_task(connection.write_loop())
+        try:
+            if not await self._handshake(connection):
+                self.stats.handshakes_rejected += 1
+                return
+            self._connections.add(connection)
+            self._refresh_slo()
+            await self._serve_frames(connection)
+        except (ConnectionError, asyncio.TimeoutError):
+            pass
+        except ProtocolError as error:
+            self.stats.protocol_errors += 1
+            connection.send(protocol.error_frame(error.code, str(error)))
+        finally:
+            self._connections.discard(connection)
+            self._refresh_slo()
+            self._reclaim(connection)
+            connection.closed = True
+            connection.outbox.put_nowait(None)  # let queued frames flush out
+            try:
+                await asyncio.wait_for(writer_task, timeout=5.0)
+            except (asyncio.TimeoutError, ConnectionError):
+                writer_task.cancel()
+            self._drop_connection(connection)
+
+    async def _handshake(self, connection: _Connection) -> bool:
+        """HELLO exchange; False (after an ERROR reply) on any rejection."""
+        try:
+            frame = await asyncio.wait_for(
+                protocol.read_frame(connection.reader), self.handshake_timeout_s
+            )
+        except VersionMismatch as error:
+            connection.send(protocol.error_frame(error.code, str(error)))
+            return False
+        if frame is None or frame.kind is not FrameType.HELLO:
+            connection.send(
+                protocol.error_frame("bad_handshake", "expected a HELLO frame first")
+            )
+            return False
+        tenant_id = str(frame.meta.get("tenant", "anonymous"))
+        connection.client_name = str(frame.meta.get("client", "?"))
+        tenant = self.tenants.resolve(tenant_id)
+        if tenant is None:
+            connection.send(
+                protocol.error_frame(
+                    "unknown_tenant",
+                    f"tenant {tenant_id!r} has no assignment and the "
+                    "directory rejects unknown tenants",
+                )
+            )
+            return False
+        connection.tenant = tenant
+        connection.send(
+            protocol.hello_reply(
+                server=self.name,
+                tenant=tenant.tenant_id,
+                slo_class=tenant.slo_class.name,
+                slo_ms=tenant.slo_class.slo_ms,
+                model_version=self.engine.model_version,
+            )
+        )
+        return True
+
+    async def _serve_frames(self, connection: _Connection) -> None:
+        while True:
+            frame = await protocol.read_frame(connection.reader)
+            if frame is None:
+                return  # clean EOF
+            if frame.kind is FrameType.SUBMIT:
+                self._on_submit(connection, frame)
+            elif frame.kind is FrameType.STATS:
+                connection.send(protocol.stats_frame(self.snapshot()))
+            elif frame.kind is FrameType.RELOAD:
+                self._on_reload(connection)
+            else:
+                connection.send(
+                    protocol.error_frame(
+                        "unexpected_frame",
+                        f"cannot handle {frame.kind.name} after the handshake",
+                    )
+                )
+
+    def _on_submit(self, connection: _Connection, frame: Frame) -> None:
+        tenant = connection.tenant
+        assert tenant is not None
+        self.stats.submits += 1
+        try:
+            request_id, sample, deadline_ms = protocol.decode_submit(frame)
+        except ProtocolError as error:
+            self.stats.protocol_errors += 1
+            # The id is untrusted here (decode may have rejected it):
+            # echo it only when it is actually an int.
+            raw_id = frame.meta.get("id")
+            connection.send(
+                protocol.error_frame(
+                    error.code,
+                    str(error),
+                    request_id=raw_id if isinstance(raw_id, int) else None,
+                )
+            )
+            return
+        if deadline_ms is None:
+            deadline_ms = tenant.slo_class.slo_ms
+        if deadline_ms is None:
+            deadline_ms = self.max_linger_ms
+        request = GatewayRequest(
+            connection=connection,
+            tenant=tenant,
+            request_id=request_id,
+            sample=sample,
+            deadline_ms=deadline_ms,
+            received=self.engine.clock(),
+        )
+        admitted, reject_code, victims = self.admission.offer(request)
+        for victim in victims:
+            self.stats.shed += 1
+            victim.connection.send(
+                protocol.error_frame(
+                    "shed",
+                    "shed under overload to protect higher-priority tenants",
+                    request_id=victim.request_id,
+                )
+            )
+        if not admitted:
+            if reject_code == "shed":
+                self.stats.shed += 1
+            else:
+                self.stats.rejected += 1
+            connection.send(
+                protocol.error_frame(
+                    reject_code,
+                    f"request rejected ({reject_code}) for tenant "
+                    f"{tenant.tenant_id!r} [{tenant.slo_class.name}]",
+                    request_id=request_id,
+                )
+            )
+            return
+        assert self._kick is not None
+        self._kick.set()
+
+    def _on_reload(self, connection: _Connection) -> None:
+        if self.reload_hook is None:
+            connection.send(
+                protocol.error_frame(
+                    "reload_unavailable", "server was started without a reload hook"
+                )
+            )
+            return
+        before = self.engine.model_version
+        try:
+            version = int(self.reload_hook())
+        except Exception as error:  # checkpoint mid-write, IO error, ...
+            connection.send(protocol.error_frame("reload_failed", str(error)))
+            return
+        self.stats.reloads += 1
+        connection.send(
+            protocol.reload_frame(model_version=version, swapped=version != before)
+        )
+
+    # ------------------------------------------------------------------
+    def _refresh_slo(self) -> None:
+        """Point the scheduler's SLO at the tightest *connected* class.
+
+        The adaptive batch limit bounds a batch's execution by the SLO
+        budget — but bounding it by a premium SLO while only backfill
+        tenants are connected wastes throughput, and bounding it by a lax
+        one while a premium tenant is live ruins that tenant's tail (a
+        premium request arriving mid-flush waits out the whole batch).
+        So the budget follows who is actually on the wire: the minimum
+        ``slo_ms`` over connected tenants' classes, falling back to the
+        configured default when none of them carries an SLO.
+        """
+        scheduler = self.engine.scheduler
+        if scheduler is None:
+            return
+        active = [
+            connection.tenant.slo_class.slo_ms
+            for connection in self._connections
+            if connection.tenant is not None
+            and connection.tenant.slo_class.slo_ms is not None
+        ]
+        scheduler.slo_ms = min(active) if active else self._base_slo_ms
+
+    def _reclaim(self, connection: _Connection) -> None:
+        """Reclaim a dead connection's queued and in-engine requests."""
+        self.admission.purge(lambda request: request.connection is connection)
+
+        def _release(meta) -> bool:
+            if isinstance(meta, GatewayRequest) and meta.connection is connection:
+                meta.tenant.stats.in_flight -= 1
+                return True
+            return False
+
+        self.engine.discard_pending(_release)
+
+    def _drop_connection(self, connection: _Connection) -> None:
+        connection.closed = True
+        try:
+            connection.writer.close()
+        except Exception:
+            pass
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Operational summary (the STATS reply)."""
+        engine_stats = self.engine.stats
+        scheduler = self.engine.scheduler
+        return {
+            "server": self.name,
+            "model_version": self.engine.model_version,
+            "connections": self.num_connections,
+            "queued": len(self.admission),
+            "queue_depths": self.admission.depths,
+            "gateway": self.stats.as_dict(),
+            "engine": {
+                "requests": engine_stats.requests,
+                "batches": engine_stats.batches,
+                "batched_samples": engine_stats.batched_samples,
+                "mean_batch": engine_stats.mean_batch,
+                "max_batch": engine_stats.max_batch,
+                "failed_batches": engine_stats.failed_batches,
+                "swaps": engine_stats.swaps,
+            },
+            "scheduler": scheduler.snapshot() if scheduler is not None else None,
+            "tenants": self.tenants.snapshot(),
+        }
+
+
+class BackgroundGateway:
+    """Run a :class:`GatewayServer` on a daemon thread with its own loop.
+
+    The blocking world's handle on the async server: tests, examples,
+    benchmarks, and ordinary scripts do::
+
+        with BackgroundGateway(server) as (host, port):
+            client = GatewayClient(host, port, tenant="edge-7")
+            ...
+
+    All server state stays confined to the background loop; the owning
+    thread only ever reads the bound address and signals shutdown.
+    """
+
+    def __init__(
+        self, server: GatewayServer, host: str = "127.0.0.1", port: int = 0
+    ) -> None:
+        self.server = server
+        self._host = host
+        self._port = port
+        self._thread: threading.Thread | None = None
+        self._ready = threading.Event()
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop: asyncio.Event | None = None
+        self._error: BaseException | None = None
+        self.address: tuple[str, int] | None = None
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        try:
+            self.address = await self.server.start(self._host, self._port)
+        except BaseException as error:
+            self._error = error
+            self._ready.set()
+            return
+        self._ready.set()
+        try:
+            await self._stop.wait()
+        finally:
+            await self.server.aclose()
+
+    def start(self) -> tuple[str, int]:
+        """Spawn the loop thread; returns the bound ``(host, port)``."""
+        if self._thread is not None:
+            raise RuntimeError("background gateway already started")
+        self._thread = threading.Thread(
+            target=lambda: asyncio.run(self._main()),
+            name="gateway-server",
+            daemon=True,
+        )
+        self._thread.start()
+        self._ready.wait(timeout=30.0)
+        if self._error is not None:
+            raise RuntimeError("gateway failed to start") from self._error
+        if self.address is None:
+            raise RuntimeError("gateway did not come up within 30 s")
+        return self.address
+
+    def stop(self, timeout: float = 10.0) -> None:
+        if self._thread is None or self._loop is None or self._stop is None:
+            return
+        self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(timeout=timeout)
+        self._thread = None
+
+    def __enter__(self) -> tuple[str, int]:
+        return self.start()
+
+    def __exit__(self, *_exc_info) -> None:
+        self.stop()

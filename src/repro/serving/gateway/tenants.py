@@ -1,0 +1,353 @@
+"""Per-tenant SLO classes, weighted priority admission, and shedding.
+
+The gateway serves many tenants from one engine, and they are not equal:
+an interactive smart-home controller needs its 50 ms p95 held even while
+an analytics backfill replays a day of recordings.  This module is the
+*policy* half of that story — pure data structures with no sockets and
+no engine, so every decision is unit-testable with a fake clock:
+
+* :class:`SLOClass` — a named service tier: drain priority and weight,
+  per-request latency budget (``slo_ms``), a per-tenant in-flight cap,
+  and whether queued requests of this class may be shed under overload.
+* :class:`TenantDirectory` — maps tenant ids to classes (static
+  assignments plus a default class), materialising per-tenant counters
+  lazily; built from a plain dict so ``repro serve --tenants cfg.json``
+  can define deployments declaratively.
+* :class:`AdmissionQueue` — the waiting room between the socket layer
+  and the engine.  ``offer`` enforces the per-tenant in-flight cap and,
+  when the room is full, sheds the **oldest request of the most
+  sheddable (lowest-priority) class first**, so overload lands on the
+  ``batch`` tier while ``premium`` requests keep their seats.
+  ``take_front_class`` drains class-pure batches in weighted priority
+  order — classes spend ``weight`` cycle credits highest-priority
+  first, then the credits refill — so premium dominates the engine's
+  drain without starving batch traffic outright, and no premium request
+  ever shares (and waits out) a batch-class vectorised call.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Deque, Iterable, Mapping
+
+
+@dataclass(frozen=True)
+class SLOClass:
+    """One service tier of the gateway.
+
+    ``priority`` orders classes for draining (lower value drains first);
+    ``weight`` is the class's share of drain *cycles* (class-pure
+    batches) per weighted round, so two classes one priority apart still
+    share throughput ``weight_hi : weight_lo`` instead of strict
+    starvation.
+    """
+
+    name: str
+    priority: int
+    weight: int = 1
+    slo_ms: float | None = None
+    max_in_flight: int = 64
+    sheddable: bool = False
+
+    def __post_init__(self) -> None:
+        if self.weight < 1:
+            raise ValueError("weight must be >= 1")
+        if self.max_in_flight < 1:
+            raise ValueError("max_in_flight must be >= 1")
+        if self.slo_ms is not None and self.slo_ms < 0:
+            raise ValueError("slo_ms must be >= 0")
+
+
+def default_classes() -> dict[str, SLOClass]:
+    """The stock three-tier deployment (premium / standard / batch)."""
+    classes = (
+        SLOClass("premium", priority=0, weight=4, slo_ms=50.0, max_in_flight=128),
+        SLOClass("standard", priority=1, weight=2, slo_ms=200.0, max_in_flight=64),
+        SLOClass(
+            "batch", priority=2, weight=1, slo_ms=None, max_in_flight=512,
+            sheddable=True,
+        ),
+    )
+    return {cls.name: cls for cls in classes}
+
+
+@dataclass
+class TenantStats:
+    """Admission/delivery counters of one tenant, plus a small sliding
+    window of delivered latencies (seconds) for SLO attainment."""
+
+    submitted: int = 0
+    delivered: int = 0
+    failed: int = 0
+    shed: int = 0
+    rejected: int = 0
+    in_flight: int = 0
+    latency_window: Deque[float] = field(default_factory=deque, repr=False)
+
+    LATENCY_WINDOW = 256
+
+    def record_latency(self, latency_s: float) -> None:
+        self.latency_window.append(latency_s)
+        while len(self.latency_window) > self.LATENCY_WINDOW:
+            self.latency_window.popleft()
+
+    @property
+    def p95_ms(self) -> float | None:
+        if not self.latency_window:
+            return None
+        ordered = sorted(self.latency_window)
+        rank = math.ceil(0.95 * len(ordered)) - 1
+        return ordered[max(rank, 0)] * 1e3
+
+    def as_dict(self) -> dict:
+        return {
+            "submitted": self.submitted,
+            "delivered": self.delivered,
+            "failed": self.failed,
+            "shed": self.shed,
+            "rejected": self.rejected,
+            "in_flight": self.in_flight,
+            "p95_ms": self.p95_ms,
+        }
+
+
+@dataclass
+class Tenant:
+    """One named tenant bound to its SLO class, with live counters."""
+
+    tenant_id: str
+    slo_class: SLOClass
+    stats: TenantStats = field(default_factory=TenantStats)
+
+
+class TenantDirectory:
+    """Tenant id -> :class:`Tenant`, with declarative construction.
+
+    Parameters
+    ----------
+    classes:
+        Name -> :class:`SLOClass`; defaults to :func:`default_classes`.
+    assignments:
+        Static tenant id -> class-name map.
+    default_class:
+        Class for tenants with no static assignment.  ``None`` makes
+        unknown tenants a handshake error instead.
+    """
+
+    def __init__(
+        self,
+        *,
+        classes: Mapping[str, SLOClass] | None = None,
+        assignments: Mapping[str, str] | None = None,
+        default_class: str | None = "standard",
+    ) -> None:
+        self.classes = dict(classes) if classes is not None else default_classes()
+        self.assignments = {str(k): str(v) for k, v in (assignments or {}).items()}
+        unknown = sorted(set(self.assignments.values()) - set(self.classes))
+        if unknown:
+            raise ValueError(f"assignments name undefined SLO classes: {unknown}")
+        if default_class is not None and default_class not in self.classes:
+            raise ValueError(f"default_class {default_class!r} is not defined")
+        self.default_class = default_class
+        self._tenants: dict[str, Tenant] = {}
+
+    @classmethod
+    def from_config(cls, config: Mapping[str, Any]) -> "TenantDirectory":
+        """Build from the ``--tenants cfg.json`` schema::
+
+            {"classes": {"premium": {"priority": 0, "weight": 4,
+                                     "slo_ms": 50, "max_in_flight": 128,
+                                     "sheddable": false}, ...},
+             "tenants": {"device-7": "premium", ...},
+             "default_class": "standard"}
+
+        ``classes`` may be omitted (stock tiers) or partial (overrides
+        merge over the stock tiers).
+        """
+        classes = default_classes()
+        for name, spec in dict(config.get("classes", {})).items():
+            base = classes.get(name)
+            merged = {
+                "priority": spec.get(
+                    "priority", base.priority if base else len(classes)
+                ),
+                "weight": spec.get("weight", base.weight if base else 1),
+                "slo_ms": spec.get("slo_ms", base.slo_ms if base else None),
+                "max_in_flight": spec.get(
+                    "max_in_flight", base.max_in_flight if base else 64
+                ),
+                "sheddable": spec.get("sheddable", base.sheddable if base else False),
+            }
+            classes[name] = SLOClass(name=name, **merged)
+        return cls(
+            classes=classes,
+            assignments=config.get("tenants"),
+            default_class=config.get("default_class", "standard"),
+        )
+
+    # ------------------------------------------------------------------
+    def resolve(self, tenant_id: str) -> Tenant | None:
+        """The tenant record for ``tenant_id``; None when unknown tenants
+        are rejected (no assignment and no default class)."""
+        tenant_id = str(tenant_id)
+        tenant = self._tenants.get(tenant_id)
+        if tenant is not None:
+            return tenant
+        class_name = self.assignments.get(tenant_id, self.default_class)
+        if class_name is None:
+            return None
+        tenant = Tenant(tenant_id=tenant_id, slo_class=self.classes[class_name])
+        self._tenants[tenant_id] = tenant
+        return tenant
+
+    @property
+    def tenants(self) -> list[Tenant]:
+        return list(self._tenants.values())
+
+    def snapshot(self) -> dict[str, dict]:
+        """Per-tenant counters, keyed by tenant id."""
+        return {
+            tenant.tenant_id: {
+                "slo_class": tenant.slo_class.name,
+                **tenant.stats.as_dict(),
+            }
+            for tenant in self._tenants.values()
+        }
+
+
+class AdmissionQueue:
+    """Bounded waiting room with class-aware shedding and weighted drain.
+
+    Items are anything carrying a ``tenant`` attribute (the gateway's
+    request records).  The queue never touches the engine: ``offer``
+    decides *whether* a request waits, ``take_front_class`` decides *in
+    what order* admitted requests reach the engine.
+    """
+
+    def __init__(
+        self, classes: Iterable[SLOClass], *, queue_limit: int = 256
+    ) -> None:
+        if queue_limit < 1:
+            raise ValueError("queue_limit must be >= 1")
+        self.queue_limit = queue_limit
+        #: Drain order: highest priority (lowest value) first.
+        self._classes = sorted(classes, key=lambda cls: (cls.priority, cls.name))
+        self._queues: dict[str, Deque] = {cls.name: deque() for cls in self._classes}
+        #: Weighted-cycle credits (see :meth:`take_front_class`).
+        self._credits: dict[str, int] = {cls.name: cls.weight for cls in self._classes}
+
+    def __len__(self) -> int:
+        return sum(len(queue) for queue in self._queues.values())
+
+    @property
+    def depths(self) -> dict[str, int]:
+        return {name: len(queue) for name, queue in self._queues.items()}
+
+    # ------------------------------------------------------------------
+    def offer(self, request) -> tuple[bool, str | None, list]:
+        """Admit one request, possibly at another's expense.
+
+        Returns ``(admitted, reject_code, shed_victims)``:
+
+        * the tenant's in-flight cap rejects outright (``over_capacity``)
+          — explicit backpressure to that client;
+        * a full room sheds the oldest request of the lowest-priority
+          sheddable class to make space; the victims are returned so the
+          caller can notify their clients;
+        * a full room with nothing sheddable (and an unsheddable
+          arrival) rejects the arrival with ``queue_full``; a sheddable
+          arrival is itself the preferred victim (``shed``).
+        """
+        tenant: Tenant = request.tenant
+        slo_class = tenant.slo_class
+        if tenant.stats.in_flight >= slo_class.max_in_flight:
+            tenant.stats.rejected += 1
+            return False, "over_capacity", []
+        victims: list = []
+        while len(self) >= self.queue_limit:
+            victim = self._pop_shed_victim(max_priority=slo_class.priority)
+            if victim is None:
+                if slo_class.sheddable:
+                    tenant.stats.shed += 1
+                    return False, "shed", victims
+                tenant.stats.rejected += 1
+                return False, "queue_full", victims
+            victims.append(victim)
+        self._queues[slo_class.name].append(request)
+        tenant.stats.submitted += 1
+        tenant.stats.in_flight += 1
+        return True, None, victims
+
+    def _pop_shed_victim(self, *, max_priority: int):
+        """Oldest queued request of the most sheddable class, or None.
+
+        Only classes strictly *less important* than ``max_priority`` — or
+        equally important but sheddable — may lose their seat to the
+        arrival, so a batch flood can never evict a premium request.
+        """
+        for cls in reversed(self._classes):  # lowest priority first
+            if not cls.sheddable or cls.priority < max_priority:
+                continue
+            queue = self._queues[cls.name]
+            if queue:
+                victim = queue.popleft()
+                victim.tenant.stats.in_flight -= 1
+                victim.tenant.stats.shed += 1
+                return victim
+        return None
+
+    # ------------------------------------------------------------------
+    def take_front_class(self, max_items: int) -> list:
+        """Drain up to ``max_items`` from one class — the weighted pick.
+
+        Batch composition is **class-pure**: the engine executes a flush
+        as one vectorised call, so a premium request sharing a batch
+        with batch-class riders would wait out their rows too.  Weights
+        apportion the *cycles* instead of the rows: each class holds
+        ``weight`` cycle credits; every call picks the most important
+        non-empty class with credit left and spends one, and when no
+        non-empty class has credit the credits refill.  With premium
+        (weight 4) and batch (weight 1) both backlogged, premium gets 4
+        consecutive class-pure batches, then batch gets 1 — a 4:1 cycle
+        share with no starvation and no mixed executions.
+        """
+        if max_items < 1:
+            return []
+        chosen = None
+        for cls in self._classes:
+            if self._queues[cls.name] and self._credits[cls.name] > 0:
+                chosen = cls
+                break
+        if chosen is None:
+            # Every non-empty class is out of credit (or holds none
+            # because only credit-less empty classes remain funded):
+            # start a fresh weighted round.
+            self._credits = {cls.name: cls.weight for cls in self._classes}
+            for cls in self._classes:
+                if self._queues[cls.name]:
+                    chosen = cls
+                    break
+        if chosen is None:
+            return []
+        self._credits[chosen.name] -= 1
+        queue = self._queues[chosen.name]
+        count = min(max_items, len(queue))
+        return [queue.popleft() for _ in range(count)]
+
+    def purge(self, predicate: Callable[[Any], bool]) -> list:
+        """Remove (and return) every queued request matching ``predicate``,
+        releasing its tenant's in-flight slot — the disconnect path."""
+        removed: list = []
+        for queue in self._queues.values():
+            kept = deque()
+            while queue:
+                request = queue.popleft()
+                if predicate(request):
+                    request.tenant.stats.in_flight -= 1
+                    removed.append(request)
+                else:
+                    kept.append(request)
+            queue.extend(kept)
+        return removed

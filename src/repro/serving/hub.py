@@ -204,8 +204,22 @@ class StreamHub:
         return stream_id
 
     def close_stream(self, stream_id: str) -> GesturePrintRuntime | MultiUserRuntime:
-        """Deregister a stream; pending engine requests still deliver."""
-        return self._streams.pop(str(stream_id))
+        """Deregister a stream and cancel its queued spans.
+
+        Spans the stream already submitted to the shared engine are
+        discarded via :meth:`InferenceEngine.discard_pending` — they must
+        not be classified and delivered to the dead stream's callback
+        (which would burn batch capacity and resurrect `stream_id` in
+        ``_delivered`` after the close).  Other streams' pending requests
+        are untouched; spans already *delivered* stay in the runtime's
+        event log, which is returned.
+        """
+        stream_id = str(stream_id)
+        runtime = self._streams.pop(stream_id)
+        self.engine.discard_pending(
+            lambda meta: isinstance(meta, tuple) and len(meta) == 2 and meta[0] == stream_id
+        )
+        return runtime
 
     # ------------------------------------------------------------------
     def _drain(self) -> list[StreamEvent]:

@@ -18,6 +18,13 @@ lone queued span could wait unboundedly for company.
   engine runs the largest batch whose predicted execution time still
   fits inside the latency budget.
 
+A third, optional decision closes the loop end to end: the **p95
+safety-margin controller** (``adapt_margin=True``) watches the sliding
+window of delivered queue latencies and widens the scheduling margin
+when the observed p95 breaches the SLO (flushing earlier buys latency
+back) or narrows it when the p95 sits well under target (bigger batches
+buy throughput back).
+
 The scheduler is a pure policy object: it never touches the queue and
 has no threads.  The engine consults :meth:`should_flush` on every
 ``submit``/``poll`` and reports measurements back through
@@ -33,6 +40,20 @@ from dataclasses import dataclass, field
 from typing import Callable, Deque
 
 
+def request_order(
+    priority: int, deadline: float | None, arrival: float
+) -> tuple[int, float, float]:
+    """Drain-order sort key for one pending request.
+
+    More important classes (lower ``priority``) first, then earlier
+    deadlines, then earlier arrivals — the order the engine empties its
+    queue in and the gateway feeds its admission queue into the engine,
+    so under overload a premium request is classified (and delivered)
+    ahead of batch traffic that arrived first.
+    """
+    return (priority, math.inf if deadline is None else deadline, arrival)
+
+
 @dataclass
 class SchedulerStats:
     """Why batches were released, plus the adaptation state."""
@@ -40,6 +61,9 @@ class SchedulerStats:
     depth_flushes: int = 0
     deadline_flushes: int = 0
     observed_batches: int = 0
+    #: Safety-margin controller activity (see ``adapt_margin``).
+    margin_widened: int = 0
+    margin_narrowed: int = 0
     #: Delivered queue latencies (seconds), most recent last.
     queue_window: Deque[float] = field(default_factory=deque, repr=False)
 
@@ -64,7 +88,26 @@ class BatchScheduler:
         under the target).
     margin_ms:
         Scheduling slack: flush when the earliest deadline's remaining
-        budget falls within ``predicted batch latency + margin``.
+        budget falls within ``predicted batch latency + margin``.  With
+        ``adapt_margin`` this is only the starting point.
+    adapt_margin:
+        Enable the p95 safety-margin controller: every ``adapt_every``
+        delivered requests, compare the sliding-window p95 against the
+        SLO and widen the margin (earlier deadline flushes, lower
+        queueing latency) when the p95 breaches the target, or narrow it
+        (larger batches, higher throughput) when the p95 sits comfortably
+        below ``margin_target`` x SLO.  Multiplicative in both directions
+        and clamped to ``margin_bounds_ms``, so one noisy window cannot
+        slam the margin to an extreme.
+    margin_bounds_ms:
+        ``(lo, hi)`` clamp of the adaptive margin, milliseconds.
+    margin_target:
+        Fraction of the SLO the controller steers the observed p95
+        toward; the dead band between ``margin_target * slo`` and the SLO
+        keeps the controller quiet when latency is already on target.
+    adapt_every:
+        Delivered-request interval between controller decisions (also the
+        minimum window fill before the first one).
     window:
         Number of delivered-latency samples kept for the p95 estimate.
     clock:
@@ -80,6 +123,10 @@ class BatchScheduler:
         ewma_alpha: float = 0.25,
         safety: float = 0.8,
         margin_ms: float = 2.0,
+        adapt_margin: bool = False,
+        margin_bounds_ms: tuple[float, float] = (0.5, 25.0),
+        margin_target: float = 0.8,
+        adapt_every: int = 32,
         window: int = 512,
         clock: Callable[[], float] = time.monotonic,
     ) -> None:
@@ -91,12 +138,23 @@ class BatchScheduler:
             raise ValueError("ewma_alpha must be in (0, 1]")
         if not 0.0 < safety <= 1.0:
             raise ValueError("safety must be in (0, 1]")
+        if not 0.0 <= margin_bounds_ms[0] <= margin_bounds_ms[1]:
+            raise ValueError("need 0 <= margin_bounds_ms[0] <= margin_bounds_ms[1]")
+        if not 0.0 < margin_target <= 1.0:
+            raise ValueError("margin_target must be in (0, 1]")
+        if adapt_every < 1:
+            raise ValueError("adapt_every must be >= 1")
         self.slo_ms = slo_ms
         self.min_batch = min_batch
         self.max_batch = max_batch
         self.ewma_alpha = ewma_alpha
         self.safety = safety
         self.margin_s = margin_ms / 1e3
+        self.adapt_margin = adapt_margin
+        self.margin_bounds_s = (margin_bounds_ms[0] / 1e3, margin_bounds_ms[1] / 1e3)
+        self.margin_target = margin_target
+        self.adapt_every = adapt_every
+        self._since_adapt = 0
         self.clock = clock
         self.stats = SchedulerStats()
         self._window = window
@@ -194,11 +252,47 @@ class BatchScheduler:
         self.stats.observed_batches += 1
 
     def record_queue_latency(self, latency_s: float) -> None:
-        """Record one delivered request's submit -> delivery latency."""
+        """Record one delivered request's submit -> delivery latency.
+
+        With ``adapt_margin`` this is also the controller's sensor: every
+        ``adapt_every`` deliveries the sliding-window p95 is compared
+        against the SLO and the safety margin nudged (see
+        :meth:`_adapt_margin_once`).
+        """
         window = self.stats.queue_window
         window.append(latency_s)
         while len(window) > self._window:
             window.popleft()
+        if self.adapt_margin and self.slo_s is not None:
+            self._since_adapt += 1
+            if self._since_adapt >= self.adapt_every and len(window) >= self.adapt_every:
+                self._since_adapt = 0
+                self._adapt_margin_once()
+
+    def _adapt_margin_once(self) -> None:
+        """One controller step: widen on a p95 breach, narrow when slack.
+
+        Multiplicative moves (x1.5 up, x0.85 down) with a dead band in
+        between: widening reacts fast because a breach is already
+        user-visible, narrowing creeps so throughput is reclaimed without
+        oscillating straight back into a breach.
+        """
+        p95_ms = self.queue_p95_ms
+        if p95_ms is None:
+            return
+        lo, hi = self.margin_bounds_s
+        if p95_ms > self.slo_ms:
+            # The 0.5 ms seed lets widening escape a zero margin (x1.5
+            # alone would pin it there forever).
+            widened = min(max(self.margin_s, lo, 5e-4) * 1.5, hi)
+            if widened > self.margin_s:
+                self.margin_s = widened
+                self.stats.margin_widened += 1
+        elif p95_ms < self.margin_target * self.slo_ms:
+            narrowed = max(self.margin_s * 0.85, lo)
+            if narrowed < self.margin_s:
+                self.margin_s = narrowed
+                self.stats.margin_narrowed += 1
 
     @property
     def queue_p95_ms(self) -> float | None:
@@ -218,6 +312,9 @@ class BatchScheduler:
             "batch_limit": self.batch_limit,
             "overhead_ms": overhead * 1e3,
             "per_sample_ms": per_sample * 1e3,
+            "margin_ms": self.margin_s * 1e3,
+            "margin_widened": self.stats.margin_widened,
+            "margin_narrowed": self.stats.margin_narrowed,
             "depth_flushes": self.stats.depth_flushes,
             "deadline_flushes": self.stats.deadline_flushes,
             "observed_batches": self.stats.observed_batches,

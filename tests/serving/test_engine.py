@@ -139,6 +139,29 @@ class TestMicroBatching:
         assert engine.num_pending == 0
         assert engine.stats.batches == 2
 
+    def test_flush_drains_in_priority_order(self, fitted, toy_data):
+        """Lower priority value (more important class) delivers first;
+        ties keep submission order, so default traffic is unaffected."""
+        x, _, _ = toy_data
+        engine = InferenceEngine(fitted, max_batch_size=16)
+        order = []
+        engine.submit(x[0], callback=lambda r: order.append("batch-1"), priority=2)
+        engine.submit(x[1], callback=lambda r: order.append("premium"), priority=0)
+        engine.submit(x[2], callback=lambda r: order.append("batch-2"), priority=2)
+        engine.submit(x[3], callback=lambda r: order.append("standard"), priority=1)
+        completed = engine.flush()
+        assert order == ["premium", "standard", "batch-1", "batch-2"]
+        assert [t.priority for t in completed] == [0, 1, 2, 2]
+
+    def test_priority_ties_break_by_deadline(self, fitted, toy_data):
+        x, _, _ = toy_data
+        engine = InferenceEngine(fitted, max_batch_size=16)
+        order = []
+        engine.submit(x[0], callback=lambda r: order.append("lax"), deadline_ms=500.0)
+        engine.submit(x[1], callback=lambda r: order.append("urgent"), deadline_ms=10.0)
+        engine.flush()
+        assert order == ["urgent", "lax"]
+
     def test_discard_pending_cancels_tickets(self, fitted, toy_data):
         x, _, _ = toy_data
         engine = InferenceEngine(fitted, max_batch_size=16)

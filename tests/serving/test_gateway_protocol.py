@@ -1,0 +1,187 @@
+"""Wire protocol: roundtrips, malformed-frame rejection, versioning."""
+
+import numpy as np
+import pytest
+
+from repro.serving.gateway import protocol
+from repro.serving.gateway.protocol import (
+    HEADER,
+    MAGIC,
+    MAX_PAYLOAD,
+    PROTOCOL_VERSION,
+    Frame,
+    FrameDecoder,
+    FrameType,
+    ProtocolError,
+    VersionMismatch,
+)
+
+
+def roundtrip(frame: Frame) -> Frame:
+    frames = FrameDecoder().feed(protocol.encode_frame(frame))
+    assert len(frames) == 1
+    return frames[0]
+
+
+class _FakeResult:
+    """Duck-typed SampleResult for result_frame."""
+
+    def __init__(self, rng):
+        self.gesture = 2
+        self.gesture_probs = rng.dirichlet(np.ones(4))
+        self.user = 1
+        self.user_probs = rng.dirichlet(np.ones(3))
+        self.model_version = 5
+
+
+class TestRoundtrip:
+    """Every frame kind survives encode -> decode bit-for-bit."""
+
+    def test_hello(self):
+        frame = roundtrip(protocol.hello_frame(client="edge-7", tenant="acme"))
+        assert frame.kind is FrameType.HELLO
+        assert frame.meta == {"client": "edge-7", "tenant": "acme"}
+
+    def test_hello_reply(self):
+        frame = roundtrip(
+            protocol.hello_reply(
+                server="gw", tenant="acme", slo_class="premium",
+                slo_ms=50.0, model_version=3,
+            )
+        )
+        assert frame.meta["slo_class"] == "premium"
+        assert frame.meta["model_version"] == 3
+
+    def test_submit_preserves_float32_cloud_exactly(self):
+        sample = np.random.default_rng(0).normal(size=(24, 8))
+        frame = roundtrip(protocol.submit_frame(9, sample, deadline_ms=25.0))
+        request_id, decoded, deadline_ms = protocol.decode_submit(frame)
+        assert request_id == 9
+        assert deadline_ms == 25.0
+        # float32 on the wire: decoded equals the quantised original.
+        assert np.array_equal(decoded, protocol.quantise_sample(sample))
+        assert decoded.dtype == np.float64
+
+    def test_submit_without_deadline(self):
+        frame = roundtrip(protocol.submit_frame(1, np.zeros((4, 3))))
+        _, _, deadline_ms = protocol.decode_submit(frame)
+        assert deadline_ms is None
+
+    def test_result_posteriors_are_byte_identical(self):
+        result = _FakeResult(np.random.default_rng(1))
+        wire = protocol.decode_result(roundtrip(protocol.result_frame(11, result)))
+        assert wire.request_id == 11
+        assert wire.gesture == 2 and wire.user == 1
+        assert wire.model_version == 5
+        # float64 posteriors take no precision loss across the wire.
+        assert np.array_equal(wire.gesture_probs, result.gesture_probs)
+        assert np.array_equal(wire.user_probs, result.user_probs)
+
+    def test_error(self):
+        frame = roundtrip(protocol.error_frame("shed", "overloaded", request_id=4))
+        assert frame.kind is FrameType.ERROR
+        assert frame.meta == {"code": "shed", "message": "overloaded", "id": 4}
+
+    def test_stats_request_and_reply(self):
+        assert roundtrip(protocol.stats_frame()).meta == {}
+        snapshot = {"queued": 3, "tenants": {"a": {"shed": 1}}}
+        assert roundtrip(protocol.stats_frame(snapshot)).meta == snapshot
+
+    def test_reload_request_and_reply(self):
+        assert roundtrip(protocol.reload_frame()).meta == {}
+        reply = roundtrip(protocol.reload_frame(model_version=2, swapped=True))
+        assert reply.meta == {"model_version": 2, "swapped": True}
+
+
+class TestDecoderRobustness:
+    def test_truncated_frame_waits_instead_of_erroring(self):
+        data = protocol.encode_frame(protocol.stats_frame({"x": 1}))
+        decoder = FrameDecoder()
+        for cut in range(1, len(data)):
+            assert FrameDecoder().feed(data[:cut]) == []
+        # Byte-at-a-time delivery still yields exactly one frame.
+        frames = []
+        for i in range(len(data)):
+            frames.extend(decoder.feed(data[i : i + 1]))
+        assert len(frames) == 1 and frames[0].meta == {"x": 1}
+
+    def test_two_frames_in_one_chunk(self):
+        data = protocol.encode_frame(protocol.stats_frame()) + protocol.encode_frame(
+            protocol.error_frame("boom", "x")
+        )
+        frames = FrameDecoder().feed(data)
+        assert [f.kind for f in frames] == [FrameType.STATS, FrameType.ERROR]
+
+    def test_garbage_magic_rejected(self):
+        with pytest.raises(ProtocolError, match="magic"):
+            FrameDecoder().feed(b"HTTP/1.1 200 OK\r\n\r\n")
+
+    def test_oversized_declared_payload_rejected(self):
+        header = HEADER.pack(MAGIC, PROTOCOL_VERSION, int(FrameType.STATS),
+                             MAX_PAYLOAD + 1)
+        with pytest.raises(ProtocolError) as excinfo:
+            FrameDecoder().feed(header)
+        assert excinfo.value.code == "frame_too_large"
+
+    def test_oversized_encode_rejected(self):
+        frame = Frame(FrameType.SUBMIT, {}, b"\0" * (MAX_PAYLOAD + 1))
+        with pytest.raises(ProtocolError):
+            protocol.encode_frame(frame)
+
+    def test_unknown_frame_kind_rejected(self):
+        data = protocol.encode_frame(protocol.stats_frame())
+        bad = bytearray(data)
+        bad[3] = 250  # kind byte
+        with pytest.raises(ProtocolError, match="unknown frame kind"):
+            FrameDecoder().feed(bytes(bad))
+
+    def test_malformed_meta_json_rejected(self):
+        meta = b"{not json"
+        payload = protocol.JSON_LEN.pack(len(meta)) + meta
+        data = HEADER.pack(MAGIC, PROTOCOL_VERSION, int(FrameType.STATS),
+                           len(payload)) + payload
+        with pytest.raises(ProtocolError, match="malformed frame meta"):
+            FrameDecoder().feed(data)
+
+    def test_meta_length_overrun_rejected(self):
+        payload = protocol.JSON_LEN.pack(999) + b"{}"
+        data = HEADER.pack(MAGIC, PROTOCOL_VERSION, int(FrameType.STATS),
+                           len(payload)) + payload
+        with pytest.raises(ProtocolError, match="overruns"):
+            FrameDecoder().feed(data)
+
+    def test_non_object_meta_rejected(self):
+        meta = b"[1,2]"
+        payload = protocol.JSON_LEN.pack(len(meta)) + meta
+        data = HEADER.pack(MAGIC, PROTOCOL_VERSION, int(FrameType.STATS),
+                           len(payload)) + payload
+        with pytest.raises(ProtocolError, match="JSON object"):
+            FrameDecoder().feed(data)
+
+    def test_submit_body_shape_mismatch_rejected(self):
+        frame = roundtrip(protocol.submit_frame(1, np.zeros((4, 3))))
+        lying = Frame(frame.kind, {**frame.meta, "shape": [5, 3]}, frame.body)
+        with pytest.raises(ProtocolError, match="SUBMIT body"):
+            protocol.decode_submit(lying)
+
+    def test_result_body_length_mismatch_rejected(self):
+        result = _FakeResult(np.random.default_rng(2))
+        frame = roundtrip(protocol.result_frame(1, result))
+        lying = Frame(frame.kind, {**frame.meta, "user_classes": 7}, frame.body)
+        with pytest.raises(ProtocolError, match="RESULT body"):
+            protocol.decode_result(lying)
+
+
+class TestVersioning:
+    def test_version_mismatch_detected_before_payload(self):
+        data = protocol.encode_frame(
+            protocol.hello_frame(client="c", tenant="t"), version=PROTOCOL_VERSION + 1
+        )
+        with pytest.raises(VersionMismatch) as excinfo:
+            FrameDecoder().feed(data)
+        assert excinfo.value.peer_version == PROTOCOL_VERSION + 1
+        assert excinfo.value.code == "version_mismatch"
+
+    def test_matching_version_passes(self):
+        data = protocol.encode_frame(protocol.hello_frame(client="c", tenant="t"))
+        assert FrameDecoder().feed(data)[0].kind is FrameType.HELLO

@@ -1,0 +1,199 @@
+"""Tenant directory, weighted priority drain, caps, and shedding."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.serving.gateway.tenants import (
+    AdmissionQueue,
+    SLOClass,
+    Tenant,
+    TenantDirectory,
+    default_classes,
+)
+
+
+@dataclass
+class _Request:
+    tenant: Tenant
+    tag: str = ""
+
+
+def _directory() -> TenantDirectory:
+    return TenantDirectory(assignments={"vip": "premium", "bulk": "batch"})
+
+
+class TestSLOClass:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SLOClass("x", priority=0, weight=0)
+        with pytest.raises(ValueError):
+            SLOClass("x", priority=0, max_in_flight=0)
+        with pytest.raises(ValueError):
+            SLOClass("x", priority=0, slo_ms=-1.0)
+
+    def test_default_tiers(self):
+        classes = default_classes()
+        assert classes["premium"].priority < classes["batch"].priority
+        assert classes["batch"].sheddable and not classes["premium"].sheddable
+
+
+class TestTenantDirectory:
+    def test_assignment_and_default(self):
+        directory = _directory()
+        assert directory.resolve("vip").slo_class.name == "premium"
+        assert directory.resolve("bulk").slo_class.name == "batch"
+        assert directory.resolve("stranger").slo_class.name == "standard"
+
+    def test_resolve_is_stable(self):
+        directory = _directory()
+        assert directory.resolve("vip") is directory.resolve("vip")
+
+    def test_unknown_tenants_rejectable(self):
+        directory = TenantDirectory(
+            assignments={"vip": "premium"}, default_class=None
+        )
+        assert directory.resolve("vip") is not None
+        assert directory.resolve("stranger") is None
+
+    def test_bad_config_rejected(self):
+        with pytest.raises(ValueError, match="undefined SLO classes"):
+            TenantDirectory(assignments={"a": "platinum"})
+        with pytest.raises(ValueError, match="default_class"):
+            TenantDirectory(default_class="platinum")
+
+    def test_from_config_merges_over_stock_tiers(self):
+        directory = TenantDirectory.from_config(
+            {
+                "classes": {
+                    "premium": {"slo_ms": 20.0},
+                    "free": {"priority": 9, "sheddable": True, "slo_ms": None},
+                },
+                "tenants": {"d7": "premium", "guest": "free"},
+                "default_class": "batch",
+            }
+        )
+        assert directory.resolve("d7").slo_class.slo_ms == 20.0
+        assert directory.resolve("d7").slo_class.weight == 4  # stock kept
+        assert directory.resolve("guest").slo_class.sheddable
+        assert directory.resolve("nobody").slo_class.name == "batch"
+
+    def test_snapshot_counts(self):
+        directory = _directory()
+        directory.resolve("vip").stats.delivered += 2
+        snap = directory.snapshot()
+        assert snap["vip"]["slo_class"] == "premium"
+        assert snap["vip"]["delivered"] == 2
+
+
+class TestAdmissionQueue:
+    def _room(self, directory, queue_limit=4):
+        return AdmissionQueue(directory.classes.values(), queue_limit=queue_limit)
+
+    def test_take_front_class_is_class_pure(self):
+        """One drain cycle returns requests of a single class — the most
+        important non-empty one — so a premium batch never carries
+        batch-class riders through the vectorised call."""
+        directory = _directory()
+        room = self._room(directory, queue_limit=64)
+        vip, bulk = directory.resolve("vip"), directory.resolve("bulk")
+        for i in range(3):
+            room.offer(_Request(bulk, f"b{i}"))
+        for i in range(2):
+            room.offer(_Request(vip, f"p{i}"))
+        assert [r.tag for r in room.take_front_class(8)] == ["p0", "p1"]
+        assert [r.tag for r in room.take_front_class(2)] == ["b0", "b1"]
+        assert [r.tag for r in room.take_front_class(8)] == ["b2"]
+        assert room.take_front_class(8) == []
+        assert room.take_front_class(0) == []
+
+    def test_weights_apportion_drain_cycles(self):
+        """Backlogged classes share drain cycles ``weight_hi:weight_lo``:
+        premium (weight 4) gets 4 consecutive class-pure batches, then
+        batch (weight 1) gets one — no starvation, no mixed batches."""
+        directory = _directory()
+        room = self._room(directory, queue_limit=512)
+        vip, bulk = directory.resolve("vip"), directory.resolve("bulk")
+        for i in range(12):
+            room.offer(_Request(vip, f"p{i}"))
+        for i in range(4):
+            room.offer(_Request(bulk, f"b{i}"))
+        cycles = []
+        while True:
+            batch = room.take_front_class(2)  # 2 requests per cycle
+            if not batch:
+                break
+            classes = {request.tenant.slo_class.name for request in batch}
+            assert len(classes) == 1  # always class-pure
+            cycles.append(classes.pop())
+        # Rounds of 4 premium cycles + 1 batch cycle; premium drains
+        # first within each round.
+        assert cycles == [
+            "premium", "premium", "premium", "premium", "batch",
+            "premium", "premium", "batch",
+        ]
+
+    def test_take_front_class_respects_budget(self):
+        directory = _directory()
+        room = self._room(directory, queue_limit=64)
+        for i in range(5):
+            room.offer(_Request(directory.resolve("vip"), f"p{i}"))
+        assert len(room.take_front_class(2)) == 2
+        assert len(room) == 3
+
+    def test_in_flight_cap_rejects_with_backpressure(self):
+        directory = TenantDirectory(
+            classes={"tiny": SLOClass("tiny", priority=0, max_in_flight=2)},
+            default_class="tiny",
+        )
+        room = AdmissionQueue(directory.classes.values(), queue_limit=64)
+        tenant = directory.resolve("t")
+        assert room.offer(_Request(tenant))[0]
+        assert room.offer(_Request(tenant))[0]
+        admitted, code, victims = room.offer(_Request(tenant))
+        assert not admitted and code == "over_capacity" and victims == []
+        assert tenant.stats.rejected == 1
+
+    def test_full_room_sheds_oldest_batch_first(self):
+        directory = _directory()
+        room = self._room(directory, queue_limit=4)
+        bulk, vip = directory.resolve("bulk"), directory.resolve("vip")
+        for i in range(4):
+            assert room.offer(_Request(bulk, f"b{i}"))[0]
+        admitted, code, victims = room.offer(_Request(vip, "p0"))
+        assert admitted and code is None
+        assert [victim.tag for victim in victims] == ["b0"]  # oldest batch
+        assert bulk.stats.shed == 1 and bulk.stats.in_flight == 3
+        assert vip.stats.in_flight == 1
+
+    def test_batch_arrival_into_full_premium_room_is_shed_itself(self):
+        directory = _directory()
+        room = self._room(directory, queue_limit=4)
+        vip, bulk = directory.resolve("vip"), directory.resolve("bulk")
+        for i in range(4):
+            assert room.offer(_Request(vip, f"p{i}"))[0]
+        admitted, code, victims = room.offer(_Request(bulk, "b0"))
+        assert not admitted and code == "shed" and victims == []
+        assert bulk.stats.shed == 1
+        assert vip.stats.in_flight == 4  # premium seats untouched
+
+    def test_premium_arrival_into_full_premium_room_gets_queue_full(self):
+        directory = _directory()
+        room = self._room(directory, queue_limit=4)
+        vip = directory.resolve("vip")
+        for i in range(4):
+            assert room.offer(_Request(vip, f"p{i}"))[0]
+        admitted, code, _ = room.offer(_Request(vip, "p4"))
+        assert not admitted and code == "queue_full"
+        assert vip.stats.rejected == 1
+
+    def test_purge_releases_in_flight(self):
+        directory = _directory()
+        room = self._room(directory, queue_limit=64)
+        vip = directory.resolve("vip")
+        room.offer(_Request(vip, "keep"))
+        room.offer(_Request(vip, "drop"))
+        removed = room.purge(lambda request: request.tag == "drop")
+        assert [request.tag for request in removed] == ["drop"]
+        assert vip.stats.in_flight == 1
+        assert [request.tag for request in room.take_front_class(10)] == ["keep"]

@@ -61,6 +61,44 @@ class TestHubConstruction:
         hub.close_stream("a")
         assert hub.num_streams == 0
 
+    def test_close_stream_discards_queued_spans(self, fitted):
+        """Regression: a closed stream's queued spans must be cancelled
+        via engine.discard_pending, not classified and delivered to the
+        dead stream's callback."""
+        hub = StreamHub(fitted, max_batch_size=64)
+        hub.open_stream("doomed", num_points=12)
+        hub.open_stream("alive", num_points=12)
+        for frame in _gesture_stream(600, gestures=1):
+            hub.push("doomed", frame)
+        for frame in _gesture_stream(601, gestures=1):
+            hub.push("alive", frame)
+        hub.runtime("doomed").flush()  # close segments -> spans queued
+        hub.runtime("alive").flush()
+        pending_before = hub.engine.num_pending
+        assert pending_before >= 2
+        hub.close_stream("doomed")
+        # Only the closed stream's spans were cancelled...
+        assert 1 <= hub.engine.num_pending < pending_before
+        events = hub.flush_pending()
+        # ...and nothing resurrects the dead stream id at delivery time.
+        assert events and all(e.stream_id == "alive" for e in events)
+        assert hub.pop_errors() == []
+
+    def test_close_stream_on_shared_engine_leaves_other_callers_alone(
+        self, fitted, toy_data
+    ):
+        from repro.serving import InferenceEngine
+
+        x, _, _ = toy_data
+        engine = InferenceEngine(fitted, max_batch_size=64)
+        hub = StreamHub(engine=engine)
+        hub.open_stream("s", num_points=12)
+        foreign = engine.submit(x[0], meta="not-a-hub-span")
+        hub.close_stream("s")
+        assert not foreign.cancelled
+        engine.flush()
+        assert foreign.done
+
     def test_derived_seeds_are_stable_and_distinct(self):
         assert derive_stream_seed(0, "a") == derive_stream_seed(0, "a")
         assert derive_stream_seed(0, "a") != derive_stream_seed(0, "b")

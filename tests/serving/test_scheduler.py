@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.serving import BatchScheduler, InferenceEngine
+from repro.serving import BatchScheduler, InferenceEngine, request_order
 
 
 class FakeClock:
@@ -135,6 +135,119 @@ class TestAdaptation:
         assert snap["slo_ms"] == 50.0
         assert snap["observed_batches"] == 1
         assert snap["batch_limit"] == scheduler.batch_limit
+        assert snap["margin_ms"] == pytest.approx(2.0)
+
+
+class TestMarginController:
+    """p95 safety-margin feedback loop (adapt_margin=True)."""
+
+    @staticmethod
+    def _controller(**kwargs):
+        defaults = dict(
+            slo_ms=50.0, adapt_margin=True, adapt_every=16,
+            margin_bounds_ms=(0.5, 25.0), margin_ms=2.0,
+        )
+        defaults.update(kwargs)
+        return BatchScheduler(**defaults)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            self._controller(margin_bounds_ms=(5.0, 1.0))
+        with pytest.raises(ValueError):
+            self._controller(margin_target=0.0)
+        with pytest.raises(ValueError):
+            self._controller(adapt_every=0)
+
+    def test_breached_p95_widens_margin(self):
+        scheduler = self._controller()
+        for _ in range(16):
+            scheduler.record_queue_latency(0.060)  # 60 ms > 50 ms SLO
+        assert scheduler.margin_s == pytest.approx(0.003)  # 2 ms * 1.5
+        assert scheduler.stats.margin_widened == 1
+
+    def test_comfortable_p95_narrows_margin(self):
+        scheduler = self._controller()
+        for _ in range(16):
+            scheduler.record_queue_latency(0.010)  # far below 0.8 * SLO
+        assert scheduler.margin_s == pytest.approx(0.0017)  # 2 ms * 0.85
+        assert scheduler.stats.margin_narrowed == 1
+
+    def test_dead_band_leaves_margin_alone(self):
+        scheduler = self._controller()
+        for _ in range(48):
+            scheduler.record_queue_latency(0.045)  # inside [0.8*SLO, SLO]
+        assert scheduler.margin_s == pytest.approx(0.002)
+        assert scheduler.stats.margin_widened == 0
+        assert scheduler.stats.margin_narrowed == 0
+
+    def test_margin_clamped_to_bounds(self):
+        scheduler = self._controller(margin_bounds_ms=(1.0, 6.0))
+        for _ in range(16 * 10):  # ten breach decisions
+            scheduler.record_queue_latency(0.200)
+        assert scheduler.margin_s == pytest.approx(0.006)  # upper clamp
+        scheduler = self._controller(margin_bounds_ms=(1.5, 6.0))
+        for _ in range(16 * 10):
+            scheduler.record_queue_latency(0.001)
+        assert scheduler.margin_s == pytest.approx(0.0015)  # lower clamp
+
+    def test_decisions_are_paced_by_adapt_every(self):
+        scheduler = self._controller(adapt_every=32)
+        for _ in range(31):
+            scheduler.record_queue_latency(0.060)
+        assert scheduler.stats.margin_widened == 0  # not yet
+        scheduler.record_queue_latency(0.060)
+        assert scheduler.stats.margin_widened == 1
+
+    def test_disabled_by_default_and_without_slo(self):
+        scheduler = BatchScheduler(slo_ms=50.0)
+        for _ in range(200):
+            scheduler.record_queue_latency(0.500)
+        assert scheduler.margin_s == pytest.approx(0.002)  # untouched
+        scheduler = BatchScheduler(slo_ms=None, adapt_margin=True)
+        for _ in range(200):
+            scheduler.record_queue_latency(0.500)
+        assert scheduler.margin_s == pytest.approx(0.002)
+
+    def test_widened_margin_forces_earlier_flushes(self):
+        """The control output actually reaches the flush policy — and
+        widening escapes even a zero margin (the 0.5 ms seed)."""
+        scheduler = self._controller(margin_ms=0.0, margin_bounds_ms=(0.0, 25.0))
+        assert not scheduler.should_flush(2, slack_s=0.0006)
+        for _ in range(16):
+            scheduler.record_queue_latency(0.060)
+        assert scheduler.margin_s == pytest.approx(0.00075)  # 0.5 ms * 1.5
+        assert scheduler.should_flush(2, slack_s=0.0006)
+
+    def test_recovers_throughput_after_transient_spike(self):
+        """Widen on a spike, then creep back down once p95 recovers."""
+        scheduler = self._controller(window=64, adapt_every=16)
+        for _ in range(64):
+            scheduler.record_queue_latency(0.080)  # sustained breach
+        widened = scheduler.margin_s
+        assert widened > 0.002
+        for _ in range(256):
+            scheduler.record_queue_latency(0.005)  # calm again
+        assert scheduler.margin_s < widened
+        assert scheduler.stats.margin_narrowed >= 1
+
+
+class TestRequestOrder:
+    def test_priority_then_deadline_then_arrival(self):
+        entries = [
+            ("batch-early", request_order(2, None, 0.0)),
+            ("premium-late", request_order(0, 5.0, 9.0)),
+            ("premium-early", request_order(0, 1.0, 8.0)),
+            ("standard", request_order(1, 2.0, 1.0)),
+            ("premium-no-deadline", request_order(0, None, 0.5)),
+        ]
+        ordered = [name for name, key in sorted(entries, key=lambda e: e[1])]
+        assert ordered == [
+            "premium-early",
+            "premium-late",
+            "premium-no-deadline",
+            "standard",
+            "batch-early",
+        ]
 
 
 class TestEngineIntegration:

@@ -79,6 +79,59 @@ class TestCliWorkflow:
             assert stats["events"] >= 1
             assert stats["engine_batches"] <= stats["events"]
 
+        # Network gateway: serve the model over localhost TCP with a
+        # tenant config, classify through the blocking client.
+        import socket
+        import threading
+        import time
+
+        from repro.datasets import load_dataset
+        from repro.serving import GatewayClient
+
+        tenants_path = tmp_path / "tenants.json"
+        tenants_path.write_text(json.dumps({
+            "tenants": {"cli-vip": "premium"},
+            "default_class": "batch",
+        }))
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        gateway = threading.Thread(
+            target=main,
+            args=([
+                "serve", "--model-dir", model_dir,
+                "--listen", f"127.0.0.1:{port}",
+                "--tenants", str(tenants_path),
+                "--serve-seconds", "6",
+            ],),
+            daemon=True,
+        )
+        gateway.start()
+        sample = load_dataset(data_path).inputs[0]
+        deadline = time.monotonic() + 10.0
+        while True:
+            try:
+                client = GatewayClient("127.0.0.1", port, tenant="cli-vip")
+                break
+            except OSError:
+                if time.monotonic() > deadline:
+                    raise
+                time.sleep(0.05)
+        with client:
+            assert client.slo_class == "premium"  # cfg.json applied
+            wire = client.classify(sample, deadline_ms=0.0)
+            assert wire.gesture >= 0
+            assert wire.model_version == 0
+            with GatewayClient("127.0.0.1", port, tenant="stranger") as other:
+                assert other.slo_class == "batch"  # default_class applied
+            stats = client.stats()
+            assert stats["engine"]["requests"] == 1
+            assert stats["tenants"]["cli-vip"]["delivered"] == 1
+        gateway.join(timeout=30)  # drain its prints before the next section
+        assert not gateway.is_alive()
+        capsys.readouterr()
+
         # Deadline-aware serving: SLO scheduler + checkpoint watching.
         code = main([
             "serve", "--model-dir", model_dir, "--streams", "4", "--seed", "2",
