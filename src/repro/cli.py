@@ -14,6 +14,10 @@ Subcommands::
     python -m repro.cli serve   --model-dir model/ --listen 0.0.0.0:7433 \
                                 --tenants tenants.json
                                                      # network gateway (TCP, SLO classes)
+    python -m repro.cli serve   --model-dir model/ --listen 0.0.0.0:7433 \
+                                --backend process --workers 4
+                                                     # multi-process worker pool behind
+                                                     # the gateway (mmap-shared weights)
 
 Datasets are exchanged as ``.npz`` archives with the arrays of
 :class:`repro.datasets.GestureDataset`.  Model checkpoints are loaded
@@ -189,6 +193,28 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _build_backend(args: argparse.Namespace):
+    """The execution backend named by ``--backend``/``--workers``.
+
+    A process backend sources its weight arenas from the process-wide
+    registry, so workers attach the same mmap bundle the registry
+    exported for the checkpoint — and a hot reload (new system object
+    under the same key) re-exports automatically.
+    """
+    import pathlib
+
+    from repro.serving import create_backend
+
+    if args.backend == "process":
+        key = str(pathlib.Path(args.model_dir).resolve())
+        return create_backend(
+            "process",
+            workers=args.workers,
+            arena_provider=lambda system: REGISTRY.arena_for(key, system),
+        )
+    return create_backend(args.backend, workers=args.workers)
+
+
 def _cmd_serve_gateway(args: argparse.Namespace) -> int:
     """Expose the engine over TCP: the async gateway with SLO classes."""
     import asyncio
@@ -215,9 +241,11 @@ def _cmd_serve_gateway(args: argparse.Namespace) -> int:
     scheduler = BatchScheduler(
         slo_ms=slo_ms, max_batch=args.max_batch, adapt_margin=True
     )
+    backend = _build_backend(args)
     server = GatewayServer(
         system,
         scheduler=scheduler,
+        backend=backend,
         tenants=tenants,
         max_batch_size=args.max_batch,
     )
@@ -267,6 +295,8 @@ def _cmd_serve_gateway(args: argparse.Namespace) -> int:
         asyncio.run(_serve())
     except KeyboardInterrupt:
         pass
+    finally:
+        backend.close()
     return 0
 
 
@@ -279,7 +309,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     from repro.gestures import ASL_GESTURES, ENVIRONMENTS, generate_users, perform_gesture
     from repro.radar import FastRadar
-    from repro.serving import BatchScheduler
+    from repro.serving import BatchScheduler, InferenceEngine
 
     if args.streams < 1:
         print("error: --streams must be >= 1", file=sys.stderr)
@@ -310,10 +340,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     scheduler = None
     if slo_ms is not None:
         scheduler = BatchScheduler(slo_ms=slo_ms, max_batch=args.max_batch)
-    hub = StreamHub(
+    backend = _build_backend(args)
+    engine = InferenceEngine(
         system,
         max_batch_size=args.max_batch,
         scheduler=scheduler,
+        backend=backend,
+    )
+    hub = StreamHub(
+        engine=engine,
         slo_ms=slo_ms,
         base_seed=args.seed,
     )
@@ -322,25 +357,30 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     start = time.perf_counter()
     events = []
-    for round_idx in range(num_rounds):
-        frames = {
-            stream_id: frames[round_idx]
-            for stream_id, frames in streams.items()
-            if round_idx < len(frames)
-        }
-        events.extend(hub.push_round(frames))
-        if args.watch_model and (round_idx + 1) % args.watch_every == 0:
-            # Registry-backed hot reload: an overwritten checkpoint is
-            # picked up between rounds; pending spans finish on the old
-            # weights, later results carry the bumped model_version.
-            REGISTRY.load(args.model_dir, on_change=hub.engine.swap_system)
-    events.extend(hub.flush_streams())
+    try:
+        for round_idx in range(num_rounds):
+            frames = {
+                stream_id: frames[round_idx]
+                for stream_id, frames in streams.items()
+                if round_idx < len(frames)
+            }
+            events.extend(hub.push_round(frames))
+            if args.watch_model and (round_idx + 1) % args.watch_every == 0:
+                # Registry-backed hot reload: an overwritten checkpoint is
+                # picked up between rounds; pending spans finish on the old
+                # weights, later results carry the bumped model_version.
+                REGISTRY.load(args.model_dir, on_change=hub.engine.swap_system)
+        events.extend(hub.flush_streams())
+    finally:
+        backend.close()
     elapsed = time.perf_counter() - start
 
     stats = hub.engine.stats
     summary = {
         "streams": args.streams,
         "rounds": num_rounds,
+        "backend": backend.name,
+        "backend_slots": backend.slots,
         "events": len(events),
         "events_per_sec": round(len(events) / elapsed, 2) if elapsed > 0 else None,
         "engine_batches": stats.batches,
@@ -439,6 +479,15 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--environment", default="office")
     serve.add_argument("--distance", type=float, default=1.2)
     serve.add_argument("--max-batch", type=int, default=32)
+    serve.add_argument("--backend", choices=["inline", "thread", "process"],
+                       default="inline",
+                       help="where batches execute: inline (default, in "
+                            "the serving thread), a thread pool, or a "
+                            "process pool whose workers attach the model "
+                            "as a read-only mmap'd weight arena")
+    serve.add_argument("--workers", type=int, default=None,
+                       help="worker count for --backend thread/process "
+                            "(defaults: 2 threads / 4 processes)")
     serve.add_argument("--slo-ms", type=float, default=None,
                        help="p95 span-close -> event-delivery latency target; "
                             "enables the deadline-aware scheduler")

@@ -6,6 +6,20 @@ device.  This module persists a fitted :class:`GesturePrint` — the
 gesture model, every per-gesture (or the parallel) user model, and the
 configuration — into a directory of ``.npz`` weight archives plus a
 JSON manifest, and restores it into a ready-to-infer system.
+
+Two on-disk layouts share the manifest schema:
+
+* the **checkpoint** (:func:`save_system` / :func:`load_system`) — one
+  ``.npz`` per model, the training/shipping format;
+* the **flat bundle** (:func:`export_flat` / :func:`load_system_flat`)
+  — every model's weights packed into one contiguous float64 arena
+  (``weights.arena``) plus ``flat_manifest.json``.  Worker processes of
+  the serving layer's :class:`~repro.serving.backends.ProcessPoolBackend`
+  attach the arena **read-only via mmap**, so N workers share one
+  physical copy of the weights through the page cache and a model swap
+  never pickles a system across a process boundary.  Attached weights
+  are bit-exact views, so predictions are byte-identical to the source
+  system's.
 """
 
 from __future__ import annotations
@@ -20,11 +34,21 @@ import numpy as np
 from repro.core.gesidnet import GesIDNet, GesIDNetConfig
 from repro.core.pipeline import GesturePrint, GesturePrintConfig, IdentificationMode
 from repro.core.trainer import TrainConfig
-from repro.nn.serialization import load_state, save_state
+from repro.nn.serialization import (
+    FLAT_DTYPE,
+    load_flat_mmap,
+    load_state,
+    save_state,
+    write_flat,
+)
 from repro.nn.setabstraction import ScaleSpec
 
 MANIFEST_NAME = "manifest.json"
 FORMAT_VERSION = 1
+
+FLAT_MANIFEST_NAME = "flat_manifest.json"
+FLAT_ARENA_NAME = "weights.arena"
+FLAT_BUNDLE_VERSION = 1
 
 
 def _scale_to_dict(spec: ScaleSpec) -> dict:
@@ -60,14 +84,9 @@ def _network_from_dict(data: dict) -> GesIDNetConfig:
     return GesIDNetConfig(**data)
 
 
-def save_system(system: GesturePrint, directory: str | os.PathLike) -> None:
-    """Persist a fitted system to ``directory`` (created if missing)."""
-    if system.gesture_model is None:
-        raise ValueError("cannot save an unfitted system; call fit() first")
-    path = pathlib.Path(directory)
-    path.mkdir(parents=True, exist_ok=True)
-
-    manifest = {
+def _system_manifest(system: GesturePrint) -> dict:
+    """The architecture/config manifest shared by both on-disk layouts."""
+    return {
         "format_version": FORMAT_VERSION,
         "mode": system.config.mode.value,
         "num_gestures": system.num_gestures,
@@ -81,27 +100,20 @@ def save_system(system: GesturePrint, directory: str | os.PathLike) -> None:
         "user_model_gestures": sorted(system.user_models),
         "has_parallel_model": system.parallel_user_model is not None,
     }
-    (path / MANIFEST_NAME).write_text(json.dumps(manifest, indent=2))
 
-    save_state(system.gesture_model, path / "gesture_model.npz")
-    for gesture, model in system.user_models.items():
-        save_state(model, path / f"user_model_g{gesture}.npz")
+
+def _model_items(system: GesturePrint) -> list[tuple[str, GesIDNet]]:
+    """``(slot_name, model)`` for every fitted model, in manifest order."""
+    items = [("gesture_model", system.gesture_model)]
+    for gesture in sorted(system.user_models):
+        items.append((f"user_model_g{gesture}", system.user_models[gesture]))
     if system.parallel_user_model is not None:
-        save_state(system.parallel_user_model, path / "user_model_parallel.npz")
+        items.append(("user_model_parallel", system.parallel_user_model))
+    return items
 
 
-def load_system(directory: str | os.PathLike) -> GesturePrint:
-    """Restore a system saved by :func:`save_system`, ready for predict()."""
-    path = pathlib.Path(directory)
-    manifest_path = path / MANIFEST_NAME
-    if not manifest_path.exists():
-        raise FileNotFoundError(f"no manifest at {manifest_path}")
-    manifest = json.loads(manifest_path.read_text())
-    if manifest.get("format_version") != FORMAT_VERSION:
-        raise ValueError(
-            f"unsupported checkpoint format {manifest.get('format_version')!r}"
-        )
-
+def _build_skeleton(manifest: dict) -> tuple[GesturePrint, list[tuple[str, GesIDNet]]]:
+    """An unweighted system matching ``manifest``, plus its model slots."""
     network = _network_from_dict(manifest["network"])
     config = GesturePrintConfig(
         network=network,
@@ -118,16 +130,107 @@ def load_system(directory: str | os.PathLike) -> GesturePrint:
 
     rng = np.random.default_rng(0)
     system.gesture_model = GesIDNet(system.num_gestures, network, rng=rng)
-    load_state(system.gesture_model, path / "gesture_model.npz")
-    system.gesture_model.eval()
-
+    slots: list[tuple[str, GesIDNet]] = [("gesture_model", system.gesture_model)]
     for gesture in manifest["user_model_gestures"]:
         model = GesIDNet(system.num_users, network, rng=rng)
-        load_state(model, path / f"user_model_g{gesture}.npz")
-        model.eval()
         system.user_models[int(gesture)] = model
+        slots.append((f"user_model_g{gesture}", model))
     if manifest["has_parallel_model"]:
         system.parallel_user_model = GesIDNet(system.num_users, network, rng=rng)
-        load_state(system.parallel_user_model, path / "user_model_parallel.npz")
-        system.parallel_user_model.eval()
+        slots.append(("user_model_parallel", system.parallel_user_model))
+    return system, slots
+
+
+def save_system(system: GesturePrint, directory: str | os.PathLike) -> None:
+    """Persist a fitted system to ``directory`` (created if missing)."""
+    if system.gesture_model is None:
+        raise ValueError("cannot save an unfitted system; call fit() first")
+    path = pathlib.Path(directory)
+    path.mkdir(parents=True, exist_ok=True)
+    manifest = _system_manifest(system)
+    (path / MANIFEST_NAME).write_text(json.dumps(manifest, indent=2))
+    for name, model in _model_items(system):
+        save_state(model, path / f"{name}.npz")
+
+
+def load_system(directory: str | os.PathLike) -> GesturePrint:
+    """Restore a system saved by :func:`save_system`, ready for predict()."""
+    path = pathlib.Path(directory)
+    manifest_path = path / MANIFEST_NAME
+    if not manifest_path.exists():
+        raise FileNotFoundError(f"no manifest at {manifest_path}")
+    manifest = json.loads(manifest_path.read_text())
+    if manifest.get("format_version") != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported checkpoint format {manifest.get('format_version')!r}"
+        )
+    system, slots = _build_skeleton(manifest)
+    for name, model in slots:
+        load_state(model, path / f"{name}.npz")
+        model.eval()
+    return system
+
+
+# ----------------------------------------------------------------------
+# Flat bundle: one mmap-shareable weight arena for the whole system
+# ----------------------------------------------------------------------
+def export_flat(system: GesturePrint, directory: str | os.PathLike) -> pathlib.Path:
+    """Export a fitted system as a flat weight bundle for mmap sharing.
+
+    Writes ``weights.arena`` (every model's parameters and buffers,
+    concatenated into one contiguous little-endian float64 arena) and
+    ``flat_manifest.json`` (the system manifest plus per-model arena
+    sections).  The manifest is written *last*, so a reader that finds
+    one never sees a truncated arena.  Returns the bundle directory.
+    """
+    if system.gesture_model is None:
+        raise ValueError("cannot export an unfitted system; call fit() first")
+    path = pathlib.Path(directory)
+    path.mkdir(parents=True, exist_ok=True)
+    sections: dict[str, dict] = {}
+    offset = 0
+    with open(path / FLAT_ARENA_NAME, "wb") as stream:
+        for name, model in _model_items(system):
+            section = write_flat(model, stream, element_offset=offset)
+            sections[name] = section
+            offset += section["elements"]
+    manifest = _system_manifest(system)
+    manifest["flat_version"] = FLAT_BUNDLE_VERSION
+    manifest["dtype"] = FLAT_DTYPE
+    manifest["elements"] = offset
+    manifest["sections"] = sections
+    (path / FLAT_MANIFEST_NAME).write_text(json.dumps(manifest, indent=2))
+    return path
+
+
+def load_system_flat(directory: str | os.PathLike) -> GesturePrint:
+    """Attach a flat bundle: a ready-to-infer system over mmap'd weights.
+
+    Every parameter and batch-norm buffer is a read-only view into one
+    ``np.memmap`` of the bundle's arena, shared page-for-page with every
+    other process attached to the same bundle.  Predictions are
+    byte-identical to the exporting system's.
+    """
+    path = pathlib.Path(directory)
+    manifest_path = path / FLAT_MANIFEST_NAME
+    if not manifest_path.exists():
+        raise FileNotFoundError(f"no flat manifest at {manifest_path}")
+    manifest = json.loads(manifest_path.read_text())
+    if manifest.get("flat_version") != FLAT_BUNDLE_VERSION:
+        raise ValueError(
+            f"unsupported flat bundle version {manifest.get('flat_version')!r}"
+        )
+    system, slots = _build_skeleton(manifest)
+    arena = np.memmap(path / FLAT_ARENA_NAME, dtype=FLAT_DTYPE, mode="r")
+    if arena.size != manifest["elements"]:
+        raise ValueError(
+            f"arena holds {arena.size} elements, manifest expects "
+            f"{manifest['elements']} (truncated bundle?)"
+        )
+    sections = manifest["sections"]
+    for name, model in slots:
+        if name not in sections:
+            raise ValueError(f"flat bundle is missing section {name!r}")
+        load_flat_mmap(model, arena, manifest=sections[name])
+        model.eval()
     return system

@@ -1,12 +1,34 @@
-"""Save and load module weights as .npz archives."""
+"""Save and load module weights: .npz archives and flat mmap arenas.
+
+Two persistence formats live here:
+
+* ``save_state`` / ``load_state`` — one ``.npz`` archive per module, the
+  checkpoint format (named arrays, shape-checked on restore).
+* ``pack_flat`` / ``load_flat_mmap`` — one **contiguous little-endian
+  float64 arena** plus a JSON manifest.  The arena is built for
+  cross-process weight sharing: worker processes attach it with
+  ``np.memmap(mode="r")`` and point every parameter (and batch-norm
+  buffer) at a read-only *view* into the mapping, so N workers serving
+  the same model share one physical copy of the weights through the page
+  cache instead of each unpickling their own.  Values are bit-exact
+  copies of the source arrays, so a forward pass over mmap'd weights is
+  byte-identical to one over the originals.
+"""
 
 from __future__ import annotations
 
+import json
 import os
+from typing import BinaryIO
 
 import numpy as np
 
 from repro.nn.module import Module
+
+#: Flat-arena manifest format marker / version.
+FLAT_FORMAT = "repro-flat"
+FLAT_VERSION = 1
+FLAT_DTYPE = "<f8"  # little-endian float64, the substrate's native dtype
 
 
 def save_state(module: Module, path: str | os.PathLike) -> None:
@@ -47,6 +69,135 @@ def load_state(module: Module, path: str | os.PathLike) -> None:
         raise ValueError(f"checkpoint has unused parameters: {leftover_params}")
 
 
+# ----------------------------------------------------------------------
+# Flat arena: contiguous float64 weights for read-only mmap attachment
+# ----------------------------------------------------------------------
+def flat_entries(module: Module) -> list[tuple[str, str, np.ndarray]]:
+    """``(kind, name, array)`` for every parameter and buffer.
+
+    The order is deterministic (``named_parameters`` then buffers, both
+    sorted walks), so a writer and a reader built from the same
+    architecture agree on the arena layout without consulting offsets —
+    though the manifest records them anyway.
+    """
+    entries = [
+        ("param", name, param.data) for name, param in module.named_parameters()
+    ]
+    entries.extend(("buffer", name, buf) for name, buf in _named_buffers(module))
+    return entries
+
+
+def write_flat(
+    module: Module, stream: BinaryIO, *, element_offset: int = 0
+) -> dict:
+    """Append one module's weights to an open arena stream.
+
+    Returns the module's manifest section: ``entries`` (name, kind,
+    element offset, shape) and the total ``elements`` written.  The
+    caller threads ``element_offset`` so several modules can share one
+    arena file (see :func:`repro.core.persistence.export_flat`).
+    """
+    entries: list[dict] = []
+    offset = element_offset
+    for kind, name, array in flat_entries(module):
+        data = np.ascontiguousarray(array, dtype=FLAT_DTYPE)
+        stream.write(data.tobytes())
+        entries.append(
+            {"kind": kind, "name": name, "offset": offset, "shape": list(array.shape)}
+        )
+        offset += int(data.size)
+    return {"entries": entries, "elements": offset - element_offset}
+
+
+def pack_flat(
+    module: Module,
+    arena_path: str | os.PathLike,
+    *,
+    manifest_path: str | os.PathLike | None = None,
+) -> dict:
+    """Write ``module``'s weights as one contiguous float64 arena.
+
+    Produces ``arena_path`` (raw little-endian float64 bytes) and a JSON
+    manifest next to it (``<arena_path>.json`` unless ``manifest_path``
+    overrides).  Returns the manifest dict.  The arena round-trips
+    through :func:`load_flat_mmap` bit-for-bit.
+    """
+    with open(arena_path, "wb") as stream:
+        section = write_flat(module, stream)
+    manifest = {
+        "format": FLAT_FORMAT,
+        "version": FLAT_VERSION,
+        "dtype": FLAT_DTYPE,
+        "elements": section["elements"],
+        "entries": section["entries"],
+    }
+    if manifest_path is None:
+        manifest_path = f"{os.fspath(arena_path)}.json"
+    with open(manifest_path, "w", encoding="utf-8") as handle:
+        json.dump(manifest, handle, indent=2)
+    return manifest
+
+
+def _open_arena(arena: str | os.PathLike | np.ndarray) -> np.ndarray:
+    if isinstance(arena, np.ndarray):
+        return arena
+    return np.memmap(arena, dtype=FLAT_DTYPE, mode="r")
+
+
+def load_flat_mmap(
+    module: Module,
+    arena: str | os.PathLike | np.ndarray,
+    *,
+    manifest: dict | None = None,
+    manifest_path: str | os.PathLike | None = None,
+) -> np.ndarray:
+    """Attach a flat arena's weights to ``module`` as read-only views.
+
+    ``arena`` is a path (memory-mapped read-only here) or an already
+    mapped/loaded 1-D float64 array (so several modules can share one
+    mapping).  Entry offsets are absolute into that array.  Every
+    parameter's ``data`` and every batch-norm buffer becomes a **view**
+    into the mapping — no copy, shared pages across processes; gradients
+    are reallocated writable so the module stays usable for inference
+    bookkeeping.  Architecture mismatches raise ``ValueError`` exactly
+    like :func:`load_state`.  Returns the attached arena array.
+    """
+    if manifest is None:
+        if manifest_path is None:
+            if isinstance(arena, np.ndarray):
+                raise ValueError("pass manifest= when attaching a shared arena array")
+            manifest_path = f"{os.fspath(arena)}.json"
+        with open(manifest_path, encoding="utf-8") as handle:
+            manifest = json.load(handle)
+        if manifest.get("format", FLAT_FORMAT) != FLAT_FORMAT:
+            raise ValueError(f"not a flat-arena manifest: {manifest.get('format')!r}")
+    data = _open_arena(arena)
+    params = dict(module.named_parameters())
+    buffers = {name for name, _ in _named_buffers(module)}
+    for entry in manifest["entries"]:
+        name, kind = entry["name"], entry["kind"]
+        shape = tuple(entry["shape"])
+        size = int(np.prod(shape, dtype=np.int64)) if shape else 1
+        start = int(entry["offset"])
+        view = data[start : start + size].reshape(shape)
+        if kind == "param":
+            param = params.pop(name, None)
+            if param is None:
+                raise ValueError(f"arena has unknown parameter {name!r}")
+            if param.data.shape != shape:
+                raise ValueError(
+                    f"shape mismatch for {name!r}: arena {shape}, "
+                    f"model {param.data.shape}"
+                )
+            param.data = view
+            param.grad = np.zeros(shape)
+        elif name in buffers:
+            _set_buffer(module, name, view, copy=False)
+    if params:
+        raise ValueError(f"arena is missing parameters: {sorted(params)}")
+    return data
+
+
 _BUFFER_NAMES = ("running_mean", "running_var")
 
 
@@ -65,7 +216,9 @@ def _named_buffers(module: Module, prefix: str = "") -> list[tuple[str, np.ndarr
     return buffers
 
 
-def _set_buffer(module: Module, dotted: str, value: np.ndarray) -> None:
+def _set_buffer(
+    module: Module, dotted: str, value: np.ndarray, *, copy: bool = True
+) -> None:
     parts = dotted.split(".")
     target = module
     for part in parts[:-1]:
@@ -73,4 +226,4 @@ def _set_buffer(module: Module, dotted: str, value: np.ndarray) -> None:
             target = target[int(part)]
         else:
             target = getattr(target, part)
-    setattr(target, parts[-1], value.astype(np.float64))
+    setattr(target, parts[-1], value.astype(np.float64) if copy else value)

@@ -10,7 +10,13 @@ Four pieces, layered under the runtimes in :mod:`repro.core`:
   ``swap_system`` (version-tagged results, no dropped tickets).
 * :class:`BatchScheduler` — deadline-aware batching policy: flushes by
   trading queue depth against the oldest request's remaining SLO budget
-  and adapts the batch limit online from observed per-batch latency.
+  and adapts the batch limit online from observed per-batch latency
+  (submit-to-landing on the engine's backend, executor queueing
+  included).
+* :mod:`repro.serving.backends` — pluggable execution: inline (default),
+  thread pool over per-thread replicas, or a process pool whose workers
+  attach read-only mmap'd weight arenas (``--backend``/``--workers`` on
+  the CLI).
 * :class:`ModelRegistry` — keyed, LRU-cached load/save of fitted systems
   over :mod:`repro.core.persistence`; ``load(..., on_change=...)`` turns
   an overwritten checkpoint into an engine hot-swap.
@@ -22,6 +28,13 @@ Four pieces, layered under the runtimes in :mod:`repro.core`:
   shedding (:class:`GatewayServer` / :class:`GatewayClient`).
 """
 
+from repro.serving.backends import (
+    ExecutionBackend,
+    InlineBackend,
+    ProcessPoolBackend,
+    ThreadPoolBackend,
+    create_backend,
+)
 from repro.serving.engine import EngineStats, InferenceEngine, SampleResult, Ticket
 from repro.serving.gateway import (
     AsyncGatewayClient,
@@ -41,6 +54,11 @@ __all__ = [
     "BackgroundGateway",
     "BatchScheduler",
     "EngineStats",
+    "ExecutionBackend",
+    "InlineBackend",
+    "ProcessPoolBackend",
+    "ThreadPoolBackend",
+    "create_backend",
     "GatewayClient",
     "GatewayError",
     "GatewayServer",

@@ -1,0 +1,100 @@
+"""Execution backend contract: submit a batch, get a future back.
+
+A backend owns *where* a stacked forward pass runs; the engine owns
+everything else (queueing, batching policy, ticket delivery, version
+tagging).  The contract is deliberately tiny:
+
+``submit(system, batch)`` returns a ``concurrent.futures.Future`` that
+resolves to ``(PipelineResult, exec_seconds)`` — the batch's posteriors
+plus the pure execution time measured where the forward actually ran.
+The engine measures submit-to-completion wall time itself, so the
+difference is the executor queueing the scheduler's latency model must
+not be blind to.
+
+Backends capture the ``system`` argument per call: a hot swap hands
+later submissions the new system while airborne batches keep the
+reference (and weights) they were submitted with.
+"""
+
+from __future__ import annotations
+
+import abc
+from concurrent.futures import Future
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.pipeline import GesturePrint
+
+#: CLI / factory spellings, in documentation order.
+BACKEND_NAMES = ("inline", "thread", "process")
+
+
+class ExecutionBackend(abc.ABC):
+    """Where a micro-batch's vectorised forward pass executes."""
+
+    #: Factory spelling of this backend.
+    name: str = "?"
+    #: Batches the backend can usefully run at once; the gateway stops
+    #: feeding the engine while this many are airborne, so overload keeps
+    #: pooling (and shedding) in the admission queue, not the executor.
+    slots: int = 1
+
+    @abc.abstractmethod
+    def submit(self, system: "GesturePrint", batch: np.ndarray) -> Future:
+        """Run ``system.predict(batch)``; resolves to ``(result, exec_s)``."""
+
+    def prepare(self, system: "GesturePrint") -> None:
+        """Pre-stage a system off the hot path (e.g. export its weight
+        arena before the first batch — or right after a hot swap — so the
+        first submission doesn't pay for it)."""
+
+    def close(self) -> None:
+        """Release executor resources; submitted work is drained first."""
+
+    def describe(self) -> dict:
+        """Operational identity for snapshots/benchmarks."""
+        return {"name": self.name, "slots": self.slots}
+
+    def __enter__(self) -> "ExecutionBackend":
+        return self
+
+    def __exit__(self, *_exc_info) -> None:
+        self.close()
+
+
+def run_to_future(fn, *args) -> Future:
+    """Execute ``fn`` now, capturing its outcome into a completed Future.
+
+    The inline backend's whole submission path: the caller gets the same
+    Future-shaped handle the pooled backends return, so the engine's
+    collection logic has exactly one code path.
+    """
+    future: Future = Future()
+    future.set_running_or_notify_cancel()
+    try:
+        future.set_result(fn(*args))
+    except Exception as error:
+        future.set_exception(error)
+    return future
+
+
+def create_backend(
+    spec: str, *, workers: int | None = None, **kwargs
+) -> ExecutionBackend:
+    """Build a backend from its CLI spelling (``--backend``/``--workers``)."""
+    from repro.serving.backends.inline import InlineBackend
+    from repro.serving.backends.process import ProcessPoolBackend
+    from repro.serving.backends.threads import ThreadPoolBackend
+
+    spec = str(spec).strip().lower()
+    if workers is not None and workers < 1:
+        raise ValueError("workers must be >= 1")
+    if spec == "inline":
+        return InlineBackend()
+    if spec == "thread":
+        return ThreadPoolBackend(workers=2 if workers is None else workers, **kwargs)
+    if spec == "process":
+        return ProcessPoolBackend(workers=4 if workers is None else workers, **kwargs)
+    raise ValueError(f"unknown backend {spec!r}; choose from {BACKEND_NAMES}")

@@ -1,0 +1,33 @@
+"""Synchronous in-thread execution — the default backend."""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import Future
+
+import numpy as np
+
+from repro.serving.backends.base import ExecutionBackend, run_to_future
+
+
+class InlineBackend(ExecutionBackend):
+    """Run every batch synchronously in the submitting thread.
+
+    ``submit`` has already executed the forward by the time it returns,
+    so the engine's dispatch-then-collect cycle degenerates to exactly
+    the pre-backend flush: no extra threads, no reordering, identical
+    timing behaviour.  This is the right backend for single-tenant and
+    in-process callers where the submit thread has nothing better to do
+    than the math itself.
+    """
+
+    name = "inline"
+    slots = 1
+
+    def submit(self, system, batch: np.ndarray) -> Future:
+        def run():
+            start = time.perf_counter()
+            result = system.predict(batch)
+            return result, time.perf_counter() - start
+
+        return run_to_future(run)

@@ -1,0 +1,179 @@
+"""Process-pool execution over read-only mmap'd weight arenas.
+
+The point of this backend is what it does *not* do: it never pickles a
+model.  The parent exports each system once as a flat weight bundle
+(:func:`repro.core.persistence.export_flat` — one contiguous float64
+arena plus a JSON manifest) and ships workers only the bundle *path*
+with every batch.  Workers attach the arena with ``np.memmap(mode="r")``
+(:func:`~repro.core.persistence.load_system_flat`), so all workers share
+one physical copy of the weights through the page cache, attachment is
+O(page faults) rather than O(deserialise), and a hot swap is "export the
+new arena, send the new path" — airborne batches keep executing against
+the old mapping.
+
+Workers are spawned (not forked): the parent may be running an asyncio
+event loop, BLAS pools, and a background gateway thread, none of which
+survive a fork safely.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import shutil
+import sys
+import tempfile
+import time
+from concurrent.futures import Future, ProcessPoolExecutor
+
+import numpy as np
+
+from repro.serving.backends.base import ExecutionBackend
+
+#: Worker-side cache of attached bundles (current system + one swap-ago).
+_ATTACHED: dict[str, object] = {}
+_ATTACH_CACHE = 2
+
+
+def _worker_initializer(extra_sys_path: list[str]) -> None:
+    """Mirror the parent's import path in a spawned worker."""
+    for entry in reversed(extra_sys_path):
+        if entry and entry not in sys.path:
+            sys.path.insert(0, entry)
+
+
+def _worker_predict(bundle_dir: str, batch: np.ndarray):
+    """Attach (or reuse) the bundle's mmap'd system and run one batch."""
+    system = _ATTACHED.get(bundle_dir)
+    if system is None:
+        from repro.core.persistence import load_system_flat
+
+        system = load_system_flat(bundle_dir)
+        _ATTACHED[bundle_dir] = system
+        while len(_ATTACHED) > _ATTACH_CACHE:
+            _ATTACHED.pop(next(iter(_ATTACHED)))
+    start = time.perf_counter()
+    result = system.predict(batch)
+    return result, time.perf_counter() - start
+
+
+def _repro_src_root() -> str:
+    """The directory holding the ``repro`` package (for PYTHONPATH)."""
+    import repro
+
+    return os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+
+
+class ProcessPoolBackend(ExecutionBackend):
+    """True multi-core execution behind the engine's batch contract.
+
+    Parameters
+    ----------
+    workers:
+        Worker process count (the backend's ``slots``).
+    arena_provider:
+        ``system -> bundle directory`` hook.  The CLI wires this to
+        :meth:`~repro.serving.ModelRegistry.arena_for` so checkpoints
+        loaded through the registry share its cached exports; without
+        one, the backend exports into a private temporary directory on
+        first sight of each system (and pre-exports in :meth:`prepare`).
+    start_method:
+        ``multiprocessing`` start method; spawn by default (see module
+        docstring for why fork is unsafe here).
+    """
+
+    name = "process"
+
+    def __init__(
+        self,
+        workers: int = 4,
+        *,
+        arena_provider=None,
+        start_method: str = "spawn",
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.slots = workers
+        self.workers = workers
+        self._arena_provider = arena_provider
+        # Spawned children re-import this module by name; spawn ships
+        # the parent's sys.path in its preparation data, and the
+        # initializer re-asserts it (plus the repro src root) in case a
+        # start-method variant or an embedding host trimmed it.
+        extra_path = [_repro_src_root()] + list(sys.path)
+        self._pool = ProcessPoolExecutor(
+            max_workers=workers,
+            mp_context=multiprocessing.get_context(start_method),
+            initializer=_worker_initializer,
+            initargs=(extra_path,),
+        )
+        #: Exported bundles by system identity; values hold a strong
+        #: system reference so an ``id`` is never recycled while mapped.
+        self._bundles: dict[int, tuple[object, str]] = {}
+        self._tmpdir: tempfile.TemporaryDirectory | None = None
+        self._own_bundles: list[str] = []
+        self._export_count = 0
+
+    # ------------------------------------------------------------------
+    def _own_export(self, system) -> str:
+        from repro.core.persistence import export_flat
+
+        if self._tmpdir is None:
+            self._tmpdir = tempfile.TemporaryDirectory(prefix="repro-arena-")
+        self._export_count += 1
+        bundle = os.path.join(self._tmpdir.name, f"v{self._export_count}")
+        export_flat(system, bundle)
+        # Keep this bundle plus its predecessor (batches dispatched just
+        # before a swap may still attach to it); delete anything older
+        # so repeated hot swaps don't accumulate weight copies on disk.
+        self._own_bundles.append(bundle)
+        if len(self._own_bundles) > 2:
+            live = {path for _, path in self._bundles.values()}
+            keep = set(self._own_bundles[-2:]) | live
+            for old in self._own_bundles[:-2]:
+                if old not in keep:
+                    shutil.rmtree(old, ignore_errors=True)
+            self._own_bundles = [
+                path for path in self._own_bundles if path in keep
+            ]
+        return bundle
+
+    def prepare(self, system) -> str:
+        """The system's bundle directory, exporting it if unseen."""
+        entry = self._bundles.get(id(system))
+        if entry is not None and entry[0] is system:
+            return entry[1]
+        if self._arena_provider is not None:
+            bundle = os.fspath(self._arena_provider(system))
+        else:
+            bundle = self._own_export(system)
+        self._bundles[id(system)] = (system, bundle)
+        # Current system + the one it superseded: batches dispatched just
+        # before a swap may still name the old bundle, anything older
+        # cannot be airborne anymore (and pinning old systems here would
+        # keep their full weight copies resident).
+        while len(self._bundles) > 2:
+            self._bundles.pop(next(iter(self._bundles)))
+        return bundle
+
+    # ------------------------------------------------------------------
+    def submit(self, system, batch: np.ndarray) -> Future:
+        bundle = self.prepare(system)
+        return self._pool.submit(
+            _worker_predict, bundle, np.ascontiguousarray(batch)
+        )
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=True)
+        if self._tmpdir is not None:
+            self._tmpdir.cleanup()
+            self._tmpdir = None
+        self._bundles.clear()
+
+    def describe(self) -> dict:
+        return {
+            "name": self.name,
+            "slots": self.slots,
+            "workers": self.workers,
+            "bundles": len(self._bundles),
+        }

@@ -1,0 +1,76 @@
+"""Thread-pool execution over per-thread system replicas."""
+
+from __future__ import annotations
+
+import copy
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+
+import numpy as np
+
+from repro.serving.backends.base import ExecutionBackend
+
+
+class ThreadPoolBackend(ExecutionBackend):
+    """Run batches on a thread pool, one system replica per thread.
+
+    The nn modules cache forward activations on ``self`` (for backward),
+    so two concurrent forwards through *one* module graph would race on
+    that scratch state.  Each worker thread therefore predicts through
+    its own ``deepcopy`` of the system — same weights bit-for-bit, so
+    results stay byte-identical to the source system — keyed by system
+    identity so a hot swap naturally re-replicates on first use.
+
+    What this buys: the submitting thread (the gateway's event loop)
+    keeps running — reading sockets, admitting, shedding — while NumPy
+    executes, and BLAS kernels release the GIL, so multi-core machines
+    see real overlap.  For full multi-core *exec* parallelism use
+    :class:`~repro.serving.backends.ProcessPoolBackend`.
+    """
+
+    name = "thread"
+
+    #: Replicas kept per worker thread (current system + one swap-ago).
+    _REPLICA_CACHE = 2
+
+    def __init__(self, workers: int = 2) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.slots = workers
+        self.workers = workers
+        self._pool = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-exec"
+        )
+        self._local = threading.local()
+
+    # ------------------------------------------------------------------
+    def _replica(self, system):
+        cache: dict[int, tuple[object, object]] = getattr(
+            self._local, "replicas", None
+        ) or {}
+        self._local.replicas = cache
+        entry = cache.get(id(system))
+        if entry is not None and entry[0] is system:
+            return entry[1]
+        replica = copy.deepcopy(system)
+        cache[id(system)] = (system, replica)
+        while len(cache) > self._REPLICA_CACHE:
+            cache.pop(next(iter(cache)))
+        return replica
+
+    def _run(self, system, batch: np.ndarray):
+        replica = self._replica(system)
+        start = time.perf_counter()
+        result = replica.predict(batch)
+        return result, time.perf_counter() - start
+
+    # ------------------------------------------------------------------
+    def submit(self, system, batch: np.ndarray) -> Future:
+        return self._pool.submit(self._run, system, batch)
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=True)
+
+    def describe(self) -> dict:
+        return {"name": self.name, "slots": self.slots, "workers": self.workers}

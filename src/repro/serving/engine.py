@@ -8,9 +8,20 @@ dispatches) dominates the useful math.
 
 :class:`InferenceEngine` decouples *when a request arrives* from *when
 the model runs*: callers ``submit`` classifier-ready samples and receive
-:class:`Ticket` handles; the engine stacks everything pending into one
-vectorised ``GesturePrint.predict`` per :meth:`flush`.  A synchronous
-:meth:`predict_one` path is kept for latency-critical callers.
+:class:`Ticket` handles; the engine stacks everything pending into
+vectorised batches.  A synchronous :meth:`predict_one` path is kept for
+latency-critical callers.
+
+Execution is pluggable (:mod:`repro.serving.backends`): the engine's
+flush path splits into **dispatch** — drain the pending queue in
+priority order, group by sample shape, submit each group to the
+:class:`~repro.serving.backends.ExecutionBackend` — and **collect** —
+harvest completed batch futures and deliver their tickets.  With the
+default :class:`~repro.serving.backends.InlineBackend` the two happen
+back-to-back in the caller's thread (the historical behaviour, kept
+bit-for-bit); with a thread or process pool, batches are *airborne*
+between dispatch and collection and the caller (e.g. the gateway's
+event loop) overlaps its own work with the executor's.
 
 Batches are released by one of three triggers:
 
@@ -20,30 +31,38 @@ Batches are released by one of three triggers:
 * **deadline** — with a scheduler, every request carries an arrival
   timestamp and an optional per-request deadline; :meth:`submit` and
   :meth:`poll` flush as soon as waiting any longer would be predicted to
-  miss the earliest pending deadline;
+  miss the earliest pending deadline (a deadline already in the past is
+  clamped to "due now": it forces an immediate dispatch instead of
+  feeding negative slack into the scheduler);
 * **explicit** — :meth:`flush` (the hub's end-of-round / end-of-stream
-  paths).
+  paths), which also blocks until every airborne batch has landed.
 
-Hot reload: :meth:`swap_system` replaces the fitted system *between*
-batches — everything pending is flushed on the old weights first, so no
-ticket is ever delivered against mixed weights — and stamps every
-:class:`SampleResult` with the ``model_version`` that produced it.
+Hot reload: :meth:`swap_system` dispatches everything pending on the
+*old* weights first — airborne batches carry the system reference and
+``model_version`` they were submitted with, so no ticket is ever
+delivered against mixed or wrong-version weights even while batches are
+in flight — and stamps every :class:`SampleResult` with the
+``model_version`` that produced it.
 
-Both classification paths are **byte-identical**: the nn layers pin
-every BLAS call to row-stable kernels, so a sample classified alone
-produces bit-for-bit the same posteriors as the same sample inside a
-micro-batch (enforced by ``tests/serving/test_engine.py``).
+All execution paths are **byte-identical**: the nn layers pin every BLAS
+call to row-stable kernels, so a sample classified alone produces
+bit-for-bit the same posteriors as the same sample inside a micro-batch,
+on any backend (enforced by ``tests/serving/test_engine.py`` and
+``tests/serving/test_backends.py``).
 """
 
 from __future__ import annotations
 
 import time
+from concurrent.futures import FIRST_COMPLETED, Future
+from concurrent.futures import wait as wait_futures
 from dataclasses import dataclass
 from typing import Any, Callable
 
 import numpy as np
 
 from repro.core.pipeline import GesturePrint, PipelineResult
+from repro.serving.backends import ExecutionBackend, InlineBackend
 from repro.serving.scheduler import BatchScheduler, request_order
 
 
@@ -78,7 +97,7 @@ class SampleResult:
 class Ticket:
     """Handle for one queued classification request.
 
-    ``result()`` raises until the owning engine flushes the batch the
+    ``result()`` raises until the owning engine collects the batch the
     request rode in; an optional ``callback`` fires at delivery time with
     the :class:`SampleResult`, and ``on_error`` fires if the batch the
     request rode in failed — so deferred callers (the hub's streams)
@@ -158,6 +177,21 @@ class Ticket:
         self._cancelled = True
 
 
+@dataclass(eq=False)  # identity semantics: entries hold numpy arrays
+class _InFlightBatch:
+    """One dispatched batch between backend submission and collection.
+
+    ``version`` and the entries' samples pin the batch to the weights it
+    was dispatched against; ``dispatched`` anchors the submit-to-landing
+    wall time the scheduler learns (execution *plus* executor queueing).
+    """
+
+    entries: list[tuple[np.ndarray, Ticket]]
+    future: Future
+    version: int
+    dispatched: float
+
+
 @dataclass
 class EngineStats:
     """Operational counters (exposed for benchmarks and monitoring)."""
@@ -169,6 +203,7 @@ class EngineStats:
     max_batch: int = 0
     failed_batches: int = 0
     swaps: int = 0
+    dispatched_batches: int = 0
 
     @property
     def mean_batch(self) -> float:
@@ -193,6 +228,12 @@ class InferenceEngine:
         ``submit``/``poll`` also flush when the earliest pending deadline
         is about to run out of budget.  The engine adopts the scheduler's
         clock so arrival timestamps and deadlines share one time base.
+    backend:
+        Optional :class:`~repro.serving.backends.ExecutionBackend`; the
+        default :class:`~repro.serving.backends.InlineBackend` executes
+        batches synchronously in the flushing thread.  The caller owns a
+        backend it passes in (close it when done); the engine closes the
+        backend it created itself via :meth:`close`.
     clock:
         Monotonic time source (overridden by the scheduler's, if any).
     """
@@ -203,6 +244,7 @@ class InferenceEngine:
         *,
         max_batch_size: int = 32,
         scheduler: BatchScheduler | None = None,
+        backend: ExecutionBackend | None = None,
         clock: Callable[[], float] = time.monotonic,
     ) -> None:
         if system.gesture_model is None:
@@ -213,12 +255,22 @@ class InferenceEngine:
         self.max_batch_size = max_batch_size
         self.scheduler = scheduler
         self._clock = scheduler.clock if scheduler is not None else clock
+        self._owns_backend = backend is None
+        self.backend = backend if backend is not None else InlineBackend()
+        if scheduler is not None:
+            scheduler.bind_backend(self.backend.name, self.backend.slots)
         self.stats = EngineStats()
         self.model_version = 0
         self._pending: list[tuple[np.ndarray, Ticket]] = []
+        self._in_flight: list[_InFlightBatch] = []
         self._in_flush = False
         self._flush_requested = False
         self._pending_swap: GesturePrint | None = None
+        #: Zero-arg hook fired (from the completing thread!) whenever an
+        #: airborne batch lands; the gateway points this at a threadsafe
+        #: event-loop wakeup so collection is prompt, not poll-paced.
+        self.on_batch_complete: Callable[[], None] | None = None
+        self.backend.prepare(system)
 
     # ------------------------------------------------------------------
     @property
@@ -229,6 +281,11 @@ class InferenceEngine:
     @property
     def num_pending(self) -> int:
         return len(self._pending)
+
+    @property
+    def num_in_flight(self) -> int:
+        """Dispatched batches not yet collected."""
+        return len(self._in_flight)
 
     @property
     def batch_limit(self) -> int:
@@ -274,9 +331,15 @@ class InferenceEngine:
         instant the gesture segment closed upstream) — it defaults to
         now.  ``deadline_ms`` is this request's own latency budget,
         measured from arrival; without one, a scheduler's global SLO (if
-        any) applies.  ``priority`` (lower = more important) orders the
-        flush drain across requests; equal priorities keep submission
-        order, so plain callers are unaffected by the default.
+        any) applies.  A deadline that is *already in the past* (a
+        backdated arrival plus a short budget) is clamped to "due now":
+        the request rides the immediate-flush path, and the scheduler
+        never sees negative slack — which would force a batch-of-1 flush
+        on every subsequent submit and poison the adaptive limit's
+        latency observations with panic batches.  ``priority`` (lower =
+        more important) orders the flush drain across requests; equal
+        priorities keep submission order, so plain callers are unaffected
+        by the default.
 
         ``defer_flush`` skips the auto-flush check: the caller promises
         an imminent :meth:`poll`.  A feeder draining a backlog needs it —
@@ -295,6 +358,8 @@ class InferenceEngine:
         now = self._clock()
         arrival = now if arrival is None else arrival
         deadline = None if deadline_ms is None else arrival + deadline_ms / 1e3
+        if deadline is not None and deadline < now:
+            deadline = now  # stale already at submit: due immediately
         ticket = Ticket(
             meta=meta,
             callback=callback,
@@ -335,32 +400,173 @@ class InferenceEngine:
         return slack is not None and slack <= 0.0
 
     def poll(self) -> list[Ticket]:
-        """Deadline check: flush if the pending queue must run *now*.
+        """Collect landed batches; dispatch if the queue must run *now*.
 
-        The serving loop calls this once per frame round; it is a no-op
-        unless the depth or deadline trigger fires.  Errors are routed to
+        The serving loop calls this once per frame round (the gateway
+        once per pump): completed airborne batches deliver their
+        tickets, and the depth/deadline triggers release a new dispatch
+        — without ever blocking on the backend.  Errors are routed to
         the failed tickets, never raised here.
         """
-        if self._should_flush(self._clock()):
-            return self.flush(raise_on_error=False)
-        return []
+        if self._in_flush:
+            return []
+        delivered: list[Ticket] = []
+        self._in_flush = True
+        try:
+            if self._in_flight:
+                _, landed = self._collect(block=False)
+                delivered.extend(landed)
+            if self._should_flush(self._clock()):
+                self.dispatch()
+                _, landed = self._collect(block=False)
+                delivered.extend(landed)
+        finally:
+            self._in_flush = False
+        self._run_deferred()
+        return delivered
 
     # ------------------------------------------------------------------
-    def flush(self, *, raise_on_error: bool = True) -> list[Ticket]:
-        """Run one vectorised predict over everything pending.
+    def dispatch(self) -> int:
+        """Drain the pending queue into backend submissions.
 
         Requests are drained in :func:`~repro.serving.scheduler.request_order`
         — priority class first, then earliest deadline, then arrival; the
         sort is stable, so plain same-priority traffic keeps submission
         order — then grouped by sample shape (streams may normalise to
-        different point counts); each group is one stacked forward pass.
-        Returns the tickets completed by this call, in drain order.
+        different point counts); each group becomes one backend batch,
+        pinned to the current system reference and ``model_version``.
+        Returns the number of batches submitted.  Non-blocking: with a
+        pooled backend the batches are airborne until :meth:`poll`,
+        :meth:`drain`, or :meth:`flush` collects them.
+        """
+        if not self._pending:
+            return 0
+        pending, self._pending = self._pending, []
+        pending.sort(
+            key=lambda entry: request_order(
+                entry[1].priority, entry[1].deadline, entry[1].arrival
+            )
+        )
+        groups: dict[tuple[int, ...], list[tuple[np.ndarray, Ticket]]] = {}
+        for sample, ticket in pending:
+            if ticket.cancelled:
+                continue
+            groups.setdefault(sample.shape, []).append((sample, ticket))
+        submitted = 0
+        for entries in groups.values():
+            batch = np.stack([sample for sample, _ in entries])
+            dispatched = self._clock()
+            try:
+                future = self.backend.submit(self.system, batch)
+            except Exception as error:  # refused submission (closed pool, ...)
+                future = Future()
+                future.set_exception(error)
+            self._in_flight.append(
+                _InFlightBatch(
+                    entries=entries,
+                    future=future,
+                    version=self.model_version,
+                    dispatched=dispatched,
+                )
+            )
+            self.stats.dispatched_batches += 1
+            submitted += 1
+            if self.on_batch_complete is not None:
+                future.add_done_callback(self._notify_complete)
+        return submitted
 
-        A group whose forward pass raises fails only its own tickets
+    def _notify_complete(self, _future: Future) -> None:
+        hook = self.on_batch_complete
+        if hook is not None:
+            try:
+                hook()
+            except Exception:
+                pass  # a dying waker must not take the executor down
+
+    # ------------------------------------------------------------------
+    def _collect(self, *, block: bool) -> tuple[Exception | None, list[Ticket]]:
+        """Harvest landed batches; optionally wait for the stragglers.
+
+        Delivers per batch in dispatch order among whatever has landed;
+        returns the first batch error (those tickets are already failed)
+        and every ticket resolved by this call.
+        """
+        first_error: Exception | None = None
+        delivered: list[Ticket] = []
+        while self._in_flight:
+            ready = [flight for flight in self._in_flight if flight.future.done()]
+            if not ready:
+                if not block:
+                    break
+                wait_futures(
+                    [flight.future for flight in self._in_flight],
+                    return_when=FIRST_COMPLETED,
+                )
+                continue
+            for flight in ready:
+                self._in_flight.remove(flight)
+                error = self._finish_batch(flight, delivered)
+                if first_error is None:
+                    first_error = error
+        return first_error, delivered
+
+    def _finish_batch(
+        self, flight: _InFlightBatch, delivered: list[Ticket]
+    ) -> Exception | None:
+        """Resolve one landed batch's tickets (skipping cancelled ones)."""
+        entries = flight.entries
+        done = self._clock()
+        try:
+            result, exec_s = flight.future.result()
+        except Exception as error:  # poison batch: fail this group only
+            self.stats.failed_batches += 1
+            for _, ticket in entries:
+                if ticket.cancelled:
+                    continue
+                ticket._fail(error)
+                delivered.append(ticket)
+            return error
+        if self.scheduler is not None:
+            # Submit-to-landing wall time: execution *plus* executor
+            # queueing, so the adaptive limit prices the backend it
+            # actually runs on, not an idealised instant executor.
+            self.scheduler.observe_batch(
+                len(entries), done - flight.dispatched, service_s=exec_s
+            )
+        self.stats.batches += 1
+        self.stats.batched_samples += len(entries)
+        self.stats.max_batch = max(self.stats.max_batch, len(entries))
+        for row, (_, ticket) in enumerate(entries):
+            if ticket.cancelled:
+                continue  # discarded while airborne: no late delivery
+            if self.scheduler is not None:
+                self.scheduler.record_queue_latency(done - ticket.arrival)
+            ticket._deliver(
+                SampleResult.from_row(result, row, model_version=flight.version)
+            )
+            delivered.append(ticket)
+        return None
+
+    def _run_deferred(self) -> None:
+        """Apply flushes/swaps requested by callbacks during delivery."""
+        if self._flush_requested and not self._in_flush:
+            self._flush_requested = False
+            self.flush(raise_on_error=False)
+        if self._pending_swap is not None and not self._in_flush:
+            swap, self._pending_swap = self._pending_swap, None
+            self.swap_system(swap)
+
+    # ------------------------------------------------------------------
+    def flush(self, *, raise_on_error: bool = True) -> list[Ticket]:
+        """Dispatch everything pending and block until it all lands.
+
+        Returns the tickets completed by this call — including tickets
+        of batches that were already airborne when it was called.  A
+        batch whose forward pass raises fails only its own tickets
         (``Ticket.result`` re-raises, ``on_error`` fires); the other
-        groups still deliver.  With ``raise_on_error`` (the default for
-        explicit calls) the first group error is re-raised *after* every
-        group ran and every ticket was resolved.
+        batches still deliver.  With ``raise_on_error`` (the default for
+        explicit calls) the first batch error is re-raised *after*
+        everything landed and every ticket was resolved.
 
         Reentrancy: a delivery callback that submits (e.g. a chained
         second-stage classification) may trigger a nested flush; it is
@@ -376,19 +582,14 @@ class InferenceEngine:
         completed: list[Ticket] = []
         first_error: Exception | None = None
         try:
-            while self._pending:
-                pending, self._pending = self._pending, []
-                pending.sort(
-                    key=lambda entry: request_order(
-                        entry[1].priority, entry[1].deadline, entry[1].arrival
-                    )
-                )
+            while True:
                 self._flush_requested = False
-                error = self._run_batches(pending)
+                self.dispatch()
+                error, delivered = self._collect(block=True)
+                completed.extend(delivered)
                 if first_error is None:
                     first_error = error
-                completed.extend(ticket for _, ticket in pending)
-                if not self._flush_requested:
+                if not (self._pending or self._in_flight or self._flush_requested):
                     break
         finally:
             self._in_flush = False
@@ -399,51 +600,38 @@ class InferenceEngine:
             raise first_error
         return completed
 
-    def _run_batches(
-        self, pending: list[tuple[np.ndarray, Ticket]]
-    ) -> Exception | None:
-        """One flush pass: group by shape, predict, deliver.  Returns the
-        first group error (tickets of failed groups are already failed)."""
-        groups: dict[tuple[int, ...], list[tuple[np.ndarray, Ticket]]] = {}
-        for sample, ticket in pending:
-            groups.setdefault(sample.shape, []).append((sample, ticket))
-        first_error: Exception | None = None
-        version = self.model_version
-        for entries in groups.values():
-            batch = np.stack([sample for sample, _ in entries])
-            start = self._clock()
-            try:
-                result = self.system.predict(batch)
-            except Exception as error:  # poison batch: fail this group only
-                self.stats.failed_batches += 1
-                for _, ticket in entries:
-                    ticket._fail(error)
-                if first_error is None:
-                    first_error = error
-                continue
-            done = self._clock()
-            if self.scheduler is not None:
-                self.scheduler.observe_batch(len(entries), done - start)
-            self.stats.batches += 1
-            self.stats.batched_samples += len(entries)
-            self.stats.max_batch = max(self.stats.max_batch, len(entries))
-            for row, (_, ticket) in enumerate(entries):
-                if self.scheduler is not None:
-                    self.scheduler.record_queue_latency(done - ticket.arrival)
-                ticket._deliver(
-                    SampleResult.from_row(result, row, model_version=version)
-                )
-        return first_error
+    def drain(self, *, raise_on_error: bool = False) -> list[Ticket]:
+        """Block until every airborne batch lands; deliver its tickets.
+
+        Unlike :meth:`flush` this does not dispatch the pending queue —
+        it only settles what is already in the air (the gateway's
+        shutdown path).
+        """
+        if self._in_flush or not self._in_flight:
+            return []
+        self._in_flush = True
+        try:
+            error, delivered = self._collect(block=True)
+        finally:
+            self._in_flush = False
+        self._run_deferred()
+        if error is not None and raise_on_error:
+            raise error
+        return delivered
 
     # ------------------------------------------------------------------
     def swap_system(self, system: GesturePrint) -> int:
         """Hot-swap the fitted system; returns the new ``model_version``.
 
-        Pending requests are flushed on the *old* weights first, so no
-        ticket is dropped and none is delivered against mixed weights;
-        results produced after the swap carry the incremented version.
-        Safe to call from a delivery callback: mid-flush swaps are
-        deferred until the current flush fully drains.
+        Everything pending is dispatched on the *old* weights first, so
+        no ticket is dropped and none is delivered against mixed
+        weights.  Batches already airborne are untouched: they carry the
+        system reference and version they were dispatched with, finish
+        on the old weights, and deliver with the old ``model_version`` —
+        the swap never waits for them.  Results produced after the swap
+        carry the incremented version.  Safe to call from a delivery
+        callback: mid-flush swaps are deferred until the current flush
+        fully drains.
         """
         if system.gesture_model is None:
             raise ValueError("the swapped-in system must be fitted first")
@@ -453,21 +641,32 @@ class InferenceEngine:
             self._pending_swap = system
             return self.model_version + 1
         if self._pending:
-            self.flush(raise_on_error=False)
+            self._in_flush = True
+            try:
+                self.dispatch()
+                self._collect(block=False)  # inline batches land right here
+            finally:
+                self._in_flush = False
         self.system = system
         self.model_version += 1
         self.stats.swaps += 1
+        # Pre-stage the new weights (e.g. the process backend's arena
+        # export) off the first post-swap batch's critical path.
+        self.backend.prepare(system)
+        self._run_deferred()
         return self.model_version
 
     # ------------------------------------------------------------------
     def discard_pending(self, predicate: Callable[[Any], bool] | None = None) -> int:
-        """Cancel queued requests instead of flushing them.
+        """Cancel queued *and airborne* requests instead of flushing them.
 
         ``predicate`` receives each ticket's ``meta`` and keeps the entry
-        when it returns False; with no predicate everything pending is
-        cancelled.  Returns the number of cancelled requests.  Used by
-        :meth:`StreamHub.reset` so spans submitted before a reset cannot
-        deliver events into the post-reset epoch.
+        when it returns False; with no predicate everything is
+        cancelled.  Queued requests never reach a batch; requests whose
+        batch is already airborne cannot be unsubmitted, but their
+        delivery (callback and all) is suppressed at collection — a
+        closed stream or dropped connection never receives a late
+        result.  Returns the number of cancelled requests.
         """
         kept: list[tuple[np.ndarray, Ticket]] = []
         cancelled = 0
@@ -478,6 +677,13 @@ class InferenceEngine:
             else:
                 kept.append((sample, ticket))
         self._pending = kept
+        for flight in self._in_flight:
+            for _, ticket in flight.entries:
+                if ticket.done or ticket.cancelled:
+                    continue
+                if predicate is None or predicate(ticket.meta):
+                    ticket._cancel()
+                    cancelled += 1
         return cancelled
 
     def predict_many(self, samples: np.ndarray) -> list[SampleResult]:
@@ -490,3 +696,14 @@ class InferenceEngine:
         tickets = [self.submit(sample) for sample in samples]
         self.flush()
         return [ticket.result() for ticket in tickets]
+
+    def close(self) -> None:
+        """Settle all outstanding work and release an engine-owned backend.
+
+        Everything still pending is flushed (errors route to the tickets,
+        not raised here) and every airborne batch collected, upholding
+        the no-ticket-ever-dropped invariant through shutdown.
+        """
+        self.flush(raise_on_error=False)
+        if self._owns_backend:
+            self.backend.close()

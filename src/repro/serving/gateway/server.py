@@ -8,23 +8,34 @@ normalised gesture clouds at the server; the server multiplexes every
 connection into the one micro-batched
 :class:`~repro.serving.engine.InferenceEngine`.
 
-Concurrency model — single-threaded by construction:
+Concurrency model — all *state* stays on the event loop; *execution*
+goes wherever the engine's backend puts it:
 
 * every connection handler, the admission queue, the tenant counters,
   and the engine live on the server's event loop; no locks anywhere;
 * a **dedicated flush loop** task owns the engine: it wakes on new
-  admissions (or a short poll tick for deadline checks), feeds queued
-  requests into the engine in weighted priority order up to the
-  scheduler's adaptive batch limit, and lets ``engine.poll`` release
-  batches on the depth/deadline triggers;
+  admissions, on airborne-batch completions (the engine's
+  ``on_batch_complete`` hook kicks the loop threadsafely from whatever
+  thread the backend lands a batch in), or on a short poll tick for
+  deadline checks; it feeds queued requests into the engine in weighted
+  priority order up to the scheduler's adaptive batch limit — stopping
+  while every backend slot is busy, so overload keeps pooling (and
+  shedding) in the admission queue — and lets ``engine.poll`` dispatch
+  on the depth/deadline triggers and collect whatever has landed;
+* with a thread or process backend, a dispatched batch is **airborne**
+  while the loop goes straight back to reading sockets: exec overlaps
+  socket IO instead of stalling it, which is where the multi-worker
+  throughput comes from (``benchmarks/bench_workers.py``);
 * :class:`~repro.serving.engine.Ticket` callbacks fire inside the flush
-  loop and resolve each request by enqueueing its RESULT/ERROR frame
-  onto the owning connection's outbox, which a per-connection writer
-  task drains (with TCP backpressure via ``drain()``);
+  loop (at collection, on the loop thread) and resolve each request by
+  enqueueing its RESULT/ERROR frame onto the owning connection's
+  outbox, which a per-connection writer task drains (with TCP
+  backpressure via ``drain()``);
 * a disconnected client's queued work is *reclaimed*, not served: its
   admission-queue entries are purged and its in-engine requests
-  cancelled through ``engine.discard_pending``, so a dead socket cannot
-  burn batch capacity on undeliverable results.
+  cancelled through ``engine.discard_pending`` — including requests
+  already airborne, whose delivery is suppressed at collection — so a
+  dead socket cannot burn batch capacity on undeliverable results.
 
 Overload lands where the tenant config says it should: per-tenant
 in-flight caps reject with explicit backpressure, and a full admission
@@ -47,6 +58,7 @@ from typing import Callable
 import numpy as np
 
 from repro.core.pipeline import GesturePrint
+from repro.serving.backends import ExecutionBackend
 from repro.serving.engine import InferenceEngine, SampleResult
 from repro.serving.scheduler import BatchScheduler
 from repro.serving.gateway import protocol
@@ -76,6 +88,7 @@ class GatewayStats:
     results: int = 0
     shed: int = 0
     rejected: int = 0
+    rate_limited: int = 0
     classify_errors: int = 0
     protocol_errors: int = 0
     reloads: int = 0
@@ -161,11 +174,17 @@ class GatewayServer:
     system:
         A fitted :class:`~repro.core.pipeline.GesturePrint` (ignored when
         an ``engine`` is passed).
-    engine / scheduler:
+    engine / scheduler / backend:
         Share an existing engine, or configure the private one.  The
         default scheduler targets ``slo_ms`` with the adaptive batch
         limit *and* the p95 safety-margin controller enabled — a network
-        front-end lives or dies by its tail latency.
+        front-end lives or dies by its tail latency.  ``backend`` picks
+        where batches execute (``repro.serving.backends``; default
+        inline): with a thread or process pool the flush loop overlaps
+        batch execution with socket IO and runs up to ``backend.slots``
+        batches concurrently.  A backend passed here (or riding an
+        external engine) is owned by the caller — close it after
+        ``aclose``.
     tenants:
         A :class:`~repro.serving.gateway.tenants.TenantDirectory`;
         defaults to the stock premium/standard/batch tiers with unknown
@@ -199,6 +218,7 @@ class GatewayServer:
         *,
         engine: InferenceEngine | None = None,
         scheduler: BatchScheduler | None = None,
+        backend: ExecutionBackend | None = None,
         tenants: TenantDirectory | None = None,
         max_batch_size: int = 32,
         slo_ms: float | None = 50.0,
@@ -210,6 +230,12 @@ class GatewayServer:
         reload_hook: Callable[[], int] | None = None,
         name: str = "repro-gateway",
     ) -> None:
+        if engine is not None and backend is not None:
+            raise ValueError(
+                "backend= only configures the private engine; an external "
+                "engine= brings its own backend (this pool would never be "
+                "used, only leaked)"
+            )
         if engine is None:
             if system is None:
                 raise ValueError("pass a fitted system or an engine")
@@ -218,12 +244,17 @@ class GatewayServer:
                     slo_ms=slo_ms, max_batch=max_batch_size, adapt_margin=True
                 )
             engine = InferenceEngine(
-                system, max_batch_size=max_batch_size, scheduler=scheduler
+                system,
+                max_batch_size=max_batch_size,
+                scheduler=scheduler,
+                backend=backend,
             )
         self.engine = engine
         self.tenants = tenants if tenants is not None else TenantDirectory()
         self.admission = AdmissionQueue(
-            self.tenants.classes.values(), queue_limit=queue_limit
+            self.tenants.classes.values(),
+            queue_limit=queue_limit,
+            clock=self.engine.clock,
         )
         self.poll_interval_s = poll_interval_s
         self.max_linger_ms = max_linger_ms
@@ -252,6 +283,19 @@ class GatewayServer:
         if self._running:
             raise RuntimeError("server already started")
         self._kick = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        kick = self._kick
+
+        def _wake_flush_loop() -> None:
+            # Fired by the engine from whatever thread the backend lands
+            # a batch in; hop onto the loop so collection is prompt
+            # instead of waiting out the poll tick.
+            try:
+                loop.call_soon_threadsafe(kick.set)
+            except RuntimeError:
+                pass  # loop already closed during shutdown
+
+        self.engine.on_batch_complete = _wake_flush_loop
         self._server = await asyncio.start_server(self._on_connection, host, port)
         self._running = True
         self._flush_task = asyncio.create_task(self._flush_loop())
@@ -286,6 +330,10 @@ class GatewayServer:
             return False
 
         self.engine.discard_pending(_release)
+        self.engine.on_batch_complete = None
+        # Settle airborne batches so a pooled backend can be closed
+        # immediately after; their deliveries were suppressed above.
+        self.engine.drain()
 
     @property
     def num_connections(self) -> int:
@@ -306,28 +354,37 @@ class GatewayServer:
                 # Yield between batches: new frames get *read* (and
                 # admitted, and prioritised) while a backlog drains, so
                 # a premium request arriving mid-flood waits at most a
-                # couple of batch executions, not the whole queue.
+                # couple of batch executions, not the whole queue.  With
+                # a pooled backend the dispatched batch is airborne by
+                # now — the loop is already back to socket IO while the
+                # executor runs it, and the engine's completion hook
+                # kicks us the moment it lands.
                 await asyncio.sleep(0)
 
     def _pump_once(self) -> bool:
         """One batch cycle: feed up to the batch limit, let it release.
 
-        Feeding stops at the adaptive batch limit so the *admission
-        queue* stays the place where overload pools (and sheds); the
-        engine queue holds at most one batch-in-progress.  Returns
+        Feeding stops at the adaptive batch limit — and stops entirely
+        while every backend slot is busy — so the *admission queue*
+        stays the place where overload pools (and sheds); the engine
+        holds at most one batch-in-assembly per free slot.  Returns
         whether any work happened (the flush loop keeps pumping, with
-        yields in between, until it reports idle).
+        yields in between, until it reports idle; idle-with-airborne
+        parks on the kick event until a completion lands).
         """
         engine = self.engine
-        budget = max(engine.batch_limit - engine.num_pending, 0)
+        landed = engine.poll()  # collect whatever the backend finished
+        budget = 0
+        if engine.backend.slots - engine.num_in_flight > 0:
+            budget = max(engine.batch_limit - engine.num_pending, 0)
         # Class-pure composition: one cycle drains one class, so a
         # premium batch never waits out batch-class rows sharing its
         # vectorised call; lower classes get the very next cycle.
         batch = self.admission.take_front_class(budget) if budget else []
         for request in batch:
             self._feed(request)
-        flushed = engine.poll()
-        return bool(batch) or bool(flushed)
+        flushed = engine.poll() if batch else []
+        return bool(batch) or bool(flushed) or bool(landed)
 
     def _feed(self, request: GatewayRequest) -> None:
         try:
@@ -488,7 +545,11 @@ class GatewayServer:
             deadline_ms=deadline_ms,
             received=self.engine.clock(),
         )
-        admitted, reject_code, victims = self.admission.offer(request)
+        # The arrival timestamp drives the tenant's token-bucket refill,
+        # so admission metering and deadline scheduling share one clock.
+        admitted, reject_code, victims = self.admission.offer(
+            request, now=request.received
+        )
         for victim in victims:
             self.stats.shed += 1
             victim.connection.send(
@@ -501,6 +562,8 @@ class GatewayServer:
         if not admitted:
             if reject_code == "shed":
                 self.stats.shed += 1
+            elif reject_code == "rate_limited":
+                self.stats.rate_limited += 1
             else:
                 self.stats.rejected += 1
             connection.send(
@@ -597,6 +660,8 @@ class GatewayServer:
                 "max_batch": engine_stats.max_batch,
                 "failed_batches": engine_stats.failed_batches,
                 "swaps": engine_stats.swaps,
+                "in_flight": self.engine.num_in_flight,
+                "backend": self.engine.backend.describe(),
             },
             "scheduler": scheduler.snapshot() if scheduler is not None else None,
             "tenants": self.tenants.snapshot(),

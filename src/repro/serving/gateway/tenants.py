@@ -8,7 +8,14 @@ no engine, so every decision is unit-testable with a fake clock:
 
 * :class:`SLOClass` — a named service tier: drain priority and weight,
   per-request latency budget (``slo_ms``), a per-tenant in-flight cap,
+  an optional per-tenant token-bucket rate (``rate_per_s``/``burst``),
   and whether queued requests of this class may be shed under overload.
+* :class:`TokenBucket` — the rate limiter: refills ``rate_per_s`` tokens
+  per second up to ``burst``; a SUBMIT that finds the bucket empty is
+  rejected with the distinct ``rate_limited`` error code *before* the
+  in-flight caps or the waiting room are consulted, so a tenant blowing
+  its contracted rate is told so explicitly instead of burning queue
+  seats it would only get shed out of.
 * :class:`TenantDirectory` — maps tenant ids to classes (static
   assignments plus a default class), materialising per-tenant counters
   lazily; built from a plain dict so ``repro serve --tenants cfg.json``
@@ -28,9 +35,45 @@ no engine, so every decision is unit-testable with a fake clock:
 from __future__ import annotations
 
 import math
+import time
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Deque, Iterable, Mapping
+
+
+class TokenBucket:
+    """Classic token bucket: ``rate_per_s`` refill, ``burst`` capacity.
+
+    Starts full (a tenant's first burst is honoured), refills lazily on
+    each :meth:`try_take` from the supplied ``now`` — the caller's clock,
+    so tests drive it deterministically and the gateway reuses each
+    request's arrival timestamp instead of re-reading the clock.
+    """
+
+    __slots__ = ("rate_per_s", "burst", "tokens", "updated")
+
+    def __init__(self, rate_per_s: float, burst: float) -> None:
+        if rate_per_s <= 0.0:
+            raise ValueError("rate_per_s must be > 0")
+        if burst < 1.0:
+            raise ValueError("burst must be >= 1")
+        self.rate_per_s = float(rate_per_s)
+        self.burst = float(burst)
+        self.tokens = float(burst)
+        self.updated: float | None = None
+
+    def try_take(self, now: float) -> bool:
+        """Spend one token if available; refill from elapsed time first."""
+        if self.updated is not None and now > self.updated:
+            self.tokens = min(
+                self.burst, self.tokens + (now - self.updated) * self.rate_per_s
+            )
+        if self.updated is None or now > self.updated:
+            self.updated = now
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return True
+        return False
 
 
 @dataclass(frozen=True)
@@ -41,7 +84,9 @@ class SLOClass:
     ``weight`` is the class's share of drain *cycles* (class-pure
     batches) per weighted round, so two classes one priority apart still
     share throughput ``weight_hi : weight_lo`` instead of strict
-    starvation.
+    starvation.  ``rate_per_s``/``burst`` configure a *per-tenant* token
+    bucket checked ahead of the in-flight caps (None = unlimited;
+    ``burst`` defaults to one second's worth of tokens, floor 1).
     """
 
     name: str
@@ -50,6 +95,8 @@ class SLOClass:
     slo_ms: float | None = None
     max_in_flight: int = 64
     sheddable: bool = False
+    rate_per_s: float | None = None
+    burst: float | None = None
 
     def __post_init__(self) -> None:
         if self.weight < 1:
@@ -58,6 +105,20 @@ class SLOClass:
             raise ValueError("max_in_flight must be >= 1")
         if self.slo_ms is not None and self.slo_ms < 0:
             raise ValueError("slo_ms must be >= 0")
+        if self.rate_per_s is not None and self.rate_per_s <= 0:
+            raise ValueError("rate_per_s must be > 0")
+        if self.burst is not None:
+            if self.burst < 1:
+                raise ValueError("burst must be >= 1")
+            if self.rate_per_s is None:
+                raise ValueError("burst without rate_per_s has no meaning")
+
+    def make_bucket(self) -> TokenBucket | None:
+        """A fresh per-tenant bucket, or None when the class is unmetered."""
+        if self.rate_per_s is None:
+            return None
+        burst = self.burst if self.burst is not None else max(self.rate_per_s, 1.0)
+        return TokenBucket(self.rate_per_s, burst)
 
 
 def default_classes() -> dict[str, SLOClass]:
@@ -83,6 +144,7 @@ class TenantStats:
     failed: int = 0
     shed: int = 0
     rejected: int = 0
+    rate_limited: int = 0
     in_flight: int = 0
     latency_window: Deque[float] = field(default_factory=deque, repr=False)
 
@@ -108,6 +170,7 @@ class TenantStats:
             "failed": self.failed,
             "shed": self.shed,
             "rejected": self.rejected,
+            "rate_limited": self.rate_limited,
             "in_flight": self.in_flight,
             "p95_ms": self.p95_ms,
         }
@@ -115,11 +178,13 @@ class TenantStats:
 
 @dataclass
 class Tenant:
-    """One named tenant bound to its SLO class, with live counters."""
+    """One named tenant bound to its SLO class, with live counters and
+    (when the class meters submissions) its own token bucket."""
 
     tenant_id: str
     slo_class: SLOClass
     stats: TenantStats = field(default_factory=TenantStats)
+    bucket: TokenBucket | None = None
 
 
 class TenantDirectory:
@@ -159,12 +224,14 @@ class TenantDirectory:
 
             {"classes": {"premium": {"priority": 0, "weight": 4,
                                      "slo_ms": 50, "max_in_flight": 128,
-                                     "sheddable": false}, ...},
+                                     "sheddable": false,
+                                     "rate_per_s": 200, "burst": 50}, ...},
              "tenants": {"device-7": "premium", ...},
              "default_class": "standard"}
 
         ``classes`` may be omitted (stock tiers) or partial (overrides
-        merge over the stock tiers).
+        merge over the stock tiers).  ``rate_per_s``/``burst`` define the
+        per-tenant token bucket (omit for unmetered classes).
         """
         classes = default_classes()
         for name, spec in dict(config.get("classes", {})).items():
@@ -179,6 +246,10 @@ class TenantDirectory:
                     "max_in_flight", base.max_in_flight if base else 64
                 ),
                 "sheddable": spec.get("sheddable", base.sheddable if base else False),
+                "rate_per_s": spec.get(
+                    "rate_per_s", base.rate_per_s if base else None
+                ),
+                "burst": spec.get("burst", base.burst if base else None),
             }
             classes[name] = SLOClass(name=name, **merged)
         return cls(
@@ -198,7 +269,12 @@ class TenantDirectory:
         class_name = self.assignments.get(tenant_id, self.default_class)
         if class_name is None:
             return None
-        tenant = Tenant(tenant_id=tenant_id, slo_class=self.classes[class_name])
+        slo_class = self.classes[class_name]
+        tenant = Tenant(
+            tenant_id=tenant_id,
+            slo_class=slo_class,
+            bucket=slo_class.make_bucket(),
+        )
         self._tenants[tenant_id] = tenant
         return tenant
 
@@ -227,11 +303,16 @@ class AdmissionQueue:
     """
 
     def __init__(
-        self, classes: Iterable[SLOClass], *, queue_limit: int = 256
+        self,
+        classes: Iterable[SLOClass],
+        *,
+        queue_limit: int = 256,
+        clock: Callable[[], float] = time.monotonic,
     ) -> None:
         if queue_limit < 1:
             raise ValueError("queue_limit must be >= 1")
         self.queue_limit = queue_limit
+        self.clock = clock
         #: Drain order: highest priority (lowest value) first.
         self._classes = sorted(classes, key=lambda cls: (cls.priority, cls.name))
         self._queues: dict[str, Deque] = {cls.name: deque() for cls in self._classes}
@@ -246,11 +327,18 @@ class AdmissionQueue:
         return {name: len(queue) for name, queue in self._queues.items()}
 
     # ------------------------------------------------------------------
-    def offer(self, request) -> tuple[bool, str | None, list]:
+    def offer(self, request, *, now: float | None = None) -> tuple[bool, str | None, list]:
         """Admit one request, possibly at another's expense.
 
         Returns ``(admitted, reject_code, shed_victims)``:
 
+        * a metered tenant (its class sets ``rate_per_s``) whose token
+          bucket is empty is rejected with ``rate_limited`` **before**
+          any other check — rate is a contract on *offered* load, so it
+          must not depend on how much room or in-flight headroom happens
+          to be left; ``now`` (default: this queue's clock) drives the
+          bucket refill, and the gateway passes each request's arrival
+          timestamp so admission and scheduling share one time base;
         * the tenant's in-flight cap rejects outright (``over_capacity``)
           — explicit backpressure to that client;
         * a full room sheds the oldest request of the lowest-priority
@@ -262,6 +350,10 @@ class AdmissionQueue:
         """
         tenant: Tenant = request.tenant
         slo_class = tenant.slo_class
+        if tenant.bucket is not None:
+            if not tenant.bucket.try_take(self.clock() if now is None else now):
+                tenant.stats.rate_limited += 1
+                return False, "rate_limited", []
         if tenant.stats.in_flight >= slo_class.max_in_flight:
             tenant.stats.rejected += 1
             return False, "over_capacity", []

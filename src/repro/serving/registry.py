@@ -6,17 +6,31 @@ each re-loaded (or worse, re-fitted) a system per invocation;
 :class:`ModelRegistry` wraps :mod:`repro.core.persistence` with an
 in-process cache so repeated lookups of the same checkpoint are free and
 hot systems stay resident under a bounded capacity.
+
+The registry also hands out **shareable weight arenas**
+(:meth:`arena` / :meth:`arena_for`): flat mmap-ready bundles exported
+once per cached system and keyed exactly like the system cache, so a
+:class:`~repro.serving.backends.ProcessPoolBackend`'s workers attach the
+same physical weights the parent serves — and a hot-reloaded checkpoint
+gets a fresh arena automatically when its cache entry turns over.
 """
 
 from __future__ import annotations
 
 import os
 import pathlib
+import shutil
+import tempfile
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable
 
-from repro.core.persistence import MANIFEST_NAME, load_system, save_system
+from repro.core.persistence import (
+    MANIFEST_NAME,
+    export_flat,
+    load_system,
+    save_system,
+)
 from repro.core.pipeline import GesturePrint
 
 
@@ -30,6 +44,7 @@ class RegistryStats:
     loads: int = 0
     saves: int = 0
     fits: int = 0
+    arena_exports: int = 0
 
 
 class ModelRegistry:
@@ -51,6 +66,15 @@ class ModelRegistry:
         self._cache: OrderedDict[str, GesturePrint] = OrderedDict()
         #: Manifest mtime (ns) per path-keyed entry, for staleness checks.
         self._mtimes: dict[str, int] = {}
+        #: key -> (system, bundle dir) of exported weight arenas; the
+        #: system reference pins identity so a reloaded checkpoint (new
+        #: object, same key) re-exports instead of serving stale weights.
+        self._arenas: dict[str, tuple[GesturePrint, str]] = {}
+        #: key -> the superseded bundle, kept one swap long (airborne
+        #: batches may still attach to it) and deleted on the next
+        #: export so repeated hot reloads don't leak weight copies.
+        self._retired_arenas: dict[str, str] = {}
+        self._arena_root: tempfile.TemporaryDirectory | None = None
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -84,22 +108,83 @@ class ModelRegistry:
         if system.gesture_model is None:
             raise ValueError("refusing to cache an unfitted system")
         key = str(key)
+        arena = self._arenas.get(key)
+        if arena is not None and arena[0] is not system:
+            self._retire_arena(key)  # key now names different weights
         self._cache[key] = system
         self._cache.move_to_end(key)
         while len(self._cache) > self.capacity:
             evicted, _ = self._cache.popitem(last=False)
             self._mtimes.pop(evicted, None)
+            self._arenas.pop(evicted, None)
             self.stats.evictions += 1
         return system
 
     def evict(self, key: str) -> bool:
         """Drop ``key`` from the cache; True if it was resident."""
         self._mtimes.pop(str(key), None)
+        self._arenas.pop(str(key), None)
         return self._cache.pop(str(key), None) is not None
 
     def clear(self) -> None:
         self._cache.clear()
         self._mtimes.clear()
+        self._arenas.clear()
+
+    # ------------------------------------------------------------------
+    # Shareable weight arenas (mmap bundles for process backends)
+    # ------------------------------------------------------------------
+    def _retire_arena(self, key: str) -> None:
+        """Demote ``key``'s current bundle to retired (one-swap grace:
+        batches dispatched just before the turnover may still attach to
+        it) and delete whatever it displaces."""
+        entry = self._arenas.pop(key, None)
+        if entry is None:
+            return
+        displaced = self._retired_arenas.pop(key, None)
+        if displaced is not None:
+            shutil.rmtree(displaced, ignore_errors=True)
+        self._retired_arenas[key] = entry[1]
+
+    def arena_for(self, key: str, system: GesturePrint) -> str:
+        """The flat weight bundle for ``system``, cached under ``key``.
+
+        Exports once per (key, system identity) into a registry-owned
+        temporary directory; a later call with the same key but a
+        *different* system object (a hot reload) re-exports, so workers
+        attached to the old bundle drain out while new submissions name
+        the new weights.  Each key keeps the current bundle plus the one
+        it superseded (batches dispatched just before the swap may still
+        attach to it); anything older is deleted on the next export, so
+        a long-running server reloading daily does not accumulate weight
+        copies in its temp directory.
+        """
+        key = str(key)
+        entry = self._arenas.get(key)
+        if entry is not None and entry[0] is system:
+            return entry[1]
+        if entry is not None:
+            self._retire_arena(key)
+        if self._arena_root is None:
+            self._arena_root = tempfile.TemporaryDirectory(prefix="repro-registry-")
+        bundle = os.path.join(
+            self._arena_root.name, f"arena-{self.stats.arena_exports}"
+        )
+        export_flat(system, bundle)
+        self.stats.arena_exports += 1
+        self._arenas[key] = (system, bundle)
+        return bundle
+
+    def arena(self, directory: str | os.PathLike) -> str:
+        """The flat weight bundle for the checkpoint at ``directory``.
+
+        Loads (or reuses) the cached system, then hands out its arena
+        keyed by the resolved checkpoint path — so an overwritten
+        checkpoint picked up by :meth:`load` transparently yields a new
+        bundle on the next call.
+        """
+        system = self.load(directory)
+        return self.arena_for(self._path_key(directory), system)
 
     # ------------------------------------------------------------------
     @staticmethod

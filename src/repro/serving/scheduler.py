@@ -29,6 +29,18 @@ The scheduler is a pure policy object: it never touches the queue and
 has no threads.  The engine consults :meth:`should_flush` on every
 ``submit``/``poll`` and reports measurements back through
 :meth:`observe_batch` / :meth:`record_queue_latency`.
+
+Backend honesty: with a pooled execution backend
+(:mod:`repro.serving.backends`), a batch's latency is no longer just its
+forward pass — it queues in the executor behind other airborne batches
+and crosses a thread or process boundary.  The engine therefore feeds
+:meth:`observe_batch` the **submit-to-landing wall time** of the backend
+it actually runs on (plus the worker-measured pure execution time via
+``service_s``), so the EWMA model amortises the *whole* pipeline: the
+adaptive limit prices executor queueing into its budget, the p95 margin
+controller reacts to tail latency the clients really see, and swapping
+backends re-learns the new cost profile within a few batches.
+:meth:`bind_backend` records which backend the observations describe.
 """
 
 from __future__ import annotations
@@ -150,6 +162,7 @@ class BatchScheduler:
         self.ewma_alpha = ewma_alpha
         self.safety = safety
         self.margin_s = margin_ms / 1e3
+        self._initial_margin_s = self.margin_s
         self.adapt_margin = adapt_margin
         self.margin_bounds_s = (margin_bounds_ms[0] / 1e3, margin_bounds_ms[1] / 1e3)
         self.margin_target = margin_target
@@ -161,6 +174,12 @@ class BatchScheduler:
         # EW moments of (batch_size, latency) for the linear model.
         self._mx = self._my = self._mxx = self._mxy = 0.0
         self._fitted = False
+        #: Execution backend the latency observations describe.
+        self.backend_name: str | None = None
+        self.backend_slots: int = 1
+        # EWMA of executor wait (submit-to-landing minus pure execution).
+        self._mwait = 0.0
+        self._wait_fitted = False
 
     # ------------------------------------------------------------------
     @property
@@ -234,10 +253,50 @@ class BatchScheduler:
         return False
 
     # ------------------------------------------------------------------
-    def observe_batch(self, batch_size: int, latency_s: float) -> None:
-        """Feed one executed batch's measured latency into the model."""
+    def bind_backend(self, name: str, slots: int = 1) -> None:
+        """Record which execution backend the observations describe.
+
+        Called by the engine at construction.  If the backend actually
+        *changes* (a different name than previously bound), the whole
+        learned state is reset — the EWMA latency model, the p95
+        queue-latency window, and an adapted safety margin: costs and
+        tails learned on one backend — e.g. the inline path's zero
+        queueing — would misprice the next.
+        """
+        if self.backend_name is not None and self.backend_name != name:
+            self._mx = self._my = self._mxx = self._mxy = 0.0
+            self._fitted = False
+            self._mwait = 0.0
+            self._wait_fitted = False
+            self.stats.queue_window.clear()
+            self._since_adapt = 0
+            self.margin_s = self._initial_margin_s
+        self.backend_name = name
+        self.backend_slots = max(int(slots), 1)
+
+    def observe_batch(
+        self,
+        batch_size: int,
+        latency_s: float,
+        *,
+        service_s: float | None = None,
+    ) -> None:
+        """Feed one executed batch's measured latency into the model.
+
+        ``latency_s`` is the submit-to-landing wall time on the engine's
+        backend (execution *plus* executor queueing); ``service_s``, when
+        the backend reports it, is the pure forward-pass time measured
+        where it ran — the difference is tracked as the executor wait
+        (see ``executor_wait_ms`` in :meth:`snapshot`).
+        """
         if batch_size < 1 or latency_s < 0.0:
             return
+        if service_s is not None:
+            wait = max(latency_s - service_s, 0.0)
+            if not self._wait_fitted:
+                self._mwait, self._wait_fitted = wait, True
+            else:
+                self._mwait += self.ewma_alpha * (wait - self._mwait)
         a = self.ewma_alpha
         if not self._fitted:
             self._mx, self._my = float(batch_size), float(latency_s)
@@ -309,6 +368,9 @@ class BatchScheduler:
         overhead, per_sample = self._model()
         return {
             "slo_ms": self.slo_ms,
+            "backend": self.backend_name,
+            "backend_slots": self.backend_slots,
+            "executor_wait_ms": self._mwait * 1e3 if self._wait_fitted else None,
             "batch_limit": self.batch_limit,
             "overhead_ms": overhead * 1e3,
             "per_sample_ms": per_sample * 1e3,

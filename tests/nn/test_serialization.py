@@ -1,4 +1,4 @@
-"""Tests for weight save/load round trips."""
+"""Tests for weight save/load round trips (.npz and flat mmap arenas)."""
 
 import numpy as np
 import pytest
@@ -6,6 +6,7 @@ import pytest
 from repro.core.gesidnet import GesIDNet, GesIDNetConfig
 from repro.nn import Linear, ReLU, Sequential, load_state, save_state
 from repro.nn.layers import BatchNorm
+from repro.nn.serialization import load_flat_mmap, pack_flat
 
 
 def test_round_trip_simple(tmp_path):
@@ -64,3 +65,79 @@ def test_missing_parameter_raises(tmp_path):
     bigger = Sequential(Linear(2, 2, rng=np.random.default_rng(0)), Linear(2, 2, rng=np.random.default_rng(1)))
     with pytest.raises(ValueError):
         load_state(bigger, path)
+
+
+class TestFlatArena:
+    """pack_flat / load_flat_mmap: one contiguous float64 mmap arena."""
+
+    def test_round_trip_byte_identical(self, tmp_path):
+        cfg = GesIDNetConfig.small()
+        model = GesIDNet(4, cfg, rng=np.random.default_rng(0))
+        x = np.random.default_rng(1).normal(size=(3, cfg.num_points, 8))
+        model(x)  # populate batch-norm running stats
+        model.eval()
+        reference, _ = model(x)
+        arena_path = tmp_path / "weights.arena"
+        manifest = pack_flat(model, arena_path)
+        assert manifest["elements"] > 0
+        assert (tmp_path / "weights.arena.json").exists()
+        clone = GesIDNet(4, cfg, rng=np.random.default_rng(9))
+        load_flat_mmap(clone, arena_path)
+        clone.eval()
+        restored, _ = clone(x)
+        # Bit-exact, not just close: mmap'd weights are the same bytes.
+        assert np.array_equal(restored, reference)
+
+    def test_attached_weights_are_readonly_views(self, tmp_path):
+        model = Sequential(Linear(4, 8, rng=np.random.default_rng(0)))
+        arena_path = tmp_path / "w.arena"
+        pack_flat(model, arena_path)
+        clone = Sequential(Linear(4, 8, rng=np.random.default_rng(5)))
+        arena = load_flat_mmap(clone, arena_path)
+        param = clone[0].weight
+        assert isinstance(param.data, np.memmap)
+        assert np.shares_memory(param.data, arena)
+        with pytest.raises((ValueError, OSError)):
+            param.data[0, 0] = 1.0  # read-only mapping
+        param.grad[:] = 1.0  # gradients stay writable
+
+    def test_buffers_attach_as_views(self, tmp_path):
+        model = Sequential(Linear(3, 3, rng=np.random.default_rng(0)), BatchNorm(3))
+        model(np.random.default_rng(1).normal(2.0, 1.0, size=(32, 3)))
+        arena_path = tmp_path / "bn.arena"
+        pack_flat(model, arena_path)
+        clone = Sequential(Linear(3, 3, rng=np.random.default_rng(5)), BatchNorm(3))
+        arena = load_flat_mmap(clone, arena_path)
+        assert np.array_equal(clone[1].running_mean, model[1].running_mean)
+        assert np.array_equal(clone[1].running_var, model[1].running_var)
+        assert np.shares_memory(clone[1].running_mean, arena)
+
+    def test_shape_mismatch_raises(self, tmp_path):
+        model = Sequential(Linear(4, 2, rng=np.random.default_rng(0)))
+        arena_path = tmp_path / "w.arena"
+        pack_flat(model, arena_path)
+        wrong = Sequential(Linear(4, 3, rng=np.random.default_rng(0)))
+        with pytest.raises(ValueError, match="shape mismatch"):
+            load_flat_mmap(wrong, arena_path)
+
+    def test_missing_parameter_raises(self, tmp_path):
+        small = Sequential(Linear(2, 2, rng=np.random.default_rng(0)))
+        arena_path = tmp_path / "w.arena"
+        pack_flat(small, arena_path)
+        bigger = Sequential(
+            Linear(2, 2, rng=np.random.default_rng(0)),
+            Linear(2, 2, rng=np.random.default_rng(1)),
+        )
+        with pytest.raises(ValueError, match="missing parameters"):
+            load_flat_mmap(bigger, arena_path)
+
+    def test_shared_arena_array_needs_manifest(self, tmp_path):
+        model = Sequential(Linear(2, 2, rng=np.random.default_rng(0)))
+        arena_path = tmp_path / "w.arena"
+        manifest = pack_flat(model, arena_path)
+        arena = np.memmap(arena_path, dtype="<f8", mode="r")
+        with pytest.raises(ValueError, match="manifest"):
+            load_flat_mmap(model, arena)
+        clone = Sequential(Linear(2, 2, rng=np.random.default_rng(7)))
+        load_flat_mmap(clone, arena, manifest=manifest)
+        assert np.array_equal(clone[0].weight.data, model[0].weight.data)

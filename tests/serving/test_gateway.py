@@ -195,6 +195,56 @@ class TestFidelity:
                 assert good.gesture >= 0
 
 
+class TestPooledBackends:
+    """The gateway over thread/process pools: overlap without drift."""
+
+    def test_thread_backend_results_byte_identical(self, fitted, toy_data):
+        from repro.serving import ThreadPoolBackend
+
+        reference = InferenceEngine(fitted)
+        samples = _samples(toy_data, 12, seed=7)
+        with ThreadPoolBackend(workers=2) as backend:
+            server = GatewayServer(fitted, backend=backend)
+            with BackgroundGateway(server) as (host, port):
+                with GatewayClient(host, port, tenant="edge-0") as client:
+                    ids = [client.submit(sample) for sample in samples]
+                    outcomes = client.collect_all(ids)
+                    stats = client.stats()
+            for request_id, sample in zip(ids, samples):
+                wire = outcomes[request_id]
+                assert not isinstance(wire, GatewayError)
+                local = reference.predict_one(protocol.quantise_sample(sample))
+                assert np.array_equal(wire.gesture_probs, local.gesture_probs)
+                assert np.array_equal(wire.user_probs, local.user_probs)
+        assert stats["engine"]["backend"]["name"] == "thread"
+        assert stats["engine"]["in_flight"] == 0
+        assert stats["scheduler"]["backend"] == "thread"
+
+    def test_rate_limited_submit_gets_distinct_code(self, fitted, toy_data):
+        samples = _samples(toy_data, 4, seed=9)
+        tenants = TenantDirectory(
+            classes={
+                "metered": SLOClass(
+                    "metered", priority=0, slo_ms=50.0,
+                    rate_per_s=0.001, burst=2.0,  # two tokens, then dry
+                )
+            },
+            default_class="metered",
+        )
+        server = GatewayServer(fitted, tenants=tenants)
+        with BackgroundGateway(server) as (host, port):
+            with GatewayClient(host, port, tenant="edge-0") as client:
+                assert client.classify(samples[0], deadline_ms=0.0)
+                assert client.classify(samples[1], deadline_ms=0.0)
+                with pytest.raises(GatewayError) as excinfo:
+                    client.classify(samples[2], deadline_ms=0.0)
+                assert excinfo.value.code == "rate_limited"
+                stats = client.stats()
+        assert stats["gateway"]["rate_limited"] == 1
+        assert stats["tenants"]["edge-0"]["rate_limited"] == 1
+        assert stats["tenants"]["edge-0"]["delivered"] == 2
+
+
 class TestOverload:
     def test_batch_class_sheds_premium_survives(self, fitted, toy_data):
         """A batch flood into a tiny admission room sheds batch requests

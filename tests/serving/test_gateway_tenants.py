@@ -9,6 +9,7 @@ from repro.serving.gateway.tenants import (
     SLOClass,
     Tenant,
     TenantDirectory,
+    TokenBucket,
     default_classes,
 )
 
@@ -186,6 +187,96 @@ class TestAdmissionQueue:
         admitted, code, _ = room.offer(_Request(vip, "p4"))
         assert not admitted and code == "queue_full"
         assert vip.stats.rejected == 1
+
+    def test_rate_limit_rejects_ahead_of_in_flight_caps(self):
+        """An empty bucket rejects with the distinct ``rate_limited``
+        code before capacity is even consulted — rate is a contract on
+        offered load, not on queue room."""
+        directory = TenantDirectory(
+            classes={
+                "metered": SLOClass(
+                    "metered", priority=0, max_in_flight=64,
+                    rate_per_s=10.0, burst=2.0,
+                )
+            },
+            default_class="metered",
+        )
+        room = AdmissionQueue(directory.classes.values(), queue_limit=64)
+        tenant = directory.resolve("edge-1")
+        assert room.offer(_Request(tenant, "a"), now=0.0)[0]
+        assert room.offer(_Request(tenant, "b"), now=0.0)[0]  # burst spent
+        admitted, code, victims = room.offer(_Request(tenant, "c"), now=0.0)
+        assert not admitted and code == "rate_limited" and victims == []
+        assert tenant.stats.rate_limited == 1
+        assert tenant.stats.rejected == 0  # distinct from capacity codes
+        assert tenant.stats.in_flight == 2  # nothing burned by the reject
+        # 10 tokens/s: 0.1 s buys exactly one more admission.
+        assert room.offer(_Request(tenant, "d"), now=0.1)[0]
+        assert not room.offer(_Request(tenant, "e"), now=0.1)[0]
+
+    def test_rate_limited_tenants_are_isolated(self):
+        """Buckets are per tenant: one tenant blowing its rate does not
+        debit a well-behaved neighbour in the same class."""
+        directory = TenantDirectory(
+            classes={
+                "metered": SLOClass("metered", priority=0, rate_per_s=5.0, burst=1.0)
+            },
+            default_class="metered",
+        )
+        room = AdmissionQueue(directory.classes.values(), queue_limit=64)
+        noisy, quiet = directory.resolve("noisy"), directory.resolve("quiet")
+        assert room.offer(_Request(noisy, "n0"), now=0.0)[0]
+        assert room.offer(_Request(noisy, "n1"), now=0.0)[0] is False
+        assert room.offer(_Request(quiet, "q0"), now=0.0)[0]
+
+    def test_unmetered_class_has_no_bucket(self):
+        directory = _directory()
+        assert directory.resolve("vip").bucket is None
+
+    def test_from_config_rate_fields(self):
+        directory = TenantDirectory.from_config(
+            {
+                "classes": {
+                    "batch": {"rate_per_s": 50, "burst": 20},
+                    "free": {"priority": 9, "rate_per_s": 2},
+                },
+                "tenants": {"bulk": "batch", "guest": "free"},
+            }
+        )
+        bulk = directory.resolve("bulk")
+        assert bulk.slo_class.rate_per_s == 50 and bulk.slo_class.burst == 20
+        assert bulk.bucket is not None and bulk.bucket.burst == 20
+        # burst defaults to one second's worth of tokens (floor 1).
+        assert directory.resolve("guest").bucket.burst == 2.0
+        assert directory.resolve("bulk").slo_class.sheddable  # stock kept
+
+    def test_bucket_validation(self):
+        with pytest.raises(ValueError):
+            TokenBucket(0.0, 1.0)
+        with pytest.raises(ValueError):
+            TokenBucket(1.0, 0.5)
+        with pytest.raises(ValueError):
+            SLOClass("x", priority=0, rate_per_s=-1.0)
+        with pytest.raises(ValueError):
+            SLOClass("x", priority=0, burst=4.0)  # burst without a rate
+
+    def test_bucket_refill_caps_at_burst(self):
+        bucket = TokenBucket(rate_per_s=10.0, burst=3.0)
+        for _ in range(3):
+            assert bucket.try_take(0.0)
+        assert not bucket.try_take(0.0)
+        assert bucket.try_take(100.0)  # long idle refills to burst, not more
+        assert bucket.try_take(100.0)
+        assert bucket.try_take(100.0)
+        assert not bucket.try_take(100.0)
+
+    def test_bucket_ignores_clock_regression(self):
+        """A request timestamped earlier than the last one (reordered
+        arrivals) must not mint negative refill."""
+        bucket = TokenBucket(rate_per_s=1.0, burst=1.0)
+        assert bucket.try_take(10.0)
+        assert not bucket.try_take(5.0)  # earlier timestamp: no refill
+        assert bucket.try_take(11.0)
 
     def test_purge_releases_in_flight(self):
         directory = _directory()
