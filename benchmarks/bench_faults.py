@@ -1,0 +1,311 @@
+"""Chaos frontier: SIGKILL a worker mid-load, measure the self-healing.
+
+PR 4's process pool died ugly: a crashed spawned worker failed its
+batch's tickets and was never replaced, and every hot reload leaked one
+mmap bundle until registry teardown.  This bench drives the supervised
+pool through both failure modes and asserts the healing, not just the
+happy path:
+
+* **Crash phase** — a steady request stream runs over a 2-worker pool;
+  one worker is SIGKILLed from outside mid-load.  Invariants asserted
+  *unconditionally*: zero lost tickets (the airborne batch is
+  redispatched to the healthy worker), zero duplicated deliveries, the
+  dead worker respawned back to full pool strength, and post-recovery
+  results byte-identical to an in-process ``predict_one``.
+* **Arena-GC phase** — a registry-backed pool hot-swaps between two
+  checkpoints repeatedly; superseded weight bundles must be *actually
+  unlinked* (refcounts: airborne batches + worker attachments) and the
+  live-arena count stay bounded instead of growing one per swap.
+
+**The p95-blip bound** (crash recovery must not smear the whole run's
+tail) is asserted in strict mode only (``BENCH_FAULTS_STRICT`` unset or
+``1`` *and* >= ``MIN_STRICT_CORES`` usable cores) — on a starved shared
+runner the baseline p95 is noise before any fault is injected.  Smoke
+mode (``BENCH_FAULTS_STRICT=0``, the CI setting) still runs both phases
+end-to-end and records the measured numbers in
+``benchmarks/results/bench_faults.json``.
+"""
+
+import json
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks.common import (
+    RESULTS_DIR,
+    cached_fitted_system,
+    cached_selfcollected,
+    emit,
+    format_row,
+)
+from repro.serving import (
+    BatchScheduler,
+    InferenceEngine,
+    ModelRegistry,
+    ProcessPoolBackend,
+)
+
+WORKERS = 2
+HEARTBEAT_MS = 50.0
+SLO_MS = 50.0
+MAX_BATCH = 16
+TOTAL_REQUESTS = 120
+KILL_AT = TOTAL_REQUESTS // 3
+NUM_SWAPS = 8
+FIDELITY_EVENTS = 6
+#: Acceptance bar (strict mode): one crash recovery may blip the tail,
+#: but the run's p95 must stay an order of magnitude under "retry after
+#: a visible stall" territory.
+MAX_P95_MS = 500.0
+MAX_LIVE_ARENAS = 3
+MIN_STRICT_CORES = 4
+
+
+def _usable_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+def _strict() -> bool:
+    return (
+        os.environ.get("BENCH_FAULTS_STRICT", "1") != "0"
+        and _usable_cores() >= MIN_STRICT_CORES
+    )
+
+
+def _samples(count: int, seed: int = 5) -> np.ndarray:
+    dataset = cached_selfcollected()
+    rng = np.random.default_rng(seed)
+    return dataset.inputs[rng.integers(0, dataset.num_samples, size=count)]
+
+
+def _wait_until(predicate, timeout_s: float, what: str) -> float:
+    start = time.monotonic()
+    while not predicate():
+        assert time.monotonic() - start < timeout_s, f"timed out: {what}"
+        time.sleep(0.02)
+    return time.monotonic() - start
+
+
+def _kill_one_worker(backend: ProcessPoolBackend) -> dict:
+    """SIGKILL a worker with a batch provably airborne on it.
+
+    Preferred: catch a worker mid-batch and ``os.kill`` it from outside
+    (the honest chaos).  If the load happens to gap (slow single-core
+    host), arm the backend's fault injector instead: the next batch's
+    worker SIGKILLs itself the instant the batch arrives — either way
+    the crash is mid-batch, so the redispatch path is always exercised.
+    """
+    deadline = time.monotonic() + 0.5
+    while time.monotonic() < deadline:
+        rows = backend.describe()["worker_health"]
+        busy = [row for row in rows if row["alive"] and row["busy"]]
+        if busy:
+            os.kill(busy[0]["pid"], signal.SIGKILL)
+            return {"pid": busy[0]["pid"], "mode": "external_sigkill_busy"}
+        time.sleep(0.005)
+    pid = backend.inject_fault("die_in_task")
+    return {"pid": pid, "mode": "injected_sigkill_on_next_batch"}
+
+
+def _phase_crash(system) -> dict:
+    samples = _samples(TOTAL_REQUESTS)
+    scheduler = BatchScheduler(slo_ms=SLO_MS, max_batch=MAX_BATCH)
+    backend = ProcessPoolBackend(
+        workers=WORKERS, heartbeat_ms=HEARTBEAT_MS, max_respawns=4
+    )
+    engine = InferenceEngine(
+        system, max_batch_size=MAX_BATCH, scheduler=scheduler, backend=backend
+    )
+    reference = InferenceEngine(system)
+    try:
+        engine.predict_many(samples[:4])  # spawn + attach off the clock
+        delivered: dict[int, int] = {}
+        failed: list[int] = []
+        latencies_ms: list[float] = []
+        kill_info = None
+        for index in range(TOTAL_REQUESTS):
+            submitted_at = engine.clock()
+
+            def on_result(_result, index=index, submitted_at=submitted_at):
+                delivered[index] = delivered.get(index, 0) + 1
+                latencies_ms.append((engine.clock() - submitted_at) * 1e3)
+
+            engine.submit(
+                samples[index],
+                deadline_ms=SLO_MS,
+                callback=on_result,
+                on_error=lambda _error, index=index: failed.append(index),
+            )
+            if index == KILL_AT:
+                kill_info = _kill_one_worker(backend)
+            engine.poll()
+            time.sleep(0.002)  # steady offered load, not one giant burst
+        engine.flush(raise_on_error=False)
+        recovery_s = _wait_until(
+            lambda: backend.describe()["alive_workers"] == WORKERS,
+            timeout_s=30.0,
+            what="pool back to full strength",
+        )
+        # Post-recovery fidelity: the healed pool must still be
+        # byte-identical to the in-process reference path.
+        fidelity = True
+        for sample in samples[:FIDELITY_EVENTS]:
+            healed = engine.predict_many(sample[None, ...])[0]
+            local = reference.predict_one(sample)
+            fidelity = fidelity and bool(
+                np.array_equal(healed.gesture_probs, local.gesture_probs)
+                and np.array_equal(healed.user_probs, local.user_probs)
+            )
+        health = backend.describe()
+        ordered = sorted(latencies_ms)
+        p95_index = max(int(np.ceil(0.95 * len(ordered))) - 1, 0)
+        return {
+            "requests": TOTAL_REQUESTS,
+            "delivered": sum(delivered.values()),
+            "duplicates": sum(1 for count in delivered.values() if count > 1),
+            "lost": TOTAL_REQUESTS - len(delivered) - len(failed),
+            "failed": len(failed),
+            "kill": kill_info,
+            "crashes": health["crashes"],
+            "respawns": health["respawns"],
+            "redispatches": health["redispatches"],
+            "retried_batches": engine.stats.retried_batches,
+            "recovery_s": round(recovery_s, 3),
+            "p95_ms": round(ordered[p95_index], 2) if ordered else None,
+            "max_ms": round(ordered[-1], 2) if ordered else None,
+            "fidelity_checked": FIDELITY_EVENTS,
+            "byte_identical": fidelity,
+        }
+    finally:
+        backend.close()
+
+
+def _phase_arena_gc(system_a, system_b) -> dict:
+    samples = _samples(8, seed=9)
+    registry = ModelRegistry()
+    exported: list[str] = []
+
+    def provider(system) -> str:
+        bundle = registry.arena_for("chaos-serve", system)
+        if bundle not in exported:
+            exported.append(bundle)
+        return bundle
+
+    backend = ProcessPoolBackend(
+        workers=WORKERS,
+        heartbeat_ms=HEARTBEAT_MS,
+        arena_provider=provider,
+        arena_refs=registry,
+    )
+    engine = InferenceEngine(system_a, backend=backend)
+    try:
+        engine.predict_many(samples[:2])
+        for swap in range(NUM_SWAPS):
+            engine.swap_system(system_b if swap % 2 == 0 else system_a)
+            engine.predict_many(samples[2:4])
+        final = system_b if (NUM_SWAPS - 1) % 2 == 0 else system_a
+        healed = engine.predict_many(samples[4:5])[0]
+        local = InferenceEngine(final).predict_one(samples[4])
+        fidelity = bool(
+            np.array_equal(healed.gesture_probs, local.gesture_probs)
+        )
+    finally:
+        backend.close()  # drops worker attachment pins -> final GC
+    snapshot = registry.snapshot()
+    surviving = [bundle for bundle in exported if os.path.exists(bundle)]
+    return {
+        "swaps": NUM_SWAPS,
+        "arena_exports": snapshot["arena_exports"],
+        "retired_arenas": snapshot["retired_arenas"],
+        "live_arenas": snapshot["live_arenas"],
+        "bundles_on_disk": len(surviving),
+        "byte_identical": fidelity,
+    }
+
+
+def _experiment() -> dict:
+    system_a = cached_fitted_system(epochs=4)
+    system_b = cached_fitted_system(epochs=2)
+    return {
+        "workers": WORKERS,
+        "heartbeat_ms": HEARTBEAT_MS,
+        "slo_ms": SLO_MS,
+        "usable_cores": _usable_cores(),
+        "strict": _strict(),
+        "crash": _phase_crash(system_a),
+        "arena_gc": _phase_arena_gc(system_a, system_b),
+    }
+
+
+def _report(results: dict) -> list[str]:
+    crash, gc = results["crash"], results["arena_gc"]
+    widths = (30, 16)
+    return [
+        f"Fault-injection frontier — {results['workers']} workers, "
+        f"SIGKILL at request {KILL_AT}/{crash['requests']}, "
+        f"{'strict' if results['strict'] else 'smoke'} mode",
+        format_row(("metric", "value"), widths),
+        format_row(("tickets lost / duplicated", f"{crash['lost']} / {crash['duplicates']}")
+                   , widths),
+        format_row(("crashes -> respawns", f"{crash['crashes']} -> {crash['respawns']}"), widths),
+        format_row(("batches redispatched", crash["redispatches"]), widths),
+        format_row(("recovery to full pool", f"{crash['recovery_s']*1e3:.0f} ms"), widths),
+        format_row(("p95 / max latency", f"{crash['p95_ms']} / {crash['max_ms']} ms"), widths),
+        format_row(("post-crash fidelity", "byte-identical" if crash["byte_identical"] else "DRIFTED"), widths),
+        format_row((f"arenas after {gc['swaps']} swaps",
+                    f"{gc['bundles_on_disk']} on disk / {gc['retired_arenas']} retired"), widths),
+    ]
+
+
+def _emit_json(results: dict) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "bench_faults.json").write_text(
+        json.dumps(results, indent=2) + "\n"
+    )
+
+
+def _check(results: dict) -> None:
+    crash, gc = results["crash"], results["arena_gc"]
+    # The healing invariants hold on any host, loaded or not.
+    assert crash["lost"] == 0, f"lost {crash['lost']} tickets"
+    assert crash["duplicates"] == 0, "a redispatched batch delivered twice"
+    assert crash["failed"] == 0, f"{crash['failed']} tickets failed instead of healing"
+    assert crash["crashes"] >= 1 and crash["respawns"] >= 1, "no crash/respawn observed"
+    assert crash["redispatches"] >= 1, (
+        "the crash was supposed to catch a batch airborne (redispatch path)"
+    )
+    assert crash["byte_identical"], "post-recovery results drifted"
+    assert gc["byte_identical"], "post-swap results drifted"
+    assert gc["arena_exports"] == NUM_SWAPS + 1
+    assert gc["retired_arenas"] >= NUM_SWAPS - MAX_LIVE_ARENAS, (
+        f"only {gc['retired_arenas']} bundles retired across {NUM_SWAPS} swaps"
+    )
+    assert gc["bundles_on_disk"] <= MAX_LIVE_ARENAS, (
+        f"{gc['bundles_on_disk']} weight bundles survive: arena GC leaked"
+    )
+    if results["strict"]:
+        assert crash["p95_ms"] is not None and crash["p95_ms"] <= MAX_P95_MS, (
+            f"p95 {crash['p95_ms']} ms: the crash blip smeared the tail "
+            f"(bound {MAX_P95_MS} ms)"
+        )
+
+
+@pytest.mark.benchmark(group="serving")
+def test_fault_injection_frontier(benchmark):
+    results = benchmark.pedantic(_experiment, rounds=1, iterations=1)
+    emit("faults_frontier", _report(results))
+    _emit_json(results)
+    _check(results)
+
+
+if __name__ == "__main__":
+    results = _experiment()
+    print("\n".join(_report(results)))
+    _emit_json(results)
+    _check(results)

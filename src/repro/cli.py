@@ -199,7 +199,11 @@ def _build_backend(args: argparse.Namespace):
     A process backend sources its weight arenas from the process-wide
     registry, so workers attach the same mmap bundle the registry
     exported for the checkpoint — and a hot reload (new system object
-    under the same key) re-exports automatically.
+    under the same key) re-exports automatically, while the backend's
+    refcounts (airborne batches + worker attachments) let the registry
+    garbage-collect the superseded bundle as soon as it drains.  The
+    pool is supervised: ``--heartbeat-ms`` paces the worker health
+    checks and ``--max-respawns`` budgets crash recovery.
     """
     import pathlib
 
@@ -211,6 +215,9 @@ def _build_backend(args: argparse.Namespace):
             "process",
             workers=args.workers,
             arena_provider=lambda system: REGISTRY.arena_for(key, system),
+            arena_refs=REGISTRY,
+            heartbeat_ms=args.heartbeat_ms,
+            max_respawns=args.max_respawns,
         )
     return create_backend(args.backend, workers=args.workers)
 
@@ -488,6 +495,16 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--workers", type=int, default=None,
                        help="worker count for --backend thread/process "
                             "(defaults: 2 threads / 4 processes)")
+    serve.add_argument("--heartbeat-ms", type=float, default=100.0,
+                       help="process-pool supervision: idle workers "
+                            "heartbeat at this interval; a silent or "
+                            "SIGKILLed worker is detected, its batch "
+                            "redispatched once, and a replacement spawned")
+    serve.add_argument("--max-respawns", type=int, default=8,
+                       help="lifetime worker-respawn budget for "
+                            "--backend process; past it the pool serves "
+                            "on survivors and fails cleanly when none "
+                            "remain")
     serve.add_argument("--slo-ms", type=float, default=None,
                        help="p95 span-close -> event-delivery latency target; "
                             "enables the deadline-aware scheduler")

@@ -33,6 +33,7 @@ from repro.serving.backends import (
     InlineBackend,
     ProcessPoolBackend,
     ThreadPoolBackend,
+    WorkerCrashError,
     create_backend,
 )
 from repro.serving.engine import EngineStats, InferenceEngine, SampleResult, Ticket
@@ -58,6 +59,7 @@ __all__ = [
     "InlineBackend",
     "ProcessPoolBackend",
     "ThreadPoolBackend",
+    "WorkerCrashError",
     "create_backend",
     "GatewayClient",
     "GatewayError",

@@ -12,7 +12,10 @@ where the forward pass actually runs is this package's concern:
   as a **read-only mmap'd weight arena** (see
   :func:`repro.core.persistence.export_flat`) instead of unpickling a
   copy, for true multi-core parallelism with one shared physical copy
-  of the weights.
+  of the weights.  The pool is **self-healing**: per-worker heartbeats,
+  crash/hang detection, exactly-once batch redispatch, and budgeted
+  respawn (:class:`WorkerCrashError` is the clean failure past the
+  budget).
 
 All three produce byte-identical posteriors to
 :meth:`InferenceEngine.predict_one` (enforced by
@@ -25,7 +28,7 @@ from repro.serving.backends.base import (
     create_backend,
 )
 from repro.serving.backends.inline import InlineBackend
-from repro.serving.backends.process import ProcessPoolBackend
+from repro.serving.backends.process import ProcessPoolBackend, WorkerCrashError
 from repro.serving.backends.threads import ThreadPoolBackend
 
 __all__ = [
@@ -34,5 +37,6 @@ __all__ = [
     "InlineBackend",
     "ThreadPoolBackend",
     "ProcessPoolBackend",
+    "WorkerCrashError",
     "create_backend",
 ]

@@ -14,6 +14,14 @@ not be blind to.
 Backends capture the ``system`` argument per call: a hot swap hands
 later submissions the new system while airborne batches keep the
 reference (and weights) they were submitted with.
+
+A *supervised* backend (the self-healing process pool) may complete a
+batch on a different worker than the one it first dispatched to: it
+stamps ``future.retried = True`` on any future it had to redispatch
+after a worker crash, and the engine excludes those batches from the
+scheduler's latency model (their wall time prices crash recovery, not
+the backend).  Futures without the attribute are treated as not
+retried, so plain backends need no change.
 """
 
 from __future__ import annotations

@@ -204,6 +204,10 @@ class EngineStats:
     failed_batches: int = 0
     swaps: int = 0
     dispatched_batches: int = 0
+    #: Batches that landed only after a crash redispatch (a supervised
+    #: backend moved them off a dead worker); their tickets delivered
+    #: normally, but the scheduler's latency model excluded them.
+    retried_batches: int = 0
 
     @property
     def mean_batch(self) -> float:
@@ -516,6 +520,11 @@ class InferenceEngine:
         """Resolve one landed batch's tickets (skipping cancelled ones)."""
         entries = flight.entries
         done = self._clock()
+        # A supervised backend stamps ``retried`` on futures it had to
+        # redispatch after a worker crash: the tickets deliver normally,
+        # but the batch's wall time prices crash recovery, not the
+        # backend — the scheduler must not learn from it.
+        retried = bool(getattr(flight.future, "retried", False))
         try:
             result, exec_s = flight.future.result()
         except Exception as error:  # poison batch: fail this group only
@@ -526,12 +535,20 @@ class InferenceEngine:
                 ticket._fail(error)
                 delivered.append(ticket)
             return error
+        if retried:
+            # Count only batches the redispatch actually saved: a retried
+            # batch whose second worker also died lands in the exception
+            # path above and is a failed batch, not a recovered one.
+            self.stats.retried_batches += 1
         if self.scheduler is not None:
             # Submit-to-landing wall time: execution *plus* executor
             # queueing, so the adaptive limit prices the backend it
             # actually runs on, not an idealised instant executor.
             self.scheduler.observe_batch(
-                len(entries), done - flight.dispatched, service_s=exec_s
+                len(entries),
+                done - flight.dispatched,
+                service_s=exec_s,
+                retried=retried,
             )
         self.stats.batches += 1
         self.stats.batched_samples += len(entries)

@@ -659,8 +659,13 @@ class GatewayServer:
                 "mean_batch": engine_stats.mean_batch,
                 "max_batch": engine_stats.max_batch,
                 "failed_batches": engine_stats.failed_batches,
+                "retried_batches": engine_stats.retried_batches,
                 "swaps": engine_stats.swaps,
                 "in_flight": self.engine.num_in_flight,
+                # A supervised process pool's describe() carries the
+                # per-worker health rows plus respawn/crash/redispatch
+                # counters, so a STATS frame answers "did we lose a
+                # worker, and did it heal?" remotely.
                 "backend": self.engine.backend.describe(),
             },
             "scheduler": scheduler.snapshot() if scheduler is not None else None,

@@ -13,6 +13,14 @@ once per cached system and keyed exactly like the system cache, so a
 :class:`~repro.serving.backends.ProcessPoolBackend`'s workers attach the
 same physical weights the parent serves — and a hot-reloaded checkpoint
 gets a fresh arena automatically when its cache entry turns over.
+
+Superseded arenas are **garbage collected**: consumers refcount each
+bundle (:meth:`addref_arena` / :meth:`decref_arena` — one pin per
+airborne batch, one per worker attachment), and a bundle displaced by a
+hot reload is deleted the moment its count drops to zero, so a
+long-lived server reloading daily holds a bounded number of weight
+copies instead of one per swap.  ``stats.retired_arenas`` counts actual
+deletions; :meth:`snapshot` summarises the GC state.
 """
 
 from __future__ import annotations
@@ -21,6 +29,7 @@ import os
 import pathlib
 import shutil
 import tempfile
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable
@@ -45,6 +54,9 @@ class RegistryStats:
     saves: int = 0
     fits: int = 0
     arena_exports: int = 0
+    #: Superseded weight bundles whose file + mapping were actually
+    #: deleted by the arena garbage collector.
+    retired_arenas: int = 0
 
 
 class ModelRegistry:
@@ -70,11 +82,26 @@ class ModelRegistry:
         #: system reference pins identity so a reloaded checkpoint (new
         #: object, same key) re-exports instead of serving stale weights.
         self._arenas: dict[str, tuple[GesturePrint, str]] = {}
-        #: key -> the superseded bundle, kept one swap long (airborne
-        #: batches may still attach to it) and deleted on the next
-        #: export so repeated hot reloads don't leak weight copies.
-        self._retired_arenas: dict[str, str] = {}
+        #: bundle -> refcount (airborne batches + attached workers);
+        #: see :meth:`addref_arena` — a superseded bundle is deleted the
+        #: moment its count drops to zero.
+        self._arena_refs: dict[str, int] = {}
+        #: Bundles that ever held a refcount: for them GC is exact; a
+        #: never-pinned bundle (no refcounting consumer attached) falls
+        #: back to the one-swap grace in ``_graced``.
+        self._arena_pinned: set[str] = set()
+        #: Superseded bundles still pinned by airborne batches/workers,
+        #: deleted by :meth:`decref_arena` when the last pin drops.
+        self._retire_pending: set[str] = set()
+        #: key -> superseded-but-never-pinned bundle, kept one swap long
+        #: (a consumer that doesn't track refs may still attach to it)
+        #: and deleted on the next turnover of the same key.
+        self._graced: dict[str, str] = {}
         self._arena_root: tempfile.TemporaryDirectory | None = None
+        #: Arena state is touched from serving threads (a supervised
+        #: process pool retains/releases from its supervisor thread
+        #: while the engine thread exports through ``arena_for``).
+        self._arena_lock = threading.RLock()
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -116,35 +143,83 @@ class ModelRegistry:
         while len(self._cache) > self.capacity:
             evicted, _ = self._cache.popitem(last=False)
             self._mtimes.pop(evicted, None)
-            self._arenas.pop(evicted, None)
+            self._retire_arena(evicted)
             self.stats.evictions += 1
         return system
 
     def evict(self, key: str) -> bool:
         """Drop ``key`` from the cache; True if it was resident."""
         self._mtimes.pop(str(key), None)
-        self._arenas.pop(str(key), None)
+        self._retire_arena(str(key))
         return self._cache.pop(str(key), None) is not None
 
     def clear(self) -> None:
         self._cache.clear()
         self._mtimes.clear()
-        self._arenas.clear()
+        for key in list(self._arenas):
+            self._retire_arena(key)
 
     # ------------------------------------------------------------------
     # Shareable weight arenas (mmap bundles for process backends)
     # ------------------------------------------------------------------
+    def addref_arena(self, bundle: str | os.PathLike) -> None:
+        """Pin a bundle: one airborne batch or one worker attachment.
+
+        A supervised :class:`~repro.serving.backends.ProcessPoolBackend`
+        wired with ``arena_refs=registry`` takes one ref per batch it
+        dispatches naming the bundle (released when the batch lands) and
+        one per worker modeled as having it mapped (released when the
+        worker's attach cache evicts it, or the worker dies).  While any
+        ref is held, a superseded bundle survives; the moment the count
+        drops to zero it is garbage collected (file + mapping).
+        """
+        bundle = os.fspath(bundle)
+        with self._arena_lock:
+            self._arena_refs[bundle] = self._arena_refs.get(bundle, 0) + 1
+            self._arena_pinned.add(bundle)
+
+    def decref_arena(self, bundle: str | os.PathLike) -> None:
+        """Drop one pin; deletes a superseded bundle at refcount zero."""
+        bundle = os.fspath(bundle)
+        with self._arena_lock:
+            count = self._arena_refs.get(bundle, 0) - 1
+            if count > 0:
+                self._arena_refs[bundle] = count
+                return
+            self._arena_refs.pop(bundle, None)
+            if bundle in self._retire_pending:
+                self._retire_pending.discard(bundle)
+                self._delete_bundle(bundle)
+
+    def _delete_bundle(self, bundle: str) -> None:
+        shutil.rmtree(bundle, ignore_errors=True)
+        self._arena_pinned.discard(bundle)
+        self.stats.retired_arenas += 1
+
     def _retire_arena(self, key: str) -> None:
-        """Demote ``key``'s current bundle to retired (one-swap grace:
-        batches dispatched just before the turnover may still attach to
-        it) and delete whatever it displaces."""
-        entry = self._arenas.pop(key, None)
-        if entry is None:
-            return
-        displaced = self._retired_arenas.pop(key, None)
-        if displaced is not None:
-            shutil.rmtree(displaced, ignore_errors=True)
-        self._retired_arenas[key] = entry[1]
+        """Supersede ``key``'s current bundle and garbage collect.
+
+        With refcounting engaged (the bundle was ever pinned) the bundle
+        is deleted as soon as — possibly immediately — its airborne
+        batches land and its workers let go.  A bundle no consumer ever
+        pinned gets the conservative one-swap grace instead: it survives
+        until the *next* turnover of the same key, so a non-refcounting
+        attacher racing the swap cannot lose its mapping.
+        """
+        with self._arena_lock:
+            entry = self._arenas.pop(key, None)
+            if entry is None:
+                return
+            bundle = entry[1]
+            if self._arena_refs.get(bundle, 0) > 0:
+                self._retire_pending.add(bundle)
+            elif bundle in self._arena_pinned:
+                self._delete_bundle(bundle)
+            else:
+                displaced = self._graced.pop(key, None)
+                if displaced is not None:
+                    self._delete_bundle(displaced)
+                self._graced[key] = bundle
 
     def arena_for(self, key: str, system: GesturePrint) -> str:
         """The flat weight bundle for ``system``, cached under ``key``.
@@ -160,19 +235,29 @@ class ModelRegistry:
         copies in its temp directory.
         """
         key = str(key)
-        entry = self._arenas.get(key)
-        if entry is not None and entry[0] is system:
-            return entry[1]
-        if entry is not None:
-            self._retire_arena(key)
-        if self._arena_root is None:
-            self._arena_root = tempfile.TemporaryDirectory(prefix="repro-registry-")
-        bundle = os.path.join(
-            self._arena_root.name, f"arena-{self.stats.arena_exports}"
-        )
+        with self._arena_lock:
+            entry = self._arenas.get(key)
+            if entry is not None and entry[0] is system:
+                return entry[1]
+            if entry is not None:
+                self._retire_arena(key)
+            if self._arena_root is None:
+                self._arena_root = tempfile.TemporaryDirectory(
+                    prefix="repro-registry-"
+                )
+            bundle = os.path.join(
+                self._arena_root.name, f"arena-{self.stats.arena_exports}"
+            )
+            self.stats.arena_exports += 1
+        # The export (full weight serialisation to disk) runs OUTSIDE the
+        # lock: a worker pool's supervisor calls decref_arena while
+        # holding its own pool lock, and stalling that on hundreds of ms
+        # of disk IO would freeze dispatch and crash detection.  Callers
+        # export from one serving thread (the engine's), so the
+        # reserved-path window cannot race another export of this key.
         export_flat(system, bundle)
-        self.stats.arena_exports += 1
-        self._arenas[key] = (system, bundle)
+        with self._arena_lock:
+            self._arenas[key] = (system, bundle)
         return bundle
 
     def arena(self, directory: str | os.PathLike) -> str:
@@ -185,6 +270,34 @@ class ModelRegistry:
         """
         system = self.load(directory)
         return self.arena_for(self._path_key(directory), system)
+
+    @property
+    def live_arenas(self) -> int:
+        """Bundles currently on disk: current exports + pinned retirees
+        + one-swap-graced (bounded: hot reloading forever cannot grow it
+        past current + what airborne work still pins)."""
+        with self._arena_lock:
+            return len(self._arenas) + len(self._retire_pending) + len(self._graced)
+
+    def snapshot(self) -> dict:
+        """Operational summary (cache effectiveness + arena GC state)."""
+        with self._arena_lock:
+            return {
+                "capacity": self.capacity,
+                "resident": len(self._cache),
+                "hits": self.stats.hits,
+                "misses": self.stats.misses,
+                "evictions": self.stats.evictions,
+                "loads": self.stats.loads,
+                "saves": self.stats.saves,
+                "fits": self.stats.fits,
+                "arena_exports": self.stats.arena_exports,
+                "retired_arenas": self.stats.retired_arenas,
+                "live_arenas": self.live_arenas,
+                "pinned_arenas": sum(
+                    1 for count in self._arena_refs.values() if count > 0
+                ),
+            }
 
     # ------------------------------------------------------------------
     @staticmethod

@@ -73,6 +73,10 @@ class SchedulerStats:
     depth_flushes: int = 0
     deadline_flushes: int = 0
     observed_batches: int = 0
+    #: Batches excluded from the latency model because a worker crash
+    #: forced a redispatch (their wall time prices the crash recovery,
+    #: not the backend's steady-state cost).
+    retried_batches: int = 0
     #: Safety-margin controller activity (see ``adapt_margin``).
     margin_widened: int = 0
     margin_narrowed: int = 0
@@ -280,6 +284,7 @@ class BatchScheduler:
         latency_s: float,
         *,
         service_s: float | None = None,
+        retried: bool = False,
     ) -> None:
         """Feed one executed batch's measured latency into the model.
 
@@ -288,8 +293,18 @@ class BatchScheduler:
         the backend reports it, is the pure forward-pass time measured
         where it ran — the difference is tracked as the executor wait
         (see ``executor_wait_ms`` in :meth:`snapshot`).
+
+        ``retried`` marks a batch that was redispatched after a worker
+        crash: its wall time includes crash detection, respawn, and the
+        second execution, none of which describe the backend's
+        steady-state cost — so it is counted but **excluded from the
+        EWMA model** (one crash must not poison the adaptive limit into
+        a panic spiral of tiny batches).
         """
         if batch_size < 1 or latency_s < 0.0:
+            return
+        if retried:
+            self.stats.retried_batches += 1
             return
         if service_s is not None:
             wait = max(latency_s - service_s, 0.0)
@@ -380,5 +395,6 @@ class BatchScheduler:
             "depth_flushes": self.stats.depth_flushes,
             "deadline_flushes": self.stats.deadline_flushes,
             "observed_batches": self.stats.observed_batches,
+            "retried_batches": self.stats.retried_batches,
             "queue_p95_ms": self.queue_p95_ms,
         }
