@@ -28,7 +28,6 @@ land in ``benchmarks/results/bench_gateway.json`` (a CI artifact).
 
 import asyncio
 import json
-import math
 import os
 import time
 
@@ -41,6 +40,7 @@ from benchmarks.common import (
     cached_selfcollected,
     emit,
     format_row,
+    percentile,
 )
 from repro.serving import BatchScheduler, InferenceEngine
 from repro.serving.gateway import (
@@ -104,11 +104,8 @@ def _server(system) -> GatewayServer:
 
 
 def _p95_ms(latencies_s: list[float]) -> float | None:
-    if not latencies_s:
-        return None
-    ordered = sorted(latencies_s)
-    rank = math.ceil(0.95 * len(ordered)) - 1
-    return ordered[max(rank, 0)] * 1e3
+    p95 = percentile(latencies_s, 95)
+    return None if p95 is None else p95 * 1e3
 
 
 # ----------------------------------------------------------------------

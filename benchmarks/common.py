@@ -13,6 +13,7 @@ leaves a complete record.
 from __future__ import annotations
 
 import functools
+import math
 import pathlib
 
 import numpy as np
@@ -148,6 +149,34 @@ def cached_fitted_system(
         )
 
     return BENCH_REGISTRY.get_or_fit(key, factory)
+
+
+def percentile(values, q: float) -> float | None:
+    """Nearest-rank percentile of ``values`` (None when empty).
+
+    The serving benches' shared tail metric: nearest-rank (not
+    interpolated) so a reported p99 is a latency some request actually
+    paid, and every bench ranks the same way.
+    """
+    ordered = sorted(values)
+    if not ordered:
+        return None
+    rank = math.ceil((q / 100.0) * len(ordered)) - 1
+    return float(ordered[max(rank, 0)])
+
+
+def latency_summary(values, *, scale: float = 1.0) -> dict:
+    """``{n, p50, p95, p99, max}`` of ``values`` scaled by ``scale``
+    (pass ``1e3`` for seconds -> milliseconds)."""
+    if not values:
+        return {"n": 0, "p50": None, "p95": None, "p99": None, "max": None}
+    return {
+        "n": len(values),
+        "p50": percentile(values, 50) * scale,
+        "p95": percentile(values, 95) * scale,
+        "p99": percentile(values, 99) * scale,
+        "max": float(max(values)) * scale,
+    }
 
 
 def run_once(benchmark, fn):

@@ -198,12 +198,14 @@ def _build_backend(args: argparse.Namespace):
 
     A process backend sources its weight arenas from the process-wide
     registry, so workers attach the same mmap bundle the registry
-    exported for the checkpoint — and a hot reload (new system object
-    under the same key) re-exports automatically, while the backend's
-    refcounts (airborne batches + worker attachments) let the registry
-    garbage-collect the superseded bundle as soon as it drains.  The
-    pool is supervised: ``--heartbeat-ms`` paces the worker health
-    checks and ``--max-respawns`` budgets crash recovery.
+    exported for the checkpoint — at the ``--precision`` storage dtype —
+    and a hot reload (new system object under the same key) re-exports
+    automatically, while the backend's refcounts (airborne batches +
+    worker attachments) let the registry garbage-collect the superseded
+    bundle as soon as it drains.  The pool is supervised:
+    ``--heartbeat-ms`` paces the worker health checks, ``--max-respawns``
+    budgets crash recovery, and ``--pin-cores`` pins workers round-robin
+    across the process's allowed CPUs.
     """
     import pathlib
 
@@ -211,15 +213,63 @@ def _build_backend(args: argparse.Namespace):
 
     if args.backend == "process":
         key = str(pathlib.Path(args.model_dir).resolve())
+        precision = args.precision
         return create_backend(
             "process",
             workers=args.workers,
-            arena_provider=lambda system: REGISTRY.arena_for(key, system),
+            arena_provider=lambda system: REGISTRY.arena_for(
+                key, system, precision=precision
+            ),
             arena_refs=REGISTRY,
             heartbeat_ms=args.heartbeat_ms,
             max_respawns=args.max_respawns,
+            precision=precision,
+            pin_cores=args.pin_cores,
         )
     return create_backend(args.backend, workers=args.workers)
+
+
+def _hedge_arg(text: str | None) -> float | str | None:
+    """``--hedge-ms`` spelling -> engine ``hedge_ms`` value."""
+    if text is None:
+        return None
+    if str(text).strip().lower() == "auto":
+        return "auto"
+    try:
+        return float(text)
+    except ValueError:
+        raise SystemExit(
+            f"error: --hedge-ms needs a number of milliseconds or 'auto', "
+            f"got {text!r}"
+        ) from None
+
+
+def _apply_serve_precision(args: argparse.Namespace, system):
+    """Fidelity-gate (and, for in-process backends, convert) the system.
+
+    ``--precision float32/int8`` must not silently serve a degraded
+    model: the converted candidate is compared against the float64
+    reference on a random probe batch and refused (FidelityError) if the
+    posterior drift exceeds the per-precision bound.  In-process
+    backends then serve the converted copy; a process backend keeps the
+    float64 master — its workers attach the reduced-precision arena the
+    registry exports, which the gate's candidate round-trips exactly.
+    """
+    if args.precision == "float64":
+        return system
+    from repro.serving.precision import (
+        apply_precision,
+        assert_fidelity,
+        fidelity_report,
+    )
+
+    candidate = apply_precision(system, args.precision)
+    channels = max(3, system.config.network.in_feature_channels)
+    rng = np.random.default_rng(args.seed)
+    probe = rng.standard_normal((16, 32, channels))
+    report = assert_fidelity(fidelity_report(system, candidate, probe))
+    print(json.dumps({"precision_gate": report.to_dict()}), flush=True)
+    return system if args.backend == "process" else candidate
 
 
 def _cmd_serve_gateway(args: argparse.Namespace) -> int:
@@ -243,7 +293,7 @@ def _cmd_serve_gateway(args: argparse.Namespace) -> int:
     if args.tenants:
         with open(args.tenants, encoding="utf-8") as handle:
             tenants = TenantDirectory.from_config(json.load(handle))
-    system = REGISTRY.load(args.model_dir)
+    system = _apply_serve_precision(args, REGISTRY.load(args.model_dir))
     slo_ms = args.slo_ms if args.slo_ms is not None else 50.0
     scheduler = BatchScheduler(
         slo_ms=slo_ms, max_batch=args.max_batch, adapt_margin=True
@@ -253,6 +303,7 @@ def _cmd_serve_gateway(args: argparse.Namespace) -> int:
         system,
         scheduler=scheduler,
         backend=backend,
+        hedge_ms=_hedge_arg(args.hedge_ms),
         tenants=tenants,
         max_batch_size=args.max_batch,
     )
@@ -321,7 +372,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.streams < 1:
         print("error: --streams must be >= 1", file=sys.stderr)
         return 2
-    system = REGISTRY.load(args.model_dir)
+    system = _apply_serve_precision(args, REGISTRY.load(args.model_dir))
     users = generate_users(args.streams, seed=args.user_seed)
     radar = FastRadar(IWR6843_CONFIG, seed=args.seed)
     gesture_names = sorted(ASL_GESTURES)
@@ -341,8 +392,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     # --adaptive-batch without an explicit target gets the default 50 ms
     # SLO: adaptation and deadline flushes are meaningless without a
     # budget, and a budget-less scheduler would defer events unboundedly.
+    # --hedge-ms auto pulls in the same default: its threshold is fitted
+    # from the scheduler's latency model, so hedging needs one attached.
     slo_ms = args.slo_ms
-    if args.adaptive_batch and slo_ms is None:
+    hedge_ms = _hedge_arg(args.hedge_ms)
+    if slo_ms is None and (args.adaptive_batch or hedge_ms == "auto"):
         slo_ms = 50.0
     scheduler = None
     if slo_ms is not None:
@@ -353,6 +407,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_batch_size=args.max_batch,
         scheduler=scheduler,
         backend=backend,
+        hedge_ms=hedge_ms,
     )
     hub = StreamHub(
         engine=engine,
@@ -505,6 +560,22 @@ def build_parser() -> argparse.ArgumentParser:
                             "--backend process; past it the pool serves "
                             "on survivors and fails cleanly when none "
                             "remain")
+    serve.add_argument("--precision", choices=["float64", "float32", "int8"],
+                       default="float64",
+                       help="serving weight precision: float32/int8 run the "
+                            "low-precision fast path (wire inputs are float32 "
+                            "anyway) behind a fidelity gate that refuses to "
+                            "serve a model whose posterior drift or EER delta "
+                            "exceeds the per-precision bound")
+    serve.add_argument("--hedge-ms", default=None, metavar="MS|auto",
+                       help="duplicate a batch to a second backend slot once "
+                            "it has been airborne this many ms; first result "
+                            "wins, the loser is cancelled; 'auto' derives the "
+                            "threshold from the scheduler's observed p95")
+    serve.add_argument("--pin-cores", action="store_true",
+                       help="--backend process: pin workers round-robin to "
+                            "the allowed CPUs (os.sched_setaffinity; no-op "
+                            "where unsupported)")
     serve.add_argument("--slo-ms", type=float, default=None,
                        help="p95 span-close -> event-delivery latency target; "
                             "enables the deadline-aware scheduler")

@@ -23,7 +23,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.nn.layers import Dropout, Linear, ReLU
-from repro.nn.module import Module, Parameter, Sequential
+from repro.nn.module import Module, Parameter, Sequential, as_compute
 from repro.nn.setabstraction import GlobalFeatureExtractor, MultiScaleSetAbstraction, ScaleSpec
 
 
@@ -126,8 +126,8 @@ class AttentionFusion(Module):
 
     def forward(self, resized: np.ndarray, native: np.ndarray) -> np.ndarray:
         """Fuse ``resized`` (the other level's feature) with ``native``."""
-        resized = np.asarray(resized, dtype=np.float64)
-        native = np.asarray(native, dtype=np.float64)
+        resized = as_compute(resized)
+        native = as_compute(native)
         if resized.shape != native.shape:
             raise ValueError("fusion inputs must share a shape")
         if not self.adaptive:
@@ -236,7 +236,7 @@ class GesIDNet(Module):
 
     # ------------------------------------------------------------------
     def forward(self, points: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-        points = np.asarray(points, dtype=np.float64)
+        points = as_compute(points)
         needed = max(3, self.config.in_feature_channels)
         if points.ndim != 3 or points.shape[2] < needed:
             raise ValueError(

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import mmap
 import os
 import pathlib
 
@@ -35,7 +36,7 @@ from repro.core.gesidnet import GesIDNet, GesIDNetConfig
 from repro.core.pipeline import GesturePrint, GesturePrintConfig, IdentificationMode
 from repro.core.trainer import TrainConfig
 from repro.nn.serialization import (
-    FLAT_DTYPE,
+    flat_dtype_for,
     load_flat_mmap,
     load_state,
     save_state,
@@ -174,29 +175,40 @@ def load_system(directory: str | os.PathLike) -> GesturePrint:
 # ----------------------------------------------------------------------
 # Flat bundle: one mmap-shareable weight arena for the whole system
 # ----------------------------------------------------------------------
-def export_flat(system: GesturePrint, directory: str | os.PathLike) -> pathlib.Path:
+def export_flat(
+    system: GesturePrint,
+    directory: str | os.PathLike,
+    *,
+    precision: str = "float64",
+) -> pathlib.Path:
     """Export a fitted system as a flat weight bundle for mmap sharing.
 
     Writes ``weights.arena`` (every model's parameters and buffers,
-    concatenated into one contiguous little-endian float64 arena) and
-    ``flat_manifest.json`` (the system manifest plus per-model arena
-    sections).  The manifest is written *last*, so a reader that finds
-    one never sees a truncated arena.  Returns the bundle directory.
+    concatenated into one contiguous little-endian arena in the storage
+    dtype of ``precision`` — float64 by default, float32 or int8 for the
+    low-precision serving fast path) and ``flat_manifest.json`` (the
+    system manifest plus per-model arena sections).  The manifest is
+    written *last*, so a reader that finds one never sees a truncated
+    arena.  Returns the bundle directory.
     """
     if system.gesture_model is None:
         raise ValueError("cannot export an unfitted system; call fit() first")
+    dtype = flat_dtype_for(precision)  # validates the precision name
     path = pathlib.Path(directory)
     path.mkdir(parents=True, exist_ok=True)
     sections: dict[str, dict] = {}
     offset = 0
     with open(path / FLAT_ARENA_NAME, "wb") as stream:
         for name, model in _model_items(system):
-            section = write_flat(model, stream, element_offset=offset)
+            section = write_flat(
+                model, stream, element_offset=offset, precision=precision
+            )
             sections[name] = section
             offset += section["elements"]
     manifest = _system_manifest(system)
     manifest["flat_version"] = FLAT_BUNDLE_VERSION
-    manifest["dtype"] = FLAT_DTYPE
+    manifest["dtype"] = dtype.str
+    manifest["precision"] = precision
     manifest["elements"] = offset
     manifest["sections"] = sections
     (path / FLAT_MANIFEST_NAME).write_text(json.dumps(manifest, indent=2))
@@ -208,8 +220,12 @@ def load_system_flat(directory: str | os.PathLike) -> GesturePrint:
 
     Every parameter and batch-norm buffer is a read-only view into one
     ``np.memmap`` of the bundle's arena, shared page-for-page with every
-    other process attached to the same bundle.  Predictions are
-    byte-identical to the exporting system's.
+    other process attached to the same bundle (int8 bundles dequantise
+    into private float32 copies — the shared mapping backs the 1-byte
+    codes).  A float64 bundle predicts byte-identically to the exporting
+    system; float32/int8 bundles are stamped with ``serve_precision`` so
+    :meth:`~repro.core.pipeline.GesturePrint.predict` runs its forwards
+    in float32.
     """
     path = pathlib.Path(directory)
     manifest_path = path / FLAT_MANIFEST_NAME
@@ -220,8 +236,9 @@ def load_system_flat(directory: str | os.PathLike) -> GesturePrint:
         raise ValueError(
             f"unsupported flat bundle version {manifest.get('flat_version')!r}"
         )
+    precision = manifest.get("precision", "float64")
     system, slots = _build_skeleton(manifest)
-    arena = np.memmap(path / FLAT_ARENA_NAME, dtype=FLAT_DTYPE, mode="r")
+    arena = np.memmap(path / FLAT_ARENA_NAME, dtype=flat_dtype_for(precision), mode="r")
     if arena.size != manifest["elements"]:
         raise ValueError(
             f"arena holds {arena.size} elements, manifest expects "
@@ -231,6 +248,34 @@ def load_system_flat(directory: str | os.PathLike) -> GesturePrint:
     for name, model in slots:
         if name not in sections:
             raise ValueError(f"flat bundle is missing section {name!r}")
-        load_flat_mmap(model, arena, manifest=sections[name])
+        load_flat_mmap(model, arena, manifest=sections[name], precision=precision)
         model.eval()
+    system.serve_precision = precision
     return system
+
+
+def prefetch_arena(directory: str | os.PathLike) -> int:
+    """Touch every page of a bundle's arena; returns pages touched.
+
+    A freshly respawned worker attaches the arena lazily: the mmap costs
+    nothing until the first forward pass walks the weights and pays one
+    major/minor page fault per 4 KiB — exactly on the critical path of
+    the first post-respawn batch.  Reading one byte per page here moves
+    that tax to attach time (off the request path) and populates the
+    page cache for every later attacher as a side effect.
+    """
+    path = pathlib.Path(directory) / FLAT_ARENA_NAME
+    size = path.stat().st_size
+    if size <= 0:
+        return 0
+    page = mmap.PAGESIZE
+    touched = 0
+    with open(path, "rb") as handle:
+        mapped = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+        try:
+            for start in range(0, size, page):
+                mapped[start]
+                touched += 1
+        finally:
+            mapped.close()
+    return touched

@@ -211,9 +211,21 @@ class GesturePrint:
             raise RuntimeError("call fit() before predicting")
 
     def predict(self, inputs: np.ndarray) -> PipelineResult:
-        """Recognise gestures and identify users for a batch of samples."""
+        """Recognise gestures and identify users for a batch of samples.
+
+        A system stamped with a low ``serve_precision`` (the float32 /
+        int8 arena fast path — see :mod:`repro.serving.precision`) runs
+        its forward passes in float32; the returned posteriors are
+        float64 in every mode, so downstream consumers and the gateway
+        wire format never change.
+        """
         self._require_fitted()
-        inputs = np.asarray(inputs, dtype=np.float64)
+        work_dtype = (
+            np.float32
+            if getattr(self, "serve_precision", None) in ("float32", "int8")
+            else np.float64
+        )
+        inputs = np.asarray(inputs, dtype=work_dtype)
         gesture_probs = predict_proba(self.gesture_model, inputs)
         gesture_pred = gesture_probs.argmax(axis=1)
 

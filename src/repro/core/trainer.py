@@ -14,6 +14,7 @@ import numpy as np
 
 from repro.core.gesidnet import GesIDNet
 from repro.nn.losses import CrossEntropyLoss, softmax_probabilities
+from repro.nn.module import as_compute
 from repro.nn.optim import Adam, StepLR
 
 
@@ -112,8 +113,13 @@ def train_classifier(
 
 
 def predict_proba(model: GesIDNet, inputs: np.ndarray, *, batch_size: int = 64) -> np.ndarray:
-    """Class probabilities from the primary head (inference path)."""
-    inputs = np.asarray(inputs, dtype=np.float64)
+    """Class probabilities from the primary head (inference path).
+
+    float32 inputs ride the low-precision fast path (the network keeps
+    them float32 end to end); softmax pins the returned probabilities
+    back to float64, so the wire format is unchanged either way.
+    """
+    inputs = as_compute(inputs)
     model.eval()
     chunks = []
     for start in range(0, inputs.shape[0], batch_size):

@@ -10,7 +10,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.nn.layers import BatchNorm, ReLU
-from repro.nn.module import Module, Parameter
+from repro.nn.module import as_compute, Module, Parameter
 
 
 class Conv1x1(Module):
@@ -34,7 +34,7 @@ class Conv1x1(Module):
         self._input: np.ndarray | None = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        x = np.asarray(x, dtype=np.float64)
+        x = as_compute(x)
         if x.ndim != 3 or x.shape[1] != self.in_channels:
             raise ValueError(
                 f"Conv1x1 expected (batch, {self.in_channels}, points), got {x.shape}"
@@ -94,7 +94,7 @@ class MaxPoolPoints(Module):
         self._cache: tuple[np.ndarray, tuple[int, ...]] | None = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        x = np.asarray(x, dtype=np.float64)
+        x = as_compute(x)
         if x.ndim != 3:
             raise ValueError(f"MaxPoolPoints expects 3-D input, got shape {x.shape}")
         argmax = x.argmax(axis=2)

@@ -8,7 +8,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.nn.module import Module, Parameter
+from repro.nn.module import as_compute, Module, Parameter
 
 
 def _im2col(x: np.ndarray, kernel: int, stride: int) -> tuple[np.ndarray, int, int]:
@@ -64,7 +64,7 @@ class Conv2d(Module):
         self._cache: dict | None = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        x = np.asarray(x, dtype=np.float64)
+        x = as_compute(x)
         if x.ndim != 4 or x.shape[1] != self.in_channels:
             raise ValueError(f"Conv2d expected (batch, {self.in_channels}, h, w), got {x.shape}")
         cols, out_h, out_w = _im2col(x, self.kernel_size, self.stride)
@@ -106,7 +106,7 @@ class MaxPool2d(Module):
         self._cache: dict | None = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        x = np.asarray(x, dtype=np.float64)
+        x = as_compute(x)
         batch, channels, height, width = x.shape
         p = self.pool
         out_h, out_w = height // p, width // p
@@ -145,7 +145,7 @@ class Flatten(Module):
         self._shape: tuple[int, ...] | None = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        x = np.asarray(x, dtype=np.float64)
+        x = as_compute(x)
         self._shape = x.shape
         return x.reshape(x.shape[0], -1)
 

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.nn.module import Module, Parameter
+from repro.nn.module import as_compute, Module, Parameter
 
 
 def _kaiming_uniform(rng: np.random.Generator, fan_in: int, shape: tuple[int, ...]) -> np.ndarray:
@@ -37,7 +37,7 @@ class Linear(Module):
         self._input: np.ndarray | None = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        x = np.asarray(x, dtype=np.float64)
+        x = as_compute(x)
         if x.ndim != 2 or x.shape[1] != self.in_features:
             raise ValueError(
                 f"Linear expected (batch, {self.in_features}), got {x.shape}"
@@ -87,7 +87,7 @@ class ReLU(Module):
         self._mask: np.ndarray | None = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        x = np.asarray(x, dtype=np.float64)
+        x = as_compute(x)
         self._mask = x > 0
         return x * self._mask
 
@@ -106,7 +106,7 @@ class LeakyReLU(Module):
         self._mask: np.ndarray | None = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        x = np.asarray(x, dtype=np.float64)
+        x = as_compute(x)
         self._mask = x > 0
         return np.where(self._mask, x, self.negative_slope * x)
 
@@ -128,7 +128,7 @@ class Dropout(Module):
         self._mask: np.ndarray | None = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        x = np.asarray(x, dtype=np.float64)
+        x = as_compute(x)
         if not self.training or self.rate == 0.0:
             self._mask = None
             return x
@@ -174,7 +174,7 @@ class BatchNorm(Module):
         return stats[None, :]
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        x = np.asarray(x, dtype=np.float64)
+        x = as_compute(x)
         axes = self._axes(x)
         if x.shape[1] != self.num_features:
             raise ValueError(
@@ -238,7 +238,7 @@ class Softmax(Module):
         self._output: np.ndarray | None = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        x = np.asarray(x, dtype=np.float64)
+        x = as_compute(x)
         shifted = x - x.max(axis=-1, keepdims=True)
         exp = np.exp(shifted)
         self._output = exp / exp.sum(axis=-1, keepdims=True)

@@ -7,6 +7,22 @@ from collections.abc import Iterator
 import numpy as np
 
 
+def as_compute(array) -> np.ndarray:
+    """Coerce a forward-pass input to the network's compute dtype.
+
+    float64 is the reference precision (row-stable kernels, the
+    byte-identical serving guarantee); float32 is the opt-in
+    low-precision fast path (:mod:`repro.serving.precision`): a float32
+    input passes through untouched so every intermediate stays float32
+    when the weights are float32 too.  Anything else — float64, ints,
+    lists — is pinned to float64 exactly as before, so training and the
+    default serving path are bit-for-bit unchanged.
+    """
+    if isinstance(array, np.ndarray) and array.dtype == np.float32:
+        return array
+    return np.asarray(array, dtype=np.float64)
+
+
 class Parameter:
     """A trainable tensor with an accumulated gradient."""
 

@@ -30,6 +30,25 @@ FLAT_FORMAT = "repro-flat"
 FLAT_VERSION = 1
 FLAT_DTYPE = "<f8"  # little-endian float64, the substrate's native dtype
 
+#: Storage dtype per arena precision.  ``float64`` is the bit-exact
+#: reference; ``float32`` halves the arena (and the page faults paid to
+#: attach it) and feeds the nn substrate's float32 fast path; ``int8``
+#: stores each entry as a per-entry affine quantisation (uint8 codes
+#: with a float ``scale``/``offset`` in the manifest) and dequantises to
+#: float32 copies at attach time.
+FLAT_PRECISIONS = {"float64": "<f8", "float32": "<f4", "int8": "|u1"}
+
+
+def flat_dtype_for(precision: str) -> np.dtype:
+    """Numpy storage dtype of a ``precision`` arena (raises on unknown)."""
+    try:
+        return np.dtype(FLAT_PRECISIONS[precision])
+    except KeyError:
+        raise ValueError(
+            f"unknown arena precision {precision!r}; "
+            f"expected one of {sorted(FLAT_PRECISIONS)}"
+        ) from None
+
 
 def save_state(module: Module, path: str | os.PathLike) -> None:
     """Persist all named parameters plus batch-norm running statistics."""
@@ -88,7 +107,11 @@ def flat_entries(module: Module) -> list[tuple[str, str, np.ndarray]]:
 
 
 def write_flat(
-    module: Module, stream: BinaryIO, *, element_offset: int = 0
+    module: Module,
+    stream: BinaryIO,
+    *,
+    element_offset: int = 0,
+    precision: str = "float64",
 ) -> dict:
     """Append one module's weights to an open arena stream.
 
@@ -96,15 +119,33 @@ def write_flat(
     element offset, shape) and the total ``elements`` written.  The
     caller threads ``element_offset`` so several modules can share one
     arena file (see :func:`repro.core.persistence.export_flat`).
+
+    ``precision`` selects the storage dtype (:data:`FLAT_PRECISIONS`).
+    ``int8`` quantises each entry with its own affine map — codes
+    ``q = round((x - offset) / scale)`` in [0, 255], with ``scale`` and
+    ``offset`` recorded on the entry — so one outlier tensor cannot
+    destroy the resolution of every other.
     """
+    dtype = flat_dtype_for(precision)
     entries: list[dict] = []
     offset = element_offset
     for kind, name, array in flat_entries(module):
-        data = np.ascontiguousarray(array, dtype=FLAT_DTYPE)
+        entry = {"kind": kind, "name": name, "offset": offset, "shape": list(array.shape)}
+        if precision == "int8":
+            source = np.asarray(array, dtype=np.float64)
+            lo = float(source.min()) if source.size else 0.0
+            hi = float(source.max()) if source.size else 0.0
+            scale = (hi - lo) / 255.0
+            if scale <= 0.0:
+                scale = 1.0  # constant tensor: every code dequantises to lo
+            codes = np.clip(np.rint((source - lo) / scale), 0, 255)
+            data = np.ascontiguousarray(codes, dtype=dtype)
+            entry["scale"] = scale
+            entry["zero"] = lo
+        else:
+            data = np.ascontiguousarray(array, dtype=dtype)
         stream.write(data.tobytes())
-        entries.append(
-            {"kind": kind, "name": name, "offset": offset, "shape": list(array.shape)}
-        )
+        entries.append(entry)
         offset += int(data.size)
     return {"entries": entries, "elements": offset - element_offset}
 
@@ -114,20 +155,24 @@ def pack_flat(
     arena_path: str | os.PathLike,
     *,
     manifest_path: str | os.PathLike | None = None,
+    precision: str = "float64",
 ) -> dict:
-    """Write ``module``'s weights as one contiguous float64 arena.
+    """Write ``module``'s weights as one contiguous arena.
 
-    Produces ``arena_path`` (raw little-endian float64 bytes) and a JSON
-    manifest next to it (``<arena_path>.json`` unless ``manifest_path``
-    overrides).  Returns the manifest dict.  The arena round-trips
-    through :func:`load_flat_mmap` bit-for-bit.
+    Produces ``arena_path`` (raw little-endian bytes in the storage
+    dtype of ``precision``, float64 by default) and a JSON manifest next
+    to it (``<arena_path>.json`` unless ``manifest_path`` overrides).
+    Returns the manifest dict.  A float64 arena round-trips through
+    :func:`load_flat_mmap` bit-for-bit; float32/int8 arenas round-trip
+    exactly to their stored (reduced-precision) values.
     """
     with open(arena_path, "wb") as stream:
-        section = write_flat(module, stream)
+        section = write_flat(module, stream, precision=precision)
     manifest = {
         "format": FLAT_FORMAT,
         "version": FLAT_VERSION,
-        "dtype": FLAT_DTYPE,
+        "dtype": flat_dtype_for(precision).str,
+        "precision": precision,
         "elements": section["elements"],
         "entries": section["entries"],
     }
@@ -138,10 +183,12 @@ def pack_flat(
     return manifest
 
 
-def _open_arena(arena: str | os.PathLike | np.ndarray) -> np.ndarray:
+def _open_arena(
+    arena: str | os.PathLike | np.ndarray, dtype: np.dtype | str = FLAT_DTYPE
+) -> np.ndarray:
     if isinstance(arena, np.ndarray):
         return arena
-    return np.memmap(arena, dtype=FLAT_DTYPE, mode="r")
+    return np.memmap(arena, dtype=dtype, mode="r")
 
 
 def load_flat_mmap(
@@ -150,17 +197,26 @@ def load_flat_mmap(
     *,
     manifest: dict | None = None,
     manifest_path: str | os.PathLike | None = None,
+    precision: str | None = None,
 ) -> np.ndarray:
     """Attach a flat arena's weights to ``module`` as read-only views.
 
     ``arena`` is a path (memory-mapped read-only here) or an already
-    mapped/loaded 1-D float64 array (so several modules can share one
-    mapping).  Entry offsets are absolute into that array.  Every
-    parameter's ``data`` and every batch-norm buffer becomes a **view**
-    into the mapping — no copy, shared pages across processes; gradients
-    are reallocated writable so the module stays usable for inference
-    bookkeeping.  Architecture mismatches raise ``ValueError`` exactly
-    like :func:`load_state`.  Returns the attached arena array.
+    mapped/loaded 1-D array in the arena's storage dtype (so several
+    modules can share one mapping).  Entry offsets are absolute into
+    that array.  For float64/float32 arenas every parameter's ``data``
+    and every batch-norm buffer becomes a **view** into the mapping —
+    no copy, shared pages across processes; for int8 arenas each entry
+    is dequantised into a private float32 copy (the mapping still backs
+    the codes, so the storage shared across workers stays 1 byte per
+    element).  Gradients are reallocated writable so the module stays
+    usable for inference bookkeeping.  Architecture mismatches raise
+    ``ValueError`` exactly like :func:`load_state`.  Returns the
+    attached arena array.
+
+    ``precision`` defaults to the manifest's recorded precision (legacy
+    manifests without one are float64); pass it explicitly when
+    ``manifest`` is a bare section dict without the top-level keys.
     """
     if manifest is None:
         if manifest_path is None:
@@ -171,7 +227,14 @@ def load_flat_mmap(
             manifest = json.load(handle)
         if manifest.get("format", FLAT_FORMAT) != FLAT_FORMAT:
             raise ValueError(f"not a flat-arena manifest: {manifest.get('format')!r}")
-    data = _open_arena(arena)
+    if precision is None:
+        precision = manifest.get("precision", "float64")
+    dtype = flat_dtype_for(precision)
+    data = _open_arena(arena, dtype)
+    if data.dtype != dtype:
+        raise ValueError(
+            f"arena dtype {data.dtype} does not match precision {precision!r}"
+        )
     params = dict(module.named_parameters())
     buffers = {name for name, _ in _named_buffers(module)}
     for entry in manifest["entries"]:
@@ -180,6 +243,13 @@ def load_flat_mmap(
         size = int(np.prod(shape, dtype=np.int64)) if shape else 1
         start = int(entry["offset"])
         view = data[start : start + size].reshape(shape)
+        if precision == "int8":
+            # Dequantise codes -> float32 once at attach; the fast path
+            # then runs pure float32 forwards over ordinary arrays.
+            view = (
+                view.astype(np.float32) * np.float32(entry["scale"])
+                + np.float32(entry["zero"])
+            )
         if kind == "param":
             param = params.pop(name, None)
             if param is None:
@@ -190,7 +260,7 @@ def load_flat_mmap(
                     f"model {param.data.shape}"
                 )
             param.data = view
-            param.grad = np.zeros(shape)
+            param.grad = np.zeros(shape, dtype=view.dtype)
         elif name in buffers:
             _set_buffer(module, name, view, copy=False)
     if params:

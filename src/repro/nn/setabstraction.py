@@ -18,7 +18,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.nn.conv import SharedMLP
-from repro.nn.module import Module
+from repro.nn.module import Module, as_compute
 from repro.nn.pointset import ball_query, farthest_point_sampling, gather_points, group_points
 
 
@@ -86,7 +86,7 @@ class MultiScaleSetAbstraction(Module):
         Output shapes: ``(batch, num_centers, 3)`` and
         ``(batch, out_channels, num_centers)``.
         """
-        coords = np.asarray(coords, dtype=np.float64)
+        coords = as_compute(coords)
         if coords.ndim != 3 or coords.shape[2] != 3:
             raise ValueError(f"coords must be (batch, n, 3), got {coords.shape}")
         if self.in_channels == 0:
@@ -95,7 +95,7 @@ class MultiScaleSetAbstraction(Module):
         else:
             if features is None:
                 raise ValueError(f"expected features with {self.in_channels} channels")
-            features = np.asarray(features, dtype=np.float64)
+            features = as_compute(features)
             if features.shape[:2] != (coords.shape[0], self.in_channels) or features.shape[
                 2
             ] != coords.shape[1]:
@@ -198,8 +198,8 @@ class GlobalFeatureExtractor(Module):
 
     def forward(self, coords: np.ndarray, features: np.ndarray) -> np.ndarray:
         """Return global features ``(batch, out_channels)``."""
-        coords = np.asarray(coords, dtype=np.float64)
-        features = np.asarray(features, dtype=np.float64)
+        coords = as_compute(coords)
+        features = as_compute(features)
         centroid = coords.mean(axis=1, keepdims=True)
         local = np.transpose(coords - centroid, (0, 2, 1))
         stacked = np.concatenate([local, features], axis=1)

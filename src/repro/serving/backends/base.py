@@ -48,10 +48,27 @@ class ExecutionBackend(abc.ABC):
     #: feeding the engine while this many are airborne, so overload keeps
     #: pooling (and shedding) in the admission queue, not the executor.
     slots: int = 1
+    #: Numeric precision of the weights this backend serves (the process
+    #: pool exports reduced-precision arenas itself; in-process backends
+    #: run whatever system they are handed, converted or not).  Surfaced
+    #: through ``engine.precision`` and the gateway STATS rows.
+    precision: str = "float64"
 
     @abc.abstractmethod
     def submit(self, system: "GesturePrint", batch: np.ndarray) -> Future:
         """Run ``system.predict(batch)``; resolves to ``(result, exec_s)``."""
+
+    def submit_urgent(self, system: "GesturePrint", batch: np.ndarray) -> Future:
+        """Like :meth:`submit`, but entitled to jump any internal queue.
+
+        The engine's hedge dispatch path: a hedge duplicates a batch
+        whose flight already outlived the scheduler's tail threshold, so
+        queueing it FIFO behind a backlog would forfeit the race it
+        exists to win.  Backends with an internal queue (the process
+        pool) place urgent work at the *front*; backends without one
+        run it like any other submission — this default.
+        """
+        return self.submit(system, batch)
 
     def prepare(self, system: "GesturePrint") -> None:
         """Pre-stage a system off the hot path (e.g. export its weight
@@ -63,7 +80,7 @@ class ExecutionBackend(abc.ABC):
 
     def describe(self) -> dict:
         """Operational identity for snapshots/benchmarks."""
-        return {"name": self.name, "slots": self.slots}
+        return {"name": self.name, "slots": self.slots, "precision": self.precision}
 
     def __enter__(self) -> "ExecutionBackend":
         return self

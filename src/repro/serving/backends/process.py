@@ -88,13 +88,48 @@ def _worker_initializer(extra_sys_path: list[str]) -> None:
             sys.path.insert(0, entry)
 
 
-def _worker_main(conn, extra_sys_path: list[str], heartbeat_s: float) -> None:
+def _worker_attach(conn, attached: dict, bundle_dir: str, prefetch: bool):
+    """Attach a bundle (evicting past the cache), prefetching its pages.
+
+    With ``prefetch`` the arena's pages are touched *at attach time* —
+    one read per page, sequential, readahead-friendly — instead of being
+    first-faulted at random by the first forward pass, which is exactly
+    the critical path of the first post-respawn batch.  Pages touched
+    are reported to the parent as a ``("pf", npages)`` message.
+    """
+    system = attached.get(bundle_dir)
+    if system is None:
+        from repro.core.persistence import load_system_flat, prefetch_arena
+
+        if prefetch:
+            try:
+                pages = prefetch_arena(bundle_dir)
+            except OSError:
+                pages = 0
+            if pages:
+                try:
+                    conn.send(("pf", pages))
+                except (EOFError, OSError):
+                    pass
+        system = load_system_flat(bundle_dir)
+        attached[bundle_dir] = system
+        while len(attached) > _ATTACH_CACHE:
+            attached.pop(next(iter(attached)))
+    return system
+
+
+def _worker_main(
+    conn, extra_sys_path: list[str], heartbeat_s: float, prefetch: bool = True
+) -> None:
     """Worker loop: heartbeat while idle, attach bundles, run batches.
 
     Messages from the parent: ``("task", id, bundle_dir, batch)``,
-    ``("chaos", mode)`` (fault injection for tests/chaos benchmarks),
-    ``("stop",)``.  Messages to the parent: ``("hb", t)`` heartbeats,
-    ``("result", id, PipelineResult, exec_s)``, ``("error", id, exc)``.
+    ``("warm", bundle_dir)`` (attach + prefetch ahead of the first
+    batch; a respawned worker gets one immediately), ``("chaos", mode)``
+    (fault injection for tests/chaos benchmarks), ``("stop",)``.
+    Messages to the parent: ``("hb", t)`` heartbeats, ``("pf", npages)``
+    prefetch reports, ``("result", id, PipelineResult, exec_s)``,
+    ``("error", id, exc)``.
     """
     _worker_initializer(extra_sys_path)
     attached: dict[str, object] = {}
@@ -113,6 +148,12 @@ def _worker_main(conn, extra_sys_path: list[str], heartbeat_s: float) -> None:
         if kind == "chaos":
             chaos = message[1]
             continue
+        if kind == "warm":
+            try:
+                _worker_attach(conn, attached, message[1], prefetch)
+            except Exception:
+                pass  # warm-up is advisory; the task path re-attaches
+            continue
         _, task_id, bundle_dir, batch = message
         if chaos == "die_in_task":
             os.kill(os.getpid(), signal.SIGKILL)
@@ -120,14 +161,7 @@ def _worker_main(conn, extra_sys_path: list[str], heartbeat_s: float) -> None:
             while True:  # simulated wedge: only the supervisor ends it
                 time.sleep(3600.0)
         try:
-            system = attached.get(bundle_dir)
-            if system is None:
-                from repro.core.persistence import load_system_flat
-
-                system = load_system_flat(bundle_dir)
-                attached[bundle_dir] = system
-                while len(attached) > _ATTACH_CACHE:
-                    attached.pop(next(iter(attached)))
+            system = _worker_attach(conn, attached, bundle_dir, prefetch)
             start = time.perf_counter()
             result = system.predict(batch)
             payload = ("result", task_id, result, time.perf_counter() - start)
@@ -173,13 +207,15 @@ class _Worker:
 
     __slots__ = (
         "ident", "process", "conn", "task", "task_started", "last_seen",
-        "attached", "tasks_done", "eof", "ready",
+        "attached", "tasks_done", "eof", "ready", "pinned_cpu",
     )
 
     def __init__(self, ident: int, process, conn) -> None:
         self.ident = ident
         self.process = process
         self.conn = conn
+        #: CPU this worker was pinned to (``pin_cores``), or None.
+        self.pinned_cpu: int | None = None
         self.task: _Task | None = None
         self.task_started = 0.0
         self.last_seen = time.monotonic()
@@ -239,6 +275,23 @@ class ProcessPoolBackend(ExecutionBackend):
     start_method:
         ``multiprocessing`` start method; spawn by default (see module
         docstring for why fork is unsafe here).
+    precision:
+        Arena precision for the pool's *own* exports (``float64`` /
+        ``float32`` / ``int8`` — see :mod:`repro.serving.precision`).
+        With an ``arena_provider`` the provider owns export precision
+        instead; callers gate converted systems through the fidelity
+        check before serving them.
+    prefetch:
+        Touch every arena page at attach time in the worker (one read
+        per page) so a respawned worker pays its page faults off the
+        batch critical path.  On by default; pages touched surface as
+        ``prefetched_pages`` in :meth:`describe`.
+    pin_cores:
+        Pin each worker to one CPU of the parent's affinity mask,
+        round-robin by worker id, via ``os.sched_setaffinity`` — arena
+        pages and BLAS threads stop migrating between cores.  Graceful
+        no-op on platforms without ``sched_setaffinity`` (macOS,
+        Windows).
     """
 
     name = "process"
@@ -257,6 +310,9 @@ class ProcessPoolBackend(ExecutionBackend):
         shutdown_timeout_s: float = 5.0,
         spawn_grace_s: float = 120.0,
         start_method: str = "spawn",
+        precision: str = "float64",
+        prefetch: bool = True,
+        pin_cores: bool = False,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -266,7 +322,23 @@ class ProcessPoolBackend(ExecutionBackend):
             raise ValueError("miss_limit must be >= 1")
         if max_respawns < 0 or max_redispatch < 0:
             raise ValueError("max_respawns/max_redispatch must be >= 0")
+        from repro.nn.serialization import flat_dtype_for
+
+        flat_dtype_for(precision)  # validates the name
         self.workers = workers
+        self.precision = precision
+        self._prefetch = bool(prefetch)
+        self._pin_cores = bool(pin_cores)
+        self._cores: list[int] = []
+        if self._pin_cores:
+            try:
+                self._cores = sorted(os.sched_getaffinity(0))
+            except AttributeError:  # platform without CPU affinity
+                self._pin_cores = False
+        self.prefetched_pages = 0
+        #: Most recent bundle handed to a worker; a respawned worker is
+        #: warmed against it (attach + prefetch) before its first batch.
+        self._last_bundle: str | None = None
         self._arena_provider = arena_provider
         self._arena_refs = arena_refs
         self._heartbeat_s = heartbeat_ms / 1e3
@@ -326,7 +398,7 @@ class ProcessPoolBackend(ExecutionBackend):
             self._tmpdir = tempfile.TemporaryDirectory(prefix="repro-arena-")
         self._export_count += 1
         bundle = os.path.join(self._tmpdir.name, f"v{self._export_count}")
-        export_flat(system, bundle)
+        export_flat(system, bundle, precision=self.precision)
         # Keep this bundle plus its predecessor (batches dispatched just
         # before a swap may still attach to it); delete anything older
         # so repeated hot swaps don't accumulate weight copies on disk.
@@ -383,13 +455,24 @@ class ProcessPoolBackend(ExecutionBackend):
         ident = next(self._worker_ids)
         process = self._ctx.Process(
             target=_worker_main,
-            args=(child_conn, self._extra_path, self._heartbeat_s),
+            args=(child_conn, self._extra_path, self._heartbeat_s, self._prefetch),
             name=f"repro-exec-{ident}",
             daemon=True,
         )
         process.start()
         child_conn.close()
-        return _Worker(ident, process, parent_conn)
+        worker = _Worker(ident, process, parent_conn)
+        if self._pin_cores and self._cores:
+            # Round-robin by worker id so replacements inherit a stable
+            # spread; one CPU per worker keeps the arena's pages and the
+            # BLAS threads resident on a single core's caches.
+            cpu = self._cores[ident % len(self._cores)]
+            try:
+                os.sched_setaffinity(process.pid, {cpu})
+                worker.pinned_cpu = cpu
+            except (AttributeError, OSError):
+                worker.pinned_cpu = None  # container/cgroup said no: run unpinned
+        return worker
 
     def _wake(self) -> None:
         try:
@@ -433,6 +516,15 @@ class ProcessPoolBackend(ExecutionBackend):
         return max(live, 1)
 
     def submit(self, system, batch: np.ndarray) -> Future:
+        return self._submit(system, batch, urgent=False)
+
+    def submit_urgent(self, system, batch: np.ndarray) -> Future:
+        """Hedge path: the duplicate joins the *front* of the queue —
+        it races a flight that already outlived the tail threshold, so
+        waiting behind the backlog would forfeit the race."""
+        return self._submit(system, batch, urgent=True)
+
+    def _submit(self, system, batch: np.ndarray, *, urgent: bool) -> Future:
         bundle = self.prepare(system)
         with self._lock:
             if self._closed:
@@ -450,7 +542,10 @@ class ProcessPoolBackend(ExecutionBackend):
                 next(self._task_ids), system, bundle, np.ascontiguousarray(batch)
             )
             self._retain(bundle)  # airborne pin, released when the batch lands
-            self._queue.append(task)
+            if urgent:
+                self._queue.insert(0, task)
+            else:
+                self._queue.append(task)
         self._wake()
         return task.future
 
@@ -565,6 +660,15 @@ class ProcessPoolBackend(ExecutionBackend):
                 pass  # closed while spawning: reap it below, not pooled
             else:
                 self._pool.append(worker)
+                # Warm the replacement against the bundle traffic is on:
+                # attach + page prefetch happen now, while the worker is
+                # idle, not under the first redispatched batch.
+                if self._last_bundle is not None:
+                    self._model_attach(worker, self._last_bundle)
+                    try:
+                        worker.conn.send(("warm", self._last_bundle))
+                    except Exception:
+                        worker.eof = True  # health check reaps it
                 return
         worker.process.kill()
         worker.process.join(timeout=5.0)
@@ -587,6 +691,7 @@ class ProcessPoolBackend(ExecutionBackend):
                 worker.eof = True  # broken pipe: health check reaps it
                 continue
             self._queue.pop(0)
+            self._last_bundle = task.bundle
             worker.task = task
             worker.task_started = time.monotonic()
 
@@ -607,6 +712,9 @@ class ProcessPoolBackend(ExecutionBackend):
                 worker.ready = True
                 kind = message[0]
                 if kind == "hb":
+                    continue
+                if kind == "pf":
+                    self.prefetched_pages += int(message[1])
                     continue
                 task = worker.task
                 if task is None or task.task_id != message[1]:
@@ -826,6 +934,7 @@ class ProcessPoolBackend(ExecutionBackend):
                     "tasks_done": worker.tasks_done,
                     "last_seen_ms": round((now - worker.last_seen) * 1e3, 1),
                     "attached_bundles": len(worker.attached),
+                    "pinned_cpu": worker.pinned_cpu,
                 }
                 for worker in self._pool
             ]
@@ -840,6 +949,10 @@ class ProcessPoolBackend(ExecutionBackend):
                 "redispatches": self.redispatches,
                 "max_respawns": self._max_respawns,
                 "heartbeat_ms": self._heartbeat_s * 1e3,
+                "precision": self.precision,
+                "prefetch": self._prefetch,
+                "prefetched_pages": self.prefetched_pages,
+                "pin_cores": self._pin_cores,
                 "degraded": self._degraded,
                 "supervisor_failed": self._supervisor_failed,
                 "reaping": len(self._reaping),

@@ -177,6 +177,11 @@ class Ticket:
         self._cancelled = True
 
 
+def _future_ok(future: Future) -> bool:
+    """Done with a usable result (not cancelled, no exception)."""
+    return future.done() and not future.cancelled() and future.exception() is None
+
+
 @dataclass(eq=False)  # identity semantics: entries hold numpy arrays
 class _InFlightBatch:
     """One dispatched batch between backend submission and collection.
@@ -184,12 +189,28 @@ class _InFlightBatch:
     ``version`` and the entries' samples pin the batch to the weights it
     was dispatched against; ``dispatched`` anchors the submit-to-landing
     wall time the scheduler learns (execution *plus* executor queueing).
+    ``batch`` and ``system`` are kept so a straggling batch can be
+    *hedged*: resubmitted verbatim to a second backend slot, first
+    usable result wins, the loser is cancelled at collection.
     """
 
     entries: list[tuple[np.ndarray, Ticket]]
     future: Future
     version: int
     dispatched: float
+    batch: np.ndarray | None = None
+    system: Any = None
+    hedge: Future | None = None
+    hedged_at: float | None = None
+
+    @property
+    def settled(self) -> bool:
+        """Ready to collect: a usable result exists, or nothing can still win."""
+        if _future_ok(self.future):
+            return True
+        if self.hedge is not None and _future_ok(self.hedge):
+            return True
+        return self.future.done() and (self.hedge is None or self.hedge.done())
 
 
 @dataclass
@@ -208,6 +229,11 @@ class EngineStats:
     #: backend moved them off a dead worker); their tickets delivered
     #: normally, but the scheduler's latency model excluded them.
     retried_batches: int = 0
+    #: Batches duplicated onto a second backend slot because the primary
+    #: outlived the hedge threshold; ``hedge_wins`` counts the subset
+    #: where the duplicate actually delivered first.
+    hedged_batches: int = 0
+    hedge_wins: int = 0
 
     @property
     def mean_batch(self) -> float:
@@ -240,6 +266,19 @@ class InferenceEngine:
         backend it created itself via :meth:`close`.
     clock:
         Monotonic time source (overridden by the scheduler's, if any).
+    hedge_ms:
+        Tail-latency hedging.  ``None`` (default) disables it.  A float
+        duplicates any airborne batch older than that many milliseconds
+        onto a second backend slot — first usable result wins, the loser
+        is cancelled at collection, and no ticket is ever delivered
+        twice (delivery happens exactly once per batch, from whichever
+        future won).  The string ``"auto"`` derives the threshold from
+        the attached scheduler's latency model
+        (:meth:`~repro.serving.scheduler.BatchScheduler.hedge_threshold_s`):
+        roughly the observed p95, floored at twice the predicted
+        batch time, and inactive until the model has observations.
+        Hedged batches are excluded from the scheduler's EWMA and p95
+        window exactly like crash-retried ones.
     """
 
     def __init__(
@@ -250,14 +289,24 @@ class InferenceEngine:
         scheduler: BatchScheduler | None = None,
         backend: ExecutionBackend | None = None,
         clock: Callable[[], float] = time.monotonic,
+        hedge_ms: float | str | None = None,
     ) -> None:
         if system.gesture_model is None:
             raise ValueError("the system must be fitted first")
         if max_batch_size < 1:
             raise ValueError("max_batch_size must be >= 1")
+        if isinstance(hedge_ms, str):
+            if hedge_ms != "auto":
+                raise ValueError("hedge_ms must be a float, None, or 'auto'")
+            if scheduler is None:
+                raise ValueError("hedge_ms='auto' needs an attached scheduler")
+        elif hedge_ms is not None and hedge_ms <= 0:
+            raise ValueError("hedge_ms must be > 0")
         self.system = system
         self.max_batch_size = max_batch_size
         self.scheduler = scheduler
+        self._hedge_auto = hedge_ms == "auto"
+        self._hedge_s = hedge_ms / 1e3 if isinstance(hedge_ms, (int, float)) else None
         self._clock = scheduler.clock if scheduler is not None else clock
         self._owns_backend = backend is None
         self.backend = backend if backend is not None else InlineBackend()
@@ -290,6 +339,36 @@ class InferenceEngine:
     def num_in_flight(self) -> int:
         """Dispatched batches not yet collected."""
         return len(self._in_flight)
+
+    @property
+    def num_airborne(self) -> int:
+        """Backend submissions still occupying slots (primaries + live hedges).
+
+        A hedge is a *second* submission of the same batch: until it (or
+        its primary) lands, it holds an executor slot just like a
+        first-class dispatch, so feeders gating on free capacity must
+        count it — gating on :attr:`num_in_flight` alone would oversubscribe
+        the pool by one batch per live hedge.
+        """
+        live_hedges = sum(
+            1
+            for flight in self._in_flight
+            if flight.hedge is not None and not flight.hedge.done()
+        )
+        return len(self._in_flight) + live_hedges
+
+    @property
+    def hedging(self) -> bool:
+        """True when a hedge policy (fixed or auto) is configured."""
+        return self._hedge_auto or self._hedge_s is not None
+
+    @property
+    def precision(self) -> str:
+        """Numeric precision the serving path runs at (see ``--precision``)."""
+        stamped = getattr(self.system, "serve_precision", None)
+        if stamped:
+            return str(stamped)
+        return str(getattr(self.backend, "precision", "float64"))
 
     @property
     def batch_limit(self) -> int:
@@ -420,6 +499,7 @@ class InferenceEngine:
             if self._in_flight:
                 _, landed = self._collect(block=False)
                 delivered.extend(landed)
+                self._maybe_hedge(self._clock())
             if self._should_flush(self._clock()):
                 self.dispatch()
                 _, landed = self._collect(block=False)
@@ -471,6 +551,8 @@ class InferenceEngine:
                     future=future,
                     version=self.model_version,
                     dispatched=dispatched,
+                    batch=batch,
+                    system=self.system,
                 )
             )
             self.stats.dispatched_batches += 1
@@ -488,6 +570,71 @@ class InferenceEngine:
                 pass  # a dying waker must not take the executor down
 
     # ------------------------------------------------------------------
+    def _hedge_threshold_s(self, batch_size: int) -> float | None:
+        """Age past which an airborne batch earns a hedge (None: never)."""
+        if self._hedge_s is not None:
+            return self._hedge_s
+        if self._hedge_auto and self.scheduler is not None:
+            return self.scheduler.hedge_threshold_s(batch_size)
+        return None
+
+    def _maybe_hedge(self, now: float) -> int:
+        """Duplicate over-age airborne batches onto spare backend slots.
+
+        A batch is hedged at most once, only while its primary is still
+        running, and only while fewer than ``slots - 1`` hedges are live
+        — a pool-wide stall (every slot slow) is a capacity problem
+        hedging would only amplify, whereas one straggler among healthy
+        slots is exactly the tail this cuts.  Returns hedges placed.
+        """
+        if not self.hedging or not self._in_flight:
+            return 0
+        budget = max(int(self.backend.slots) - 1, 1) - sum(
+            1
+            for flight in self._in_flight
+            if flight.hedge is not None and not flight.hedge.done()
+        )
+        placed = 0
+        for flight in self._in_flight:
+            if budget <= 0:
+                break
+            if flight.hedge is not None or flight.future.done():
+                continue
+            if flight.batch is None or flight.system is None:
+                continue
+            threshold = self._hedge_threshold_s(len(flight.entries))
+            if threshold is None or now - flight.dispatched < threshold:
+                continue
+            try:
+                # Urgent: the hedge jumps the backend's internal queue —
+                # FIFO behind the backlog would forfeit the race.
+                hedge = self.backend.submit_urgent(flight.system, flight.batch)
+            except Exception:
+                continue  # no spare capacity / closing pool: keep waiting
+            flight.hedge = hedge
+            flight.hedged_at = now
+            self.stats.hedged_batches += 1
+            budget -= 1
+            placed += 1
+            if self.on_batch_complete is not None:
+                hedge.add_done_callback(self._notify_complete)
+        return placed
+
+    def _next_hedge_due_s(self, now: float) -> float | None:
+        """Seconds until the earliest unhedged airborne batch matures."""
+        due: float | None = None
+        for flight in self._in_flight:
+            if flight.hedge is not None or flight.future.done():
+                continue
+            threshold = self._hedge_threshold_s(len(flight.entries))
+            if threshold is None:
+                continue
+            remaining = flight.dispatched + threshold - now
+            if due is None or remaining < due:
+                due = remaining
+        return None if due is None else max(due, 1e-3)
+
+    # ------------------------------------------------------------------
     def _collect(self, *, block: bool) -> tuple[Exception | None, list[Ticket]]:
         """Harvest landed batches; optionally wait for the stragglers.
 
@@ -498,14 +645,26 @@ class InferenceEngine:
         first_error: Exception | None = None
         delivered: list[Ticket] = []
         while self._in_flight:
-            ready = [flight for flight in self._in_flight if flight.future.done()]
+            ready = [flight for flight in self._in_flight if flight.settled]
             if not ready:
                 if not block:
                     break
+                waitables = [flight.future for flight in self._in_flight]
+                waitables.extend(
+                    flight.hedge
+                    for flight in self._in_flight
+                    if flight.hedge is not None
+                )
+                # While hedging, cap the wait so stragglers can still be
+                # duplicated from inside a blocking flush/drain.
+                timeout = self._next_hedge_due_s(self._clock()) if self.hedging else None
                 wait_futures(
-                    [flight.future for flight in self._in_flight],
+                    waitables,
+                    timeout=None if timeout is None else min(timeout, 0.1),
                     return_when=FIRST_COMPLETED,
                 )
+                if self.hedging:
+                    self._maybe_hedge(self._clock())
                 continue
             for flight in ready:
                 self._in_flight.remove(flight)
@@ -517,16 +676,31 @@ class InferenceEngine:
     def _finish_batch(
         self, flight: _InFlightBatch, delivered: list[Ticket]
     ) -> Exception | None:
-        """Resolve one landed batch's tickets (skipping cancelled ones)."""
+        """Resolve one landed batch's tickets (skipping cancelled ones).
+
+        With a hedge in play, the first *usable* result wins: the
+        primary if it landed cleanly, else the hedge.  The loser is
+        cancelled — a queued loser never runs; one already running is
+        abandoned (its late result lands in a future nobody reads), so
+        each ticket is delivered exactly once no matter which copy won.
+        """
         entries = flight.entries
         done = self._clock()
+        hedged = flight.hedge is not None
+        winner = flight.future
+        if hedged and not _future_ok(flight.future) and _future_ok(flight.hedge):
+            winner = flight.hedge
+            self.stats.hedge_wins += 1
+        if hedged:
+            loser = flight.hedge if winner is flight.future else flight.future
+            loser.cancel()  # best effort: a running loser is just abandoned
         # A supervised backend stamps ``retried`` on futures it had to
         # redispatch after a worker crash: the tickets deliver normally,
         # but the batch's wall time prices crash recovery, not the
         # backend — the scheduler must not learn from it.
-        retried = bool(getattr(flight.future, "retried", False))
+        retried = bool(getattr(winner, "retried", False))
         try:
-            result, exec_s = flight.future.result()
+            result, exec_s = winner.result()
         except Exception as error:  # poison batch: fail this group only
             self.stats.failed_batches += 1
             for _, ticket in entries:
@@ -544,20 +718,26 @@ class InferenceEngine:
             # Submit-to-landing wall time: execution *plus* executor
             # queueing, so the adaptive limit prices the backend it
             # actually runs on, not an idealised instant executor.
+            # Retried and hedged batches are excluded inside (their wall
+            # time prices the recovery, not the backend).
             self.scheduler.observe_batch(
                 len(entries),
                 done - flight.dispatched,
                 service_s=exec_s,
                 retried=retried,
+                hedged=hedged,
             )
         self.stats.batches += 1
         self.stats.batched_samples += len(entries)
         self.stats.max_batch = max(self.stats.max_batch, len(entries))
+        excluded = retried or hedged
         for row, (_, ticket) in enumerate(entries):
             if ticket.cancelled:
                 continue  # discarded while airborne: no late delivery
             if self.scheduler is not None:
-                self.scheduler.record_queue_latency(done - ticket.arrival)
+                self.scheduler.record_queue_latency(
+                    done - ticket.arrival, excluded=excluded
+                )
             ticket._deliver(
                 SampleResult.from_row(result, row, model_version=flight.version)
             )

@@ -185,6 +185,14 @@ class GatewayServer:
         batches concurrently.  A backend passed here (or riding an
         external engine) is owned by the caller — close it after
         ``aclose``.
+    hedge_ms:
+        Tail-latency hedging for the private engine (see
+        :class:`~repro.serving.engine.InferenceEngine`): a positive
+        number hedges any batch airborne longer than that many
+        milliseconds; ``"auto"`` derives the threshold from the
+        scheduler's observed p95.  Like ``backend=``, it only configures
+        the private engine — an external ``engine=`` brings its own
+        hedging policy.
     tenants:
         A :class:`~repro.serving.gateway.tenants.TenantDirectory`;
         defaults to the stock premium/standard/batch tiers with unknown
@@ -219,6 +227,7 @@ class GatewayServer:
         engine: InferenceEngine | None = None,
         scheduler: BatchScheduler | None = None,
         backend: ExecutionBackend | None = None,
+        hedge_ms: float | str | None = None,
         tenants: TenantDirectory | None = None,
         max_batch_size: int = 32,
         slo_ms: float | None = 50.0,
@@ -236,6 +245,11 @@ class GatewayServer:
                 "engine= brings its own backend (this pool would never be "
                 "used, only leaked)"
             )
+        if engine is not None and hedge_ms is not None:
+            raise ValueError(
+                "hedge_ms= only configures the private engine; an external "
+                "engine= brings its own hedging policy"
+            )
         if engine is None:
             if system is None:
                 raise ValueError("pass a fitted system or an engine")
@@ -248,6 +262,7 @@ class GatewayServer:
                 max_batch_size=max_batch_size,
                 scheduler=scheduler,
                 backend=backend,
+                hedge_ms=hedge_ms,
             )
         self.engine = engine
         self.tenants = tenants if tenants is not None else TenantDirectory()
@@ -375,7 +390,10 @@ class GatewayServer:
         engine = self.engine
         landed = engine.poll()  # collect whatever the backend finished
         budget = 0
-        if engine.backend.slots - engine.num_in_flight > 0:
+        # num_airborne counts hedge duplicates too: while a hedge borrows
+        # a slot, feeding pauses so the duplicate work displaces *queued*
+        # admission-room requests, never a premium batch mid-assembly.
+        if engine.backend.slots - engine.num_airborne > 0:
             budget = max(engine.batch_limit - engine.num_pending, 0)
         # Class-pure composition: one cycle drains one class, so a
         # premium batch never waits out batch-class rows sharing its
@@ -660,6 +678,9 @@ class GatewayServer:
                 "max_batch": engine_stats.max_batch,
                 "failed_batches": engine_stats.failed_batches,
                 "retried_batches": engine_stats.retried_batches,
+                "hedged_batches": engine_stats.hedged_batches,
+                "hedge_wins": engine_stats.hedge_wins,
+                "precision": self.engine.precision,
                 "swaps": engine_stats.swaps,
                 "in_flight": self.engine.num_in_flight,
                 # A supervised process pool's describe() carries the

@@ -41,6 +41,7 @@ from repro.core.persistence import (
     save_system,
 )
 from repro.core.pipeline import GesturePrint
+from repro.nn.serialization import flat_dtype_for
 
 
 @dataclass
@@ -78,9 +79,13 @@ class ModelRegistry:
         self._cache: OrderedDict[str, GesturePrint] = OrderedDict()
         #: Manifest mtime (ns) per path-keyed entry, for staleness checks.
         self._mtimes: dict[str, int] = {}
-        #: key -> (system, bundle dir) of exported weight arenas; the
-        #: system reference pins identity so a reloaded checkpoint (new
-        #: object, same key) re-exports instead of serving stale weights.
+        #: ``key@precision`` -> (system, bundle dir) of exported weight
+        #: arenas; the system reference pins identity so a reloaded
+        #: checkpoint (new object, same key) re-exports instead of
+        #: serving stale weights.  One logical key may hold several
+        #: precision variants of the *same* system (a float64 reference
+        #: arena next to the int8 fast-path bundle); all variants retire
+        #: together when the key's system turns over.
         self._arenas: dict[str, tuple[GesturePrint, str]] = {}
         #: bundle -> refcount (airborne batches + attached workers);
         #: see :meth:`addref_arena` — a superseded bundle is deleted the
@@ -135,29 +140,27 @@ class ModelRegistry:
         if system.gesture_model is None:
             raise ValueError("refusing to cache an unfitted system")
         key = str(key)
-        arena = self._arenas.get(key)
-        if arena is not None and arena[0] is not system:
-            self._retire_arena(key)  # key now names different weights
+        self._retire_key_arenas(key, keep=system)  # stale-weight variants
         self._cache[key] = system
         self._cache.move_to_end(key)
         while len(self._cache) > self.capacity:
             evicted, _ = self._cache.popitem(last=False)
             self._mtimes.pop(evicted, None)
-            self._retire_arena(evicted)
+            self._retire_key_arenas(evicted)
             self.stats.evictions += 1
         return system
 
     def evict(self, key: str) -> bool:
         """Drop ``key`` from the cache; True if it was resident."""
         self._mtimes.pop(str(key), None)
-        self._retire_arena(str(key))
+        self._retire_key_arenas(str(key))
         return self._cache.pop(str(key), None) is not None
 
     def clear(self) -> None:
         self._cache.clear()
         self._mtimes.clear()
-        for key in list(self._arenas):
-            self._retire_arena(key)
+        for cache_key in list(self._arenas):
+            self._retire_arena(cache_key)
 
     # ------------------------------------------------------------------
     # Shareable weight arenas (mmap bundles for process backends)
@@ -196,6 +199,21 @@ class ModelRegistry:
         self._arena_pinned.discard(bundle)
         self.stats.retired_arenas += 1
 
+    @staticmethod
+    def _arena_key(key: str, precision: str) -> str:
+        return f"{key}@{precision}"
+
+    def _retire_key_arenas(
+        self, key: str, *, keep: GesturePrint | None = None
+    ) -> None:
+        """Retire every precision variant of ``key`` (except ``keep``'s)."""
+        prefix = f"{key}@"
+        with self._arena_lock:
+            for cache_key in [k for k in self._arenas if k.startswith(prefix)]:
+                if keep is not None and self._arenas[cache_key][0] is keep:
+                    continue
+                self._retire_arena(cache_key)
+
     def _retire_arena(self, key: str) -> None:
         """Supersede ``key``'s current bundle and garbage collect.
 
@@ -221,26 +239,33 @@ class ModelRegistry:
                     self._delete_bundle(displaced)
                 self._graced[key] = bundle
 
-    def arena_for(self, key: str, system: GesturePrint) -> str:
+    def arena_for(
+        self, key: str, system: GesturePrint, *, precision: str = "float64"
+    ) -> str:
         """The flat weight bundle for ``system``, cached under ``key``.
 
-        Exports once per (key, system identity) into a registry-owned
-        temporary directory; a later call with the same key but a
-        *different* system object (a hot reload) re-exports, so workers
-        attached to the old bundle drain out while new submissions name
-        the new weights.  Each key keeps the current bundle plus the one
-        it superseded (batches dispatched just before the swap may still
-        attach to it); anything older is deleted on the next export, so
-        a long-running server reloading daily does not accumulate weight
-        copies in its temp directory.
+        Exports once per (key, system identity, precision) into a
+        registry-owned temporary directory; a later call with the same
+        key but a *different* system object (a hot reload) re-exports, so
+        workers attached to the old bundle drain out while new
+        submissions name the new weights.  ``precision`` selects the
+        arena storage dtype (float64 default; float32/int8 feed the
+        low-precision serving fast path) — variants of the same system
+        coexist, each under its own cache slot.  Each slot keeps the
+        current bundle plus the one it superseded (batches dispatched
+        just before the swap may still attach to it); anything older is
+        deleted on the next export, so a long-running server reloading
+        daily does not accumulate weight copies in its temp directory.
         """
+        flat_dtype_for(precision)  # validates the name
         key = str(key)
+        cache_key = self._arena_key(key, precision)
         with self._arena_lock:
-            entry = self._arenas.get(key)
+            entry = self._arenas.get(cache_key)
             if entry is not None and entry[0] is system:
                 return entry[1]
             if entry is not None:
-                self._retire_arena(key)
+                self._retire_arena(cache_key)
             if self._arena_root is None:
                 self._arena_root = tempfile.TemporaryDirectory(
                     prefix="repro-registry-"
@@ -255,9 +280,9 @@ class ModelRegistry:
         # of disk IO would freeze dispatch and crash detection.  Callers
         # export from one serving thread (the engine's), so the
         # reserved-path window cannot race another export of this key.
-        export_flat(system, bundle)
+        export_flat(system, bundle, precision=precision)
         with self._arena_lock:
-            self._arenas[key] = (system, bundle)
+            self._arenas[cache_key] = (system, bundle)
         return bundle
 
     def arena(self, directory: str | os.PathLike) -> str:

@@ -77,11 +77,25 @@ class SchedulerStats:
     #: forced a redispatch (their wall time prices the crash recovery,
     #: not the backend's steady-state cost).
     retried_batches: int = 0
+    #: Batches excluded because the engine hedged them onto a second
+    #: slot: whichever copy lands first, the observation prices the
+    #: straggler recovery, not the backend's steady-state cost.
+    hedged_batches: int = 0
+    #: Delivered-latency samples kept out of the p95 sliding window
+    #: (rides of retried or hedged batches — see
+    #: ``record_queue_latency(excluded=...)``).
+    excluded_latency_samples: int = 0
     #: Safety-margin controller activity (see ``adapt_margin``).
     margin_widened: int = 0
     margin_narrowed: int = 0
     #: Delivered queue latencies (seconds), most recent last.
     queue_window: Deque[float] = field(default_factory=deque, repr=False)
+    #: Submit-to-landing wall times (seconds) of recent non-excluded
+    #: batches — the hedge threshold's statistic: it is on the same
+    #: clock as the flight age it is compared against, where the
+    #: arrival-based ``queue_window`` would double-count pre-dispatch
+    #: wait and hedge far too late under assembly-heavy load.
+    wall_window: Deque[float] = field(default_factory=deque, repr=False)
 
 
 class BatchScheduler:
@@ -273,6 +287,7 @@ class BatchScheduler:
             self._mwait = 0.0
             self._wait_fitted = False
             self.stats.queue_window.clear()
+            self.stats.wall_window.clear()
             self._since_adapt = 0
             self.margin_s = self._initial_margin_s
         self.backend_name = name
@@ -285,6 +300,7 @@ class BatchScheduler:
         *,
         service_s: float | None = None,
         retried: bool = False,
+        hedged: bool = False,
     ) -> None:
         """Feed one executed batch's measured latency into the model.
 
@@ -299,12 +315,18 @@ class BatchScheduler:
         second execution, none of which describe the backend's
         steady-state cost — so it is counted but **excluded from the
         EWMA model** (one crash must not poison the adaptive limit into
-        a panic spiral of tiny batches).
+        a panic spiral of tiny batches).  ``hedged`` marks a batch the
+        engine duplicated onto a second slot because the primary
+        outlived its hedge threshold; its wall time prices the straggler
+        (or the hedge race), so it is excluded the same way.
         """
         if batch_size < 1 or latency_s < 0.0:
             return
-        if retried:
-            self.stats.retried_batches += 1
+        if retried or hedged:
+            if retried:
+                self.stats.retried_batches += 1
+            if hedged:
+                self.stats.hedged_batches += 1
             return
         if service_s is not None:
             wait = max(latency_s - service_s, 0.0)
@@ -324,15 +346,29 @@ class BatchScheduler:
             self._mxx = (1 - a) * self._mxx + a * batch_size * batch_size
             self._mxy = (1 - a) * self._mxy + a * batch_size * latency_s
         self.stats.observed_batches += 1
+        wall = self.stats.wall_window
+        wall.append(float(latency_s))
+        while len(wall) > self._window:
+            wall.popleft()
 
-    def record_queue_latency(self, latency_s: float) -> None:
+    def record_queue_latency(self, latency_s: float, *, excluded: bool = False) -> None:
         """Record one delivered request's submit -> delivery latency.
 
         With ``adapt_margin`` this is also the controller's sensor: every
         ``adapt_every`` deliveries the sliding-window p95 is compared
         against the SLO and the safety margin nudged (see
         :meth:`_adapt_margin_once`).
+
+        ``excluded`` marks samples that rode a retried or hedged batch:
+        their latency prices crash recovery or a deliberately delayed
+        hedge race, not the policy the controller is steering — feeding
+        them in would widen the margin on every hedge and ratchet the
+        engine toward panic batch-1 flushes.  Excluded samples are
+        counted but kept out of the sliding window entirely.
         """
+        if excluded:
+            self.stats.excluded_latency_samples += 1
+            return
         window = self.stats.queue_window
         window.append(latency_s)
         while len(window) > self._window:
@@ -368,6 +404,34 @@ class BatchScheduler:
                 self.margin_s = narrowed
                 self.stats.margin_narrowed += 1
 
+    def hedge_threshold_s(self, batch_size: int) -> float | None:
+        """Age (s) past which an airborne batch deserves a hedge copy.
+
+        ``None`` until the latency model has at least one observation —
+        hedging blind would duplicate every batch during warm-up.  Once
+        fitted, the threshold is the observed p95 *batch wall time*
+        (submit to landing — the same clock the flight age being tested
+        runs on; the arrival-based queue window would double-count
+        pre-dispatch wait), floored at twice the predicted
+        submit-to-landing time of this batch so a well-behaved batch is
+        never hedged merely because the window is stale, and at 1 ms so
+        a microsecond-fast model cannot hedge-storm.
+        """
+        if not self._fitted:
+            return None
+        predicted = self.predicted_latency_s(batch_size)
+        if self._wait_fitted:
+            predicted += self._mwait
+        floor = 2.0 * predicted
+        window = self.stats.wall_window
+        if window:
+            ordered = sorted(window)
+            rank = math.ceil(0.95 * len(ordered)) - 1
+            return max(ordered[max(rank, 0)], floor, 1e-3)
+        # No delivered samples yet: triple the prediction stands in for
+        # the unknown tail.
+        return max(3.0 * predicted, floor, 1e-3)
+
     @property
     def queue_p95_ms(self) -> float | None:
         """p95 of the recorded queue latencies (None before any delivery)."""
@@ -396,5 +460,7 @@ class BatchScheduler:
             "deadline_flushes": self.stats.deadline_flushes,
             "observed_batches": self.stats.observed_batches,
             "retried_batches": self.stats.retried_batches,
+            "hedged_batches": self.stats.hedged_batches,
+            "excluded_latency_samples": self.stats.excluded_latency_samples,
             "queue_p95_ms": self.queue_p95_ms,
         }

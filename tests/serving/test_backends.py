@@ -243,6 +243,47 @@ class TestAirborneBatches:
         assert snap["executor_wait_ms"] is not None
 
 
+class TestUrgentSubmission:
+    def test_default_submit_urgent_delegates(self, fitted, toy_data):
+        x, _, _ = toy_data
+        backend = InlineBackend()
+        urgent, _ = backend.submit_urgent(fitted, x[:1]).result()
+        plain, _ = backend.submit(fitted, x[:1]).result()
+        assert np.array_equal(urgent.gesture_probs, plain.gesture_probs)
+        assert np.array_equal(urgent.user_probs, plain.user_probs)
+
+    def test_process_pool_urgent_jumps_queue(self, fitted, toy_data):
+        """A hedge races a flight that already outlived the tail
+        threshold; FIFO behind the backlog would forfeit the race, so
+        urgent submissions join the *front* of the pool queue."""
+        x, _, _ = toy_data
+        backend = ProcessPoolBackend(
+            workers=1,
+            heartbeat_ms=50.0,
+            hang_timeout_s=30.0,  # the wedge must outlive the test
+            shutdown_timeout_s=0.5,
+        )
+        try:
+            backend.submit(fitted, x[:1]).result(timeout=60)  # spawn+attach
+            backend.inject_fault("hang_in_task")
+            backend.submit(fitted, x[:1])  # wedges the only worker
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline:  # wait until it's airborne
+                with backend._lock:
+                    if not backend._queue:
+                        break
+                time.sleep(0.005)
+            queued_a = backend.submit(fitted, x[:1])
+            queued_b = backend.submit(fitted, x[:1])
+            urgent = backend.submit_urgent(fitted, x[:1])
+            with backend._lock:
+                order = [task.future for task in backend._queue]
+            assert order[0] is urgent
+            assert order.index(queued_a) < order.index(queued_b)
+        finally:
+            backend.close()
+
+
 class TestLifecycle:
     def test_close_settles_pending_tickets(self, fitted, toy_data):
         """close() must not strand queued requests: no ticket is ever
