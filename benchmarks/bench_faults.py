@@ -42,6 +42,7 @@ from benchmarks.common import (
     format_row,
     latency_summary,
 )
+from repro.analysis import lockwitness
 from repro.serving import (
     BatchScheduler,
     InferenceEngine,
@@ -237,15 +238,27 @@ def _phase_arena_gc(system_a, system_b) -> dict:
 def _experiment() -> dict:
     system_a = cached_fitted_system(epochs=4)
     system_b = cached_fitted_system(epochs=2)
-    return {
-        "workers": WORKERS,
-        "heartbeat_ms": HEARTBEAT_MS,
-        "slo_ms": SLO_MS,
-        "usable_cores": _usable_cores(),
-        "strict": _strict(),
-        "crash": _phase_crash(system_a),
-        "arena_gc": _phase_arena_gc(system_a, system_b),
-    }
+    # With REPRO_LOCK_WITNESS=1 the chaos run doubles as a lock-order
+    # audit: every lock the pool/registry/engine creates below is
+    # witnessed, and any ordering cycle lands in the JSON and fails
+    # _check — a potential deadlock caught without ever deadlocking.
+    witness = lockwitness.install_if_enabled()
+    try:
+        results = {
+            "workers": WORKERS,
+            "heartbeat_ms": HEARTBEAT_MS,
+            "slo_ms": SLO_MS,
+            "usable_cores": _usable_cores(),
+            "strict": _strict(),
+            "crash": _phase_crash(system_a),
+            "arena_gc": _phase_arena_gc(system_a, system_b),
+        }
+    finally:
+        if witness is not None:
+            witness.uninstall()
+    if witness is not None:
+        results["lock_witness"] = witness.summary()
+    return results
 
 
 def _report(results: dict) -> list[str]:
@@ -294,6 +307,11 @@ def _check(results: dict) -> None:
     assert gc["bundles_on_disk"] <= MAX_LIVE_ARENAS, (
         f"{gc['bundles_on_disk']} weight bundles survive: arena GC leaked"
     )
+    witness = results.get("lock_witness")
+    if witness is not None:
+        assert not witness["cycles"], (
+            f"lock-order witness saw potential deadlock(s): {witness['cycles']}"
+        )
     if results["strict"]:
         assert crash["p95_ms"] is not None and crash["p95_ms"] <= MAX_P95_MS, (
             f"p95 {crash['p95_ms']} ms: the crash blip smeared the tail "

@@ -16,7 +16,6 @@ from benchmarks.common import (
     format_row,
 )
 from repro.core import IdentificationMode
-from repro.core.trainer import train_test_split
 from repro.metrics.eer import roc_curve, verification_trials
 from repro.viz import line_chart
 

@@ -17,7 +17,6 @@ from repro import ASL_GESTURES, ENVIRONMENTS, FastRadar, IWR6843_CONFIG, generat
 from repro.gestures import Bystander, perform_gesture
 from repro.preprocessing import keep_main_cluster
 from repro.preprocessing.noise import cluster_cloud
-from repro.preprocessing.pipeline import PreprocessorParams, preprocess_recording
 from repro.preprocessing.segmentation import Segment
 from repro.preprocessing.pipeline import aggregate_segment
 

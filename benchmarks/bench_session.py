@@ -49,7 +49,7 @@ def test_session_fusion(benchmark):
     widths = (20, 10)
     lines = [
         "Session fusion — identification accuracy vs gestures fused",
-        f"(single-gesture UIA from the standard evaluation: "
+        "(single-gesture UIA from the standard evaluation: "
         f"{results['single_uia']:.3f})",
         format_row(("gestures fused", "session UIA"), widths),
     ]

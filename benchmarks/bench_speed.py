@@ -8,7 +8,6 @@ overrides, train on the mixture, and check accuracy stays near the
 single-speed level.
 """
 
-import numpy as np
 import pytest
 
 from benchmarks.common import SCALE, emit, fit_and_evaluate, format_row

@@ -26,7 +26,6 @@ from repro import (
     train_test_split,
 )
 from repro.analysis.timing import profile_pipeline
-from repro.datasets.base import DatasetSpec
 from repro.serving import ModelRegistry
 from repro.gestures import ASL_GESTURES, ENVIRONMENTS, generate_users, perform_gesture
 from repro.radar import FastRadar, IWR6843_CONFIG

@@ -53,7 +53,7 @@ def main() -> None:
     t0 = time.time()
     system = registry.get_or_fit("gateway-demo", fit_small_system, directory=checkpoint)
     print(f"[server] model ready in {time.time() - t0:.1f}s "
-          f"(re-run to load the checkpoint instead)")
+          "(re-run to load the checkpoint instead)")
 
     # Gesture clouds to replay from the "edge": any held-out samples do.
     dataset = build_selfcollected(

@@ -17,7 +17,7 @@ import numpy as np
 from repro.gestures import ASL_GESTURES, ENVIRONMENTS, generate_users, perform_gesture
 from repro.preprocessing import keep_main_cluster
 from repro.radar import FastRadar, IWR6843_CONFIG, PointCloud
-from repro.viz import Canvas, color_for
+from repro.viz import Canvas
 
 GESTURES = ("push", "front")
 SIZE = 260.0

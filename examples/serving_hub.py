@@ -64,7 +64,7 @@ def main() -> None:
     system = registry.get_or_fit("serving-demo", fit_small_system, directory=checkpoint)
     print(f"model ready in {time.time() - t0:.1f}s "
           f"(fits={registry.stats.fits}, loads={registry.stats.loads}; "
-          f"re-run this example to see the checkpoint load instead)")
+          "re-run this example to see the checkpoint load instead)")
 
     # Eight simulated devices: each records one gesture performance.
     users = generate_users(NUM_STREAMS, seed=11)

@@ -41,11 +41,11 @@ def main() -> None:
     )
     counts = [f.num_points for f in recording.frames]
     print(f"  {recording.num_frames} frames; per-frame detections: {counts}")
-    print(f"  ground-truth motion span: frames "
+    print("  ground-truth motion span: frames "
           f"[{recording.motion_start_frame}, {recording.motion_end_frame})")
 
     segments = GestureSegmenter().segment(recording.frames)
-    print(f"  sliding-window segmentation found: "
+    print("  sliding-window segmentation found: "
           f"{[(s.start, s.end) for s in segments]}")
 
     cloud = PointCloud.from_frames(recording.frames)

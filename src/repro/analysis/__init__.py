@@ -1,6 +1,48 @@
-"""Analysis utilities: t-SNE embedding (Fig. 6) and stage timing (SVI-B5)."""
+"""Analysis utilities.
 
-from repro.analysis.tsne import tsne
+Two families live here:
+
+* paper-facing analysis — t-SNE embedding (Fig. 6) and stage timing
+  (SVI-B5);
+* repo-facing analysis — the ``repro-check`` concurrency-invariant
+  static analyzer (:mod:`repro.analysis.checks`,
+  :mod:`repro.analysis.rules`) and the dynamic lock-order witness
+  (:mod:`repro.analysis.lockwitness`) used by the fault/chaos tests.
+  Run the analyzer with ``python -m repro.analysis`` or the
+  ``repro-check`` console script.
+"""
+
+from repro.analysis.checks import (
+    Finding,
+    load_baseline,
+    run_checks,
+    split_by_baseline,
+    write_baseline,
+)
+from repro.analysis.lockwitness import (
+    LockGraph,
+    LockOrderViolation,
+    WitnessHandle,
+    install_if_enabled,
+)
+from repro.analysis.rules import ALL_RULES, RULES_BY_ID
 from repro.analysis.timing import StageTimer, TimingReport, profile_pipeline
+from repro.analysis.tsne import tsne
 
-__all__ = ["tsne", "StageTimer", "TimingReport", "profile_pipeline"]
+__all__ = [
+    "tsne",
+    "StageTimer",
+    "TimingReport",
+    "profile_pipeline",
+    "Finding",
+    "run_checks",
+    "load_baseline",
+    "write_baseline",
+    "split_by_baseline",
+    "ALL_RULES",
+    "RULES_BY_ID",
+    "LockGraph",
+    "LockOrderViolation",
+    "WitnessHandle",
+    "install_if_enabled",
+]

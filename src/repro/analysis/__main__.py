@@ -1,0 +1,6 @@
+"""``python -m repro.analysis`` — run the repro-check static analyzer."""
+
+from repro.analysis.checks import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -239,7 +239,7 @@ def _hedge_arg(text: str | None) -> float | str | None:
         return float(text)
     except ValueError:
         raise SystemExit(
-            f"error: --hedge-ms needs a number of milliseconds or 'auto', "
+            "error: --hedge-ms needs a number of milliseconds or 'auto', "
             f"got {text!r}"
         ) from None
 
@@ -332,8 +332,11 @@ def _cmd_serve_gateway(args: argparse.Namespace) -> int:
                     await asyncio.sleep(max(float(args.watch_every), 0.1))
                     try:
                         reload_hook()
+                    # A checkpoint caught mid-write fails to parse; the
+                    # next tick re-reads it whole.  Deliberate swallow.
+                    # repro-check: ignore[RC006]
                     except Exception:
-                        pass  # checkpoint mid-write; retry next tick
+                        pass
 
             watcher = asyncio.create_task(_watch())
         try:

@@ -16,7 +16,6 @@ import numpy as np
 
 from repro.core.gesidnet import GesIDNet
 from repro.core.pipeline import GesturePrint, IdentificationMode
-from repro.core.trainer import TrainConfig
 from repro.nn.losses import CrossEntropyLoss
 from repro.nn.optim import Adam
 

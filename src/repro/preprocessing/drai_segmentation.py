@@ -18,8 +18,6 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass
 
-import numpy as np
-
 from repro.preprocessing.segmentation import Segment
 from repro.radar.config import IWR6843_CONFIG, RadarConfig
 from repro.radar.drai import DRAIParams, DRAIStream

@@ -11,7 +11,6 @@ from __future__ import annotations
 import numpy as np
 
 from repro.radar.config import RadarConfig
-from repro.radar.fmcw import NUM_SAMPLES
 
 
 def range_fft(cube: np.ndarray, config: RadarConfig) -> np.ndarray:

@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import abc
 from concurrent.futures import Future
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Any, Callable
 
 import numpy as np
 
@@ -89,7 +89,7 @@ class ExecutionBackend(abc.ABC):
         self.close()
 
 
-def run_to_future(fn, *args) -> Future:
+def run_to_future(fn: Callable[..., Any], *args: Any) -> Future:
     """Execute ``fn`` now, capturing its outcome into a completed Future.
 
     The inline backend's whole submission path: the caller gets the same
@@ -106,7 +106,7 @@ def run_to_future(fn, *args) -> Future:
 
 
 def create_backend(
-    spec: str, *, workers: int | None = None, **kwargs
+    spec: str, *, workers: int | None = None, **kwargs: Any
 ) -> ExecutionBackend:
     """Build a backend from its CLI spelling (``--backend``/``--workers``)."""
     from repro.serving.backends.inline import InlineBackend

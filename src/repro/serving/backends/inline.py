@@ -4,10 +4,14 @@ from __future__ import annotations
 
 import time
 from concurrent.futures import Future
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.serving.backends.base import ExecutionBackend, run_to_future
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.pipeline import GesturePrint
 
 
 class InlineBackend(ExecutionBackend):
@@ -24,7 +28,7 @@ class InlineBackend(ExecutionBackend):
     name = "inline"
     slots = 1
 
-    def submit(self, system, batch: np.ndarray) -> Future:
+    def submit(self, system: "GesturePrint", batch: np.ndarray) -> Future:
         def run():
             start = time.perf_counter()
             result = system.predict(batch)

@@ -6,10 +6,14 @@ import copy
 import threading
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.serving.backends.base import ExecutionBackend
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.pipeline import GesturePrint, PipelineResult
 
 
 class ThreadPoolBackend(ExecutionBackend):
@@ -45,7 +49,7 @@ class ThreadPoolBackend(ExecutionBackend):
         self._local = threading.local()
 
     # ------------------------------------------------------------------
-    def _replica(self, system):
+    def _replica(self, system: "GesturePrint") -> "GesturePrint":
         cache: dict[int, tuple[object, object]] = getattr(
             self._local, "replicas", None
         ) or {}
@@ -59,14 +63,16 @@ class ThreadPoolBackend(ExecutionBackend):
             cache.pop(next(iter(cache)))
         return replica
 
-    def _run(self, system, batch: np.ndarray):
+    def _run(
+        self, system: "GesturePrint", batch: np.ndarray
+    ) -> "tuple[PipelineResult, float]":
         replica = self._replica(system)
         start = time.perf_counter()
         result = replica.predict(batch)
         return result, time.perf_counter() - start
 
     # ------------------------------------------------------------------
-    def submit(self, system, batch: np.ndarray) -> Future:
+    def submit(self, system: "GesturePrint", batch: np.ndarray) -> Future:
         return self._pool.submit(self._run, system, batch)
 
     def close(self) -> None:

@@ -131,7 +131,7 @@ class Ticket:
         arrival: float = 0.0,
         deadline: float | None = None,
         priority: int = 0,
-    ):
+    ) -> None:
         self.meta = meta
         self.arrival = arrival
         self.deadline = deadline
@@ -234,6 +234,10 @@ class EngineStats:
     #: where the duplicate actually delivered first.
     hedged_batches: int = 0
     hedge_wins: int = 0
+    #: Hedge placements the backend refused (pool at capacity or
+    #: closing); the primary keeps running, but a climbing count means
+    #: the hedge budget is writing checks the pool can't cash.
+    hedge_rejected: int = 0
 
     @property
     def mean_batch(self) -> float:
@@ -610,7 +614,11 @@ class InferenceEngine:
                 # FIFO behind the backlog would forfeit the race.
                 hedge = self.backend.submit_urgent(flight.system, flight.batch)
             except Exception:
-                continue  # no spare capacity / closing pool: keep waiting
+                # No spare capacity / closing pool: the primary is still
+                # in flight, so keep waiting — but count the refusal
+                # rather than swallowing it invisibly (RC006).
+                self.stats.hedge_rejected += 1
+                continue
             flight.hedge = hedge
             flight.hedged_at = now
             self.stats.hedged_batches += 1

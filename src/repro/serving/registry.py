@@ -159,8 +159,11 @@ class ModelRegistry:
     def clear(self) -> None:
         self._cache.clear()
         self._mtimes.clear()
-        for cache_key in list(self._arenas):
-            self._retire_arena(cache_key)
+        doomed: list[str] = []
+        with self._arena_lock:
+            for cache_key in list(self._arenas):
+                doomed.extend(self._retire_arena_locked(cache_key))
+        self._delete_bundles(doomed)
 
     # ------------------------------------------------------------------
     # Shareable weight arenas (mmap bundles for process backends)
@@ -182,8 +185,15 @@ class ModelRegistry:
             self._arena_pinned.add(bundle)
 
     def decref_arena(self, bundle: str | os.PathLike) -> None:
-        """Drop one pin; deletes a superseded bundle at refcount zero."""
+        """Drop one pin; deletes a superseded bundle at refcount zero.
+
+        The caller is often a pool supervisor already holding its own
+        pool lock, so — like the export in :meth:`arena_for` — the
+        actual ``rmtree`` runs after ``_arena_lock`` is released: only
+        the bookkeeping happens under the lock.
+        """
         bundle = os.fspath(bundle)
+        doomed: list[str] = []
         with self._arena_lock:
             count = self._arena_refs.get(bundle, 0) - 1
             if count > 0:
@@ -192,12 +202,24 @@ class ModelRegistry:
             self._arena_refs.pop(bundle, None)
             if bundle in self._retire_pending:
                 self._retire_pending.discard(bundle)
-                self._delete_bundle(bundle)
+                doomed.append(self._note_retired_locked(bundle))
+        self._delete_bundles(doomed)
 
-    def _delete_bundle(self, bundle: str) -> None:
-        shutil.rmtree(bundle, ignore_errors=True)
+    def _note_retired_locked(self, bundle: str) -> str:
+        """Account one bundle as retired; caller holds ``_arena_lock``
+        and must pass the returned path to :meth:`_delete_bundles`
+        *after* releasing it.  Once unlinked from every tracking
+        structure here, no other thread can reach the path, so the
+        off-lock deletion cannot double-free."""
         self._arena_pinned.discard(bundle)
         self.stats.retired_arenas += 1
+        return bundle
+
+    @staticmethod
+    def _delete_bundles(bundles: list[str]) -> None:
+        """Blocking disk IO — must run with ``_arena_lock`` released."""
+        for bundle in bundles:
+            shutil.rmtree(bundle, ignore_errors=True)
 
     @staticmethod
     def _arena_key(key: str, precision: str) -> str:
@@ -208,13 +230,15 @@ class ModelRegistry:
     ) -> None:
         """Retire every precision variant of ``key`` (except ``keep``'s)."""
         prefix = f"{key}@"
+        doomed: list[str] = []
         with self._arena_lock:
             for cache_key in [k for k in self._arenas if k.startswith(prefix)]:
                 if keep is not None and self._arenas[cache_key][0] is keep:
                     continue
-                self._retire_arena(cache_key)
+                doomed.extend(self._retire_arena_locked(cache_key))
+        self._delete_bundles(doomed)
 
-    def _retire_arena(self, key: str) -> None:
+    def _retire_arena_locked(self, key: str) -> list[str]:
         """Supersede ``key``'s current bundle and garbage collect.
 
         With refcounting engaged (the bundle was ever pinned) the bundle
@@ -223,21 +247,26 @@ class ModelRegistry:
         pinned gets the conservative one-swap grace instead: it survives
         until the *next* turnover of the same key, so a non-refcounting
         attacher racing the swap cannot lose its mapping.
+
+        Caller holds ``_arena_lock``; the returned paths must go to
+        :meth:`_delete_bundles` after release (RC002: no disk IO under
+        the arena lock).
         """
-        with self._arena_lock:
-            entry = self._arenas.pop(key, None)
-            if entry is None:
-                return
-            bundle = entry[1]
-            if self._arena_refs.get(bundle, 0) > 0:
-                self._retire_pending.add(bundle)
-            elif bundle in self._arena_pinned:
-                self._delete_bundle(bundle)
-            else:
-                displaced = self._graced.pop(key, None)
-                if displaced is not None:
-                    self._delete_bundle(displaced)
-                self._graced[key] = bundle
+        doomed: list[str] = []
+        entry = self._arenas.pop(key, None)
+        if entry is None:
+            return doomed
+        bundle = entry[1]
+        if self._arena_refs.get(bundle, 0) > 0:
+            self._retire_pending.add(bundle)
+        elif bundle in self._arena_pinned:
+            doomed.append(self._note_retired_locked(bundle))
+        else:
+            displaced = self._graced.pop(key, None)
+            if displaced is not None:
+                doomed.append(self._note_retired_locked(displaced))
+            self._graced[key] = bundle
+        return doomed
 
     def arena_for(
         self, key: str, system: GesturePrint, *, precision: str = "float64"
@@ -260,12 +289,13 @@ class ModelRegistry:
         flat_dtype_for(precision)  # validates the name
         key = str(key)
         cache_key = self._arena_key(key, precision)
+        doomed: list[str] = []
         with self._arena_lock:
             entry = self._arenas.get(cache_key)
             if entry is not None and entry[0] is system:
                 return entry[1]
             if entry is not None:
-                self._retire_arena(cache_key)
+                doomed = self._retire_arena_locked(cache_key)
             if self._arena_root is None:
                 self._arena_root = tempfile.TemporaryDirectory(
                     prefix="repro-registry-"
@@ -274,12 +304,14 @@ class ModelRegistry:
                 self._arena_root.name, f"arena-{self.stats.arena_exports}"
             )
             self.stats.arena_exports += 1
-        # The export (full weight serialisation to disk) runs OUTSIDE the
-        # lock: a worker pool's supervisor calls decref_arena while
-        # holding its own pool lock, and stalling that on hundreds of ms
-        # of disk IO would freeze dispatch and crash detection.  Callers
-        # export from one serving thread (the engine's), so the
-        # reserved-path window cannot race another export of this key.
+        # The export (full weight serialisation to disk) and the doomed
+        # predecessor's deletion run OUTSIDE the lock: a worker pool's
+        # supervisor calls decref_arena while holding its own pool lock,
+        # and stalling that on hundreds of ms of disk IO would freeze
+        # dispatch and crash detection.  Callers export from one serving
+        # thread (the engine's), so the reserved-path window cannot race
+        # another export of this key.
+        self._delete_bundles(doomed)
         export_flat(system, bundle, precision=precision)
         with self._arena_lock:
             self._arenas[cache_key] = (system, bundle)

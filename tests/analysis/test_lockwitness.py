@@ -1,0 +1,217 @@
+"""Lock-order witness tests: AB/BA cycle detection, raise mode,
+Condition compatibility, and clean install/uninstall.
+
+Locks are deliberately created on *distinct* source lines: the witness
+names locks by creation site, so two locks born on one line merge into
+a single graph node (lock class, not instance) and their ordering is
+invisible by design.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.analysis import lockwitness
+from repro.analysis.lockwitness import (
+    LockGraph,
+    LockOrderViolation,
+    WitnessLock,
+    WitnessRLock,
+    install,
+    install_if_enabled,
+)
+
+
+@pytest.fixture()
+def witness():
+    handle = install()
+    try:
+        yield handle
+    finally:
+        handle.uninstall()
+
+
+def make_pair():
+    # Two creation sites -> two graph nodes.
+    lock_a = threading.Lock()
+    lock_b = threading.Lock()
+    return lock_a, lock_b
+
+
+def run_in_thread(fn):
+    worker = threading.Thread(target=fn, daemon=True)
+    worker.start()
+    worker.join(timeout=10)
+    assert not worker.is_alive()
+
+
+def test_install_patches_and_uninstall_restores():
+    saved_lock, saved_rlock = threading.Lock, threading.RLock
+    handle = install()
+    try:
+        assert isinstance(threading.Lock(), WitnessLock)
+        assert isinstance(threading.RLock(), WitnessRLock)
+    finally:
+        handle.uninstall()
+    assert threading.Lock is saved_lock
+    assert threading.RLock is saved_rlock
+    handle.uninstall()  # idempotent
+    assert threading.Lock is saved_lock
+
+
+def test_consistent_order_is_clean(witness):
+    lock_a, lock_b = make_pair()
+
+    def take_in_order():
+        with lock_a:
+            with lock_b:
+                pass
+
+    run_in_thread(take_in_order)
+    run_in_thread(take_in_order)
+    witness.assert_clean()
+    summary = witness.summary()
+    assert summary["cycles"] == []
+    assert summary["edges"] >= 1
+    assert summary["acquisitions"] >= 4
+
+
+def test_ab_ba_cycle_detected(witness):
+    lock_a, lock_b = make_pair()
+
+    def ab():
+        with lock_a:
+            with lock_b:
+                pass
+
+    def ba():
+        with lock_b:
+            with lock_a:
+                pass
+
+    # Sequential threads: no real deadlock ever happens, but the
+    # *ordering* cycle is recorded all the same — that is the point.
+    run_in_thread(ab)
+    run_in_thread(ba)
+    with pytest.raises(AssertionError, match="lock-order cycle"):
+        witness.assert_clean()
+    rendered = witness.summary()["cycles"]
+    assert len(rendered) == 1
+    assert " -> " in rendered[0]
+
+
+def test_raise_mode_raises_at_the_closing_acquire():
+    handle = install(raise_on_cycle=True)
+    try:
+        lock_a, lock_b = make_pair()
+        with lock_a:
+            with lock_b:
+                pass
+        failure = []
+
+        def ba():
+            try:
+                with lock_b:
+                    with lock_a:
+                        pass
+            except LockOrderViolation as error:
+                failure.append(error)
+
+        run_in_thread(ba)
+        assert len(failure) == 1
+        assert "lock-order cycle" in str(failure[0])
+    finally:
+        handle.uninstall()
+
+
+def test_same_site_locks_merge_into_one_node(witness):
+    locks = [threading.Lock() for _ in range(2)]  # one creation site
+
+    def pairwise():
+        with locks[0]:
+            with locks[1]:
+                pass
+
+    def reversed_pairwise():
+        with locks[1]:
+            with locks[0]:
+                pass
+
+    run_in_thread(pairwise)
+    run_in_thread(reversed_pairwise)
+    # Same-site edges are skipped: per-instance ordering of one lock
+    # class is not a reportable cycle.
+    witness.assert_clean()
+
+
+def test_rlock_reentrancy_keeps_single_stack_entry(witness):
+    rlock = threading.RLock()
+    other = threading.Lock()
+
+    def reenter():
+        with rlock:
+            with rlock:
+                with other:
+                    pass
+
+    run_in_thread(reenter)
+    witness.assert_clean()
+    assert witness.summary()["acquisitions"] >= 2
+
+
+def test_condition_over_witnessed_rlock(witness):
+    condition = threading.Condition()  # default lock is threading.RLock()
+    fired = threading.Event()
+
+    def waiter():
+        with condition:
+            condition.wait(timeout=10)
+            fired.set()
+
+    worker = threading.Thread(target=waiter, daemon=True)
+    worker.start()
+    # Let the waiter reach wait() before notifying.
+    import time
+
+    deadline = time.monotonic() + 10
+    while not worker.is_alive() and time.monotonic() < deadline:
+        time.sleep(0.01)
+    time.sleep(0.05)
+    with condition:
+        condition.notify_all()
+    worker.join(timeout=10)
+    assert fired.is_set()
+    witness.assert_clean()
+
+
+def test_install_if_enabled_honours_env(monkeypatch):
+    monkeypatch.delenv(lockwitness.ENV_VAR, raising=False)
+    assert install_if_enabled() is None
+    monkeypatch.setenv(lockwitness.ENV_VAR, "0")
+    assert install_if_enabled() is None
+    monkeypatch.setenv(lockwitness.ENV_VAR, "1")
+    handle = install_if_enabled()
+    try:
+        assert handle is not None
+    finally:
+        handle.uninstall()
+
+
+def test_graph_summary_counts_created_locks():
+    graph = LockGraph()
+    handle = install(graph=graph)
+    try:
+        first = threading.Lock()
+        second = threading.RLock()
+        with first:
+            pass
+        with second:
+            pass
+    finally:
+        handle.uninstall()
+    summary = graph.summary()
+    assert summary["locks_created"] == 2
+    assert summary["acquisitions"] == 2
+    assert summary["cycles"] == []

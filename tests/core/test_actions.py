@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.actions import ActionMapper, Dispatch
+from repro.core.actions import ActionMapper
 from repro.core.openset import UNKNOWN_USER
 
 

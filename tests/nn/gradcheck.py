@@ -1,7 +1,5 @@
 """Shared numerical gradient-checking helper."""
 
-import numpy as np
-
 
 def numeric_param_grads(loss_fn, params, eps: float = 1e-6, stride: int = 1):
     """Central-difference gradients for a sample of parameter entries.

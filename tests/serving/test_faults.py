@@ -22,6 +22,7 @@ import time
 import numpy as np
 import pytest
 
+from repro.analysis import lockwitness
 from repro.serving import (
     BatchScheduler,
     InferenceEngine,
@@ -29,6 +30,26 @@ from repro.serving import (
     ProcessPoolBackend,
     WorkerCrashError,
 )
+
+
+@pytest.fixture(autouse=True, scope="module")
+def lock_order_witness():
+    """Opt-in lock-order audit over the whole fault module.
+
+    With ``REPRO_LOCK_WITNESS=1`` (the CI chaos setting) every
+    ``threading.Lock``/``RLock`` created while these tests run — the
+    pool's ``_lock``, the registry's ``_arena_lock``, future conditions —
+    is witnessed, and any acquired-while-held ordering cycle observed
+    across the module fails it, even if no run actually deadlocked.
+    """
+    handle = lockwitness.install_if_enabled()
+    try:
+        yield handle
+    finally:
+        if handle is not None:
+            handle.uninstall()
+    if handle is not None:
+        handle.assert_clean()
 
 
 def _wait_until(predicate, timeout_s: float = 20.0, what: str = "condition"):
