@@ -49,6 +49,7 @@ from repro.serving import (
     ModelRegistry,
     ProcessPoolBackend,
 )
+from repro.serving.observability import MetricsRegistry, parse_text, render_text
 
 WORKERS = 2
 HEARTBEAT_MS = 50.0
@@ -115,14 +116,39 @@ def _kill_one_worker(backend: ProcessPoolBackend) -> dict:
     return {"pid": pid, "mode": "injected_sigkill_on_next_batch"}
 
 
+def _scraped_counters(metrics: MetricsRegistry) -> dict:
+    """End-of-run /metrics scrape (in-process render + parse).
+
+    The recovery counters a dashboard would alert on, pulled back out
+    through the same exposition text Prometheus would scrape, so
+    ``_check`` can hold the instrumentation to the run's own JSON
+    numbers — drift between the two means the page lies.
+    """
+    page = parse_text(render_text(metrics))
+    label = (("backend", "process"),)
+
+    def counter(name: str) -> float:
+        return page.get((name, label), 0.0)
+
+    return {
+        "crashes": counter("repro_backend_crashes_total"),
+        "respawns": counter("repro_backend_respawns_total"),
+        "redispatches": counter("repro_backend_redispatches_total"),
+        "retried_batches": counter("repro_engine_retried_batches_total"),
+    }
+
+
 def _phase_crash(system) -> dict:
     samples = _samples(TOTAL_REQUESTS)
+    metrics = MetricsRegistry()
     scheduler = BatchScheduler(slo_ms=SLO_MS, max_batch=MAX_BATCH)
     backend = ProcessPoolBackend(
-        workers=WORKERS, heartbeat_ms=HEARTBEAT_MS, max_respawns=4
+        workers=WORKERS, heartbeat_ms=HEARTBEAT_MS, max_respawns=4,
+        metrics=metrics,
     )
     engine = InferenceEngine(
-        system, max_batch_size=MAX_BATCH, scheduler=scheduler, backend=backend
+        system, max_batch_size=MAX_BATCH, scheduler=scheduler, backend=backend,
+        metrics=metrics,
     )
     reference = InferenceEngine(system)
     try:
@@ -187,6 +213,7 @@ def _phase_crash(system) -> dict:
             "prefetched_pages": health["prefetched_pages"],
             "fidelity_checked": FIDELITY_EVENTS,
             "byte_identical": fidelity,
+            "scrape": _scraped_counters(metrics),
         }
     finally:
         backend.close()
@@ -299,6 +326,13 @@ def _check(results: dict) -> None:
         "the crash was supposed to catch a batch airborne (redispatch path)"
     )
     assert crash["byte_identical"], "post-recovery results drifted"
+    # The /metrics page must agree with the run's own counters exactly:
+    # a recovery that healed but scraped wrong would page nobody.
+    scrape = crash["scrape"]
+    for key in ("crashes", "respawns", "redispatches", "retried_batches"):
+        assert scrape[key] == float(crash[key]), (
+            f"scraped {key} {scrape[key]} != observed {crash[key]}"
+        )
     assert gc["byte_identical"], "post-swap results drifted"
     assert gc["arena_exports"] == NUM_SWAPS + 1
     assert gc["retired_arenas"] >= NUM_SWAPS - MAX_LIVE_ARENAS, (

@@ -57,6 +57,7 @@ from repro.serving import (
     InferenceEngine,
     ProcessPoolBackend,
 )
+from repro.serving.observability import MetricsRegistry, parse_text, render_text
 from repro.serving.precision import apply_precision, assert_fidelity, fidelity_report
 
 WORKERS = 2
@@ -107,10 +108,33 @@ def _samples(count: int, seed: int = 7) -> np.ndarray:
     return dataset.inputs[rng.integers(0, dataset.num_samples, size=count)]
 
 
+def _scraped_counters(metrics: MetricsRegistry) -> dict:
+    """End-of-leg /metrics scrape (in-process render + parse).
+
+    The hedge/retry counters this bench's JSON records from
+    ``engine.stats``, pulled back out through the exposition text a
+    Prometheus scraper would see — ``_check`` holds the two equal, so a
+    dashboard's hedge-rate panel cannot drift from ground truth.
+    """
+    page = parse_text(render_text(metrics))
+    label = (("backend", "process"),)
+
+    def counter(name: str) -> float:
+        return page.get((name, label), 0.0)
+
+    return {
+        "hedged_batches": counter("repro_engine_hedged_batches_total"),
+        "hedge_wins": counter("repro_engine_hedge_wins_total"),
+        "retried_batches": counter("repro_engine_retried_batches_total"),
+        "crashes": counter("repro_backend_crashes_total"),
+    }
+
+
 def _phase_tail(system, *, hedge_ms, pin_cores: bool) -> dict:
     """One paced-burst leg: steady load + three injected hangs."""
     samples = _samples(TOTAL_REQUESTS)
     hang_points = {max(int(TOTAL_REQUESTS * f), 1) for f in HANG_FRACTIONS}
+    metrics = MetricsRegistry()  # fresh per leg: counters stay per-run
     scheduler = BatchScheduler(slo_ms=SLO_MS, max_batch=MAX_BATCH)
     backend = ProcessPoolBackend(
         workers=WORKERS,
@@ -118,6 +142,7 @@ def _phase_tail(system, *, hedge_ms, pin_cores: bool) -> dict:
         hang_timeout_s=HANG_TIMEOUT_S,
         max_respawns=8,
         pin_cores=pin_cores,
+        metrics=metrics,
     )
     engine = InferenceEngine(
         system,
@@ -125,6 +150,7 @@ def _phase_tail(system, *, hedge_ms, pin_cores: bool) -> dict:
         scheduler=scheduler,
         backend=backend,
         hedge_ms=hedge_ms,
+        metrics=metrics,
     )
     try:
         # Warm-up off the clock: the first batch pays worker spawn and
@@ -224,6 +250,7 @@ def _phase_tail(system, *, hedge_ms, pin_cores: bool) -> dict:
             "p99_ms": round(tail["p99"], 2),
             "max_ms": round(tail["max"], 2),
             "tail_ratio": round(tail["p99"] / tail["p50"], 2),
+            "scrape": _scraped_counters(metrics),
         }
     finally:
         backend.close()
@@ -367,6 +394,13 @@ def _check(results: dict) -> None:
         assert leg["duplicates"] == 0, f"{name}: a hedged batch delivered twice"
         assert leg["failed"] == 0, f"{name}: {leg['failed']} tickets failed"
         assert leg["hangs_injected"] == len(HANG_FRACTIONS)
+        # The leg's /metrics scrape must agree with engine.stats exactly
+        # — a hedge-rate dashboard drifting from ground truth is a bug.
+        for key in ("hedged_batches", "hedge_wins", "retried_batches", "crashes"):
+            assert leg["scrape"][key] == float(leg[key]), (
+                f"{name}: scraped {key} {leg['scrape'][key]} "
+                f"!= observed {leg[key]}"
+            )
     assert baseline["hedged_batches"] == 0, "hedging fired with hedge_ms=None"
     assert hedged["hedged_batches"] >= 1, "no batch outlived the hedge threshold"
     assert hedged["hedge_wins"] >= 1, "no hedge beat its hung primary"

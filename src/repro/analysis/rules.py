@@ -1,4 +1,4 @@
-"""RC001–RC006: the serving stack's concurrency invariants as AST rules.
+"""RC001–RC007: the serving stack's concurrency invariants as AST rules.
 
 Each rule is a small class with ``rule_id``, ``title``, ``applies_to``
 (path scoping, so e.g. the async-blocking rule only runs on the
@@ -601,6 +601,159 @@ class ThreadHygieneRule:
         return len(body) == 1 and isinstance(body[0], (ast.Pass, ast.Continue))
 
 
+# ----------------------------------------------------------------------
+# RC007 — ad-hoc telemetry: bare print(), unbounded list-append stats
+# ----------------------------------------------------------------------
+_DRAIN_ATTRS = {"clear", "pop", "popleft", "remove"}
+
+
+class TelemetryRule:
+    """Serving code must not improvise its own telemetry.
+
+    Two shapes get flagged:
+
+    * a bare ``print(...)`` — invisible to scrapers, unbounded on a hot
+      path, and interleaved garbage under concurrency; use a metric or a
+      trace record;
+    * an append-only stats list: ``self.xs = []`` in ``__init__`` plus
+      ``self.xs.append(...)`` with **no** drain anywhere in the class
+      (no ``clear``/``pop``/``remove``, no ``del``, no reassignment, no
+      slicing) — a long-lived server grows it forever.  Bounded
+      structures (``deque(maxlen=...)``) and lists the class actually
+      drains are fine.
+    """
+
+    rule_id = "RC007"
+    title = "ad-hoc telemetry: bare print() / unbounded list-append stats"
+
+    def applies_to(self, rel: str) -> bool:
+        return "serving/" in rel
+
+    def check(self, module: ModuleSource) -> list[Finding]:
+        findings = []
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call) and dotted_name(node.func) == "print":
+                findings.append(
+                    module.finding(
+                        self.rule_id,
+                        node,
+                        "bare `print()` in serving code — stdout telemetry "
+                        "is invisible to scrapers and interleaves under "
+                        "concurrency; record a metric "
+                        "(`repro.serving.observability.metrics`) or a trace "
+                        "instead",
+                    )
+                )
+            elif isinstance(node, ast.ClassDef):
+                findings.extend(self._check_class(module, node))
+        return findings
+
+    def _check_class(self, module: ModuleSource, cls: ast.ClassDef):
+        grown = self._init_list_attrs(cls)
+        if not grown:
+            return
+        unbounded = grown - self._drained_attrs(cls)
+        if not unbounded:
+            return
+        for fn in self._methods(cls):
+            for call, _awaited in iter_calls(fn.body):
+                attr = self._self_attr_method(call, {"append", "extend"})
+                if attr in unbounded:
+                    yield module.finding(
+                        self.rule_id,
+                        call,
+                        f"`self.{attr}.append(...)` grows a list that is "
+                        "never drained, cleared, or bounded anywhere in "
+                        f"`{cls.name}` — a long-lived server leaks one entry "
+                        "per event; use a bounded deque(maxlen=...), a "
+                        "counter/histogram, or drain it",
+                    )
+
+    @staticmethod
+    def _methods(cls: ast.ClassDef):
+        for stmt in cls.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield stmt
+
+    @staticmethod
+    def _self_attr_name(node: ast.AST) -> str | None:
+        """'xs' for a ``self.xs`` expression, else None."""
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+        ):
+            return node.attr
+        return None
+
+    def _self_attr_method(self, call: ast.Call, methods: set[str]) -> str | None:
+        """'xs' for ``self.xs.append(...)`` when append is in ``methods``."""
+        func = call.func
+        if isinstance(func, ast.Attribute) and func.attr in methods:
+            return self._self_attr_name(func.value)
+        return None
+
+    def _init_list_attrs(self, cls: ast.ClassDef) -> set[str]:
+        """Attrs assigned a list literal/``list()`` in ``__init__``."""
+        attrs: set[str] = set()
+        for fn in self._methods(cls):
+            if fn.name != "__init__":
+                continue
+            for node in ast.walk(fn):
+                if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+                    continue
+                value = node.value
+                is_list = isinstance(value, (ast.List, ast.ListComp)) or (
+                    isinstance(value, ast.Call)
+                    and dotted_name(value.func) == "list"
+                )
+                if not is_list:
+                    continue
+                targets = (
+                    node.targets if isinstance(node, ast.Assign) else [node.target]
+                )
+                for target in targets:
+                    name = self._self_attr_name(target)
+                    if name is not None:
+                        attrs.add(name)
+        return attrs
+
+    def _drained_attrs(self, cls: ast.ClassDef) -> set[str]:
+        """Attrs the class bounds somewhere: drained, deleted, resliced,
+        or reassigned outside ``__init__``."""
+        drained: set[str] = set()
+        for fn in self._methods(cls):
+            for node in ast.walk(fn):
+                if isinstance(node, ast.Call):
+                    name = self._self_attr_method(node, _DRAIN_ATTRS)
+                    if name is not None:
+                        drained.add(name)
+                elif isinstance(node, ast.Delete):
+                    for target in node.targets:
+                        base = target
+                        if isinstance(base, ast.Subscript):
+                            base = base.value
+                        name = self._self_attr_name(base)
+                        if name is not None:
+                            drained.add(name)
+                elif isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                    if fn.name == "__init__" and not isinstance(node, ast.AugAssign):
+                        continue
+                    targets = (
+                        node.targets
+                        if isinstance(node, ast.Assign)
+                        else [node.target]
+                    )
+                    for target in targets:
+                        base = target
+                        if isinstance(base, ast.Subscript):
+                            base = base.value  # self.xs[...] = — a trim
+                        name = self._self_attr_name(base)
+                        if name is not None:
+                            drained.add(name)
+        return drained
+
+
 ALL_RULES = [
     BlockingInAsyncRule(),
     LockAcrossBlockingRule(),
@@ -608,6 +761,7 @@ ALL_RULES = [
     WallClockRule(),
     ArenaAbuseRule(),
     ThreadHygieneRule(),
+    TelemetryRule(),
 ]
 
 RULES_BY_ID = {rule.rule_id: rule for rule in ALL_RULES}

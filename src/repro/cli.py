@@ -272,6 +272,27 @@ def _apply_serve_precision(args: argparse.Namespace, system):
     return system if args.backend == "process" else candidate
 
 
+def _build_observability(args: argparse.Namespace):
+    """``(metrics_server, tracer, trace_log)`` per the serve flags.
+
+    ``--metrics-port`` opens the Prometheus ``/metrics`` side port over
+    the process-global registry (which every serving component reports
+    to by default); ``--trace-log`` tees each ticket's terminal
+    :class:`TraceRecord` to a JSONL file.  The tracer itself is always
+    on for the gateway (its ring is cheap and the TRACE frame drains it
+    remotely).
+    """
+    from repro.serving.observability import MetricsServer, TraceLog, Tracer
+
+    metrics_server = None
+    if args.metrics_port is not None:
+        metrics_server = MetricsServer(args.metrics_port)
+        print(json.dumps({"metrics": metrics_server.url}), flush=True)
+    trace_log = TraceLog(args.trace_log) if args.trace_log else None
+    tracer = Tracer(capacity=2048, sink=trace_log)
+    return metrics_server, tracer, trace_log
+
+
 def _cmd_serve_gateway(args: argparse.Namespace) -> int:
     """Expose the engine over TCP: the async gateway with SLO classes."""
     import asyncio
@@ -299,6 +320,7 @@ def _cmd_serve_gateway(args: argparse.Namespace) -> int:
         slo_ms=slo_ms, max_batch=args.max_batch, adapt_margin=True
     )
     backend = _build_backend(args)
+    metrics_server, tracer, trace_log = _build_observability(args)
     server = GatewayServer(
         system,
         scheduler=scheduler,
@@ -306,6 +328,7 @@ def _cmd_serve_gateway(args: argparse.Namespace) -> int:
         hedge_ms=_hedge_arg(args.hedge_ms),
         tenants=tenants,
         max_batch_size=args.max_batch,
+        tracer=tracer,
     )
 
     def reload_hook() -> int:
@@ -358,6 +381,10 @@ def _cmd_serve_gateway(args: argparse.Namespace) -> int:
         pass
     finally:
         backend.close()
+        if metrics_server is not None:
+            metrics_server.close()
+        if trace_log is not None:
+            trace_log.close()
     return 0
 
 
@@ -405,12 +432,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if slo_ms is not None:
         scheduler = BatchScheduler(slo_ms=slo_ms, max_batch=args.max_batch)
     backend = _build_backend(args)
+    metrics_server, tracer, trace_log = _build_observability(args)
     engine = InferenceEngine(
         system,
         max_batch_size=args.max_batch,
         scheduler=scheduler,
         backend=backend,
         hedge_ms=hedge_ms,
+        tracer=tracer,
     )
     hub = StreamHub(
         engine=engine,
@@ -438,6 +467,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         events.extend(hub.flush_streams())
     finally:
         backend.close()
+        if metrics_server is not None:
+            metrics_server.close()
+        if trace_log is not None:
+            trace_log.close()
     elapsed = time.perf_counter() - start
 
     stats = hub.engine.stats
@@ -537,6 +570,14 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--tenants", metavar="CFG_JSON", default=None,
                        help="tenant/SLO-class config for the gateway "
                             "(classes, assignments, default_class)")
+    serve.add_argument("--metrics-port", type=int, default=None,
+                       help="expose a Prometheus /metrics endpoint on this "
+                            "side port (text exposition 0.0.4; scrape with "
+                            "curl or a Prometheus job)")
+    serve.add_argument("--trace-log", metavar="PATH", default=None,
+                       help="append one JSON line per finished request "
+                            "trace (submit->terminal lifecycle with "
+                            "per-stage latencies) to PATH")
     serve.add_argument("--serve-seconds", type=float, default=None,
                        help="gateway mode: stop after this many seconds "
                             "(default: serve until interrupted)")

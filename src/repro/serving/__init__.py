@@ -26,6 +26,12 @@ Four pieces, layered under the runtimes in :mod:`repro.core`:
   asyncio TCP server speaking a versioned binary protocol, with
   per-tenant SLO classes, weighted priority admission, and load
   shedding (:class:`GatewayServer` / :class:`GatewayClient`).
+* :mod:`repro.serving.observability` — the operator surface every layer
+  above reports into: a stdlib metrics registry with a Prometheus
+  ``/metrics`` side port (:class:`MetricsRegistry` /
+  :class:`MetricsServer`) and per-ticket lifecycle tracing with
+  exactly-one-terminal records (:class:`Tracer`); see
+  ``docs/observability.md``.
 """
 
 from repro.serving.backends import (
@@ -47,6 +53,14 @@ from repro.serving.gateway import (
     TenantDirectory,
 )
 from repro.serving.hub import StreamError, StreamEvent, StreamHub, derive_stream_seed
+from repro.serving.observability import (
+    MetricsRegistry,
+    MetricsServer,
+    TraceLog,
+    TraceRecord,
+    Tracer,
+    get_metrics,
+)
 from repro.serving.registry import ModelRegistry, RegistryStats
 from repro.serving.scheduler import BatchScheduler, SchedulerStats, request_order
 
@@ -70,8 +84,14 @@ __all__ = [
     "SchedulerStats",
     "TenantDirectory",
     "Ticket",
+    "MetricsRegistry",
+    "MetricsServer",
     "ModelRegistry",
     "RegistryStats",
+    "TraceLog",
+    "TraceRecord",
+    "Tracer",
+    "get_metrics",
     "StreamError",
     "StreamEvent",
     "StreamHub",

@@ -68,6 +68,7 @@ from multiprocessing.connection import wait as connection_wait
 import numpy as np
 
 from repro.serving.backends.base import ExecutionBackend
+from repro.serving.observability.metrics import MetricsRegistry, get_metrics
 
 #: Bundles a worker keeps attached (current system + one swap-ago); the
 #: parent mirrors this constant to model each worker's mappings for the
@@ -295,6 +296,12 @@ class ProcessPoolBackend(ExecutionBackend):
         pages and BLAS threads stop migrating between cores.  Graceful
         no-op on platforms without ``sched_setaffinity`` (macOS,
         Windows).
+    metrics:
+        :class:`~repro.serving.observability.metrics.MetricsRegistry` to
+        instrument against (default: the process-global one).  Crash /
+        respawn / redispatch / prefetch counters increment at the same
+        sites as the ``describe()`` numbers; per-worker liveness is
+        exported as gauges refreshed at scrape time.
     """
 
     name = "process"
@@ -316,6 +323,7 @@ class ProcessPoolBackend(ExecutionBackend):
         precision: str = "float64",
         prefetch: bool = True,
         pin_cores: bool = False,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -378,6 +386,51 @@ class ProcessPoolBackend(ExecutionBackend):
         self.respawns = 0
         self.crashes = 0
         self.redispatches = 0
+        self._metrics = metrics if metrics is not None else get_metrics()
+        label = {"backend": self.name}
+        self._m_crashes = self._metrics.counter(
+            "repro_backend_crashes_total",
+            "Workers declared dead (exit, SIGKILL, or missed heartbeats)",
+            ("backend",),
+        ).labels(**label)
+        self._m_respawns = self._metrics.counter(
+            "repro_backend_respawns_total",
+            "Replacement workers spawned after a death",
+            ("backend",),
+        ).labels(**label)
+        self._m_redispatches = self._metrics.counter(
+            "repro_backend_redispatches_total",
+            "Batches moved off a dead worker onto a healthy one",
+            ("backend",),
+        ).labels(**label)
+        self._m_prefetched = self._metrics.counter(
+            "repro_backend_prefetched_pages_total",
+            "Arena pages touched at attach time, ahead of the first batch",
+            ("backend",),
+        ).labels(**label)
+        self._m_alive = self._metrics.gauge(
+            "repro_backend_alive_workers", "Workers currently alive", ("backend",)
+        ).labels(**label)
+        self._m_queued = self._metrics.gauge(
+            "repro_backend_queued", "Batches waiting for a free worker", ("backend",)
+        ).labels(**label)
+        self._m_degraded = self._metrics.gauge(
+            "repro_backend_degraded",
+            "1 when the respawn budget is exhausted and the pool is shrinking",
+            ("backend",),
+        ).labels(**label)
+        self._m_worker_up = self._metrics.gauge(
+            "repro_backend_worker_up",
+            "1 while this worker is alive",
+            ("backend", "worker"),
+        )
+        self._m_worker_busy = self._metrics.gauge(
+            "repro_backend_worker_busy",
+            "1 while this worker has a batch airborne",
+            ("backend", "worker"),
+        )
+        self._seen_worker_labels: set[str] = set()
+        self._metrics.register_collector(self._collect_metrics)
         self._wake_r, self._wake_w = self._ctx.Pipe(duplex=False)
         self._pool: list[_Worker] = [self._spawn_worker() for _ in range(workers)]
         #: Exported bundles by system identity; values hold a strong
@@ -390,6 +443,38 @@ class ProcessPoolBackend(ExecutionBackend):
             target=self._supervise, name="repro-pool-supervisor", daemon=True
         )
         self._supervisor.start()
+
+    # ------------------------------------------------------------------
+    def _collect_metrics(self) -> None:
+        """Scrape-time gauge refresh (registered as a metrics collector).
+
+        Snapshots pool state under the lock, writes gauges after
+        releasing it.  Workers that left the pool since the last scrape
+        have their per-worker series pinned to 0 rather than frozen at
+        their last live values.
+        """
+        with self._lock:
+            alive = sum(1 for w in self._pool if w.alive)
+            queued = len(self._queue)
+            degraded = self._degraded
+            rows = [
+                (str(w.ident), w.alive, w.task is not None) for w in self._pool
+            ]
+        self._m_alive.set(alive)
+        self._m_queued.set(queued)
+        self._m_degraded.set(1.0 if degraded else 0.0)
+        current = {ident for ident, _, _ in rows}
+        for ident, is_alive, busy in rows:
+            self._m_worker_up.labels(backend=self.name, worker=ident).set(
+                1.0 if is_alive else 0.0
+            )
+            self._m_worker_busy.labels(backend=self.name, worker=ident).set(
+                1.0 if busy else 0.0
+            )
+        for ident in self._seen_worker_labels - current:
+            self._m_worker_up.labels(backend=self.name, worker=ident).set(0.0)
+            self._m_worker_busy.labels(backend=self.name, worker=ident).set(0.0)
+        self._seen_worker_labels |= current
 
     # ------------------------------------------------------------------
     # Arena bundles (export + refcounts)
@@ -699,6 +784,9 @@ class ProcessPoolBackend(ExecutionBackend):
             self._last_bundle = task.bundle
             worker.task = task
             worker.task_started = time.monotonic()
+            # Who ran it, for trace records: a redispatch overwrites the
+            # stamp, so the future reports the worker that finished it.
+            task.future.worker = worker.ident
 
     def _read_messages_locked(self, actions: list) -> None:
         now = time.monotonic()
@@ -723,6 +811,7 @@ class ProcessPoolBackend(ExecutionBackend):
                     continue
                 if kind == "pf":
                     self.prefetched_pages += int(message[1])
+                    self._m_prefetched.inc(int(message[1]))
                     continue
                 task = worker.task
                 if task is None or task.task_id != message[1]:
@@ -775,6 +864,7 @@ class ProcessPoolBackend(ExecutionBackend):
         self, worker: _Worker, reason: str, actions: list
     ) -> None:
         self.crashes += 1
+        self._m_crashes.inc()
         self._pool.remove(worker)
         worker.eof = True
         try:
@@ -794,6 +884,7 @@ class ProcessPoolBackend(ExecutionBackend):
         worker.task = None
         if self.respawns < self._max_respawns:
             self.respawns += 1
+            self._m_respawns.inc()
             self._want_spawn += 1  # spawned outside the lock
         # Someone must exist to run a redispatched batch: a survivor, a
         # replacement just budgeted, or one already spawning.  Otherwise
@@ -808,6 +899,7 @@ class ProcessPoolBackend(ExecutionBackend):
             if lost.retries < self._max_redispatch and healthy:
                 lost.retries += 1
                 self.redispatches += 1
+                self._m_redispatches.inc()
                 lost.future.retried = True
                 self._queue.insert(0, lost)  # ahead of newer work
             else:
@@ -866,6 +958,7 @@ class ProcessPoolBackend(ExecutionBackend):
     # Shutdown
     # ------------------------------------------------------------------
     def close(self) -> None:
+        self._metrics.unregister_collector(self._collect_metrics)
         with self._lock:
             if self._closed:
                 return

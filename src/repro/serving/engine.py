@@ -63,6 +63,8 @@ import numpy as np
 
 from repro.core.pipeline import GesturePrint, PipelineResult
 from repro.serving.backends import ExecutionBackend, InlineBackend
+from repro.serving.observability.metrics import MetricsRegistry, get_metrics
+from repro.serving.observability.tracing import TraceRecord, Tracer
 from repro.serving.scheduler import BatchScheduler, request_order
 
 
@@ -115,6 +117,7 @@ class Ticket:
         "arrival",
         "deadline",
         "priority",
+        "trace",
         "_callback",
         "_on_error",
         "_result",
@@ -131,11 +134,17 @@ class Ticket:
         arrival: float = 0.0,
         deadline: float | None = None,
         priority: int = 0,
+        trace: TraceRecord | None = None,
     ) -> None:
         self.meta = meta
         self.arrival = arrival
         self.deadline = deadline
         self.priority = priority
+        #: Lifecycle trace riding this request (see
+        #: :mod:`repro.serving.observability.tracing`); the delivery /
+        #: failure / cancellation guards below record its terminal, so
+        #: exactly-once delivery implies exactly one terminal record.
+        self.trace = trace
         self._callback = callback
         self._on_error = on_error
         self._result: SampleResult | None = None
@@ -164,17 +173,23 @@ class Ticket:
     def _deliver(self, result: SampleResult) -> None:
         self._result = result
         self._done = True
+        if self.trace is not None:
+            self.trace.finish("delivered")
         if self._callback is not None:
             self._callback(result)
 
     def _fail(self, error: Exception) -> None:
         self._error = error
         self._done = True
+        if self.trace is not None:
+            self.trace.finish("error", code=type(error).__name__)
         if self._on_error is not None:
             self._on_error(error)
 
-    def _cancel(self) -> None:
+    def _cancel(self, code: str = "cancelled") -> None:
         self._cancelled = True
+        if self.trace is not None:
+            self.trace.finish("shed", code=code)
 
 
 def _future_ok(future: Future) -> bool:
@@ -244,6 +259,96 @@ class EngineStats:
         return self.batched_samples / self.batches if self.batches else 0.0
 
 
+#: Batch-size histogram buckets (samples per dispatched batch).
+_BATCH_SIZE_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0)
+
+
+class _EngineInstruments:
+    """Cached metric children for one engine, labelled by backend.
+
+    Every series here mirrors an :class:`EngineStats` counter one-to-one
+    and is incremented at the same site, so a scrape and ``stats`` can
+    be cross-checked exactly (the benches do).
+    """
+
+    def __init__(self, metrics: MetricsRegistry, backend: str) -> None:
+        def counter(name: str, help_text: str):
+            return metrics.counter(name, help_text, ("backend",)).labels(
+                backend=backend
+            )
+
+        self.requests_async = metrics.counter(
+            "repro_engine_requests_total",
+            "Requests accepted by the engine",
+            ("backend", "mode"),
+        ).labels(backend=backend, mode="async")
+        self.requests_sync = metrics.counter(
+            "repro_engine_requests_total",
+            "Requests accepted by the engine",
+            ("backend", "mode"),
+        ).labels(backend=backend, mode="sync")
+        self.dispatched = counter(
+            "repro_engine_dispatched_batches_total",
+            "Batches submitted to the execution backend",
+        )
+        self.batches = counter(
+            "repro_engine_batches_total", "Batches that landed and delivered"
+        )
+        self.batched_samples = counter(
+            "repro_engine_batched_samples_total", "Samples delivered via batches"
+        )
+        self.failed_batches = counter(
+            "repro_engine_failed_batches_total", "Batches whose forward pass raised"
+        )
+        self.retried_batches = counter(
+            "repro_engine_retried_batches_total",
+            "Batches recovered by a crash redispatch",
+        )
+        self.hedged_batches = counter(
+            "repro_engine_hedged_batches_total",
+            "Batches duplicated onto a second backend slot",
+        )
+        self.hedge_wins = counter(
+            "repro_engine_hedge_wins_total", "Hedges that delivered before the primary"
+        )
+        self.hedge_rejected = counter(
+            "repro_engine_hedge_rejected_total",
+            "Hedge placements the backend refused",
+        )
+        self.swaps = counter(
+            "repro_engine_swaps_total", "Hot model swaps applied"
+        )
+        self.batch_latency = metrics.histogram(
+            "repro_engine_batch_latency_seconds",
+            "Submit-to-landing wall time per batch (executor queueing included)",
+            ("backend",),
+        ).labels(backend=backend)
+        self.queue_wait = metrics.histogram(
+            "repro_engine_queue_wait_seconds",
+            "Arrival-to-delivery wall time per ticket",
+            ("backend",),
+        ).labels(backend=backend)
+        self.batch_size = metrics.histogram(
+            "repro_engine_batch_size",
+            "Samples per delivered batch",
+            ("backend",),
+            buckets=_BATCH_SIZE_BUCKETS,
+        ).labels(backend=backend)
+        self.pending = metrics.gauge(
+            "repro_engine_pending", "Requests queued for the next dispatch", ("backend",)
+        ).labels(backend=backend)
+        self.in_flight = metrics.gauge(
+            "repro_engine_in_flight_batches",
+            "Dispatched batches not yet collected",
+            ("backend",),
+        ).labels(backend=backend)
+        self.model_version = metrics.gauge(
+            "repro_engine_model_version",
+            "Version of the weights currently serving",
+            ("backend",),
+        ).labels(backend=backend)
+
+
 class InferenceEngine:
     """Shared, micro-batched classification front-end for one system.
 
@@ -283,6 +388,15 @@ class InferenceEngine:
         batch time, and inactive until the model has observations.
         Hedged batches are excluded from the scheduler's EWMA and p95
         window exactly like crash-retried ones.
+    metrics:
+        :class:`~repro.serving.observability.metrics.MetricsRegistry` to
+        instrument against (default: the process-global one).  Pass a
+        disabled registry to opt out entirely.
+    tracer:
+        Optional :class:`~repro.serving.observability.tracing.Tracer`.
+        When set, every ``submit`` without an attached trace begins one,
+        and dispatch / hedge / landing marks plus the exactly-once
+        terminal are recorded per ticket.
     """
 
     def __init__(
@@ -294,6 +408,8 @@ class InferenceEngine:
         backend: ExecutionBackend | None = None,
         clock: Callable[[], float] = time.monotonic,
         hedge_ms: float | str | None = None,
+        metrics: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         if system.gesture_model is None:
             raise ValueError("the system must be fitted first")
@@ -318,6 +434,11 @@ class InferenceEngine:
             scheduler.bind_backend(self.backend.name, self.backend.slots)
         self.stats = EngineStats()
         self.model_version = 0
+        self._metrics = metrics if metrics is not None else get_metrics()
+        self._tracer = tracer
+        self._m = _EngineInstruments(self._metrics, self.backend.name)
+        self._m.model_version.set(0)
+        self._metrics.register_collector(self._collect_metrics)
         self._pending: list[tuple[np.ndarray, Ticket]] = []
         self._in_flight: list[_InFlightBatch] = []
         self._in_flush = False
@@ -334,6 +455,16 @@ class InferenceEngine:
     def clock(self) -> Callable[[], float]:
         """The engine's time source; ``submit`` arrivals must use it."""
         return self._clock
+
+    @property
+    def tracer(self) -> Tracer | None:
+        """The lifecycle tracer, if one was attached."""
+        return self._tracer
+
+    def _collect_metrics(self) -> None:
+        """Scrape-time gauge refresh (registered as a metrics collector)."""
+        self._m.pending.set(len(self._pending))
+        self._m.in_flight.set(len(self._in_flight))
 
     @property
     def num_pending(self) -> int:
@@ -397,6 +528,7 @@ class InferenceEngine:
         sample = self._validate(sample)
         self.stats.requests += 1
         self.stats.sync_requests += 1
+        self._m.requests_sync.inc()
         result = self.system.predict(sample[None, ...])
         return SampleResult.from_row(result, 0, model_version=self.model_version)
 
@@ -411,6 +543,7 @@ class InferenceEngine:
         deadline_ms: float | None = None,
         priority: int = 0,
         defer_flush: bool = False,
+        trace: TraceRecord | None = None,
     ) -> Ticket:
         """Queue one sample for the next micro-batch.
 
@@ -447,6 +580,8 @@ class InferenceEngine:
         deadline = None if deadline_ms is None else arrival + deadline_ms / 1e3
         if deadline is not None and deadline < now:
             deadline = now  # stale already at submit: due immediately
+        if trace is None and self._tracer is not None:
+            trace = self._tracer.begin(submit=arrival)
         ticket = Ticket(
             meta=meta,
             callback=callback,
@@ -454,9 +589,11 @@ class InferenceEngine:
             arrival=arrival,
             deadline=deadline,
             priority=priority,
+            trace=trace,
         )
         self._pending.append((sample, ticket))
         self.stats.requests += 1
+        self._m.requests_async.inc()
         if not defer_flush and self._should_flush(now):
             self.flush(raise_on_error=False)
         return ticket
@@ -560,6 +697,14 @@ class InferenceEngine:
                 )
             )
             self.stats.dispatched_batches += 1
+            self._m.dispatched.inc()
+            for _, ticket in entries:
+                if ticket.trace is not None:
+                    ticket.trace.mark_dispatched(
+                        dispatched,
+                        batch_size=len(entries),
+                        model_version=self.model_version,
+                    )
             submitted += 1
             if self.on_batch_complete is not None:
                 future.add_done_callback(self._notify_complete)
@@ -618,10 +763,15 @@ class InferenceEngine:
                 # in flight, so keep waiting — but count the refusal
                 # rather than swallowing it invisibly (RC006).
                 self.stats.hedge_rejected += 1
+                self._m.hedge_rejected.inc()
                 continue
             flight.hedge = hedge
             flight.hedged_at = now
             self.stats.hedged_batches += 1
+            self._m.hedged_batches.inc()
+            for _, ticket in flight.entries:
+                if ticket.trace is not None:
+                    ticket.trace.mark_hedged(now)
             budget -= 1
             placed += 1
             if self.on_batch_complete is not None:
@@ -699,6 +849,7 @@ class InferenceEngine:
         if hedged and not _future_ok(flight.future) and _future_ok(flight.hedge):
             winner = flight.hedge
             self.stats.hedge_wins += 1
+            self._m.hedge_wins.inc()
         if hedged:
             loser = flight.hedge if winner is flight.future else flight.future
             loser.cancel()  # best effort: a running loser is just abandoned
@@ -711,6 +862,7 @@ class InferenceEngine:
             result, exec_s = winner.result()
         except Exception as error:  # poison batch: fail this group only
             self.stats.failed_batches += 1
+            self._m.failed_batches.inc()
             for _, ticket in entries:
                 if ticket.cancelled:
                     continue
@@ -722,6 +874,7 @@ class InferenceEngine:
             # batch whose second worker also died lands in the exception
             # path above and is a failed batch, not a recovered one.
             self.stats.retried_batches += 1
+            self._m.retried_batches.inc()
         if self.scheduler is not None:
             # Submit-to-landing wall time: execution *plus* executor
             # queueing, so the adaptive limit prices the backend it
@@ -738,13 +891,26 @@ class InferenceEngine:
         self.stats.batches += 1
         self.stats.batched_samples += len(entries)
         self.stats.max_batch = max(self.stats.max_batch, len(entries))
+        self._m.batches.inc()
+        self._m.batched_samples.inc(len(entries))
+        self._m.batch_size.observe(len(entries))
+        self._m.batch_latency.observe(done - flight.dispatched)
         excluded = retried or hedged
+        hedge_won = hedged and winner is flight.hedge
         for row, (_, ticket) in enumerate(entries):
             if ticket.cancelled:
                 continue  # discarded while airborne: no late delivery
             if self.scheduler is not None:
                 self.scheduler.record_queue_latency(
                     done - ticket.arrival, excluded=excluded
+                )
+            self._m.queue_wait.observe(done - ticket.arrival)
+            if ticket.trace is not None:
+                ticket.trace.mark_landed(
+                    done,
+                    worker=getattr(winner, "worker", None),
+                    retried=retried,
+                    hedge_win=hedge_won,
                 )
             ticket._deliver(
                 SampleResult.from_row(result, row, model_version=flight.version)
@@ -855,6 +1021,8 @@ class InferenceEngine:
         self.system = system
         self.model_version += 1
         self.stats.swaps += 1
+        self._m.swaps.inc()
+        self._m.model_version.set(self.model_version)
         # Pre-stage the new weights (e.g. the process backend's arena
         # export) off the first post-swap batch's critical path.
         self.backend.prepare(system)
@@ -862,7 +1030,12 @@ class InferenceEngine:
         return self.model_version
 
     # ------------------------------------------------------------------
-    def discard_pending(self, predicate: Callable[[Any], bool] | None = None) -> int:
+    def discard_pending(
+        self,
+        predicate: Callable[[Any], bool] | None = None,
+        *,
+        code: str = "cancelled",
+    ) -> int:
         """Cancel queued *and airborne* requests instead of flushing them.
 
         ``predicate`` receives each ticket's ``meta`` and keeps the entry
@@ -871,13 +1044,15 @@ class InferenceEngine:
         batch is already airborne cannot be unsubmitted, but their
         delivery (callback and all) is suppressed at collection — a
         closed stream or dropped connection never receives a late
-        result.  Returns the number of cancelled requests.
+        result.  ``code`` names the cause on the cancelled tickets'
+        trace records (``"disconnect"``, ``"shed"``, ...).  Returns the
+        number of cancelled requests.
         """
         kept: list[tuple[np.ndarray, Ticket]] = []
         cancelled = 0
         for sample, ticket in self._pending:
             if predicate is None or predicate(ticket.meta):
-                ticket._cancel()
+                ticket._cancel(code)
                 cancelled += 1
             else:
                 kept.append((sample, ticket))
@@ -887,7 +1062,7 @@ class InferenceEngine:
                 if ticket.done or ticket.cancelled:
                     continue
                 if predicate is None or predicate(ticket.meta):
-                    ticket._cancel()
+                    ticket._cancel(code)
                     cancelled += 1
         return cancelled
 
@@ -910,5 +1085,6 @@ class InferenceEngine:
         the no-ticket-ever-dropped invariant through shutdown.
         """
         self.flush(raise_on_error=False)
+        self._metrics.unregister_collector(self._collect_metrics)
         if self._owns_backend:
             self.backend.close()

@@ -175,6 +175,17 @@ class GatewayClient:
                 return frame.meta
             self._absorb(frame)
 
+    def traces(self, *, limit: int | None = None) -> dict[str, Any]:
+        """Drain the server's trace ring: ``{"traces": [...], "dropped":
+        n, "buffered": n, "enabled": bool}``.  Draining consumes — two
+        scrapers see disjoint records."""
+        self._send(protocol.trace_frame(limit=limit))
+        while True:
+            frame = self._read()
+            if frame.kind is FrameType.TRACE:
+                return frame.meta
+            self._absorb(frame)
+
     def close(self) -> None:
         try:
             self._sock.close()
@@ -305,6 +316,12 @@ class AsyncGatewayClient:
     async def reload(self) -> dict[str, Any]:
         await self._request(protocol.reload_frame())
         frame = await self._expect(FrameType.RELOAD)
+        return frame.meta
+
+    async def traces(self, *, limit: int | None = None) -> dict[str, Any]:
+        """Drain the server's trace ring (see ``GatewayClient.traces``)."""
+        await self._request(protocol.trace_frame(limit=limit))
+        frame = await self._expect(FrameType.TRACE)
         return frame.meta
 
     async def _expect(self, kind: FrameType) -> Frame:

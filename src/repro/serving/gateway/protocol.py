@@ -24,6 +24,9 @@ Frame kinds (:class:`FrameType`):
   machine-readable ``code`` (``shed``, ``over_capacity``, ...).
 * ``STATS``   — operational snapshot request/reply.
 * ``RELOAD``  — ask the server to re-check its checkpoint and hot-swap.
+* ``TRACE``   — drain the server's per-ticket trace ring: the request
+  may carry a ``limit``; the reply carries the drained lifecycle
+  records plus the ring's drop/buffer accounting.
 
 Robustness contract (enforced by ``tests/serving/test_gateway_protocol``):
 a decoder must reject wrong magic, unknown frame kinds, oversized
@@ -69,6 +72,7 @@ class FrameType(enum.IntEnum):
     ERROR = 4
     STATS = 5
     RELOAD = 6
+    TRACE = 7
 
 
 class ProtocolError(Exception):
@@ -373,6 +377,22 @@ def error_frame(
 def stats_frame(snapshot: dict | None = None) -> Frame:
     """A STATS request (no meta) or reply (the snapshot dict)."""
     return Frame(FrameType.STATS, snapshot or {})
+
+
+def trace_frame(
+    payload: dict | None = None, *, limit: int | None = None
+) -> Frame:
+    """A TRACE request (optional ``limit``) or reply (the drain payload).
+
+    The reply meta is ``{"traces": [TraceRecord.to_dict(), ...],
+    "dropped": <ring overflow count>, "buffered": <records left>}``.
+    """
+    if payload is not None:
+        return Frame(FrameType.TRACE, payload)
+    meta: dict[str, Any] = {}
+    if limit is not None:
+        meta["limit"] = int(limit)
+    return Frame(FrameType.TRACE, meta)
 
 
 def reload_frame(

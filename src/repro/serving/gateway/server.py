@@ -64,6 +64,12 @@ from repro.serving.scheduler import BatchScheduler
 from repro.serving.gateway import protocol
 from repro.serving.gateway.protocol import Frame, FrameType, ProtocolError, VersionMismatch
 from repro.serving.gateway.tenants import AdmissionQueue, Tenant, TenantDirectory
+from repro.serving.observability.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    MetricsRegistry,
+    get_metrics,
+)
+from repro.serving.observability.tracing import TraceRecord, Tracer
 
 
 @dataclass
@@ -76,6 +82,7 @@ class GatewayRequest:
     sample: np.ndarray
     deadline_ms: float | None
     received: float  # engine-clock arrival (SUBMIT decode time)
+    trace: TraceRecord | None = None
 
 
 @dataclass
@@ -95,6 +102,68 @@ class GatewayStats:
 
     def as_dict(self) -> dict[str, int]:
         return dict(self.__dict__)
+
+
+class _GatewayInstruments:
+    """The gateway's ``repro_gateway_*`` metric families.
+
+    Every counter increments at the exact site its :class:`GatewayStats`
+    twin does, so a scrape and a STATS frame can be cross-checked
+    one-to-one (``benchmarks/bench_obs.py`` asserts this).  Per-tenant
+    children are looked up at call time — tenants appear dynamically.
+    """
+
+    def __init__(self, metrics: MetricsRegistry) -> None:
+        self.connections = metrics.counter(
+            "repro_gateway_connections_total", "TCP connections accepted."
+        ).labels()
+        self.handshakes_rejected = metrics.counter(
+            "repro_gateway_handshakes_rejected_total",
+            "Connections dropped during the HELLO exchange.",
+        ).labels()
+        self.submits = metrics.counter(
+            "repro_gateway_submits_total",
+            "SUBMIT frames received (admitted or not).",
+            labelnames=("tenant", "slo_class"),
+        )
+        self.results = metrics.counter(
+            "repro_gateway_results_total",
+            "RESULT frames delivered to clients.",
+            labelnames=("tenant", "slo_class"),
+        )
+        self.rejected = metrics.counter(
+            "repro_gateway_rejected_total",
+            "Requests refused or shed, by rejection code.",
+            labelnames=("tenant", "code"),
+        )
+        self.classify_errors = metrics.counter(
+            "repro_gateway_classify_errors_total",
+            "Admitted requests that failed inside the engine.",
+        ).labels()
+        self.protocol_errors = metrics.counter(
+            "repro_gateway_protocol_errors_total",
+            "Frames rejected as malformed after the handshake.",
+        ).labels()
+        self.reloads = metrics.counter(
+            "repro_gateway_reloads_total", "Successful RELOAD round trips."
+        ).labels()
+        self.request_latency = metrics.histogram(
+            "repro_gateway_request_latency_seconds",
+            "SUBMIT-decode to RESULT-enqueue latency, per SLO class.",
+            labelnames=("slo_class",),
+            buckets=DEFAULT_LATENCY_BUCKETS,
+        )
+        self.g_connections = metrics.gauge(
+            "repro_gateway_connections", "Currently open client connections."
+        ).labels()
+        self.g_queued = metrics.gauge(
+            "repro_gateway_queued", "Requests pooled in the admission queue."
+        ).labels()
+        self.g_in_flight = metrics.gauge(
+            "repro_gateway_tenant_in_flight",
+            "Admitted-but-unresolved requests per tenant.",
+            labelnames=("tenant",),
+        )
 
 
 class _Connection:
@@ -218,6 +287,20 @@ class GatewayServer:
         re-checking the checkpoint (the CLI wires this to
         ``ModelRegistry.load(..., on_change=engine.swap_system)``); RELOAD
         frames answer ``reload_unavailable`` without one.
+    metrics:
+        Destination for the ``repro_gateway_*`` series; defaults to the
+        process-global registry (scraped through
+        ``repro serve --metrics-port`` or ``render_text``).
+    tracer:
+        A :class:`~repro.serving.observability.tracing.Tracer`; when
+        given, every SUBMIT begins a :class:`TraceRecord` (tenant, SLO
+        class, request id) that rides the request through admission and
+        the engine to exactly one terminal — ``delivered``, ``shed``
+        (with the rejection code), or ``error``.  Clients drain the ring
+        remotely with a TRACE frame; pass ``Tracer(sink=TraceLog(path))``
+        for an on-disk JSONL feed.  The private engine adopts this
+        tracer; an external ``engine=`` keeps its own (gateway-begun
+        traces still flow through it either way).
     """
 
     def __init__(
@@ -238,6 +321,8 @@ class GatewayServer:
         handshake_timeout_s: float = 10.0,
         reload_hook: Callable[[], int] | None = None,
         name: str = "repro-gateway",
+        metrics: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         if engine is not None and backend is not None:
             raise ValueError(
@@ -263,8 +348,15 @@ class GatewayServer:
                 scheduler=scheduler,
                 backend=backend,
                 hedge_ms=hedge_ms,
+                metrics=metrics,
+                tracer=tracer,
             )
         self.engine = engine
+        self._metrics = metrics if metrics is not None else get_metrics()
+        self._m = _GatewayInstruments(self._metrics)
+        #: Gateway-begun traces flow through whatever tracer the engine
+        #: ended up with (an external engine keeps its own).
+        self.tracer = tracer if tracer is not None else engine.tracer
         self.tenants = tenants if tenants is not None else TenantDirectory()
         self.admission = AdmissionQueue(
             self.tenants.classes.values(),
@@ -289,6 +381,21 @@ class GatewayServer:
         self._flush_task: asyncio.Task | None = None
         self._kick: asyncio.Event | None = None
         self._running = False
+        self._metrics.register_collector(self._collect_metrics)
+
+    def _collect_metrics(self) -> None:
+        """Scrape-time gauges: connection/queue depth + tenant in-flight.
+
+        Runs on the scraper's thread, off the event loop: it only reads
+        integers (atomic under the GIL), the same guarantee the STATS
+        snapshot already leans on.
+        """
+        self._m.g_connections.set(len(self._connections))
+        self._m.g_queued.set(len(self.admission))
+        for tenant in self.tenants.tenants:
+            self._m.g_in_flight.labels(tenant.tenant_id).set(
+                tenant.stats.in_flight
+            )
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -336,7 +443,9 @@ class GatewayServer:
         for connection in list(self._connections):
             self._drop_connection(connection)
         # Anything still queued or in the engine is undeliverable now.
-        self.admission.purge(lambda _request: True)
+        for request in self.admission.purge(lambda _request: True):
+            if request.trace is not None:
+                request.trace.finish("shed", code="shutdown")
 
         def _release(meta) -> bool:
             if isinstance(meta, GatewayRequest):
@@ -344,11 +453,12 @@ class GatewayServer:
                 return True
             return False
 
-        self.engine.discard_pending(_release)
+        self.engine.discard_pending(_release, code="shutdown")
         self.engine.on_batch_complete = None
         # Settle airborne batches so a pooled backend can be closed
         # immediately after; their deliveries were suppressed above.
         self.engine.drain()
+        self._metrics.unregister_collector(self._collect_metrics)
 
     @property
     def num_connections(self) -> int:
@@ -417,6 +527,7 @@ class GatewayServer:
                 deadline_ms=request.deadline_ms,
                 priority=request.tenant.slo_class.priority,
                 defer_flush=True,  # the pump polls right after feeding
+                trace=request.trace,
             )
         except ValueError as error:
             # Engine validation (wrong channel count, ...): fail this
@@ -427,8 +538,11 @@ class GatewayServer:
         tenant = request.tenant
         tenant.stats.delivered += 1
         tenant.stats.in_flight -= 1
-        tenant.stats.record_latency(self.engine.clock() - request.received)
+        latency_s = self.engine.clock() - request.received
+        tenant.stats.record_latency(latency_s)
         self.stats.results += 1
+        self._m.results.labels(tenant.tenant_id, tenant.slo_class.name).inc()
+        self._m.request_latency.labels(tenant.slo_class.name).observe(latency_s)
         request.connection.send(protocol.result_frame(request.request_id, result))
 
     def _classify_failed(self, request: GatewayRequest, error: Exception) -> None:
@@ -436,6 +550,7 @@ class GatewayServer:
         tenant.stats.failed += 1
         tenant.stats.in_flight -= 1
         self.stats.classify_errors += 1
+        self._m.classify_errors.inc()
         request.connection.send(
             protocol.error_frame(
                 "classify_failed", str(error), request_id=request.request_id
@@ -450,10 +565,12 @@ class GatewayServer:
     ) -> None:
         connection = _Connection(reader, writer, max_outbox=self.max_outbox_frames)
         self.stats.connections_total += 1
+        self._m.connections.inc()
         writer_task = asyncio.create_task(connection.write_loop())
         try:
             if not await self._handshake(connection):
                 self.stats.handshakes_rejected += 1
+                self._m.handshakes_rejected.inc()
                 return
             self._connections.add(connection)
             self._refresh_slo()
@@ -462,6 +579,7 @@ class GatewayServer:
             pass
         except ProtocolError as error:
             self.stats.protocol_errors += 1
+            self._m.protocol_errors.inc()
             connection.send(protocol.error_frame(error.code, str(error)))
         finally:
             self._connections.discard(connection)
@@ -524,6 +642,8 @@ class GatewayServer:
                 connection.send(protocol.stats_frame(self.snapshot()))
             elif frame.kind is FrameType.RELOAD:
                 self._on_reload(connection)
+            elif frame.kind is FrameType.TRACE:
+                self._on_trace(connection, frame)
             else:
                 connection.send(
                     protocol.error_frame(
@@ -536,10 +656,12 @@ class GatewayServer:
         tenant = connection.tenant
         assert tenant is not None
         self.stats.submits += 1
+        self._m.submits.labels(tenant.tenant_id, tenant.slo_class.name).inc()
         try:
             request_id, sample, deadline_ms = protocol.decode_submit(frame)
         except ProtocolError as error:
             self.stats.protocol_errors += 1
+            self._m.protocol_errors.inc()
             # The id is untrusted here (decode may have rejected it):
             # echo it only when it is actually an int.
             raw_id = frame.meta.get("id")
@@ -563,6 +685,13 @@ class GatewayServer:
             deadline_ms=deadline_ms,
             received=self.engine.clock(),
         )
+        if self.tracer is not None:
+            request.trace = self.tracer.begin(
+                tenant=tenant.tenant_id,
+                slo_class=tenant.slo_class.name,
+                request_id=request_id,
+                submit=request.received,
+            )
         # The arrival timestamp drives the tenant's token-bucket refill,
         # so admission metering and deadline scheduling share one clock.
         admitted, reject_code, victims = self.admission.offer(
@@ -570,6 +699,9 @@ class GatewayServer:
         )
         for victim in victims:
             self.stats.shed += 1
+            self._m.rejected.labels(victim.tenant.tenant_id, "shed").inc()
+            if victim.trace is not None:
+                victim.trace.finish("shed", code="shed")
             victim.connection.send(
                 protocol.error_frame(
                     "shed",
@@ -584,6 +716,9 @@ class GatewayServer:
                 self.stats.rate_limited += 1
             else:
                 self.stats.rejected += 1
+            self._m.rejected.labels(tenant.tenant_id, reject_code).inc()
+            if request.trace is not None:
+                request.trace.finish("shed", code=reject_code)
             connection.send(
                 protocol.error_frame(
                     reject_code,
@@ -593,8 +728,32 @@ class GatewayServer:
                 )
             )
             return
+        if request.trace is not None:
+            request.trace.mark_admitted(request.received)
         assert self._kick is not None
         self._kick.set()
+
+    def _on_trace(self, connection: _Connection, frame: Frame) -> None:
+        """Drain the trace ring into a TRACE reply."""
+        if self.tracer is None:
+            connection.send(
+                protocol.trace_frame(
+                    {"traces": [], "dropped": 0, "buffered": 0, "enabled": False}
+                )
+            )
+            return
+        limit = frame.meta.get("limit")
+        records = self.tracer.drain(None if limit is None else int(limit))
+        connection.send(
+            protocol.trace_frame(
+                {
+                    "traces": records,
+                    "dropped": self.tracer.dropped,
+                    "buffered": self.tracer.buffered,
+                    "enabled": True,
+                }
+            )
+        )
 
     def _on_reload(self, connection: _Connection) -> None:
         if self.reload_hook is None:
@@ -611,6 +770,7 @@ class GatewayServer:
             connection.send(protocol.error_frame("reload_failed", str(error)))
             return
         self.stats.reloads += 1
+        self._m.reloads.inc()
         connection.send(
             protocol.reload_frame(model_version=version, swapped=version != before)
         )
@@ -641,7 +801,12 @@ class GatewayServer:
 
     def _reclaim(self, connection: _Connection) -> None:
         """Reclaim a dead connection's queued and in-engine requests."""
-        self.admission.purge(lambda request: request.connection is connection)
+        purged = self.admission.purge(
+            lambda request: request.connection is connection
+        )
+        for request in purged:
+            if request.trace is not None:
+                request.trace.finish("shed", code="disconnect")
 
         def _release(meta) -> bool:
             if isinstance(meta, GatewayRequest) and meta.connection is connection:
@@ -649,7 +814,7 @@ class GatewayServer:
                 return True
             return False
 
-        self.engine.discard_pending(_release)
+        self.engine.discard_pending(_release, code="disconnect")
 
     def _drop_connection(self, connection: _Connection) -> None:
         connection.closed = True

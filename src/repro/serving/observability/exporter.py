@@ -1,0 +1,232 @@
+"""Prometheus text exposition: ``render_text()`` and the ``/metrics`` port.
+
+Two consumption paths over one :class:`~repro.serving.observability.metrics.MetricsRegistry`:
+
+* :func:`render_text` — the pure formatter (text exposition format
+  0.0.4: ``# HELP`` / ``# TYPE`` lines, escaped label values,
+  cumulative ``_bucket`` series ending at ``le="+Inf"``, ``_sum`` /
+  ``_count``).  Tests and benchmarks scrape in-process through this
+  without ever opening a socket.
+* :class:`MetricsServer` — a stdlib ``ThreadingHTTPServer`` on a side
+  port (``repro serve --metrics-port``) answering ``GET /metrics`` with
+  the rendered text and ``GET /healthz`` with a liveness ``ok``.  It
+  runs on its own daemon thread, entirely outside the gateway's event
+  loop: a stuck scraper can slow other scrapers, never the serving
+  path.
+
+:func:`parse_text` is the inverse — a small parser benches and tests
+use to cross-check scraped series against the engine's own counters,
+so instrumentation drift fails a build instead of lying on a dashboard.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.serving.observability.metrics import MetricsRegistry, get_metrics
+
+__all__ = ["CONTENT_TYPE", "MetricsServer", "parse_text", "render_text"]
+
+#: Exposition-format version Prometheus' scraper negotiates on.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _format_value(value: float) -> str:
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _labels_text(names: tuple[str, ...], values: tuple[str, ...], extra: str = "") -> str:
+    parts = [
+        f'{name}="{_escape_label(value)}"' for name, value in zip(names, values)
+    ]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def render_text(registry: MetricsRegistry | None = None) -> str:
+    """Render every family in ``registry`` (default: the global one)."""
+    registry = registry if registry is not None else get_metrics()
+    lines: list[str] = []
+    for family in registry.collect():
+        children = family.children()
+        if not children:
+            continue
+        lines.append(f"# HELP {family.name} {_escape_help(family.help)}")
+        lines.append(f"# TYPE {family.name} {family.kind}")
+        if family.kind == "histogram":
+            for values, child in children:
+                cumulative, total_sum, count = child.snapshot()
+                bounds = [_format_value(b) for b in family.buckets] + ["+Inf"]
+                for bound, bucket_count in zip(bounds, cumulative):
+                    labels = _labels_text(
+                        family.labelnames, values, extra=f'le="{bound}"'
+                    )
+                    lines.append(f"{family.name}_bucket{labels} {bucket_count}")
+                labels = _labels_text(family.labelnames, values)
+                lines.append(f"{family.name}_sum{labels} {_format_value(total_sum)}")
+                lines.append(f"{family.name}_count{labels} {count}")
+        else:
+            for values, child in children:
+                labels = _labels_text(family.labelnames, values)
+                lines.append(f"{family.name}{labels} {_format_value(child.value)}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def parse_text(text: str) -> dict[tuple[str, tuple[tuple[str, str], ...]], float]:
+    """Parse exposition text into ``{(name, sorted labels): value}``.
+
+    Handles the subset :func:`render_text` emits (which is the subset
+    the benches cross-check): comment lines are skipped, label values
+    are unescaped, ``+Inf``/``-Inf``/``NaN`` parse to their floats.
+    """
+    samples: dict[tuple[str, tuple[tuple[str, str], ...]], float] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        name, labels, value = _parse_sample(line)
+        samples[(name, tuple(sorted(labels.items())))] = value
+    return samples
+
+
+def _parse_sample(line: str) -> tuple[str, dict[str, str], float]:
+    brace = line.find("{")
+    if brace == -1:
+        name, _, raw = line.partition(" ")
+        return name, {}, _parse_value(raw)
+    name = line[:brace]
+    end = line.rindex("}")
+    labels = _parse_labels(line[brace + 1 : end])
+    return name, labels, _parse_value(line[end + 1 :].strip())
+
+
+def _parse_value(raw: str) -> float:
+    raw = raw.strip().split(" ")[0]  # tolerate a trailing timestamp
+    if raw == "+Inf":
+        return math.inf
+    if raw == "-Inf":
+        return -math.inf
+    return float(raw)
+
+
+def _parse_labels(raw: str) -> dict[str, str]:
+    labels: dict[str, str] = {}
+    i = 0
+    while i < len(raw):
+        eq = raw.index("=", i)
+        name = raw[i:eq].strip().lstrip(",").strip()
+        assert raw[eq + 1] == '"', f"malformed label segment: {raw[i:]!r}"
+        j = eq + 2
+        value: list[str] = []
+        while raw[j] != '"':
+            if raw[j] == "\\":
+                escaped = raw[j + 1]
+                value.append({"n": "\n", '"': '"', "\\": "\\"}.get(escaped, escaped))
+                j += 2
+            else:
+                value.append(raw[j])
+                j += 1
+        labels[name] = "".join(value)
+        i = j + 1
+    return labels
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """GET /metrics → exposition text; GET /healthz → liveness."""
+
+    # Set per-server via type(); silences the default stderr access log
+    # (RC007: bare prints/stderr writes are not the sanctioned telemetry
+    # path — the scrape itself is the signal).
+    registry: MetricsRegistry
+
+    def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        path = self.path.split("?", 1)[0]
+        if path == "/metrics":
+            body = render_text(self.registry).encode("utf-8")
+            self.send_response(200)
+            self.send_header("Content-Type", CONTENT_TYPE)
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+        elif path == "/healthz":
+            body = b"ok\n"
+            self.send_response(200)
+            self.send_header("Content-Type", "text/plain; charset=utf-8")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+        else:
+            self.send_error(404, "try /metrics")
+
+    def log_message(self, *_args) -> None:  # access log off: scrape noise
+        pass
+
+
+class MetricsServer:
+    """The ``/metrics`` side port, on its own daemon thread.
+
+    ``port=0`` binds an ephemeral port (tests); :attr:`port` reports the
+    bound one either way.  ``close()`` is idempotent and joins the
+    serving thread, so the CLI's shutdown path can call it
+    unconditionally.
+    """
+
+    def __init__(
+        self,
+        port: int,
+        *,
+        host: str = "0.0.0.0",
+        registry: MetricsRegistry | None = None,
+    ) -> None:
+        registry = registry if registry is not None else get_metrics()
+        handler = type("BoundHandler", (_Handler,), {"registry": registry})
+        self._server = ThreadingHTTPServer((host, port), handler)
+        self._server.daemon_threads = True
+        self.host = host
+        self.port = int(self._server.server_address[1])
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            kwargs={"poll_interval": 0.1},
+            name="repro-metrics",
+            daemon=True,
+        )
+        self._thread.start()
+        self._closed = False
+
+    @property
+    def url(self) -> str:
+        host = "127.0.0.1" if self.host in ("0.0.0.0", "") else self.host
+        return f"http://{host}:{self.port}/metrics"
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._server.shutdown()
+        self._thread.join(timeout=5.0)
+        self._server.server_close()
+
+    def __enter__(self) -> "MetricsServer":
+        return self
+
+    def __exit__(self, *_exc_info) -> None:
+        self.close()

@@ -30,6 +30,7 @@ import pathlib
 import shutil
 import tempfile
 import threading
+import weakref
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable
@@ -42,6 +43,7 @@ from repro.core.persistence import (
 )
 from repro.core.pipeline import GesturePrint
 from repro.nn.serialization import flat_dtype_for
+from repro.serving.observability.metrics import MetricsRegistry, get_metrics
 
 
 @dataclass
@@ -69,13 +71,58 @@ class ModelRegistry:
         Maximum number of resident systems; the least recently used entry
         is evicted first.  Fitted systems are a handful of MB each, so a
         small capacity covers realistic multi-tenant serving.
+    metrics:
+        Destination for ``repro_registry_*`` series; defaults to the
+        process-global registry from
+        :func:`~repro.serving.observability.metrics.get_metrics`.
     """
 
-    def __init__(self, *, capacity: int = 4) -> None:
+    def __init__(
+        self, *, capacity: int = 4, metrics: MetricsRegistry | None = None
+    ) -> None:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.capacity = capacity
         self.stats = RegistryStats()
+        self._metrics = metrics if metrics is not None else get_metrics()
+        m = self._metrics
+        self._m_hits = m.counter(
+            "repro_registry_hits_total", "Cache lookups served from memory."
+        ).labels()
+        self._m_misses = m.counter(
+            "repro_registry_misses_total", "Cache lookups that missed."
+        ).labels()
+        self._m_evictions = m.counter(
+            "repro_registry_evictions_total", "LRU evictions of resident systems."
+        ).labels()
+        self._m_loads = m.counter(
+            "repro_registry_loads_total", "Checkpoint loads from disk."
+        ).labels()
+        self._m_saves = m.counter(
+            "repro_registry_saves_total", "Checkpoint saves to disk."
+        ).labels()
+        self._m_fits = m.counter(
+            "repro_registry_fits_total", "Fresh fits via get_or_fit factories."
+        ).labels()
+        self._m_exports = m.counter(
+            "repro_registry_arena_exports_total",
+            "Flat weight-arena bundles exported to disk.",
+        ).labels()
+        self._m_retired = m.counter(
+            "repro_registry_retired_arenas_total",
+            "Superseded arena bundles garbage collected (file deleted).",
+        ).labels()
+        self._g_resident = m.gauge(
+            "repro_registry_resident", "Systems currently cached in memory."
+        ).labels()
+        self._g_live = m.gauge(
+            "repro_registry_live_arenas",
+            "Arena bundles currently on disk (current + pinned + graced).",
+        ).labels()
+        self._g_pinned = m.gauge(
+            "repro_registry_pinned_arenas",
+            "Arena bundles held by at least one airborne batch or worker.",
+        ).labels()
         self._cache: OrderedDict[str, GesturePrint] = OrderedDict()
         #: Manifest mtime (ns) per path-keyed entry, for staleness checks.
         self._mtimes: dict[str, int] = {}
@@ -107,6 +154,29 @@ class ModelRegistry:
         #: process pool retains/releases from its supervisor thread
         #: while the engine thread exports through ``arena_for``).
         self._arena_lock = threading.RLock()
+        # A registry has no close(); register through a weakref so a
+        # garbage-collected instance drops out of the scrape path
+        # instead of being kept alive by the metrics registry forever.
+        ref = weakref.ref(self)
+        metrics_registry = self._metrics
+
+        def _collector() -> None:
+            registry = ref()
+            if registry is None:
+                metrics_registry.unregister_collector(_collector)
+                return
+            registry._collect_metrics()
+
+        metrics_registry.register_collector(_collector)
+
+    def _collect_metrics(self) -> None:
+        """Scrape-time gauge refresh (runs outside the metrics lock)."""
+        self._g_resident.set(len(self._cache))
+        with self._arena_lock:
+            self._g_live.set(self.live_arenas)
+            self._g_pinned.set(
+                sum(1 for count in self._arena_refs.values() if count > 0)
+            )
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -130,9 +200,11 @@ class ModelRegistry:
         system = self._cache.get(key)
         if system is None:
             self.stats.misses += 1
+            self._m_misses.inc()
             return None
         self._cache.move_to_end(key)
         self.stats.hits += 1
+        self._m_hits.inc()
         return system
 
     def put(self, key: str, system: GesturePrint) -> GesturePrint:
@@ -148,6 +220,7 @@ class ModelRegistry:
             self._mtimes.pop(evicted, None)
             self._retire_key_arenas(evicted)
             self.stats.evictions += 1
+            self._m_evictions.inc()
         return system
 
     def evict(self, key: str) -> bool:
@@ -213,6 +286,7 @@ class ModelRegistry:
         off-lock deletion cannot double-free."""
         self._arena_pinned.discard(bundle)
         self.stats.retired_arenas += 1
+        self._m_retired.inc()
         return bundle
 
     @staticmethod
@@ -304,6 +378,7 @@ class ModelRegistry:
                 self._arena_root.name, f"arena-{self.stats.arena_exports}"
             )
             self.stats.arena_exports += 1
+            self._m_exports.inc()
         # The export (full weight serialisation to disk) and the doomed
         # predecessor's deletion run OUTSIDE the lock: a worker pool's
         # supervisor calls decref_arena while holding its own pool lock,
@@ -389,10 +464,13 @@ class ModelRegistry:
         if cached is not None and self._mtimes.get(key) == self._manifest_mtime(directory):
             self._cache.move_to_end(key)
             self.stats.hits += 1
+            self._m_hits.inc()
             return cached
         self.stats.misses += 1
+        self._m_misses.inc()
         system = load_system(directory)
         self.stats.loads += 1
+        self._m_loads.inc()
         self._mtimes[key] = self._manifest_mtime(directory)
         self.put(key, system)
         if cached is not None and on_change is not None:
@@ -405,6 +483,7 @@ class ModelRegistry:
         """Persist a fitted system and cache it under the checkpoint path."""
         save_system(system, directory)
         self.stats.saves += 1
+        self._m_saves.inc()
         key = self._path_key(directory)
         self._mtimes[key] = self._manifest_mtime(directory)
         return self.put(key, system)
@@ -431,6 +510,7 @@ class ModelRegistry:
         if directory is not None and (pathlib.Path(directory) / MANIFEST_NAME).exists():
             system = load_system(directory)
             self.stats.loads += 1
+            self._m_loads.inc()
             # Record the manifest mtime and cache under the resolved path
             # too, so a later ``load()`` of the same checkpoint warm-hits
             # instead of always seeing a staleness mismatch.
@@ -441,11 +521,13 @@ class ModelRegistry:
             return self.put(key, system)
         system = factory()
         self.stats.fits += 1
+        self._m_fits.inc()
         if system.gesture_model is None:
             raise ValueError("factory returned an unfitted system")
         if directory is not None:
             save_system(system, directory)
             self.stats.saves += 1
+            self._m_saves.inc()
             path_key = self._path_key(directory)
             self._mtimes[path_key] = self._manifest_mtime(directory)
             if path_key != key:

@@ -51,6 +51,8 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Deque
 
+from repro.serving.observability.metrics import MetricsRegistry, get_metrics
+
 
 def request_order(
     priority: int, deadline: float | None, arrival: float
@@ -142,6 +144,12 @@ class BatchScheduler:
         Number of delivered-latency samples kept for the p95 estimate.
     clock:
         Monotonic time source (injectable for deterministic tests).
+    metrics:
+        :class:`~repro.serving.observability.metrics.MetricsRegistry` to
+        instrument against (default: the process-global one).  Flush
+        triggers and exclusions are counted inline; the adaptation state
+        (batch limit, margin, learned model, queue p95) is exported as
+        gauges refreshed at scrape time from :meth:`snapshot`.
     """
 
     def __init__(
@@ -159,6 +167,7 @@ class BatchScheduler:
         adapt_every: int = 32,
         window: int = 512,
         clock: Callable[[], float] = time.monotonic,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         if slo_ms is not None and slo_ms < 0:
             raise ValueError("slo_ms must be >= 0")
@@ -198,6 +207,43 @@ class BatchScheduler:
         # EWMA of executor wait (submit-to-landing minus pure execution).
         self._mwait = 0.0
         self._wait_fitted = False
+        metrics = metrics if metrics is not None else get_metrics()
+        self._m_depth_flushes = metrics.counter(
+            "repro_scheduler_depth_flushes_total",
+            "Batches released because the queue hit the batch limit",
+        )
+        self._m_deadline_flushes = metrics.counter(
+            "repro_scheduler_deadline_flushes_total",
+            "Batches released to protect the earliest pending deadline",
+        )
+        self._m_observed = metrics.counter(
+            "repro_scheduler_observed_batches_total",
+            "Batch latency observations fed to the EWMA model",
+        )
+        self._m_excluded = metrics.counter(
+            "repro_scheduler_excluded_latency_samples_total",
+            "Delivered-latency samples kept out of the p95 window "
+            "(rides of retried or hedged batches)",
+        )
+        self._m_gauges = {
+            key: metrics.gauge(f"repro_scheduler_{key}", help_text)
+            for key, help_text in (
+                ("batch_limit", "Adaptive batch limit currently in force"),
+                ("margin_ms", "Scheduling safety margin (ms)"),
+                ("per_sample_ms", "Learned per-sample batch cost (ms)"),
+                ("overhead_ms", "Learned fixed batch overhead (ms)"),
+                ("queue_p95_ms", "Sliding-window p95 of delivered latency (ms)"),
+                ("executor_wait_ms", "EWMA executor queueing wait (ms)"),
+            )
+        }
+        metrics.register_collector(self._collect_metrics)
+
+    def _collect_metrics(self) -> None:
+        """Scrape-time gauge refresh from the adaptation snapshot."""
+        snapshot = self.snapshot()
+        for key, gauge in self._m_gauges.items():
+            value = snapshot[key]
+            gauge.set(0.0 if value is None else float(value))
 
     # ------------------------------------------------------------------
     @property
@@ -264,9 +310,11 @@ class BatchScheduler:
             return False
         if depth >= self.batch_limit:
             self.stats.depth_flushes += 1
+            self._m_depth_flushes.inc()
             return True
         if slack_s is not None and slack_s <= self.predicted_latency_s(depth) + self.margin_s:
             self.stats.deadline_flushes += 1
+            self._m_deadline_flushes.inc()
             return True
         return False
 
@@ -346,6 +394,7 @@ class BatchScheduler:
             self._mxx = (1 - a) * self._mxx + a * batch_size * batch_size
             self._mxy = (1 - a) * self._mxy + a * batch_size * latency_s
         self.stats.observed_batches += 1
+        self._m_observed.inc()
         wall = self.stats.wall_window
         wall.append(float(latency_s))
         while len(wall) > self._window:
@@ -368,6 +417,7 @@ class BatchScheduler:
         """
         if excluded:
             self.stats.excluded_latency_samples += 1
+            self._m_excluded.inc()
             return
         window = self.stats.queue_window
         window.append(latency_s)

@@ -1,4 +1,4 @@
-"""Fixture suite for repro-check (RC001–RC006).
+"""Fixture suite for repro-check (RC001–RC007).
 
 One must-flag snippet and one near-miss per rule, written into a
 tmp tree whose layout satisfies each rule's path scoping, plus the
@@ -431,6 +431,104 @@ def test_rc006_near_miss_explicit_daemon_and_recorded_errors(tmp_path):
                 pass
         """,
         "RC006",
+    )
+    assert findings == []
+
+
+# ----------------------------------------------------------------------
+# RC007 — ad-hoc telemetry: bare print(), unbounded list-append stats
+# ----------------------------------------------------------------------
+def test_rc007_flags_print_and_unbounded_append(tmp_path):
+    findings = scan(
+        tmp_path,
+        "src/repro/serving/stats.py",
+        """
+        class Engine:
+            def __init__(self):
+                self.latencies = []
+
+            def observe(self, latency):
+                self.latencies.append(latency)
+                print("latency", latency)
+        """,
+        "RC007",
+    )
+    assert sorted(f.rule for f in findings) == ["RC007", "RC007"]
+    messages = " ".join(f.message for f in findings)
+    assert "print" in messages
+    assert "self.latencies.append" in messages
+
+
+def test_rc007_flags_extend_and_list_call(tmp_path):
+    findings = scan(
+        tmp_path,
+        "src/repro/serving/stats.py",
+        """
+        class Log:
+            def __init__(self):
+                self.events = list()
+
+            def record(self, batch):
+                self.events.extend(batch)
+        """,
+        "RC007",
+    )
+    assert [f.rule for f in findings] == ["RC007"]
+
+
+def test_rc007_near_miss_bounded_and_drained(tmp_path):
+    findings = scan(
+        tmp_path,
+        "src/repro/serving/stats.py",
+        """
+        from collections import deque
+
+        class Window:
+            def __init__(self):
+                # deque(maxlen=...) is bounded: not a list literal.
+                self.window = deque(maxlen=256)
+                self.pending = []
+                self.trimmed = []
+
+            def observe(self, value):
+                self.window.append(value)
+                self.pending.append(value)
+                self.trimmed.append(value)
+                # Slice-trim bounds the window in place.
+                self.trimmed[:-128] = []
+
+            def drain(self):
+                out = list(self.pending)
+                self.pending.clear()
+                return out
+        """,
+        "RC007",
+    )
+    assert findings == []
+
+
+def test_rc007_scoped_to_serving(tmp_path):
+    findings = scan(
+        tmp_path,
+        "src/repro/cli.py",
+        """
+        def main():
+            print("reports are allowed outside serving/")
+        """,
+        "RC007",
+    )
+    assert findings == []
+
+
+def test_rc007_suppression(tmp_path):
+    findings = scan(
+        tmp_path,
+        "src/repro/serving/stats.py",
+        """
+        def debug(value):
+            print(value)  # repro-check: ignore[RC007]
+        """,
+        "RC007",
     )
     assert findings == []
 
