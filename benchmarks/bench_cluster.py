@@ -1,0 +1,472 @@
+"""Horizontal scale-out: the cluster router over real shard processes.
+
+Four phases against :class:`~repro.serving.cluster.ClusterRouter`
+fronting ``repro serve`` child processes (separate GILs, separate
+registries — the real scale-out unit):
+
+* **scale** — the same tenant population driven through a 1-shard
+  cluster and an N-shard cluster; events/sec must reach
+  ``MIN_SCALE_SPEEDUP`` at 4 shards on a >= 4-core host (separate
+  processes are the whole point — one box, one GIL cannot show it).
+* **affinity** — every shard runs ``--tenant-cache`` sized for *its
+  ring share* of tenants.  Consistent-hash routing keeps each tenant's
+  model resident (registry hit rate >= 90%); the spread-policy control
+  router (round-robin over the same shards) thrashes the same LRUs.
+* **chaos** — SIGKILL the busiest shard with tickets airborne: every
+  in-flight request must resolve exactly once (0 lost, 0 duplicated),
+  redispatched tickets land on the ring successor stamped ``retried``,
+  and every payload stays byte-identical to in-process
+  ``predict_one``.
+* **heal** — respawn the killed shard at its old address; the router's
+  probe loop revives it, the ring returns to the original placement,
+  and post-recovery results served by the healed shard stay
+  byte-identical.
+
+``--smoke`` (CI: ``BENCH_CLUSTER_SMOKE=1``) runs 2 shards with a
+reduced load and skips the 4-node scale bar.  The absolute scale
+assertion is additionally gated on ``BENCH_CLUSTER_STRICT=0`` and on
+host cores, same convention as ``bench_gateway.py``.  Results land in
+``benchmarks/results/bench_cluster.json`` (a CI artifact).
+"""
+
+import asyncio
+import json
+import math
+import os
+import tempfile
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks.common import (
+    BENCH_REGISTRY,
+    RESULTS_DIR,
+    cached_fitted_system,
+    cached_selfcollected,
+    emit,
+    format_row,
+)
+from repro.serving import InferenceEngine
+from repro.serving.cluster import ClusterRouter, NodeProcess
+from repro.serving.gateway import (
+    AsyncGatewayClient,
+    BackgroundGateway,
+    GatewayClient,
+    GatewayError,
+    quantise_sample,
+)
+
+FULL_NODES = 4
+SMOKE_NODES = 2
+FULL_TENANTS = 32
+SMOKE_TENANTS = 16
+#: Rounds per tenant in the affinity legs: hit rate is bounded above by
+#: (rounds - 1) / rounds (the first touch misses), so 16 rounds leaves
+#: headroom over the 90% bar.
+FULL_ROUNDS = 16
+SMOKE_ROUNDS = 12
+CHAOS_ROUNDS = 12
+MIN_SCALE_SPEEDUP = 3.2
+MIN_AFFINE_HIT_RATE = 0.90
+HEARTBEAT_S = 0.25
+MISS_LIMIT = 2
+HEAL_INTERVAL_S = 0.5
+
+
+def _samples(count: int, seed: int = 3) -> np.ndarray:
+    dataset = cached_selfcollected()
+    rng = np.random.default_rng(seed)
+    return dataset.inputs[rng.integers(0, dataset.num_samples, size=count)]
+
+
+def _spawn_fleet(
+    model_dir: str, node_ids: list[str], *, tenant_cache: int | None = None
+) -> dict[str, NodeProcess]:
+    fleet = {
+        node_id: NodeProcess(node_id, model_dir, tenant_cache=tenant_cache)
+        for node_id in node_ids
+    }
+    for node in fleet.values():
+        node.wait_ready(timeout_s=120.0)
+    return fleet
+
+
+def _shard_addresses(fleet: dict[str, NodeProcess]) -> dict[str, tuple[str, int]]:
+    return {node_id: node.address for node_id, node in fleet.items()}
+
+
+def _drive(
+    host: str,
+    port: int,
+    samples: np.ndarray,
+    tenants: list[str],
+    rounds: int,
+    *,
+    kill_after_s: float | None = None,
+    victim: NodeProcess | None = None,
+    window: int = 4,
+) -> dict:
+    """Pipeline ``rounds`` events per tenant through the router.
+
+    Each tenant keeps at most ``window`` tickets airborne so the total
+    in flight (tenants x window) stays under a single shard's
+    ``queue_limit`` — the 1-shard scale leg must not shed.  Every
+    outcome is kept: a lost or errored ticket shows up in ``errors``
+    instead of vanishing.  With ``kill_after_s`` set, ``victim`` is
+    SIGKILLed that long after the burst is airborne (the chaos phase).
+    """
+
+    async def run():
+        clients = [
+            await AsyncGatewayClient.connect(
+                host, port, tenant=tenant, connect_timeout_s=10.0
+            )
+            for tenant in tenants
+        ]
+
+        async def settle(sample_index: int, future: asyncio.Future):
+            try:
+                return sample_index, await future
+            except GatewayError as error:
+                return sample_index, error
+
+        async def one_tenant(index: int, client: AsyncGatewayClient):
+            outcomes, pending = [], []
+            for round_index in range(rounds):
+                sample_index = (index * rounds + round_index) % len(samples)
+                pending.append(
+                    (sample_index, client.submit_nowait(samples[sample_index])[1])
+                )
+                if len(pending) >= window:
+                    await client.drain()
+                    outcomes.append(await settle(*pending.pop(0)))
+            await client.drain()
+            for entry in pending:
+                outcomes.append(await settle(*entry))
+            return outcomes
+
+        async def assassin():
+            await asyncio.sleep(kill_after_s)
+            victim.kill()
+
+        start = time.perf_counter()
+        kill_task = (
+            asyncio.get_running_loop().create_task(assassin())
+            if kill_after_s is not None
+            else None
+        )
+        try:
+            per_tenant = await asyncio.gather(
+                *(one_tenant(i, c) for i, c in enumerate(clients))
+            )
+        finally:
+            if kill_task is not None:
+                await kill_task
+            for client in clients:
+                await client.aclose()
+        elapsed = time.perf_counter() - start
+        return per_tenant, elapsed
+
+    per_tenant, elapsed = asyncio.run(run())
+    flat = [outcome for outcomes in per_tenant for outcome in outcomes]
+    wires = [(i, w) for i, w in flat if not isinstance(w, GatewayError)]
+    errors = [(i, e) for i, e in flat if isinstance(e, GatewayError)]
+    return {
+        "submitted": len(flat),
+        "delivered": len(wires),
+        "errors": [str(e) for _, e in errors],
+        "retried": sum(1 for _, w in wires if w.retried),
+        "eps": len(flat) / elapsed,
+        "elapsed_s": elapsed,
+        "wires": wires,
+    }
+
+
+def _assert_byte_identity(reference_by_index: dict, wires: list) -> int:
+    checked = 0
+    for sample_index, wire in wires:
+        local = reference_by_index[sample_index]
+        assert wire.gesture == local.gesture and wire.user == local.user
+        assert np.array_equal(wire.gesture_probs, local.gesture_probs)
+        assert np.array_equal(wire.user_probs, local.user_probs)
+        checked += 1
+    return checked
+
+
+def _registry_stats(addresses: dict[str, tuple[str, int]]) -> dict[str, dict]:
+    """Each shard's ``tenant_registry`` snapshot, read over the wire."""
+    stats = {}
+    for node_id, (host, port) in addresses.items():
+        with GatewayClient(host, port, tenant="bench-probe") as client:
+            stats[node_id] = client.stats()["tenant_registry"]
+    return stats
+
+
+def _delta_hit_rate(before: dict[str, dict], after: dict[str, dict]) -> float:
+    hits = sum(a["hits"] - before[n]["hits"] for n, a in after.items())
+    misses = sum(a["misses"] - before[n]["misses"] for n, a in after.items())
+    total = hits + misses
+    return hits / total if total else 0.0
+
+
+def _wait_until(predicate, timeout_s: float, interval_s: float = 0.1) -> bool:
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval_s)
+    return False
+
+
+# ----------------------------------------------------------------------
+def _scale_phase(model_dir, samples, tenants, rounds) -> dict:
+    """events/sec through a 1-shard cluster (same router overhead)."""
+    fleet = _spawn_fleet(model_dir, ["solo"])
+    try:
+        router = ClusterRouter(
+            _shard_addresses(fleet), heartbeat_s=HEARTBEAT_S, miss_limit=MISS_LIMIT
+        )
+        with BackgroundGateway(router) as (host, port):
+            _drive(host, port, samples, tenants, 4)  # warm engines + pools
+            run = _drive(host, port, samples, tenants, rounds)
+    finally:
+        for node in fleet.values():
+            node.close()
+    return {"nodes": 1, "eps": run["eps"], "events": run["submitted"],
+            "errors": len(run["errors"])}
+
+
+def _experiment(*, smoke: bool = False) -> dict:
+    nodes = SMOKE_NODES if smoke else FULL_NODES
+    tenant_count = SMOKE_TENANTS if smoke else FULL_TENANTS
+    rounds = SMOKE_ROUNDS if smoke else FULL_ROUNDS
+    node_ids = [f"shard-{i}" for i in range(nodes)]
+    tenants = [f"tenant-{i:03d}" for i in range(tenant_count)]
+    system = cached_fitted_system(epochs=4)
+    samples = _samples(64)
+    reference = InferenceEngine(system)
+    reference_by_index = {
+        i: reference.predict_one(quantise_sample(samples[i]))
+        for i in range(len(samples))
+    }
+    #: Each shard's LRU holds its *affine* share (1.3x imbalance bound
+    #: plus slack) — far less than the full population, so spread
+    #: routing must thrash it.
+    tenant_cache = math.ceil(1.3 * tenant_count / nodes) + 2
+
+    with tempfile.TemporaryDirectory(prefix="bench-cluster-") as model_dir:
+        BENCH_REGISTRY.save(system, model_dir)
+        single = _scale_phase(model_dir, samples, tenants, rounds)
+        fleet = _spawn_fleet(model_dir, node_ids, tenant_cache=tenant_cache)
+        try:
+            addresses = _shard_addresses(fleet)
+            router = ClusterRouter(
+                addresses,
+                heartbeat_s=HEARTBEAT_S,
+                miss_limit=MISS_LIMIT,
+                heal_interval_s=HEAL_INTERVAL_S,
+            )
+            with BackgroundGateway(router) as (host, port):
+                # ---- scale: the same population over N shards --------
+                _drive(host, port, samples, tenants, 4)  # warm
+                scaled_run = _drive(host, port, samples, tenants, rounds)
+                scaled = {
+                    "nodes": nodes,
+                    "eps": scaled_run["eps"],
+                    "events": scaled_run["submitted"],
+                    "errors": len(scaled_run["errors"]),
+                }
+
+                # ---- affinity vs spread on the same shard LRUs -------
+                before = _registry_stats(addresses)
+                affine_run = _drive(host, port, samples, tenants, rounds)
+                mid = _registry_stats(addresses)
+                affine_hit_rate = _delta_hit_rate(before, mid)
+                spread_router = ClusterRouter(
+                    addresses,
+                    heartbeat_s=HEARTBEAT_S,
+                    miss_limit=MISS_LIMIT,
+                    affinity=False,
+                )
+                with BackgroundGateway(spread_router) as (s_host, s_port):
+                    _drive(s_host, s_port, samples, tenants, rounds)
+                after = _registry_stats(addresses)
+                spread_hit_rate = _delta_hit_rate(mid, after)
+                affinity = {
+                    "tenants": tenant_count,
+                    "rounds": rounds,
+                    "tenant_cache": tenant_cache,
+                    "affine_hit_rate": affine_hit_rate,
+                    "spread_hit_rate": spread_hit_rate,
+                    "affine_errors": len(affine_run["errors"]),
+                }
+
+                # ---- chaos: SIGKILL the busiest shard mid-burst ------
+                shares = router.ring.assignments(tenants)
+                busiest = max(shares, key=lambda n: len(shares[n]))
+                chaos_run = _drive(
+                    host, port, samples, tenants, CHAOS_ROUNDS,
+                    kill_after_s=0.15, victim=fleet[busiest],
+                )
+                assert _wait_until(
+                    lambda: busiest in router.membership.dead(), timeout_s=30.0
+                ), f"router never declared {busiest} dead"
+                chaos = {
+                    "victim": busiest,
+                    "victim_tenants": len(shares[busiest]),
+                    "submitted": chaos_run["submitted"],
+                    "delivered": chaos_run["delivered"],
+                    "lost": len(chaos_run["errors"]),
+                    "error_samples": chaos_run["errors"][:5],
+                    "retried_results": chaos_run["retried"],
+                    "redispatched": router.stats.redispatched,
+                    "duplicates_suppressed": router.stats.duplicates_suppressed,
+                    "byte_identical_checked": _assert_byte_identity(
+                        reference_by_index, chaos_run["wires"]
+                    ),
+                }
+
+                # ---- heal: respawn at the same address ---------------
+                old_host, old_port = addresses[busiest]
+                fleet[busiest].close()
+                fleet[busiest] = NodeProcess(
+                    busiest, model_dir,
+                    host=old_host, port=old_port,
+                    tenant_cache=tenant_cache,
+                )
+                fleet[busiest].wait_ready(timeout_s=120.0)
+                healed = _wait_until(
+                    lambda: busiest in router.membership.alive(), timeout_s=30.0
+                )
+                post = _drive(host, port, samples, tenants, 2)
+                heal = {
+                    "healed": healed,
+                    "node_heals": router.stats.node_heals,
+                    "post_recovery_events": post["submitted"],
+                    "post_recovery_errors": len(post["errors"]),
+                    "post_recovery_byte_identical": _assert_byte_identity(
+                        reference_by_index, post["wires"]
+                    ),
+                    "served_by_healed_shard": sum(
+                        1 for _, w in post["wires"] if w.node_id == busiest
+                    ),
+                }
+                snapshot = router.snapshot()
+        finally:
+            for node in fleet.values():
+                node.close()
+
+    return {
+        "smoke": smoke,
+        "nodes": nodes,
+        "single": single,
+        "scaled": scaled,
+        "speedup": scaled["eps"] / single["eps"],
+        "affinity": affinity,
+        "chaos": chaos,
+        "heal": heal,
+        "router": snapshot["router"],
+    }
+
+
+# ----------------------------------------------------------------------
+def _report(results: dict) -> list[str]:
+    affinity, chaos, heal = results["affinity"], results["chaos"], results["heal"]
+    widths = (36, 16)
+    return [
+        f"Cluster scale-out — {results['nodes']} shard processes behind "
+        f"one consistent-hash router"
+        + (" (smoke)" if results["smoke"] else ""),
+        format_row(("metric", "value"), widths),
+        format_row(("1-shard eps", f"{results['single']['eps']:.1f}"), widths),
+        format_row((f"{results['nodes']}-shard eps",
+                    f"{results['scaled']['eps']:.1f}"), widths),
+        format_row(("speedup", f"{results['speedup']:.2f}x"), widths),
+        format_row(("affine registry hit rate",
+                    f"{affinity['affine_hit_rate']:.1%}"), widths),
+        format_row(("spread registry hit rate",
+                    f"{affinity['spread_hit_rate']:.1%}"), widths),
+        format_row(("chaos victim",
+                    f"{chaos['victim']} ({chaos['victim_tenants']} tenants)"),
+                   widths),
+        format_row(("chaos lost / submitted",
+                    f"{chaos['lost']}/{chaos['submitted']}"), widths),
+        format_row(("chaos redispatched", chaos["redispatched"]), widths),
+        format_row(("chaos duplicates suppressed",
+                    chaos["duplicates_suppressed"]), widths),
+        format_row(("chaos byte-identical",
+                    chaos["byte_identical_checked"]), widths),
+        format_row(("ring healed", heal["healed"]), widths),
+        format_row(("post-heal served by victim",
+                    heal["served_by_healed_shard"]), widths),
+    ]
+
+
+def _emit_json(results: dict) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "bench_cluster.json").write_text(
+        json.dumps(results, indent=2) + "\n"
+    )
+
+
+def _check(results: dict) -> None:
+    affinity, chaos, heal = results["affinity"], results["chaos"], results["heal"]
+    # Exactly-once through SIGKILL: nothing lost, nothing duplicated.
+    assert chaos["lost"] == 0, (
+        f"{chaos['lost']} tickets lost through the SIGKILL: "
+        f"{chaos['error_samples']}"
+    )
+    assert chaos["delivered"] == chaos["submitted"]
+    assert chaos["redispatched"] >= 1, "the kill never caught a ticket airborne"
+    assert chaos["byte_identical_checked"] == chaos["delivered"]
+    # The ring heals and the revived shard serves byte-identical results.
+    assert heal["healed"], "respawned shard never rejoined the ring"
+    assert heal["post_recovery_errors"] == 0
+    assert heal["served_by_healed_shard"] >= 1
+    assert heal["post_recovery_byte_identical"] == heal["post_recovery_events"]
+    # Tenant affinity is what keeps shard caches hot.
+    assert affinity["affine_hit_rate"] >= MIN_AFFINE_HIT_RATE, (
+        f"affine registry hit rate {affinity['affine_hit_rate']:.1%} "
+        f"below {MIN_AFFINE_HIT_RATE:.0%}"
+    )
+    assert affinity["affine_hit_rate"] > affinity["spread_hit_rate"], (
+        "consistent hashing did not beat random routing on cache residency"
+    )
+    # Absolute scaling only on a host that can actually run 4 shards in
+    # parallel, and only in strict mode (shared-runner noise).
+    cores = len(os.sched_getaffinity(0))
+    strict = os.environ.get("BENCH_CLUSTER_STRICT", "1") != "0"
+    if not results["smoke"] and strict and cores >= 4:
+        assert results["speedup"] >= MIN_SCALE_SPEEDUP, (
+            f"{results['nodes']} shards only reached "
+            f"{results['speedup']:.2f}x one shard "
+            f"(need >= {MIN_SCALE_SPEEDUP}x on {cores} cores)"
+        )
+
+
+@pytest.mark.benchmark(group="serving")
+def test_cluster_scaleout(benchmark):
+    smoke = os.environ.get("BENCH_CLUSTER_SMOKE", "0") == "1"
+    results = benchmark.pedantic(
+        lambda: _experiment(smoke=smoke), rounds=1, iterations=1
+    )
+    emit("cluster_scaleout", _report(results))
+    _emit_json(results)
+    _check(results)
+
+
+if __name__ == "__main__":
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="2 shards, reduced load, no absolute scale bar (CI)",
+    )
+    cli_args = parser.parse_args()
+    cli_results = _experiment(smoke=cli_args.smoke)
+    print("\n".join(_report(cli_results)))
+    _emit_json(cli_results)
+    _check(cli_results)
+    print("\nbench_cluster: all checks passed")

@@ -284,7 +284,12 @@ class BlockingInAsyncRule:
     title = "blocking call inside `async def` (gateway event loop stall)"
 
     def applies_to(self, rel: str) -> bool:
-        return "serving/gateway" in rel or "/gateway/" in rel
+        return (
+            "serving/gateway" in rel
+            or "/gateway/" in rel
+            or "serving/cluster" in rel
+            or "/cluster/" in rel
+        )
 
     def check(self, module: ModuleSource) -> list[Finding]:
         findings = []

@@ -321,6 +321,11 @@ def _cmd_serve_gateway(args: argparse.Namespace) -> int:
     )
     backend = _build_backend(args)
     metrics_server, tracer, trace_log = _build_observability(args)
+    tenant_registry = None
+    if args.tenant_cache:
+        from repro.serving import ModelRegistry
+
+        tenant_registry = ModelRegistry(capacity=args.tenant_cache)
     server = GatewayServer(
         system,
         scheduler=scheduler,
@@ -329,6 +334,8 @@ def _cmd_serve_gateway(args: argparse.Namespace) -> int:
         tenants=tenants,
         max_batch_size=args.max_batch,
         tracer=tracer,
+        node_id=args.node_id,
+        tenant_registry=tenant_registry,
     )
 
     def reload_hook() -> int:
@@ -381,6 +388,85 @@ def _cmd_serve_gateway(args: argparse.Namespace) -> int:
         pass
     finally:
         backend.close()
+        if metrics_server is not None:
+            metrics_server.close()
+        if trace_log is not None:
+            trace_log.close()
+    return 0
+
+
+def _parse_shard_specs(specs: list[str]) -> dict[str, tuple[str, int]]:
+    """``ID=HOST:PORT`` pairs -> ``{node_id: (host, port)}``."""
+    shards: dict[str, tuple[str, int]] = {}
+    for spec in specs:
+        node_id, eq, address = spec.partition("=")
+        host, colon, port_text = address.rpartition(":")
+        try:
+            port = int(port_text)
+        except ValueError:
+            colon = ""
+        if not eq or not colon or not node_id or not host:
+            raise SystemExit(
+                f"error: --shard needs ID=HOST:PORT, got {spec!r}"
+            )
+        if node_id in shards:
+            raise SystemExit(f"error: duplicate shard id {node_id!r}")
+        shards[node_id] = (host, port)
+    return shards
+
+
+def _cmd_route(args: argparse.Namespace) -> int:
+    """Front N gateway shards with the consistent-hash cluster router."""
+    import asyncio
+
+    from repro.serving.cluster import ClusterRouter
+
+    host, colon, port_text = args.listen.rpartition(":")
+    try:
+        port = int(port_text)
+    except ValueError:
+        colon = ""
+    if not colon:
+        print(f"error: --listen needs HOST:PORT, got {args.listen!r}",
+              file=sys.stderr)
+        return 2
+    host = host or "0.0.0.0"
+    shards = _parse_shard_specs(args.shard)
+    metrics_server, tracer, trace_log = _build_observability(args)
+    router = ClusterRouter(
+        shards,
+        vnodes=args.vnodes,
+        heartbeat_s=args.heartbeat_ms / 1000.0,
+        miss_limit=args.miss_limit,
+        affinity=not args.spread,
+        probe_tenant=args.probe_tenant,
+        tracer=tracer,
+    )
+
+    async def _serve() -> None:
+        bound_host, bound_port = await router.start(host, port)
+        print(json.dumps({
+            "listening": f"{bound_host}:{bound_port}",
+            "role": "router",
+            "shards": sorted(shards),
+            "policy": "spread" if args.spread else "affinity",
+        }), flush=True)
+        try:
+            if args.serve_seconds is None:
+                await router.serve_forever()
+            else:
+                await asyncio.sleep(args.serve_seconds)
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await router.aclose()
+            print(json.dumps(router.snapshot(), indent=2))
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        pass
+    finally:
         if metrics_server is not None:
             metrics_server.close()
         if trace_log is not None:
@@ -636,6 +722,48 @@ def build_parser() -> argparse.ArgumentParser:
                             "(with --watch-model); in gateway mode, seconds")
     serve.add_argument("--user-seed", type=int, default=11)
     serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--node-id", default=None,
+                       help="cluster identity this shard reports in "
+                            "handshakes, results, and STATS snapshots "
+                            "(set by the router's spawner)")
+    serve.add_argument("--tenant-cache", type=int, default=None, metavar="N",
+                       help="track per-tenant model residency in an "
+                            "N-slot LRU; STATS then reports the hit "
+                            "rate the router's tenant affinity buys")
+
+    route = sub.add_parser(
+        "route", help="front N gateway shards with one consistent-hash "
+                      "router endpoint"
+    )
+    route.add_argument("--listen", metavar="HOST:PORT", required=True,
+                       help="router bind address (port 0 picks a free port)")
+    route.add_argument("--shard", metavar="ID=HOST:PORT", action="append",
+                       required=True,
+                       help="a shard gateway to route to (repeatable)")
+    route.add_argument("--vnodes", type=int, default=64,
+                       help="virtual nodes per shard on the hash ring")
+    route.add_argument("--heartbeat-ms", type=float, default=500.0,
+                       help="per-shard STATS heartbeat interval; a shard "
+                            "missing --miss-limit consecutive beats is "
+                            "declared dead and leaves the ring")
+    route.add_argument("--miss-limit", type=int, default=3,
+                       help="consecutive missed heartbeats before a shard "
+                            "is declared dead")
+    route.add_argument("--spread", action="store_true",
+                       help="round-robin instead of tenant-affine "
+                            "consistent hashing (control/debug mode)")
+    route.add_argument("--probe-tenant", default="cluster-probe",
+                       help="tenant id the router's heartbeat connections "
+                            "authenticate as")
+    route.add_argument("--metrics-port", type=int, default=None,
+                       help="expose a Prometheus /metrics endpoint on "
+                            "this side port")
+    route.add_argument("--trace-log", metavar="PATH", default=None,
+                       help="append one JSON line per finished request "
+                            "trace to PATH")
+    route.add_argument("--serve-seconds", type=float, default=None,
+                       help="stop after this many seconds (default: "
+                            "serve until interrupted)")
     return parser
 
 
@@ -649,6 +777,7 @@ def main(argv: list[str] | None = None) -> int:
         "demo": _cmd_demo,
         "session": _cmd_session,
         "serve": _cmd_serve,
+        "route": _cmd_route,
     }
     return handlers[args.command](args)
 

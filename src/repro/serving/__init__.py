@@ -26,6 +26,10 @@ Four pieces, layered under the runtimes in :mod:`repro.core`:
   asyncio TCP server speaking a versioned binary protocol, with
   per-tenant SLO classes, weighted priority admission, and load
   shedding (:class:`GatewayServer` / :class:`GatewayClient`).
+* :mod:`repro.serving.cluster` — horizontal scale-out: a consistent-hash
+  router (:class:`ClusterRouter` / :class:`HashRing`) fronting N gateway
+  shards with tenant-affine routing, heartbeat membership, and
+  exactly-once cross-node redispatch; see ``docs/cluster.md``.
 * :mod:`repro.serving.observability` — the operator surface every layer
   above reports into: a stdlib metrics registry with a Prometheus
   ``/metrics`` side port (:class:`MetricsRegistry` /
@@ -41,6 +45,13 @@ from repro.serving.backends import (
     ThreadPoolBackend,
     WorkerCrashError,
     create_backend,
+)
+from repro.serving.cluster import (
+    ClusterRouter,
+    EmptyRingError,
+    HashRing,
+    MembershipTable,
+    NodeProcess,
 )
 from repro.serving.engine import EngineStats, InferenceEngine, SampleResult, Ticket
 from repro.serving.gateway import (
@@ -68,6 +79,11 @@ __all__ = [
     "AsyncGatewayClient",
     "BackgroundGateway",
     "BatchScheduler",
+    "ClusterRouter",
+    "EmptyRingError",
+    "HashRing",
+    "MembershipTable",
+    "NodeProcess",
     "EngineStats",
     "ExecutionBackend",
     "InlineBackend",

@@ -1,0 +1,38 @@
+"""Horizontal scale-out: consistent-hash routing over gateway shards.
+
+The cluster tier turns N single-box gateways into one endpoint:
+
+* :mod:`~repro.serving.cluster.ring` — :class:`HashRing`, the pure
+  tenant -> shard mapping (virtual nodes, multi-probe balance, minimal
+  movement on join/leave);
+* :mod:`~repro.serving.cluster.membership` —
+  :class:`MembershipTable`, heartbeat-deadline health state;
+* :mod:`~repro.serving.cluster.router` — :class:`ClusterRouter`, the
+  asyncio front-end that forwards SUBMIT frames to the owning shard
+  and redispatches exactly once when a shard dies;
+* :mod:`~repro.serving.cluster.spawn` — :class:`NodeProcess`, shard
+  gateways as real child processes for benchmarks and chaos tests.
+"""
+
+from repro.serving.cluster.membership import (
+    ALIVE,
+    DEAD,
+    MembershipTable,
+    NodeRecord,
+)
+from repro.serving.cluster.ring import EmptyRingError, HashRing
+from repro.serving.cluster.router import ClusterRouter, RouterStats, RouterTicket
+from repro.serving.cluster.spawn import NodeProcess
+
+__all__ = [
+    "ALIVE",
+    "DEAD",
+    "ClusterRouter",
+    "EmptyRingError",
+    "HashRing",
+    "MembershipTable",
+    "NodeProcess",
+    "NodeRecord",
+    "RouterStats",
+    "RouterTicket",
+]

@@ -1,0 +1,159 @@
+"""Consistent-hash ring mapping tenants to their home shard.
+
+Every tenant hashes to a point on a 64-bit circle; each node claims
+``vnodes`` points (virtual nodes) so shares stay balanced even with a
+handful of physical nodes.  A tenant is owned by the first node point
+clockwise from the tenant's point, which gives the two properties the
+cluster tier is built on:
+
+* **Affinity** — the mapping is a pure function of (node set, tenant
+  id), so every router instance, restarted or not, sends a tenant to
+  the same shard and its per-user models stay resident in that shard's
+  registry LRU.
+* **Minimal movement** — adding or removing one node only reassigns
+  the tenants whose clockwise successor changed, i.e. ~1/N of the key
+  space instead of nearly all of it (modulo hashing's rehash-the-world
+  failure mode).
+
+Plain single-probe lookup leaves share imbalance of O(1/sqrt(vnodes))
+per node (~1.35 max/min at 64 vnodes over 4 nodes), so ``owner`` uses
+*multi-probe* lookup: the tenant hashes to ``probes`` independent
+points and the probe that lands closest (clockwise) to a node point
+wins.  A node with oversized arcs only captures a probe that falls
+very near one of its points, which evens shares out below the 1.3
+max/min bound the unit tests assert while keeping movement exact:
+removing a node only moves tenants whose winning probe pointed at it,
+i.e. exactly the tenants it owned.
+
+Hashing uses :mod:`hashlib` blake2b, never the interpreter's salted
+``hash()``: placement must be identical across processes and restarts.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from collections.abc import Iterable
+
+__all__ = ["EmptyRingError", "HashRing"]
+
+
+class EmptyRingError(LookupError):
+    """Raised when ownership is requested from a ring with no nodes."""
+
+
+def _point(label: str) -> int:
+    """Deterministic 64-bit ring position for ``label``."""
+    digest = hashlib.blake2b(label.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+class HashRing:
+    """Consistent hashing with virtual nodes.
+
+    Parameters
+    ----------
+    nodes:
+        Initial node ids.
+    vnodes:
+        Virtual nodes (ring points) per physical node.
+    probes:
+        Lookup probes per tenant; with 64 vnodes, 8 probes keeps the
+        max/min tenant share within 1.3x across 4 nodes (asserted by
+        the unit tests) while lookups stay O(probes log(N * vnodes)).
+    """
+
+    def __init__(
+        self, nodes: Iterable[str] = (), *, vnodes: int = 64, probes: int = 8
+    ) -> None:
+        if vnodes < 1:
+            raise ValueError("vnodes must be >= 1")
+        if probes < 1:
+            raise ValueError("probes must be >= 1")
+        self.vnodes = int(vnodes)
+        self.probes = int(probes)
+        self._nodes: set[str] = set()
+        self._points: list[int] = []
+        self._owners: list[str] = []
+        for node in nodes:
+            self.add(node)
+
+    # ------------------------------------------------------------------
+    def add(self, node: str) -> bool:
+        """Add ``node``; returns False when it was already present."""
+        node = str(node)
+        if node in self._nodes:
+            return False
+        self._nodes.add(node)
+        self._rebuild()
+        return True
+
+    def remove(self, node: str) -> bool:
+        """Remove ``node``; returns False when it was not present."""
+        node = str(node)
+        if node not in self._nodes:
+            return False
+        self._nodes.discard(node)
+        self._rebuild()
+        return True
+
+    def _rebuild(self) -> None:
+        window = (1 << 64) // self.vnodes
+        pairs = sorted(
+            (index * window + _point(f"{node}#{index}") % window, node)
+            for node in self._nodes
+            for index in range(self.vnodes)
+        )
+        self._points = [point for point, _ in pairs]
+        self._owners = [owner for _, owner in pairs]
+
+    # ------------------------------------------------------------------
+    def owner(self, tenant: str) -> str:
+        """The node owning ``tenant``.
+
+        Of the ``probes`` probe points, the one with the smallest
+        clockwise distance to a node point wins; its successor node is
+        the owner.
+        """
+        if not self._points:
+            raise EmptyRingError("hash ring has no nodes")
+        size = 1 << 64
+        count = len(self._points)
+        best_distance = size
+        best_index = 0
+        for probe in range(self.probes):
+            point = _point(f"tenant:{tenant}#{probe}")
+            index = bisect.bisect_right(self._points, point) % count
+            distance = (self._points[index] - point) % size
+            if distance < best_distance:
+                best_distance = distance
+                best_index = index
+        return self._owners[best_index]
+
+    def assignments(self, tenants: Iterable[str]) -> dict[str, list[str]]:
+        """Node id -> sorted tenants it owns (empty nodes included)."""
+        table: dict[str, list[str]] = {node: [] for node in self._nodes}
+        for tenant in tenants:
+            table[self.owner(tenant)].append(str(tenant))
+        for bucket in table.values():
+            bucket.sort()
+        return table
+
+    # ------------------------------------------------------------------
+    @property
+    def nodes(self) -> list[str]:
+        return sorted(self._nodes)
+
+    def __contains__(self, node: object) -> bool:
+        return node in self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def snapshot(self) -> dict:
+        return {
+            "nodes": self.nodes,
+            "vnodes": self.vnodes,
+            "probes": self.probes,
+            "points": len(self._points),
+        }

@@ -1,0 +1,184 @@
+"""Shard processes: spawn ``repro serve`` gateways as children.
+
+``bench_cluster.py`` (and any chaos test) needs real OS processes —
+SIGKILL semantics, separate GILs, separate registries — so this module
+wraps ``python -m repro.cli serve --listen ...`` in a handle that
+parses the CLI's ``{"listening": "host:port"}`` readiness line, exposes
+the bound address, and can kill (SIGKILL) or stop the child.
+
+This is deliberately *not* asyncio: the spawner is the benchmark / CLI
+process, and the blocking stdout reader lives on its own daemon thread.
+"""
+
+from __future__ import annotations
+
+import collections
+import json
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+__all__ = ["NodeProcess"]
+
+
+def _repro_pythonpath() -> str:
+    """A PYTHONPATH that makes ``import repro`` work in the child."""
+    import repro
+
+    package_root = str(pathlib.Path(repro.__file__).resolve().parent.parent)
+    existing = os.environ.get("PYTHONPATH", "")
+    if not existing:
+        return package_root
+    if package_root in existing.split(os.pathsep):
+        return existing
+    return package_root + os.pathsep + existing
+
+
+class NodeProcess:
+    """One shard gateway as a child process.
+
+    Parameters
+    ----------
+    node_id:
+        The shard's cluster identity (``repro serve --node-id``).
+    model_dir:
+        Checkpoint directory every shard loads (shared weights).
+    host, port:
+        Bind address; port 0 lets the OS pick (the real port is parsed
+        from the readiness line).  Respawning a killed node at its old
+        fixed port is how ``bench_cluster.py`` exercises ring healing.
+    tenant_cache:
+        When set, passed as ``--tenant-cache`` so the shard tracks
+        per-tenant model residency (the affinity measure).
+    extra_args:
+        Additional raw CLI arguments.
+    """
+
+    def __init__(
+        self,
+        node_id: str,
+        model_dir: str | pathlib.Path,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        tenant_cache: int | None = None,
+        extra_args: tuple[str, ...] = (),
+        stderr_path: str | pathlib.Path | None = None,
+    ) -> None:
+        self.node_id = str(node_id)
+        self.address: tuple[str, int] | None = None
+        # Bounded: a shard prints a readiness line, occasional gate
+        # reports, and a final snapshot — keep the recent tail only.
+        self._lines: collections.deque[str] = collections.deque(maxlen=400)
+        self._ready = threading.Event()
+        command = [
+            sys.executable,
+            "-m",
+            "repro.cli",
+            "serve",
+            "--model-dir",
+            str(model_dir),
+            "--listen",
+            f"{host}:{port}",
+            "--node-id",
+            self.node_id,
+        ]
+        if tenant_cache is not None:
+            command += ["--tenant-cache", str(tenant_cache)]
+        command += list(extra_args)
+        environment = dict(os.environ)
+        environment["PYTHONPATH"] = _repro_pythonpath()
+        self._stderr_file = None
+        if stderr_path is not None:
+            self._stderr_file = open(stderr_path, "w", encoding="utf-8")
+        self.process = subprocess.Popen(
+            command,
+            stdout=subprocess.PIPE,
+            stderr=self._stderr_file or subprocess.DEVNULL,
+            text=True,
+            env=environment,
+        )
+        self._reader = threading.Thread(
+            target=self._read_stdout, name=f"node-{node_id}-stdout", daemon=True
+        )
+        self._reader.start()
+
+    def _read_stdout(self) -> None:
+        stream = self.process.stdout
+        assert stream is not None
+        for line in stream:
+            self._lines.append(line.rstrip("\n"))
+            if self.address is None:
+                try:
+                    meta = json.loads(line)
+                except ValueError:
+                    continue
+                listening = meta.get("listening") if isinstance(meta, dict) else None
+                if listening:
+                    bound_host, _, bound_port = str(listening).rpartition(":")
+                    self.address = (bound_host, int(bound_port))
+                    self._ready.set()
+        self._ready.set()  # EOF: wake waiters so they see the death
+
+    # ------------------------------------------------------------------
+    def wait_ready(self, timeout_s: float = 60.0) -> tuple[str, int]:
+        """Block until the child prints its readiness line."""
+        deadline = time.monotonic() + timeout_s
+        while time.monotonic() < deadline:
+            if self.address is not None:
+                return self.address
+            if self.process.poll() is not None:
+                raise RuntimeError(
+                    f"node {self.node_id} exited with {self.process.returncode} "
+                    f"before binding; output: {list(self._lines)[-5:]}"
+                )
+            self._ready.wait(timeout=0.1)
+            self._ready.clear()
+        raise TimeoutError(f"node {self.node_id} not ready after {timeout_s:g}s")
+
+    @property
+    def alive(self) -> bool:
+        return self.process.poll() is None
+
+    @property
+    def output_lines(self) -> list[str]:
+        return list(self._lines)
+
+    # ------------------------------------------------------------------
+    def kill(self) -> None:
+        """SIGKILL — the chaos path: no cleanup, no goodbye frames."""
+        if self.alive:
+            self.process.send_signal(signal.SIGKILL)
+
+    def stop(self, timeout_s: float = 10.0) -> int | None:
+        """SIGTERM then reap; escalates to SIGKILL on timeout."""
+        if self.alive:
+            self.process.terminate()
+        try:
+            return self.process.wait(timeout=timeout_s)
+        except subprocess.TimeoutExpired:
+            self.kill()
+            return self.process.wait(timeout=timeout_s)
+
+    def close(self) -> None:
+        """Hard cleanup for ``finally`` blocks."""
+        self.kill()
+        try:
+            self.process.wait(timeout=10.0)
+        except subprocess.TimeoutExpired:
+            pass
+        self._reader.join(timeout=5.0)
+        if self.process.stdout is not None:
+            self.process.stdout.close()
+        if self._stderr_file is not None:
+            self._stderr_file.close()
+
+    def __enter__(self) -> "NodeProcess":
+        return self
+
+    def __exit__(self, *_exc_info) -> None:
+        self.close()

@@ -15,7 +15,12 @@ into a TCP service with per-tenant SLO classes:
 * :mod:`~repro.serving.gateway.client` — blocking and asyncio clients.
 """
 
-from repro.serving.gateway.client import AsyncGatewayClient, GatewayClient, GatewayError
+from repro.serving.gateway.client import (
+    AsyncGatewayClient,
+    GatewayClient,
+    GatewayError,
+    connect_backoff,
+)
 from repro.serving.gateway.protocol import (
     PROTOCOL_VERSION,
     Frame,
@@ -61,6 +66,7 @@ __all__ = [
     "TenantStats",
     "VersionMismatch",
     "WireResult",
+    "connect_backoff",
     "default_classes",
     "quantise_sample",
 ]

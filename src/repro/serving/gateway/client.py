@@ -21,12 +21,23 @@ from __future__ import annotations
 import asyncio
 import itertools
 import socket
+import time
+from collections.abc import Callable
 from typing import Any
 
 import numpy as np
 
 from repro.serving.gateway import protocol
 from repro.serving.gateway.protocol import Frame, FrameType, ProtocolError, WireResult
+
+
+def connect_backoff(attempt: int, *, base: float = 0.05, cap: float = 2.0) -> float:
+    """Delay before connect retry ``attempt`` (0-based): capped
+    exponential, so a dead node costs ``base * 2^n`` up to ``cap``
+    seconds per attempt instead of hanging the caller."""
+    if attempt < 0:
+        raise ValueError("attempt must be >= 0")
+    return min(base * (2.0 ** attempt), cap)
 
 
 class GatewayError(RuntimeError):
@@ -61,7 +72,16 @@ class GatewayClient:
     client:
         Free-form client name for the server's logs/stats.
     timeout_s:
-        Socket timeout for connect and every read.
+        Socket timeout for every read after the handshake.
+    connect_timeout_s:
+        Deadline for TCP connect *and* the HELLO handshake — a down or
+        wedged node fails the constructor in bounded time instead of
+        hanging the caller for a full read timeout.
+    connect_retries:
+        Extra connect attempts after the first failure, spaced by
+        capped exponential backoff (:func:`connect_backoff` with
+        ``retry_backoff_s``/``max_backoff_s``).  Only transport errors
+        retry; server rejections (ERROR frames) raise immediately.
     """
 
     def __init__(
@@ -72,8 +92,27 @@ class GatewayClient:
         tenant: str = "default",
         client: str = "repro-client",
         timeout_s: float = 30.0,
+        connect_timeout_s: float = 5.0,
+        connect_retries: int = 0,
+        retry_backoff_s: float = 0.05,
+        max_backoff_s: float = 2.0,
     ) -> None:
-        self._sock = socket.create_connection((host, port), timeout=timeout_s)
+        attempt = 0
+        while True:
+            try:
+                self._sock = socket.create_connection(
+                    (host, port), timeout=connect_timeout_s
+                )
+                break
+            except OSError:
+                if attempt >= connect_retries:
+                    raise
+                time.sleep(
+                    connect_backoff(
+                        attempt, base=retry_backoff_s, cap=max_backoff_s
+                    )
+                )
+                attempt += 1
         self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         self._ids = itertools.count(1)
         #: Frames that arrived while waiting for something else.
@@ -83,6 +122,7 @@ class GatewayClient:
         try:
             self._send(protocol.hello_frame(client=client, tenant=tenant))
             reply = self._read()
+            self._sock.settimeout(timeout_s)
             if reply.kind is FrameType.ERROR:
                 raise GatewayError.from_frame(reply)
             if reply.kind is not FrameType.HELLO:
@@ -94,6 +134,8 @@ class GatewayClient:
         self.slo_class = str(reply.meta.get("slo_class", "?"))
         self.slo_ms = reply.meta.get("slo_ms")
         self.model_version = int(reply.meta.get("model_version", 0))
+        #: Shard identity (``--node-id``) when the server advertises one.
+        self.node_id: str | None = reply.meta.get("node_id")
 
     # ------------------------------------------------------------------
     def _send(self, frame: Frame) -> None:
@@ -217,12 +259,21 @@ class AsyncGatewayClient:
         self._writer = writer
         self._ids = itertools.count(1)
         self._futures: dict[int, asyncio.Future] = {}
+        #: Request ids whose future resolves with the raw Frame instead
+        #: of a decoded WireResult (the router's forwarding fast path).
+        self._raw_ids: set[int] = set()
         self._control: asyncio.Queue[Frame] = asyncio.Queue()
         self._reader_task = asyncio.create_task(self._read_loop())
         self.server = str(hello.meta.get("server", "?"))
         self.slo_class = str(hello.meta.get("slo_class", "?"))
         self.slo_ms = hello.meta.get("slo_ms")
         self.model_version = int(hello.meta.get("model_version", 0))
+        #: Shard identity (``--node-id``) when the server advertises one.
+        self.node_id: str | None = hello.meta.get("node_id")
+        #: Called with any RESULT/ERROR frame whose request id has no
+        #: pending future (late duplicate after a redispatch); the
+        #: router counts these as suppressed duplicates.
+        self.on_orphan: Callable[[Frame], None] | None = None
 
     @classmethod
     async def connect(
@@ -232,22 +283,73 @@ class AsyncGatewayClient:
         *,
         tenant: str = "default",
         client: str = "repro-async-client",
+        connect_timeout_s: float = 5.0,
+        connect_retries: int = 0,
+        retry_backoff_s: float = 0.05,
+        max_backoff_s: float = 2.0,
+    ) -> "AsyncGatewayClient":
+        """Connect with a handshake deadline and optional retries.
+
+        ``connect_timeout_s`` bounds TCP connect *plus* the HELLO
+        round trip; on expiry the attempt fails with ConnectionError
+        instead of hanging on a wedged node.  Transport failures retry
+        up to ``connect_retries`` times with capped exponential backoff
+        (:func:`connect_backoff`); server rejections (ERROR frames)
+        raise :class:`GatewayError` immediately, no retry.
+        """
+        attempt = 0
+        while True:
+            try:
+                return await asyncio.wait_for(
+                    cls._connect_once(host, port, tenant=tenant, client=client),
+                    timeout=connect_timeout_s,
+                )
+            except asyncio.TimeoutError as error:
+                failure: Exception = ConnectionError(
+                    f"connect to {host}:{port} timed out"
+                    f" after {connect_timeout_s:g}s"
+                )
+                failure.__cause__ = error
+            except (ConnectionError, OSError) as error:
+                failure = error
+            if attempt >= connect_retries:
+                raise failure
+            await asyncio.sleep(
+                connect_backoff(attempt, base=retry_backoff_s, cap=max_backoff_s)
+            )
+            attempt += 1
+
+    @classmethod
+    async def _connect_once(
+        cls, host: str, port: int, *, tenant: str, client: str
     ) -> "AsyncGatewayClient":
         reader, writer = await asyncio.open_connection(host, port)
-        writer.write(
-            protocol.encode_frame(protocol.hello_frame(client=client, tenant=tenant))
-        )
-        await writer.drain()
-        reply = await protocol.read_frame(reader)
-        if reply is None:
-            raise ConnectionError("gateway closed the connection during HELLO")
-        if reply.kind is FrameType.ERROR:
-            raise GatewayError.from_frame(reply)
-        if reply.kind is not FrameType.HELLO:
-            raise ProtocolError(f"expected a HELLO reply, got {reply.kind.name}")
+        try:
+            writer.write(
+                protocol.encode_frame(
+                    protocol.hello_frame(client=client, tenant=tenant)
+                )
+            )
+            await writer.drain()
+            reply = await protocol.read_frame(reader)
+            if reply is None:
+                raise ConnectionError("gateway closed the connection during HELLO")
+            if reply.kind is FrameType.ERROR:
+                raise GatewayError.from_frame(reply)
+            if reply.kind is not FrameType.HELLO:
+                raise ProtocolError(f"expected a HELLO reply, got {reply.kind.name}")
+        except BaseException:
+            writer.close()
+            raise
         return cls(reader, writer, reply)
 
     # ------------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        """True once the transport is gone (reader exited or writer
+        closing) — pooled holders use this to drop stale entries."""
+        return self._reader_task.done() or self._writer.is_closing()
+
     async def _read_loop(self) -> None:
         try:
             while True:
@@ -255,14 +357,25 @@ class AsyncGatewayClient:
                 if frame is None:
                     break
                 if frame.kind is FrameType.RESULT:
-                    result = protocol.decode_result(frame)
-                    future = self._futures.pop(result.request_id, None)
-                    if future is not None and not future.done():
-                        future.set_result(result)
+                    request_id = frame.meta.get("id")
+                    future = self._futures.pop(request_id, None)
+                    if future is None:
+                        if self.on_orphan is not None:
+                            self.on_orphan(frame)
+                    elif not future.done():
+                        if request_id in self._raw_ids:
+                            self._raw_ids.discard(request_id)
+                            future.set_result(frame)
+                        else:
+                            future.set_result(protocol.decode_result(frame))
                 elif frame.kind is FrameType.ERROR and frame.meta.get("id") is not None:
                     error = GatewayError.from_frame(frame)
                     future = self._futures.pop(error.request_id, None)
-                    if future is not None and not future.done():
+                    self._raw_ids.discard(error.request_id)
+                    if future is None:
+                        if self.on_orphan is not None:
+                            self.on_orphan(frame)
+                    elif not future.done():
                         future.set_exception(error)
                 else:
                     self._control.put_nowait(frame)
@@ -274,6 +387,7 @@ class AsyncGatewayClient:
                 if not future.done():
                     future.set_exception(dead)
             self._futures.clear()
+            self._raw_ids.clear()
 
     async def _request(self, frame: Frame) -> None:
         self._writer.write(protocol.encode_frame(frame))
@@ -295,6 +409,28 @@ class AsyncGatewayClient:
             protocol.encode_frame(
                 protocol.submit_frame(request_id, sample, deadline_ms=deadline_ms)
             )
+        )
+        return request_id, future
+
+    def forward_nowait(self, frame: Frame) -> tuple[int, asyncio.Future]:
+        """Forward an already-encoded SUBMIT frame under a fresh local
+        request id; the future resolves with the **raw RESULT frame**.
+
+        This is the router's fast path: the float32 cloud body and the
+        shard's posterior bytes pass through untouched (no numpy
+        decode/re-encode), so cross-node results stay byte-identical to
+        single-node serving.
+        """
+        if frame.kind is not FrameType.SUBMIT:
+            raise ProtocolError(f"can only forward SUBMIT frames, got {frame.kind.name}")
+        request_id = next(self._ids)
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._futures[request_id] = future
+        self._raw_ids.add(request_id)
+        meta = dict(frame.meta)
+        meta["id"] = request_id
+        self._writer.write(
+            protocol.encode_frame(Frame(FrameType.SUBMIT, meta, frame.body))
         )
         return request_id, future
 

@@ -253,17 +253,18 @@ def hello_reply(
     slo_class: str,
     slo_ms: float | None,
     model_version: int,
+    node_id: str | None = None,
 ) -> Frame:
-    return Frame(
-        FrameType.HELLO,
-        {
-            "server": server,
-            "tenant": tenant,
-            "slo_class": slo_class,
-            "slo_ms": slo_ms,
-            "model_version": model_version,
-        },
-    )
+    meta = {
+        "server": server,
+        "tenant": tenant,
+        "slo_class": slo_class,
+        "slo_ms": slo_ms,
+        "model_version": model_version,
+    }
+    if node_id is not None:
+        meta["node_id"] = str(node_id)
+    return Frame(FrameType.HELLO, meta)
 
 
 def quantise_sample(sample: np.ndarray) -> np.ndarray:
@@ -313,8 +314,19 @@ def decode_submit(frame: Frame) -> tuple[int, np.ndarray, float | None]:
     )
 
 
-def result_frame(request_id: int, result) -> Frame:
-    """Encode one :class:`~repro.serving.engine.SampleResult`."""
+def result_frame(
+    request_id: int,
+    result,
+    *,
+    node_id: str | None = None,
+    retried: bool = False,
+) -> Frame:
+    """Encode one :class:`~repro.serving.engine.SampleResult`.
+
+    ``node_id`` stamps which shard served the request (cluster mode);
+    ``retried`` marks a result delivered via cross-node redispatch
+    after its original shard died.
+    """
     gesture_probs = np.ascontiguousarray(result.gesture_probs, dtype=PROBS_DTYPE)
     user_probs = np.ascontiguousarray(result.user_probs, dtype=PROBS_DTYPE)
     meta = {
@@ -325,6 +337,10 @@ def result_frame(request_id: int, result) -> Frame:
         "gesture_classes": int(gesture_probs.shape[0]),
         "user_classes": int(user_probs.shape[0]),
     }
+    if node_id is not None:
+        meta["node_id"] = str(node_id)
+    if retried:
+        meta["retried"] = True
     return Frame(FrameType.RESULT, meta, gesture_probs.tobytes() + user_probs.tobytes())
 
 
@@ -338,6 +354,10 @@ class WireResult:
     user: int
     user_probs: np.ndarray
     model_version: int
+    #: Shard that served the request, when the server advertises one.
+    node_id: str | None = None
+    #: True when the result arrived via cross-node redispatch.
+    retried: bool = False
 
 
 def decode_result(frame: Frame) -> WireResult:
@@ -362,6 +382,8 @@ def decode_result(frame: Frame) -> WireResult:
         user=int(meta.get("user", -1)),
         user_probs=probs[num_gestures:].copy(),
         model_version=int(meta.get("model_version", 0)),
+        node_id=meta.get("node_id"),
+        retried=bool(meta.get("retried", False)),
     )
 
 

@@ -70,6 +70,7 @@ from repro.serving.observability.metrics import (
     get_metrics,
 )
 from repro.serving.observability.tracing import TraceRecord, Tracer
+from repro.serving.registry import ModelRegistry
 
 
 @dataclass
@@ -99,6 +100,8 @@ class GatewayStats:
     classify_errors: int = 0
     protocol_errors: int = 0
     reloads: int = 0
+    tenant_model_hits: int = 0
+    tenant_model_misses: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return dict(self.__dict__)
@@ -146,6 +149,14 @@ class _GatewayInstruments:
         ).labels()
         self.reloads = metrics.counter(
             "repro_gateway_reloads_total", "Successful RELOAD round trips."
+        ).labels()
+        self.tenant_model_hits = metrics.counter(
+            "repro_gateway_tenant_model_hits_total",
+            "Admitted requests whose tenant's model was registry-resident.",
+        ).labels()
+        self.tenant_model_misses = metrics.counter(
+            "repro_gateway_tenant_model_misses_total",
+            "Admitted requests that had to (re)load their tenant's model.",
         ).labels()
         self.request_latency = metrics.histogram(
             "repro_gateway_request_latency_seconds",
@@ -301,6 +312,19 @@ class GatewayServer:
         for an on-disk JSONL feed.  The private engine adopts this
         tracer; an external ``engine=`` keeps its own (gateway-begun
         traces still flow through it either way).
+    node_id:
+        Cluster identity of this shard.  When set it is stamped into
+        HELLO replies, RESULT frames, and the STATS snapshot so a
+        router (and ``bench_cluster.py``) can attribute traffic per
+        shard.
+    tenant_registry:
+        A :class:`~repro.serving.registry.ModelRegistry` tracking
+        *per-tenant* model residency: every admitted SUBMIT touches the
+        key ``tenant::<tenant_id>``, loading it on first sight, so the
+        registry's LRU models which tenants' weights this shard keeps
+        hot.  Its hit rate is the tenant-affinity measure a consistent-
+        hash router maximises and random routing destroys — the STATS
+        snapshot summarises it under ``tenant_registry``.
     """
 
     def __init__(
@@ -323,6 +347,8 @@ class GatewayServer:
         name: str = "repro-gateway",
         metrics: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
+        node_id: str | None = None,
+        tenant_registry: ModelRegistry | None = None,
     ) -> None:
         if engine is not None and backend is not None:
             raise ValueError(
@@ -369,6 +395,8 @@ class GatewayServer:
         self.handshake_timeout_s = handshake_timeout_s
         self.reload_hook = reload_hook
         self.name = name
+        self.node_id = node_id
+        self._tenant_registry = tenant_registry
         self.stats = GatewayStats()
         self.address: tuple[str, int] | None = None
         #: The scheduler's configured SLO, restored when no SLO-carrying
@@ -543,7 +571,9 @@ class GatewayServer:
         self.stats.results += 1
         self._m.results.labels(tenant.tenant_id, tenant.slo_class.name).inc()
         self._m.request_latency.labels(tenant.slo_class.name).observe(latency_s)
-        request.connection.send(protocol.result_frame(request.request_id, result))
+        request.connection.send(
+            protocol.result_frame(request.request_id, result, node_id=self.node_id)
+        )
 
     def _classify_failed(self, request: GatewayRequest, error: Exception) -> None:
         tenant = request.tenant
@@ -627,6 +657,7 @@ class GatewayServer:
                 slo_class=tenant.slo_class.name,
                 slo_ms=tenant.slo_class.slo_ms,
                 model_version=self.engine.model_version,
+                node_id=self.node_id,
             )
         )
         return True
@@ -730,8 +761,30 @@ class GatewayServer:
             return
         if request.trace is not None:
             request.trace.mark_admitted(request.received)
+        if self._tenant_registry is not None:
+            self._touch_tenant_model(tenant.tenant_id)
         assert self._kick is not None
         self._kick.set()
+
+    def _touch_tenant_model(self, tenant_id: str) -> None:
+        """Track per-tenant model residency in the tenant registry.
+
+        Every tenant shares this shard's weights today (per-user
+        fine-tuning is a separate ROADMAP item), but the LRU dynamics
+        are the real thing: a tenant outside the registry pays a model
+        (re)load on arrival and evicts someone else.  The hit/miss
+        split is the affinity signal ``bench_cluster.py`` asserts on.
+        """
+        registry = self._tenant_registry
+        assert registry is not None
+        key = f"tenant::{tenant_id}"
+        if registry.get(key) is not None:
+            self.stats.tenant_model_hits += 1
+            self._m.tenant_model_hits.inc()
+        else:
+            self.stats.tenant_model_misses += 1
+            self._m.tenant_model_misses.inc()
+            registry.put(key, self.engine.system)
 
     def _on_trace(self, connection: _Connection, frame: Frame) -> None:
         """Drain the trace ring into a TRACE reply."""
@@ -830,6 +883,8 @@ class GatewayServer:
         scheduler = self.engine.scheduler
         return {
             "server": self.name,
+            "node_id": self.node_id,
+            "tenant_registry": self._tenant_registry_summary(),
             "model_version": self.engine.model_version,
             "connections": self.num_connections,
             "queued": len(self.admission),
@@ -856,6 +911,30 @@ class GatewayServer:
             },
             "scheduler": scheduler.snapshot() if scheduler is not None else None,
             "tenants": self.tenants.snapshot(),
+        }
+
+    def _tenant_registry_summary(self) -> dict | None:
+        """Residency summary for the STATS snapshot: which tenants are
+        model-hot on this shard and how often arrivals found them so.
+        Counters are the *gateway's* (per-admitted-SUBMIT), not the
+        registry's own, so other registry traffic can't dilute them."""
+        registry = self._tenant_registry
+        if registry is None:
+            return None
+        hits = self.stats.tenant_model_hits
+        misses = self.stats.tenant_model_misses
+        total = hits + misses
+        prefix = "tenant::"
+        return {
+            "capacity": registry.capacity,
+            "hits": hits,
+            "misses": misses,
+            "hit_rate": (hits / total) if total else None,
+            "resident_tenants": sorted(
+                key[len(prefix):]
+                for key in registry.keys()
+                if key.startswith(prefix)
+            ),
         }
 
 

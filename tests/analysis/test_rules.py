@@ -77,6 +77,24 @@ def test_rc001_near_miss_awaited_and_sync(tmp_path):
     assert findings == []
 
 
+def test_rc001_covers_the_cluster_tier(tmp_path):
+    # The router is event-loop code too: a blocking call in
+    # serving/cluster/ stalls every client behind the cluster.
+    findings = scan(
+        tmp_path,
+        "src/repro/serving/cluster/router.py",
+        """
+        import time
+
+        async def _heartbeat(node_id):
+            time.sleep(0.1)
+        """,
+        "RC001",
+    )
+    assert [f.rule for f in findings] == ["RC001"]
+    assert "async def _heartbeat" in findings[0].message
+
+
 def test_rc001_scoped_to_gateway(tmp_path):
     findings = scan(
         tmp_path,

@@ -1,0 +1,184 @@
+"""Client connect behaviour: timeouts, retries, capped backoff.
+
+A router redialling a dead shard must fail in bounded time (connect
+timeout), survive a shard that is *about* to come up (retries with
+capped exponential backoff), and never retry a server-side rejection.
+"""
+
+import asyncio
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.serving.gateway import (
+    AsyncGatewayClient,
+    BackgroundGateway,
+    GatewayClient,
+    GatewayError,
+    GatewayServer,
+    TenantDirectory,
+    connect_backoff,
+)
+
+
+def _free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+class TestBackoffSchedule:
+    def test_caps_exponential_growth(self):
+        delays = [connect_backoff(attempt) for attempt in range(8)]
+        assert delays[:4] == [0.05, 0.1, 0.2, 0.4]
+        assert delays[-1] == 2.0  # capped, not 6.4
+        assert delays == sorted(delays)
+
+    def test_custom_base_and_cap(self):
+        assert connect_backoff(0, base=0.5, cap=3.0) == 0.5
+        assert connect_backoff(10, base=0.5, cap=3.0) == 3.0
+
+    def test_negative_attempt_rejected(self):
+        with pytest.raises(ValueError):
+            connect_backoff(-1)
+
+
+class TestSyncConnect:
+    def test_refused_port_fails_without_retries(self):
+        port = _free_port()
+        started = time.monotonic()
+        with pytest.raises(OSError):
+            GatewayClient("127.0.0.1", port, connect_timeout_s=1.0)
+        assert time.monotonic() - started < 5.0
+
+    def test_silent_listener_times_out_on_handshake(self):
+        # A listener that accepts but never speaks must not hang the
+        # constructor: the connect deadline covers the HELLO reply too.
+        with socket.socket() as listener:
+            listener.bind(("127.0.0.1", 0))
+            listener.listen(1)
+            host, port = listener.getsockname()
+            started = time.monotonic()
+            with pytest.raises(OSError):
+                GatewayClient(host, port, connect_timeout_s=0.3)
+            assert time.monotonic() - started < 3.0
+
+    def test_retries_bridge_a_late_listener(self, fitted):
+        port = _free_port()
+        gateway = BackgroundGateway(GatewayServer(fitted), port=port)
+
+        def _start_late() -> None:
+            time.sleep(0.3)
+            gateway.start()
+
+        opener = threading.Thread(target=_start_late, daemon=True)
+        opener.start()
+        try:
+            client = GatewayClient(
+                "127.0.0.1",
+                port,
+                connect_retries=10,
+                retry_backoff_s=0.05,
+                connect_timeout_s=2.0,
+            )
+            client.close()
+        finally:
+            opener.join(timeout=5.0)
+            gateway.stop()
+
+    def test_server_rejection_is_not_retried(self, fitted):
+        # ERROR frames (here: closed tenant directory) raise immediately
+        # even with a retry budget — only transport failures retry.
+        tenants = TenantDirectory(
+            assignments={"vip": "premium"}, default_class=None
+        )
+        server = GatewayServer(fitted, tenants=tenants)
+        with BackgroundGateway(server) as (host, port):
+            started = time.monotonic()
+            with pytest.raises(GatewayError):
+                GatewayClient(
+                    host, port, tenant="stranger",
+                    connect_retries=10, retry_backoff_s=0.5,
+                )
+            assert time.monotonic() - started < 2.0  # no backoff sleeps
+
+
+class TestAsyncConnect:
+    def test_refused_port_fails_without_retries(self):
+        port = _free_port()
+
+        async def run():
+            with pytest.raises((ConnectionError, OSError)):
+                await AsyncGatewayClient.connect(
+                    "127.0.0.1", port, connect_timeout_s=1.0
+                )
+
+        asyncio.run(run())
+
+    def test_silent_listener_times_out(self):
+        async def run():
+            async def mute(_reader, writer):
+                await asyncio.sleep(30)
+                writer.close()
+
+            server = await asyncio.start_server(mute, "127.0.0.1", 0)
+            host, port = server.sockets[0].getsockname()[:2]
+            try:
+                with pytest.raises(ConnectionError) as excinfo:
+                    await AsyncGatewayClient.connect(
+                        host, port, connect_timeout_s=0.3
+                    )
+                assert "timed out" in str(excinfo.value)
+            finally:
+                server.close()
+                await server.wait_closed()
+
+        asyncio.run(run())
+
+    def test_retries_bridge_a_late_listener(self, fitted):
+        port = _free_port()
+        gateway = BackgroundGateway(GatewayServer(fitted), port=port)
+
+        async def run():
+            loop = asyncio.get_running_loop()
+            handle = loop.call_later(
+                0.3, lambda: threading.Thread(
+                    target=gateway.start, daemon=True
+                ).start()
+            )
+            try:
+                client = await AsyncGatewayClient.connect(
+                    "127.0.0.1",
+                    port,
+                    connect_retries=10,
+                    retry_backoff_s=0.05,
+                    connect_timeout_s=2.0,
+                )
+                await client.aclose()
+            finally:
+                handle.cancel()
+
+        try:
+            asyncio.run(run())
+        finally:
+            gateway.stop()
+
+    def test_rejection_is_not_retried(self, fitted):
+        tenants = TenantDirectory(
+            assignments={"vip": "premium"}, default_class=None
+        )
+        server = GatewayServer(fitted, tenants=tenants)
+
+        async def run(host, port):
+            started = time.monotonic()
+            with pytest.raises(GatewayError):
+                await AsyncGatewayClient.connect(
+                    host, port, tenant="stranger",
+                    connect_retries=10, retry_backoff_s=0.5,
+                )
+            assert time.monotonic() - started < 2.0
+
+        with BackgroundGateway(server) as (host, port):
+            asyncio.run(run(host, port))

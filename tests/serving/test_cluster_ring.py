@@ -1,0 +1,96 @@
+"""HashRing invariants: balance, minimal movement, determinism.
+
+These are the two properties the cluster tier leans on (see
+``docs/cluster.md``): tenant shares stay within 1.3x max/min across
+4 nodes at 64 vnodes, and a node join/leave only moves the tenants
+that node owned.
+"""
+
+import pytest
+
+from repro.serving.cluster import EmptyRingError, HashRing
+
+NODES = [f"node-{i}" for i in range(4)]
+TENANTS = [f"tenant-{i:04d}" for i in range(2000)]
+
+
+class TestBalance:
+    def test_four_nodes_within_1_3x(self):
+        ring = HashRing(NODES, vnodes=64)
+        counts = {
+            node: len(owned)
+            for node, owned in ring.assignments(TENANTS).items()
+        }
+        assert sum(counts.values()) == len(TENANTS)
+        assert min(counts.values()) > 0
+        ratio = max(counts.values()) / min(counts.values())
+        assert ratio <= 1.3, f"share imbalance {ratio:.3f} ({counts})"
+
+    def test_balance_holds_across_name_sets(self):
+        # Balance must not depend on lucky node names.
+        for prefix in ("shard", "gw", "replica"):
+            ring = HashRing([f"{prefix}-{i}" for i in range(4)], vnodes=64)
+            counts = [len(v) for v in ring.assignments(TENANTS).values()]
+            assert max(counts) / min(counts) <= 1.3
+
+    def test_single_node_owns_everything(self):
+        ring = HashRing(["solo"], vnodes=64)
+        assert all(ring.owner(t) == "solo" for t in TENANTS[:50])
+
+
+class TestMovement:
+    def test_remove_moves_only_the_dead_nodes_tenants(self):
+        ring = HashRing(NODES, vnodes=64)
+        before = {t: ring.owner(t) for t in TENANTS}
+        assert ring.remove("node-2")
+        moved = [t for t in TENANTS if ring.owner(t) != before[t]]
+        # Exactly the departed node's tenants move, nobody else.
+        assert moved
+        assert all(before[t] == "node-2" for t in moved)
+        assert len(moved) == sum(1 for t in TENANTS if before[t] == "node-2")
+
+    def test_join_moves_roughly_one_nth(self):
+        ring = HashRing(NODES[:3], vnodes=64)
+        before = {t: ring.owner(t) for t in TENANTS}
+        assert ring.add("node-3")
+        moved = [t for t in TENANTS if ring.owner(t) != before[t]]
+        # Everything that moved landed on the new node...
+        assert all(ring.owner(t) == "node-3" for t in moved)
+        # ...and the movement is ~1/4 of the key space, not a reshuffle.
+        assert len(moved) <= len(TENANTS) // 2
+
+    def test_heal_restores_original_placement(self):
+        ring = HashRing(NODES, vnodes=64)
+        before = {t: ring.owner(t) for t in TENANTS}
+        ring.remove("node-1")
+        ring.add("node-1")
+        assert {t: ring.owner(t) for t in TENANTS} == before
+
+
+class TestDeterminism:
+    def test_independent_rings_agree(self):
+        # Placement is a pure function of (node set, tenant): two router
+        # processes built from the same shard list route identically.
+        a = HashRing(NODES, vnodes=64)
+        b = HashRing(reversed(NODES), vnodes=64)
+        assert all(a.owner(t) == b.owner(t) for t in TENANTS[:200])
+
+    def test_membership_helpers(self):
+        ring = HashRing(NODES)
+        assert len(ring) == 4
+        assert "node-0" in ring
+        assert "ghost" not in ring
+        assert not ring.add("node-0")
+        assert not ring.remove("ghost")
+        snap = ring.snapshot()
+        assert snap["nodes"] == sorted(NODES)
+        assert snap["points"] == snap["vnodes"] * 4
+
+    def test_empty_ring_raises(self):
+        ring = HashRing()
+        with pytest.raises(EmptyRingError):
+            ring.owner("anyone")
+        with pytest.raises(ValueError):
+            HashRing(vnodes=0)
+        with pytest.raises(ValueError):
+            HashRing(probes=0)

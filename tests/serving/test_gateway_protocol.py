@@ -51,6 +51,16 @@ class TestRoundtrip:
         )
         assert frame.meta["slo_class"] == "premium"
         assert frame.meta["model_version"] == 3
+        assert "node_id" not in frame.meta  # absent unless the shard has one
+
+    def test_hello_reply_carries_node_id(self):
+        frame = roundtrip(
+            protocol.hello_reply(
+                server="gw", tenant="acme", slo_class="premium",
+                slo_ms=50.0, model_version=3, node_id="shard-2",
+            )
+        )
+        assert frame.meta["node_id"] == "shard-2"
 
     def test_submit_preserves_float32_cloud_exactly(self):
         sample = np.random.default_rng(0).normal(size=(24, 8))
@@ -76,6 +86,20 @@ class TestRoundtrip:
         # float64 posteriors take no precision loss across the wire.
         assert np.array_equal(wire.gesture_probs, result.gesture_probs)
         assert np.array_equal(wire.user_probs, result.user_probs)
+        # Cluster stamps default off for single-node serving.
+        assert wire.node_id is None
+        assert wire.retried is False
+
+    def test_result_cluster_stamps_roundtrip(self):
+        result = _FakeResult(np.random.default_rng(2))
+        frame = roundtrip(
+            protocol.result_frame(7, result, node_id="shard-1", retried=True)
+        )
+        wire = protocol.decode_result(frame)
+        assert wire.request_id == 7
+        assert wire.node_id == "shard-1"
+        assert wire.retried is True
+        assert np.array_equal(wire.gesture_probs, result.gesture_probs)
 
     def test_error(self):
         frame = roundtrip(protocol.error_frame("shed", "overloaded", request_id=4))
