@@ -14,6 +14,10 @@ loopback sockets and measures the frontier per SLO class:
   client — the batching amortisation surviving the wire.
 * **fidelity** — a gateway RESULT must be byte-identical to an
   in-process ``predict_one`` of the same (float32-quantised) cloud.
+* **TLS leg** — the serial phase repeated against a TLS listener
+  (self-signed loopback certificate, pinned client context): the wire
+  stays byte-identical and the p95 round trip may cost at most 15%
+  over plaintext — transport security must not eat the latency budget.
 * **overload phase** — 4 ``batch``-class flooders paced to ~2x the
   measured capacity, against one interactive ``premium`` client.  The
   admission queue fills; shedding must land on the batch class only
@@ -29,7 +33,9 @@ land in ``benchmarks/results/bench_gateway.json`` (a CI artifact).
 import asyncio
 import json
 import os
+import tempfile
 import time
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -50,7 +56,10 @@ from repro.serving.gateway import (
     GatewayError,
     GatewayServer,
     TenantDirectory,
+    client_ssl_context,
+    generate_self_signed_cert,
     quantise_sample,
+    server_ssl_context,
 )
 
 NUM_CLIENTS = 8
@@ -67,6 +76,8 @@ OVERLOAD_FACTOR = 2.0
 OVERLOAD_SECONDS = 3.0
 NUM_FLOODERS = 4
 PREMIUM_EVENTS = 36
+#: Acceptance bar: TLS may add at most this fraction to the serial p95.
+MAX_TLS_P95_OVERHEAD = 0.15
 
 
 def _samples(count: int, seed: int = 3) -> np.ndarray:
@@ -75,7 +86,7 @@ def _samples(count: int, seed: int = 3) -> np.ndarray:
     return dataset.inputs[rng.integers(0, dataset.num_samples, size=count)]
 
 
-def _server(system) -> GatewayServer:
+def _server(system, ssl_context=None) -> GatewayServer:
     """Gateway over a warmed engine (fitted latency model, BLAS pools)."""
     # safety 0.25: cap a batch's *execution* at ~25% of the tightest
     # connected SLO.  The flush runs on the event loop, so one batch
@@ -99,7 +110,10 @@ def _server(system) -> GatewayServer:
         },
     )
     return GatewayServer(
-        engine=engine, tenants=tenants, queue_limit=QUEUE_LIMIT
+        engine=engine,
+        tenants=tenants,
+        queue_limit=QUEUE_LIMIT,
+        ssl_context=ssl_context,
     )
 
 
@@ -109,9 +123,13 @@ def _p95_ms(latencies_s: list[float]) -> float | None:
 
 
 # ----------------------------------------------------------------------
-def _serial_phase(host: str, port: int, samples: np.ndarray) -> dict:
+def _serial_phase(
+    host: str, port: int, samples: np.ndarray, ssl_context=None
+) -> dict:
     """One blocking client, batch-of-1 round trips."""
-    with GatewayClient(host, port, tenant="serial-probe") as client:
+    with GatewayClient(
+        host, port, tenant="serial-probe", ssl_context=ssl_context
+    ) as client:
         latencies = []
         start = time.perf_counter()
         for i in range(SERIAL_EVENTS):
@@ -157,11 +175,15 @@ def _concurrent_phase(host: str, port: int, samples: np.ndarray) -> dict:
     return {"clients": NUM_CLIENTS, "events": events, "eps": events / elapsed}
 
 
-def _fidelity_check(host: str, port: int, system, samples: np.ndarray) -> dict:
+def _fidelity_check(
+    host: str, port: int, system, samples: np.ndarray, ssl_context=None
+) -> dict:
     """Wire results must be byte-identical to in-process predict_one."""
     reference = InferenceEngine(system)
     identical = 0
-    with GatewayClient(host, port, tenant="fidelity-probe") as client:
+    with GatewayClient(
+        host, port, tenant="fidelity-probe", ssl_context=ssl_context
+    ) as client:
         for sample in samples[:8]:
             wire = client.classify(sample, deadline_ms=0.0)
             local = reference.predict_one(quantise_sample(sample))
@@ -258,6 +280,28 @@ def _overload_phase(
     }
 
 
+def _tls_phase(system, samples: np.ndarray, plaintext_serial: dict) -> dict:
+    """The serial phase again, through a TLS listener on a fresh
+    (identically warmed) engine — apples-to-apples against plaintext."""
+    workdir = Path(tempfile.mkdtemp(prefix="bench-gateway-tls-"))
+    cert, key = generate_self_signed_cert(workdir)
+    server = _server(system, ssl_context=server_ssl_context(cert, key))
+    client_ctx = client_ssl_context(cert)
+    with BackgroundGateway(server) as (host, port):
+        serial = max(
+            (_serial_phase(host, port, samples, client_ctx) for _ in range(2)),
+            key=lambda phase: phase["eps"],
+        )
+        fidelity = _fidelity_check(host, port, system, samples, client_ctx)
+    overhead = serial["rtt_p95_ms"] / plaintext_serial["rtt_p95_ms"] - 1.0
+    return {
+        "serial": serial,
+        "fidelity": fidelity,
+        "rtt_p95_overhead": overhead,
+        "max_overhead": MAX_TLS_P95_OVERHEAD,
+    }
+
+
 # ----------------------------------------------------------------------
 def _experiment() -> dict:
     system = cached_fitted_system(epochs=4)
@@ -281,12 +325,14 @@ def _experiment() -> dict:
         overload = _overload_phase(host, port, samples, concurrent["eps"])
         with GatewayClient(host, port, tenant="snapshot-probe") as probe:
             snapshot = probe.stats()
+    tls = _tls_phase(system, samples, serial)
     return {
         "slo_ms": SLO_MS,
         "serial": serial,
         "concurrent": concurrent,
         "speedup": concurrent["eps"] / serial["eps"],
         "fidelity": fidelity,
+        "tls": tls,
         "overload": overload,
         "server": {
             "engine": snapshot["engine"],
@@ -314,6 +360,10 @@ def _report(results: dict) -> list[str]:
         format_row(("concurrent eps", f"{concurrent['eps']:.1f}"), widths),
         format_row(("speedup", f"{results['speedup']:.2f}x"), widths),
         format_row(("wire fidelity", "byte-identical"), widths),
+        format_row(("tls serial rtt p95",
+                    f"{results['tls']['serial']['rtt_p95_ms']:.1f} ms"), widths),
+        format_row(("tls p95 overhead",
+                    f"{results['tls']['rtt_p95_overhead']:+.1%}"), widths),
         format_row(("overload offered", f"{overload['flood_rate_hz_total']:.0f} /s "
                                         f"({OVERLOAD_FACTOR:.0f}x capacity)"), widths),
         format_row(("premium p95 under overload",
@@ -350,8 +400,14 @@ def _check(results: dict) -> None:
     )
     premium = results["server"]["tenants"]["premium-panel"]
     assert premium["shed"] == 0 and premium["rejected"] == 0
+    assert results["tls"]["fidelity"]["byte_identical"]
     # Absolute tail latency only in strict mode (shared-runner noise).
     if os.environ.get("BENCH_GATEWAY_STRICT", "1") != "0":
+        overhead = results["tls"]["rtt_p95_overhead"]
+        assert overhead <= MAX_TLS_P95_OVERHEAD, (
+            f"TLS added {overhead:+.1%} to the serial p95 "
+            f"(budget {MAX_TLS_P95_OVERHEAD:.0%})"
+        )
         assert overload["premium_p95_ms"] <= SLO_MS, (
             f"premium p95 {overload['premium_p95_ms']:.1f} ms broke the "
             f"{SLO_MS:.0f} ms SLO under the batch flood"

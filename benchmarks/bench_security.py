@@ -1,0 +1,365 @@
+"""Security smoke over real processes: TLS, bearer auth, quotas.
+
+The CI counterpart of ``tests/serving/test_security.py``: where the
+tests exercise the security layer in-process, this smoke stands up the
+*deployed* topology — ``repro serve`` shard processes behind a
+``repro route`` router process, wired purely through CLI flags — and
+drives it from outside:
+
+* **plaintext reference** — one unsecured shard process serves a
+  sample set; its posteriors are the baseline.
+* **secured stack** — two mutual-TLS shard processes (``--tls-ca``:
+  only the router's client certificate may connect) behind a TLS
+  router enforcing a 2-tenant token config at its edge and presenting
+  a service token upstream (``--shard-token-file``).  Authed traffic
+  through the full stack must be **byte-identical** to the plaintext
+  reference.
+* **rejections** — a wrong or missing bearer token dies with
+  ``auth_failed``; a tenant over its daily request budget dies with
+  ``quota_exceeded`` (distinct from ``rate_limited``); a plaintext
+  connection at the TLS port and a TLS client without the client
+  certificate both fail cleanly — and none of it perturbs the
+  authenticated tenant, who keeps classifying throughout.
+* **persistence** — stopping the shard flushes the quota ledger; the
+  state file on disk carries the charged counters.
+
+No latency assertions, so no STRICT gate: every check is a protocol
+invariant that must hold on any runner.  Results land in
+``benchmarks/results/bench_security.json`` (a CI artifact).
+"""
+
+import json
+import os
+import socket
+import ssl
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from benchmarks.common import (
+    BENCH_REGISTRY,
+    RESULTS_DIR,
+    cached_fitted_system,
+    cached_selfcollected,
+    emit,
+    format_row,
+)
+from repro.serving.cluster import NodeProcess
+from repro.serving.gateway import (
+    GatewayClient,
+    GatewayError,
+    client_ssl_context,
+    generate_self_signed_cert,
+    hash_token,
+    protocol,
+)
+
+NUM_SAMPLES = 8
+DAILY_BUDGET = 3
+PANEL_TOKEN = "panel-alpha-7"
+BACKFILL_TOKEN = "backfill-beta-1"
+SHARD_TOKEN = "router-shard-secret"
+
+
+def _samples(count: int, seed: int = 3) -> np.ndarray:
+    dataset = cached_selfcollected()
+    rng = np.random.default_rng(seed)
+    return dataset.inputs[rng.integers(0, dataset.num_samples, size=count)]
+
+
+def _tenant_config(path: Path) -> Path:
+    """The 2-tenant token + quota config both tiers load."""
+    config = {
+        "tenants": {"wall-panel-7": "premium"},
+        "default_class": "standard",
+        "auth": {
+            "required": True,
+            "tokens": {
+                "wall-panel-7": hash_token(PANEL_TOKEN),
+                "backfill-1": hash_token(BACKFILL_TOKEN),
+            },
+            # The router's upstream credential: valid for any tenant id
+            # on the router->shard hop.
+            "service_tokens": [hash_token(SHARD_TOKEN)],
+        },
+        "quotas": {"backfill-1": {"daily_requests": DAILY_BUDGET}},
+    }
+    path.write_text(json.dumps(config, indent=2))
+    return path
+
+
+class _RouterProcess:
+    """A ``repro route`` child, readiness parsed from its stdout."""
+
+    def __init__(self, shards: dict, extra_args: list) -> None:
+        command = [sys.executable, "-m", "repro.cli", "route",
+                   "--listen", "127.0.0.1:0", "--heartbeat-ms", "250"]
+        for node_id, (host, port) in sorted(shards.items()):
+            command += ["--shard", f"{node_id}={host}:{port}"]
+        command += extra_args
+        self.process = subprocess.Popen(
+            command, stdout=subprocess.PIPE, stderr=subprocess.DEVNULL,
+            text=True,
+        )
+        self.address = None
+        deadline = time.monotonic() + 60.0
+        assert self.process.stdout is not None
+        while time.monotonic() < deadline:
+            line = self.process.stdout.readline()
+            if not line:
+                raise RuntimeError("router exited before binding")
+            try:
+                meta = json.loads(line)
+            except ValueError:
+                continue
+            listening = meta.get("listening") if isinstance(meta, dict) else None
+            if listening:
+                host, _, port = str(listening).rpartition(":")
+                self.address = (host, int(port))
+                return
+        raise TimeoutError("router not ready after 60s")
+
+    def close(self) -> None:
+        if self.process.poll() is None:
+            self.process.terminate()
+        try:
+            self.process.wait(timeout=10.0)
+        except subprocess.TimeoutExpired:
+            self.process.kill()
+            self.process.wait(timeout=10.0)
+
+
+def _plaintext_reference(model_dir: str, samples: np.ndarray) -> list:
+    """Posteriors from an unsecured shard — the fidelity baseline."""
+    node = NodeProcess("plain", model_dir)
+    try:
+        host, port = node.wait_ready(timeout_s=120.0)
+        with GatewayClient(host, port, tenant="wall-panel-7") as client:
+            return [client.classify(s, deadline_ms=0.0) for s in samples]
+    finally:
+        node.close()
+
+
+def _secured_phase(model_dir: str, samples: np.ndarray, workdir: Path) -> dict:
+    cert, key = generate_self_signed_cert(workdir)
+    config = _tenant_config(workdir / "tenants.json")
+    token_file = workdir / "shard.token"
+    token_file.write_text(SHARD_TOKEN + "\n")
+    # Per-shard state files: the router's consistent hash decides which
+    # shard meters backfill-1, so both must persist.
+    quota_states = {
+        node_id: workdir / f"quota-state-{node_id}.json"
+        for node_id in ("a", "b")
+    }
+    pinned = client_ssl_context(cert)
+
+    tls_flags = ["--tls-cert", str(cert), "--tls-key", str(key)]
+    nodes = {
+        node_id: NodeProcess(
+            node_id, model_dir,
+            extra_args=tuple(
+                tls_flags
+                + ["--tls-ca", str(cert), "--tenants", str(config),
+                   "--quota-state", str(quota_states[node_id])]
+            ),
+        )
+        for node_id in ("a", "b")
+    }
+    results = {}
+    try:
+        shards = {nid: node.wait_ready(timeout_s=120.0)
+                  for nid, node in nodes.items()}
+        router = _RouterProcess(
+            shards,
+            tls_flags + ["--tls-ca", str(cert),
+                         "--shard-token-file", str(token_file),
+                         "--tenants", str(config)],
+        )
+        try:
+            host, port = router.address
+
+            # Authed TLS traffic through the full stack.
+            with GatewayClient(host, port, tenant="wall-panel-7",
+                               token=PANEL_TOKEN, ssl_context=pinned) as panel:
+                results["panel"] = [
+                    panel.classify(s, deadline_ms=0.0) for s in samples
+                ]
+
+                # Wrong and missing tokens die at the router's edge.
+                rejected = []
+                for bad in ("stolen-token", None):
+                    try:
+                        GatewayClient(host, port, tenant="wall-panel-7",
+                                      token=bad, ssl_context=pinned)
+                    except GatewayError as error:
+                        rejected.append(error.code)
+                results["bad_token_codes"] = rejected
+
+                # Quota exhaustion: the budget runs dry mid-stream and
+                # rejects with its own code, not the rate limiter's.
+                quota_codes = []
+                delivered = 0
+                with GatewayClient(host, port, tenant="backfill-1",
+                                   token=BACKFILL_TOKEN,
+                                   ssl_context=pinned) as backfill:
+                    for i in range(DAILY_BUDGET + 2):
+                        try:
+                            backfill.classify(
+                                samples[i % len(samples)], deadline_ms=0.0
+                            )
+                            delivered += 1
+                        except GatewayError as error:
+                            quota_codes.append(error.code)
+                results["quota"] = {
+                    "budget": DAILY_BUDGET,
+                    "delivered": delivered,
+                    "rejected_codes": quota_codes,
+                }
+
+                # Chaos: a plaintext HELLO at the TLS port dies...
+                plaintext_died = False
+                with socket.create_connection((host, port), timeout=10.0) as raw:
+                    try:
+                        raw.sendall(protocol.encode_frame(
+                            protocol.hello_frame(client="plain", tenant="t")
+                        ))
+                        plaintext_died = protocol.read_frame_sync(raw) is None
+                    except OSError:
+                        plaintext_died = True
+                # ...and a shard refuses a client without the router's
+                # certificate (mutual TLS)...
+                shard_refused = False
+                try:
+                    GatewayClient(*shards["a"], tenant="wall-panel-7",
+                                  token=PANEL_TOKEN, ssl_context=pinned,
+                                  connect_timeout_s=10.0)
+                except (OSError, ssl.SSLError):
+                    shard_refused = True
+                results["chaos"] = {
+                    "plaintext_to_tls_died": plaintext_died,
+                    "shard_refused_unauthenticated_tls": shard_refused,
+                }
+
+                # ...with zero effect on the authed tenant.
+                results["panel_after_chaos"] = [
+                    panel.classify(s, deadline_ms=0.0) for s in samples[:2]
+                ]
+        finally:
+            router.close()
+    finally:
+        for node in nodes.values():
+            node.stop(timeout_s=15.0)
+            node.close()
+    # Shutdown flushed the ledger: the charges survived the process on
+    # whichever shard the router hashed backfill-1 to.
+    results["quota_state"] = {}
+    for state in quota_states.values():
+        if not state.exists():
+            continue
+        persisted = json.loads(state.read_text())
+        record = persisted.get("tenants", {}).get("backfill-1")
+        if record and record.get("day", {}).get("requests"):
+            results["quota_state"] = record
+            break
+    return results
+
+
+# ----------------------------------------------------------------------
+def _experiment() -> dict:
+    system = cached_fitted_system(epochs=4)
+    samples = _samples(NUM_SAMPLES)
+    with tempfile.TemporaryDirectory(prefix="bench-security-") as tmp:
+        workdir = Path(tmp)
+        model_dir = workdir / "model"
+        BENCH_REGISTRY.save(system, model_dir)
+        reference = _plaintext_reference(model_dir, samples)
+        secured = _secured_phase(model_dir, samples, workdir)
+
+    identical = all(
+        np.array_equal(wire.gesture_probs, ref.gesture_probs)
+        and np.array_equal(wire.user_probs, ref.user_probs)
+        for wire, ref in zip(secured["panel"], reference)
+    )
+    return {
+        "samples": NUM_SAMPLES,
+        "byte_identical_to_plaintext": identical,
+        "bad_token_codes": secured["bad_token_codes"],
+        "quota": secured["quota"],
+        "quota_state": secured["quota_state"],
+        "chaos": secured["chaos"],
+        "panel_survived_chaos": len(secured["panel_after_chaos"]) == 2,
+    }
+
+
+def _report(results: dict) -> list[str]:
+    widths = (38, 24)
+    quota = results["quota"]
+    return [
+        "Security smoke — TLS router + mutual-TLS shards, 2-tenant tokens",
+        format_row(("check", "result"), widths),
+        format_row(("authed TLS vs plaintext posteriors",
+                    "byte-identical" if results["byte_identical_to_plaintext"]
+                    else "DIVERGED"), widths),
+        format_row(("wrong/missing token",
+                    "/".join(results["bad_token_codes"])), widths),
+        format_row(("quota delivered/budget",
+                    f"{quota['delivered']}/{quota['budget']}"), widths),
+        format_row(("over-budget code",
+                    "/".join(set(quota["rejected_codes"]))), widths),
+        format_row(("persisted day requests",
+                    results["quota_state"].get("day", {}).get("requests")),
+                   widths),
+        format_row(("plaintext->TLS port",
+                    "died cleanly" if results["chaos"]["plaintext_to_tls_died"]
+                    else "ACCEPTED"), widths),
+        format_row(("shard without client cert",
+                    "refused" if results["chaos"][
+                        "shard_refused_unauthenticated_tls"] else "ACCEPTED"),
+                   widths),
+        format_row(("authed tenant after chaos",
+                    "unaffected" if results["panel_survived_chaos"]
+                    else "BROKEN"), widths),
+    ]
+
+
+def _emit_json(results: dict) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "bench_security.json").write_text(
+        json.dumps(results, indent=2) + "\n"
+    )
+
+
+def _check(results: dict) -> None:
+    assert results["byte_identical_to_plaintext"], (
+        "authed TLS posteriors diverged from the plaintext reference"
+    )
+    assert results["bad_token_codes"] == ["auth_failed", "auth_failed"]
+    quota = results["quota"]
+    assert quota["delivered"] == quota["budget"]
+    assert set(quota["rejected_codes"]) == {"quota_exceeded"}, (
+        f"over-budget requests got {quota['rejected_codes']}"
+    )
+    assert results["quota_state"].get("day", {}).get("requests") == quota["budget"]
+    assert results["chaos"]["plaintext_to_tls_died"]
+    assert results["chaos"]["shard_refused_unauthenticated_tls"]
+    assert results["panel_survived_chaos"]
+
+
+@pytest.mark.benchmark(group="serving")
+def test_security_smoke(benchmark):
+    results = benchmark.pedantic(_experiment, rounds=1, iterations=1)
+    emit("security_smoke", _report(results))
+    _emit_json(results)
+    _check(results)
+
+
+if __name__ == "__main__":
+    results = _experiment()
+    print("\n".join(_report(results)))
+    _emit_json(results)
+    _check(results)

@@ -7,15 +7,20 @@ boundary with :class:`~repro.serving.GatewayServer` — the same engine
 and deadline-aware scheduler, fronted by an asyncio socket server with
 per-tenant SLO classes:
 
-1. fit (or load) a model and start the gateway on a background thread,
-   with ``premium`` / ``standard`` / ``batch`` tiers and two assigned
-   tenants;
+1. fit (or load) a model, mint a throwaway self-signed certificate,
+   and start a **TLS** gateway on a background thread, with ``premium``
+   / ``standard`` / ``batch`` tiers, two assigned tenants, and
+   **bearer-token auth** (the config stores salted hashes, never the
+   secrets — see ``examples/provision_tenant.py``);
 2. connect two blocking :class:`~repro.serving.GatewayClient` edge
-   devices — a premium wall-panel and a batch backfill job — and stream
+   devices — a premium wall-panel and a batch backfill job — each
+   pinning the server certificate and presenting its token, and stream
    gesture clouds at the server (float32 on the wire, ~3 KB per cloud);
 3. verify a gateway round trip is *byte-identical* to in-process
-   inference on the same (wire-quantised) cloud;
-4. print the server's per-tenant snapshot: batching, SLO classes, and
+   inference on the same (wire-quantised) cloud — TLS changes no bytes;
+4. show a stolen/wrong token dying with ``auth_failed`` before any
+   request is admitted, without disturbing the authed tenants;
+5. print the server's per-tenant snapshot: batching, SLO classes, and
    who got shed (nobody, at this gentle load).
 
 Run:  python examples/gateway_client.py
@@ -29,9 +34,21 @@ import numpy as np
 
 from repro import GesturePrint, GesturePrintConfig, TrainConfig, build_selfcollected
 from repro.serving import GatewayClient, GatewayServer, InferenceEngine, ModelRegistry
-from repro.serving.gateway import BackgroundGateway, TenantDirectory, quantise_sample
+from repro.serving.gateway import (
+    BackgroundGateway,
+    GatewayError,
+    TenantAuthenticator,
+    TenantDirectory,
+    client_ssl_context,
+    generate_self_signed_cert,
+    hash_token,
+    quantise_sample,
+    server_ssl_context,
+)
 
 NUM_POINTS = 64
+PANEL_TOKEN = "panel-secret-token"        # in production: secrets.token_urlsafe
+BACKFILL_TOKEN = "backfill-secret-token"
 
 
 def fit_small_system() -> GesturePrint:
@@ -62,15 +79,29 @@ def main() -> None:
     )
     clouds = dataset.inputs
 
+    # Transport + identity: a throwaway self-signed certificate (its
+    # cert doubles as the clients' trust pin) and per-tenant bearer
+    # tokens stored as salted hashes.
+    certdir = pathlib.Path(tempfile.mkdtemp(prefix="repro-gateway-tls-"))
+    cert, key = generate_self_signed_cert(certdir)
     tenants = TenantDirectory(
         assignments={"wall-panel-7": "premium", "nightly-backfill": "batch"},
+        auth=TenantAuthenticator({
+            "wall-panel-7": hash_token(PANEL_TOKEN),
+            "nightly-backfill": hash_token(BACKFILL_TOKEN),
+        }),
     )
-    server = GatewayServer(system, tenants=tenants, slo_ms=50.0)
+    server = GatewayServer(
+        system, tenants=tenants, slo_ms=50.0,
+        ssl_context=server_ssl_context(cert, key),
+    )
+    pinned = client_ssl_context(cert)
     with BackgroundGateway(server) as (host, port):
-        print(f"[server] gateway listening on {host}:{port} "
+        print(f"[server] TLS gateway listening on {host}:{port} "
               f"(classes: {', '.join(sorted(tenants.classes))})")
 
         with GatewayClient(host, port, tenant="wall-panel-7",
+                           token=PANEL_TOKEN, ssl_context=pinned,
                            client="edge-demo") as panel:
             print(f"[panel] HELLO -> class {panel.slo_class} "
                   f"(SLO {panel.slo_ms:.0f} ms), model v{panel.model_version}")
@@ -91,11 +122,20 @@ def main() -> None:
             wire = panel.classify(clouds[0], deadline_ms=0.0)
             identical = np.array_equal(wire.gesture_probs, local.gesture_probs) and \
                 np.array_equal(wire.user_probs, local.user_probs)
-            print(f"[panel] wire result byte-identical to in-process: {identical}")
+            print(f"[panel] TLS wire result byte-identical to in-process: {identical}")
+
+            # Auth is checked in HELLO, before any SUBMIT: a stolen or
+            # mistyped token never gets a queue seat.
+            try:
+                GatewayClient(host, port, tenant="wall-panel-7",
+                              token="stolen-token", ssl_context=pinned)
+            except GatewayError as error:
+                print(f"[intruder] rejected at handshake: {error.code}")
 
             # Throughput tier: a backfill job pipelines a whole batch of
             # clouds without waiting; the server micro-batches them.
             with GatewayClient(host, port, tenant="nightly-backfill",
+                               token=BACKFILL_TOKEN, ssl_context=pinned,
                                client="backfill-demo") as backfill:
                 ids = [backfill.submit(cloud) for cloud in clouds]
                 outcomes = backfill.collect_all(ids)

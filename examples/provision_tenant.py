@@ -1,0 +1,150 @@
+"""Provisioning a tenant: secret → salted hash → config → live traffic.
+
+The operator-side half of the security layer (`docs/security.md`):
+what actually happens when you onboard a device.  Secrets never land
+in a config file — only ``sha256:<salt>:<digest>`` records do — and
+budgets ride in the same file, so one JSON document is the whole
+tenant contract.  The flow:
+
+1. generate a bearer token for a new tenant (``secrets.token_urlsafe``
+   — the one copy that exists goes to the device, nowhere else);
+2. write a ``--tenants`` config carrying the token's *hash*, an SLO
+   class assignment, and a small daily request quota;
+3. start a gateway on that config and prove the contract end to end:
+   the right token classifies, a wrong token dies with ``auth_failed``,
+   and the quota runs dry with ``quota_exceeded`` (distinct from
+   ``rate_limited`` — stop until the UTC window rolls, don't retry);
+4. rotate the token by editing the config and reloading the *running*
+   server — the old token dies and the new one works at the next
+   handshake, no restart.
+
+Run:  python examples/provision_tenant.py
+"""
+
+import json
+import pathlib
+import secrets
+import tempfile
+import time
+
+from repro import GesturePrint, GesturePrintConfig, TrainConfig, build_selfcollected
+from repro.serving import GatewayClient, GatewayServer, ModelRegistry
+from repro.serving.gateway import (
+    BackgroundGateway,
+    GatewayError,
+    TenantDirectory,
+    hash_token,
+)
+from repro.serving.gateway.quota import QuotaLedger
+
+NUM_POINTS = 64
+TENANT_ID = "door-sensor-12"
+DAILY_BUDGET = 5
+
+
+def fit_small_system() -> GesturePrint:
+    dataset = build_selfcollected(
+        num_users=4, num_gestures=4, reps=10,
+        environments=("office",), num_points=NUM_POINTS, seed=42,
+    )
+    config = GesturePrintConfig.small(
+        training=TrainConfig(epochs=14, batch_size=32, learning_rate=3e-3)
+    )
+    return GesturePrint(config).fit(
+        dataset.inputs, dataset.gesture_labels, dataset.user_labels
+    )
+
+
+def write_config(path: pathlib.Path, token: str) -> dict:
+    """The ``--tenants`` document: class, hashed credential, budget."""
+    config = {
+        "tenants": {TENANT_ID: "standard"},
+        "auth": {"required": True,
+                 "tokens": {TENANT_ID: hash_token(token)}},
+        "quotas": {TENANT_ID: {"daily_requests": DAILY_BUDGET}},
+    }
+    path.write_text(json.dumps(config, indent=2))
+    return config
+
+
+def main() -> None:
+    registry = ModelRegistry()
+    checkpoint = pathlib.Path(tempfile.gettempdir()) / "repro-gateway-model"
+    t0 = time.time()
+    system = registry.get_or_fit(
+        "gateway-demo", fit_small_system, directory=checkpoint
+    )
+    print(f"[server] model ready in {time.time() - t0:.1f}s "
+          "(re-run to load the checkpoint instead)")
+
+    # 1. The secret exists exactly once, bound for the device.
+    token = secrets.token_urlsafe(24)
+    print(f"[provision] minted token for {TENANT_ID}: {token[:8]}… "
+          "(hand to the device; the server never stores it)")
+
+    # 2. The config stores only the salted hash (plus class + budget).
+    workdir = pathlib.Path(tempfile.mkdtemp(prefix="repro-provision-"))
+    config_path = workdir / "tenants.json"
+    config = write_config(config_path, token)
+    print(f"[provision] wrote {config_path.name}: "
+          f"class=standard, daily_requests={DAILY_BUDGET}, "
+          f"credential={config['auth']['tokens'][TENANT_ID][:18]}…")
+
+    # 3. Serve on that config; in production this is
+    #    `repro serve --tenants tenants.json --quota-state quota.json`.
+    tenants = TenantDirectory.from_config(config)
+    quota = QuotaLedger(tenants.quota_policy,
+                        state_path=workdir / "quota-state.json")
+    server = GatewayServer(system, tenants=tenants, slo_ms=50.0, quota=quota)
+
+    clouds = build_selfcollected(
+        num_users=4, num_gestures=4, reps=3,
+        environments=("office",), num_points=NUM_POINTS, seed=7,
+    ).inputs
+
+    with BackgroundGateway(server) as (host, port):
+        print(f"[server] gateway listening on {host}:{port} (auth required)")
+
+        with GatewayClient(host, port, tenant=TENANT_ID, token=token) as device:
+            result = device.classify(clouds[0], deadline_ms=0.0)
+            print(f"[device] authed round trip: gesture #{result.gesture} "
+                  f"by user #{result.user}")
+
+            try:
+                GatewayClient(host, port, tenant=TENANT_ID, token="wrong-token")
+            except GatewayError as error:
+                print(f"[intruder] wrong token rejected: {error.code}")
+
+            # Burn the rest of the daily budget, then one request over.
+            delivered, code = 1, None
+            for i in range(DAILY_BUDGET):
+                try:
+                    device.classify(clouds[(i + 1) % len(clouds)],
+                                    deadline_ms=0.0)
+                    delivered += 1
+                except GatewayError as error:
+                    code = error.code
+            print(f"[device] {delivered}/{DAILY_BUDGET} budget used; "
+                  f"request {DAILY_BUDGET + 1} rejected: {code}")
+
+        # 4. Rotation: new secret, same file, live reload — the change
+        #    applies at the next handshake, no restart.
+        new_token = secrets.token_urlsafe(24)
+        write_config(config_path, new_token)
+        server.reload_tenants(json.loads(config_path.read_text()))
+        try:
+            GatewayClient(host, port, tenant=TENANT_ID, token=token)
+        except GatewayError as error:
+            print(f"[rotation] old token now rejected: {error.code}")
+        with GatewayClient(host, port, tenant=TENANT_ID, token=new_token):
+            print("[rotation] new token accepted at the next handshake")
+
+    persisted = json.loads((workdir / "quota-state.json").read_text())
+    day = persisted["tenants"][TENANT_ID]["day"]
+    print(f"[ledger] persisted usage survives restarts: "
+          f"{day['requests']} requests on {day['key']} "
+          f"(inspect with `repro quota --state quota-state.json`)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,4 +1,7 @@
-"""RC001–RC007: the serving stack's concurrency invariants as AST rules.
+"""RC001–RC008: the serving stack's static invariants as AST rules.
+
+RC001–RC007 encode concurrency incidents; RC008 keeps the public
+serving surface documented (the operator handbook links into it).
 
 Each rule is a small class with ``rule_id``, ``title``, ``applies_to``
 (path scoping, so e.g. the async-blocking rule only runs on the
@@ -759,6 +762,70 @@ class TelemetryRule:
         return drained
 
 
+# ----------------------------------------------------------------------
+# RC008 — undocumented public serving surface
+# ----------------------------------------------------------------------
+class PublicDocstringRule:
+    """The public serving surface is operator-facing API.
+
+    Anything an operator or integrator can reach by name — module-level
+    public functions and classes under ``serving/gateway/`` and
+    ``serving/cluster/``, and the public methods of those public
+    classes — must carry a docstring.  The handbook (``docs/index.md``)
+    links into this surface; an undocumented def there is a dead end in
+    the middle of a runbook.
+
+    Underscore-prefixed names (including dunders: ``__init__`` params
+    are documented in the class docstring, numpy style) and nested
+    defs are private by convention and exempt.
+    """
+
+    rule_id = "RC008"
+    title = "public serving def/class without a docstring"
+
+    def applies_to(self, rel: str) -> bool:
+        return "serving/gateway/" in rel or "serving/cluster/" in rel
+
+    def check(self, module: ModuleSource) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in module.tree.body:
+            findings.extend(self._check_def(module, node, owner=None))
+        return findings
+
+    @staticmethod
+    def _is_public(name: str) -> bool:
+        return not name.startswith("_")
+
+    def _check_def(self, module: ModuleSource, node: ast.stmt, owner: str | None):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if self._is_public(node.name) and ast.get_docstring(node) is None:
+                label = (
+                    f"method `{owner}.{node.name}`"
+                    if owner
+                    else f"function `{node.name}`"
+                )
+                yield module.finding(
+                    self.rule_id,
+                    node,
+                    f"public {label} has no docstring — the serving "
+                    "surface is operator-facing API; say what it does, "
+                    "what it returns, and how it fails (the handbook in "
+                    "docs/ links straight into these defs)",
+                )
+        elif isinstance(node, ast.ClassDef) and self._is_public(node.name):
+            if ast.get_docstring(node) is None:
+                yield module.finding(
+                    self.rule_id,
+                    node,
+                    f"public class `{node.name}` has no docstring — "
+                    "document its role and (numpy style) its constructor "
+                    "parameters",
+                )
+            for stmt in node.body:
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    yield from self._check_def(module, stmt, owner=node.name)
+
+
 ALL_RULES = [
     BlockingInAsyncRule(),
     LockAcrossBlockingRule(),
@@ -767,6 +834,7 @@ ALL_RULES = [
     ArenaAbuseRule(),
     ThreadHygieneRule(),
     TelemetryRule(),
+    PublicDocstringRule(),
 ]
 
 RULES_BY_ID = {rule.rule_id: rule for rule in ALL_RULES}

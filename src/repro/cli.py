@@ -293,6 +293,64 @@ def _build_observability(args: argparse.Namespace):
     return metrics_server, tracer, trace_log
 
 
+def _graceful_sigterm() -> None:
+    """Arm SIGTERM to cancel the running serve task.
+
+    Process managers stop children with SIGTERM, whose default action
+    skips every ``finally`` — the quota ledger would lose its unsynced
+    charges and no exit snapshot would print.  Cancelling the task
+    instead routes shutdown through the same drain path as Ctrl-C.
+    Best-effort: unavailable loops (non-main thread, Windows Proactor)
+    keep the default behaviour.
+    """
+    import asyncio
+    import signal
+
+    loop = asyncio.get_running_loop()
+    task = asyncio.current_task()
+    if task is None:
+        return
+    try:
+        loop.add_signal_handler(signal.SIGTERM, task.cancel)
+    except (NotImplementedError, RuntimeError):
+        pass
+
+
+def _listener_ssl(args: argparse.Namespace, *, client_ca: str | None = None):
+    """Server-side TLS context per the ``--tls-*`` flags (None = plaintext).
+
+    ``--tls-cert``/``--tls-key`` are this listener's identity.  When
+    ``client_ca`` is given, the listener additionally demands client
+    certificates signed by it (mutual TLS) — ``serve`` passes its
+    ``--tls-ca`` here (a shard accepts only its router), while ``route``
+    does not: the router's ``--tls-ca`` pins the *shards'* certificates
+    for the upstream hop, and its public edge authenticates clients
+    with bearer tokens, not certificates.
+    """
+    if not args.tls_cert and not args.tls_key:
+        return None
+    if not (args.tls_cert and args.tls_key):
+        raise SystemExit("error: --tls-cert and --tls-key must be given together")
+    from repro.serving.gateway.security import server_ssl_context
+
+    return server_ssl_context(args.tls_cert, args.tls_key, cafile=client_ca)
+
+
+def _read_token_file(path: str | None) -> str | None:
+    """The bearer token stored (stripped) in ``path``, if given.
+
+    Tokens travel in files, never argv: a command line is visible to
+    every user on the host via ``ps``.
+    """
+    if not path:
+        return None
+    with open(path, encoding="utf-8") as handle:
+        token = handle.read().strip()
+    if not token:
+        raise SystemExit(f"error: token file {path!r} is empty")
+    return token
+
+
 def _cmd_serve_gateway(args: argparse.Namespace) -> int:
     """Expose the engine over TCP: the async gateway with SLO classes."""
     import asyncio
@@ -314,6 +372,14 @@ def _cmd_serve_gateway(args: argparse.Namespace) -> int:
     if args.tenants:
         with open(args.tenants, encoding="utf-8") as handle:
             tenants = TenantDirectory.from_config(json.load(handle))
+    ssl_context = _listener_ssl(args, client_ca=args.tls_ca)
+    quota = None
+    if args.quota_state or tenants.quotas or tenants.default_quota is not None:
+        from repro.serving.gateway.quota import QuotaLedger
+
+        # Policies are read through the directory at check time, so a
+        # tenants-config reload rebudgets without touching the ledger.
+        quota = QuotaLedger(tenants.quota_policy, state_path=args.quota_state)
     system = _apply_serve_precision(args, REGISTRY.load(args.model_dir))
     slo_ms = args.slo_ms if args.slo_ms is not None else 50.0
     scheduler = BatchScheduler(
@@ -336,18 +402,26 @@ def _cmd_serve_gateway(args: argparse.Namespace) -> int:
         tracer=tracer,
         node_id=args.node_id,
         tenant_registry=tenant_registry,
+        ssl_context=ssl_context,
+        quota=quota,
     )
 
     def reload_hook() -> int:
         # Registry-backed hot reload: a RELOAD frame (or the periodic
         # watcher) re-checks the checkpoint; an overwritten manifest is
-        # swapped in without dropping pending requests.
+        # swapped in without dropping pending requests.  The tenants
+        # config re-reads on the same trigger, so new SLO classes, auth
+        # tokens, and quota budgets apply without a restart.
         REGISTRY.load(args.model_dir, on_change=server.engine.swap_system)
+        if args.tenants:
+            with open(args.tenants, encoding="utf-8") as handle:
+                server.reload_tenants(json.load(handle))
         return server.engine.model_version
 
     server.reload_hook = reload_hook
 
     async def _serve() -> None:
+        _graceful_sigterm()
         bound_host, bound_port = await server.start(host, port)
         print(json.dumps({
             "listening": f"{bound_host}:{bound_port}",
@@ -433,6 +507,22 @@ def _cmd_route(args: argparse.Namespace) -> int:
     host = host or "0.0.0.0"
     shards = _parse_shard_specs(args.shard)
     metrics_server, tracer, trace_log = _build_observability(args)
+    ssl_context = _listener_ssl(args)
+    upstream_ssl = None
+    if args.tls_ca:
+        from repro.serving.gateway.security import client_ssl_context
+
+        # --tls-ca pins the shards' certificate; the router's own cert
+        # doubles as its client identity for mutual-TLS shards.
+        upstream_ssl = client_ssl_context(
+            args.tls_ca, certfile=args.tls_cert, keyfile=args.tls_key
+        )
+    auth = None
+    if args.tenants:
+        from repro.serving.gateway.security import TenantAuthenticator
+
+        with open(args.tenants, encoding="utf-8") as handle:
+            auth = TenantAuthenticator.from_config(json.load(handle))
     router = ClusterRouter(
         shards,
         vnodes=args.vnodes,
@@ -441,9 +531,14 @@ def _cmd_route(args: argparse.Namespace) -> int:
         affinity=not args.spread,
         probe_tenant=args.probe_tenant,
         tracer=tracer,
+        ssl_context=ssl_context,
+        upstream_ssl=upstream_ssl,
+        shard_token=_read_token_file(args.shard_token_file),
+        auth=auth,
     )
 
     async def _serve() -> None:
+        _graceful_sigterm()
         bound_host, bound_port = await router.start(host, port)
         print(json.dumps({
             "listening": f"{bound_host}:{bound_port}",
@@ -471,6 +566,40 @@ def _cmd_route(args: argparse.Namespace) -> int:
             metrics_server.close()
         if trace_log is not None:
             trace_log.close()
+    return 0
+
+
+def _cmd_quota(args: argparse.Namespace) -> int:
+    """Inspect or reset the quota ledger a gateway persists.
+
+    ``repro quota --state quota.json [--tenants tenants.json]`` prints
+    every tenant's window usage against its policy (policies come from
+    the tenants config when given, so ``exhausted`` is meaningful);
+    ``--reset [--tenant ID]`` zeroes one tenant's counters, or all of
+    them.  Run it against a stopped gateway — or accept that a live
+    one's file trails its memory by up to ``sync_every`` charges.
+    """
+    from repro.serving.gateway.quota import QuotaLedger
+    from repro.serving.gateway.tenants import TenantDirectory
+
+    lookup = lambda _tenant_id: None  # noqa: E731 - no config, no policy
+    if args.tenants:
+        with open(args.tenants, encoding="utf-8") as handle:
+            lookup = TenantDirectory.from_config(json.load(handle)).quota_policy
+    ledger = QuotaLedger(lookup, state_path=args.state)
+    if args.reset:
+        ledger.reset(args.tenant)
+        scope = f"tenant {args.tenant!r}" if args.tenant else "all tenants"
+        print(json.dumps({"reset": scope, "state": args.state}))
+        return 0
+    report = ledger.snapshot()
+    if args.tenant is not None:
+        if args.tenant not in report:
+            print(f"error: no usage recorded for tenant {args.tenant!r}",
+                  file=sys.stderr)
+            return 1
+        report = {args.tenant: report[args.tenant]}
+    print(json.dumps(report, indent=2))
     return 0
 
 
@@ -730,6 +859,21 @@ def build_parser() -> argparse.ArgumentParser:
                        help="track per-tenant model residency in an "
                             "N-slot LRU; STATS then reports the hit "
                             "rate the router's tenant affinity buys")
+    serve.add_argument("--tls-cert", metavar="PEM", default=None,
+                       help="serve TLS with this certificate (needs "
+                            "--tls-key; wire protocol unchanged on top)")
+    serve.add_argument("--tls-key", metavar="PEM", default=None,
+                       help="private key for --tls-cert")
+    serve.add_argument("--tls-ca", metavar="PEM", default=None,
+                       help="require client certificates signed by this "
+                            "CA (mutual TLS — e.g. only the cluster "
+                            "router may connect to this shard)")
+    serve.add_argument("--quota-state", metavar="PATH", default=None,
+                       help="persist per-tenant quota counters to this "
+                            "JSON file so calendar budgets survive "
+                            "restarts; budgets come from the quotas "
+                            "section of --tenants (inspect/reset with "
+                            "`repro quota`)")
 
     route = sub.add_parser(
         "route", help="front N gateway shards with one consistent-hash "
@@ -764,6 +908,44 @@ def build_parser() -> argparse.ArgumentParser:
     route.add_argument("--serve-seconds", type=float, default=None,
                        help="stop after this many seconds (default: "
                             "serve until interrupted)")
+    route.add_argument("--tls-cert", metavar="PEM", default=None,
+                       help="serve TLS to clients with this certificate "
+                            "(needs --tls-key); with --tls-ca it also "
+                            "becomes the router's client certificate "
+                            "for mutual-TLS shards")
+    route.add_argument("--tls-key", metavar="PEM", default=None,
+                       help="private key for --tls-cert")
+    route.add_argument("--tls-ca", metavar="PEM", default=None,
+                       help="trust pin for the shards' certificates; "
+                            "giving it turns on TLS for every "
+                            "router->shard hop")
+    route.add_argument("--shard-token-file", metavar="PATH", default=None,
+                       help="file holding the bearer token the router "
+                            "presents upstream; provision it as a "
+                            "service token in the shards' --tenants "
+                            "config (a file, not argv: command lines "
+                            "are world-readable)")
+    route.add_argument("--tenants", metavar="CFG_JSON", default=None,
+                       help="tenant config whose auth section the "
+                            "router enforces at its own edge (client "
+                            "tokens checked before any shard is "
+                            "contacted)")
+
+    quota = sub.add_parser(
+        "quota", help="inspect or reset a gateway's persisted quota ledger"
+    )
+    quota.add_argument("--state", metavar="PATH", required=True,
+                       help="the quota state file a gateway was started "
+                            "with (--quota-state)")
+    quota.add_argument("--tenants", metavar="CFG_JSON", default=None,
+                       help="tenant config supplying the quota policies, "
+                            "so the report can mark exhausted budgets")
+    quota.add_argument("--tenant", metavar="ID", default=None,
+                       help="restrict the report (or the reset) to one "
+                            "tenant")
+    quota.add_argument("--reset", action="store_true",
+                       help="zero the counters instead of reporting "
+                            "(all tenants, or --tenant's)")
     return parser
 
 
@@ -778,6 +960,7 @@ def main(argv: list[str] | None = None) -> int:
         "session": _cmd_session,
         "serve": _cmd_serve,
         "route": _cmd_route,
+        "quota": _cmd_quota,
     }
     return handlers[args.command](args)
 

@@ -40,6 +40,7 @@ class NodeRecord:
     summary: dict = field(default_factory=dict)
 
     def as_dict(self) -> dict:
+        """JSON-ready view of this record (the snapshot row)."""
         return {
             "node_id": self.node_id,
             "address": f"{self.address[0]}:{self.address[1]}",
@@ -93,6 +94,7 @@ class MembershipTable:
         return record
 
     def get(self, node_id: str) -> NodeRecord:
+        """The live record for ``node_id``; KeyError if unregistered."""
         return self._nodes[node_id]
 
     def __contains__(self, node_id: object) -> bool:
@@ -147,6 +149,7 @@ class MembershipTable:
 
     # ------------------------------------------------------------------
     def is_alive(self, node_id: str) -> bool:
+        """Whether ``node_id`` is currently in the ALIVE state."""
         return self._nodes[node_id].state == ALIVE
 
     def deadline_expired(self, node_id: str, now: float | None = None) -> bool:
@@ -159,13 +162,17 @@ class MembershipTable:
         return (now - record.last_heartbeat) > self.heartbeat_s * self.miss_limit
 
     def alive(self) -> list[str]:
+        """Sorted ids of every ALIVE node."""
         return sorted(n for n, r in self._nodes.items() if r.state == ALIVE)
 
     def dead(self) -> list[str]:
+        """Sorted ids of every DEAD node."""
         return sorted(n for n, r in self._nodes.items() if r.state == DEAD)
 
     def nodes(self) -> list[str]:
+        """Sorted ids of every registered node, whatever its state."""
         return sorted(self._nodes)
 
     def snapshot(self) -> dict[str, dict]:
+        """Per-node state/counter rows (the router's STATS section)."""
         return {n: record.as_dict() for n, record in sorted(self._nodes.items())}

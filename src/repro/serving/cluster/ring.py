@@ -142,6 +142,7 @@ class HashRing:
     # ------------------------------------------------------------------
     @property
     def nodes(self) -> list[str]:
+        """Sorted ids of the nodes currently on the ring."""
         return sorted(self._nodes)
 
     def __contains__(self, node: object) -> bool:
@@ -151,6 +152,7 @@ class HashRing:
         return len(self._nodes)
 
     def snapshot(self) -> dict:
+        """Ring shape summary (nodes, vnodes, probe count, points)."""
         return {
             "nodes": self.nodes,
             "vnodes": self.vnodes,

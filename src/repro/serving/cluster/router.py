@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import asyncio
 import itertools
+import ssl
 import time
 from collections.abc import Mapping
 from dataclasses import dataclass, field
@@ -45,6 +46,7 @@ from repro.serving.cluster.ring import EmptyRingError, HashRing
 from repro.serving.gateway import protocol
 from repro.serving.gateway.client import AsyncGatewayClient, GatewayError
 from repro.serving.gateway.protocol import Frame, FrameType, ProtocolError, VersionMismatch
+from repro.serving.gateway.security import TenantAuthenticator
 # The router reuses the gateway's per-client connection plumbing
 # (bounded outbox + writer task) rather than growing a second copy.
 from repro.serving.gateway.server import _Connection
@@ -69,8 +71,10 @@ class RouterStats:
     duplicates_suppressed: int = 0
     protocol_errors: int = 0
     handshakes_rejected: int = 0
+    auth_failed: int = 0
 
     def as_dict(self) -> dict[str, int]:
+        """Plain-dict view of the counters (the STATS reply body)."""
         return dict(self.__dict__)
 
 
@@ -178,6 +182,26 @@ class ClusterRouter:
         directories must resolve it (any default-class directory does).
     connect_timeout_s:
         Per-attempt connect + handshake deadline for upstreams.
+    ssl_context:
+        Listener-side TLS (:func:`~repro.serving.gateway.security
+        .server_ssl_context`): clients connect to the router over TLS;
+        the wire protocol is unchanged on top.
+    upstream_ssl:
+        Client-side TLS (:func:`~repro.serving.gateway.security
+        .client_ssl_context`) for every router->shard hop — data
+        connections, heartbeats, probes, and reload broadcasts alike.
+        Build it with ``certfile``/``keyfile`` when the shards demand a
+        client certificate (mutual TLS), so shards accept only their
+        router.
+    shard_token:
+        Bearer token the router presents on every upstream HELLO —
+        provision it as a *service token* in the shards' tenant config,
+        so the router authenticates for any tenant it forwards without
+        holding per-tenant secrets.
+    auth:
+        A :class:`~repro.serving.gateway.security.TenantAuthenticator`
+        verifying *client* tokens at the router's own edge; failures
+        reject with ``auth_failed`` before any shard is contacted.
     """
 
     def __init__(
@@ -197,6 +221,10 @@ class ClusterRouter:
         name: str = "repro-router",
         metrics: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
+        ssl_context: ssl.SSLContext | None = None,
+        upstream_ssl: ssl.SSLContext | None = None,
+        shard_token: str | None = None,
+        auth: TenantAuthenticator | None = None,
     ) -> None:
         if not shards:
             raise ValueError("a cluster needs at least one shard")
@@ -219,6 +247,10 @@ class ClusterRouter:
         self.max_outbox_frames = max_outbox_frames
         self.handshake_timeout_s = handshake_timeout_s
         self.name = name
+        self._ssl_context = ssl_context
+        self.upstream_ssl = upstream_ssl
+        self.shard_token = shard_token
+        self.auth = auth
         self.stats = RouterStats()
         self.tracer = tracer
         self.clock = time.monotonic
@@ -266,7 +298,9 @@ class ClusterRouter:
         if self._running:
             raise RuntimeError("router already started")
         self._running = True
-        self._server = await asyncio.start_server(self._on_connection, host, port)
+        self._server = await asyncio.start_server(
+            self._on_connection, host, port, ssl=self._ssl_context
+        )
         for node_id in self._addresses:
             task = asyncio.create_task(self._node_loop(node_id))
             self._node_tasks.append(task)
@@ -274,6 +308,7 @@ class ClusterRouter:
         return self.address
 
     async def serve_forever(self) -> None:
+        """Serve until cancelled (start() must have been awaited)."""
         assert self._server is not None, "call start() first"
         await self._server.serve_forever()
 
@@ -314,6 +349,7 @@ class ClusterRouter:
 
     @property
     def num_connections(self) -> int:
+        """Currently open client connections."""
         return len(self._connections)
 
     def _schedule(self, coroutine) -> asyncio.Task:
@@ -343,6 +379,8 @@ class ClusterRouter:
                 tenant=tenant,
                 client=f"{self.name}->{node_id}",
                 connect_timeout_s=self.connect_timeout_s,
+                token=self.shard_token,
+                ssl=self.upstream_ssl,
             )
         )
         self._upstreams[key] = task
@@ -502,6 +540,8 @@ class ClusterRouter:
                     tenant=self.probe_tenant,
                     client=f"{self.name}-heartbeat",
                     connect_timeout_s=self.connect_timeout_s,
+                    token=self.shard_token,
+                    ssl=self.upstream_ssl,
                 )
                 self._controls[node_id] = control
             snapshot = await asyncio.wait_for(
@@ -541,6 +581,8 @@ class ClusterRouter:
                 tenant=self.probe_tenant,
                 client=f"{self.name}-probe",
                 connect_timeout_s=self.connect_timeout_s,
+                token=self.shard_token,
+                ssl=self.upstream_ssl,
             )
         except (ConnectionError, OSError, GatewayError):
             return False
@@ -607,6 +649,18 @@ class ClusterRouter:
             return False
         tenant_id = str(frame.meta.get("tenant", "anonymous"))
         connection.client_name = str(frame.meta.get("client", "?"))
+        if self.auth is not None:
+            raw_token = frame.meta.get("token")
+            token = raw_token if isinstance(raw_token, str) else None
+            if not self.auth.authenticate(tenant_id, token):
+                self.stats.auth_failed += 1
+                connection.send(
+                    protocol.error_frame(
+                        "auth_failed",
+                        f"bearer token missing or invalid for tenant {tenant_id!r}",
+                    )
+                )
+                return False
         try:
             node_id, upstream = await self._upstream_for_tenant(tenant_id)
         except EmptyRingError:
@@ -851,6 +905,8 @@ class ClusterRouter:
                     tenant=self.probe_tenant,
                     client=f"{self.name}-reload",
                     connect_timeout_s=self.connect_timeout_s,
+                    token=self.shard_token,
+                    ssl=self.upstream_ssl,
                 )
             except (ConnectionError, OSError, GatewayError) as error:
                 failures.append(f"{node_id}: {error}")

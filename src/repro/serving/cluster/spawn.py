@@ -142,10 +142,12 @@ class NodeProcess:
 
     @property
     def alive(self) -> bool:
+        """Whether the shard process is still running."""
         return self.process.poll() is None
 
     @property
     def output_lines(self) -> list[str]:
+        """Every stdout/stderr line captured so far (a copy)."""
         return list(self._lines)
 
     # ------------------------------------------------------------------

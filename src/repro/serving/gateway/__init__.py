@@ -12,7 +12,12 @@ into a TCP service with per-tenant SLO classes:
 * :mod:`~repro.serving.gateway.server` — :class:`GatewayServer`, the
   asyncio front-end bridging socket frames onto engine tickets via a
   dedicated flush loop;
-* :mod:`~repro.serving.gateway.client` — blocking and asyncio clients.
+* :mod:`~repro.serving.gateway.client` — blocking and asyncio clients;
+* :mod:`~repro.serving.gateway.security` — TLS contexts and salted
+  bearer-token auth for public traffic (see ``docs/security.md``);
+* :mod:`~repro.serving.gateway.quota` — persistent per-tenant
+  daily/monthly request and compute-second budgets above the token
+  buckets.
 """
 
 from repro.serving.gateway.client import (
@@ -30,6 +35,15 @@ from repro.serving.gateway.protocol import (
     VersionMismatch,
     WireResult,
     quantise_sample,
+)
+from repro.serving.gateway.quota import QuotaLedger, QuotaPolicy, parse_quota_policies
+from repro.serving.gateway.security import (
+    TenantAuthenticator,
+    client_ssl_context,
+    generate_self_signed_cert,
+    hash_token,
+    server_ssl_context,
+    verify_token,
 )
 from repro.serving.gateway.server import (
     BackgroundGateway,
@@ -60,13 +74,22 @@ __all__ = [
     "GatewayServer",
     "GatewayStats",
     "ProtocolError",
+    "QuotaLedger",
+    "QuotaPolicy",
     "SLOClass",
     "Tenant",
+    "TenantAuthenticator",
     "TenantDirectory",
     "TenantStats",
     "VersionMismatch",
     "WireResult",
+    "client_ssl_context",
     "connect_backoff",
     "default_classes",
+    "generate_self_signed_cert",
+    "hash_token",
+    "parse_quota_policies",
     "quantise_sample",
+    "server_ssl_context",
+    "verify_token",
 ]

@@ -21,6 +21,7 @@ from __future__ import annotations
 import asyncio
 import itertools
 import socket
+import ssl
 import time
 from collections.abc import Callable
 from typing import Any
@@ -52,6 +53,7 @@ class GatewayError(RuntimeError):
 
     @classmethod
     def from_frame(cls, frame: Frame) -> "GatewayError":
+        """Build from a decoded ERROR frame's meta."""
         return cls(
             str(frame.meta.get("code", "error")),
             str(frame.meta.get("message", "")),
@@ -82,6 +84,18 @@ class GatewayClient:
         capped exponential backoff (:func:`connect_backoff` with
         ``retry_backoff_s``/``max_backoff_s``).  Only transport errors
         retry; server rejections (ERROR frames) raise immediately.
+    token:
+        Bearer token sent in the HELLO when the server enforces
+        per-tenant auth; a missing or wrong token raises
+        :class:`GatewayError` with code ``auth_failed``.
+    ssl_context:
+        An :func:`~repro.serving.gateway.security.client_ssl_context`
+        to speak TLS; pass its ``cafile=`` to pin the server's
+        (possibly self-signed) certificate.  A TLS handshake failure
+        counts as a transport error and retries like one.
+    server_hostname:
+        SNI / certificate-verification name for TLS; defaults to
+        ``host``.
     """
 
     def __init__(
@@ -96,13 +110,33 @@ class GatewayClient:
         connect_retries: int = 0,
         retry_backoff_s: float = 0.05,
         max_backoff_s: float = 2.0,
+        token: str | None = None,
+        ssl_context: ssl.SSLContext | None = None,
+        server_hostname: str | None = None,
     ) -> None:
         attempt = 0
         while True:
+            # The whole transport bring-up — TCP connect *and* the TLS
+            # handshake — sits inside the retry loop: ssl.SSLError is an
+            # OSError, and a node restarting mid-deploy can fail either
+            # step transiently.
             try:
-                self._sock = socket.create_connection(
+                sock = socket.create_connection(
                     (host, port), timeout=connect_timeout_s
                 )
+                try:
+                    sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+                    if ssl_context is not None:
+                        sock = ssl_context.wrap_socket(
+                            sock,
+                            server_hostname=(
+                                server_hostname if server_hostname is not None else host
+                            ),
+                        )
+                except BaseException:
+                    sock.close()
+                    raise
+                self._sock = sock
                 break
             except OSError:
                 if attempt >= connect_retries:
@@ -113,14 +147,15 @@ class GatewayClient:
                     )
                 )
                 attempt += 1
-        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         self._ids = itertools.count(1)
         #: Frames that arrived while waiting for something else.
         self._results: dict[int, WireResult] = {}
         self._errors: dict[int, GatewayError] = {}
         self.tenant = tenant
         try:
-            self._send(protocol.hello_frame(client=client, tenant=tenant))
+            self._send(
+                protocol.hello_frame(client=client, tenant=tenant, token=token)
+            )
             reply = self._read()
             self._sock.settimeout(timeout_s)
             if reply.kind is FrameType.ERROR:
@@ -229,6 +264,7 @@ class GatewayClient:
             self._absorb(frame)
 
     def close(self) -> None:
+        """Close the socket; safe to call twice."""
         try:
             self._sock.close()
         except OSError:
@@ -287,6 +323,9 @@ class AsyncGatewayClient:
         connect_retries: int = 0,
         retry_backoff_s: float = 0.05,
         max_backoff_s: float = 2.0,
+        token: str | None = None,
+        ssl: ssl.SSLContext | None = None,
+        server_hostname: str | None = None,
     ) -> "AsyncGatewayClient":
         """Connect with a handshake deadline and optional retries.
 
@@ -296,12 +335,26 @@ class AsyncGatewayClient:
         up to ``connect_retries`` times with capped exponential backoff
         (:func:`connect_backoff`); server rejections (ERROR frames)
         raise :class:`GatewayError` immediately, no retry.
+
+        ``token`` rides the HELLO for servers enforcing bearer auth;
+        ``ssl`` (a :func:`~repro.serving.gateway.security
+        .client_ssl_context`) upgrades the transport to TLS, with
+        ``server_hostname`` as the SNI name (default: ``host``).  A TLS
+        handshake failure is a transport error and retries like one.
         """
         attempt = 0
         while True:
             try:
                 return await asyncio.wait_for(
-                    cls._connect_once(host, port, tenant=tenant, client=client),
+                    cls._connect_once(
+                        host,
+                        port,
+                        tenant=tenant,
+                        client=client,
+                        token=token,
+                        ssl=ssl,
+                        server_hostname=server_hostname,
+                    ),
                     timeout=connect_timeout_s,
                 )
             except asyncio.TimeoutError as error:
@@ -321,13 +374,31 @@ class AsyncGatewayClient:
 
     @classmethod
     async def _connect_once(
-        cls, host: str, port: int, *, tenant: str, client: str
+        cls,
+        host: str,
+        port: int,
+        *,
+        tenant: str,
+        client: str,
+        token: str | None = None,
+        ssl: ssl.SSLContext | None = None,
+        server_hostname: str | None = None,
     ) -> "AsyncGatewayClient":
-        reader, writer = await asyncio.open_connection(host, port)
+        if ssl is not None:
+            reader, writer = await asyncio.open_connection(
+                host,
+                port,
+                ssl=ssl,
+                server_hostname=(
+                    server_hostname if server_hostname is not None else host
+                ),
+            )
+        else:
+            reader, writer = await asyncio.open_connection(host, port)
         try:
             writer.write(
                 protocol.encode_frame(
-                    protocol.hello_frame(client=client, tenant=tenant)
+                    protocol.hello_frame(client=client, tenant=tenant, token=token)
                 )
             )
             await writer.drain()
@@ -435,21 +506,26 @@ class AsyncGatewayClient:
         return request_id, future
 
     async def drain(self) -> None:
+        """Respect TCP backpressure after a burst of ``*_nowait`` calls."""
         await self._writer.drain()
 
     async def classify(
         self, sample: np.ndarray, *, deadline_ms: float | None = None
     ) -> WireResult:
+        """One SUBMIT->RESULT round trip; raises GatewayError on rejection."""
         _, future = self.submit_nowait(sample, deadline_ms=deadline_ms)
         await self._writer.drain()
         return await future
 
     async def stats(self) -> dict[str, Any]:
+        """The server's operational snapshot (the STATS reply meta)."""
         await self._request(protocol.stats_frame())
         frame = await self._expect(FrameType.STATS)
         return frame.meta
 
     async def reload(self) -> dict[str, Any]:
+        """Ask the server to re-check its checkpoint; returns the reply
+        meta (``model_version``, ``swapped``)."""
         await self._request(protocol.reload_frame())
         frame = await self._expect(FrameType.RELOAD)
         return frame.meta
@@ -469,6 +545,7 @@ class AsyncGatewayClient:
                 raise GatewayError.from_frame(frame)
 
     async def aclose(self) -> None:
+        """Cancel the reader task and close the transport."""
         self._reader_task.cancel()
         try:
             await self._reader_task

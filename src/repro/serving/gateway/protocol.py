@@ -66,6 +66,8 @@ PROBS_DTYPE = np.dtype("<f8")
 
 
 class FrameType(enum.IntEnum):
+    """Wire frame kinds (the header's ``kind`` byte)."""
+
     HELLO = 1
     SUBMIT = 2
     RESULT = 3
@@ -176,6 +178,7 @@ class FrameDecoder:
 
     @property
     def pending_bytes(self) -> int:
+        """Bytes buffered toward a frame not yet complete."""
         return len(self._buffer)
 
     def feed(self, data: bytes) -> list[Frame]:
@@ -242,8 +245,19 @@ async def read_frame(reader: asyncio.StreamReader) -> Frame | None:
 # ----------------------------------------------------------------------
 # Typed frame constructors / parsers
 # ----------------------------------------------------------------------
-def hello_frame(*, client: str, tenant: str) -> Frame:
-    return Frame(FrameType.HELLO, {"client": str(client), "tenant": str(tenant)})
+def hello_frame(*, client: str, tenant: str, token: str | None = None) -> Frame:
+    """The client half of the handshake.
+
+    ``token`` is the optional bearer credential an authenticated
+    deployment demands (verified server-side against salted hashes;
+    failures answer ``auth_failed``).  It rides the HELLO meta only —
+    on a TLS transport it is never on the wire in the clear, and the
+    frame layout is unchanged, so protocol version 1 still fits.
+    """
+    meta: dict[str, Any] = {"client": str(client), "tenant": str(tenant)}
+    if token is not None:
+        meta["token"] = str(token)
+    return Frame(FrameType.HELLO, meta)
 
 
 def hello_reply(
@@ -255,6 +269,7 @@ def hello_reply(
     model_version: int,
     node_id: str | None = None,
 ) -> Frame:
+    """The server's HELLO answer: identity plus the tenant's SLO terms."""
     meta = {
         "server": server,
         "tenant": tenant,
@@ -282,6 +297,8 @@ def submit_frame(
     *,
     deadline_ms: float | None = None,
 ) -> Frame:
+    """A SUBMIT carrying one float32 gesture cloud (little-endian,
+    C-contiguous) under a client-chosen request id."""
     sample = np.ascontiguousarray(sample, dtype=SAMPLE_DTYPE)
     if sample.ndim != 2:
         raise ValueError(f"expected a (num_points, channels) cloud, got {sample.shape}")
@@ -361,6 +378,8 @@ class WireResult:
 
 
 def decode_result(frame: Frame) -> WireResult:
+    """Validate and unpack a RESULT frame; ProtocolError on mismatch
+    between the declared posterior counts and the body length."""
     meta = frame.meta
     try:
         num_gestures = int(meta["gesture_classes"])
@@ -390,6 +409,9 @@ def decode_result(frame: Frame) -> WireResult:
 def error_frame(
     code: str, message: str, *, request_id: int | None = None
 ) -> Frame:
+    """An ERROR frame; ``request_id`` scopes it to one SUBMIT (absent =
+    connection-level).  ``code`` is the machine-readable field —
+    ``auth_failed``, ``quota_exceeded``, ``rate_limited``, ..."""
     meta: dict[str, Any] = {"code": str(code), "message": str(message)}
     if request_id is not None:
         meta["id"] = int(request_id)

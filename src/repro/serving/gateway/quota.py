@@ -1,0 +1,366 @@
+"""Per-tenant usage quotas above the token buckets.
+
+A token bucket (:class:`~repro.serving.gateway.tenants.TokenBucket`)
+contracts a *rate* — how fast a tenant may submit right now.  A quota
+contracts a *budget* — how much a tenant may consume per calendar day
+and month, in requests and in compute-seconds.  The two reject with
+distinct wire codes (``rate_limited`` vs ``quota_exceeded``) because
+the client's correct reaction differs: back off briefly for the first,
+stop until the window rolls (or buy more quota) for the second.
+
+* :class:`QuotaPolicy` — the budget: any of ``daily_requests``,
+  ``monthly_requests``, ``daily_compute_s``, ``monthly_compute_s``
+  (None = unlimited on that axis).
+* :class:`QuotaLedger` — the counters: per-tenant usage keyed by UTC
+  day (``YYYY-MM-DD``) and month (``YYYY-MM``) windows, checked
+  *before* the token bucket in the admission path and charged on
+  admission (requests) and delivery (compute-seconds).  State persists
+  to a JSON file — written atomically, loaded on construction — so
+  budgets survive a server restart; ``repro quota`` inspects and
+  resets the same file offline.
+
+Policies are looked up through a callable at *check time*, so a tenant
+config reload (new budgets in ``--tenants``) applies to the very next
+request without touching the ledger.
+
+Concurrency: the gateway calls the ledger only from its event loop;
+the CLI only ever touches the file of a *stopped* server (or accepts
+the staleness of a live one's last sync — see ``docs/security.md``).
+The wall clock (not the engine's monotonic clock) keys the windows on
+purpose: a calendar budget must survive restarts, which monotonic time
+cannot, and window granularity is a day — NTP steps are harmless.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from collections.abc import Callable, Mapping
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+__all__ = ["QuotaLedger", "QuotaPolicy", "parse_quota_policies"]
+
+
+@dataclass(frozen=True)
+class QuotaPolicy:
+    """One tenant's calendar budgets; None disables an axis."""
+
+    daily_requests: int | None = None
+    monthly_requests: int | None = None
+    daily_compute_s: float | None = None
+    monthly_compute_s: float | None = None
+
+    def __post_init__(self) -> None:
+        for name in (
+            "daily_requests",
+            "monthly_requests",
+            "daily_compute_s",
+            "monthly_compute_s",
+        ):
+            value = getattr(self, name)
+            if value is not None and value < 0:
+                raise ValueError(f"{name} must be >= 0, got {value!r}")
+
+    @property
+    def limited(self) -> bool:
+        """Whether any axis carries a finite budget."""
+        return any(
+            getattr(self, name) is not None
+            for name in (
+                "daily_requests",
+                "monthly_requests",
+                "daily_compute_s",
+                "monthly_compute_s",
+            )
+        )
+
+    @classmethod
+    def from_spec(cls, spec: Mapping[str, Any]) -> "QuotaPolicy":
+        """Build from one ``quotas`` entry of the ``--tenants`` config."""
+        def _int(key: str) -> int | None:
+            value = spec.get(key)
+            return None if value is None else int(value)
+
+        def _float(key: str) -> float | None:
+            value = spec.get(key)
+            return None if value is None else float(value)
+
+        return cls(
+            daily_requests=_int("daily_requests"),
+            monthly_requests=_int("monthly_requests"),
+            daily_compute_s=_float("daily_compute_s"),
+            monthly_compute_s=_float("monthly_compute_s"),
+        )
+
+    def as_dict(self) -> dict[str, int | float | None]:
+        """JSON-ready view (the snapshot's ``policy`` field)."""
+        return {
+            "daily_requests": self.daily_requests,
+            "monthly_requests": self.monthly_requests,
+            "daily_compute_s": self.daily_compute_s,
+            "monthly_compute_s": self.monthly_compute_s,
+        }
+
+
+def parse_quota_policies(
+    config: Mapping[str, Any],
+) -> tuple[dict[str, QuotaPolicy], QuotaPolicy | None]:
+    """``(per-tenant policies, default policy)`` from a ``--tenants``
+    config's ``quotas`` section::
+
+        {"quotas": {"default": {"daily_requests": 100000},
+                    "device-7": {"daily_requests": 500,
+                                 "monthly_compute_s": 120.0}}}
+
+    The ``default`` entry (optional) applies to tenants with no row of
+    their own; absent both, tenants are unmetered.
+    """
+    section = dict(config.get("quotas") or {})
+    default_spec = section.pop("default", None)
+    policies = {
+        str(tenant): QuotaPolicy.from_spec(spec)
+        for tenant, spec in section.items()
+    }
+    default = QuotaPolicy.from_spec(default_spec) if default_spec else None
+    return policies, default
+
+
+@dataclass
+class _Window:
+    """Usage within one calendar window (day or month)."""
+
+    key: str = ""
+    requests: int = 0
+    compute_s: float = 0.0
+
+    def roll(self, key: str) -> None:
+        if key != self.key:
+            self.key = key
+            self.requests = 0
+            self.compute_s = 0.0
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "key": self.key,
+            "requests": self.requests,
+            "compute_s": self.compute_s,
+        }
+
+
+@dataclass
+class _Usage:
+    """One tenant's live counters, both windows."""
+
+    day: _Window = field(default_factory=_Window)
+    month: _Window = field(default_factory=_Window)
+
+
+class QuotaLedger:
+    """Persistent per-tenant daily/monthly usage counters.
+
+    Parameters
+    ----------
+    policy:
+        ``tenant_id -> QuotaPolicy | None`` lookup, consulted on every
+        check — pass :meth:`TenantDirectory.quota_policy
+        <repro.serving.gateway.tenants.TenantDirectory.quota_policy>`
+        so config reloads apply without restart.  None (or a policy
+        with no finite axis) means unmetered.
+    state_path:
+        JSON file the counters persist to.  Loaded (tolerantly: a
+        missing or corrupt file starts fresh) at construction; written
+        atomically every ``sync_every`` charges and on :meth:`flush` /
+        :meth:`close`.  None keeps the ledger in-memory only.
+    clock:
+        Wall-clock source (seconds since the epoch, UTC windows are
+        derived from it); injectable so tests roll windows without
+        sleeping.
+    sync_every:
+        Charges between persistence writes — bounds both the hot-path
+        IO cost and the worst-case usage lost to a crash (a restart
+        forgives at most ``sync_every - 1`` requests per tenant).
+    """
+
+    def __init__(
+        self,
+        policy: Callable[[str], QuotaPolicy | None],
+        *,
+        state_path: str | Path | None = None,
+        clock: Callable[[], float] = time.time,
+        sync_every: int = 64,
+    ) -> None:
+        if sync_every < 1:
+            raise ValueError("sync_every must be >= 1")
+        self._policy = policy
+        self._path = None if state_path is None else Path(state_path)
+        self._clock = clock
+        self._sync_every = int(sync_every)
+        self._unsynced = 0
+        self._usage: dict[str, _Usage] = {}
+        self._load()
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _window_keys(now: float) -> tuple[str, str]:
+        """UTC ``(day, month)`` keys for a wall-clock timestamp."""
+        parts = time.gmtime(now)
+        day = f"{parts.tm_year:04d}-{parts.tm_mon:02d}-{parts.tm_mday:02d}"
+        return day, day[:7]
+
+    def _rolled(self, tenant_id: str, now: float) -> _Usage:
+        usage = self._usage.setdefault(str(tenant_id), _Usage())
+        day_key, month_key = self._window_keys(now)
+        usage.day.roll(day_key)
+        usage.month.roll(month_key)
+        return usage
+
+    # ------------------------------------------------------------------
+    def check(self, tenant_id: str, *, now: float | None = None) -> str | None:
+        """Why the next request would bust the budget, or None if it fits.
+
+        Returns a human-readable reason (the ERROR frame's message) for
+        the first exhausted axis; the caller maps any non-None result to
+        the ``quota_exceeded`` wire code.  Expired windows roll here, so
+        a tenant blocked at 23:59 UTC is served again at 00:00.
+        """
+        policy = self._policy(str(tenant_id))
+        if policy is None or not policy.limited:
+            return None
+        usage = self._rolled(tenant_id, self._now(now))
+        axes = (
+            ("daily request", policy.daily_requests, usage.day.requests),
+            ("monthly request", policy.monthly_requests, usage.month.requests),
+            ("daily compute-second", policy.daily_compute_s, usage.day.compute_s),
+            (
+                "monthly compute-second",
+                policy.monthly_compute_s,
+                usage.month.compute_s,
+            ),
+        )
+        for label, limit, used in axes:
+            if limit is not None and used >= limit:
+                return (
+                    f"{label} budget exhausted ({used:g} of {limit:g} used); "
+                    "resets when the window rolls"
+                )
+        return None
+
+    def charge_request(self, tenant_id: str, *, now: float | None = None) -> None:
+        """Count one admitted request against both windows."""
+        usage = self._rolled(tenant_id, self._now(now))
+        usage.day.requests += 1
+        usage.month.requests += 1
+        self._mark_dirty()
+
+    def charge_compute(
+        self, tenant_id: str, seconds: float, *, now: float | None = None
+    ) -> None:
+        """Count observed compute time (delivery latency) for one result."""
+        if seconds <= 0.0:
+            return
+        usage = self._rolled(tenant_id, self._now(now))
+        usage.day.compute_s += seconds
+        usage.month.compute_s += seconds
+        self._mark_dirty()
+
+    def _now(self, now: float | None) -> float:
+        return self._clock() if now is None else float(now)
+
+    # ------------------------------------------------------------------
+    def snapshot(self, *, now: float | None = None) -> dict[str, dict]:
+        """Per-tenant usage vs policy (the STATS / ``repro quota`` view).
+
+        Strictly read-only — expired windows are *presented* as zeroed
+        without being rolled in place — so the metrics scraper may call
+        it from its own thread while the event loop keeps charging.
+        """
+        timestamp = self._now(now)
+        day_key, month_key = self._window_keys(timestamp)
+        report: dict[str, dict] = {}
+        for tenant_id, usage in sorted(list(self._usage.items())):
+            day = usage.day if usage.day.key == day_key else _Window(key=day_key)
+            month = (
+                usage.month
+                if usage.month.key == month_key
+                else _Window(key=month_key)
+            )
+            policy = self._policy(tenant_id)
+            exhausted = False
+            if policy is not None and policy.limited:
+                exhausted = any(
+                    limit is not None and used >= limit
+                    for limit, used in (
+                        (policy.daily_requests, day.requests),
+                        (policy.monthly_requests, month.requests),
+                        (policy.daily_compute_s, day.compute_s),
+                        (policy.monthly_compute_s, month.compute_s),
+                    )
+                )
+            report[tenant_id] = {
+                "day": day.as_dict(),
+                "month": month.as_dict(),
+                "policy": policy.as_dict() if policy is not None else None,
+                "exhausted": exhausted,
+            }
+        return report
+
+    def reset(self, tenant_id: str | None = None) -> None:
+        """Zero one tenant's counters (or everyone's) and persist."""
+        if tenant_id is None:
+            self._usage.clear()
+        else:
+            self._usage.pop(str(tenant_id), None)
+        self.flush()
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def _mark_dirty(self) -> None:
+        self._unsynced += 1
+        if self._path is not None and self._unsynced >= self._sync_every:
+            self.flush()
+
+    def flush(self) -> None:
+        """Write the counters out atomically (tmp file + rename)."""
+        self._unsynced = 0
+        if self._path is None:
+            return
+        payload = {
+            "version": 1,
+            "tenants": {
+                tenant: {
+                    "day": usage.day.as_dict(),
+                    "month": usage.month.as_dict(),
+                }
+                for tenant, usage in self._usage.items()
+            },
+        }
+        self._path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self._path.with_name(self._path.name + ".tmp")
+        tmp.write_text(json.dumps(payload, indent=2), encoding="utf-8")
+        os.replace(tmp, self._path)
+
+    def close(self) -> None:
+        """Persist any unsynced charges (the server's shutdown hook)."""
+        if self._unsynced:
+            self.flush()
+
+    def _load(self) -> None:
+        if self._path is None or not self._path.exists():
+            return
+        try:
+            payload = json.loads(self._path.read_text(encoding="utf-8"))
+            tenants = payload.get("tenants", {})
+        except (OSError, ValueError):
+            return  # corrupt or unreadable state starts fresh, never crashes
+        for tenant, record in tenants.items():
+            usage = _Usage()
+            for window, store in (("day", usage.day), ("month", usage.month)):
+                data = record.get(window) or {}
+                store.key = str(data.get("key", ""))
+                store.requests = int(data.get("requests", 0))
+                store.compute_s = float(data.get("compute_s", 0.0))
+            self._usage[str(tenant)] = usage

@@ -1,0 +1,347 @@
+"""Transport security and tenant authentication for the gateway.
+
+Two independent layers, both pure stdlib:
+
+* **TLS** (:func:`server_ssl_context` / :func:`client_ssl_context`) —
+  the length-prefixed wire protocol is unchanged; it simply runs on top
+  of an :mod:`ssl`-wrapped transport.  A gateway or router listener
+  built with ``--tls-cert/--tls-key`` speaks TLS 1.2+; passing
+  ``--tls-ca`` on the *server* side additionally demands a client
+  certificate signed by that CA (mutual TLS — how a shard refuses
+  everything but its router).
+* **Bearer-token auth** (:class:`TenantAuthenticator`) — the HELLO
+  frame carries an optional ``token``; the server verifies it against
+  salted SHA-256 hashes from the ``--tenants`` config with a
+  constant-time compare and rejects failures with the ``auth_failed``
+  error code *before* any SUBMIT is admitted.  *Service tokens*
+  authenticate any tenant id — the credential a cluster router presents
+  on its per-(node, tenant) upstream hops, so cluster traffic stays
+  authenticated without the router ever holding per-tenant secrets.
+
+Secrets never appear in configs: only ``sha256:<salt>:<digest>``
+records do (mint them with :func:`hash_token`, or see
+``examples/provision_tenant.py`` for the end-to-end flow).
+
+Thread-safety: everything here is immutable after construction (the
+authenticator is swapped wholesale on config reload), so any thread or
+event loop may call :meth:`TenantAuthenticator.authenticate`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import secrets
+import ssl
+from collections.abc import Iterable, Mapping
+from pathlib import Path
+
+__all__ = [
+    "TenantAuthenticator",
+    "client_ssl_context",
+    "generate_self_signed_cert",
+    "hash_token",
+    "server_ssl_context",
+    "verify_token",
+]
+
+#: Stored-credential format: ``sha256:<salt hex>:<digest hex>``.
+_SCHEME = "sha256"
+
+
+def hash_token(token: str, *, salt: str | None = None) -> str:
+    """Salted hash of a bearer token, in the stored-credential format.
+
+    ``sha256:<salt>:<hex(sha256(salt || token))>`` — what the
+    ``--tenants`` config records instead of the secret itself.  A fresh
+    random salt is drawn unless one is supplied (tests pin it for
+    reproducibility).
+    """
+    if not token:
+        raise ValueError("cannot hash an empty token")
+    if salt is None:
+        salt = secrets.token_hex(16)
+    digest = hashlib.sha256((salt + token).encode("utf-8")).hexdigest()
+    return f"{_SCHEME}:{salt}:{digest}"
+
+
+def verify_token(token: str, stored: str) -> bool:
+    """Constant-time check of ``token`` against one stored credential.
+
+    Malformed records verify as False (never raise): a typo in the
+    config must fail closed, not crash the handshake path.
+    """
+    parts = stored.split(":")
+    if len(parts) != 3 or parts[0] != _SCHEME:
+        return False
+    _, salt, digest = parts
+    candidate = hashlib.sha256((salt + token).encode("utf-8")).hexdigest()
+    return hmac.compare_digest(candidate, digest)
+
+
+class TenantAuthenticator:
+    """Per-tenant bearer-token verification with constant-time compares.
+
+    Parameters
+    ----------
+    tokens:
+        ``tenant id -> stored credential`` (the :func:`hash_token`
+        format).  A tenant listed here must present the matching token.
+    service_tokens:
+        Stored credentials valid for **any** tenant id — the cluster
+        router's shard-side credential, so router→shard hops stay
+        authenticated without distributing per-tenant secrets.
+    required:
+        When True (the default once any token is configured), a tenant
+        *without* a token entry is rejected unless it presents a valid
+        service token — the closed-world posture for public traffic.
+        When False, only tenants with a token entry are checked; the
+        rest pass unauthenticated (a migration posture).
+
+    :meth:`authenticate` is safe from any thread; instances are
+    immutable and swapped wholesale on config reload.
+    """
+
+    def __init__(
+        self,
+        tokens: Mapping[str, str] | None = None,
+        *,
+        service_tokens: Iterable[str] | None = None,
+        required: bool = True,
+    ) -> None:
+        self._tokens = {str(k): str(v) for k, v in (tokens or {}).items()}
+        self._service_tokens = tuple(str(t) for t in (service_tokens or ()))
+        self.required = bool(required)
+        #: Burned whenever no real credential applies, so a rejected
+        #: handshake costs one compare either way (no timing oracle on
+        #: whether a tenant id exists).
+        self._decoy = hash_token(secrets.token_hex(16))
+
+    @classmethod
+    def from_config(cls, config: Mapping) -> "TenantAuthenticator | None":
+        """Build from the ``auth`` section of a ``--tenants`` config::
+
+            {"auth": {"required": true,
+                      "tokens": {"device-7": "sha256:<salt>:<digest>"},
+                      "service_tokens": ["sha256:<salt>:<digest>"]}}
+
+        Returns None when the section is absent or names no credentials
+        (an unauthenticated deployment).
+        """
+        section = config.get("auth")
+        if not section:
+            return None
+        tokens = section.get("tokens") or {}
+        service = section.get("service_tokens") or []
+        if not tokens and not service:
+            return None
+        return cls(
+            tokens,
+            service_tokens=service,
+            required=bool(section.get("required", True)),
+        )
+
+    @property
+    def tenant_ids(self) -> list[str]:
+        """Tenants with a per-tenant credential (sorted, for snapshots)."""
+        return sorted(self._tokens)
+
+    def authenticate(self, tenant_id: str, token: str | None) -> bool:
+        """Whether ``token`` authenticates ``tenant_id``.
+
+        Checks the tenant's own credential first, then every service
+        token — a service token must open *any* tenant id, including
+        one that has its own entry (the router forwards it on behalf of
+        named tenants).  A missing or unmatched token verifies against
+        a decoy so the cost stays flat whether the id exists.  Never
+        raises — the handshake maps False to the ``auth_failed`` wire
+        code.
+        """
+        presented = token if isinstance(token, str) and token else None
+        stored = self._tokens.get(str(tenant_id))
+        if presented is None:
+            if stored is None and not self.required:
+                return True
+            verify_token("missing", self._decoy)
+            return False
+        if stored is not None:
+            if verify_token(presented, stored):
+                return True
+        else:
+            verify_token(presented, self._decoy)
+        for service in self._service_tokens:
+            if verify_token(presented, service):
+                return True
+        return stored is None and not self.required
+
+
+# ----------------------------------------------------------------------
+# TLS contexts (stdlib ssl; the wire protocol rides on top unchanged)
+# ----------------------------------------------------------------------
+def server_ssl_context(
+    certfile: str | Path,
+    keyfile: str | Path,
+    *,
+    cafile: str | Path | None = None,
+) -> ssl.SSLContext:
+    """Listener-side TLS context for a gateway or router.
+
+    ``certfile``/``keyfile`` are this endpoint's identity (PEM).  When
+    ``cafile`` is given, clients must present a certificate signed by
+    it (mutual TLS) — the ``--tls-ca`` posture a shard uses so only its
+    router can connect.  TLS < 1.2 is refused.
+    """
+    context = ssl.SSLContext(ssl.PROTOCOL_TLS_SERVER)
+    context.minimum_version = ssl.TLSVersion.TLSv1_2
+    context.load_cert_chain(str(certfile), str(keyfile))
+    if cafile is not None:
+        context.load_verify_locations(str(cafile))
+        context.verify_mode = ssl.CERT_REQUIRED
+    return context
+
+
+def client_ssl_context(
+    cafile: str | Path | None = None,
+    *,
+    certfile: str | Path | None = None,
+    keyfile: str | Path | None = None,
+    check_hostname: bool = False,
+) -> ssl.SSLContext:
+    """Client-side TLS context for gateway/router connections.
+
+    ``cafile`` pins the CA (or self-signed server certificate) to
+    trust; without it the system trust store applies.  Pass
+    ``certfile``/``keyfile`` to present a client certificate — required
+    by mutual-TLS listeners (the router presents its own cert on
+    router→shard hops).  Hostname checking defaults off because
+    deployments address shards by IP; the CA pin still authenticates
+    the peer.
+    """
+    context = ssl.SSLContext(ssl.PROTOCOL_TLS_CLIENT)
+    context.minimum_version = ssl.TLSVersion.TLSv1_2
+    context.check_hostname = check_hostname
+    if cafile is not None:
+        context.load_verify_locations(str(cafile))
+    else:
+        context.load_default_certs(ssl.Purpose.SERVER_AUTH)
+    if certfile is not None:
+        context.load_cert_chain(str(certfile), keyfile if keyfile is None else str(keyfile))
+    return context
+
+
+def generate_self_signed_cert(
+    directory: str | Path,
+    *,
+    common_name: str = "localhost",
+    ip_address: str = "127.0.0.1",
+    name: str = "tls",
+    valid_days: int = 2,
+) -> tuple[Path, Path]:
+    """Mint a throwaway self-signed certificate for tests and demos.
+
+    Writes ``<name>-cert.pem`` / ``<name>-key.pem`` under ``directory``
+    and returns their paths.  The certificate carries DNS and IP
+    subject-alternative names so it verifies for loopback either way,
+    and — being self-signed — doubles as its own CA file for the peer's
+    trust pin.
+
+    Tries the ``cryptography`` package first and falls back to the
+    ``openssl`` binary; raises RuntimeError when neither is available
+    (production deployments bring real certificates — nothing in the
+    serving path itself needs this helper).
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    cert_path = directory / f"{name}-cert.pem"
+    key_path = directory / f"{name}-key.pem"
+    try:
+        _mint_with_cryptography(
+            cert_path, key_path, common_name, ip_address, valid_days
+        )
+        return cert_path, key_path
+    except ImportError:
+        pass
+    if _mint_with_openssl(cert_path, key_path, common_name, ip_address, valid_days):
+        return cert_path, key_path
+    raise RuntimeError(
+        "no certificate toolchain available: install `cryptography` or "
+        "put an `openssl` binary on PATH (or supply real PEM files)"
+    )
+
+
+def _mint_with_cryptography(
+    cert_path: Path,
+    key_path: Path,
+    common_name: str,
+    ip_address: str,
+    valid_days: int,
+) -> None:
+    import datetime
+    import ipaddress
+
+    from cryptography import x509
+    from cryptography.hazmat.primitives import hashes, serialization
+    from cryptography.hazmat.primitives.asymmetric import ec
+    from cryptography.x509.oid import NameOID
+
+    key = ec.generate_private_key(ec.SECP256R1())
+    subject = x509.Name([x509.NameAttribute(NameOID.COMMON_NAME, common_name)])
+    # Certificate validity is calendar time by definition — the one
+    # place in serving where the wall clock is the right clock.
+    now = datetime.datetime.now(datetime.timezone.utc)  # repro-check: ignore[RC004]
+    cert = (
+        x509.CertificateBuilder()
+        .subject_name(subject)
+        .issuer_name(subject)
+        .public_key(key.public_key())
+        .serial_number(x509.random_serial_number())
+        .not_valid_before(now - datetime.timedelta(minutes=5))
+        .not_valid_after(now + datetime.timedelta(days=valid_days))
+        .add_extension(
+            x509.SubjectAlternativeName(
+                [
+                    x509.DNSName(common_name),
+                    x509.IPAddress(ipaddress.ip_address(ip_address)),
+                ]
+            ),
+            critical=False,
+        )
+        .add_extension(
+            x509.BasicConstraints(ca=True, path_length=None), critical=True
+        )
+        .sign(key, hashes.SHA256())
+    )
+    key_path.write_bytes(
+        key.private_bytes(
+            serialization.Encoding.PEM,
+            serialization.PrivateFormat.PKCS8,
+            serialization.NoEncryption(),
+        )
+    )
+    cert_path.write_bytes(cert.public_bytes(serialization.Encoding.PEM))
+
+
+def _mint_with_openssl(
+    cert_path: Path,
+    key_path: Path,
+    common_name: str,
+    ip_address: str,
+    valid_days: int,
+) -> bool:
+    import shutil
+    import subprocess
+
+    openssl = shutil.which("openssl")
+    if openssl is None:
+        return False
+    result = subprocess.run(
+        [
+            openssl, "req", "-x509", "-newkey", "ec",
+            "-pkeyopt", "ec_paramgen_curve:prime256v1", "-nodes",
+            "-keyout", str(key_path), "-out", str(cert_path),
+            "-days", str(valid_days), "-subj", f"/CN={common_name}",
+            "-addext", f"subjectAltName=DNS:{common_name},IP:{ip_address}",
+        ],
+        capture_output=True,
+    )
+    return result.returncode == 0 and cert_path.exists() and key_path.exists()

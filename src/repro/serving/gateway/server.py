@@ -51,6 +51,7 @@ event loop.
 from __future__ import annotations
 
 import asyncio
+import ssl
 import threading
 from dataclasses import dataclass
 from typing import Callable
@@ -63,6 +64,7 @@ from repro.serving.engine import InferenceEngine, SampleResult
 from repro.serving.scheduler import BatchScheduler
 from repro.serving.gateway import protocol
 from repro.serving.gateway.protocol import Frame, FrameType, ProtocolError, VersionMismatch
+from repro.serving.gateway.quota import QuotaLedger
 from repro.serving.gateway.tenants import AdmissionQueue, Tenant, TenantDirectory
 from repro.serving.observability.metrics import (
     DEFAULT_LATENCY_BUCKETS,
@@ -97,6 +99,8 @@ class GatewayStats:
     shed: int = 0
     rejected: int = 0
     rate_limited: int = 0
+    auth_failed: int = 0
+    quota_exceeded: int = 0
     classify_errors: int = 0
     protocol_errors: int = 0
     reloads: int = 0
@@ -104,6 +108,7 @@ class GatewayStats:
     tenant_model_misses: int = 0
 
     def as_dict(self) -> dict[str, int]:
+        """Plain-dict view of the counters (the STATS reply body)."""
         return dict(self.__dict__)
 
 
@@ -138,6 +143,25 @@ class _GatewayInstruments:
             "repro_gateway_rejected_total",
             "Requests refused or shed, by rejection code.",
             labelnames=("tenant", "code"),
+        )
+        self.auth_failed = metrics.counter(
+            "repro_gateway_auth_failed_total",
+            "Handshakes rejected for a missing or wrong bearer token.",
+        ).labels()
+        self.quota_exceeded = metrics.counter(
+            "repro_gateway_quota_exceeded_total",
+            "SUBMITs refused because a calendar budget was exhausted.",
+            labelnames=("tenant",),
+        )
+        self.quota_used = metrics.gauge(
+            "repro_gateway_quota_used",
+            "Usage inside the current quota window, per tenant and axis.",
+            labelnames=("tenant", "window", "resource"),
+        )
+        self.quota_limit = metrics.gauge(
+            "repro_gateway_quota_limit",
+            "Configured budget for the same (tenant, window, resource).",
+            labelnames=("tenant", "window", "resource"),
         )
         self.classify_errors = metrics.counter(
             "repro_gateway_classify_errors_total",
@@ -325,6 +349,19 @@ class GatewayServer:
         hot.  Its hit rate is the tenant-affinity measure a consistent-
         hash router maximises and random routing destroys — the STATS
         snapshot summarises it under ``tenant_registry``.
+    ssl_context:
+        An :func:`~repro.serving.gateway.security.server_ssl_context`;
+        when given the listener speaks TLS (the wire protocol rides on
+        top unchanged).  Build it with ``cafile=`` to additionally
+        require client certificates — the mutual-TLS posture a shard
+        uses so only its cluster router can connect.
+    quota:
+        A :class:`~repro.serving.gateway.quota.QuotaLedger` enforcing
+        per-tenant calendar budgets *above* the token buckets: checked
+        before admission (rejecting with ``quota_exceeded``, distinct
+        from ``rate_limited``), charged on admission (requests) and
+        delivery (compute-seconds), flushed to its state file on
+        ``aclose`` so budgets survive a restart.
     """
 
     def __init__(
@@ -349,6 +386,8 @@ class GatewayServer:
         tracer: Tracer | None = None,
         node_id: str | None = None,
         tenant_registry: ModelRegistry | None = None,
+        ssl_context: ssl.SSLContext | None = None,
+        quota: QuotaLedger | None = None,
     ) -> None:
         if engine is not None and backend is not None:
             raise ValueError(
@@ -397,6 +436,8 @@ class GatewayServer:
         self.name = name
         self.node_id = node_id
         self._tenant_registry = tenant_registry
+        self._ssl_context = ssl_context
+        self.quota = quota
         self.stats = GatewayStats()
         self.address: tuple[str, int] | None = None
         #: The scheduler's configured SLO, restored when no SLO-carrying
@@ -424,6 +465,24 @@ class GatewayServer:
             self._m.g_in_flight.labels(tenant.tenant_id).set(
                 tenant.stats.in_flight
             )
+        if self.quota is not None:
+            for tenant_id, record in self.quota.snapshot().items():
+                policy = record["policy"] or {}
+                for window in ("day", "month"):
+                    usage = record[window]
+                    kind = "daily" if window == "day" else "monthly"
+                    for resource, used in (
+                        ("requests", usage["requests"]),
+                        ("compute_s", usage["compute_s"]),
+                    ):
+                        self._m.quota_used.labels(
+                            tenant_id, window, resource
+                        ).set(used)
+                        limit = policy.get(f"{kind}_{resource}")
+                        if limit is not None:
+                            self._m.quota_limit.labels(
+                                tenant_id, window, resource
+                            ).set(limit)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -446,13 +505,16 @@ class GatewayServer:
                 pass  # loop already closed during shutdown
 
         self.engine.on_batch_complete = _wake_flush_loop
-        self._server = await asyncio.start_server(self._on_connection, host, port)
+        self._server = await asyncio.start_server(
+            self._on_connection, host, port, ssl=self._ssl_context
+        )
         self._running = True
         self._flush_task = asyncio.create_task(self._flush_loop())
         self.address = self._server.sockets[0].getsockname()[:2]
         return self.address
 
     async def serve_forever(self) -> None:
+        """Serve until cancelled (start() must have been awaited)."""
         assert self._server is not None, "call start() first"
         await self._server.serve_forever()
 
@@ -486,10 +548,13 @@ class GatewayServer:
         # Settle airborne batches so a pooled backend can be closed
         # immediately after; their deliveries were suppressed above.
         self.engine.drain()
+        if self.quota is not None:
+            self.quota.close()  # persist unsynced charges across restart
         self._metrics.unregister_collector(self._collect_metrics)
 
     @property
     def num_connections(self) -> int:
+        """Currently open client connections."""
         return len(self._connections)
 
     # ------------------------------------------------------------------
@@ -568,6 +633,8 @@ class GatewayServer:
         tenant.stats.in_flight -= 1
         latency_s = self.engine.clock() - request.received
         tenant.stats.record_latency(latency_s)
+        if self.quota is not None:
+            self.quota.charge_compute(tenant.tenant_id, latency_s)
         self.stats.results += 1
         self._m.results.labels(tenant.tenant_id, tenant.slo_class.name).inc()
         self._m.request_latency.labels(tenant.slo_class.name).observe(latency_s)
@@ -639,6 +706,21 @@ class GatewayServer:
             return False
         tenant_id = str(frame.meta.get("tenant", "anonymous"))
         connection.client_name = str(frame.meta.get("client", "?"))
+        # Authenticate before resolve: a stranger with a bad token must
+        # not materialise a tenant record (or learn whether the id is
+        # known — the authenticator's decoy compare keeps timing flat).
+        raw_token = frame.meta.get("token")
+        token = raw_token if isinstance(raw_token, str) else None
+        if not self.tenants.authenticate(tenant_id, token):
+            self.stats.auth_failed += 1
+            self._m.auth_failed.inc()
+            connection.send(
+                protocol.error_frame(
+                    "auth_failed",
+                    f"bearer token missing or invalid for tenant {tenant_id!r}",
+                )
+            )
+            return False
         tenant = self.tenants.resolve(tenant_id)
         if tenant is None:
             connection.send(
@@ -723,6 +805,26 @@ class GatewayServer:
                 request_id=request_id,
                 submit=request.received,
             )
+        # Quota sits *above* the token bucket: a calendar budget is a
+        # harder "no" than a rate limit, so it is checked first and
+        # rejects with its own code — a client must not read a burst
+        # limit into an exhausted monthly budget.
+        if self.quota is not None:
+            reason = self.quota.check(tenant.tenant_id)
+            if reason is not None:
+                self.stats.quota_exceeded += 1
+                self._m.quota_exceeded.labels(tenant.tenant_id).inc()
+                self._m.rejected.labels(tenant.tenant_id, "quota_exceeded").inc()
+                if request.trace is not None:
+                    request.trace.finish("shed", code="quota_exceeded")
+                connection.send(
+                    protocol.error_frame(
+                        "quota_exceeded",
+                        f"tenant {tenant.tenant_id!r}: {reason}",
+                        request_id=request_id,
+                    )
+                )
+                return
         # The arrival timestamp drives the tenant's token-bucket refill,
         # so admission metering and deadline scheduling share one clock.
         admitted, reject_code, victims = self.admission.offer(
@@ -761,6 +863,8 @@ class GatewayServer:
             return
         if request.trace is not None:
             request.trace.mark_admitted(request.received)
+        if self.quota is not None:
+            self.quota.charge_request(tenant.tenant_id)
         if self._tenant_registry is not None:
             self._touch_tenant_model(tenant.tenant_id)
         assert self._kick is not None
@@ -829,6 +933,24 @@ class GatewayServer:
         )
 
     # ------------------------------------------------------------------
+    def reload_tenants(self, config: dict) -> None:
+        """Apply a new ``--tenants`` config to a *running* server.
+
+        Must run on the serving event loop (the CLI's reload hook hops
+        there).  Delegates to :meth:`TenantDirectory.reload` for the
+        directory semantics — class changes apply to queued requests,
+        auth to the next handshake, quota budgets to the next request —
+        then re-buckets the admission queue under the new class objects
+        and re-derives the scheduler's SLO, the two pieces of *server*
+        state that were built from the old classes.  Historically the
+        queue kept credit rows for classes that no longer existed and
+        KeyError'd on the first post-reload offer; ``rebind`` is the
+        fix, and ``tests/serving/test_security.py`` pins it.
+        """
+        self.tenants.reload(config)
+        self.admission.rebind(self.tenants.classes.values())
+        self._refresh_slo()
+
     def _refresh_slo(self) -> None:
         """Point the scheduler's SLO at the tightest *connected* class.
 
@@ -911,6 +1033,20 @@ class GatewayServer:
             },
             "scheduler": scheduler.snapshot() if scheduler is not None else None,
             "tenants": self.tenants.snapshot(),
+            "auth": {
+                "enabled": self.tenants.auth is not None,
+                "required": (
+                    self.tenants.auth.required
+                    if self.tenants.auth is not None
+                    else False
+                ),
+                "tenants_with_tokens": (
+                    self.tenants.auth.tenant_ids
+                    if self.tenants.auth is not None
+                    else []
+                ),
+            },
+            "quota": self.quota.snapshot() if self.quota is not None else None,
         }
 
     def _tenant_registry_summary(self) -> dict | None:
@@ -998,6 +1134,7 @@ class BackgroundGateway:
         return self.address
 
     def stop(self, timeout: float = 10.0) -> None:
+        """Signal shutdown and join the loop thread (idempotent)."""
         if self._thread is None or self._loop is None or self._stop is None:
             return
         self._loop.call_soon_threadsafe(self._stop.set)

@@ -40,6 +40,9 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Deque, Iterable, Mapping
 
+from repro.serving.gateway.quota import QuotaPolicy, parse_quota_policies
+from repro.serving.gateway.security import TenantAuthenticator
+
 
 class TokenBucket:
     """Classic token bucket: ``rate_per_s`` refill, ``burst`` capacity.
@@ -151,12 +154,14 @@ class TenantStats:
     LATENCY_WINDOW = 256
 
     def record_latency(self, latency_s: float) -> None:
+        """Push one delivery latency into the sliding p95 window."""
         self.latency_window.append(latency_s)
         while len(self.latency_window) > self.LATENCY_WINDOW:
             self.latency_window.popleft()
 
     @property
     def p95_ms(self) -> float | None:
+        """p95 delivery latency (ms) over the sliding window, or None."""
         if not self.latency_window:
             return None
         ordered = sorted(self.latency_window)
@@ -164,6 +169,7 @@ class TenantStats:
         return ordered[max(rank, 0)] * 1e3
 
     def as_dict(self) -> dict:
+        """JSON-ready counters (one tenant row of the STATS reply)."""
         return {
             "submitted": self.submitted,
             "delivered": self.delivered,
@@ -199,6 +205,20 @@ class TenantDirectory:
     default_class:
         Class for tenants with no static assignment.  ``None`` makes
         unknown tenants a handshake error instead.
+    auth:
+        A :class:`~repro.serving.gateway.security.TenantAuthenticator`
+        verifying HELLO bearer tokens; None serves unauthenticated
+        (trusted-LAN posture).
+    quotas / default_quota:
+        Per-tenant :class:`~repro.serving.gateway.quota.QuotaPolicy`
+        budgets (plus the fallback for unlisted tenants), consulted by
+        the server's :class:`~repro.serving.gateway.quota.QuotaLedger`
+        through :meth:`quota_policy` on every check — so a
+        :meth:`reload` applies new budgets without a restart.
+
+    Thread-safety: construction and :meth:`reload` must happen on the
+    serving event loop (or before the server starts); ``resolve`` and
+    the snapshot methods are loop-confined like the rest of admission.
     """
 
     def __init__(
@@ -207,6 +227,9 @@ class TenantDirectory:
         classes: Mapping[str, SLOClass] | None = None,
         assignments: Mapping[str, str] | None = None,
         default_class: str | None = "standard",
+        auth: TenantAuthenticator | None = None,
+        quotas: Mapping[str, QuotaPolicy] | None = None,
+        default_quota: QuotaPolicy | None = None,
     ) -> None:
         self.classes = dict(classes) if classes is not None else default_classes()
         self.assignments = {str(k): str(v) for k, v in (assignments or {}).items()}
@@ -216,23 +239,14 @@ class TenantDirectory:
         if default_class is not None and default_class not in self.classes:
             raise ValueError(f"default_class {default_class!r} is not defined")
         self.default_class = default_class
+        self.auth = auth
+        self.quotas = dict(quotas or {})
+        self.default_quota = default_quota
         self._tenants: dict[str, Tenant] = {}
 
-    @classmethod
-    def from_config(cls, config: Mapping[str, Any]) -> "TenantDirectory":
-        """Build from the ``--tenants cfg.json`` schema::
-
-            {"classes": {"premium": {"priority": 0, "weight": 4,
-                                     "slo_ms": 50, "max_in_flight": 128,
-                                     "sheddable": false,
-                                     "rate_per_s": 200, "burst": 50}, ...},
-             "tenants": {"device-7": "premium", ...},
-             "default_class": "standard"}
-
-        ``classes`` may be omitted (stock tiers) or partial (overrides
-        merge over the stock tiers).  ``rate_per_s``/``burst`` define the
-        per-tenant token bucket (omit for unmetered classes).
-        """
+    @staticmethod
+    def _classes_from_config(config: Mapping[str, Any]) -> dict[str, SLOClass]:
+        """The effective class table: overrides merged over stock tiers."""
         classes = default_classes()
         for name, spec in dict(config.get("classes", {})).items():
             base = classes.get(name)
@@ -252,11 +266,93 @@ class TenantDirectory:
                 "burst": spec.get("burst", base.burst if base else None),
             }
             classes[name] = SLOClass(name=name, **merged)
+        return classes
+
+    @classmethod
+    def from_config(cls, config: Mapping[str, Any]) -> "TenantDirectory":
+        """Build from the ``--tenants cfg.json`` schema::
+
+            {"classes": {"premium": {"priority": 0, "weight": 4,
+                                     "slo_ms": 50, "max_in_flight": 128,
+                                     "sheddable": false,
+                                     "rate_per_s": 200, "burst": 50}, ...},
+             "tenants": {"device-7": "premium", ...},
+             "default_class": "standard",
+             "auth": {"required": true,
+                      "tokens": {"device-7": "sha256:<salt>:<digest>"},
+                      "service_tokens": ["sha256:<salt>:<digest>"]},
+             "quotas": {"default": {"daily_requests": 100000},
+                        "device-7": {"daily_requests": 500,
+                                     "monthly_compute_s": 120.0}}}
+
+        ``classes`` may be omitted (stock tiers) or partial (overrides
+        merge over the stock tiers).  ``rate_per_s``/``burst`` define the
+        per-tenant token bucket (omit for unmetered classes).  ``auth``
+        and ``quotas`` are optional: absent, the directory serves
+        unauthenticated and unmetered (the pre-hardening posture).
+        """
+        quotas, default_quota = parse_quota_policies(config)
         return cls(
-            classes=classes,
+            classes=cls._classes_from_config(config),
             assignments=config.get("tenants"),
             default_class=config.get("default_class", "standard"),
+            auth=TenantAuthenticator.from_config(config),
+            quotas=quotas,
+            default_quota=default_quota,
         )
+
+    def reload(self, config: Mapping[str, Any]) -> None:
+        """Apply a changed ``--tenants`` config to a *live* directory.
+
+        Semantics (documented contract, tested by
+        ``tests/serving/test_security.py``):
+
+        * **Connected tenants keep their connections.**  A handshake is
+          authenticated once; reload never severs established sessions.
+        * **Class changes apply to materialised tenants immediately**:
+          each already-seen tenant is re-pointed at its (possibly new)
+          class, its stats intact.  Its token bucket is rebuilt only
+          when the class's rate terms actually changed, so an unchanged
+          bucket keeps its current fill instead of granting a free
+          burst.
+        * **Auth changes apply to the next handshake**: the
+          authenticator is swapped wholesale, so a revoked token can no
+          longer open *new* connections (drop existing sockets to evict
+          a live session).
+        * **Quota changes apply to the next request**: the server's
+          ledger resolves policies through :meth:`quota_policy` at
+          check time, so new budgets bind without restart — usage
+          counters are never reset by a reload.
+
+        Raises ValueError (directory unchanged) when the new config is
+        invalid, mirroring construction-time validation.
+        """
+        replacement = TenantDirectory.from_config(config)
+        self.classes = replacement.classes
+        self.assignments = replacement.assignments
+        self.default_class = replacement.default_class
+        self.auth = replacement.auth
+        self.quotas = replacement.quotas
+        self.default_quota = replacement.default_quota
+        stale = [
+            tenant_id
+            for tenant_id, tenant in self._tenants.items()
+            if self.assignments.get(tenant_id, self.default_class) is None
+        ]
+        for tenant_id in stale:
+            # The new config rejects this tenant outright; forget the
+            # record so the next handshake sees `unknown_tenant`.
+            del self._tenants[tenant_id]
+        for tenant in self._tenants.values():
+            class_name = self.assignments.get(tenant.tenant_id, self.default_class)
+            new_class = self.classes[class_name]
+            old_class = tenant.slo_class
+            tenant.slo_class = new_class
+            if (new_class.rate_per_s, new_class.burst) != (
+                old_class.rate_per_s,
+                old_class.burst,
+            ):
+                tenant.bucket = new_class.make_bucket()
 
     # ------------------------------------------------------------------
     def resolve(self, tenant_id: str) -> Tenant | None:
@@ -278,8 +374,25 @@ class TenantDirectory:
         self._tenants[tenant_id] = tenant
         return tenant
 
+    def quota_policy(self, tenant_id: str) -> QuotaPolicy | None:
+        """The quota budget binding ``tenant_id`` right now (explicit
+        row, else the ``default`` row, else None = unmetered).  Called
+        by the server's ledger on every check, so :meth:`reload` takes
+        effect on the next request."""
+        return self.quotas.get(str(tenant_id), self.default_quota)
+
+    def authenticate(self, tenant_id: str, token: str | None) -> bool:
+        """Whether a HELLO presenting ``token`` may act as ``tenant_id``
+        (True when no authenticator is configured).  Constant-time per
+        credential; never raises — False maps to the ``auth_failed``
+        wire code."""
+        if self.auth is None:
+            return True
+        return self.auth.authenticate(tenant_id, token)
+
     @property
     def tenants(self) -> list[Tenant]:
+        """Every tenant materialised so far (resolution order)."""
         return list(self._tenants.values())
 
     def snapshot(self) -> dict[str, dict]:
@@ -324,7 +437,26 @@ class AdmissionQueue:
 
     @property
     def depths(self) -> dict[str, int]:
+        """Queued requests per class name (the STATS ``queue_depths``)."""
         return {name: len(queue) for name, queue in self._queues.items()}
+
+    def rebind(self, classes: Iterable[SLOClass]) -> None:
+        """Adopt a reloaded class table without dropping queued work.
+
+        Every queued request is re-bucketed under its tenant's *current*
+        class (the directory re-pointed tenants during its reload), so
+        requests survive class renames/removals and new classes drain
+        correctly.  Credits restart at a fresh weighted round — a
+        one-off, bounded unfairness.
+        """
+        self._classes = sorted(classes, key=lambda cls: (cls.priority, cls.name))
+        pending = [
+            request for queue in self._queues.values() for request in queue
+        ]
+        self._queues = {cls.name: deque() for cls in self._classes}
+        self._credits = {cls.name: cls.weight for cls in self._classes}
+        for request in pending:
+            self._queues[request.tenant.slo_class.name].append(request)
 
     # ------------------------------------------------------------------
     def offer(self, request, *, now: float | None = None) -> tuple[bool, str | None, list]:

@@ -552,6 +552,92 @@ def test_rc007_suppression(tmp_path):
 
 
 # ----------------------------------------------------------------------
+# RC008 — public serving surface must carry docstrings
+# ----------------------------------------------------------------------
+def test_rc008_flags_bare_public_surface(tmp_path):
+    findings = scan(
+        tmp_path,
+        "src/repro/serving/gateway/widgets.py",
+        """
+        class Widget:
+            \"\"\"Documented class, undocumented method.\"\"\"
+
+            def spin(self):
+                return 1
+
+        def make_widget():
+            return Widget()
+
+        class Gadget:
+            pass
+        """,
+        "RC008",
+    )
+    messages = sorted(f.message for f in findings)
+    assert len(messages) == 3
+    assert "class `Gadget`" in messages[0]
+    assert "function `make_widget`" in messages[1]
+    assert "method `Widget.spin`" in messages[2]
+    assert all("no docstring" in m for m in messages)
+
+
+def test_rc008_near_miss_documented_private_and_nested(tmp_path):
+    findings = scan(
+        tmp_path,
+        "src/repro/serving/cluster/widgets.py",
+        """
+        class Widget:
+            \"\"\"Documented.\"\"\"
+
+            def spin(self):
+                \"\"\"Documented too.\"\"\"
+                def helper():  # nested defs are implementation detail
+                    return 1
+                return helper()
+
+            def _internal(self):
+                return 2
+
+            def __repr__(self):
+                return "Widget()"
+
+        def _module_private():
+            pass
+        """,
+        "RC008",
+    )
+    assert findings == []
+
+
+def test_rc008_scoped_to_public_serving_tiers(tmp_path):
+    source = """
+    def bare():
+        pass
+    """
+    for rel in (
+        "src/repro/core/pipeline.py",
+        "src/repro/serving/engine.py",
+        "src/repro/analysis/rules.py",
+    ):
+        assert scan(tmp_path, rel, source, "RC008") == []
+    flagged = scan(tmp_path, "src/repro/serving/gateway/x.py", source, "RC008")
+    assert [f.rule for f in flagged] == ["RC008"]
+
+
+def test_rc008_suppression(tmp_path):
+    findings = scan(
+        tmp_path,
+        "src/repro/serving/gateway/y.py",
+        """
+        def bare():  # repro-check: ignore[RC008]
+            pass
+        """,
+        "RC008",
+    )
+    assert findings == []
+
+
+# ----------------------------------------------------------------------
 # Suppressions
 # ----------------------------------------------------------------------
 SUPPRESSIBLE = """
@@ -715,7 +801,7 @@ def test_cli_json_report_shape(tmp_path, capsys):
 def test_cli_list_rules(capsys):
     assert main(["--list-rules"]) == 0
     out = capsys.readouterr().out
-    for rule_id in ("RC001", "RC002", "RC003", "RC004", "RC005", "RC006"):
+    for rule_id in ("RC001", "RC002", "RC003", "RC004", "RC005", "RC006", "RC008"):
         assert rule_id in out
 
 

@@ -1,0 +1,616 @@
+"""Public-traffic hardening end-to-end: TLS transport, per-tenant
+bearer auth, quota accounting, and the tenant config reload contract.
+
+The TLS tests mint one throwaway self-signed certificate per session
+(:func:`generate_self_signed_cert`) and reuse it as its own CA pin, as
+server identity, and — in the mutual-TLS cluster test — as the
+router's client certificate.  Everything still asserts byte-identity
+against in-process ``predict_one(quantise_sample(x))``: security wraps
+the wire protocol, it must not perturb it.
+"""
+
+import asyncio
+import json
+import socket
+import ssl
+import threading
+
+import numpy as np
+import pytest
+
+from repro.serving import InferenceEngine
+from repro.serving.cluster import ClusterRouter
+from repro.serving.gateway import (
+    AsyncGatewayClient,
+    BackgroundGateway,
+    GatewayClient,
+    GatewayError,
+    GatewayServer,
+    QuotaLedger,
+    QuotaPolicy,
+    TenantAuthenticator,
+    TenantDirectory,
+    client_ssl_context,
+    generate_self_signed_cert,
+    hash_token,
+    protocol,
+    server_ssl_context,
+    verify_token,
+)
+from repro.serving.gateway.protocol import FrameType, VersionMismatch
+
+
+def _samples(toy_data, count, seed=0):
+    x, _, _ = toy_data
+    rng = np.random.default_rng(seed)
+    return x[rng.integers(0, len(x), size=count)]
+
+
+@pytest.fixture(scope="session")
+def certs(tmp_path_factory):
+    """``(cert, key)`` paths for one self-signed loopback certificate."""
+    directory = tmp_path_factory.mktemp("tls")
+    return generate_self_signed_cert(directory)
+
+
+@pytest.fixture(scope="session")
+def tls(certs):
+    """``(server_ctx, client_ctx)`` — plain one-way TLS, cert pinned."""
+    cert, key = certs
+    return server_ssl_context(cert, key), client_ssl_context(cert)
+
+
+# ----------------------------------------------------------------------
+# Token hashing primitives
+# ----------------------------------------------------------------------
+class TestTokenHashing:
+    def test_round_trip_and_salt(self):
+        stored = hash_token("s3cret")
+        assert stored.startswith("sha256:")
+        assert verify_token("s3cret", stored)
+        assert not verify_token("s3cret2", stored)
+        # Fresh salts: same token, different records.
+        assert hash_token("s3cret") != hash_token("s3cret")
+        pinned = hash_token("s3cret", salt="ab" * 16)
+        assert pinned == hash_token("s3cret", salt="ab" * 16)
+
+    def test_malformed_records_fail_closed(self):
+        for stored in ("", "sha256:short", "md5:aa:bb", "plaintext"):
+            assert not verify_token("anything", stored)
+
+
+# ----------------------------------------------------------------------
+# TLS transport
+# ----------------------------------------------------------------------
+class TestTLS:
+    def test_round_trip_byte_identical(self, fitted, toy_data, tls):
+        """TLS wraps the wire protocol without perturbing a single byte
+        of the posteriors."""
+        server_ctx, client_ctx = tls
+        reference = InferenceEngine(fitted)
+        samples = _samples(toy_data, 6, seed=3)
+        server = GatewayServer(fitted, ssl_context=server_ctx)
+        with BackgroundGateway(server) as (host, port):
+            with GatewayClient(host, port, ssl_context=client_ctx) as client:
+                for sample in samples:
+                    wire = client.classify(sample, deadline_ms=0.0)
+                    local = reference.predict_one(protocol.quantise_sample(sample))
+                    assert np.array_equal(wire.gesture_probs, local.gesture_probs)
+                    assert np.array_equal(wire.user_probs, local.user_probs)
+
+    def test_plaintext_client_against_tls_port_dies_cleanly(
+        self, fitted, toy_data, tls
+    ):
+        """A plaintext HELLO at a TLS listener fails that one connection
+        — the gateway keeps serving TLS clients."""
+        server_ctx, client_ctx = tls
+        server = GatewayServer(fitted, ssl_context=server_ctx)
+        with BackgroundGateway(server) as (host, port):
+            with socket.create_connection((host, port), timeout=10.0) as sock:
+                hello = protocol.hello_frame(client="plain", tenant="t")
+                try:
+                    sock.sendall(protocol.encode_frame(hello))
+                    assert protocol.read_frame_sync(sock) is None
+                except OSError:
+                    pass  # reset instead of EOF is equally acceptable
+            with GatewayClient(host, port, ssl_context=client_ctx) as client:
+                result = client.classify(_samples(toy_data, 1)[0], deadline_ms=0.0)
+                assert result.gesture >= 0
+
+    def test_tls_client_against_plaintext_port_raises(self, fitted, tls):
+        _, client_ctx = tls
+        server = GatewayServer(fitted)
+        with BackgroundGateway(server) as (host, port):
+            with pytest.raises(OSError):
+                GatewayClient(host, port, ssl_context=client_ctx)
+
+
+# ----------------------------------------------------------------------
+# Bearer auth at the gateway
+# ----------------------------------------------------------------------
+def _authed_directory(**kwargs):
+    return TenantDirectory(
+        auth=TenantAuthenticator({"device-7": hash_token("alpha")}, **kwargs)
+    )
+
+
+class TestAuth:
+    def test_token_accepted_wrong_and_missing_rejected(self, fitted, toy_data):
+        server = GatewayServer(fitted, tenants=_authed_directory())
+        with BackgroundGateway(server) as (host, port):
+            for bad_token in ("beta", None):
+                with pytest.raises(GatewayError) as excinfo:
+                    GatewayClient(host, port, tenant="device-7", token=bad_token)
+                assert excinfo.value.code == "auth_failed"
+            # Unknown tenants are rejected by auth *before* resolve.
+            with pytest.raises(GatewayError) as excinfo:
+                GatewayClient(host, port, tenant="stranger", token="alpha")
+            assert excinfo.value.code == "auth_failed"
+            with GatewayClient(
+                host, port, tenant="device-7", token="alpha"
+            ) as client:
+                assert client.classify(_samples(toy_data, 1)[0], deadline_ms=0.0)
+                stats = client.stats()
+        assert stats["gateway"]["auth_failed"] == 3
+        assert stats["auth"] == {
+            "enabled": True,
+            "required": True,
+            "tenants_with_tokens": ["device-7"],
+        }
+
+    def test_service_token_authenticates_any_tenant(self, fitted, toy_data):
+        tenants = TenantDirectory(
+            auth=TenantAuthenticator(service_tokens=[hash_token("router-svc")])
+        )
+        server = GatewayServer(fitted, tenants=tenants)
+        with BackgroundGateway(server) as (host, port):
+            for tenant in ("edge-0", "edge-1"):
+                with GatewayClient(
+                    host, port, tenant=tenant, token="router-svc"
+                ) as client:
+                    assert client.classify(
+                        _samples(toy_data, 1)[0], deadline_ms=0.0
+                    )
+            with pytest.raises(GatewayError) as excinfo:
+                GatewayClient(host, port, tenant="edge-0", token="guessed")
+            assert excinfo.value.code == "auth_failed"
+
+    def test_service_token_opens_tenants_with_their_own_entry(self):
+        """The router forwards its service token on behalf of *named*
+        tenants too — a tenant's own entry must not shadow it."""
+        auth = TenantAuthenticator(
+            {"device-7": hash_token("alpha")},
+            service_tokens=[hash_token("router-svc")],
+        )
+        assert auth.authenticate("device-7", "router-svc")
+        assert auth.authenticate("device-7", "alpha")
+        assert not auth.authenticate("device-7", "beta")
+        assert not auth.authenticate("device-7", None)
+
+    def test_optional_auth_checks_only_listed_tenants(self, fitted, toy_data):
+        server = GatewayServer(
+            fitted, tenants=_authed_directory(required=False)
+        )
+        with BackgroundGateway(server) as (host, port):
+            # Unlisted tenants pass unauthenticated (migration posture)...
+            with GatewayClient(host, port, tenant="legacy-3") as client:
+                assert client.classify(_samples(toy_data, 1)[0], deadline_ms=0.0)
+            # ...but a listed tenant must still present its token.
+            with pytest.raises(GatewayError) as excinfo:
+                GatewayClient(host, port, tenant="device-7", token="wrong")
+            assert excinfo.value.code == "auth_failed"
+
+
+# ----------------------------------------------------------------------
+# Quota accounting
+# ----------------------------------------------------------------------
+class TestQuota:
+    def _metered_server(self, fitted, state_path=None, daily=2):
+        tenants = TenantDirectory(
+            quotas={"edge-0": QuotaPolicy(daily_requests=daily)}
+        )
+        ledger = QuotaLedger(tenants.quota_policy, state_path=state_path)
+        return GatewayServer(fitted, tenants=tenants, quota=ledger)
+
+    def test_quota_exceeded_distinct_from_rate_limited(self, fitted, toy_data):
+        """A calendar budget and a token bucket reject with different
+        codes — a client must be able to tell them apart."""
+        from repro.serving.gateway import SLOClass
+
+        tenants = TenantDirectory(
+            classes={
+                "metered": SLOClass(
+                    "metered", priority=0, slo_ms=50.0,
+                    rate_per_s=0.001, burst=1.0,
+                ),
+                "standard": SLOClass("standard", priority=1, slo_ms=None),
+            },
+            assignments={"bursty": "metered"},
+            default_class="standard",
+            quotas={"edge-0": QuotaPolicy(daily_requests=2)},
+        )
+        ledger = QuotaLedger(tenants.quota_policy)
+        server = GatewayServer(fitted, tenants=tenants, quota=ledger)
+        samples = _samples(toy_data, 4, seed=11)
+        with BackgroundGateway(server) as (host, port):
+            with GatewayClient(host, port, tenant="edge-0") as client:
+                assert client.classify(samples[0], deadline_ms=0.0)
+                assert client.classify(samples[1], deadline_ms=0.0)
+                with pytest.raises(GatewayError) as excinfo:
+                    client.classify(samples[2], deadline_ms=0.0)
+                assert excinfo.value.code == "quota_exceeded"
+                assert "daily request budget exhausted" in str(excinfo.value)
+            with GatewayClient(host, port, tenant="bursty") as client:
+                assert client.classify(samples[0], deadline_ms=0.0)
+                with pytest.raises(GatewayError) as excinfo:
+                    client.classify(samples[1], deadline_ms=0.0)
+                assert excinfo.value.code == "rate_limited"
+                stats = client.stats()
+        assert stats["gateway"]["quota_exceeded"] == 1
+        assert stats["gateway"]["rate_limited"] == 1
+        quota = stats["quota"]["edge-0"]
+        assert quota["exhausted"]
+        assert quota["day"]["requests"] == 2
+        assert quota["day"]["compute_s"] > 0.0
+        assert quota["policy"]["daily_requests"] == 2
+
+    def test_counters_survive_restart(self, fitted, toy_data, tmp_path):
+        """Usage persists across a server restart: a tenant cannot reset
+        its budget by bouncing the gateway."""
+        state = tmp_path / "quota-state.json"
+        samples = _samples(toy_data, 3, seed=5)
+        server = self._metered_server(fitted, state_path=state)
+        with BackgroundGateway(server) as (host, port):
+            with GatewayClient(host, port, tenant="edge-0") as client:
+                assert client.classify(samples[0], deadline_ms=0.0)
+                assert client.classify(samples[1], deadline_ms=0.0)
+        # aclose() persisted the unsynced charges on shutdown.
+        payload = json.loads(state.read_text())
+        assert payload["tenants"]["edge-0"]["day"]["requests"] == 2
+
+        reborn = self._metered_server(fitted, state_path=state)
+        with BackgroundGateway(reborn) as (host, port):
+            with GatewayClient(host, port, tenant="edge-0") as client:
+                with pytest.raises(GatewayError) as excinfo:
+                    client.classify(samples[2], deadline_ms=0.0)
+                assert excinfo.value.code == "quota_exceeded"
+
+    def test_windows_roll_on_the_injected_clock(self):
+        clock = {"now": 1_700_000_000.0}
+        ledger = QuotaLedger(
+            lambda _tenant: QuotaPolicy(daily_requests=1, monthly_requests=2),
+            clock=lambda: clock["now"],
+        )
+        assert ledger.check("t") is None
+        ledger.charge_request("t")
+        assert "daily request budget exhausted" in ledger.check("t")
+        clock["now"] += 86_400.0  # next UTC day: daily resets, monthly holds
+        assert ledger.check("t") is None
+        ledger.charge_request("t")
+        clock["now"] += 86_400.0  # daily resets again, but monthly is spent
+        assert "monthly request budget exhausted" in ledger.check("t")
+        clock["now"] += 31 * 86_400.0
+        assert ledger.check("t") is None
+        # snapshot() presents the rolled windows without mutating state.
+        report = ledger.snapshot()
+        assert report["t"]["day"]["requests"] == 0
+        assert not report["t"]["exhausted"]
+
+    def test_corrupt_state_starts_fresh(self, tmp_path):
+        state = tmp_path / "quota.json"
+        state.write_text("{not json")
+        ledger = QuotaLedger(lambda _t: None, state_path=state)
+        assert ledger.snapshot() == {}
+
+    def test_quota_cli_inspects_and_resets(self, tmp_path, capsys):
+        from repro.cli import main
+
+        state = tmp_path / "quota.json"
+        ledger = QuotaLedger(lambda _t: None, state_path=state, sync_every=1)
+        ledger.charge_request("edge-0")
+        ledger.flush()
+
+        assert main(["quota", "--state", str(state)]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["edge-0"]["day"]["requests"] == 1
+
+        assert main(["quota", "--state", str(state), "--reset", "--tenant", "edge-0"]) == 0
+        capsys.readouterr()
+        assert main(["quota", "--state", str(state)]) == 0
+        assert json.loads(capsys.readouterr().out) == {}
+
+
+# ----------------------------------------------------------------------
+# Tenant config reload (the rebind bugfix + live auth/quota swap)
+# ----------------------------------------------------------------------
+class TestReloadTenants:
+    def test_class_removal_survives_reload(self, fitted, toy_data):
+        """Removing an SLO class mid-flight must not strand the
+        admission queue: historically the queue kept credit rows for
+        vanished classes and KeyError'd on the first post-reload offer;
+        ``reload_tenants`` rebinds it."""
+        sample = _samples(toy_data, 1)[0]
+        config_a = {
+            "classes": {"gold": {"priority": 0, "slo_ms": 25.0}},
+            "tenants": {"edge-0": "gold"},
+            "default_class": "standard",
+        }
+        config_b = {"tenants": {"edge-0": "premium"}}
+
+        async def run():
+            server = GatewayServer(
+                fitted, tenants=TenantDirectory.from_config(config_a)
+            )
+            host, port = await server.start("127.0.0.1", 0)
+            client = await AsyncGatewayClient.connect(host, port, tenant="edge-0")
+            try:
+                assert client.slo_class == "gold"
+                await client.classify(sample, deadline_ms=0.0)
+                server.reload_tenants(config_b)
+                # The connection survives and the very next offer goes
+                # through the rebound queue (the historical crash site).
+                wire = await client.classify(sample, deadline_ms=0.0)
+                assert wire.gesture >= 0
+                snapshot = await client.stats()
+                assert snapshot["tenants"]["edge-0"]["slo_class"] == "premium"
+            finally:
+                await client.aclose()
+                await server.aclose()
+
+        asyncio.run(run())
+
+    def test_token_rotation_applies_at_next_handshake(self, fitted, toy_data):
+        sample = _samples(toy_data, 1)[0]
+        config_alpha = {"auth": {"tokens": {"edge-0": hash_token("alpha")}}}
+        config_beta = {"auth": {"tokens": {"edge-0": hash_token("beta")}}}
+
+        async def run():
+            server = GatewayServer(
+                fitted, tenants=TenantDirectory.from_config(config_alpha)
+            )
+            host, port = await server.start("127.0.0.1", 0)
+            veteran = await AsyncGatewayClient.connect(
+                host, port, tenant="edge-0", token="alpha"
+            )
+            try:
+                server.reload_tenants(config_beta)
+                # Established sessions are never severed by a reload...
+                await veteran.classify(sample, deadline_ms=0.0)
+                # ...but the revoked token cannot open new connections.
+                with pytest.raises(GatewayError) as excinfo:
+                    await AsyncGatewayClient.connect(
+                        host, port, tenant="edge-0", token="alpha"
+                    )
+                assert excinfo.value.code == "auth_failed"
+                fresh = await AsyncGatewayClient.connect(
+                    host, port, tenant="edge-0", token="beta"
+                )
+                await fresh.aclose()
+            finally:
+                await veteran.aclose()
+                await server.aclose()
+
+        asyncio.run(run())
+
+    def test_quota_edit_applies_without_restart(self, fitted, toy_data):
+        sample = _samples(toy_data, 1)[0]
+        tight = {"quotas": {"edge-0": {"daily_requests": 1}}}
+        roomy = {"quotas": {"edge-0": {"daily_requests": 100}}}
+
+        async def run():
+            tenants = TenantDirectory.from_config(tight)
+            server = GatewayServer(
+                fitted,
+                tenants=tenants,
+                quota=QuotaLedger(tenants.quota_policy),
+            )
+            host, port = await server.start("127.0.0.1", 0)
+            client = await AsyncGatewayClient.connect(host, port, tenant="edge-0")
+            try:
+                await client.classify(sample, deadline_ms=0.0)
+                with pytest.raises(GatewayError) as excinfo:
+                    await client.classify(sample, deadline_ms=0.0)
+                assert excinfo.value.code == "quota_exceeded"
+                server.reload_tenants(roomy)
+                # The ledger resolves policies at check time, so the new
+                # budget binds immediately — usage carries over.
+                await client.classify(sample, deadline_ms=0.0)
+                snapshot = await client.stats()
+                assert snapshot["quota"]["edge-0"]["day"]["requests"] == 2
+            finally:
+                await client.aclose()
+                await server.aclose()
+
+        asyncio.run(run())
+
+    def test_invalid_reload_leaves_directory_unchanged(self, fitted):
+        tenants = TenantDirectory(assignments={"vip": "premium"})
+        GatewayServer(fitted, tenants=tenants)  # validates construction
+        with pytest.raises(ValueError):
+            tenants.reload({"tenants": {"vip": "no-such-class"}})
+        assert tenants.assignments == {"vip": "premium"}
+
+
+# ----------------------------------------------------------------------
+# Secured cluster: router TLS listener, mTLS shards, service tokens
+# ----------------------------------------------------------------------
+class TestSecuredCluster:
+    def test_full_stack_tls_auth_byte_identity(self, fitted, toy_data, certs):
+        """Client —TLS+token→ router —mTLS+service-token→ shards, and the
+        posteriors still match in-process inference byte for byte."""
+        cert, key = certs
+        shard_listener = server_ssl_context(cert, key, cafile=cert)  # mTLS
+        router_listener = server_ssl_context(cert, key)
+        upstream = client_ssl_context(cert, certfile=cert, keyfile=key)
+        pinned = client_ssl_context(cert)
+        shard_auth = TenantAuthenticator(
+            service_tokens=[hash_token("shard-svc")]
+        )
+        reference = InferenceEngine(fitted)
+        samples = _samples(toy_data, 4, seed=13)
+
+        async def run():
+            servers, shards = {}, {}
+            for node_id in ("a", "b"):
+                server = GatewayServer(
+                    fitted,
+                    node_id=node_id,
+                    tenants=TenantDirectory(auth=shard_auth),
+                    ssl_context=shard_listener,
+                )
+                shards[node_id] = await server.start("127.0.0.1", 0)
+                servers[node_id] = server
+            router = ClusterRouter(
+                shards,
+                heartbeat_s=0.2,
+                ssl_context=router_listener,
+                upstream_ssl=upstream,
+                shard_token="shard-svc",
+                auth=TenantAuthenticator({"edge-0": hash_token("alpha")}),
+            )
+            try:
+                host, port = await router.start()
+                client = await AsyncGatewayClient.connect(
+                    host, port, tenant="edge-0", token="alpha", ssl=pinned
+                )
+                try:
+                    for sample in samples:
+                        wire = await client.classify(sample, deadline_ms=0.0)
+                        local = reference.predict_one(
+                            protocol.quantise_sample(sample)
+                        )
+                        assert np.array_equal(
+                            wire.gesture_probs, local.gesture_probs
+                        )
+                finally:
+                    await client.aclose()
+                # A wrong edge token is stopped at the router.
+                with pytest.raises(GatewayError) as excinfo:
+                    await AsyncGatewayClient.connect(
+                        host, port, tenant="edge-0", token="stolen", ssl=pinned
+                    )
+                assert excinfo.value.code == "auth_failed"
+                assert router.stats.auth_failed == 1
+                # A shard refuses direct connections without the client
+                # certificate only the router holds.
+                shard_host, shard_port = shards["a"]
+                with pytest.raises((OSError, asyncio.IncompleteReadError)):
+                    reader, writer = await asyncio.open_connection(
+                        shard_host, shard_port, ssl=pinned
+                    )
+                    try:
+                        await reader.readexactly(1)
+                    finally:
+                        writer.close()
+            finally:
+                await router.aclose()
+                for server in servers.values():
+                    await server.aclose()
+
+        asyncio.run(run())
+
+
+# ----------------------------------------------------------------------
+# Protocol version negotiation — both directions, both transports
+# ----------------------------------------------------------------------
+def _vnext_hello_bytes():
+    hello = protocol.hello_frame(client="future", tenant="t")
+    return protocol.encode_frame(hello, version=protocol.PROTOCOL_VERSION + 1)
+
+
+def _fake_vnext_server(ssl_context=None):
+    """A listener that answers any HELLO with a v-next HELLO reply."""
+    listener = socket.create_server(("127.0.0.1", 0))
+    host, port = listener.getsockname()
+
+    def serve():
+        conn, _ = listener.accept()
+        try:
+            if ssl_context is not None:
+                conn = ssl_context.wrap_socket(conn, server_side=True)
+            protocol.read_frame_sync(conn)
+            reply = protocol.hello_reply(
+                server="future-gateway",
+                tenant="t",
+                slo_class="standard",
+                slo_ms=None,
+                model_version=0,
+            )
+            conn.sendall(
+                protocol.encode_frame(
+                    reply, version=protocol.PROTOCOL_VERSION + 1
+                )
+            )
+        finally:
+            conn.close()
+            listener.close()
+
+    threading.Thread(target=serve, name="vnext-server", daemon=True).start()
+    return host, port
+
+
+class TestVersionNegotiation:
+    def _assert_rejects_vnext_hello(self, host, port, client_ctx=None):
+        sock = socket.create_connection((host, port), timeout=10.0)
+        try:
+            if client_ctx is not None:
+                sock = client_ctx.wrap_socket(sock, server_hostname=host)
+            sock.sendall(_vnext_hello_bytes())
+            reply = protocol.read_frame_sync(sock)
+            assert reply.kind is FrameType.ERROR
+            assert reply.meta["code"] == "version_mismatch"
+            assert protocol.read_frame_sync(sock) is None  # hung up
+        finally:
+            sock.close()
+
+    def test_gateway_rejects_vnext_client_plaintext_and_tls(self, fitted, tls):
+        server_ctx, client_ctx = tls
+        plain = GatewayServer(fitted)
+        with BackgroundGateway(plain) as (host, port):
+            self._assert_rejects_vnext_hello(host, port)
+        secured = GatewayServer(fitted, ssl_context=server_ctx)
+        with BackgroundGateway(secured) as (host, port):
+            self._assert_rejects_vnext_hello(host, port, client_ctx)
+
+    def test_router_rejects_vnext_client_plaintext_and_tls(self, fitted, tls):
+        server_ctx, client_ctx = tls
+
+        async def run(router_ctx):
+            server = GatewayServer(fitted, node_id="a")
+            shard = await server.start("127.0.0.1", 0)
+            router = ClusterRouter(
+                {"a": shard}, heartbeat_s=0.2, ssl_context=router_ctx
+            )
+            try:
+                host, port = await router.start()
+                await asyncio.to_thread(
+                    self._assert_rejects_vnext_hello,
+                    host,
+                    port,
+                    client_ctx if router_ctx is not None else None,
+                )
+            finally:
+                await router.aclose()
+                await server.aclose()
+
+        asyncio.run(run(None))
+        asyncio.run(run(server_ctx))
+
+    def test_client_raises_on_vnext_server_plaintext_and_tls(self, certs):
+        host, port = _fake_vnext_server()
+        with pytest.raises(VersionMismatch):
+            GatewayClient(host, port)
+
+        cert, key = certs
+        host, port = _fake_vnext_server(server_ssl_context(cert, key))
+        with pytest.raises(VersionMismatch):
+            GatewayClient(host, port, ssl_context=client_ssl_context(cert))
+
+    def test_async_client_raises_on_vnext_server(self):
+        host, port = _fake_vnext_server()
+
+        async def run():
+            with pytest.raises(VersionMismatch):
+                await AsyncGatewayClient.connect(host, port)
+
+        asyncio.run(run())
